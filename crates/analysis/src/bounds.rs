@@ -1,0 +1,198 @@
+//! The paper's lower bounds and structural bounds.
+
+use crate::squashed::{aggregate_span, squashed_work_area};
+use kdag::Category;
+use ksim::{JobSpec, Resources};
+
+/// The two makespan lower bounds of §4 and their maximum:
+///
+/// * `T*(J) ≥ max_Ji (r(Ji) + T∞(Ji))` — some job's critical path must
+///   run after its release;
+/// * `T*(J) ≥ max_α T1(J, α) / Pα` — some category's total work must
+///   fit on its processors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MakespanBounds {
+    /// `max_Ji (r(Ji) + T∞(Ji))`.
+    pub release_plus_span: f64,
+    /// `max_α T1(J, α) / Pα`.
+    pub work_over_p: f64,
+}
+
+impl MakespanBounds {
+    /// The effective lower bound `max` of the two components.
+    pub fn lower_bound(&self) -> f64 {
+        self.release_plus_span.max(self.work_over_p)
+    }
+}
+
+/// Compute both makespan lower bounds for a job set on a machine.
+///
+/// ```
+/// use kanalysis::bounds::makespan_bounds;
+/// use kdag::{generators::chain, Category};
+/// use ksim::{JobSpec, Resources};
+/// let jobs = vec![JobSpec::batched(chain(1, 9, &[Category(0)]))];
+/// let res = Resources::uniform(1, 4);
+/// let b = makespan_bounds(&jobs, &res);
+/// assert_eq!(b.release_plus_span, 9.0);  // a chain is span-limited
+/// assert_eq!(b.lower_bound(), 9.0);
+/// ```
+pub fn makespan_bounds(jobs: &[JobSpec], res: &Resources) -> MakespanBounds {
+    assert!(!jobs.is_empty(), "lower bounds need at least one job");
+    let release_plus_span = jobs
+        .iter()
+        .map(|j| j.release + j.dag.span())
+        .max()
+        .unwrap_or(0) as f64;
+    let mut work_over_p: f64 = 0.0;
+    for cat in Category::all(res.k()) {
+        let total: u64 = jobs.iter().map(|j| j.dag.work(cat)).sum();
+        work_over_p = work_over_p.max(total as f64 / f64::from(res.processors(cat)));
+    }
+    MakespanBounds {
+        release_plus_span,
+        work_over_p,
+    }
+}
+
+/// The two total-response-time lower bounds of §6 and their maximum,
+/// valid for **batched** job sets:
+///
+/// * `R*(J) ≥ T∞(J)` (aggregate span);
+/// * `R*(J) ≥ max_α swa(J, α)` (squashed α-work area).
+///
+/// Dividing by `|J|` gives the mean-response-time bounds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResponseBounds {
+    /// Aggregate span `T∞(J) = Σ T∞(Ji)`.
+    pub aggregate_span: f64,
+    /// `max_α swa(J, α)`.
+    pub max_swa: f64,
+}
+
+impl ResponseBounds {
+    /// The effective lower bound on *total* response time.
+    pub fn lower_bound(&self) -> f64 {
+        self.aggregate_span.max(self.max_swa)
+    }
+}
+
+/// Compute both total-response lower bounds for a batched job set.
+///
+/// # Panics
+/// Panics if any job has a non-zero release (the §6 bounds are stated
+/// for batched sets only).
+pub fn response_bounds(jobs: &[JobSpec], res: &Resources) -> ResponseBounds {
+    assert!(!jobs.is_empty(), "lower bounds need at least one job");
+    assert!(
+        jobs.iter().all(|j| j.release == 0),
+        "response-time lower bounds require a batched job set"
+    );
+    let mut max_swa: f64 = 0.0;
+    for cat in Category::all(res.k()) {
+        max_swa = max_swa.max(squashed_work_area(jobs, cat, res.processors(cat)));
+    }
+    ResponseBounds {
+        aggregate_span: aggregate_span(jobs) as f64,
+        max_swa,
+    }
+}
+
+/// The right-hand side of Lemma 2, K-RAD's structural makespan bound
+/// for schedules without idle intervals:
+///
+/// `Σα T1(J, α)/Pα + (1 − 1/Pmax) · max_Ji (T∞(Ji) + r(Ji))`.
+pub fn lemma2_rhs(jobs: &[JobSpec], res: &Resources) -> f64 {
+    let mut work_terms = 0.0;
+    for cat in Category::all(res.k()) {
+        let total: u64 = jobs.iter().map(|j| j.dag.work(cat)).sum();
+        work_terms += total as f64 / f64::from(res.processors(cat));
+    }
+    let max_span_release = jobs
+        .iter()
+        .map(|j| j.release + j.dag.span())
+        .max()
+        .unwrap_or(0) as f64;
+    work_terms + (1.0 - 1.0 / f64::from(res.p_max())) * max_span_release
+}
+
+/// The direct Theorem 5 right-hand side (Inequality 5), K-RAD's
+/// total-response bound for batched jobs under light workload:
+///
+/// `(2 − 2/(n+1)) · Σα swa(J, α) + T∞(J)`.
+pub fn theorem5_rhs(jobs: &[JobSpec], res: &Resources) -> f64 {
+    let n = jobs.len() as f64;
+    let mut swa_sum = 0.0;
+    for cat in Category::all(res.k()) {
+        swa_sum += squashed_work_area(jobs, cat, res.processors(cat));
+    }
+    (2.0 - 2.0 / (n + 1.0)) * swa_sum + aggregate_span(jobs) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::generators::{chain, fork_join};
+    use kdag::Category;
+
+    fn machine() -> Resources {
+        Resources::new(vec![2, 4])
+    }
+
+    fn jobs() -> Vec<JobSpec> {
+        vec![
+            JobSpec::batched(chain(2, 6, &[Category(0), Category(1)])),
+            JobSpec::batched(fork_join(2, &[(Category(0), 4), (Category(1), 8)])),
+        ]
+    }
+
+    #[test]
+    fn makespan_bounds_by_hand() {
+        let b = makespan_bounds(&jobs(), &machine());
+        // Spans: 6 and 2 → release+span = 6.
+        assert_eq!(b.release_plus_span, 6.0);
+        // Work: cat0 = 3 + 4 = 7 over P=2 → 3.5; cat1 = 3 + 8 = 11 over 4 → 2.75.
+        assert!((b.work_over_p - 3.5).abs() < 1e-12);
+        assert!((b.lower_bound() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_shifts_the_span_bound() {
+        let mut js = jobs();
+        js[1].release = 10;
+        let b = makespan_bounds(&js, &machine());
+        assert_eq!(b.release_plus_span, 12.0);
+    }
+
+    #[test]
+    fn response_bounds_by_hand() {
+        let b = response_bounds(&jobs(), &machine());
+        assert_eq!(b.aggregate_span, 8.0);
+        // cat0 works {3,4}: sq-sum = 2*3+1*4 = 10, /2 = 5.
+        // cat1 works {3,8}: sq-sum = 2*3+1*8 = 14, /4 = 3.5.
+        assert!((b.max_swa - 5.0).abs() < 1e-12);
+        assert!((b.lower_bound() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "batched")]
+    fn response_bounds_reject_releases() {
+        let mut js = jobs();
+        js[0].release = 3;
+        response_bounds(&js, &machine());
+    }
+
+    #[test]
+    fn lemma2_rhs_by_hand() {
+        let rhs = lemma2_rhs(&jobs(), &machine());
+        // Σ work/P = 3.5 + 2.75 = 6.25; (1 - 1/4)*6 = 4.5.
+        assert!((rhs - 10.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem5_rhs_by_hand() {
+        let rhs = theorem5_rhs(&jobs(), &machine());
+        // n=2: factor = 2 - 2/3 = 4/3; swa_sum = 5 + 3.5 = 8.5; T∞agg = 8.
+        assert!((rhs - (4.0 / 3.0 * 8.5 + 8.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! ASCII Gantt charts of recorded schedules.
+//!
+//! Renders a [`RecordedSchedule`] as one timeline row per (category,
+//! processor), with each cell showing which job ran there at that step
+//! — the visual counterpart of the paper's schedule definition
+//! `χ = (τ, π1, …, πK)`. Used by examples and handy when debugging a
+//! scheduler's allotment decisions.
+
+use ksim::checker::RecordedSchedule;
+use ksim::{Resources, Time};
+use std::collections::HashMap;
+
+/// Symbols used for jobs 0, 1, 2, … (cycled when jobs outnumber them).
+const SYMBOLS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+/// Render a schedule as an ASCII Gantt chart.
+///
+/// One row per (category, processor); time flows left to right from
+/// step 1. `.` marks an idle processor-step. If the makespan exceeds
+/// `max_width` columns, the chart is clipped on the right (a `…`
+/// marker notes the clip) — plots are for eyeballs, CSVs are for data.
+pub fn gantt(schedule: &RecordedSchedule, res: &Resources, max_width: usize) -> String {
+    let makespan: Time = schedule.records.iter().map(|r| r.t).max().unwrap_or(0);
+    let width = (makespan as usize).min(max_width.max(1));
+    let clipped = (makespan as usize) > width;
+
+    // (category, processor, t) -> job symbol.
+    let mut cells: HashMap<(u16, u32, Time), u8> = HashMap::with_capacity(schedule.len());
+    for r in &schedule.records {
+        if r.t as usize <= width {
+            let sym = SYMBOLS[r.job.index() % SYMBOLS.len()];
+            cells.insert((r.category.0, r.processor, r.t), sym);
+        }
+    }
+
+    let mut out = String::new();
+    // Time ruler every 10 columns.
+    out.push_str("              ");
+    for col in 1..=width {
+        out.push(if col % 10 == 0 { '|' } else { ' ' });
+    }
+    out.push('\n');
+    for cat in kdag::Category::all(res.k()) {
+        for proc_id in 0..res.processors(cat) {
+            out.push_str(&format!("{:>6} p{:<4} | ", cat.to_string(), proc_id));
+            for t in 1..=width as Time {
+                out.push(
+                    cells
+                        .get(&(cat.0, proc_id, t))
+                        .map(|&s| s as char)
+                        .unwrap_or('.'),
+                );
+            }
+            if clipped {
+                out.push('…');
+            }
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!(
+        "  makespan {makespan}{}\n",
+        if clipped {
+            format!(" (showing first {width} steps)")
+        } else {
+            String::new()
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::{Category, DagBuilder};
+    use ksim::{simulate, JobSpec, SimConfig};
+
+    fn tiny_outcome() -> (Vec<JobSpec>, Resources, RecordedSchedule) {
+        struct Greedy;
+        impl ksim::Scheduler for Greedy {
+            fn name(&self) -> String {
+                "g".into()
+            }
+            fn allot(
+                &mut self,
+                _t: Time,
+                views: &[ksim::JobView<'_>],
+                res: &Resources,
+                out: &mut ksim::AllotmentMatrix,
+            ) {
+                for cat in Category::all(res.k()) {
+                    let mut left = res.processors(cat);
+                    for (slot, v) in views.iter().enumerate() {
+                        let a = v.desire(cat).min(left);
+                        out.set(slot, cat, a);
+                        left -= a;
+                    }
+                }
+            }
+        }
+        let mk = || {
+            let mut b = DagBuilder::new(2);
+            let a = b.add_task(Category(0));
+            let c = b.add_task(Category(1));
+            b.add_edge(a, c).unwrap();
+            JobSpec::batched(b.build().unwrap())
+        };
+        let jobs = vec![mk(), mk()];
+        let res = Resources::new(vec![2, 1]);
+        let mut cfg = SimConfig::default();
+        cfg.record_schedule = true;
+        let o = simulate(&mut Greedy, &jobs, &res, &cfg);
+        (jobs, res, o.schedule.unwrap())
+    }
+
+    #[test]
+    fn renders_rows_per_processor() {
+        let (_, res, sched) = tiny_outcome();
+        let g = gantt(&sched, &res, 80);
+        // 2 + 1 processors → 3 timeline rows + ruler + footer.
+        assert_eq!(g.lines().count(), 5);
+        assert!(g.contains("α1 p0"));
+        assert!(g.contains("α2 p0"));
+        assert!(g.contains("makespan 3"));
+        // Both job symbols appear.
+        let body: String = g.lines().skip(1).take(3).collect();
+        assert!(body.contains('0') && body.contains('1'), "{g}");
+    }
+
+    #[test]
+    fn clipping_marks_truncation() {
+        let (_, res, sched) = tiny_outcome();
+        let g = gantt(&sched, &res, 2);
+        assert!(g.contains('…'));
+        assert!(g.contains("showing first 2 steps"));
+    }
+
+    #[test]
+    fn empty_schedule_is_fine() {
+        let res = Resources::uniform(1, 1);
+        let g = gantt(&RecordedSchedule::default(), &res, 10);
+        assert!(g.contains("makespan 0"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # kanalysis — competitive-analysis toolkit
+//!
+//! Implements the paper's lower-bound machinery and the reporting
+//! infrastructure the experiments use:
+//!
+//! * [`squashed`] — squashed sums (Definition 4) and squashed α-work
+//!   areas `swa(J, α)` (Definition 5);
+//! * [`bounds`] — the makespan lower bounds of §4, the total-response
+//!   lower bounds of §6, and the right-hand side of Lemma 2;
+//! * [`offline`] — a clairvoyant critical-path-first list scheduler
+//!   whose feasible makespan upper-bounds the optimum, bracketing `T*`
+//!   together with the lower bounds;
+//! * [`stats`] — summary statistics over measured ratio populations;
+//! * [`table`] — plain-text tables (the "figures" of this
+//!   reproduction) with CSV export;
+//! * [`report`] — JSON experiment reports written next to the printed
+//!   tables.
+//!
+//! All bound computations take the *job specs* (DAG + release), which
+//! an offline analyst may inspect — these are yardsticks for measuring
+//! schedulers, not part of any scheduler.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod gantt;
+pub mod offline;
+pub mod report;
+pub mod squashed;
+pub mod stats;
+pub mod svg;
+pub mod table;
+pub mod timeline;
+pub mod verify;

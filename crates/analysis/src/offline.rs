@@ -1,0 +1,252 @@
+//! A clairvoyant offline reference scheduler.
+//!
+//! The optimal clairvoyant makespan `T*` is uncomputable in general, so
+//! the experiments bracket it: the §4 lower bounds give `LB ≤ T*`, and
+//! this module's greedy **critical-path-first list scheduler** gives a
+//! feasible schedule, hence `T* ≤ T_cp`. A measured non-clairvoyant
+//! ratio therefore lies between `T/T_cp` and `T/LB`.
+//!
+//! Unlike every scheduler in `krad`/`kbaselines`, this one is allowed
+//! to see the DAGs: at each step, each category's processors go to the
+//! globally highest-priority ready `α`-tasks, priority = the task's
+//! *height* (longest remaining chain through it), ties broken by job
+//! then task id. This is the natural clairvoyant heuristic the paper's
+//! adversary argument contrasts with ("execute the ready tasks of the
+//! job on the critical path first").
+
+use crate::bounds::makespan_bounds;
+use kdag::{Category, JobId, TaskId};
+use ksim::checker::{ExecRecord, RecordedSchedule};
+use ksim::{JobSpec, Resources, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of the clairvoyant list scheduler.
+#[derive(Clone, Debug)]
+pub struct OfflineOutcome {
+    /// Makespan of the produced (feasible) schedule.
+    pub makespan: Time,
+    /// Completion time per job (job-set order).
+    pub completions: Vec<Time>,
+    /// The full schedule `χ` it produced — feasibility is certified by
+    /// running it through [`ksim::checker::validate`].
+    pub schedule: RecordedSchedule,
+}
+
+impl OfflineOutcome {
+    /// Total response time `Σ (T(Ji) − r(Ji))`.
+    pub fn total_response(&self, jobs: &[JobSpec]) -> u64 {
+        self.completions
+            .iter()
+            .zip(jobs)
+            .map(|(&c, j)| c - j.release)
+            .sum()
+    }
+}
+
+/// Priority-queue key: height first (taller = longer remaining chain),
+/// then smaller job id, then smaller task id.
+type Key = (u32, Reverse<u32>, Reverse<u32>);
+
+/// Run clairvoyant critical-path-first list scheduling and return its
+/// (feasible, hence `≥ T*`-certifying) outcome.
+///
+/// ```
+/// use kanalysis::offline::clairvoyant_cp;
+/// use kdag::generators::fig1_example;
+/// use ksim::{JobSpec, Resources};
+/// let jobs = vec![JobSpec::batched(fig1_example())];
+/// let res = Resources::new(vec![2, 2, 1]);
+/// assert_eq!(clairvoyant_cp(&jobs, &res).makespan, 5); // = T∞
+/// ```
+///
+/// # Panics
+/// Panics if any job's `K` differs from the machine's.
+pub fn clairvoyant_cp(jobs: &[JobSpec], res: &Resources) -> OfflineOutcome {
+    let k = res.k();
+    for j in jobs {
+        assert_eq!(j.dag.k(), k, "job/machine K mismatch");
+    }
+
+    let mut remaining_preds: Vec<Vec<u32>> = jobs.iter().map(|j| j.dag.pred_counts()).collect();
+    let mut remaining_tasks: Vec<usize> = jobs.iter().map(|j| j.dag.len()).collect();
+    let mut completions: Vec<Time> = vec![0; jobs.len()];
+    let mut ready: Vec<BinaryHeap<Key>> = (0..k).map(|_| BinaryHeap::new()).collect();
+
+    // Arrival order.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (jobs[i].release, i));
+    let mut next = 0usize;
+
+    let push_sources = |i: usize, ready: &mut Vec<BinaryHeap<Key>>| {
+        let dag = &jobs[i].dag;
+        for t in dag.sources() {
+            ready[dag.category(t).index()].push((dag.height(t), Reverse(i as u32), Reverse(t.0)));
+        }
+    };
+
+    let mut done = 0usize;
+    let mut t: Time = 0;
+    let mut unlocked: Vec<(usize, TaskId)> = Vec::new();
+    let mut schedule = RecordedSchedule::default();
+    while done < jobs.len() {
+        // Fast-forward to the next arrival when nothing is ready.
+        if ready.iter().all(|h| h.is_empty()) {
+            let r = jobs[order[next]].release;
+            if r > t {
+                t = r;
+            }
+        }
+        t += 1;
+        while next < order.len() && jobs[order[next]].release < t {
+            push_sources(order[next], &mut ready);
+            next += 1;
+        }
+
+        // Execute up to Pα tallest ready tasks per category.
+        unlocked.clear();
+        for cat in Category::all(k) {
+            for proc_id in 0..res.processors(cat) {
+                let Some((_, Reverse(job), Reverse(task))) = ready[cat.index()].pop() else {
+                    break;
+                };
+                unlocked.push((job as usize, TaskId(task)));
+                schedule.records.push(ExecRecord {
+                    job: JobId(job),
+                    task: TaskId(task),
+                    t,
+                    category: cat,
+                    processor: proc_id,
+                });
+            }
+        }
+        // Unit-time semantics: successors become ready next step.
+        for &(i, task) in &unlocked {
+            let dag = &jobs[i].dag;
+            for &s in dag.successors(task) {
+                let rp = &mut remaining_preds[i][s.index()];
+                *rp -= 1;
+                if *rp == 0 {
+                    ready[dag.category(s).index()].push((
+                        dag.height(s),
+                        Reverse(i as u32),
+                        Reverse(s.0),
+                    ));
+                }
+            }
+            remaining_tasks[i] -= 1;
+            if remaining_tasks[i] == 0 {
+                completions[i] = t;
+                done += 1;
+            }
+        }
+    }
+
+    OfflineOutcome {
+        makespan: t,
+        completions,
+        schedule,
+    }
+}
+
+/// Convenience: the clairvoyant makespan together with the §4 lower
+/// bound, bracketing the unknown optimum `LB ≤ T* ≤ T_cp`.
+pub fn optimum_bracket(jobs: &[JobSpec], res: &Resources) -> (f64, u64) {
+    (
+        makespan_bounds(jobs, res).lower_bound(),
+        clairvoyant_cp(jobs, res).makespan,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::generators::{chain, fig1_example, fork_join};
+    use kdag::Category;
+
+    #[test]
+    fn single_chain_is_exact() {
+        let jobs = vec![JobSpec::batched(chain(1, 7, &[Category(0)]))];
+        let res = Resources::uniform(1, 4);
+        let o = clairvoyant_cp(&jobs, &res);
+        assert_eq!(o.makespan, 7);
+        assert_eq!(o.completions, vec![7]);
+    }
+
+    #[test]
+    fn fig1_on_ample_machine_is_span_limited() {
+        let jobs = vec![JobSpec::batched(fig1_example())];
+        let res = Resources::new(vec![2, 2, 1]);
+        assert_eq!(clairvoyant_cp(&jobs, &res).makespan, 5);
+    }
+
+    #[test]
+    fn saturated_flat_jobs_are_work_limited() {
+        let flat = |n: usize| {
+            let mut b = kdag::DagBuilder::new(1);
+            b.add_tasks(Category(0), n);
+            JobSpec::batched(b.build().unwrap())
+        };
+        let jobs = vec![flat(10), flat(6)];
+        let res = Resources::uniform(1, 4);
+        assert_eq!(clairvoyant_cp(&jobs, &res).makespan, 4);
+    }
+
+    #[test]
+    fn releases_are_respected_and_idle_skipped() {
+        let jobs = vec![JobSpec::released(chain(1, 3, &[Category(0)]), 100)];
+        let res = Resources::uniform(1, 1);
+        let o = clairvoyant_cp(&jobs, &res);
+        assert_eq!(o.makespan, 103);
+        assert_eq!(o.total_response(&jobs), 3);
+    }
+
+    #[test]
+    fn offline_schedule_is_formally_valid() {
+        let jobs = vec![
+            JobSpec::batched(fork_join(2, &[(Category(0), 5), (Category(1), 3)])),
+            JobSpec::released(chain(2, 4, &[Category(0), Category(1)]), 2),
+        ];
+        let res = Resources::new(vec![2, 2]);
+        let o = clairvoyant_cp(&jobs, &res);
+        let total: usize = jobs.iter().map(|j| j.dag.len()).sum();
+        assert_eq!(o.schedule.len(), total);
+        ksim::checker::validate(&o.schedule, &jobs, &res)
+            .expect("clairvoyant schedules must be feasible");
+    }
+
+    #[test]
+    fn bracket_is_consistent() {
+        let jobs = vec![
+            JobSpec::batched(fork_join(2, &[(Category(0), 6), (Category(1), 3)])),
+            JobSpec::batched(chain(2, 5, &[Category(1)])),
+        ];
+        let res = Resources::new(vec![2, 2]);
+        let (lb, t_cp) = optimum_bracket(&jobs, &res);
+        assert!(
+            lb <= t_cp as f64 + 1e-9,
+            "LB {lb} must not exceed T_cp {t_cp}"
+        );
+    }
+
+    #[test]
+    fn clairvoyant_defeats_the_adversarial_instance() {
+        // On the Figure 3 instance, critical-path-first list scheduling
+        // must achieve (nearly) the analytic optimum.
+        let inst = kdag::generators::adversarial_instance(&[2, 4], 8);
+        let jobs: Vec<JobSpec> = inst
+            .jobs
+            .iter()
+            .map(|d| JobSpec::batched(d.clone()))
+            .collect();
+        let res = Resources::new(vec![2, 4]);
+        let o = clairvoyant_cp(&jobs, &res);
+        // Within a small additive constant of T* = K + m*PK − 1.
+        assert!(
+            o.makespan <= inst.optimal_makespan + 2,
+            "clairvoyant {} vs optimal {}",
+            o.makespan,
+            inst.optimal_makespan
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Machine-readable experiment reports.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A complete experiment result: identity, parameters, the rendered
+/// table, and pass/fail style conclusions. Serialized as JSON next to
+/// the printed/CSV table so EXPERIMENTS.md can reference exact numbers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id from DESIGN.md (e.g. "T1", "F1").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper claims (bound/figure being reproduced).
+    pub paper_claim: String,
+    /// Free-form parameters (sweeps, seeds, machine shapes).
+    pub params: serde_json::Value,
+    /// The result table.
+    pub table: Table,
+    /// Conclusions, e.g. "max ratio 2.31 ≤ bound 2.75".
+    pub conclusions: Vec<String>,
+    /// `true` if every checked bound held.
+    pub passed: bool,
+    /// Extra artifacts `(filename, contents)` written alongside the
+    /// JSON/CSV — e.g. SVG figures. The filename is relative to the
+    /// results directory.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub extra_files: Vec<(String, String)>,
+}
+
+impl ExperimentReport {
+    /// Write `<dir>/<id>.json` and `<dir>/<id>.csv`, creating `dir` if
+    /// needed. Returns the JSON path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let json_path = dir.join(format!("{}.json", self.id));
+        // The JSON stays artifact-free: extra files land on disk, not
+        // inside the report.
+        let mut slim = self.clone();
+        slim.extra_files.clear();
+        fs::write(
+            &json_path,
+            serde_json::to_string_pretty(&slim).expect("report serializes"),
+        )?;
+        fs::write(dir.join(format!("{}.csv", self.id)), self.table.to_csv())?;
+        for (name, contents) in &self.extra_files {
+            fs::write(dir.join(name), contents)?;
+        }
+        Ok(json_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_and_writes() {
+        let mut table = Table::new("demo", &["x"]);
+        table.row(&["1"]);
+        let r = ExperimentReport {
+            id: "T0".into(),
+            title: "demo".into(),
+            paper_claim: "nothing".into(),
+            params: serde_json::json!({"k": 2}),
+            table,
+            conclusions: vec!["ok".into()],
+            passed: true,
+            extra_files: vec![("T0.extra.txt".into(), "hello".into())],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, "T0");
+        assert!(back.passed);
+
+        let dir = std::env::temp_dir().join("krad-report-test");
+        let p = r.write_to(&dir).unwrap();
+        assert!(p.exists());
+        assert!(dir.join("T0.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,102 @@
+//! Squashed sums and squashed work areas (Definitions 4 and 5).
+
+use kdag::Category;
+use ksim::JobSpec;
+
+/// The squashed sum of a list of nonnegative numbers (Definition 4):
+/// sort ascending as `a_f(1) ≤ … ≤ a_f(m)` and compute
+/// `Σ_i (m − i + 1) · a_f(i)`.
+///
+/// Equivalently (Equation 4) this is the *minimum* over all
+/// permutations `g` of `Σ_i (m − i + 1) · a_g(i)` — the ascending order
+/// puts the largest weights on the smallest values.
+///
+/// ```
+/// use kanalysis::squashed::squashed_sum;
+/// // Sorted (1,2,3) with weights (3,2,1): 3 + 4 + 3.
+/// assert_eq!(squashed_sum(&[3, 1, 2]), 10);
+/// ```
+pub fn squashed_sum(values: &[u64]) -> u64 {
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    let m = v.len() as u64;
+    v.iter().enumerate().map(|(i, &a)| (m - i as u64) * a).sum()
+}
+
+/// The squashed α-work area of a job set (Definition 5):
+/// `swa(J, α) = sq-sum(⟨T1(Ji, α)⟩) / Pα`.
+pub fn squashed_work_area(jobs: &[JobSpec], cat: Category, p_alpha: u32) -> f64 {
+    let works: Vec<u64> = jobs.iter().map(|j| j.dag.work(cat)).collect();
+    squashed_sum(&works) as f64 / f64::from(p_alpha)
+}
+
+/// The aggregate span of a job set (Definition 5):
+/// `T∞(J) = Σ_Ji T∞(Ji)`.
+pub fn aggregate_span(jobs: &[JobSpec]) -> u64 {
+    jobs.iter().map(|j| j.dag.span()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::{generators::chain, Category};
+    use proptest::prelude::*;
+
+    #[test]
+    fn squashed_sum_by_hand() {
+        // Sorted: 1, 2, 3 with weights 3, 2, 1 → 3 + 4 + 3 = 10.
+        assert_eq!(squashed_sum(&[3, 1, 2]), 10);
+        assert_eq!(squashed_sum(&[]), 0);
+        assert_eq!(squashed_sum(&[5]), 5);
+    }
+
+    #[test]
+    fn swa_and_aggregate_span() {
+        let jobs: Vec<JobSpec> = (1..=3)
+            .map(|i| JobSpec::batched(chain(1, i * 2, &[Category(0)])))
+            .collect();
+        // Works 2, 4, 6: sq-sum = 3*2 + 2*4 + 1*6 = 20; P = 4.
+        assert!((squashed_work_area(&jobs, Category(0), 4) - 5.0).abs() < 1e-12);
+        assert_eq!(aggregate_span(&jobs), 12);
+    }
+
+    proptest! {
+        /// Equation (4): the ascending permutation minimizes the
+        /// weighted sum — check against random permutations.
+        #[test]
+        fn squashed_sum_is_minimal_over_permutations(
+            mut values in proptest::collection::vec(0u64..1000, 1..12),
+            seed in 0u64..1000,
+        ) {
+            let sq = squashed_sum(&values);
+            // A deterministic pseudo-random shuffle.
+            let mut s = seed;
+            for i in (1..values.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (i + 1);
+                values.swap(i, j);
+            }
+            let m = values.len() as u64;
+            let permuted: u64 = values
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| (m - i as u64) * a)
+                .sum();
+            prop_assert!(sq <= permuted);
+        }
+
+        /// Squashed sum is monotone: increasing any element never
+        /// decreases it.
+        #[test]
+        fn squashed_sum_monotone(
+            values in proptest::collection::vec(0u64..1000, 1..12),
+            idx in 0usize..12,
+            bump in 1u64..100,
+        ) {
+            let idx = idx % values.len();
+            let mut bigger = values.clone();
+            bigger[idx] += bump;
+            prop_assert!(squashed_sum(&bigger) >= squashed_sum(&values));
+        }
+    }
+}

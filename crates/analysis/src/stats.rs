@@ -1,0 +1,93 @@
+//! Summary statistics over measured populations.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a population of measurements (e.g. competitive ratios
+/// across seeds).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarize a slice of samples.
+    ///
+    /// # Panics
+    /// Panics on an empty slice — an experiment that measured nothing
+    /// is a harness bug.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        Summary {
+            n,
+            mean,
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// The `q`-th percentile (0 ≤ q ≤ 100) by linear interpolation between
+/// closest ranks.
+///
+/// # Panics
+/// Panics on an empty slice or `q` outside `[0, 100]`.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!(
+        !samples.is_empty(),
+        "cannot take percentile of zero samples"
+    );
+    assert!((0.0..=100.0).contains(&q), "percentile must be in [0, 100]");
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in measurements"));
+    let rank = q / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = rank - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_by_hand() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert!((percentile(&v, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_summary_panics() {
+        Summary::of(&[]);
+    }
+}

@@ -1,0 +1,382 @@
+//! Dependency-free SVG rendering: line charts and Gantt charts.
+//!
+//! The experiments write these next to the CSV/JSON artifacts so the
+//! repository regenerates literal *figures*, not only tables — e.g.
+//! `results/T1_convergence.svg` is the Figure 3 ratio-convergence plot.
+
+use ksim::checker::RecordedSchedule;
+use ksim::Resources;
+use std::fmt::Write as _;
+
+/// One polyline of a [`LineChart`].
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points (drawn in the given order).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A simple line chart with optional horizontal reference lines.
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The data series.
+    pub series: Vec<Series>,
+    /// Dashed horizontal reference lines `(y, label)` — used for the
+    /// theoretical bounds.
+    pub reference_lines: Vec<(f64, String)>,
+    /// Use a log₂ x-axis (natural for the `m` doubling sweeps).
+    pub log2_x: bool,
+}
+
+/// Categorical colors for series (cycled).
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+const W: f64 = 640.0;
+const H: f64 = 400.0;
+const ML: f64 = 64.0; // margins
+const MR: f64 = 160.0;
+const MT: f64 = 40.0;
+const MB: f64 = 48.0;
+
+impl LineChart {
+    /// Render to an SVG document string.
+    ///
+    /// # Panics
+    /// Panics if there are no points at all.
+    pub fn render(&self) -> String {
+        let xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| self.xt(p.0)))
+            .collect();
+        assert!(!xs.is_empty(), "chart needs at least one point");
+        let ys: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .chain(self.reference_lines.iter().map(|r| r.0))
+            .collect();
+        let (x_min, x_max) = bounds_of(&xs);
+        let (mut y_min, mut y_max) = bounds_of(&ys);
+        // Pad the y range slightly so lines are not clipped.
+        let pad = ((y_max - y_min) * 0.08).max(1e-9);
+        y_min -= pad;
+        y_max += pad;
+
+        let px = |x: f64| ML + (x - x_min) / (x_max - x_min).max(1e-12) * (W - ML - MR);
+        let py = |y: f64| H - MB - (y - y_min) / (y_max - y_min).max(1e-12) * (H - MT - MB);
+
+        let mut s = String::new();
+        writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+        )
+        .unwrap();
+        writeln!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#).unwrap();
+        writeln!(
+            s,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            escape(&self.title)
+        )
+        .unwrap();
+
+        // Axes.
+        writeln!(
+            s,
+            r#"<line x1="{ML}" y1="{0}" x2="{1}" y2="{0}" stroke="black"/>"#,
+            H - MB,
+            W - MR
+        )
+        .unwrap();
+        writeln!(
+            s,
+            r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+            H - MB
+        )
+        .unwrap();
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let fx = x_min + (x_max - x_min) * f64::from(i) / 4.0;
+            let fy = y_min + (y_max - y_min) * f64::from(i) / 4.0;
+            let label_x = if self.log2_x { 2f64.powf(fx) } else { fx };
+            writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+                px(fx),
+                H - MB + 16.0,
+                trim_num(label_x)
+            )
+            .unwrap();
+            writeln!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+                ML - 6.0,
+                py(fy) + 4.0,
+                trim_num(fy)
+            )
+            .unwrap();
+        }
+        writeln!(
+            s,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            H - 8.0,
+            escape(&self.x_label)
+        )
+        .unwrap();
+        writeln!(
+            s,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {0})">{1}</text>"#,
+            (MT + H - MB) / 2.0,
+            escape(&self.y_label)
+        )
+        .unwrap();
+
+        // Reference lines.
+        for (y, label) in &self.reference_lines {
+            writeln!(
+                s,
+                r##"<line x1="{ML}" y1="{0:.1}" x2="{1}" y2="{0:.1}" stroke="#888" stroke-dasharray="6,4"/>"##,
+                py(*y),
+                W - MR
+            )
+            .unwrap();
+            writeln!(
+                s,
+                r##"<text x="{:.1}" y="{:.1}" fill="#555">{}</text>"##,
+                W - MR + 4.0,
+                py(*y) + 4.0,
+                escape(label)
+            )
+            .unwrap();
+        }
+
+        // Series.
+        for (i, series) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let pts: Vec<String> = series
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(self.xt(x)), py(y)))
+                .collect();
+            writeln!(
+                s,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                pts.join(" ")
+            )
+            .unwrap();
+            for &(x, y) in &series.points {
+                writeln!(
+                    s,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    px(self.xt(x)),
+                    py(y)
+                )
+                .unwrap();
+            }
+            // Legend entry.
+            let ly = MT + 16.0 * i as f64;
+            writeln!(
+                s,
+                r#"<line x1="{0}" y1="{ly:.1}" x2="{1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+                W - MR + 4.0,
+                W - MR + 24.0
+            )
+            .unwrap();
+            writeln!(
+                s,
+                r#"<text x="{:.1}" y="{ly:.1}" dy="4">{}</text>"#,
+                W - MR + 28.0,
+                escape(&series.label)
+            )
+            .unwrap();
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+
+    fn xt(&self, x: f64) -> f64 {
+        if self.log2_x {
+            x.max(f64::MIN_POSITIVE).log2()
+        } else {
+            x
+        }
+    }
+}
+
+fn bounds_of(v: &[f64]) -> (f64, f64) {
+    let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < 1e-12 {
+        (min - 0.5, max + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+fn trim_num(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Render a recorded schedule as an SVG Gantt chart: one row per
+/// (category, processor), rectangles colored by job.
+pub fn gantt_svg(schedule: &RecordedSchedule, res: &Resources) -> String {
+    let makespan = schedule.records.iter().map(|r| r.t).max().unwrap_or(1);
+    let rows: u32 = res.as_slice().iter().sum();
+    let row_h = 18.0;
+    let label_w = 70.0;
+    let width = 900.0;
+    let height = row_h * rows as f64 + 40.0;
+    let cell_w = (width - label_w - 10.0) / makespan as f64;
+
+    // Row index of (category, processor).
+    let mut row_base = vec![0u32; res.k()];
+    for c in 1..res.k() {
+        row_base[c] = row_base[c - 1] + res.as_slice()[c - 1];
+    }
+
+    let mut s = String::new();
+    writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" font-family="sans-serif" font-size="10">"#
+    )
+    .unwrap();
+    writeln!(
+        s,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    )
+    .unwrap();
+    for cat in kdag::Category::all(res.k()) {
+        for p in 0..res.processors(cat) {
+            let row = row_base[cat.index()] + p;
+            let y = 20.0 + row_h * f64::from(row);
+            writeln!(
+                s,
+                r#"<text x="4" y="{:.1}">{} p{}</text>"#,
+                y + row_h - 6.0,
+                cat,
+                p
+            )
+            .unwrap();
+        }
+    }
+    for r in &schedule.records {
+        let row = row_base[r.category.index()] + r.processor;
+        let x = label_w + cell_w * (r.t - 1) as f64;
+        let y = 20.0 + row_h * f64::from(row);
+        let color = COLORS[r.job.index() % COLORS.len()];
+        writeln!(
+            s,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{:.2}" height="{:.1}" fill="{color}" stroke="white" stroke-width="0.5"><title>{} {} t={}</title></rect>"#,
+            cell_w.max(0.5),
+            row_h - 2.0,
+            r.job,
+            r.task,
+            r.t
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        r#"<text x="{label_w}" y="14">steps 1..{makespan}; colors = jobs</text>"#
+    )
+    .unwrap();
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::{Category, JobId, TaskId};
+    use ksim::checker::ExecRecord;
+
+    fn chart() -> LineChart {
+        LineChart {
+            title: "demo".into(),
+            x_label: "m".into(),
+            y_label: "ratio".into(),
+            series: vec![Series {
+                label: "K=2".into(),
+                points: vec![(1.0, 2.2), (4.0, 2.6), (16.0, 2.7)],
+            }],
+            reference_lines: vec![(2.75, "bound".into())],
+            log2_x: true,
+        }
+    }
+
+    #[test]
+    fn line_chart_structure() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("stroke-dasharray"), "reference line drawn");
+        assert!(svg.contains("K=2"));
+        assert!(svg.contains("bound"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn log_axis_labels_are_in_data_space() {
+        let svg = chart().render();
+        // With log2_x the tick labels are powers, so "16" must appear.
+        assert!(svg.contains(">16<"), "{svg}");
+    }
+
+    #[test]
+    fn escaping_works() {
+        let mut c = chart();
+        c.title = "a < b & c".into();
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn gantt_svg_structure() {
+        let res = Resources::new(vec![2, 1]);
+        let schedule = RecordedSchedule {
+            records: vec![
+                ExecRecord {
+                    job: JobId(0),
+                    task: TaskId(0),
+                    t: 1,
+                    category: Category(0),
+                    processor: 0,
+                },
+                ExecRecord {
+                    job: JobId(1),
+                    task: TaskId(0),
+                    t: 2,
+                    category: Category(1),
+                    processor: 0,
+                },
+            ],
+        };
+        let svg = gantt_svg(&schedule, &res);
+        assert!(svg.contains("α1 p0"));
+        assert!(svg.contains("α2 p0"));
+        assert_eq!(svg.matches("<rect x=").count(), 2);
+        assert!(svg.contains("steps 1..2"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Plain-text tables — the "figures" this reproduction prints.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple column-aligned table with a title and optional footnotes.
+///
+/// ```
+/// use kanalysis::table::Table;
+/// let mut t = Table::new("demo", &["K", "ratio", "bound"]);
+/// t.row(&["2", "2.31", "2.75"]);
+/// let s = t.render();
+/// assert!(s.contains("ratio"));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (printed above the header).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row must have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row of cells.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Append a row of owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_string());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut s = String::new();
+        s.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        s.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        s.push_str(&"-".repeat(total));
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&fmt_row(row, &widths));
+        }
+        for note in &self.notes {
+            s.push_str(&format!("  * {note}\n"));
+        }
+        s
+    }
+
+    /// Render as a GitHub-flavored markdown table (notes become a
+    /// trailing bullet list).
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("**{}**\n\n", self.title));
+        s.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        s.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            s.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        if !self.notes.is_empty() {
+            s.push('\n');
+            for note in &self.notes {
+                s.push_str(&format!("- {note}\n"));
+            }
+        }
+        s
+    }
+
+    /// Render as CSV (headers + rows; notes become `# comments`).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut s = String::new();
+        for note in &self.notes {
+            s.push_str(&format!("# {note}\n"));
+        }
+        s.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a float with 3 decimal places (the tables' standard).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t", &["name", "v"]);
+        t.row(&["a", "1"]);
+        t.row(&["long-name", "22"]);
+        t.note("a note");
+        let r = t.render();
+        assert!(r.contains("== t =="));
+        assert!(r.contains("long-name"));
+        assert!(r.contains("* a note"));
+        // Right-aligned: the short name is padded.
+        assert!(r.contains("        a"));
+    }
+
+    #[test]
+    fn markdown_renders() {
+        let mut t = Table::new("md", &["a", "b"]);
+        t.row(&["1", "2"]);
+        t.note("note");
+        let md = t.to_markdown();
+        assert!(md.contains("**md**"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("- note"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["x,y", "q\"q"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"q\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

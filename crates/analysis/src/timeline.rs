@@ -1,0 +1,130 @@
+//! Utilization timelines and ASCII sparklines from step traces.
+
+use ksim::{Resources, StepTrace};
+
+/// Per-category utilization fractions aggregated over fixed-size
+/// windows of the (busy) trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UtilizationTimeline {
+    /// Window size in steps.
+    pub window: usize,
+    /// `series[α][w]` = mean executed/Pα over window `w`.
+    pub series: Vec<Vec<f64>>,
+}
+
+/// Build a utilization timeline from a recorded trace, one series per
+/// category, windowed to at most `max_points` points.
+pub fn utilization_timeline(
+    trace: &[StepTrace],
+    res: &Resources,
+    max_points: usize,
+) -> UtilizationTimeline {
+    assert!(max_points >= 1);
+    let k = res.k();
+    let window = trace.len().div_ceil(max_points).max(1);
+    let points = trace.len().div_ceil(window);
+    let mut series = vec![vec![0.0f64; points]; k];
+    for (i, step) in trace.iter().enumerate() {
+        let w = i / window;
+        for (cat, &e) in step.executed.iter().enumerate() {
+            series[cat][w] += f64::from(e);
+        }
+    }
+    for (cat, s) in series.iter_mut().enumerate() {
+        let p = f64::from(res.as_slice()[cat]);
+        for (w, v) in s.iter_mut().enumerate() {
+            let steps_in_window = window.min(trace.len() - w * window) as f64;
+            *v /= p * steps_in_window;
+        }
+    }
+    UtilizationTimeline { window, series }
+}
+
+/// Render a `0..=1` series as a one-line Unicode sparkline.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let clamped = v.clamp(0.0, 1.0);
+            let idx = ((clamped * 7.0).round() as usize).min(7);
+            BARS[idx]
+        })
+        .collect()
+}
+
+/// Convenience: render the whole timeline with category labels.
+pub fn render_timeline(tl: &UtilizationTimeline) -> String {
+    let mut out = String::new();
+    for (cat, s) in tl.series.iter().enumerate() {
+        out.push_str(&format!(
+            "α{} [{}] (window {} steps)\n",
+            cat + 1,
+            sparkline(s),
+            tl.window
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::Time;
+
+    fn step(t: Time, executed: Vec<u32>) -> StepTrace {
+        StepTrace {
+            t,
+            active_jobs: 1,
+            allotted: executed.clone(),
+            executed,
+        }
+    }
+
+    #[test]
+    fn timeline_windows_and_normalizes() {
+        let res = Resources::new(vec![4]);
+        // 4 steps: utilizations 1.0, 0.5, 0.0, 1.0 — window 2.
+        let trace = vec![
+            step(1, vec![4]),
+            step(2, vec![2]),
+            step(3, vec![0]),
+            step(4, vec![4]),
+        ];
+        let tl = utilization_timeline(&trace, &res, 2);
+        assert_eq!(tl.window, 2);
+        assert_eq!(tl.series.len(), 1);
+        assert!((tl.series[0][0] - 0.75).abs() < 1e-12);
+        assert!((tl.series[0][1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_final_window_is_averaged_correctly() {
+        let res = Resources::new(vec![2]);
+        let trace = vec![step(1, vec![2]), step(2, vec![2]), step(3, vec![1])];
+        let tl = utilization_timeline(&trace, &res, 2);
+        // Windows: [1,2] → 1.0; [3] → 0.5.
+        assert!((tl.series[0][0] - 1.0).abs() < 1e-12);
+        assert!((tl.series[0][1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0, 0.5]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn render_labels_categories() {
+        let tl = UtilizationTimeline {
+            window: 5,
+            series: vec![vec![1.0], vec![0.0]],
+        };
+        let r = render_timeline(&tl);
+        assert!(r.contains("α1 [█]"));
+        assert!(r.contains("α2 [▁]"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Structured theorem checks over simulation outcomes.
+//!
+//! The experiments and integration tests all ask the same questions —
+//! "does Lemma 2 hold on this run?", "is the ratio within Theorem 3's
+//! bound?" — so this module turns each of the paper's guarantees into a
+//! reusable [`Check`]. A check compares a measured left-hand side with
+//! a computed right-hand side and carries enough context to print a
+//! useful verdict.
+
+use crate::bounds::{lemma2_rhs, makespan_bounds, response_bounds, theorem5_rhs};
+use ksim::{JobSpec, Resources, SimOutcome};
+use std::fmt;
+
+/// The outcome of checking one guarantee on one run.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// Which guarantee was checked (e.g. "Lemma 2").
+    pub name: &'static str,
+    /// `lhs ≤ rhs` is the claim; `holds` is the verdict (with a 1e-9
+    /// float tolerance).
+    pub holds: bool,
+    /// Measured quantity.
+    pub lhs: f64,
+    /// Bound it must not exceed.
+    pub rhs: f64,
+    /// Human-readable context (what lhs/rhs are).
+    pub detail: String,
+}
+
+impl Check {
+    fn new(name: &'static str, lhs: f64, rhs: f64, detail: String) -> Check {
+        Check {
+            name,
+            holds: lhs <= rhs + 1e-9,
+            lhs,
+            rhs,
+            detail,
+        }
+    }
+
+    /// Fraction of the bound consumed (`lhs / rhs`).
+    pub fn tightness(&self) -> f64 {
+        self.lhs / self.rhs
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({:.3} vs {:.3}; {})",
+            self.name,
+            if self.holds { "HOLDS" } else { "VIOLATED" },
+            self.lhs,
+            self.rhs,
+            self.detail
+        )
+    }
+}
+
+/// Lemma 2: `T(J) ≤ Σα T1(α)/Pα + (1 − 1/Pmax)·max(T∞ + r)`, valid
+/// when the schedule had no idle intervals.
+///
+/// # Panics
+/// Panics if the outcome contains idle steps (the lemma's hypothesis).
+pub fn check_lemma2(outcome: &SimOutcome, jobs: &[JobSpec], res: &Resources) -> Check {
+    assert_eq!(
+        outcome.idle_steps, 0,
+        "Lemma 2 requires a schedule without idle intervals"
+    );
+    Check::new(
+        "Lemma 2",
+        outcome.makespan as f64,
+        lemma2_rhs(jobs, res),
+        "makespan vs structural RHS".into(),
+    )
+}
+
+/// Theorem 3 (via the §4 lower bound): `T ≤ (K+1−1/Pmax) · LB ≤
+/// (K+1−1/Pmax) · T*`.
+pub fn check_theorem3(outcome: &SimOutcome, jobs: &[JobSpec], res: &Resources) -> Check {
+    let lb = makespan_bounds(jobs, res).lower_bound();
+    let factor = res.k() as f64 + 1.0 - 1.0 / f64::from(res.p_max());
+    Check::new(
+        "Theorem 3",
+        outcome.makespan as f64,
+        factor * lb,
+        format!("makespan vs (K+1−1/Pmax)·LB, LB = {lb:.2}"),
+    )
+}
+
+/// Theorem 5's direct Inequality (5), valid for batched runs under
+/// light workload (`|J(α,t)| ≤ Pα` throughout — guaranteed when
+/// `|J| ≤ minα Pα`).
+pub fn check_inequality5(outcome: &SimOutcome, jobs: &[JobSpec], res: &Resources) -> Check {
+    Check::new(
+        "Inequality (5)",
+        outcome.total_response() as f64,
+        theorem5_rhs(jobs, res),
+        "total response vs (2−2/(n+1))·Σ swa + T∞agg".into(),
+    )
+}
+
+/// Theorem 6 (via the §6 lower bound): total response within
+/// `(4K+1−4K/(n+1)) · LB` for batched sets.
+pub fn check_theorem6(outcome: &SimOutcome, jobs: &[JobSpec], res: &Resources) -> Check {
+    let lb = response_bounds(jobs, res).lower_bound();
+    let n = jobs.len() as f64;
+    let k = res.k() as f64;
+    let factor = 4.0 * k + 1.0 - 4.0 * k / (n + 1.0);
+    Check::new(
+        "Theorem 6",
+        outcome.total_response() as f64,
+        factor * lb,
+        format!("total response vs (4K+1−4K/(n+1))·LB, LB = {lb:.2}"),
+    )
+}
+
+/// All guarantees applicable to a batched run (Lemma 2, Theorem 3,
+/// Theorem 6 — plus Inequality (5) when the light-load hypothesis
+/// holds).
+pub fn check_batched(outcome: &SimOutcome, jobs: &[JobSpec], res: &Resources) -> Vec<Check> {
+    let mut checks = vec![
+        check_lemma2(outcome, jobs, res),
+        check_theorem3(outcome, jobs, res),
+        check_theorem6(outcome, jobs, res),
+    ];
+    if jobs.len() as u32 <= res.as_slice().iter().copied().min().unwrap_or(0) {
+        checks.push(check_inequality5(outcome, jobs, res));
+    }
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::generators::{chain, fork_join};
+    use kdag::Category;
+    use krad::KRad;
+    use ksim::{simulate, SimConfig};
+
+    fn batched_run() -> (Vec<JobSpec>, Resources, SimOutcome) {
+        let jobs = vec![
+            JobSpec::batched(fork_join(2, &[(Category(0), 5), (Category(1), 3)])),
+            JobSpec::batched(chain(2, 6, &[Category(0), Category(1)])),
+        ];
+        let res = Resources::new(vec![3, 2]);
+        let mut sched = KRad::new(2);
+        let o = simulate(&mut sched, &jobs, &res, &SimConfig::default());
+        (jobs, res, o)
+    }
+
+    #[test]
+    fn krad_passes_every_batched_check() {
+        let (jobs, res, o) = batched_run();
+        for check in check_batched(&o, &jobs, &res) {
+            assert!(check.holds, "{check}");
+            assert!(check.tightness() <= 1.0 + 1e-9);
+        }
+        // Light-load hypothesis holds here (2 jobs ≤ min Pα = 2), so
+        // Inequality (5) must be among the checks.
+        assert_eq!(check_batched(&o, &jobs, &res).len(), 4);
+    }
+
+    #[test]
+    fn theorem3_check_catches_bad_schedulers() {
+        // RR-only on a lone wide job dilates past the K-RAD bound —
+        // the check must flag it.
+        let phases: Vec<(Category, u32)> = (0..10).map(|_| (Category(0), 8)).collect();
+        let jobs = vec![JobSpec::batched(fork_join(1, &phases))];
+        let res = Resources::uniform(1, 8);
+        let mut rr = kbaselines::RoundRobinOnly::new();
+        let o = simulate(&mut rr, &jobs, &res, &SimConfig::default());
+        let check = check_theorem3(&o, &jobs, &res);
+        assert!(!check.holds, "RR-only should violate the K-RAD bound");
+        assert!(check.to_string().contains("VIOLATED"));
+    }
+
+    #[test]
+    #[should_panic(expected = "idle intervals")]
+    fn lemma2_rejects_idle_runs() {
+        let jobs = vec![JobSpec::released(chain(1, 2, &[Category(0)]), 50)];
+        let res = Resources::uniform(1, 1);
+        let mut sched = KRad::new(1);
+        let o = simulate(&mut sched, &jobs, &res, &SimConfig::default());
+        check_lemma2(&o, &jobs, &res);
+    }
+
+    #[test]
+    fn display_formats_verdicts() {
+        let (jobs, res, o) = batched_run();
+        let c = check_theorem3(&o, &jobs, &res);
+        let text = c.to_string();
+        assert!(text.contains("Theorem 3: HOLDS"));
+        assert!(text.contains("LB ="));
+    }
+}

@@ -1,0 +1,114 @@
+//! DEQ at every load level — the "no round-robin" ablation.
+
+use kdag::Category;
+use krad::deq::deq_allot_into;
+use ksim::{AllotmentMatrix, JobView, Resources, Scheduler, Time};
+
+/// Pure DEQ: the paper's dynamic equi-partitioning applied at *every*
+/// step, even when there are more α-active jobs than `α`-processors.
+///
+/// This is the RAD ablation that motivates the round-robin cycle: when
+/// `|J(α,t)| > Pα`, the fair share drops below one processor and DEQ's
+/// discrete shares degenerate to 0/1. `DeqOnly` is deliberately
+/// deterministic (no remainder rotation, unlike RAD's internal DEQ), so
+/// the same first jobs get the 1s every step and later jobs starve
+/// until the early ones finish — exhibiting the unbounded response-time
+/// unfairness RAD's marked cycles repair.
+#[derive(Clone, Debug, Default)]
+pub struct DeqOnly {
+    desires: Vec<u32>,
+    allot_buf: Vec<u32>,
+}
+
+impl DeqOnly {
+    /// Create a DEQ-only scheduler.
+    pub fn new() -> Self {
+        DeqOnly::default()
+    }
+}
+
+impl Scheduler for DeqOnly {
+    fn name(&self) -> String {
+        "deq-only".into()
+    }
+
+    fn allot(
+        &mut self,
+        _t: Time,
+        views: &[JobView<'_>],
+        res: &Resources,
+        out: &mut AllotmentMatrix,
+    ) {
+        for cat in Category::all(res.k()) {
+            let active: Vec<usize> = (0..views.len())
+                .filter(|&s| views[s].is_active(cat))
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            self.desires.clear();
+            self.desires
+                .extend(active.iter().map(|&s| views[s].desire(cat)));
+            self.allot_buf.clear();
+            self.allot_buf.resize(active.len(), 0);
+            // spill = 0 always: deterministic, starvation-prone.
+            deq_allot_into(&self.desires, res.processors(cat), 0, &mut self.allot_buf);
+            for (&slot, &a) in active.iter().zip(&self.allot_buf) {
+                out.set(slot, cat, a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::JobId;
+
+    fn views<'a>(desires: &'a [[u32; 1]]) -> Vec<JobView<'a>> {
+        desires
+            .iter()
+            .enumerate()
+            .map(|(i, d)| JobView {
+                id: JobId(i as u32),
+                release: 0,
+                desires: d,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn light_load_matches_deq_semantics() {
+        let d = [[2u32], [5], [9]];
+        let v = views(&d);
+        let res = Resources::uniform(1, 8);
+        let mut out = AllotmentMatrix::new(1);
+        out.reset(3);
+        DeqOnly::new().allot(1, &v, &res, &mut out);
+        assert_eq!(
+            (0..3).map(|s| out.get(s, Category(0))).collect::<Vec<_>>(),
+            vec![2, 3, 3]
+        );
+    }
+
+    #[test]
+    fn heavy_load_starves_the_same_jobs_every_step() {
+        // 5 jobs, 2 processors: shares 0/1 and — crucially — the SAME
+        // two jobs win on every step.
+        let d = [[4u32], [4], [4], [4], [4]];
+        let v = views(&d);
+        let res = Resources::uniform(1, 2);
+        let mut s = DeqOnly::new();
+        let mut winners_per_step = Vec::new();
+        for _ in 0..3 {
+            let mut out = AllotmentMatrix::new(1);
+            out.reset(5);
+            s.allot(1, &v, &res, &mut out);
+            let w: Vec<usize> = (0..5).filter(|&i| out.get(i, Category(0)) > 0).collect();
+            winners_per_step.push(w);
+        }
+        assert_eq!(winners_per_step[0], winners_per_step[1]);
+        assert_eq!(winners_per_step[1], winners_per_step[2]);
+        assert_eq!(winners_per_step[0].len(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! EQUI: equi-partitioning without desire feedback.
+
+use kdag::Category;
+use ksim::{AllotmentMatrix, JobView, Resources, Scheduler, Time};
+
+/// The classic EQUI (equi-partitioning) scheduler: at every step, each
+/// category's processors are divided *equally* among the α-active jobs
+/// — `floor(Pα / |J(α,t)|)` each, remainder rotated — **without**
+/// looking at how much each job can actually use.
+///
+/// This is the algorithm Edmonds et al. proved `(2 + √3)`-competitive
+/// for mean response time on homogeneous machines. Its weakness versus
+/// DEQ: a job desiring less than its share strands the surplus, which
+/// DEQ would have redistributed — the engine executes
+/// `min(allotment, desire)`, so EQUI's surplus is simply wasted.
+#[derive(Clone, Debug, Default)]
+pub struct Equi {
+    spill: usize,
+}
+
+impl Equi {
+    /// Create an EQUI scheduler.
+    pub fn new() -> Self {
+        Equi::default()
+    }
+}
+
+impl Scheduler for Equi {
+    fn name(&self) -> String {
+        "equi".into()
+    }
+
+    fn allot(
+        &mut self,
+        _t: Time,
+        views: &[JobView<'_>],
+        res: &Resources,
+        out: &mut AllotmentMatrix,
+    ) {
+        for cat in Category::all(res.k()) {
+            let active: Vec<usize> = (0..views.len())
+                .filter(|&s| views[s].is_active(cat))
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            let p = res.processors(cat);
+            let n = active.len();
+            let share = p / n as u32;
+            let extra = (p % n as u32) as usize;
+            let start = self.spill % n;
+            for (r, &slot) in active.iter().enumerate() {
+                let bonus = ((r + n - start) % n < extra) as u32;
+                out.set(slot, cat, share + bonus);
+            }
+        }
+        self.spill = self.spill.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::JobId;
+
+    fn views<'a>(desires: &'a [[u32; 1]]) -> Vec<JobView<'a>> {
+        desires
+            .iter()
+            .enumerate()
+            .map(|(i, d)| JobView {
+                id: JobId(i as u32),
+                release: 0,
+                desires: d,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equal_shares_ignore_desires() {
+        let d = [[1u32], [100], [100], [100]];
+        let v = views(&d);
+        let res = Resources::uniform(1, 8);
+        let mut out = AllotmentMatrix::new(1);
+        out.reset(4);
+        Equi::new().allot(1, &v, &res, &mut out);
+        // 8/4 = 2 each — including the job that only wants 1 (waste).
+        for s in 0..4 {
+            assert_eq!(out.get(s, Category(0)), 2);
+        }
+    }
+
+    #[test]
+    fn inactive_jobs_excluded() {
+        let d = [[0u32], [5], [5]];
+        let v = views(&d);
+        let res = Resources::uniform(1, 4);
+        let mut out = AllotmentMatrix::new(1);
+        out.reset(3);
+        Equi::new().allot(1, &v, &res, &mut out);
+        assert_eq!(out.get(0, Category(0)), 0);
+        assert_eq!(out.get(1, Category(0)), 2);
+        assert_eq!(out.get(2, Category(0)), 2);
+    }
+
+    #[test]
+    fn remainder_rotates_across_steps() {
+        let d = [[9u32], [9], [9]];
+        let v = views(&d);
+        let res = Resources::uniform(1, 8);
+        let mut e = Equi::new();
+        let mut shorts = Vec::new();
+        for _ in 0..3 {
+            let mut out = AllotmentMatrix::new(1);
+            out.reset(3);
+            e.allot(1, &v, &res, &mut out);
+            let a: Vec<u32> = (0..3).map(|s| out.get(s, Category(0))).collect();
+            assert_eq!(a.iter().sum::<u32>(), 8);
+            shorts.push(a.iter().position(|&x| x == 2).unwrap());
+        }
+        shorts.sort_unstable();
+        assert_eq!(shorts, vec![0, 1, 2], "short straw must rotate");
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let d = [[3u32], [3], [3], [3], [3]];
+        let v = views(&d);
+        let res = Resources::uniform(1, 3);
+        let mut out = AllotmentMatrix::new(1);
+        out.reset(5);
+        Equi::new().allot(1, &v, &res, &mut out);
+        assert!(out.category_total(Category(0)) <= 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! Greedy first-come-first-served allotment.
+
+use kdag::Category;
+use ksim::{AllotmentMatrix, JobView, Resources, Scheduler, Time};
+
+/// Greedy FCFS: per category, jobs are served in order of release time
+/// (ties by id); each job takes `min(desire, remaining processors)`
+/// until the category is exhausted.
+///
+/// Work-conserving and simple — a reasonable makespan heuristic — but
+/// spectacularly unfair: under sustained load, late jobs wait for every
+/// earlier job's entire α-demand, so mean response time degrades
+/// relative to K-RAD's equalized allotments.
+#[derive(Clone, Debug, Default)]
+pub struct GreedyFcfs;
+
+impl GreedyFcfs {
+    /// Create a greedy FCFS scheduler.
+    pub fn new() -> Self {
+        GreedyFcfs
+    }
+}
+
+impl Scheduler for GreedyFcfs {
+    fn name(&self) -> String {
+        "greedy-fcfs".into()
+    }
+
+    fn allot(
+        &mut self,
+        _t: Time,
+        views: &[JobView<'_>],
+        res: &Resources,
+        out: &mut AllotmentMatrix,
+    ) {
+        // FCFS priority: (release, id).
+        let mut order: Vec<usize> = (0..views.len()).collect();
+        order.sort_unstable_by_key(|&s| (views[s].release, views[s].id));
+        for cat in Category::all(res.k()) {
+            let mut left = res.processors(cat);
+            for &slot in &order {
+                if left == 0 {
+                    break;
+                }
+                let a = views[slot].desire(cat).min(left);
+                if a > 0 {
+                    out.set(slot, cat, a);
+                    left -= a;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::JobId;
+
+    #[test]
+    fn earliest_release_wins() {
+        let d = [[6u32], [6]];
+        let v = vec![
+            JobView {
+                id: JobId(0),
+                release: 5,
+                desires: &d[0],
+            },
+            JobView {
+                id: JobId(1),
+                release: 1,
+                desires: &d[1],
+            },
+        ];
+        let res = Resources::uniform(1, 8);
+        let mut out = AllotmentMatrix::new(1);
+        out.reset(2);
+        GreedyFcfs::new().allot(1, &v, &res, &mut out);
+        // Job 1 released first: takes 6; job 0 gets the leftover 2.
+        assert_eq!(out.get(1, Category(0)), 6);
+        assert_eq!(out.get(0, Category(0)), 2);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let d = [[8u32], [8]];
+        let v = vec![
+            JobView {
+                id: JobId(0),
+                release: 0,
+                desires: &d[0],
+            },
+            JobView {
+                id: JobId(1),
+                release: 0,
+                desires: &d[1],
+            },
+        ];
+        let res = Resources::uniform(1, 8);
+        let mut out = AllotmentMatrix::new(1);
+        out.reset(2);
+        GreedyFcfs::new().allot(1, &v, &res, &mut out);
+        assert_eq!(out.get(0, Category(0)), 8);
+        assert_eq!(out.get(1, Category(0)), 0);
+    }
+
+    #[test]
+    fn is_work_conserving() {
+        let d = [[3u32], [2], [9]];
+        let v: Vec<JobView<'_>> = d
+            .iter()
+            .enumerate()
+            .map(|(i, dd)| JobView {
+                id: JobId(i as u32),
+                release: 0,
+                desires: dd,
+            })
+            .collect();
+        let res = Resources::uniform(1, 10);
+        let mut out = AllotmentMatrix::new(1);
+        out.reset(3);
+        GreedyFcfs::new().allot(1, &v, &res, &mut out);
+        assert_eq!(out.category_total(Category(0)), 10);
+    }
+}

@@ -1,0 +1,118 @@
+//! Scheduler factory for the experiment harness.
+
+use crate::{DeqOnly, Drf, Equi, GreedyFcfs, Las, RandomRr, RoundRobinOnly};
+use krad::KRad;
+use ksim::Scheduler;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Every scheduler the experiments compare, including K-RAD itself.
+///
+/// ```
+/// use kbaselines::SchedulerKind;
+/// use kdag::{generators::chain, Category};
+/// use ksim::{simulate, JobSpec, Resources, SimConfig};
+/// let jobs = vec![JobSpec::batched(chain(1, 5, &[Category(0)]))];
+/// let res = Resources::uniform(1, 2);
+/// for kind in SchedulerKind::ALL {
+///     let mut sched = kind.build(res.k());
+///     let o = simulate(sched.as_mut(), &jobs, &res, &SimConfig::default());
+///     assert_eq!(o.makespan, 5, "{kind}: a chain takes span steps");
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// The paper's K-RAD (one RAD per category).
+    KRad,
+    /// Equi-partitioning without desire feedback.
+    Equi,
+    /// DEQ at every load level (no RR cycle).
+    DeqOnly,
+    /// Round-robin at every load level (no DEQ).
+    RrOnly,
+    /// Greedy first-come-first-served.
+    GreedyFcfs,
+    /// Least attained service (foreground-background).
+    Las,
+    /// Randomized round-robin (uniform random subset each step).
+    RandomRr,
+    /// Dominant Resource Fairness (progressive filling).
+    Drf,
+}
+
+impl SchedulerKind {
+    /// All kinds, in canonical table order (K-RAD first).
+    pub const ALL: [SchedulerKind; 8] = [
+        SchedulerKind::KRad,
+        SchedulerKind::Equi,
+        SchedulerKind::DeqOnly,
+        SchedulerKind::RrOnly,
+        SchedulerKind::GreedyFcfs,
+        SchedulerKind::Las,
+        SchedulerKind::RandomRr,
+        SchedulerKind::Drf,
+    ];
+
+    /// Instantiate a fresh scheduler for a `k`-category machine.
+    /// Randomized schedulers use a fixed default seed; use
+    /// [`SchedulerKind::build_seeded`] to vary it.
+    pub fn build(self, k: usize) -> Box<dyn Scheduler> {
+        self.build_seeded(k, 0xC0FFEE)
+    }
+
+    /// Instantiate with an explicit seed for randomized schedulers
+    /// (ignored by the deterministic ones).
+    pub fn build_seeded(self, k: usize, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::KRad => Box::new(KRad::new(k)),
+            SchedulerKind::Equi => Box::new(Equi::new()),
+            SchedulerKind::DeqOnly => Box::new(DeqOnly::new()),
+            SchedulerKind::RrOnly => Box::new(RoundRobinOnly::new()),
+            SchedulerKind::GreedyFcfs => Box::new(GreedyFcfs::new()),
+            SchedulerKind::Las => Box::new(Las::new()),
+            SchedulerKind::RandomRr => Box::new(RandomRr::seeded(seed)),
+            SchedulerKind::Drf => Box::new(Drf::new()),
+        }
+    }
+
+    /// Short stable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::KRad => "k-rad",
+            SchedulerKind::Equi => "equi",
+            SchedulerKind::DeqOnly => "deq-only",
+            SchedulerKind::RrOnly => "rr-only",
+            SchedulerKind::GreedyFcfs => "greedy-fcfs",
+            SchedulerKind::Las => "las",
+            SchedulerKind::RandomRr => "random-rr",
+            SchedulerKind::Drf => "drf",
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_named_schedulers() {
+        for kind in SchedulerKind::ALL {
+            let s = kind.build(2);
+            assert!(!s.name().is_empty(), "{kind} has a name");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut l: Vec<&str> = SchedulerKind::ALL.iter().map(|k| k.label()).collect();
+        l.sort_unstable();
+        l.dedup();
+        assert_eq!(l.len(), SchedulerKind::ALL.len());
+    }
+}

@@ -1,0 +1,40 @@
+//! # kbaselines — baseline schedulers for the K-RAD comparison
+//!
+//! The paper proves K-RAD optimal but implements no comparators; these
+//! baselines make the "who wins, and why" experiments possible. Each
+//! is an online non-clairvoyant [`ksim::Scheduler`] operating under the
+//! same rules as K-RAD (instantaneous desires only):
+//!
+//! | Scheduler | Idea | Known weakness it exhibits |
+//! |-----------|------|----------------------------|
+//! | [`Equi`] | equal share of `Pα` to every α-active job, regardless of desire | wastes processors that DEQ would redistribute (low utilization on skewed desires) |
+//! | [`DeqOnly`] | the paper's DEQ at *every* load level, no round-robin cycle | starves late jobs when `\|J(α,t)\| > Pα` (deterministic 0/1 shares go to the same jobs every step) |
+//! | [`RoundRobinOnly`] | one processor per α-active job in rotating order, at every load level | dilates span-limited jobs under light load (never gives more than 1 processor) |
+//! | [`GreedyFcfs`] | full desire to the earliest-released jobs first | unfair: late jobs see huge response times under load |
+//! | [`Las`] | least attained service first (foreground-background) | starves long jobs under sustained load |
+//! | [`RandomRr`] | one processor to a uniform random subset of α-active jobs | span dilation under light load (like RR-only), but immune to deterministic adversaries |
+//! | [`Drf`] | dominant-resource-fairness progressive filling (Ghodsi et al.) | no time-sharing cycle: deterministic 0/1 shares under heavy single-category load |
+//!
+//! [`SchedulerKind`] enumerates these plus K-RAD itself for the
+//! experiment harness.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod deq_only;
+mod drf;
+mod equi;
+mod greedy_fcfs;
+mod kind;
+mod las;
+mod random_rr;
+mod rr_only;
+
+pub use deq_only::DeqOnly;
+pub use drf::Drf;
+pub use equi::Equi;
+pub use greedy_fcfs::GreedyFcfs;
+pub use kind::SchedulerKind;
+pub use las::Las;
+pub use random_rr::RandomRr;
+pub use rr_only::RoundRobinOnly;

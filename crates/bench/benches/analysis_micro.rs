@@ -1,0 +1,74 @@
+//! Microbenchmarks of the analysis layer: bound computation,
+//! clairvoyant reference scheduling, transitive reduction, rendering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kanalysis::bounds::{makespan_bounds, response_bounds};
+use kanalysis::offline::clairvoyant_cp;
+use kanalysis::squashed::squashed_sum;
+use kdag::reduce::transitive_reduction;
+use kdag::{generators, Category};
+use krad_bench::standard_jobs;
+use ksim::Resources;
+
+fn bench_squashed_sum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("squashed_sum");
+    for n in [16usize, 256, 4096] {
+        let values: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 1000).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| squashed_sum(&values))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bounds");
+    let res = Resources::new(vec![8, 4]);
+    for n in [16usize, 128] {
+        let jobs = standard_jobs(2, n);
+        g.bench_with_input(BenchmarkId::new("makespan", n), &n, |b, _| {
+            b.iter(|| makespan_bounds(&jobs, &res).lower_bound())
+        });
+        g.bench_with_input(BenchmarkId::new("response", n), &n, |b, _| {
+            b.iter(|| response_bounds(&jobs, &res).lower_bound())
+        });
+    }
+    g.finish();
+}
+
+fn bench_clairvoyant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clairvoyant_cp");
+    let res = Resources::new(vec![8, 4]);
+    for n in [16usize, 64] {
+        let jobs = standard_jobs(2, n);
+        let tasks: u64 = jobs.iter().map(|j| j.dag.total_work()).sum();
+        g.throughput(Throughput::Elements(tasks));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| clairvoyant_cp(&jobs, &res).makespan)
+        });
+    }
+    g.finish();
+}
+
+fn bench_transitive_reduction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transitive_reduction");
+    for phases in [4usize, 16] {
+        let spec: Vec<(Category, u32)> = (0..phases).map(|_| (Category(0), 8)).collect();
+        let dag = generators::fork_join(1, &spec);
+        g.throughput(Throughput::Elements(dag.edge_count() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(phases), &phases, |b, _| {
+            b.iter(|| transitive_reduction(&dag).edge_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_squashed_sum,
+    bench_bounds,
+    bench_clairvoyant,
+    bench_transitive_reduction
+);
+criterion_main!(benches);

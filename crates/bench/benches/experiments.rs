@@ -1,0 +1,26 @@
+//! One bench target per DESIGN.md experiment id: `cargo bench`
+//! regenerates (and times) every table/figure in quick mode, asserting
+//! the bound checks still pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kexperiments::{registry, RunOpts};
+
+fn bench_experiments(c: &mut Criterion) {
+    let opts = RunOpts::quick(42);
+    for entry in registry::all() {
+        c.bench_function(&format!("experiment_{}", entry.id), |b| {
+            b.iter(|| {
+                let report = (entry.run)(&opts);
+                assert!(report.passed, "{} regressed", entry.id);
+                report.table.rows.len()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_experiments
+}
+criterion_main!(benches);

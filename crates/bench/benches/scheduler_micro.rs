@@ -1,0 +1,101 @@
+//! Microbenchmarks: the cost of one allotment decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kdag::{Category, JobId};
+use krad::deq::{deq_allot_into, deq_allot_reference};
+use krad::{KRad, RadState};
+use ksim::{AllotmentMatrix, JobView, Resources, Scheduler};
+
+fn desires_fixture(n: usize) -> Vec<u32> {
+    // Deterministic spread of desires 1..=32.
+    (0..n).map(|i| 1 + ((i * 7 + 3) % 32) as u32).collect()
+}
+
+fn bench_deq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deq");
+    for n in [8usize, 64, 512, 4096] {
+        let desires = desires_fixture(n);
+        let mut out = vec![0u32; n];
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("water_filling", n), &n, |b, _| {
+            b.iter(|| {
+                deq_allot_into(&desires, (n / 2) as u32, 3, &mut out);
+                out[0]
+            })
+        });
+        // The recursive reference is O(n²); cap its sizes.
+        if n <= 512 {
+            g.bench_with_input(BenchmarkId::new("recursive_reference", n), &n, |b, _| {
+                b.iter(|| deq_allot_reference(&desires, (n / 2) as u32, 3))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_rad_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rad_step");
+    for n in [8usize, 64, 512] {
+        let desires = desires_fixture(n);
+        let rows: Vec<[u32; 1]> = desires.iter().map(|&d| [d]).collect();
+        let views: Vec<JobView<'_>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, d)| JobView {
+                id: JobId(i as u32),
+                release: 0,
+                desires: d,
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("single_category", n), &n, |b, _| {
+            let mut rad = RadState::new(Category(0));
+            for i in 0..n {
+                rad.job_arrived(JobId(i as u32));
+            }
+            let mut out = AllotmentMatrix::new(1);
+            b.iter(|| {
+                out.reset(views.len());
+                rad.allot(&views, (n / 4).max(1) as u32, &mut out);
+                out.category_total(Category(0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_krad_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("krad_step");
+    for (k, n) in [(2usize, 64usize), (4, 64), (4, 512)] {
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| (0..k).map(|a| ((i + a) % 9) as u32).collect())
+            .collect();
+        let views: Vec<JobView<'_>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, d)| JobView {
+                id: JobId(i as u32),
+                release: 0,
+                desires: d,
+            })
+            .collect();
+        let res = Resources::uniform(k, (n / 4).max(1) as u32);
+        g.throughput(Throughput::Elements((n * k) as u64));
+        g.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &n, |b, _| {
+            let mut sched = KRad::new(k);
+            for i in 0..n {
+                sched.on_arrival(JobId(i as u32), 1);
+            }
+            let mut out = AllotmentMatrix::new(k);
+            b.iter(|| {
+                out.reset(views.len());
+                sched.allot(1, &views, &res, &mut out);
+                out.rows()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_deq, bench_rad_step, bench_krad_step);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! End-to-end simulation throughput per scheduler, plus the
+//! adversarial instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kbaselines::SchedulerKind;
+use kdag::SelectionPolicy;
+use krad::KRad;
+use krad_bench::{run, standard_jobs};
+use ksim::{simulate, Resources, SimConfig};
+use kworkloads::adversarial::adversarial_workload;
+
+fn bench_schedulers_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_mixed");
+    let res = Resources::new(vec![8, 4]);
+    for n in [16usize, 64] {
+        let jobs = standard_jobs(2, n);
+        let tasks: u64 = jobs.iter().map(|j| j.dag.total_work()).sum();
+        g.throughput(Throughput::Elements(tasks));
+        for kind in SchedulerKind::ALL {
+            g.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |b, _| {
+                b.iter(|| {
+                    let mut sched = kind.build(res.k());
+                    run(sched.as_mut(), &jobs, &res).makespan
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_adversarial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_adversarial");
+    for m in [4u64, 16] {
+        let w = adversarial_workload(&[4, 4], m);
+        let tasks: u64 = w.jobs.iter().map(|j| j.dag.total_work()).sum();
+        g.throughput(Throughput::Elements(tasks));
+        g.bench_with_input(BenchmarkId::new("krad_critical_last", m), &m, |b, _| {
+            b.iter(|| {
+                let mut sched = KRad::new(2);
+                let cfg = SimConfig::with_policy(SelectionPolicy::CriticalLast);
+                simulate(&mut sched, &w.jobs, &w.resources, &cfg).makespan
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_scaling_k");
+    for k in [1usize, 2, 4, 8] {
+        let jobs = standard_jobs(k, 32);
+        let res = Resources::uniform(k, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut sched = KRad::new(k);
+                run(&mut sched, &jobs, &res).makespan
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers_end_to_end,
+    bench_adversarial,
+    bench_scaling_k
+);
+criterion_main!(benches);

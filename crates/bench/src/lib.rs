@@ -1,0 +1,48 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! The benches cover three layers:
+//!
+//! * `scheduler_micro` — allotment-decision cost: DEQ water-filling vs
+//!   the recursive reference, single-category RAD steps, full K-RAD
+//!   steps at varying job counts;
+//! * `simulation` — end-to-end simulated-steps/second for every
+//!   scheduler on standard workloads, plus the adversarial instance;
+//! * `experiments` — one bench per DESIGN.md experiment id (quick
+//!   mode), so `cargo bench` regenerates every table/figure.
+
+use kdag::SelectionPolicy;
+use ksim::{simulate, JobSpec, Resources, SimConfig, SimOutcome};
+use kworkloads::mixes::{batched_mix, MixConfig};
+use kworkloads::rng_for;
+
+/// A standard benchmark workload: `n` mixed-shape batched jobs over `k`
+/// categories (seeded, reproducible).
+pub fn standard_jobs(k: usize, n: usize) -> Vec<JobSpec> {
+    batched_mix(&mut rng_for(0xBEEF, n as u64), &MixConfig::new(k, n, 32))
+}
+
+/// Run one simulation with default config (FIFO selection).
+pub fn run(sched: &mut dyn ksim::Scheduler, jobs: &[JobSpec], res: &Resources) -> SimOutcome {
+    simulate(
+        sched,
+        jobs,
+        res,
+        &SimConfig::with_policy(SelectionPolicy::Fifo),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_stable() {
+        let a = standard_jobs(2, 10);
+        let b = standard_jobs(2, 10);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.iter().map(|j| j.dag.len()).collect::<Vec<_>>(),
+            b.iter().map(|j| j.dag.len()).collect::<Vec<_>>()
+        );
+    }
+}

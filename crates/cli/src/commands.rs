@@ -1,0 +1,472 @@
+//! The `krad` subcommand implementations.
+//!
+//! Each command is a pure `ArgMap -> Result<String, String>` function;
+//! the binary just prints the result (stdout) or the error (stderr).
+
+use crate::args::ArgMap;
+use kanalysis::bounds::{makespan_bounds, response_bounds};
+use kanalysis::gantt::gantt;
+use kanalysis::offline::clairvoyant_cp;
+use kanalysis::table::{f3, Table};
+use kanalysis::timeline::{render_timeline, utilization_timeline};
+use kbaselines::SchedulerKind;
+use kdag::{DagStats, SelectionPolicy};
+use ksim::{simulate, DesireModel, JobSpec, Resources, SimConfig};
+use kworkloads::arrivals::poisson_releases;
+use kworkloads::heavy_tail::{bursty_releases, heavy_tail_mix, BurstyConfig};
+use kworkloads::mixes::{batched_mix, MixConfig};
+use kworkloads::persist::{load_jobset, save_jobset};
+use kworkloads::{adversarial::adversarial_workload, rng_for, scenarios};
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn parse_scheduler(name: &str) -> Result<SchedulerKind, String> {
+    SchedulerKind::ALL
+        .into_iter()
+        .find(|k| k.label() == name)
+        .ok_or_else(|| format!("unknown scheduler '{name}'"))
+}
+
+fn parse_policy(name: &str) -> Result<SelectionPolicy, String> {
+    SelectionPolicy::ALL
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| format!("unknown policy '{name}'"))
+}
+
+fn load(args: &ArgMap) -> Result<(String, Vec<JobSpec>), String> {
+    let path = args.one_positional()?;
+    load_jobset(Path::new(path)).map_err(|e| e.to_string())
+}
+
+/// `krad generate` — produce a workload JSON.
+pub fn generate(args: &ArgMap) -> Result<String, String> {
+    let kind = args.get_or("kind", "mix");
+    let k: usize = args.num("k", 2)?;
+    let n: usize = args.num("jobs", 20)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let mean: usize = args.num("mean-size", 40)?;
+    let out_path = args.require("out")?;
+
+    let mut rng = rng_for(seed, 0xC11);
+    let mut jobs = match kind {
+        "mix" => batched_mix(&mut rng, &MixConfig::new(k, n, mean)),
+        "pipeline" => scenarios::pipeline(&mut rng, n).jobs,
+        "mapreduce" => scenarios::mapreduce(&mut rng, n).jobs,
+        "server" => scenarios::mixed_server(&mut rng, n, 0.25).jobs,
+        "heavy-tail" => heavy_tail_mix(&mut rng, k, n, 1.2, mean / 4, mean * 8),
+        "swf" => {
+            // A real archive trace via --trace, or the synthetic one.
+            let text = match args.get("trace") {
+                Some(path) => std::fs::read_to_string(path).map_err(|e| e.to_string())?,
+                None => kworkloads::swf::synthetic_swf(n),
+            };
+            let records = kworkloads::swf::parse_swf(&text).map_err(|e| e.to_string())?;
+            let shape = kworkloads::swf::SwfShape {
+                k,
+                ..kworkloads::swf::SwfShape::default()
+            };
+            kworkloads::swf::jobs_from_swf(&records, &shape)
+        }
+        other => return Err(format!("unknown --kind '{other}'")),
+    };
+
+    match args.get_or("arrivals", "batch") {
+        "batch" => {}
+        "bursty" => bursty_releases(&mut jobs, &mut rng, &BurstyConfig::default()),
+        spec => {
+            if let Some(rate) = spec.strip_prefix("poisson:") {
+                let rate: f64 = rate.parse().map_err(|_| format!("bad rate: {rate}"))?;
+                poisson_releases(&mut jobs, &mut rng, rate);
+            } else {
+                return Err(format!("unknown --arrivals '{spec}'"));
+            }
+        }
+    }
+
+    save_jobset(Path::new(out_path), kind, &jobs).map_err(|e| e.to_string())?;
+    let tasks: u64 = jobs.iter().map(|j| j.dag.total_work()).sum();
+    Ok(format!(
+        "wrote {out_path}: {} jobs, {tasks} tasks, K={}, horizon {}",
+        jobs.len(),
+        jobs.first().map(|j| j.dag.k()).unwrap_or(k),
+        jobs.iter().map(|j| j.release).max().unwrap_or(0),
+    ))
+}
+
+/// `krad inspect` — per-job structural statistics.
+pub fn inspect(args: &ArgMap) -> Result<String, String> {
+    let (label, jobs) = load(args)?;
+    let mut out = String::new();
+    writeln!(out, "workload '{label}': {} jobs", jobs.len()).unwrap();
+    let mut table = Table::new(
+        "jobs",
+        &[
+            "job",
+            "release",
+            "tasks",
+            "span",
+            "avg par",
+            "work by category",
+        ],
+    );
+    for (i, j) in jobs.iter().enumerate() {
+        let s = DagStats::of(&j.dag);
+        table.row_owned(vec![
+            format!("job {i}"),
+            j.release.to_string(),
+            s.tasks.to_string(),
+            s.span.to_string(),
+            format!("{:.2}", s.avg_parallelism),
+            format!("{:?}", s.work_by_category),
+        ]);
+    }
+    out.push_str(&table.render());
+    let total: u64 = jobs.iter().map(|j| j.dag.total_work()).sum();
+    let agg_span: u64 = jobs.iter().map(|j| j.dag.span()).sum();
+    writeln!(out, "total tasks {total}, aggregate span {agg_span}").unwrap();
+    Ok(out)
+}
+
+/// `krad bounds` — the paper's lower bounds for a workload/machine.
+pub fn bounds(args: &ArgMap) -> Result<String, String> {
+    let (label, jobs) = load(args)?;
+    let res = Resources::new(args.machine()?);
+    if jobs.iter().any(|j| j.dag.k() != res.k()) {
+        return Err(format!(
+            "workload has K={} but machine has {} categories",
+            jobs[0].dag.k(),
+            res.k()
+        ));
+    }
+    let mb = makespan_bounds(&jobs, &res);
+    let mut out = String::new();
+    writeln!(out, "workload '{label}' on machine {:?}", res.as_slice()).unwrap();
+    writeln!(
+        out,
+        "makespan lower bound:      {:.2}  (release+span {:.2}, work/P {:.2})",
+        mb.lower_bound(),
+        mb.release_plus_span,
+        mb.work_over_p
+    )
+    .unwrap();
+    let t_cp = clairvoyant_cp(&jobs, &res).makespan;
+    writeln!(out, "clairvoyant CP schedule:   {t_cp}  (T* is in between)").unwrap();
+    writeln!(
+        out,
+        "K-RAD makespan guarantee:  ≤ {:.3} × T*   (Theorem 3)",
+        krad::makespan_bound(res.k(), res.p_max())
+    )
+    .unwrap();
+    if jobs.iter().all(|j| j.release == 0) {
+        let rb = response_bounds(&jobs, &res);
+        writeln!(
+            out,
+            "total response lower bound: {:.2}  (aggregate span {:.2}, max swa {:.2})",
+            rb.lower_bound(),
+            rb.aggregate_span,
+            rb.max_swa
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "K-RAD mean-response bound:  ≤ {:.3} × optimal (batched, Theorem 6)",
+            krad::mrt_bound_heavy(res.k(), jobs.len())
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// `krad simulate` — run a scheduler on a workload.
+pub fn simulate_cmd(args: &ArgMap) -> Result<String, String> {
+    let (label, jobs) = load(args)?;
+    let res = Resources::new(args.machine()?);
+    if jobs.iter().any(|j| j.dag.k() != res.k()) {
+        return Err(format!(
+            "workload has K={} but machine has {} categories",
+            jobs[0].dag.k(),
+            res.k()
+        ));
+    }
+    let kind = parse_scheduler(args.get_or("scheduler", "k-rad"))?;
+    let policy = parse_policy(args.get_or("policy", "fifo"))?;
+    let seed: u64 = args.num("seed", 0)?;
+
+    let mut cfg = SimConfig::with_policy(policy);
+    cfg.seed = seed;
+    cfg.quantum = args.num("quantum", 1u64)?;
+    if let Some(delta) = args.get("feedback") {
+        let delta: f64 = delta
+            .parse()
+            .map_err(|_| format!("bad --feedback: {delta}"))?;
+        cfg.desire_model = DesireModel::AGreedy { delta };
+    }
+    cfg.record_schedule = args.flag("gantt") || args.get("svg").is_some();
+    cfg.record_trace = args.flag("timeline");
+
+    let mut sched = kind.build_seeded(res.k(), seed);
+    let o = simulate(sched.as_mut(), &jobs, &res, &cfg);
+    let lb = makespan_bounds(&jobs, &res).lower_bound();
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "'{label}' × {} on {:?} (policy {policy}, quantum {}, {} desires)",
+        o.scheduler,
+        res.as_slice(),
+        cfg.quantum,
+        match cfg.desire_model {
+            DesireModel::Exact => "exact".to_string(),
+            DesireModel::AGreedy { delta } => format!("a-greedy δ={delta}"),
+        }
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "makespan:       {}  (T/LB = {})",
+        o.makespan,
+        f3(o.makespan as f64 / lb)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "responses:      mean {}  max {}",
+        f3(o.mean_response()),
+        o.max_response()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "steps:          busy {}  idle {}  preemption volume {}",
+        o.busy_steps, o.idle_steps, o.preemptions
+    )
+    .unwrap();
+    for cat in kdag::Category::all(res.k()) {
+        writeln!(
+            out,
+            "{cat} utilization: {:.0}%",
+            100.0 * o.utilization(cat, &res)
+        )
+        .unwrap();
+    }
+    if let Some(schedule) = &o.schedule {
+        if args.flag("gantt") {
+            out.push('\n');
+            out.push_str(&gantt(schedule, &res, 120));
+        }
+        if let Some(path) = args.get("svg") {
+            std::fs::write(path, kanalysis::svg::gantt_svg(schedule, &res))
+                .map_err(|e| e.to_string())?;
+            writeln!(out, "\nwrote SVG Gantt chart to {path}").unwrap();
+        }
+    }
+    if let Some(trace) = &o.trace {
+        out.push('\n');
+        out.push_str(&render_timeline(&utilization_timeline(trace, &res, 60)));
+    }
+    if let Some(path) = args.get("json") {
+        let json = serde_json::to_string_pretty(&o).expect("outcome serializes");
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        writeln!(out, "wrote outcome JSON to {path}").unwrap();
+    }
+    Ok(out)
+}
+
+/// `krad compare` — run every scheduler on a workload and print the
+/// standard comparison table.
+pub fn compare(args: &ArgMap) -> Result<String, String> {
+    let (label, jobs) = load(args)?;
+    let res = Resources::new(args.machine()?);
+    if jobs.iter().any(|j| j.dag.k() != res.k()) {
+        return Err(format!(
+            "workload has K={} but machine has {} categories",
+            jobs[0].dag.k(),
+            res.k()
+        ));
+    }
+    let policy = parse_policy(args.get_or("policy", "fifo"))?;
+    let rows = kexperiments::runner::compare_schedulers(&jobs, &res, policy, args.num("seed", 0)?);
+    let mut table = kexperiments::runner::comparison_table(
+        &format!("'{label}' on {:?}", res.as_slice()),
+        &rows,
+    );
+    table.note(&format!("{} jobs, selection policy {policy}", jobs.len()));
+    Ok(table.render())
+}
+
+/// `krad verify` — run K-RAD on a workload and check every applicable
+/// guarantee of the paper against the outcome.
+pub fn verify(args: &ArgMap) -> Result<String, String> {
+    let (label, jobs) = load(args)?;
+    let res = Resources::new(args.machine()?);
+    if jobs.iter().any(|j| j.dag.k() != res.k()) {
+        return Err(format!(
+            "workload has K={} but machine has {} categories",
+            jobs[0].dag.k(),
+            res.k()
+        ));
+    }
+    let policy = parse_policy(args.get_or("policy", "critical-last"))?;
+    let mut cfg = SimConfig::with_policy(policy);
+    cfg.seed = args.num("seed", 0)?;
+    let mut sched = krad::KRad::new(res.k());
+    let o = simulate(&mut sched, &jobs, &res, &cfg);
+
+    let batched = jobs.iter().all(|j| j.release == 0);
+    let checks = if batched {
+        kanalysis::verify::check_batched(&o, &jobs, &res)
+    } else {
+        vec![kanalysis::verify::check_theorem3(&o, &jobs, &res)]
+    };
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "verifying K-RAD on '{label}' ({} jobs, machine {:?}, policy {policy}):",
+        jobs.len(),
+        res.as_slice()
+    )
+    .unwrap();
+    let mut all_hold = true;
+    for c in &checks {
+        writeln!(out, "  {c}  [{:.1}% of bound]", 100.0 * c.tightness()).unwrap();
+        all_hold &= c.holds;
+    }
+    writeln!(
+        out,
+        "{}",
+        if all_hold {
+            "all applicable guarantees hold"
+        } else {
+            "GUARANTEE VIOLATION — this would be a bug in K-RAD or the model"
+        }
+    )
+    .unwrap();
+    if !batched {
+        writeln!(
+            out,
+            "(response-time checks skipped: the §6 bounds require a batched job set)"
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// `krad adversarial` — the Figure 3 instance, optionally simulated.
+pub fn adversarial(args: &ArgMap) -> Result<String, String> {
+    let k: usize = args.num("k", 2)?;
+    let p: u32 = args.num("p", 4)?;
+    let m: u64 = args.num("m", 8)?;
+    let w = adversarial_workload(&vec![p; k], m);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Figure 3 instance: K={k}, P={p}, m={m} — {} jobs, T* = {}, bound {}",
+        w.jobs.len(),
+        w.optimal_makespan,
+        f3(w.bound)
+    )
+    .unwrap();
+    if args.flag("run") {
+        let mut sched = krad::KRad::new(k);
+        let cfg = SimConfig::with_policy(SelectionPolicy::CriticalLast);
+        let o = simulate(&mut sched, &w.jobs, &w.resources, &cfg);
+        let ratio = o.makespan as f64 / w.optimal_makespan as f64;
+        writeln!(
+            out,
+            "K-RAD vs critical-path-last adversary: T = {}, ratio {} ({:.1}% of bound)",
+            o.makespan,
+            f3(ratio),
+            100.0 * ratio / w.bound
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> ArgMap {
+        let v: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        ArgMap::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn scheduler_and_policy_parsing() {
+        assert_eq!(parse_scheduler("las").unwrap(), SchedulerKind::Las);
+        assert!(parse_scheduler("nope").is_err());
+        assert_eq!(
+            parse_policy("critical-last").unwrap(),
+            SelectionPolicy::CriticalLast
+        );
+        assert!(parse_policy("nope").is_err());
+    }
+
+    #[test]
+    fn generate_rejects_unknown_kind() {
+        let a = parse(&["--kind", "nope", "--out", "/tmp/x.json"]);
+        assert!(generate(&a).unwrap_err().contains("unknown --kind"));
+    }
+
+    #[test]
+    fn machine_mismatch_is_reported() {
+        let dir = std::env::temp_dir().join(format!("krad-cmd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("w.json");
+        let a = parse(&[
+            "--kind",
+            "mix",
+            "--k",
+            "3",
+            "--jobs",
+            "3",
+            "--out",
+            file.to_str().unwrap(),
+        ]);
+        generate(&a).unwrap();
+        let a = parse(&[file.to_str().unwrap(), "--machine", "4,4"]);
+        assert!(bounds(&a).unwrap_err().contains("categories"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_with_feedback_and_quantum() {
+        let dir = std::env::temp_dir().join(format!("krad-cmd2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("w.json");
+        generate(&parse(&[
+            "--kind",
+            "mix",
+            "--k",
+            "2",
+            "--jobs",
+            "5",
+            "--out",
+            file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = simulate_cmd(&parse(&[
+            file.to_str().unwrap(),
+            "--machine",
+            "3,2",
+            "--quantum",
+            "4",
+            "--feedback",
+            "0.8",
+        ]))
+        .unwrap();
+        assert!(out.contains("quantum 4"));
+        assert!(out.contains("a-greedy"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adversarial_without_run_prints_metadata_only() {
+        let out = adversarial(&parse(&["--k", "3", "--p", "2", "--m", "2"])).unwrap();
+        assert!(out.contains("T* ="));
+        assert!(!out.contains("ratio"));
+    }
+}

@@ -1,0 +1,140 @@
+//! # kcli — the `krad` command-line tool
+//!
+//! A downstream-user front end over the whole workspace:
+//!
+//! ```text
+//! krad generate --kind mix --k 2 --jobs 20 --out jobs.json
+//! krad inspect jobs.json
+//! krad bounds jobs.json --machine 4,2
+//! krad simulate jobs.json --machine 4,2 --scheduler k-rad --gantt
+//! krad adversarial --k 2 --p 4 --m 16 --run
+//! ```
+//!
+//! Every subcommand is a plain function over a parsed [`args::ArgMap`],
+//! so the whole surface is unit-testable without spawning processes.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+/// Top-level dispatch: returns the text to print, or a usage error.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(usage());
+    };
+    let args = args::ArgMap::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => commands::generate(&args),
+        "inspect" => commands::inspect(&args),
+        "bounds" => commands::bounds(&args),
+        "simulate" => commands::simulate_cmd(&args),
+        "compare" => commands::compare(&args),
+        "verify" => commands::verify(&args),
+        "adversarial" => commands::adversarial(&args),
+        "--help" | "-h" | "help" => Ok(usage()),
+        other => Err(format!("unknown subcommand '{other}'\n\n{}", usage())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "krad — K-RAD scheduling toolbox (He/Sun/Hsu ICPP'07 reproduction)
+
+USAGE:
+  krad generate --kind <mix|pipeline|mapreduce|server|heavy-tail|swf> \\
+                [--k K] [--jobs N] [--seed S] [--mean-size M] [--trace FILE.swf] \\
+                [--arrivals batch|poisson:<rate>|bursty] --out FILE
+  krad inspect  FILE
+  krad bounds   FILE --machine P1,P2,...
+  krad simulate FILE --machine P1,P2,... [--scheduler NAME] [--policy NAME]
+                [--quantum Q] [--feedback DELTA] [--seed S] [--gantt] [--timeline]
+                [--svg FILE] [--json FILE]
+  krad compare  FILE --machine P1,P2,... [--policy NAME] [--seed S]
+  krad verify   FILE --machine P1,P2,... [--policy NAME] [--seed S]
+  krad adversarial --k K --p P --m M [--run]
+
+SCHEDULERS: k-rad equi deq-only rr-only greedy-fcfs las random-rr
+POLICIES:   fifo lifo random critical-first critical-last"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&sv(&["help"])).unwrap().contains("USAGE"));
+        let err = run(&sv(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_inspect_simulate() {
+        let dir = std::env::temp_dir().join(format!("krad-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("w.json");
+        let out = run(&sv(&[
+            "generate",
+            "--kind",
+            "mix",
+            "--k",
+            "2",
+            "--jobs",
+            "6",
+            "--out",
+            file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("6 jobs"));
+
+        let out = run(&sv(&["inspect", file.to_str().unwrap()])).unwrap();
+        assert!(out.contains("job 0"));
+
+        let out = run(&sv(&["bounds", file.to_str().unwrap(), "--machine", "3,2"])).unwrap();
+        assert!(out.contains("lower bound"));
+
+        let out = run(&sv(&[
+            "simulate",
+            file.to_str().unwrap(),
+            "--machine",
+            "3,2",
+            "--scheduler",
+            "k-rad",
+            "--gantt",
+            "--timeline",
+        ]))
+        .unwrap();
+        assert!(out.contains("makespan"));
+        assert!(out.contains("α1 p0"));
+
+        let out = run(&sv(&["verify", file.to_str().unwrap(), "--machine", "3,2"])).unwrap();
+        assert!(out.contains("Theorem 3: HOLDS"), "{out}");
+        assert!(out.contains("all applicable guarantees hold"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adversarial_runs() {
+        let out = run(&sv(&[
+            "adversarial",
+            "--k",
+            "2",
+            "--p",
+            "4",
+            "--m",
+            "4",
+            "--run",
+        ]))
+        .unwrap();
+        assert!(out.contains("bound 2.750"));
+        assert!(out.contains("ratio"));
+    }
+}

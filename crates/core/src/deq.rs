@@ -1,0 +1,280 @@
+//! Dynamic equi-partitioning (DEQ) with discrete processors.
+//!
+//! The paper's DEQ pseudo-code (Figure 2) works with real-valued fair
+//! shares `P/|Q|`. Processors are discrete, so this implementation:
+//!
+//! * tests membership in the satisfied set `S` with the exact rational
+//!   comparison `d · |Q| ≤ P` (no floor artifacts);
+//! * splits the processors left for the deprived jobs as
+//!   `floor(P/|Q|)` each plus one extra for `P mod |Q|` of them, with
+//!   the extras rotated across calls (the `spill` argument) so
+//!   long-run shares are equal — the discrete analogue of the *mean
+//!   deprived allotment* `p̄(α, t)`.
+//!
+//! [`deq_allot_into`] is the production water-filling implementation
+//! (`O(n log n)`); [`deq_allot_reference`] mirrors the paper's
+//! recursive set-based pseudo-code line by line and exists as a
+//! property-test oracle (the two are proven equivalent in the tests).
+
+/// Compute DEQ allotments for `desires` over `p` processors, writing
+/// the per-job allotment into `out` (parallel to `desires`).
+///
+/// Water-filling formulation: process jobs in ascending order of
+/// desire; a job is *satisfied* (gets its full desire) while
+/// `desire · remaining_jobs ≤ remaining_processors`, after which every
+/// remaining job is *deprived* and the remaining processors are split
+/// equally (remainder rotated by `spill`).
+///
+/// Guarantees (property-tested):
+/// * `out[i] ≤ desires[i]` — never more than requested;
+/// * `Σ out ≤ p`;
+/// * if any job is deprived, `Σ out == p` (work conservation);
+/// * deprived jobs' allotments differ by at most 1 and are no smaller
+///   than any satisfied job's allotment... i.e. equal shares.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn deq_allot_into(desires: &[u32], p: u32, spill: usize, out: &mut [u32]) {
+    assert_eq!(desires.len(), out.len());
+    let n = desires.len();
+    if n == 0 {
+        return;
+    }
+    // Ascending by desire, ties by index for determinism.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&i| (desires[i as usize], i));
+
+    let mut p_rem = u64::from(p);
+    for (rank, &i) in order.iter().enumerate() {
+        let remaining_jobs = (n - rank) as u64;
+        let d = u64::from(desires[i as usize]);
+        if d * remaining_jobs <= p_rem {
+            out[i as usize] = desires[i as usize];
+            p_rem -= d;
+        } else {
+            // Everyone from here on is deprived: equal shares with a
+            // rotated remainder.
+            let share = (p_rem / remaining_jobs) as u32;
+            let extra = (p_rem % remaining_jobs) as usize;
+            let m = remaining_jobs as usize;
+            let start = spill % m;
+            for (r, &j) in order[rank..].iter().enumerate() {
+                let bonus = ((r + m - start) % m < extra) as u32;
+                out[j as usize] = share + bonus;
+            }
+            return;
+        }
+    }
+}
+
+/// Convenience wrapper returning a fresh vector.
+///
+/// ```
+/// use krad::deq::deq_allot;
+/// // The paper's recursion: desires (2,5,9) on 8 processors — the
+/// // small job is satisfied, the others split the remainder.
+/// assert_eq!(deq_allot(&[2, 5, 9], 8, 0), vec![2, 3, 3]);
+/// ```
+pub fn deq_allot(desires: &[u32], p: u32, spill: usize) -> Vec<u32> {
+    let mut out = vec![0; desires.len()];
+    deq_allot_into(desires, p, spill, &mut out);
+    out
+}
+
+/// Reference implementation mirroring the paper's recursive pseudo-code
+/// (Figure 2):
+///
+/// ```text
+/// DEQ(α, t, Q, P)
+///   if Q = ∅ return
+///   S ← {Ji ∈ Q : d(Ji, α, t) ≤ P/|Q|}
+///   if S = ∅ → every job gets P/|Q|         (equal shares)
+///   else     → each Ji ∈ S gets d(Ji);
+///              DEQ(α, t, Q − S, P − Σ d)
+/// ```
+///
+/// The equal-shares base case uses the same floor/rotated-remainder
+/// discretization as [`deq_allot_into`] so the two functions agree
+/// exactly; this recursive form is the property-test oracle.
+pub fn deq_allot_reference(desires: &[u32], p: u32, spill: usize) -> Vec<u32> {
+    let mut out = vec![0; desires.len()];
+    let q: Vec<u32> = (0..desires.len() as u32).collect();
+    recurse(desires, &q, u64::from(p), spill, &mut out);
+    out
+}
+
+fn recurse(desires: &[u32], q: &[u32], p: u64, spill: usize, out: &mut [u32]) {
+    if q.is_empty() {
+        return;
+    }
+    let n = q.len() as u64;
+    // S = {Ji : d ≤ P/|Q|}, by exact cross-multiplication.
+    let s: Vec<u32> = q
+        .iter()
+        .copied()
+        .filter(|&i| u64::from(desires[i as usize]) * n <= p)
+        .collect();
+    if s.is_empty() {
+        // Equal shares among all of Q, sorted like the production
+        // implementation (ascending desire, ties by index) so the
+        // rotated remainder lands identically.
+        let mut order = q.to_vec();
+        order.sort_unstable_by_key(|&i| (desires[i as usize], i));
+        let m = order.len();
+        let share = (p / n) as u32;
+        let extra = (p % n) as usize;
+        let start = spill % m;
+        for (r, &i) in order.iter().enumerate() {
+            let bonus = ((r + m - start) % m < extra) as u32;
+            out[i as usize] = share + bonus;
+        }
+        return;
+    }
+    let mut used = 0u64;
+    for &i in &s {
+        out[i as usize] = desires[i as usize];
+        used += u64::from(desires[i as usize]);
+    }
+    let rest: Vec<u32> = q.iter().copied().filter(|i| !s.contains(i)).collect();
+    recurse(desires, &rest, p - used, spill, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_satisfied_when_capacity_suffices() {
+        let a = deq_allot(&[1, 2, 3], 10, 0);
+        assert_eq!(a, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn paper_style_example() {
+        // Q = {2, 5, 9}, P = 8: fair share 8/3 → S = {2}; then {5, 9}
+        // with P = 6, fair 3 → S = ∅ → 3 each.
+        let a = deq_allot(&[2, 5, 9], 8, 0);
+        assert_eq!(a, vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn equal_split_with_remainder() {
+        // 3 greedy jobs, P = 8: shares 3, 3, 2 placed by rotation 0.
+        let a = deq_allot(&[10, 10, 10], 8, 0);
+        assert_eq!(a.iter().sum::<u32>(), 8);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn spill_rotates_the_remainder() {
+        let runs: Vec<Vec<u32>> = (0..3).map(|s| deq_allot(&[9, 9, 9], 8, s)).collect();
+        // Every rotation sums to 8 with shares {2,3,3}…
+        for a in &runs {
+            assert_eq!(a.iter().sum::<u32>(), 8);
+        }
+        // …and the job receiving 2 differs across rotations.
+        let twos: Vec<usize> = runs
+            .iter()
+            .map(|a| a.iter().position(|&x| x == 2).unwrap())
+            .collect();
+        assert_eq!(
+            {
+                let mut t = twos.clone();
+                t.sort_unstable();
+                t
+            },
+            vec![0, 1, 2],
+            "rotation must move the short straw: {twos:?}"
+        );
+    }
+
+    #[test]
+    fn more_jobs_than_processors_degenerates_to_zero_one() {
+        // n = 5 > P = 3: fair share < 1 so S = ∅; shares are 0/1.
+        let a = deq_allot(&[4, 4, 4, 4, 4], 3, 0);
+        assert_eq!(a.iter().sum::<u32>(), 3);
+        assert!(a.iter().all(|&x| x <= 1));
+    }
+
+    #[test]
+    fn zero_desire_jobs_get_zero() {
+        let a = deq_allot(&[0, 5, 0, 5], 4, 0);
+        assert_eq!(a[0], 0);
+        assert_eq!(a[2], 0);
+        assert_eq!(a[1] + a[3], 4);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(deq_allot(&[], 8, 0).is_empty());
+    }
+
+    #[test]
+    fn reference_matches_on_paper_example() {
+        assert_eq!(deq_allot_reference(&[2, 5, 9], 8, 0), vec![2, 3, 3]);
+    }
+
+    proptest! {
+        /// The water-filling implementation is exactly the paper's
+        /// recursive DEQ.
+        #[test]
+        fn water_filling_equals_recursive_reference(
+            desires in proptest::collection::vec(0u32..50, 0..40),
+            p in 0u32..200,
+            spill in 0usize..16,
+        ) {
+            prop_assert_eq!(
+                deq_allot(&desires, p, spill),
+                deq_allot_reference(&desires, p, spill)
+            );
+        }
+
+        /// DEQ invariants: never exceed desire, never exceed capacity,
+        /// work-conserving when someone is deprived, and deprived jobs
+        /// share equally (±1).
+        #[test]
+        fn deq_invariants(
+            desires in proptest::collection::vec(0u32..50, 1..40),
+            p in 0u32..200,
+            spill in 0usize..16,
+        ) {
+            let a = deq_allot(&desires, p, spill);
+            let total: u64 = a.iter().map(|&x| u64::from(x)).sum();
+            prop_assert!(total <= u64::from(p), "over capacity");
+            let mut deprived = Vec::new();
+            for (i, (&ai, &di)) in a.iter().zip(&desires).enumerate() {
+                prop_assert!(ai <= di, "job {i} got {ai} > desire {di}");
+                if ai < di {
+                    deprived.push(ai);
+                }
+            }
+            if !deprived.is_empty() {
+                prop_assert_eq!(total, u64::from(p), "deprived ⇒ all processors used");
+                let lo = *deprived.iter().min().unwrap();
+                let hi = *deprived.iter().max().unwrap();
+                prop_assert!(hi - lo <= 1, "deprived shares must be equal ±1");
+                // Mean deprived allotment dominates satisfied allotments.
+                for (&ai, &di) in a.iter().zip(&desires) {
+                    if ai == di {
+                        prop_assert!(di <= hi + 1, "satisfied job desires more than deprived share");
+                    }
+                }
+            }
+        }
+
+        /// DEQ is monotone in capacity: more processors never reduce
+        /// the total allotment.
+        #[test]
+        fn deq_total_monotone_in_p(
+            desires in proptest::collection::vec(0u32..50, 1..30),
+            p in 0u32..100,
+        ) {
+            let t1: u32 = deq_allot(&desires, p, 0).iter().sum();
+            let t2: u32 = deq_allot(&desires, p + 1, 0).iter().sum();
+            prop_assert!(t2 >= t1);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! RAD for a single resource category: DEQ + marked round-robin cycles.
+
+use crate::deq::deq_allot_into;
+use kdag::{Category, JobId};
+use ksim::{AllotmentMatrix, JobView};
+use std::collections::HashSet;
+
+/// The RAD scheduler state for one processor category `α`.
+///
+/// Faithful to the paper's Figure 2 pseudo-code:
+///
+/// ```text
+/// RAD(α, t, J, P)
+///   Q  ← unmarked α-active jobs
+///   Q' ← marked α-active jobs
+///   if |Q| > P → ROUND-ROBIN(first P of Q): 1 processor each, mark
+///   else       → move min(|Q'|, P − |Q|) jobs from Q' to Q;
+///                DEQ(Q, P); unmark all jobs   (the RR cycle ends)
+/// ```
+///
+/// Jobs are kept in a stable arrival-ordered queue; "first P jobs"
+/// means first in that order. Marks identify jobs already served in the
+/// current round-robin cycle so every α-active job runs exactly once
+/// per cycle (fairness under heavy load).
+#[derive(Clone, Debug)]
+pub struct RadState {
+    cat: Category,
+    /// Known uncompleted jobs in arrival order.
+    queue: Vec<JobId>,
+    /// Jobs already scheduled in the current RR cycle.
+    marked: HashSet<JobId>,
+    /// Rotation counter for DEQ's remainder distribution.
+    spill: usize,
+    /// Scratch: desires of the DEQ participants.
+    deq_desires: Vec<u32>,
+    /// Scratch: DEQ output.
+    deq_out: Vec<u32>,
+}
+
+impl RadState {
+    /// Create the RAD state for category `cat`.
+    pub fn new(cat: Category) -> Self {
+        RadState {
+            cat,
+            queue: Vec::new(),
+            marked: HashSet::new(),
+            spill: 0,
+            deq_desires: Vec::new(),
+            deq_out: Vec::new(),
+        }
+    }
+
+    /// The category this instance manages.
+    pub fn category(&self) -> Category {
+        self.cat
+    }
+
+    /// Register a newly released job (appended to the queue tail).
+    pub fn job_arrived(&mut self, id: JobId) {
+        self.queue.push(id);
+    }
+
+    /// Remove a completed job from the queue and marks.
+    pub fn job_completed(&mut self, id: JobId) {
+        self.queue.retain(|&x| x != id);
+        self.marked.remove(&id);
+    }
+
+    /// Number of jobs currently tracked (all uncompleted released
+    /// jobs, α-active or not).
+    pub fn tracked_jobs(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if the job has been served in the current RR cycle.
+    pub fn is_marked(&self, id: JobId) -> bool {
+        self.marked.contains(&id)
+    }
+
+    /// Compute this category's allotments for one step.
+    ///
+    /// `views` must be sorted by job id (the engine guarantees this);
+    /// allotments are written into `out` at each job's slot.
+    pub fn allot(&mut self, views: &[JobView<'_>], p: u32, out: &mut AllotmentMatrix) {
+        let cat = self.cat;
+        // Slot lookup by binary search over the id-sorted views.
+        let slot_of = |id: JobId| -> Option<usize> {
+            let s = views.partition_point(|v| v.id < id);
+            (s < views.len() && views[s].id == id).then_some(s)
+        };
+
+        // Q: unmarked α-active, Q': marked α-active, both in queue order.
+        let mut q: Vec<(JobId, usize)> = Vec::new();
+        let mut q_marked: Vec<(JobId, usize)> = Vec::new();
+        for &id in &self.queue {
+            let Some(slot) = slot_of(id) else {
+                // Job released but not in views: impossible by
+                // construction (queue is synced by the callbacks).
+                debug_assert!(false, "queued job {id} missing from views");
+                continue;
+            };
+            if views[slot].desire(cat) == 0 {
+                continue; // α-inactive this step
+            }
+            if self.marked.contains(&id) {
+                q_marked.push((id, slot));
+            } else {
+                q.push((id, slot));
+            }
+        }
+
+        if q.len() > p as usize {
+            // ROUND-ROBIN: one processor each to the first P of Q.
+            for &(id, slot) in &q[..p as usize] {
+                out.set(slot, cat, 1);
+                self.marked.insert(id);
+            }
+        } else {
+            // Cycle completion: top up with marked jobs, then DEQ.
+            let take = q_marked.len().min(p as usize - q.len());
+            q.extend_from_slice(&q_marked[..take]);
+            self.deq_desires.clear();
+            self.deq_desires
+                .extend(q.iter().map(|&(_, slot)| views[slot].desire(cat)));
+            self.deq_out.clear();
+            self.deq_out.resize(q.len(), 0);
+            deq_allot_into(&self.deq_desires, p, self.spill, &mut self.deq_out);
+            self.spill = self.spill.wrapping_add(1);
+            for (&(_, slot), &a) in q.iter().zip(&self.deq_out) {
+                out.set(slot, cat, a);
+            }
+            self.marked.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::Resources;
+
+    /// Drive a RadState directly with synthetic desires.
+    struct Harness {
+        rad: RadState,
+        k: usize,
+        p: u32,
+    }
+
+    impl Harness {
+        fn new(p: u32) -> Self {
+            Harness {
+                rad: RadState::new(Category(0)),
+                k: 1,
+                p,
+            }
+        }
+
+        /// One step: jobs given as (id, desire); returns (id → allotment).
+        fn step(&mut self, jobs: &[(u32, u32)]) -> Vec<(u32, u32)> {
+            let desires: Vec<[u32; 1]> = jobs.iter().map(|&(_, d)| [d]).collect();
+            let views: Vec<JobView<'_>> = jobs
+                .iter()
+                .zip(&desires)
+                .map(|(&(id, _), d)| JobView {
+                    id: JobId(id),
+                    release: 0,
+                    desires: d,
+                })
+                .collect();
+            let mut out = AllotmentMatrix::new(self.k);
+            out.reset(views.len());
+            self.rad.allot(&views, self.p, &mut out);
+            jobs.iter()
+                .enumerate()
+                .map(|(slot, &(id, _))| (id, out.get(slot, Category(0))))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn light_load_uses_deq() {
+        let mut h = Harness::new(8);
+        for id in 0..3 {
+            h.rad.job_arrived(JobId(id));
+        }
+        // Paper-style DEQ example: desires 2, 5, 9 on 8 processors.
+        let a = h.step(&[(0, 2), (1, 5), (2, 9)]);
+        assert_eq!(a, vec![(0, 2), (1, 3), (2, 3)]);
+        // Light-load steps end the (trivial) cycle: nothing stays marked.
+        assert!(!h.rad.is_marked(JobId(0)));
+    }
+
+    #[test]
+    fn heavy_load_runs_rr_cycle() {
+        let mut h = Harness::new(2);
+        for id in 0..5 {
+            h.rad.job_arrived(JobId(id));
+        }
+        let jobs: Vec<(u32, u32)> = (0..5).map(|id| (id, 3)).collect();
+
+        // Step 1: |Q| = 5 > 2 → jobs 0, 1 get one processor each.
+        let a = h.step(&jobs);
+        assert_eq!(a, vec![(0, 1), (1, 1), (2, 0), (3, 0), (4, 0)]);
+        assert!(h.rad.is_marked(JobId(0)) && h.rad.is_marked(JobId(1)));
+
+        // Step 2: unmarked {2,3,4} → jobs 2, 3.
+        let a = h.step(&jobs);
+        assert_eq!(a, vec![(0, 0), (1, 0), (2, 1), (3, 1), (4, 0)]);
+
+        // Step 3: |Q| = {4} ≤ 2 → move one marked job (0, queue order)
+        // into Q, DEQ over {4, 0} with P = 2 → 1 each; cycle ends.
+        let a = h.step(&jobs);
+        assert_eq!(a, vec![(0, 1), (1, 0), (2, 0), (3, 0), (4, 1)]);
+        for id in 0..5 {
+            assert!(!h.rad.is_marked(JobId(id)), "cycle must unmark all");
+        }
+    }
+
+    #[test]
+    fn every_job_served_at_least_once_per_cycle() {
+        let n = 7u32;
+        let p = 3u32;
+        let mut h = Harness::new(p);
+        for id in 0..n {
+            h.rad.job_arrived(JobId(id));
+        }
+        let jobs: Vec<(u32, u32)> = (0..n).map(|id| (id, 10)).collect();
+        let mut served = vec![0u32; n as usize];
+        // One full cycle = ceil(n / p) = 3 steps.
+        for _ in 0..3 {
+            for (id, a) in h.step(&jobs) {
+                served[id as usize] += a;
+            }
+        }
+        // Fairness: every α-active job runs ≥ once per cycle. Work
+        // conservation: the cycle-ending step tops up with marked jobs
+        // (paper's `min(|Q'|, P − |Q|)` move), so all p·steps
+        // processors are used — here jobs 0 and 1 are served twice.
+        assert!(served.iter().all(|&s| s >= 1), "fairness: {served:?}");
+        assert_eq!(served.iter().sum::<u32>(), p * 3, "work conservation");
+        assert_eq!(served, vec![2, 2, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn inactive_jobs_are_skipped() {
+        let mut h = Harness::new(2);
+        for id in 0..4 {
+            h.rad.job_arrived(JobId(id));
+        }
+        // Only jobs 1 and 3 are α-active.
+        let a = h.step(&[(0, 0), (1, 5), (2, 0), (3, 5)]);
+        assert_eq!(a, vec![(0, 0), (1, 1), (2, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn completion_removes_from_queue() {
+        let mut h = Harness::new(1);
+        for id in 0..3 {
+            h.rad.job_arrived(JobId(id));
+        }
+        h.rad.job_completed(JobId(0));
+        assert_eq!(h.rad.tracked_jobs(), 2);
+        // Heavy load (2 > 1): first unmarked is now job 1.
+        let a = h.step(&[(1, 2), (2, 2)]);
+        assert_eq!(a, vec![(1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn exactly_p_active_jobs_takes_deq_branch() {
+        let mut h = Harness::new(3);
+        for id in 0..3 {
+            h.rad.job_arrived(JobId(id));
+        }
+        let a = h.step(&[(0, 4), (1, 4), (2, 4)]);
+        // DEQ branch: 1 each (equal shares), cycle completes.
+        assert_eq!(a, vec![(0, 1), (1, 1), (2, 1)]);
+        assert!(!h.rad.is_marked(JobId(0)));
+    }
+
+    #[test]
+    fn allot_never_exceeds_capacity() {
+        let mut h = Harness::new(4);
+        for id in 0..10 {
+            h.rad.job_arrived(JobId(id));
+        }
+        for step in 0..20 {
+            let jobs: Vec<(u32, u32)> = (0..10).map(|id| (id, 1 + (id + step) % 5)).collect();
+            let total: u32 = h.step(&jobs).iter().map(|&(_, a)| a).sum();
+            assert!(total <= 4, "step {step}: allotted {total} > 4");
+        }
+    }
+
+    /// Engine-level smoke test: RadState embedded in a 1-category
+    /// scheduler behaves like RAD end to end.
+    #[test]
+    fn rad_single_category_end_to_end() {
+        use kdag::{Category, DagBuilder};
+        use ksim::{simulate, JobSpec, SimConfig, Time};
+
+        struct OneRad(RadState);
+        impl ksim::Scheduler for OneRad {
+            fn name(&self) -> String {
+                "rad-1".into()
+            }
+            fn on_arrival(&mut self, id: JobId, _t: Time) {
+                self.0.job_arrived(id);
+            }
+            fn on_completion(&mut self, id: JobId, _t: Time) {
+                self.0.job_completed(id);
+            }
+            fn allot(
+                &mut self,
+                _t: Time,
+                views: &[JobView<'_>],
+                res: &Resources,
+                out: &mut AllotmentMatrix,
+            ) {
+                self.0.allot(views, res.processors(Category(0)), out);
+            }
+        }
+
+        // 6 flat jobs of 8 tasks on 2 processors: total work 48, so
+        // the makespan must be ≥ 24; RAD must finish in exactly 24
+        // (work-conserving: every step executes 2 tasks).
+        let jobs: Vec<JobSpec> = (0..6)
+            .map(|_| {
+                let mut b = DagBuilder::new(1);
+                b.add_tasks(Category(0), 8);
+                JobSpec::batched(b.build().unwrap())
+            })
+            .collect();
+        let res = Resources::uniform(1, 2);
+        let mut s = OneRad(RadState::new(Category(0)));
+        let o = simulate(&mut s, &jobs, &res, &SimConfig::default());
+        assert_eq!(o.makespan, 24);
+        assert_eq!(o.total_executed(), 48);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for RAD/K-RAD driven by random desire streams.
+
+use kdag::{Category, JobId};
+use krad::deq::deq_allot;
+use krad::RadState;
+use ksim::{AllotmentMatrix, JobView};
+use proptest::prelude::*;
+
+/// Drive one RadState over a stream of desire vectors; returns the
+/// allotment matrix rows per step.
+fn drive(rad: &mut RadState, stream: &[Vec<u32>], p: u32) -> Vec<Vec<u32>> {
+    let mut result = Vec::new();
+    for desires in stream {
+        let rows: Vec<[u32; 1]> = desires.iter().map(|&d| [d]).collect();
+        let views: Vec<JobView<'_>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, d)| JobView {
+                id: JobId(i as u32),
+                release: 0,
+                desires: d,
+            })
+            .collect();
+        let mut out = AllotmentMatrix::new(1);
+        out.reset(views.len());
+        rad.allot(&views, p, &mut out);
+        result.push((0..views.len()).map(|s| out.get(s, Category(0))).collect());
+    }
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Per-step invariants over arbitrary desire streams: capacity is
+    /// respected, inactive jobs get nothing, allotments never exceed
+    /// desires in the DEQ branch and are ≤ 1 in the RR branch.
+    #[test]
+    fn rad_per_step_invariants(
+        stream in proptest::collection::vec(
+            proptest::collection::vec(0u32..10, 1..12),
+            1..20
+        ),
+        p in 1u32..6,
+    ) {
+        let n = stream[0].len();
+        // Normalize: all steps same job count.
+        let stream: Vec<Vec<u32>> = stream.iter().map(|s| {
+            let mut v = s.clone();
+            v.resize(n, 0);
+            v
+        }).collect();
+        let mut rad = RadState::new(Category(0));
+        for i in 0..n {
+            rad.job_arrived(JobId(i as u32));
+        }
+        let allots = drive(&mut rad, &stream, p);
+        for (step, (desires, a)) in stream.iter().zip(&allots).enumerate() {
+            let total: u32 = a.iter().sum();
+            prop_assert!(total <= p, "step {step}: over capacity");
+            let active = desires.iter().filter(|&&d| d > 0).count() as u32;
+            let demand: u32 = desires.iter().sum();
+            // Work conservation, exactly:
+            // * ≤ p active jobs → every active job participates in the
+            //   DEQ step, so total = min(p, demand);
+            // * > p active jobs → both the RR branch and the topped-up
+            //   DEQ branch hand out all p processors (each participant
+            //   desires ≥ 1).
+            if active <= p {
+                prop_assert_eq!(total, demand.min(p), "step {}: not work-conserving", step);
+            } else {
+                prop_assert_eq!(total, p, "step {}: heavy load must use all processors", step);
+            }
+            for (i, (&d, &ai)) in desires.iter().zip(a).enumerate() {
+                if d == 0 {
+                    prop_assert_eq!(ai, 0, "step {}: inactive job {} got {}", step, i, ai);
+                }
+                prop_assert!(ai <= d, "step {step}: job {i} allotted {ai} > desire {d}");
+            }
+        }
+    }
+
+    /// Cycle fairness: with constant desires and more jobs than
+    /// processors, every job is served at least once within any window
+    /// of ceil(n/p) + 1 consecutive steps.
+    #[test]
+    fn rad_cycle_fairness(n in 3usize..15, p in 1u32..4, d in 1u32..8) {
+        prop_assume!(n as u32 > p);
+        let mut rad = RadState::new(Category(0));
+        for i in 0..n {
+            rad.job_arrived(JobId(i as u32));
+        }
+        let cycle = (n as u32).div_ceil(p) as usize + 1;
+        let stream: Vec<Vec<u32>> = (0..3 * cycle).map(|_| vec![d; n]).collect();
+        let allots = drive(&mut rad, &stream, p);
+        for start in 0..allots.len() - cycle {
+            let mut served = vec![0u32; n];
+            for step in &allots[start..start + cycle] {
+                for (s, a) in served.iter_mut().zip(step) {
+                    *s += a;
+                }
+            }
+            for (i, &s) in served.iter().enumerate() {
+                prop_assert!(
+                    s >= 1,
+                    "job {i} unserved in window [{start}, {})",
+                    start + cycle
+                );
+            }
+        }
+    }
+
+    /// Light load (n ≤ p): RAD is exactly DEQ with a rotating spill,
+    /// i.e. the multiset of allotments matches `deq_allot` and every
+    /// job with desire ≤ fair share is fully satisfied.
+    #[test]
+    fn rad_light_load_is_deq(
+        desires in proptest::collection::vec(0u32..12, 1..6),
+        extra_p in 0u32..6,
+    ) {
+        let n = desires.len() as u32;
+        let p = n + extra_p;
+        let mut rad = RadState::new(Category(0));
+        for i in 0..desires.len() {
+            rad.job_arrived(JobId(i as u32));
+        }
+        let got = drive(&mut rad, std::slice::from_ref(&desires), p).remove(0);
+        // Compare against DEQ restricted to active jobs (spill 0: first
+        // step of a fresh RadState).
+        let active: Vec<usize> = (0..desires.len()).filter(|&i| desires[i] > 0).collect();
+        let active_desires: Vec<u32> = active.iter().map(|&i| desires[i]).collect();
+        let expect = deq_allot(&active_desires, p, 0);
+        for (slot, &i) in active.iter().enumerate() {
+            prop_assert_eq!(got[i], expect[slot], "job {} deviates from DEQ", i);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Regenerate every figure/theorem table of the paper.
+//!
+//! ```text
+//! run_experiments [--quick] [--only ID[,ID...]] [--seed N] [--out DIR] [--list]
+//! ```
+//!
+//! Prints each table and writes `<out>/<ID>.json` + `<out>/<ID>.csv`.
+//! Exits non-zero if any experiment's bound checks failed.
+
+use kexperiments::{registry, RunOpts};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    opts: RunOpts,
+    only: Option<Vec<String>>,
+    out: PathBuf,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut opts = RunOpts::default();
+    let mut only = None;
+    let mut out = PathBuf::from("results");
+    let mut list = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--list" => list = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--only" => {
+                let v = it.next().ok_or("--only needs a value")?;
+                only = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--out" => {
+                out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: run_experiments [--quick] [--only ID[,ID...]] [--seed N] [--out DIR] [--list]".into());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        opts,
+        only,
+        out,
+        list,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for e in registry::all() {
+            println!("{:<4} {}", e.id, e.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let entries: Vec<_> = registry::all()
+        .into_iter()
+        .filter(|e| {
+            args.only
+                .as_ref()
+                .map(|ids| ids.iter().any(|id| id.eq_ignore_ascii_case(e.id)))
+                .unwrap_or(true)
+        })
+        .collect();
+    if entries.is_empty() {
+        eprintln!("no experiments matched --only filter");
+        return ExitCode::FAILURE;
+    }
+
+    let mut all_passed = true;
+    for entry in entries {
+        let started = std::time::Instant::now();
+        let report = (entry.run)(&args.opts);
+        let elapsed = started.elapsed();
+        println!("{}", report.table.render());
+        for c in &report.conclusions {
+            println!("  -> {c}");
+        }
+        println!(
+            "  [{}] {} in {:.2?}\n",
+            if report.passed { "PASS" } else { "FAIL" },
+            report.id,
+            elapsed
+        );
+        all_passed &= report.passed;
+        match report.write_to(&args.out) {
+            Ok(p) => println!("  wrote {}\n", p.display()),
+            Err(e) => eprintln!("  failed to write report: {e}"),
+        }
+    }
+
+    if all_passed {
+        println!("ALL EXPERIMENTS PASSED");
+        ExitCode::SUCCESS
+    } else {
+        println!("SOME EXPERIMENTS FAILED");
+        ExitCode::FAILURE
+    }
+}

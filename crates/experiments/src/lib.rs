@@ -1,0 +1,79 @@
+//! # kexperiments — the experiment harness
+//!
+//! One module per experiment of DESIGN.md's index; each regenerates a
+//! figure of the paper or empirically validates a theorem, producing a
+//! [`kanalysis::report::ExperimentReport`] (printed table + JSON/CSV).
+//!
+//! | Id | Module | Reproduces |
+//! |----|--------|-----------|
+//! | F1 | [`f1_dag`] | Figure 1: the example 3-DAG |
+//! | F2 | [`f2_conformance`] | Figure 2: RAD pseudo-code golden traces |
+//! | T1 | [`t1_adversarial`] | Theorem 1 / Figure 3: makespan lower bound |
+//! | T2 | [`t2_makespan`] | Theorem 3: makespan competitiveness |
+//! | T3 | [`t3_lemma2`] | Lemma 2: structural makespan bound |
+//! | T4 | [`t4_mrt_light`] | Theorem 5: mean response, light load |
+//! | T5 | [`t5_mrt_heavy`] | Theorem 6: mean response, heavy load |
+//! | T6 | [`t6_k1`] | §7 remark: K = 1 three-competitiveness |
+//! | T7 | [`t7_baselines`] | baseline comparison on named scenarios |
+//! | T8 | [`t8_ablation`] | ablation of RAD's DEQ↔RR switch |
+//! | T9 | [`t9_speeds`] | §8 extension: functional + performance heterogeneity |
+//! | T10 | [`t10_policy`] | environment (selection-policy) sensitivity |
+//! | T11 | [`t11_twolevel`] | extension: quanta + A-Greedy feedback |
+//! | T12 | [`t12_stress`] | online stress: heavy tails + bursty arrivals |
+//! | T13 | [`t13_overhead`] | scheduler decision overhead vs job count |
+//! | T14 | [`t14_trace`] | trace-driven replay (SWF ingestion pipeline) |
+//! | T15 | [`t15_drf`] | K-RAD vs Dominant Resource Fairness |
+//!
+//! Run everything with the `run_experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p kexperiments --bin run_experiments -- [--quick] [--only T1] [--seed 42] [--out results]
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod f1_dag;
+pub mod f2_conformance;
+pub mod registry;
+pub mod runner;
+pub mod t10_policy;
+pub mod t11_twolevel;
+pub mod t12_stress;
+pub mod t13_overhead;
+pub mod t14_trace;
+pub mod t15_drf;
+pub mod t1_adversarial;
+pub mod t2_makespan;
+pub mod t3_lemma2;
+pub mod t4_mrt_light;
+pub mod t5_mrt_heavy;
+pub mod t6_k1;
+pub mod t7_baselines;
+pub mod t8_ablation;
+pub mod t9_speeds;
+
+/// Options shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct RunOpts {
+    /// Master seed; every experiment derives independent sub-streams.
+    pub seed: u64,
+    /// Smaller sweeps (for tests and benches). Full sweeps otherwise.
+    pub quick: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            seed: 42,
+            quick: false,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Quick-mode options (used by unit tests and criterion benches).
+    pub fn quick(seed: u64) -> Self {
+        RunOpts { seed, quick: true }
+    }
+}

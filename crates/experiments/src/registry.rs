@@ -1,0 +1,130 @@
+//! The experiment registry: ids → runners.
+
+use crate::RunOpts;
+use kanalysis::report::ExperimentReport;
+
+/// A registered experiment.
+pub struct Entry {
+    /// Stable id from DESIGN.md (e.g. "T1").
+    pub id: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The runner.
+    pub run: fn(&RunOpts) -> ExperimentReport,
+}
+
+/// All experiments in canonical order.
+pub fn all() -> Vec<Entry> {
+    vec![
+        Entry {
+            id: "F1",
+            description: "Figure 1: example 3-DAG",
+            run: crate::f1_dag::run,
+        },
+        Entry {
+            id: "F2",
+            description: "Figure 2: RAD pseudo-code conformance",
+            run: crate::f2_conformance::run,
+        },
+        Entry {
+            id: "T1",
+            description: "Theorem 1 / Figure 3: adversarial makespan lower bound",
+            run: crate::t1_adversarial::run,
+        },
+        Entry {
+            id: "T2",
+            description: "Theorem 3: makespan competitiveness",
+            run: crate::t2_makespan::run,
+        },
+        Entry {
+            id: "T3",
+            description: "Lemma 2: structural makespan bound",
+            run: crate::t3_lemma2::run,
+        },
+        Entry {
+            id: "T4",
+            description: "Theorem 5: mean response time, light load",
+            run: crate::t4_mrt_light::run,
+        },
+        Entry {
+            id: "T5",
+            description: "Theorem 6: mean response time, heavy load",
+            run: crate::t5_mrt_heavy::run,
+        },
+        Entry {
+            id: "T6",
+            description: "K = 1: three-competitive mean response",
+            run: crate::t6_k1::run,
+        },
+        Entry {
+            id: "T7",
+            description: "Baseline comparison on named scenarios",
+            run: crate::t7_baselines::run,
+        },
+        Entry {
+            id: "T8",
+            description: "Ablation: DEQ-only / RR-only",
+            run: crate::t8_ablation::run,
+        },
+        Entry {
+            id: "T9",
+            description: "Extension: functional + performance heterogeneity",
+            run: crate::t9_speeds::run,
+        },
+        Entry {
+            id: "T10",
+            description: "Selection-policy (environment) sensitivity",
+            run: crate::t10_policy::run,
+        },
+        Entry {
+            id: "T11",
+            description: "Extension: quanta + A-Greedy feedback",
+            run: crate::t11_twolevel::run,
+        },
+        Entry {
+            id: "T12",
+            description: "Online stress: heavy tails + bursts",
+            run: crate::t12_stress::run,
+        },
+        Entry {
+            id: "T13",
+            description: "Scheduler decision overhead vs job count",
+            run: crate::t13_overhead::run,
+        },
+        Entry {
+            id: "T14",
+            description: "Trace-driven replay (SWF pipeline)",
+            run: crate::t14_trace::run,
+        },
+        Entry {
+            id: "T15",
+            description: "K-RAD vs Dominant Resource Fairness",
+            run: crate::t15_drf::run,
+        },
+    ]
+}
+
+/// Look up one experiment by (case-insensitive) id.
+pub fn find(id: &str) -> Option<Entry> {
+    all().into_iter().find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let mut ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all().len());
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("t1").is_some());
+        assert!(find("F2").is_some());
+        assert!(find("nope").is_none());
+    }
+}

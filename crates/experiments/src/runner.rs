@@ -1,0 +1,198 @@
+//! Shared helpers: simulation shortcuts, a parallel sweep runner, and
+//! the all-schedulers comparison harness.
+
+use kanalysis::bounds::makespan_bounds;
+use kanalysis::stats::percentile;
+use kanalysis::table::{f3, Table};
+use kbaselines::SchedulerKind;
+use kdag::{Category, SelectionPolicy};
+use ksim::{simulate, JobSpec, Resources, SimConfig, SimOutcome};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Simulate one scheduler kind on a job set (fresh scheduler instance,
+/// standard config with the given policy and seed).
+pub fn run_kind(
+    kind: SchedulerKind,
+    jobs: &[JobSpec],
+    res: &Resources,
+    policy: SelectionPolicy,
+    seed: u64,
+) -> SimOutcome {
+    let mut cfg = SimConfig::with_policy(policy);
+    cfg.seed = seed;
+    let mut sched = kind.build(res.k());
+    simulate(sched.as_mut(), jobs, res, &cfg)
+}
+
+/// Map `f` over `items` on all available cores, preserving order.
+///
+/// The closure gets `(index, &item)`. Work is distributed by an atomic
+/// cursor, so uneven item costs balance automatically. Panics in
+/// workers propagate (the sweep is aborted).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                results.lock().expect("no poisoned sweeps")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("no poisoned sweeps")
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+/// One scheduler's headline metrics on one workload.
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// Which scheduler.
+    pub kind: SchedulerKind,
+    /// Makespan `T(J)`.
+    pub makespan: u64,
+    /// `T / LB` against the §4 lower bound.
+    pub ratio_vs_lb: f64,
+    /// Mean response time.
+    pub mean_response: f64,
+    /// 95th-percentile response time.
+    pub p95_response: f64,
+    /// Maximum response time (the tail).
+    pub max_response: u64,
+    /// The worst per-category utilization (bottleneck view).
+    pub min_utilization: f64,
+    /// Processor units withdrawn from still-active jobs.
+    pub preemptions: u64,
+}
+
+/// Run every [`SchedulerKind`] on the same workload (in parallel) and
+/// collect the standard comparison metrics, rows in canonical order.
+pub fn compare_schedulers(
+    jobs: &[JobSpec],
+    res: &Resources,
+    policy: SelectionPolicy,
+    seed: u64,
+) -> Vec<CompareRow> {
+    let lb = makespan_bounds(jobs, res).lower_bound();
+    let kinds: Vec<SchedulerKind> = SchedulerKind::ALL.to_vec();
+    par_map(&kinds, |_, &kind| {
+        let o = run_kind(kind, jobs, res, policy, seed);
+        let responses: Vec<f64> = (0..o.job_count()).map(|i| o.response(i) as f64).collect();
+        CompareRow {
+            kind,
+            makespan: o.makespan,
+            ratio_vs_lb: o.makespan as f64 / lb,
+            mean_response: o.mean_response(),
+            p95_response: percentile(&responses, 95.0),
+            max_response: o.max_response(),
+            min_utilization: Category::all(res.k())
+                .map(|c| o.utilization(c, res))
+                .fold(f64::INFINITY, f64::min),
+            preemptions: o.preemptions,
+        }
+    })
+}
+
+/// Render comparison rows as the standard table.
+pub fn comparison_table(title: &str, rows: &[CompareRow]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "scheduler",
+            "makespan",
+            "T/LB",
+            "mean resp",
+            "p95 resp",
+            "max resp",
+            "min util",
+        ],
+    );
+    for r in rows {
+        table.row_owned(vec![
+            r.kind.label().to_string(),
+            r.makespan.to_string(),
+            f3(r.ratio_vs_lb),
+            f3(r.mean_response),
+            f3(r.p95_response),
+            r.max_response.to_string(),
+            format!("{:.0}%", 100.0 * r.min_utilization),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::generators::chain;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |i, &x| x * 2 + i as u64);
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, items[i] * 2 + i as u64);
+        }
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let items: Vec<u64> = vec![];
+        assert!(par_map(&items, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn run_kind_smoke() {
+        let jobs = vec![JobSpec::batched(chain(1, 5, &[Category(0)]))];
+        let res = Resources::uniform(1, 2);
+        for kind in SchedulerKind::ALL {
+            let o = run_kind(kind, &jobs, &res, SelectionPolicy::Fifo, 0);
+            assert_eq!(o.makespan, 5, "{kind}: chain must take span steps");
+        }
+    }
+
+    #[test]
+    fn compare_covers_all_kinds_in_order() {
+        let jobs = vec![
+            JobSpec::batched(chain(1, 4, &[Category(0)])),
+            JobSpec::batched(chain(1, 6, &[Category(0)])),
+        ];
+        let res = Resources::uniform(1, 2);
+        let rows = compare_schedulers(&jobs, &res, SelectionPolicy::Fifo, 0);
+        assert_eq!(rows.len(), SchedulerKind::ALL.len());
+        for (row, kind) in rows.iter().zip(SchedulerKind::ALL) {
+            assert_eq!(row.kind, kind);
+            assert!(row.makespan >= 6);
+            assert!(row.ratio_vs_lb >= 1.0 - 1e-9);
+            assert!(row.max_response as f64 >= row.mean_response);
+        }
+        let table = comparison_table("t", &rows);
+        assert_eq!(table.rows.len(), rows.len());
+        assert!(table.render().contains("k-rad"));
+    }
+}

@@ -1,0 +1,226 @@
+//! T11 — extension: two-level scheduling realism.
+//!
+//! The RAD lineage (He/Hsu/Leiserson, JSSPP'06 / IPDPS'07 — the papers
+//! this one extends to K resources) schedules in *quanta* and lets jobs
+//! report **A-Greedy feedback estimates** instead of exact
+//! instantaneous parallelism. This experiment measures what those two
+//! realism knobs cost K-RAD on a mixed workload:
+//!
+//! * quantum `q ∈ {1, 4, 16}` — allotments frozen between decisions;
+//! * desires: exact vs A-Greedy with `δ ∈ {0.5, 0.8, 0.95}`.
+//!
+//! Expected shape: costs grow gently with `q` and with coarser
+//! feedback; the exact per-step configuration (the paper's model) is
+//! the best; everything remains within the Theorem 3 bound computed
+//! for the machine (the bound itself is only *proven* for `q = 1` +
+//! exact desires, so staying under it here is an observation, not a
+//! theorem check).
+
+use crate::runner::par_map;
+use crate::RunOpts;
+use kanalysis::bounds::makespan_bounds;
+use kanalysis::report::ExperimentReport;
+use kanalysis::table::{f3, Table};
+use kdag::SelectionPolicy;
+use krad::KRad;
+use ksim::{simulate, DesireModel, Resources, SimConfig};
+use kworkloads::mixes::{batched_mix, MixConfig};
+use kworkloads::rng_for;
+
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    quantum: u64,
+    model: DesireModel,
+}
+
+struct Row {
+    cfg: Config,
+    makespan: u64,
+    ratio: f64,
+    mrt: f64,
+    waste_pct: f64,
+}
+
+fn model_label(m: DesireModel) -> String {
+    match m {
+        DesireModel::Exact => "exact".into(),
+        DesireModel::AGreedy { delta } => format!("a-greedy δ={delta}"),
+    }
+}
+
+fn measure(cfg: &Config, master: u64) -> Row {
+    let k = 2usize;
+    let mut rng = rng_for(master, 0x7B);
+    let jobs = batched_mix(&mut rng, &MixConfig::new(k, 24, 40));
+    let res = Resources::uniform(k, 6);
+    let mut sim_cfg = SimConfig::with_policy(SelectionPolicy::Fifo);
+    sim_cfg.quantum = cfg.quantum;
+    sim_cfg.desire_model = cfg.model;
+    let mut sched = KRad::new(k);
+    let o = simulate(&mut sched, &jobs, &res, &sim_cfg);
+    let lb = makespan_bounds(&jobs, &res).lower_bound();
+    Row {
+        cfg: *cfg,
+        makespan: o.makespan,
+        ratio: o.makespan as f64 / lb,
+        mrt: o.mean_response(),
+        waste_pct: 100.0 * o.waste_fraction(),
+    }
+}
+
+/// Run T11.
+pub fn run(opts: &RunOpts) -> ExperimentReport {
+    let quanta: &[u64] = if opts.quick { &[1, 4] } else { &[1, 4, 16] };
+    let models: Vec<DesireModel> = if opts.quick {
+        vec![DesireModel::Exact, DesireModel::AGreedy { delta: 0.8 }]
+    } else {
+        vec![
+            DesireModel::Exact,
+            DesireModel::AGreedy { delta: 0.5 },
+            DesireModel::AGreedy { delta: 0.8 },
+            DesireModel::AGreedy { delta: 0.95 },
+        ]
+    };
+    let configs: Vec<Config> = quanta
+        .iter()
+        .flat_map(|&q| {
+            models.iter().map(move |&m| Config {
+                quantum: q,
+                model: m,
+            })
+        })
+        .collect();
+
+    let rows = par_map(&configs, |_, cfg| measure(cfg, opts.seed));
+
+    let mut table = Table::new(
+        "T11 — two-level realism: quanta + A-Greedy feedback vs the paper's per-step exact model",
+        &[
+            "quantum",
+            "desires",
+            "makespan",
+            "T/LB",
+            "mean resp",
+            "waste",
+        ],
+    );
+    for r in &rows {
+        table.row_owned(vec![
+            r.cfg.quantum.to_string(),
+            model_label(r.cfg.model),
+            r.makespan.to_string(),
+            f3(r.ratio),
+            f3(r.mrt),
+            format!("{:.1}%", r.waste_pct),
+        ]);
+    }
+
+    // Shape checks.
+    let baseline = rows
+        .iter()
+        .find(|r| r.cfg.quantum == 1 && r.cfg.model == DesireModel::Exact)
+        .expect("baseline present");
+    let mut passed = true;
+    let mut conclusions = Vec::new();
+
+    // (1) The paper's model (q = 1, exact) is the best configuration
+    // and wastes (almost) nothing: with desire-capped allotments every
+    // allotted processor executes.
+    for r in &rows {
+        if (r.makespan as f64) < baseline.makespan as f64 * 0.98 {
+            passed = false;
+            conclusions.push(format!(
+                "SHAPE: q={} {} beat the exact per-step baseline ({} vs {})",
+                r.cfg.quantum,
+                model_label(r.cfg.model),
+                r.makespan,
+                baseline.makespan
+            ));
+        }
+    }
+    if baseline.waste_pct > 5.0 {
+        passed = false;
+        conclusions.push(format!(
+            "SHAPE: exact-desire waste {:.1}% should be near zero",
+            baseline.waste_pct
+        ));
+    }
+
+    // (2) The finding that motivates feedback in the RAD lineage: with
+    // long quanta, *sampling* the instantaneous desire at the decision
+    // step is brittle (a momentarily-zero desire freezes a job out of a
+    // category for the whole quantum), while A-Greedy's smoothed
+    // estimates degrade gracefully. Assert that at the longest quantum,
+    // feedback beats exact sampling.
+    let longest = *quanta.last().expect("nonempty sweep");
+    if longest > 1 {
+        let exact_long = rows
+            .iter()
+            .find(|r| r.cfg.quantum == longest && r.cfg.model == DesireModel::Exact)
+            .expect("present");
+        let feedback_long = rows
+            .iter()
+            .filter(|r| r.cfg.quantum == longest && !matches!(r.cfg.model, DesireModel::Exact))
+            .map(|r| r.makespan)
+            .min()
+            .expect("present");
+        if feedback_long >= exact_long.makespan {
+            passed = false;
+            conclusions.push(format!(
+                "SHAPE: at q={longest}, feedback ({feedback_long}) should beat instantaneous sampling ({})",
+                exact_long.makespan
+            ));
+        } else {
+            conclusions.push(format!(
+                "with q={longest}, instantaneous-desire sampling collapses to {:.2}x the baseline ({:.0}% waste) while A-Greedy holds at {:.2}x — the very reason the RAD lineage pairs quanta with feedback",
+                exact_long.makespan as f64 / baseline.makespan as f64,
+                exact_long.waste_pct,
+                feedback_long as f64 / baseline.makespan as f64
+            ));
+        }
+
+        // (3) Feedback degradation is bounded across all quanta.
+        let worst_feedback = rows
+            .iter()
+            .filter(|r| !matches!(r.cfg.model, DesireModel::Exact))
+            .map(|r| r.makespan)
+            .max()
+            .unwrap();
+        if (worst_feedback as f64) > baseline.makespan as f64 * 3.0 {
+            passed = false;
+            conclusions.push(format!(
+                "SHAPE: worst feedback makespan {worst_feedback} more than 3x the exact baseline {}",
+                baseline.makespan
+            ));
+        }
+    }
+    if passed {
+        conclusions.insert(
+            0,
+            "the paper's per-step exact model is optimal; quanta are tolerable with feedback but brittle with instantaneous sampling".into(),
+        );
+    }
+    table.note("q > 1: allotments frozen between decisions; a-greedy: desires are doubling/halving estimates, never the true parallelism");
+
+    ExperimentReport {
+        id: "T11".into(),
+        title: "Extension: scheduling quanta + A-Greedy parallelism feedback".into(),
+        paper_claim: "RAD's original two-level setting (quanta, history-based desire feedback) transfers to K resources with modest overhead".into(),
+        params: serde_json::json!({"quanta": quanta, "models": models.iter().map(|m| model_label(*m)).collect::<Vec<_>>(), "seed": opts.seed}),
+        table,
+        conclusions,
+        passed,
+        extra_files: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t11_quick_passes() {
+        let r = run(&RunOpts::quick(41));
+        assert!(r.passed, "{}\n{:?}", r.table.render(), r.conclusions);
+    }
+}

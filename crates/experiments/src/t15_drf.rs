@@ -1,0 +1,184 @@
+//! T15 — K-RAD vs Dominant Resource Fairness.
+//!
+//! DRF (Ghodsi et al., NSDI'11) is *the* modern multi-resource fair
+//! allocator, so it is the natural "what would we use today?" question
+//! for the K-resource model. The structural difference: DRF equalizes
+//! each job's dominant *share of the machine*; K-RAD equalizes
+//! *per-category allotments* and adds a marked round-robin cycle when a
+//! category is oversubscribed. Two targeted cases expose what that
+//! cycle buys:
+//!
+//! * **mixed-demand** — CPU-heavy and I/O-heavy jobs side by side
+//!   (DRF's home turf): both schedulers should do comparably well;
+//! * **heavy-stream** — many more single-category jobs than
+//!   processors: DRF's per-step progressive filling restarts from zero
+//!   shares each step and tie-breaks by id, so the same low-id jobs win
+//!   every step — the tail starves, exactly the failure K-RAD's cycle
+//!   repairs.
+
+use crate::runner::run_kind;
+use crate::RunOpts;
+use kanalysis::report::ExperimentReport;
+use kanalysis::table::{f3, Table};
+use kbaselines::SchedulerKind;
+use kdag::generators::{phased, PhaseSpec};
+use kdag::{Category, SelectionPolicy};
+use ksim::{JobSpec, Resources};
+
+struct Case {
+    label: &'static str,
+    jobs: Vec<JobSpec>,
+    resources: Resources,
+}
+
+fn mixed_demand() -> Case {
+    // 6 CPU-dominant + 6 IO-dominant jobs on a [8, 8] machine.
+    let cpu_heavy = || {
+        phased(
+            2,
+            &[
+                PhaseSpec::new(Category(0), 6, 20),
+                PhaseSpec::new(Category(1), 1, 4),
+            ],
+        )
+    };
+    let io_heavy = || {
+        phased(
+            2,
+            &[
+                PhaseSpec::new(Category(1), 6, 20),
+                PhaseSpec::new(Category(0), 1, 4),
+            ],
+        )
+    };
+    let mut jobs = Vec::new();
+    for _ in 0..6 {
+        jobs.push(JobSpec::batched(cpu_heavy()));
+        jobs.push(JobSpec::batched(io_heavy()));
+    }
+    Case {
+        label: "mixed-demand",
+        jobs,
+        resources: Resources::new(vec![8, 8]),
+    }
+}
+
+fn heavy_stream() -> Case {
+    let jobs = (0..24)
+        .map(|_| JobSpec::batched(phased(1, &[PhaseSpec::new(Category(0), 2, 10)])))
+        .collect();
+    Case {
+        label: "heavy-stream",
+        jobs,
+        resources: Resources::uniform(1, 4),
+    }
+}
+
+/// Run T15.
+pub fn run(opts: &RunOpts) -> ExperimentReport {
+    let cases = [mixed_demand(), heavy_stream()];
+    let kinds = [SchedulerKind::KRad, SchedulerKind::Drf];
+
+    let mut table = Table::new(
+        "T15 — K-RAD vs Dominant Resource Fairness",
+        &[
+            "case",
+            "scheduler",
+            "makespan",
+            "mean resp",
+            "max resp",
+            "resp spread",
+        ],
+    );
+    let mut measured = Vec::new();
+    for case in &cases {
+        for kind in kinds {
+            let o = run_kind(
+                kind,
+                &case.jobs,
+                &case.resources,
+                SelectionPolicy::Fifo,
+                opts.seed,
+            );
+            let min_resp = (0..o.job_count()).map(|i| o.response(i)).min().unwrap();
+            let spread = o.max_response() - min_resp;
+            table.row_owned(vec![
+                case.label.to_string(),
+                kind.label().to_string(),
+                o.makespan.to_string(),
+                f3(o.mean_response()),
+                o.max_response().to_string(),
+                spread.to_string(),
+            ]);
+            measured.push((case.label, kind, o.makespan, o.max_response(), spread));
+        }
+    }
+
+    let get = |label: &str, kind: SchedulerKind| {
+        measured
+            .iter()
+            .find(|(l, k, ..)| *l == label && *k == kind)
+            .expect("measured")
+    };
+    let mut passed = true;
+    let mut conclusions = Vec::new();
+
+    // Mixed demand: comparable makespans (within 25%).
+    let krad_md = get("mixed-demand", SchedulerKind::KRad).2;
+    let drf_md = get("mixed-demand", SchedulerKind::Drf).2;
+    if (krad_md as f64 - drf_md as f64).abs() > 0.25 * krad_md as f64 {
+        conclusions.push(format!(
+            "note: mixed-demand makespans diverge (k-rad {krad_md}, drf {drf_md})"
+        ));
+    } else {
+        conclusions.push(format!(
+            "on DRF's home turf (skewed multi-resource demands) the two are comparable: makespan {krad_md} vs {drf_md}"
+        ));
+    }
+
+    // Heavy stream: DRF's completion spread must dwarf K-RAD's (the
+    // id-tie-break starvation), while makespans match (both are
+    // work-conserving).
+    let krad_hs = get("heavy-stream", SchedulerKind::KRad);
+    let drf_hs = get("heavy-stream", SchedulerKind::Drf);
+    if drf_hs.4 <= krad_hs.4 {
+        passed = false;
+        conclusions.push(format!(
+            "SHAPE: expected DRF's response spread ({}) to exceed K-RAD's ({}) under heavy load",
+            drf_hs.4, krad_hs.4
+        ));
+    } else {
+        conclusions.push(format!(
+            "under heavy single-category load DRF re-ties by job id every step and starves the tail (spread {} vs K-RAD's {}): the round-robin cycle is K-RAD's differentiator even against the modern allocator",
+            drf_hs.4, krad_hs.4
+        ));
+    }
+    if krad_hs.2 != drf_hs.2 {
+        conclusions.push(format!(
+            "note: heavy-stream makespans differ (k-rad {}, drf {})",
+            krad_hs.2, drf_hs.2
+        ));
+    }
+
+    ExperimentReport {
+        id: "T15".into(),
+        title: "K-RAD vs DRF: per-category cycles vs dominant-share fairness".into(),
+        paper_claim: "(context) K-RAD's marked round-robin cycle provides heavy-load fairness that share-equalizing allocators lack; on skewed multi-resource demands the approaches coincide".into(),
+        params: serde_json::json!({"cases": ["mixed-demand", "heavy-stream"], "seed": opts.seed}),
+        table,
+        conclusions,
+        passed,
+        extra_files: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t15_quick_passes() {
+        let r = run(&RunOpts::quick(59));
+        assert!(r.passed, "{}\n{:?}", r.table.render(), r.conclusions);
+    }
+}

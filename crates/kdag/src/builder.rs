@@ -1,0 +1,337 @@
+//! Safe construction of K-DAGs.
+
+use crate::category::Category;
+use crate::dag::JobDag;
+use crate::error::DagError;
+use crate::ids::TaskId;
+use std::collections::HashSet;
+
+/// Incremental builder for a [`JobDag`].
+///
+/// Tasks are added with [`DagBuilder::add_task`] (returning dense
+/// [`TaskId`]s), precedence edges with [`DagBuilder::add_edge`].
+/// [`DagBuilder::build`] validates the graph (non-empty, no self-loops,
+/// no duplicate edges, acyclic) and computes the cached metrics.
+///
+/// ```
+/// use kdag::{Category, DagBuilder};
+/// let mut b = DagBuilder::new(2);
+/// let cpu = b.add_task(Category(0));
+/// let io = b.add_task(Category(1));
+/// b.add_edge(cpu, io).unwrap();
+/// let dag = b.build().unwrap();
+/// assert_eq!(dag.span(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DagBuilder {
+    k: usize,
+    categories: Vec<Category>,
+    edges: Vec<(TaskId, TaskId)>,
+    edge_set: HashSet<(u32, u32)>,
+}
+
+impl DagBuilder {
+    /// Create a builder for a K-resource system with `k` categories.
+    ///
+    /// `k` only has to be an upper bound on the colors used; a 3-DAG
+    /// may legally contain only 2-colored vertices.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "a K-resource system needs at least one category");
+        DagBuilder {
+            k,
+            categories: Vec::new(),
+            edges: Vec::new(),
+            edge_set: HashSet::new(),
+        }
+    }
+
+    /// Create a builder with capacity hints for tasks and edges.
+    pub fn with_capacity(k: usize, tasks: usize, edges: usize) -> Self {
+        let mut b = Self::new(k);
+        b.categories.reserve(tasks);
+        b.edges.reserve(edges);
+        b.edge_set.reserve(edges);
+        b
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// `true` if no tasks have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+
+    /// Add a unit-time task of the given category; returns its id.
+    ///
+    /// # Panics
+    /// Panics if `cat` is outside `0..k` — this is a programming error
+    /// in the caller, not a data error.
+    pub fn add_task(&mut self, cat: Category) -> TaskId {
+        assert!(
+            cat.index() < self.k,
+            "category {cat} out of range for a {}-resource system",
+            self.k
+        );
+        let id = TaskId(self.categories.len() as u32);
+        self.categories.push(cat);
+        id
+    }
+
+    /// Add `n` tasks of the same category; returns their ids.
+    pub fn add_tasks(&mut self, cat: Category, n: usize) -> Vec<TaskId> {
+        (0..n).map(|_| self.add_task(cat)).collect()
+    }
+
+    /// Add a precedence edge `u ≺ v` (u must finish before v starts).
+    ///
+    /// Rejects unknown endpoints, self-loops, and duplicate edges
+    /// eagerly; cycles are detected at [`DagBuilder::build`].
+    pub fn add_edge(&mut self, u: TaskId, v: TaskId) -> Result<(), DagError> {
+        let n = self.categories.len() as u32;
+        if u.0 >= n {
+            return Err(DagError::UnknownTask(u));
+        }
+        if v.0 >= n {
+            return Err(DagError::UnknownTask(v));
+        }
+        if u == v {
+            return Err(DagError::SelfLoop(u));
+        }
+        if !self.edge_set.insert((u.0, v.0)) {
+            return Err(DagError::DuplicateEdge(u, v));
+        }
+        self.edges.push((u, v));
+        Ok(())
+    }
+
+    /// Add a chain of edges `ts[0] ≺ ts[1] ≺ …` over existing tasks.
+    pub fn add_chain(&mut self, ts: &[TaskId]) -> Result<(), DagError> {
+        for w in ts.windows(2) {
+            self.add_edge(w[0], w[1])?;
+        }
+        Ok(())
+    }
+
+    /// Add all edges from every task in `from` to every task in `to`
+    /// (a full barrier between two groups).
+    pub fn add_barrier(&mut self, from: &[TaskId], to: &[TaskId]) -> Result<(), DagError> {
+        for &u in from {
+            for &v in to {
+                self.add_edge(u, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate and freeze the DAG, computing all cached metrics.
+    pub fn build(self) -> Result<JobDag, DagError> {
+        let n = self.categories.len();
+        if n == 0 {
+            return Err(DagError::EmptyJob);
+        }
+
+        // CSR successor lists + in-degrees.
+        let mut out_deg = vec![0u32; n];
+        let mut pred_count = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            out_deg[u.index()] += 1;
+            pred_count[v.index()] += 1;
+        }
+        let mut succ_offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            succ_offsets[i + 1] = succ_offsets[i] + out_deg[i];
+        }
+        let mut cursor: Vec<u32> = succ_offsets[..n].to_vec();
+        let mut succ = vec![TaskId(0); self.edges.len()];
+        for &(u, v) in &self.edges {
+            let c = &mut cursor[u.index()];
+            succ[*c as usize] = v;
+            *c += 1;
+        }
+        // Deterministic successor order independent of insertion order.
+        for i in 0..n {
+            let lo = succ_offsets[i] as usize;
+            let hi = succ_offsets[i + 1] as usize;
+            succ[lo..hi].sort_unstable();
+        }
+
+        // Kahn's algorithm: topological order + cycle detection.
+        let mut indeg = pred_count.clone();
+        let mut topo = Vec::with_capacity(n);
+        let mut frontier: Vec<TaskId> = (0..n as u32)
+            .map(TaskId)
+            .filter(|t| indeg[t.index()] == 0)
+            .collect();
+        // Process in id order for determinism.
+        frontier.reverse();
+        while let Some(t) = frontier.pop() {
+            topo.push(t);
+            let lo = succ_offsets[t.index()] as usize;
+            let hi = succ_offsets[t.index() + 1] as usize;
+            for &s in &succ[lo..hi] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    frontier.push(s);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(DagError::Cycle);
+        }
+
+        // Heights (longest path to sink, inclusive) in reverse topo order.
+        let mut heights = vec![1u32; n];
+        for &t in topo.iter().rev() {
+            let lo = succ_offsets[t.index()] as usize;
+            let hi = succ_offsets[t.index() + 1] as usize;
+            let mut h = 1u32;
+            for &s in &succ[lo..hi] {
+                h = h.max(1 + heights[s.index()]);
+            }
+            heights[t.index()] = h;
+        }
+        let span = heights.iter().copied().max().unwrap_or(0) as u64;
+
+        // Per-category work.
+        let mut work_by_cat = vec![0u64; self.k];
+        for c in &self.categories {
+            work_by_cat[c.index()] += 1;
+        }
+
+        Ok(JobDag {
+            categories: self.categories,
+            succ_offsets,
+            succ,
+            pred_count,
+            k: self.k,
+            work_by_cat,
+            span,
+            heights,
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_job_rejected() {
+        let b = DagBuilder::new(1);
+        assert_eq!(b.build().unwrap_err(), DagError::EmptyJob);
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let mut b = DagBuilder::new(1);
+        let t = b.add_task(Category(0));
+        assert_eq!(
+            b.add_edge(t, TaskId(5)).unwrap_err(),
+            DagError::UnknownTask(TaskId(5))
+        );
+        assert_eq!(
+            b.add_edge(TaskId(9), t).unwrap_err(),
+            DagError::UnknownTask(TaskId(9))
+        );
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = DagBuilder::new(1);
+        let t = b.add_task(Category(0));
+        assert_eq!(b.add_edge(t, t).unwrap_err(), DagError::SelfLoop(t));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = DagBuilder::new(1);
+        let a = b.add_task(Category(0));
+        let c = b.add_task(Category(0));
+        b.add_edge(a, c).unwrap();
+        assert_eq!(b.add_edge(a, c).unwrap_err(), DagError::DuplicateEdge(a, c));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = DagBuilder::new(1);
+        let a = b.add_task(Category(0));
+        let c = b.add_task(Category(0));
+        let d = b.add_task(Category(0));
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, d).unwrap();
+        b.add_edge(d, a).unwrap();
+        assert_eq!(b.build().unwrap_err(), DagError::Cycle);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn category_out_of_range_panics() {
+        let mut b = DagBuilder::new(2);
+        b.add_task(Category(2));
+    }
+
+    #[test]
+    fn chain_builder_helper() {
+        let mut b = DagBuilder::new(1);
+        let ts = b.add_tasks(Category(0), 5);
+        b.add_chain(&ts).unwrap();
+        let d = b.build().unwrap();
+        assert_eq!(d.span(), 5);
+        assert_eq!(d.edge_count(), 4);
+    }
+
+    #[test]
+    fn barrier_builder_helper() {
+        let mut b = DagBuilder::new(2);
+        let phase1 = b.add_tasks(Category(0), 3);
+        let phase2 = b.add_tasks(Category(1), 2);
+        b.add_barrier(&phase1, &phase2).unwrap();
+        let d = b.build().unwrap();
+        assert_eq!(d.edge_count(), 6);
+        assert_eq!(d.span(), 2);
+        assert_eq!(d.work(Category(0)), 3);
+        assert_eq!(d.work(Category(1)), 2);
+    }
+
+    #[test]
+    fn successors_are_sorted() {
+        let mut b = DagBuilder::new(1);
+        let a = b.add_task(Category(0));
+        let x = b.add_task(Category(0));
+        let y = b.add_task(Category(0));
+        let z = b.add_task(Category(0));
+        // Insert out of order; CSR must sort them.
+        b.add_edge(a, z).unwrap();
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        let d = b.build().unwrap();
+        assert_eq!(d.successors(a), &[x, y, z]);
+    }
+
+    #[test]
+    fn topo_order_is_valid() {
+        let mut b = DagBuilder::new(1);
+        let ts = b.add_tasks(Category(0), 6);
+        b.add_edge(ts[0], ts[2]).unwrap();
+        b.add_edge(ts[1], ts[2]).unwrap();
+        b.add_edge(ts[2], ts[3]).unwrap();
+        b.add_edge(ts[3], ts[4]).unwrap();
+        b.add_edge(ts[1], ts[5]).unwrap();
+        let d = b.build().unwrap();
+        let pos: std::collections::HashMap<_, _> = d
+            .topological_order()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (*t, i))
+            .collect();
+        for t in d.tasks() {
+            for &s in d.successors(t) {
+                assert!(pos[&t] < pos[&s], "topo violates edge {t} -> {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Resource categories (the "colors" of a K-DAG).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A functional resource category `α ∈ {0, …, K−1}`.
+///
+/// The paper indexes categories `1..=K`; we use zero-based indices
+/// internally and render them one-based in human-facing output so that
+/// printed tables match the paper's notation.
+///
+/// Examples of categories in real systems: general-purpose CPUs, vector
+/// units, floating-point co-processors, I/O processors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Category(pub u16);
+
+impl Category {
+    /// The category as a `usize` index (zero-based).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// One-based category number, matching the paper's `α` notation.
+    #[inline]
+    pub fn paper_index(self) -> usize {
+        self.0 as usize + 1
+    }
+
+    /// Iterate over all categories of a K-resource system.
+    pub fn all(k: usize) -> impl Iterator<Item = Category> {
+        (0..k).map(|a| Category(a as u16))
+    }
+}
+
+impl fmt::Debug for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α{}", self.paper_index())
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α{}", self.paper_index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_index_is_one_based() {
+        assert_eq!(Category(0).paper_index(), 1);
+        assert_eq!(Category(3).paper_index(), 4);
+    }
+
+    #[test]
+    fn all_enumerates_k_categories() {
+        let cats: Vec<Category> = Category::all(3).collect();
+        assert_eq!(cats, vec![Category(0), Category(1), Category(2)]);
+    }
+
+    #[test]
+    fn display_uses_alpha_notation() {
+        assert_eq!(format!("{}", Category(1)), "α2");
+    }
+}

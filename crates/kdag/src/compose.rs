@@ -1,0 +1,149 @@
+//! DAG composition combinators.
+//!
+//! Build big jobs from validated parts: [`serial`] sequences DAGs with
+//! a full barrier between consecutive parts, [`parallel`] takes their
+//! disjoint union, [`replicate`] fans one shape out. All combinators
+//! re-validate through the builder, so the results inherit every
+//! invariant (acyclicity, cached metrics).
+
+use crate::builder::DagBuilder;
+use crate::dag::JobDag;
+use crate::ids::TaskId;
+
+/// Copy `part` into `b`, returning the id offset it was placed at.
+fn splice(b: &mut DagBuilder, part: &JobDag) -> u32 {
+    let offset = b.len() as u32;
+    for t in part.tasks() {
+        b.add_task(part.category(t));
+    }
+    for t in part.tasks() {
+        for &s in part.successors(t) {
+            b.add_edge(TaskId(offset + t.0), TaskId(offset + s.0))
+                .expect("spliced edges are fresh");
+        }
+    }
+    offset
+}
+
+fn common_k(parts: &[&JobDag]) -> usize {
+    assert!(!parts.is_empty(), "need at least one part");
+    let k = parts[0].k();
+    assert!(
+        parts.iter().all(|p| p.k() == k),
+        "all parts must share the same K"
+    );
+    k
+}
+
+/// Sequence DAGs: every sink of part `i` precedes every source of part
+/// `i+1` (a full barrier, preserving each part's internal structure).
+///
+/// `span = Σ spans`, `work(α) = Σ works(α)`.
+///
+/// ```
+/// use kdag::{compose::serial, generators::{chain, fork_join}, Category};
+/// let setup = chain(2, 3, &[Category(0)]);
+/// let compute = fork_join(2, &[(Category(1), 8)]);
+/// let job = serial(&[&setup, &compute, &setup]);
+/// assert_eq!(job.span(), 3 + 1 + 3);
+/// assert_eq!(job.total_work(), 14);
+/// ```
+pub fn serial(parts: &[&JobDag]) -> JobDag {
+    let k = common_k(parts);
+    let mut b = DagBuilder::new(k);
+    let mut prev_sinks: Vec<TaskId> = Vec::new();
+    for part in parts {
+        let offset = splice(&mut b, part);
+        if !prev_sinks.is_empty() {
+            let sources: Vec<TaskId> = part.sources().map(|t| TaskId(offset + t.0)).collect();
+            b.add_barrier(&prev_sinks, &sources)
+                .expect("barrier edges are fresh");
+        }
+        prev_sinks = part
+            .tasks()
+            .filter(|t| part.successors(*t).is_empty())
+            .map(|t| TaskId(offset + t.0))
+            .collect();
+    }
+    b.build().expect("serial composition is valid")
+}
+
+/// Disjoint union: the parts run fully independently within one job.
+///
+/// `span = max spans`, `work(α) = Σ works(α)`.
+pub fn parallel(parts: &[&JobDag]) -> JobDag {
+    let k = common_k(parts);
+    let mut b = DagBuilder::new(k);
+    for part in parts {
+        splice(&mut b, part);
+    }
+    b.build().expect("parallel composition is valid")
+}
+
+/// `n` independent copies of one DAG inside a single job.
+pub fn replicate(n: usize, part: &JobDag) -> JobDag {
+    assert!(n >= 1, "need at least one copy");
+    let parts: Vec<&JobDag> = (0..n).map(|_| part).collect();
+    parallel(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::Category;
+    use crate::generators::{chain, fork_join};
+
+    #[test]
+    fn serial_adds_spans() {
+        let a = chain(2, 4, &[Category(0)]);
+        let b2 = fork_join(2, &[(Category(1), 3)]);
+        let s = serial(&[&a, &b2, &a]);
+        assert_eq!(s.span(), 4 + 1 + 4);
+        assert_eq!(s.work(Category(0)), 8);
+        assert_eq!(s.work(Category(1)), 3);
+        assert_eq!(s.sources().count(), 1);
+    }
+
+    #[test]
+    fn parallel_takes_max_span() {
+        let a = chain(1, 7, &[Category(0)]);
+        let b2 = chain(1, 3, &[Category(0)]);
+        let p = parallel(&[&a, &b2]);
+        assert_eq!(p.span(), 7);
+        assert_eq!(p.total_work(), 10);
+        assert_eq!(p.sources().count(), 2);
+    }
+
+    #[test]
+    fn replicate_multiplies_work() {
+        let a = fork_join(1, &[(Category(0), 2), (Category(0), 2)]);
+        let r = replicate(5, &a);
+        assert_eq!(r.total_work(), 20);
+        assert_eq!(r.span(), 2);
+        assert_eq!(r.edge_count(), 5 * a.edge_count());
+    }
+
+    #[test]
+    fn composition_nests() {
+        let stage = fork_join(2, &[(Category(0), 2), (Category(1), 1)]);
+        let wide = replicate(3, &stage);
+        let pipeline = serial(&[&wide, &wide]);
+        assert_eq!(pipeline.span(), 4);
+        assert_eq!(pipeline.total_work(), 18);
+        // Each fork-join stage has 2 sources (its first phase); 3
+        // replicated copies → 6 sources for the whole pipeline.
+        assert_eq!(pipeline.sources().count(), 6);
+        // Serial barrier: 3 sinks (one io task per copy) × 6 sources
+        // of the second stage.
+        let internal = 2 * 3 * stage.edge_count();
+        assert_eq!(pipeline.edge_count(), internal + 3 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "same K")]
+    fn mismatched_k_panics() {
+        let a = chain(1, 2, &[Category(0)]);
+        let b2 = chain(2, 2, &[Category(0)]);
+        serial(&[&a, &b2]);
+    }
+}

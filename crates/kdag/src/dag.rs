@@ -1,0 +1,290 @@
+//! The immutable, validated K-DAG.
+
+use crate::category::Category;
+use crate::ids::TaskId;
+
+/// An immutable K-colored DAG of unit-time tasks.
+///
+/// `JobDag` is the static description of a job `Ji = (V(Ji), E(Ji))`
+/// from the paper: each vertex is a unit-time task colored with a
+/// [`Category`]; each edge `u → v` is a precedence constraint
+/// (`u ≺ v` ⇒ `τ(u) < τ(v)` in any valid schedule).
+///
+/// The structure is stored in CSR (compressed sparse row) form for the
+/// successor lists, with cached metrics computed once at construction:
+///
+/// * `T1(J, α)` — per-category work, the number of `α`-vertices;
+/// * `T∞(J)` — span: the number of vertices on the longest chain;
+/// * per-vertex *heights* — longest path (in vertices) from a vertex to
+///   a sink, inclusive — used by critical-path selection policies;
+/// * a topological order — used by metrics and the schedule checker.
+///
+/// Construct via [`crate::DagBuilder`]; direct construction is not
+/// exposed so every `JobDag` in existence is acyclic and validated.
+#[derive(Clone, Debug)]
+pub struct JobDag {
+    pub(crate) categories: Vec<Category>,
+    /// CSR offsets into `succ`; length `len() + 1`.
+    pub(crate) succ_offsets: Vec<u32>,
+    /// Concatenated successor lists.
+    pub(crate) succ: Vec<TaskId>,
+    /// In-degree of every vertex.
+    pub(crate) pred_count: Vec<u32>,
+    /// Number of categories `K` this DAG is defined over (may exceed
+    /// the largest color actually used).
+    pub(crate) k: usize,
+    /// Cached `T1(J, α)` for `α ∈ 0..k`.
+    pub(crate) work_by_cat: Vec<u64>,
+    /// Cached span `T∞(J)` in vertices.
+    pub(crate) span: u64,
+    /// Longest path from vertex to a sink, inclusive (so sinks have
+    /// height 1 and `span == max(heights)`).
+    pub(crate) heights: Vec<u32>,
+    /// A topological order of the vertices.
+    pub(crate) topo: Vec<TaskId>,
+}
+
+impl JobDag {
+    /// Number of tasks (vertices) in the DAG. This equals the total
+    /// work `T1(J) = Σα T1(J, α)` because tasks are unit-time.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// `true` if the DAG has no tasks. Never true for a validated DAG
+    /// (builders reject empty jobs), but provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+
+    /// The number of resource categories `K` this DAG is defined over.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The category (color) of a task.
+    #[inline]
+    pub fn category(&self, t: TaskId) -> Category {
+        self.categories[t.index()]
+    }
+
+    /// The successor tasks of `t` (tasks that directly depend on `t`).
+    #[inline]
+    pub fn successors(&self, t: TaskId) -> &[TaskId] {
+        let lo = self.succ_offsets[t.index()] as usize;
+        let hi = self.succ_offsets[t.index() + 1] as usize;
+        &self.succ[lo..hi]
+    }
+
+    /// The in-degree (number of direct predecessors) of a task.
+    #[inline]
+    pub fn in_degree(&self, t: TaskId) -> u32 {
+        self.pred_count[t.index()]
+    }
+
+    /// A fresh copy of all in-degrees, indexed by task id — the seed
+    /// state for custom executors (see `kanalysis::offline`).
+    pub fn pred_counts(&self) -> Vec<u32> {
+        self.pred_count.clone()
+    }
+
+    /// Total number of precedence edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// The α-work `T1(J, α)`: the number of `α`-vertices.
+    #[inline]
+    pub fn work(&self, cat: Category) -> u64 {
+        self.work_by_cat[cat.index()]
+    }
+
+    /// Per-category work vector `[T1(J, 0), …, T1(J, K−1)]`.
+    #[inline]
+    pub fn work_by_category(&self) -> &[u64] {
+        &self.work_by_cat
+    }
+
+    /// Total work `T1(J)`: the number of vertices (tasks are unit-time).
+    #[inline]
+    pub fn total_work(&self) -> u64 {
+        self.categories.len() as u64
+    }
+
+    /// The span `T∞(J)`: the number of vertices on the longest
+    /// precedence chain (the paper counts *nodes*, not edges).
+    #[inline]
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// The height of a task: the number of vertices on the longest path
+    /// from `t` to a sink, including `t` itself. Sinks have height 1.
+    ///
+    /// A task's height is the amount of *remaining span* that must
+    /// elapse after the step in which `t` executes; critical-path
+    /// selection policies order ready tasks by this value.
+    #[inline]
+    pub fn height(&self, t: TaskId) -> u32 {
+        self.heights[t.index()]
+    }
+
+    /// A topological order of all tasks (sources first).
+    #[inline]
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Iterate over all task ids `t0..t{len-1}`.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.len() as u32).map(TaskId)
+    }
+
+    /// The source tasks (in-degree zero). Every DAG has at least one.
+    pub fn sources(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks().filter(move |t| self.in_degree(*t) == 0)
+    }
+
+    /// One concrete critical path: a chain of `T∞(J)` tasks from a
+    /// source to a sink realizing the span. Ties broken toward smaller
+    /// task ids, so the result is deterministic.
+    pub fn critical_path(&self) -> Vec<TaskId> {
+        let mut path = Vec::with_capacity(self.span as usize);
+        // Start at the smallest-id source of maximal height.
+        let mut cur = self
+            .tasks()
+            .filter(|t| self.in_degree(*t) == 0)
+            .max_by_key(|t| (self.height(*t), std::cmp::Reverse(t.0)))
+            .expect("validated DAGs are non-empty");
+        loop {
+            path.push(cur);
+            let Some(&next) = self
+                .successors(cur)
+                .iter()
+                .max_by_key(|t| (self.height(**t), std::cmp::Reverse(t.0)))
+            else {
+                break;
+            };
+            cur = next;
+        }
+        debug_assert_eq!(path.len() as u64, self.span);
+        path
+    }
+
+    /// `true` if there is a precedence path from `u` to `v` (`u ≺ v`).
+    ///
+    /// This is an `O(V + E)` BFS; it is meant for tests and the
+    /// schedule checker, not hot paths.
+    pub fn precedes(&self, u: TaskId, v: TaskId) -> bool {
+        if u == v {
+            return false;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![u];
+        seen[u.index()] = true;
+        while let Some(x) = stack.pop() {
+            for &s in self.successors(x) {
+                if s == v {
+                    return true;
+                }
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DagBuilder;
+    use crate::category::Category;
+    use crate::ids::TaskId;
+
+    /// Diamond: t0 -> {t1, t2} -> t3, categories 0,1,1,0.
+    fn diamond() -> crate::JobDag {
+        let mut b = DagBuilder::new(2);
+        let a = b.add_task(Category(0));
+        let x = b.add_task(Category(1));
+        let y = b.add_task(Category(1));
+        let z = b.add_task(Category(0));
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_basic_metrics() {
+        let d = diamond();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.edge_count(), 4);
+        assert_eq!(d.total_work(), 4);
+        assert_eq!(d.work(Category(0)), 2);
+        assert_eq!(d.work(Category(1)), 2);
+        assert_eq!(d.span(), 3);
+    }
+
+    #[test]
+    fn diamond_heights() {
+        let d = diamond();
+        assert_eq!(d.height(TaskId(0)), 3);
+        assert_eq!(d.height(TaskId(1)), 2);
+        assert_eq!(d.height(TaskId(2)), 2);
+        assert_eq!(d.height(TaskId(3)), 1);
+    }
+
+    #[test]
+    fn diamond_precedes() {
+        let d = diamond();
+        assert!(d.precedes(TaskId(0), TaskId(3)));
+        assert!(d.precedes(TaskId(0), TaskId(1)));
+        assert!(!d.precedes(TaskId(1), TaskId(2)));
+        assert!(!d.precedes(TaskId(3), TaskId(0)));
+        assert!(!d.precedes(TaskId(0), TaskId(0)));
+    }
+
+    #[test]
+    fn diamond_sources_and_topo() {
+        let d = diamond();
+        let sources: Vec<_> = d.sources().collect();
+        assert_eq!(sources, vec![TaskId(0)]);
+        let topo = d.topological_order();
+        assert_eq!(topo.len(), 4);
+        assert_eq!(topo[0], TaskId(0));
+        assert_eq!(topo[3], TaskId(3));
+    }
+
+    #[test]
+    fn critical_path_realizes_span() {
+        let d = diamond();
+        let cp = d.critical_path();
+        assert_eq!(cp.len() as u64, d.span());
+        assert_eq!(cp[0], TaskId(0));
+        assert_eq!(*cp.last().unwrap(), TaskId(3));
+        // Consecutive tasks are connected.
+        for w in cp.windows(2) {
+            assert!(d.successors(w[0]).contains(&w[1]));
+        }
+        // Deterministic tie-break: t1 (smaller id) over t2.
+        assert_eq!(cp[1], TaskId(1));
+    }
+
+    #[test]
+    fn single_task_dag() {
+        let mut b = DagBuilder::new(1);
+        b.add_task(Category(0));
+        let d = b.build().unwrap();
+        assert_eq!(d.span(), 1);
+        assert_eq!(d.total_work(), 1);
+        assert_eq!(d.height(TaskId(0)), 1);
+        assert!(d.successors(TaskId(0)).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Graphviz (DOT) export of K-DAGs, used by the Figure 1 example.
+
+use crate::dag::JobDag;
+
+/// Fill colors for the first eight categories (Graphviz X11 names).
+const COLORS: [&str; 8] = [
+    "lightblue",
+    "palegreen",
+    "lightsalmon",
+    "khaki",
+    "plum",
+    "lightcyan",
+    "mistyrose",
+    "lightgray",
+];
+
+/// Render a K-DAG as a Graphviz `digraph`.
+///
+/// Vertices are labelled `t<i>` and colored by category (cycling
+/// through eight fill colors), mirroring the paper's Figure 1 where the
+/// three task types are drawn with three different node styles.
+pub fn to_dot(dag: &JobDag, name: &str) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "digraph {name} {{").unwrap();
+    writeln!(s, "  rankdir=TB;").unwrap();
+    writeln!(s, "  node [style=filled];").unwrap();
+    for t in dag.tasks() {
+        let cat = dag.category(t);
+        let color = COLORS[cat.index() % COLORS.len()];
+        writeln!(
+            s,
+            "  {} [label=\"{}\\n{}\" fillcolor={}];",
+            t.0, t, cat, color
+        )
+        .unwrap();
+    }
+    for t in dag.tasks() {
+        for &v in dag.successors(t) {
+            writeln!(s, "  {} -> {};", t.0, v.0).unwrap();
+        }
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use crate::category::Category;
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let mut b = DagBuilder::new(2);
+        let a = b.add_task(Category(0));
+        let c = b.add_task(Category(1));
+        b.add_edge(a, c).unwrap();
+        let d = b.build().unwrap();
+        let dot = to_dot(&d, "demo");
+        assert!(dot.starts_with("digraph demo {"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("fillcolor=palegreen"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn colors_cycle_beyond_eight_categories() {
+        let mut b = DagBuilder::new(10);
+        for i in 0..10 {
+            b.add_task(Category(i));
+        }
+        let d = b.build().unwrap();
+        let dot = to_dot(&d, "many");
+        // Category 8 cycles back to the first color.
+        assert!(dot.contains("α9\" fillcolor=lightblue"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Errors produced while constructing K-DAGs.
+
+use crate::ids::TaskId;
+use std::fmt;
+
+/// An error detected while building or validating a [`crate::JobDag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// A job must contain at least one task (the paper guarantees every
+    /// uncompleted job has total desire ≥ 1; an empty DAG has none).
+    EmptyJob,
+    /// An edge endpoint referred to a task id that was never added.
+    UnknownTask(TaskId),
+    /// An edge from a task to itself, which would be a trivial cycle.
+    SelfLoop(TaskId),
+    /// The same precedence edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// The edge set contains a directed cycle, so no valid schedule
+    /// order `τ(u) < τ(v)` can exist.
+    Cycle,
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::EmptyJob => write!(f, "a job DAG must contain at least one task"),
+            DagError::UnknownTask(t) => write!(f, "edge endpoint {t} does not exist"),
+            DagError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            DagError::DuplicateEdge(u, v) => write!(f, "duplicate edge {u} -> {v}"),
+            DagError::Cycle => write!(f, "precedence edges contain a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(DagError::EmptyJob.to_string().contains("at least one"));
+        assert!(DagError::UnknownTask(TaskId(4)).to_string().contains("t4"));
+        assert!(DagError::SelfLoop(TaskId(1))
+            .to_string()
+            .contains("self-loop"));
+        assert!(DagError::DuplicateEdge(TaskId(0), TaskId(1))
+            .to_string()
+            .contains("duplicate"));
+        assert!(DagError::Cycle.to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Dynamic unfolding of a K-DAG during simulation.
+
+use crate::category::Category;
+use crate::dag::JobDag;
+use crate::ids::TaskId;
+use crate::policy::SelectionPolicy;
+use rand::{Rng, RngCore};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Per-category pool of ready tasks, specialized to the selection
+/// policy chosen for the run.
+#[derive(Clone, Debug)]
+enum Pool {
+    /// FIFO / LIFO / Random share a deque (random selection swaps the
+    /// chosen element to the back and pops it).
+    Deque(VecDeque<TaskId>),
+    /// Critical-path-first: max-heap on (height, smaller-id-first).
+    MaxHeight(BinaryHeap<(u32, Reverse<u32>)>),
+    /// Critical-path-last: min-heap on height via `Reverse`.
+    MinHeight(BinaryHeap<(Reverse<u32>, Reverse<u32>)>),
+}
+
+impl Pool {
+    fn new(policy: SelectionPolicy) -> Self {
+        match policy {
+            SelectionPolicy::Fifo | SelectionPolicy::Lifo | SelectionPolicy::Random => {
+                Pool::Deque(VecDeque::new())
+            }
+            SelectionPolicy::CriticalFirst => Pool::MaxHeight(BinaryHeap::new()),
+            SelectionPolicy::CriticalLast => Pool::MinHeight(BinaryHeap::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Pool::Deque(q) => q.len(),
+            Pool::MaxHeight(h) => h.len(),
+            Pool::MinHeight(h) => h.len(),
+        }
+    }
+
+    fn push(&mut self, t: TaskId, height: u32) {
+        match self {
+            Pool::Deque(q) => q.push_back(t),
+            Pool::MaxHeight(h) => h.push((height, Reverse(t.0))),
+            Pool::MinHeight(h) => h.push((Reverse(height), Reverse(t.0))),
+        }
+    }
+
+    fn pop(&mut self, policy: SelectionPolicy, rng: &mut dyn RngCore) -> Option<TaskId> {
+        match self {
+            Pool::Deque(q) => match policy {
+                SelectionPolicy::Fifo => q.pop_front(),
+                SelectionPolicy::Lifo => q.pop_back(),
+                SelectionPolicy::Random => {
+                    if q.is_empty() {
+                        None
+                    } else {
+                        let i = rng.gen_range(0..q.len());
+                        let last = q.len() - 1;
+                        q.swap(i, last);
+                        q.pop_back()
+                    }
+                }
+                _ => unreachable!("deque pool used with heap policy"),
+            },
+            Pool::MaxHeight(h) => h.pop().map(|(_, Reverse(id))| TaskId(id)),
+            Pool::MinHeight(h) => h.pop().map(|(_, Reverse(id))| TaskId(id)),
+        }
+    }
+}
+
+/// The dynamically unfolding execution state of one job.
+///
+/// `ExecutionState` tracks, step by step, which tasks have executed and
+/// which are *ready* (all predecessors done). The instantaneous
+/// `α`-desire `d(Ji, α, t)` of the paper is exactly
+/// [`ExecutionState::desire`] — the number of ready `α`-tasks.
+///
+/// ## Unit-time semantics
+///
+/// [`ExecutionState::execute_step`] models one synchronous time step:
+/// tasks that become ready because of executions *within* the step are
+/// only eligible from the *next* step (`u ≺ v ⇒ τ(u) < τ(v)`), which is
+/// enforced by staging successor updates until all pops of the step are
+/// done.
+#[derive(Clone, Debug)]
+pub struct ExecutionState {
+    remaining_preds: Vec<u32>,
+    ready: Vec<Pool>,
+    policy: SelectionPolicy,
+    executed: u64,
+    total: u64,
+    /// Scratch buffer holding the tasks popped in the current step.
+    scratch: Vec<TaskId>,
+}
+
+impl ExecutionState {
+    /// Create the initial state for a job: all sources are ready.
+    pub fn new(dag: &JobDag, policy: SelectionPolicy) -> Self {
+        let mut ready: Vec<Pool> = (0..dag.k()).map(|_| Pool::new(policy)).collect();
+        for t in dag.sources() {
+            ready[dag.category(t).index()].push(t, dag.height(t));
+        }
+        ExecutionState {
+            remaining_preds: dag.pred_count.clone(),
+            ready,
+            policy,
+            executed: 0,
+            total: dag.len() as u64,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The policy this state was created with.
+    pub fn policy(&self) -> SelectionPolicy {
+        self.policy
+    }
+
+    /// The instantaneous α-desire: the number of ready `α`-tasks.
+    #[inline]
+    pub fn desire(&self, cat: Category) -> u32 {
+        self.ready[cat.index()].len() as u32
+    }
+
+    /// Write all per-category desires into `out` (length must be `K`).
+    pub fn desires_into(&self, out: &mut [u32]) {
+        assert_eq!(out.len(), self.ready.len());
+        for (o, pool) in out.iter_mut().zip(&self.ready) {
+            *o = pool.len() as u32;
+        }
+    }
+
+    /// Total desire across all categories. An uncompleted job always
+    /// has total desire ≥ 1 (the paper's invariant); see
+    /// [`ExecutionState::is_complete`].
+    pub fn total_desire(&self) -> u64 {
+        self.ready.iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// Number of tasks executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of tasks not yet executed.
+    pub fn remaining(&self) -> u64 {
+        self.total - self.executed
+    }
+
+    /// `true` once every task of the job has executed.
+    pub fn is_complete(&self) -> bool {
+        self.executed == self.total
+    }
+
+    /// Execute one synchronous time step.
+    ///
+    /// For each category `α`, up to `allotments[α]` ready `α`-tasks are
+    /// executed (never more than the desire). Successors unlocked by
+    /// this step become ready only for the next step. Executed counts
+    /// are written to `executed_out` (length `K`); if `record` is
+    /// provided, the executed task ids are appended to it.
+    ///
+    /// Returns the total number of tasks executed this step.
+    pub fn execute_step(
+        &mut self,
+        dag: &JobDag,
+        allotments: &[u32],
+        rng: &mut dyn RngCore,
+        executed_out: &mut [u32],
+        mut record: Option<&mut Vec<(Category, TaskId)>>,
+    ) -> u64 {
+        assert_eq!(allotments.len(), self.ready.len());
+        assert_eq!(executed_out.len(), self.ready.len());
+        self.scratch.clear();
+        let mut total = 0u64;
+        for (a, (pool, out)) in allotments
+            .iter()
+            .zip(self.ready.iter_mut().zip(executed_out.iter_mut()))
+        {
+            let take = (*a).min(pool.len() as u32);
+            *out = take;
+            total += u64::from(take);
+            for _ in 0..take {
+                let t = pool
+                    .pop(self.policy, rng)
+                    .expect("pool length checked above");
+                if let Some(rec) = record.as_deref_mut() {
+                    rec.push((dag.category(t), t));
+                }
+                self.scratch.push(t);
+            }
+        }
+        // Stage 2: unlock successors only after all pops of the step,
+        // preserving τ(u) < τ(v).
+        for i in 0..self.scratch.len() {
+            let t = self.scratch[i];
+            for &s in dag.successors(t) {
+                let rp = &mut self.remaining_preds[s.index()];
+                debug_assert!(*rp > 0, "successor unlocked twice");
+                *rp -= 1;
+                if *rp == 0 {
+                    self.ready[dag.category(s).index()].push(s, dag.height(s));
+                }
+            }
+        }
+        self.executed += total;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    /// Diamond t0 -> {t1,t2} -> t3 with categories 0,1,1,0.
+    fn diamond() -> JobDag {
+        let mut b = DagBuilder::new(2);
+        let a = b.add_task(Category(0));
+        let x = b.add_task(Category(1));
+        let y = b.add_task(Category(1));
+        let z = b.add_task(Category(0));
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn initial_desires_are_sources() {
+        let d = diamond();
+        let st = ExecutionState::new(&d, SelectionPolicy::Fifo);
+        assert_eq!(st.desire(Category(0)), 1);
+        assert_eq!(st.desire(Category(1)), 0);
+        assert_eq!(st.total_desire(), 1);
+        assert!(!st.is_complete());
+    }
+
+    #[test]
+    fn full_execution_of_diamond() {
+        let d = diamond();
+        let mut st = ExecutionState::new(&d, SelectionPolicy::Fifo);
+        let mut r = rng();
+        let mut out = [0u32; 2];
+
+        // Step 1: only the source is ready.
+        let n = st.execute_step(&d, &[4, 4], &mut r, &mut out, None);
+        assert_eq!(n, 1);
+        assert_eq!(out, [1, 0]);
+        // Step 2: both middle tasks (category 1).
+        let n = st.execute_step(&d, &[4, 4], &mut r, &mut out, None);
+        assert_eq!(n, 2);
+        assert_eq!(out, [0, 2]);
+        // Step 3: sink.
+        let n = st.execute_step(&d, &[4, 4], &mut r, &mut out, None);
+        assert_eq!(n, 1);
+        assert_eq!(out, [1, 0]);
+        assert!(st.is_complete());
+        assert_eq!(st.executed(), 4);
+        assert_eq!(st.remaining(), 0);
+    }
+
+    #[test]
+    fn allotment_caps_execution() {
+        let d = diamond();
+        let mut st = ExecutionState::new(&d, SelectionPolicy::Fifo);
+        let mut r = rng();
+        let mut out = [0u32; 2];
+        st.execute_step(&d, &[1, 1], &mut r, &mut out, None);
+        // Step 2 with allotment 1 for category 1: only one middle task runs.
+        let n = st.execute_step(&d, &[0, 1], &mut r, &mut out, None);
+        assert_eq!(n, 1);
+        assert_eq!(st.desire(Category(1)), 1);
+        assert_eq!(st.desire(Category(0)), 0, "sink not ready yet");
+    }
+
+    #[test]
+    fn same_step_unlock_is_deferred() {
+        // Chain a -> b, both category 0. With allotment 2, only `a` may
+        // run in step 1 even though popping `a` makes `b` ready.
+        let mut b = DagBuilder::new(1);
+        let ts = b.add_tasks(Category(0), 2);
+        b.add_chain(&ts).unwrap();
+        let d = b.build().unwrap();
+        for policy in SelectionPolicy::ALL {
+            let mut st = ExecutionState::new(&d, policy);
+            let mut r = rng();
+            let mut out = [0u32; 1];
+            let n = st.execute_step(&d, &[2], &mut r, &mut out, None);
+            assert_eq!(n, 1, "policy {policy}: chain must take 2 steps");
+            let n = st.execute_step(&d, &[2], &mut r, &mut out, None);
+            assert_eq!(n, 1);
+            assert!(st.is_complete());
+        }
+    }
+
+    #[test]
+    fn critical_first_prefers_tall_tasks() {
+        // Two sources: s0 with a long chain below it, s1 a leaf.
+        let mut b = DagBuilder::new(1);
+        let s0 = b.add_task(Category(0));
+        let s1 = b.add_task(Category(0));
+        let chain = b.add_tasks(Category(0), 3);
+        b.add_edge(s0, chain[0]).unwrap();
+        b.add_chain(&chain).unwrap();
+        let d = b.build().unwrap();
+        let mut st = ExecutionState::new(&d, SelectionPolicy::CriticalFirst);
+        let mut r = rng();
+        let mut out = [0u32; 1];
+        let mut rec = Vec::new();
+        st.execute_step(&d, &[1], &mut r, &mut out, Some(&mut rec));
+        assert_eq!(rec[0].1, s0, "critical-first must pick the tall source");
+        let _ = s1;
+    }
+
+    #[test]
+    fn critical_last_postpones_tall_tasks() {
+        let mut b = DagBuilder::new(1);
+        let s0 = b.add_task(Category(0));
+        let s1 = b.add_task(Category(0));
+        let chain = b.add_tasks(Category(0), 3);
+        b.add_edge(s0, chain[0]).unwrap();
+        b.add_chain(&chain).unwrap();
+        let d = b.build().unwrap();
+        let mut st = ExecutionState::new(&d, SelectionPolicy::CriticalLast);
+        let mut r = rng();
+        let mut out = [0u32; 1];
+        let mut rec = Vec::new();
+        st.execute_step(&d, &[1], &mut r, &mut out, Some(&mut rec));
+        assert_eq!(rec[0].1, s1, "critical-last must postpone the tall source");
+    }
+
+    #[test]
+    fn record_collects_categories_and_ids() {
+        let d = diamond();
+        let mut st = ExecutionState::new(&d, SelectionPolicy::Fifo);
+        let mut r = rng();
+        let mut out = [0u32; 2];
+        let mut rec = Vec::new();
+        st.execute_step(&d, &[4, 4], &mut r, &mut out, Some(&mut rec));
+        assert_eq!(rec, vec![(Category(0), TaskId(0))]);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed() {
+        let mut b = DagBuilder::new(1);
+        b.add_tasks(Category(0), 20);
+        let d = b.build().unwrap();
+        let run = |seed: u64| {
+            let mut st = ExecutionState::new(&d, SelectionPolicy::Random);
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut out = [0u32; 1];
+            let mut rec = Vec::new();
+            st.execute_step(&d, &[5], &mut r, &mut out, Some(&mut rec));
+            rec
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ (w.h.p.)");
+    }
+}

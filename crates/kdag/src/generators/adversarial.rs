@@ -1,0 +1,265 @@
+//! The paper's Figure 3: the adversarial lower-bound job set.
+
+use crate::builder::DagBuilder;
+use crate::category::Category;
+use crate::dag::JobDag;
+use crate::ids::TaskId;
+
+/// The Theorem 1 / Figure 3 instance: a batched job set that forces any
+/// deterministic non-clairvoyant scheduler toward competitive ratio
+/// `K + 1 − 1/Pmax` for the makespan.
+#[derive(Clone, Debug)]
+pub struct AdversarialInstance {
+    /// The jobs, in the submission order the adversary wants: the
+    /// `n − 1` single-task jobs first, the special job `Ji` last (so
+    /// fair schedulers serve `Ji`'s hidden critical path last).
+    pub jobs: Vec<JobDag>,
+    /// Index of the special job `Ji` in `jobs` (always the last).
+    pub special: usize,
+    /// The optimal clairvoyant makespan `T*(J) = K + m·PK − 1`,
+    /// known analytically from the paper's proof.
+    pub optimal_makespan: u64,
+    /// The scaling parameter `m` (ratio approaches the bound as m → ∞).
+    pub m: u64,
+    /// Number of categories `K`.
+    pub k: usize,
+}
+
+impl AdversarialInstance {
+    /// The asymptotic lower bound `K + 1 − 1/Pmax` this instance
+    /// realizes (Theorem 1).
+    pub fn asymptotic_bound(&self, p_max: u32) -> f64 {
+        self.k as f64 + 1.0 - 1.0 / f64::from(p_max)
+    }
+
+    /// The worst-case makespan the adversary can force on a fair
+    /// non-clairvoyant scheduler: `m·K·PK + m·PK − m` (from the proof
+    /// of Theorem 1).
+    pub fn adversarial_makespan(&self, p_k: u32) -> u64 {
+        self.m * self.k as u64 * u64::from(p_k) + self.m * u64::from(p_k) - self.m
+    }
+}
+
+/// Construct the special job `Ji` of Figure 3.
+///
+/// * Level 1: one `α1`-task (the hidden critical source).
+/// * Levels `α = 2 … K−1`: `m·Pα·PK` `α`-tasks, all depending on a
+///   single designated task of the previous level.
+/// * Level `K`: `m·PK·(PK−1) + 1` `K`-tasks, one of which is followed
+///   by a chain of `K`-tasks of length `m·PK − 1`.
+///
+/// Its span is `T∞(Ji) = K + m·PK − 1`.
+///
+/// For `K = 1` the construction degenerates to the classic homogeneous
+/// `(2 − 1/P)` instance: a flat bulk of `m·P·(P−1) + 1` tasks, the
+/// first of which heads a chain of `m·P − 1` tasks (span `m·P`).
+fn special_job(p: &[u32], m: u64) -> JobDag {
+    let k = p.len();
+    let p_k = u64::from(p[k - 1]);
+    let mut b = DagBuilder::new(k);
+
+    if k == 1 {
+        let bulk_count = (m * p_k * (p_k - 1) + 1) as usize;
+        let bulk = b.add_tasks(Category(0), bulk_count);
+        let chain = b.add_tasks(Category(0), (m * p_k - 1) as usize);
+        let mut path = vec![bulk[0]];
+        path.extend_from_slice(&chain);
+        b.add_chain(&path).expect("fresh chain edges");
+        return b.build().expect("adversarial job is valid");
+    }
+
+    // Level 1: the hidden critical source.
+    let mut designated: TaskId = b.add_task(Category(0));
+    // Middle levels 2..=K-1 (0-based categories 1..=k-2).
+    for (c, &p_c) in p.iter().enumerate().take(k - 1).skip(1) {
+        let count = (m * u64::from(p_c) * p_k) as usize;
+        let level = b.add_tasks(Category(c as u16), count);
+        for &t in &level {
+            b.add_edge(designated, t).expect("fresh level edge");
+        }
+        designated = level[0];
+    }
+    // Level K bulk.
+    let bulk_count = (m * p_k * (p_k - 1) + 1) as usize;
+    let bulk = b.add_tasks(Category((k - 1) as u16), bulk_count);
+    for &t in &bulk {
+        b.add_edge(designated, t).expect("fresh bulk edge");
+    }
+    // The hidden chain behind one bulk task.
+    let chain = b.add_tasks(Category((k - 1) as u16), (m * p_k - 1) as usize);
+    let mut path = vec![bulk[0]];
+    path.extend_from_slice(&chain);
+    b.add_chain(&path).expect("fresh chain edges");
+
+    b.build().expect("adversarial job is valid")
+}
+
+/// Build the Figure 3 adversarial job set for processor vector `p`
+/// (one entry per category; the paper assumes `PK = Pmax`, i.e. the
+/// *last* category has the most processors) and scale parameter `m`.
+///
+/// For `K ≥ 2` the set contains `n = m·P1·PK` jobs: `n − 1` trivial
+/// single-`α1`-task jobs plus the special job `Ji` (placed last). All
+/// jobs are batched (released together). The optimal makespan is
+/// exactly `K + m·PK − 1`; a fair non-clairvoyant scheduler paired with
+/// the critical-path-last selection policy is forced to about
+/// `m·K·PK + m·PK − m`, realizing the ratio `K + 1 − 1/Pmax` as
+/// `m → ∞`.
+///
+/// For `K = 1` the filler jobs would compete for the *same* processors
+/// as the special job and wash out of the ratio, so the instance is the
+/// special job alone — the classic homogeneous `(2 − 1/P)` instance:
+/// the optimum runs the hidden chain head first (`T* = m·P`), while the
+/// adversary forces a non-clairvoyant scheduler to drain the bulk
+/// before discovering the chain (`T ≈ 2·m·P − m`). Both closed forms
+/// are the `K = 1` cases of the general formulas.
+///
+/// ```
+/// use kdag::generators::adversarial_instance;
+/// let inst = adversarial_instance(&[2, 4], 8);
+/// assert_eq!(inst.jobs.len() as u64, 8 * 2 * 4);   // n = m·P1·PK
+/// assert_eq!(inst.optimal_makespan, 2 + 8 * 4 - 1); // K + m·PK − 1
+/// assert!((inst.asymptotic_bound(4) - 2.75).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// Panics if `p` is empty, any `Pα` is zero, `PK` is not the maximum
+/// (the paper's WLOG assumption), `PK < 2` (the bulk level needs
+/// `PK − 1 ≥ 1`), or `m == 0`.
+pub fn adversarial_instance(p: &[u32], m: u64) -> AdversarialInstance {
+    let k = p.len();
+    assert!(k >= 1, "need at least one category");
+    assert!(m >= 1, "scale parameter m must be positive");
+    assert!(p.iter().all(|&x| x > 0), "all Pα must be positive");
+    let p_k = p[k - 1];
+    assert!(
+        p.iter().all(|&x| x <= p_k),
+        "the construction requires PK = Pmax (paper's WLOG); reorder categories"
+    );
+    assert!(p_k >= 2, "PK must be at least 2 for the bulk level");
+
+    let mut jobs = Vec::new();
+    if k >= 2 {
+        let n = m * u64::from(p[0]) * u64::from(p_k);
+        jobs.reserve(n as usize);
+        // A single shared shape for the n-1 trivial jobs.
+        let single = {
+            let mut b = DagBuilder::new(k);
+            b.add_task(Category(0));
+            b.build().expect("single-task job is valid")
+        };
+        for _ in 0..n - 1 {
+            jobs.push(single.clone());
+        }
+    }
+    jobs.push(special_job(p, m));
+
+    AdversarialInstance {
+        special: jobs.len() - 1,
+        jobs,
+        optimal_makespan: k as u64 + m * u64::from(p_k) - 1,
+        m,
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k3_instance_shape() {
+        let p = [2, 3, 4];
+        let m = 5;
+        let inst = adversarial_instance(&p, m);
+        assert_eq!(inst.jobs.len() as u64, m * 2 * 4);
+        assert_eq!(inst.special, inst.jobs.len() - 1);
+        assert_eq!(inst.optimal_makespan, 3 + m * 4 - 1);
+
+        let ji = &inst.jobs[inst.special];
+        // Span = K + m*PK - 1.
+        assert_eq!(ji.span(), 3 + m * 4 - 1);
+        // Level work: α1 = 1; α2 = m*P2*PK; α3 = m*PK*(PK-1)+1 + m*PK-1 = m*PK².
+        assert_eq!(ji.work(Category(0)), 1);
+        assert_eq!(ji.work(Category(1)), m * 3 * 4);
+        assert_eq!(ji.work(Category(2)), m * 16);
+    }
+
+    #[test]
+    fn total_alpha_work_is_balanced() {
+        // The proof needs T1(J, α)/Pα = m*PK for every α.
+        let p = [2, 3, 4];
+        let m = 7;
+        let inst = adversarial_instance(&p, m);
+        let mut totals = [0u64; 3];
+        for j in &inst.jobs {
+            for (t, w) in totals.iter_mut().zip(j.work_by_category()) {
+                *t += w;
+            }
+        }
+        for (c, &total) in totals.iter().enumerate() {
+            assert_eq!(
+                total,
+                m * 4 * u64::from(p[c]),
+                "category {c}: T1/Pα must equal m*PK"
+            );
+        }
+    }
+
+    #[test]
+    fn k1_instance_degenerates_to_classic() {
+        let p = [4];
+        let m = 3;
+        let inst = adversarial_instance(&p, m);
+        // K = 1 has no filler jobs: the special job alone realizes
+        // the classic (2 - 1/P) homogeneous instance.
+        assert_eq!(inst.jobs.len(), 1);
+        assert_eq!(inst.special, 0);
+        assert_eq!(inst.optimal_makespan, m * 4); // K + m*PK - 1 = m*P
+        let ji = &inst.jobs[inst.special];
+        assert_eq!(ji.span(), m * 4);
+        assert_eq!(ji.total_work(), m * 4 * (4 - 1) + 1 + m * 4 - 1);
+        // Work bound: T1/P = mP - 1 + 1/P < T* = mP, consistent with
+        // the optimum being span-limited.
+        assert!((ji.total_work() as f64) / 4.0 <= inst.optimal_makespan as f64);
+        // Adversarial makespan formula: 2mP - m.
+        assert_eq!(inst.adversarial_makespan(4), 2 * m * 4 - m);
+    }
+
+    #[test]
+    fn k2_instance_has_no_middle_levels() {
+        let p = [2, 2];
+        let m = 2;
+        let inst = adversarial_instance(&p, m);
+        let ji = &inst.jobs[inst.special];
+        assert_eq!(ji.span(), 2 + m * 2 - 1);
+        assert_eq!(ji.work(Category(0)), 1);
+        assert_eq!(ji.work(Category(1)), m * 4);
+    }
+
+    #[test]
+    fn asymptotic_bound_formula() {
+        let inst = adversarial_instance(&[2, 4], 2);
+        let b = inst.asymptotic_bound(4);
+        assert!((b - (2.0 + 1.0 - 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adversarial_makespan_formula() {
+        let inst = adversarial_instance(&[2, 4], 10);
+        // m*K*PK + m*PK - m = 10*2*4 + 10*4 - 10 = 110.
+        assert_eq!(inst.adversarial_makespan(4), 110);
+    }
+
+    #[test]
+    #[should_panic(expected = "PK = Pmax")]
+    fn non_max_last_category_panics() {
+        adversarial_instance(&[8, 4], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn pk_one_panics() {
+        adversarial_instance(&[1, 1], 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Sequential chains cycling through categories.
+
+use crate::builder::DagBuilder;
+use crate::category::Category;
+use crate::dag::JobDag;
+
+/// A fully sequential job of `len` unit tasks whose categories cycle
+/// through `pattern` (e.g. `[CPU, IO]` models a program alternating a
+/// computation step with an I/O step).
+///
+/// `span == total_work == len`; instantaneous desire is always exactly
+/// 1 in the category of the current task — the least parallel job
+/// possible, useful for exercising schedulers on span-dominated work.
+///
+/// ```
+/// use kdag::{generators::chain, Category};
+/// let job = chain(2, 6, &[Category(0), Category(1)]);
+/// assert_eq!(job.span(), 6);
+/// assert_eq!(job.work(Category(0)), 3);
+/// ```
+///
+/// # Panics
+/// Panics if `len == 0` or `pattern` is empty.
+pub fn chain(k: usize, len: usize, pattern: &[Category]) -> JobDag {
+    assert!(len > 0, "chain length must be positive");
+    assert!(!pattern.is_empty(), "category pattern must be non-empty");
+    let mut b = DagBuilder::with_capacity(k, len, len.saturating_sub(1));
+    let tasks: Vec<_> = (0..len)
+        .map(|i| b.add_task(pattern[i % pattern.len()]))
+        .collect();
+    b.add_chain(&tasks).expect("chain edges are acyclic");
+    b.build().expect("chain is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_span_dominated() {
+        let d = chain(3, 10, &[Category(0), Category(1), Category(2)]);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.span(), 10);
+        assert_eq!(d.work(Category(0)), 4); // positions 0,3,6,9
+        assert_eq!(d.work(Category(1)), 3);
+        assert_eq!(d.work(Category(2)), 3);
+    }
+
+    #[test]
+    fn single_category_chain() {
+        let d = chain(1, 5, &[Category(0)]);
+        assert_eq!(d.span(), 5);
+        assert_eq!(d.work(Category(0)), 5);
+        assert_eq!(d.edge_count(), 4);
+    }
+
+    #[test]
+    fn pattern_shorter_than_len_cycles() {
+        let d = chain(2, 4, &[Category(1)]);
+        assert_eq!(d.work(Category(1)), 4);
+        assert_eq!(d.work(Category(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_panics() {
+        chain(1, 0, &[Category(0)]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Divide-and-conquer (binary recursion tree) DAGs.
+
+use crate::builder::DagBuilder;
+use crate::category::Category;
+use crate::dag::JobDag;
+use crate::ids::TaskId;
+
+/// A divide-and-conquer job: a binary *divide* tree of `depth` levels
+/// fanning out from one root, `2^depth` leaf tasks, and a mirrored
+/// *combine* tree joining back to a single sink — the shape of
+/// recursive algorithms (mergesort, FFT butterflies, tree reductions).
+///
+/// Categories: divide tasks use `divide_cat` (e.g. CPU control code),
+/// leaves use `leaf_cat` (e.g. vector kernels), combine tasks use
+/// `combine_cat` (e.g. I/O or CPU merge).
+///
+/// `span = 2·depth + 1` (counting nodes through one leaf); parallelism
+/// doubles every level down and halves back up — the canonical
+/// exponential ramp for adaptive schedulers.
+///
+/// ```
+/// use kdag::{generators::divide_conquer, Category};
+/// let job = divide_conquer(2, 3, Category(0), Category(1), Category(0));
+/// assert_eq!(job.len() as u64, 3 * 8 - 2); // 7 divide + 8 leaves + 7 combine
+/// assert_eq!(job.span(), 7);
+/// ```
+///
+/// # Panics
+/// Panics if `depth == 0` (use a single task) or `depth > 20`
+/// (2^21 tasks is past any sensible simulation size).
+pub fn divide_conquer(
+    k: usize,
+    depth: u32,
+    divide_cat: Category,
+    leaf_cat: Category,
+    combine_cat: Category,
+) -> JobDag {
+    assert!(depth >= 1, "depth must be at least 1");
+    assert!(depth <= 20, "depth > 20 would explode the task count");
+    let leaves = 1usize << depth;
+    let mut b = DagBuilder::with_capacity(k, 4 * leaves, 4 * leaves);
+
+    // Divide tree (including the root at level 0).
+    let mut level: Vec<TaskId> = vec![b.add_task(divide_cat)];
+    for _ in 1..depth {
+        let mut next = Vec::with_capacity(level.len() * 2);
+        for &parent in &level {
+            for _ in 0..2 {
+                let child = b.add_task(divide_cat);
+                b.add_edge(parent, child).expect("fresh divide edge");
+                next.push(child);
+            }
+        }
+        level = next;
+    }
+    // Leaves: two per deepest divide node.
+    let mut leaf_ids = Vec::with_capacity(leaves);
+    for &parent in &level {
+        for _ in 0..2 {
+            let leaf = b.add_task(leaf_cat);
+            b.add_edge(parent, leaf).expect("fresh leaf edge");
+            leaf_ids.push(leaf);
+        }
+    }
+    // Combine tree: pairwise join back to one sink.
+    let mut frontier = leaf_ids;
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len() / 2);
+        for pair in frontier.chunks(2) {
+            let join = b.add_task(combine_cat);
+            for &t in pair {
+                b.add_edge(t, join).expect("fresh combine edge");
+            }
+            next.push(join);
+        }
+        frontier = next;
+    }
+
+    b.build().expect("divide-conquer is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::parallelism_profile;
+
+    #[test]
+    fn shape_depth_3() {
+        let d = divide_conquer(3, 3, Category(0), Category(1), Category(2));
+        // Divide: 1 + 2 + 4 = 7; leaves: 8; combine: 4 + 2 + 1 = 7.
+        assert_eq!(d.len(), 22);
+        assert_eq!(d.work(Category(0)), 7);
+        assert_eq!(d.work(Category(1)), 8);
+        assert_eq!(d.work(Category(2)), 7);
+        // Span: 3 divide levels + leaf + 3 combine levels = 7 nodes.
+        assert_eq!(d.span(), 7);
+    }
+
+    #[test]
+    fn parallelism_doubles_then_halves() {
+        let d = divide_conquer(1, 3, Category(0), Category(0), Category(0));
+        let widths: Vec<u64> = parallelism_profile(&d)
+            .iter()
+            .map(|r| r.by_category[0])
+            .collect();
+        assert_eq!(widths, vec![1, 2, 4, 8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn single_source_and_sink() {
+        let d = divide_conquer(2, 4, Category(0), Category(1), Category(0));
+        assert_eq!(d.sources().count(), 1);
+        assert_eq!(d.tasks().filter(|t| d.successors(*t).is_empty()).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_panics() {
+        divide_conquer(1, 0, Category(0), Category(0), Category(0));
+    }
+}

@@ -1,0 +1,77 @@
+//! Fork-join phase DAGs.
+
+use crate::builder::DagBuilder;
+use crate::category::Category;
+use crate::dag::JobDag;
+
+/// A fork-join job: a sequence of *phases*, each consisting of `width`
+/// parallel unit tasks of one category, with a full barrier between
+/// consecutive phases (every task of phase `i+1` depends on every task
+/// of phase `i`).
+///
+/// This models data-parallel programs whose phases alternate resource
+/// kinds (e.g. a wide vector phase followed by a wide I/O phase). The
+/// barrier uses dense edges (`w_i · w_{i+1}` per boundary), so keep
+/// widths moderate.
+///
+/// `span == #phases`; `T1(α)` is the sum of widths of `α`-phases.
+///
+/// ```
+/// use kdag::{generators::fork_join, Category};
+/// // 8-wide CPU phase, then a 2-wide I/O phase.
+/// let job = fork_join(2, &[(Category(0), 8), (Category(1), 2)]);
+/// assert_eq!(job.span(), 2);
+/// assert_eq!(job.total_work(), 10);
+/// ```
+///
+/// # Panics
+/// Panics if `phases` is empty or any width is zero.
+pub fn fork_join(k: usize, phases: &[(Category, u32)]) -> JobDag {
+    assert!(!phases.is_empty(), "need at least one phase");
+    let tasks: usize = phases.iter().map(|&(_, w)| w as usize).sum();
+    let mut b = DagBuilder::with_capacity(k, tasks, tasks * 2);
+    let mut prev: Vec<crate::TaskId> = Vec::new();
+    for &(cat, width) in phases {
+        assert!(width > 0, "phase width must be positive");
+        let cur = b.add_tasks(cat, width as usize);
+        if !prev.is_empty() {
+            b.add_barrier(&prev, &cur).expect("barrier edges are fresh");
+        }
+        prev = cur;
+    }
+    b.build().expect("fork-join is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_phase_fork_join() {
+        let d = fork_join(2, &[(Category(0), 4), (Category(1), 8), (Category(0), 2)]);
+        assert_eq!(d.len(), 14);
+        assert_eq!(d.span(), 3);
+        assert_eq!(d.work(Category(0)), 6);
+        assert_eq!(d.work(Category(1)), 8);
+        assert_eq!(d.edge_count(), 4 * 8 + 8 * 2);
+    }
+
+    #[test]
+    fn single_phase_is_flat() {
+        let d = fork_join(1, &[(Category(0), 16)]);
+        assert_eq!(d.span(), 1);
+        assert_eq!(d.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panic() {
+        fork_join(1, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        fork_join(1, &[(Category(0), 0)]);
+    }
+}

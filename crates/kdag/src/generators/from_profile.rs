@@ -1,0 +1,146 @@
+//! Profile-driven DAG synthesis: the inverse of
+//! [`crate::parallelism_profile`].
+
+use crate::builder::DagBuilder;
+use crate::category::Category;
+use crate::dag::JobDag;
+use crate::ids::TaskId;
+use crate::metrics::ProfileRow;
+
+/// Build a job whose earliest-start parallelism profile is *exactly*
+/// the given one: at step `s` (under unlimited processors) precisely
+/// `profile[s].by_category[α]` `α`-tasks run.
+///
+/// Construction: each step's tasks form one level; every task of level
+/// `s+1` depends on one designated "spine" task of level `s` (so the
+/// level cannot start earlier), and the spine tasks form a chain (so
+/// the span equals the profile length). This realizes any profile with
+/// at least one task per step.
+///
+/// Round-trip law (property-tested):
+/// `parallelism_profile(from_profile(p)) == p`.
+///
+/// ```
+/// use kdag::{generators::from_profile, parallelism_profile, ProfileRow};
+/// let p = vec![
+///     ProfileRow { step: 1, by_category: vec![1, 0] },
+///     ProfileRow { step: 2, by_category: vec![4, 2] },
+///     ProfileRow { step: 3, by_category: vec![0, 1] },
+/// ];
+/// let dag = from_profile(2, &p);
+/// assert_eq!(parallelism_profile(&dag), p);
+/// ```
+///
+/// # Panics
+/// Panics if the profile is empty, some step has zero tasks, or a row
+/// has the wrong number of categories.
+pub fn from_profile(k: usize, profile: &[ProfileRow]) -> JobDag {
+    assert!(!profile.is_empty(), "profile must have at least one step");
+    let total: usize = profile
+        .iter()
+        .map(|r| {
+            assert_eq!(r.by_category.len(), k, "row width must equal k");
+            r.by_category.iter().sum::<u64>() as usize
+        })
+        .sum();
+    let mut b = DagBuilder::with_capacity(k, total, total + profile.len());
+
+    let mut prev_spine: Option<TaskId> = None;
+    for row in profile {
+        let row_total: u64 = row.by_category.iter().sum();
+        assert!(row_total >= 1, "every step needs at least one task");
+        let mut level: Vec<TaskId> = Vec::with_capacity(row_total as usize);
+        for (cat, &count) in row.by_category.iter().enumerate() {
+            for _ in 0..count {
+                level.push(b.add_task(Category(cat as u16)));
+            }
+        }
+        if let Some(spine) = prev_spine {
+            for &t in &level {
+                b.add_edge(spine, t).expect("fresh spine edge");
+            }
+        }
+        prev_spine = Some(level[0]);
+    }
+    b.build().expect("profile DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::parallelism_profile;
+    use proptest::prelude::*;
+
+    fn rows(widths: &[Vec<u64>]) -> Vec<ProfileRow> {
+        widths
+            .iter()
+            .enumerate()
+            .map(|(i, w)| ProfileRow {
+                step: i as u64 + 1,
+                by_category: w.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        let p = rows(&[vec![1, 0], vec![3, 2], vec![0, 1]]);
+        let d = from_profile(2, &p);
+        assert_eq!(parallelism_profile(&d), p);
+        assert_eq!(d.span(), 3);
+        assert_eq!(d.total_work(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_step_rejected() {
+        from_profile(1, &rows(&[vec![1], vec![0]]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The round-trip law: synthesizing from any profile and
+        /// re-measuring gives the profile back exactly.
+        #[test]
+        fn roundtrip_is_exact(
+            widths in proptest::collection::vec(
+                proptest::collection::vec(0u64..6, 2),
+                1..10
+            ),
+        ) {
+            // Ensure each step has ≥ 1 task.
+            let widths: Vec<Vec<u64>> = widths
+                .into_iter()
+                .map(|mut w| {
+                    if w.iter().sum::<u64>() == 0 {
+                        w[0] = 1;
+                    }
+                    w
+                })
+                .collect();
+            let p = rows(&widths);
+            let d = from_profile(2, &p);
+            prop_assert_eq!(parallelism_profile(&d), p);
+        }
+
+        /// Composing the two directions the other way is a projection:
+        /// measuring any DAG and synthesizing from its profile gives a
+        /// job with identical work/span/profile (though generally a
+        /// different DAG).
+        #[test]
+        fn measure_then_synthesize_preserves_metrics(seed in 0u64..5000) {
+            use crate::generators::{layered_random, LayeredConfig};
+            use rand::SeedableRng;
+            let dag = layered_random(
+                &mut rand::rngs::StdRng::seed_from_u64(seed),
+                &LayeredConfig::uniform(3, 5, 1, 4),
+            );
+            let p = parallelism_profile(&dag);
+            let synth = from_profile(3, &p);
+            prop_assert_eq!(synth.span(), dag.span());
+            prop_assert_eq!(synth.work_by_category(), dag.work_by_category());
+            prop_assert_eq!(parallelism_profile(&synth), p);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! G(n, p) random DAGs (ordered Erdős–Rényi).
+
+use crate::builder::DagBuilder;
+use crate::category::Category;
+use crate::dag::JobDag;
+use crate::ids::TaskId;
+use rand::Rng;
+
+/// An ordered Erdős–Rényi DAG: `n` tasks with random categories; for
+/// every ordered pair `i < j` the edge `i → j` exists independently
+/// with probability `p`. Unlike the layered generator this produces
+/// *unstructured* precedence — no levels, highly variable antichains —
+/// the classic null model for DAG scheduling studies.
+///
+/// Isolated prefixes are possible (a task with no predecessors is
+/// simply a source); the DAG is acyclic by construction because edges
+/// only point from smaller to larger indices.
+///
+/// ```
+/// use kdag::generators::gnp;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let d = gnp(&mut rng, 2, 30, 0.15);
+/// assert_eq!(d.len(), 30);
+/// assert!(d.span() >= 1 && d.span() <= 30);
+/// ```
+///
+/// # Panics
+/// Panics if `n == 0` or `p` is not a probability.
+pub fn gnp(rng: &mut impl Rng, k: usize, n: usize, p: f64) -> JobDag {
+    assert!(n > 0, "need at least one task");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = DagBuilder::with_capacity(k, n, (n * n / 2) * (p.min(1.0) as usize + 1));
+    for _ in 0..n {
+        let cat = Category(rng.gen_range(0..k) as u16);
+        b.add_task(cat);
+    }
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                b.add_edge(TaskId(i), TaskId(j))
+                    .expect("fresh ordered edge");
+            }
+        }
+    }
+    b.build().expect("ordered G(n,p) is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let empty = gnp(&mut rng, 1, 10, 0.0);
+        assert_eq!(empty.edge_count(), 0);
+        assert_eq!(empty.span(), 1);
+        let full = gnp(&mut rng, 1, 10, 1.0);
+        assert_eq!(full.edge_count(), 45);
+        assert_eq!(full.span(), 10, "total order is a chain");
+    }
+
+    #[test]
+    fn density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = gnp(&mut rng, 2, 40, 0.25);
+        let possible = 40 * 39 / 2;
+        let density = d.edge_count() as f64 / possible as f64;
+        assert!((0.15..0.35).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gnp(&mut StdRng::seed_from_u64(3), 2, 25, 0.2);
+        let b = gnp(&mut StdRng::seed_from_u64(3), 2, 25, 0.2);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.span(), b.span());
+        assert_eq!(a.work_by_category(), b.work_by_category());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        gnp(&mut StdRng::seed_from_u64(0), 1, 5, 1.5);
+    }
+}

@@ -1,0 +1,156 @@
+//! Random layered DAGs.
+
+use crate::builder::DagBuilder;
+use crate::category::Category;
+use crate::dag::JobDag;
+use rand::Rng;
+
+/// Configuration for [`layered_random`].
+#[derive(Clone, Debug)]
+pub struct LayeredConfig {
+    /// Number of categories `K`.
+    pub k: usize,
+    /// Number of layers (≥ 1); the span is at least this.
+    pub layers: usize,
+    /// Minimum tasks per layer (≥ 1).
+    pub min_width: u32,
+    /// Maximum tasks per layer (inclusive, ≥ `min_width`).
+    pub max_width: u32,
+    /// Probability of each *extra* edge from a random task of the
+    /// previous layer (each task already gets one guaranteed parent).
+    pub extra_edge_prob: f64,
+    /// Relative weight of each category when coloring tasks; uniform if
+    /// empty. Length must be `k` when non-empty.
+    pub category_weights: Vec<f64>,
+}
+
+impl LayeredConfig {
+    /// A uniform default: `layers` layers of width in `[min, max]`.
+    pub fn uniform(k: usize, layers: usize, min_width: u32, max_width: u32) -> Self {
+        LayeredConfig {
+            k,
+            layers,
+            min_width,
+            max_width,
+            extra_edge_prob: 0.25,
+            category_weights: Vec::new(),
+        }
+    }
+}
+
+fn pick_category(rng: &mut impl Rng, cfg: &LayeredConfig) -> Category {
+    if cfg.category_weights.is_empty() {
+        return Category(rng.gen_range(0..cfg.k) as u16);
+    }
+    debug_assert_eq!(cfg.category_weights.len(), cfg.k);
+    let total: f64 = cfg.category_weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in cfg.category_weights.iter().enumerate() {
+        if x < *w {
+            return Category(i as u16);
+        }
+        x -= w;
+    }
+    Category((cfg.k - 1) as u16)
+}
+
+/// A random layered DAG: `layers` layers of random width; every task in
+/// layer `i > 0` depends on at least one random task of layer `i−1`
+/// (so the DAG is "tall" — its span equals the layer count when widths
+/// are ≥ 1), plus extra random edges from the previous layer with
+/// probability [`LayeredConfig::extra_edge_prob`] each.
+///
+/// Categories are drawn independently per task (optionally weighted).
+/// This is the workhorse irregular-workload generator for the makespan
+/// and response-time experiments.
+///
+/// # Panics
+/// Panics on degenerate configs (zero layers/widths, `min > max`).
+pub fn layered_random(rng: &mut impl Rng, cfg: &LayeredConfig) -> JobDag {
+    assert!(cfg.layers >= 1, "need at least one layer");
+    assert!(cfg.min_width >= 1, "layer width must be positive");
+    assert!(
+        cfg.min_width <= cfg.max_width,
+        "min_width must be <= max_width"
+    );
+    assert!(
+        cfg.category_weights.is_empty() || cfg.category_weights.len() == cfg.k,
+        "category_weights length must equal k"
+    );
+    let mut b = DagBuilder::new(cfg.k);
+    let mut prev: Vec<crate::TaskId> = Vec::new();
+    for layer in 0..cfg.layers {
+        let width = rng.gen_range(cfg.min_width..=cfg.max_width) as usize;
+        let cur: Vec<_> = (0..width)
+            .map(|_| b.add_task(pick_category(rng, cfg)))
+            .collect();
+        if layer > 0 {
+            for &t in &cur {
+                // One guaranteed parent keeps the DAG connected layer to
+                // layer; extra edges add irregularity.
+                let parent = prev[rng.gen_range(0..prev.len())];
+                b.add_edge(parent, t).expect("fresh edge");
+                for &p in &prev {
+                    if p != parent && rng.gen_bool(cfg.extra_edge_prob) {
+                        b.add_edge(p, t).expect("fresh edge");
+                    }
+                }
+            }
+        }
+        prev = cur;
+    }
+    b.build().expect("layered DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn span_equals_layers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = layered_random(&mut rng, &LayeredConfig::uniform(3, 12, 2, 6));
+        assert_eq!(d.span(), 12);
+        assert!(d.len() >= 24 && d.len() <= 72);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = LayeredConfig::uniform(2, 8, 1, 4);
+        let d1 = layered_random(&mut StdRng::seed_from_u64(9), &cfg);
+        let d2 = layered_random(&mut StdRng::seed_from_u64(9), &cfg);
+        assert_eq!(d1.len(), d2.len());
+        assert_eq!(d1.edge_count(), d2.edge_count());
+        assert_eq!(d1.work_by_category(), d2.work_by_category());
+    }
+
+    #[test]
+    fn weighted_categories_bias_colors() {
+        let mut cfg = LayeredConfig::uniform(2, 10, 8, 8);
+        cfg.category_weights = vec![0.95, 0.05];
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = layered_random(&mut rng, &cfg);
+        assert!(
+            d.work(Category(0)) > d.work(Category(1)) * 3,
+            "weights should bias colors: {:?}",
+            d.work_by_category()
+        );
+    }
+
+    #[test]
+    fn work_sums_to_len() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = layered_random(&mut rng, &LayeredConfig::uniform(4, 6, 1, 9));
+        let sum: u64 = d.work_by_category().iter().sum();
+        assert_eq!(sum, d.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layers_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        layered_random(&mut rng, &LayeredConfig::uniform(1, 0, 1, 1));
+    }
+}

@@ -1,0 +1,95 @@
+//! Map-reduce style DAGs over heterogeneous categories.
+
+use crate::builder::DagBuilder;
+use crate::category::Category;
+use crate::dag::JobDag;
+
+/// Specification of a [`map_reduce`] job.
+#[derive(Clone, Debug)]
+pub struct MapReduceSpec {
+    /// Category of the map tasks (e.g. CPU).
+    pub map_category: Category,
+    /// Number of parallel map tasks per round.
+    pub map_count: u32,
+    /// Category of the reduce tasks (e.g. I/O processors writing out).
+    pub reduce_category: Category,
+    /// Number of parallel reduce tasks per round.
+    pub reduce_count: u32,
+    /// Number of map→reduce rounds, executed sequentially.
+    pub rounds: u32,
+}
+
+/// A map-reduce job: `rounds` sequential rounds, each of `map_count`
+/// parallel map tasks followed (all-to-all shuffle barrier) by
+/// `reduce_count` parallel reduce tasks; the next round's maps depend
+/// on all reducers of the previous round.
+///
+/// This is the canonical two-category workload from the paper's
+/// motivation (interleaved computation and I/O), used in the baseline
+/// comparison experiment.
+///
+/// # Panics
+/// Panics on zero counts or rounds.
+pub fn map_reduce(k: usize, spec: &MapReduceSpec) -> JobDag {
+    assert!(spec.rounds > 0, "need at least one round");
+    assert!(spec.map_count > 0, "need at least one map task");
+    assert!(spec.reduce_count > 0, "need at least one reduce task");
+    let per_round = (spec.map_count + spec.reduce_count) as usize;
+    let mut b = DagBuilder::with_capacity(
+        k,
+        per_round * spec.rounds as usize,
+        per_round * per_round * spec.rounds as usize,
+    );
+    let mut prev_reduce: Vec<crate::TaskId> = Vec::new();
+    for _ in 0..spec.rounds {
+        let maps = b.add_tasks(spec.map_category, spec.map_count as usize);
+        if !prev_reduce.is_empty() {
+            b.add_barrier(&prev_reduce, &maps).expect("fresh barrier");
+        }
+        let reduces = b.add_tasks(spec.reduce_category, spec.reduce_count as usize);
+        b.add_barrier(&maps, &reduces).expect("fresh shuffle");
+        prev_reduce = reduces;
+    }
+    b.build().expect("map-reduce DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MapReduceSpec {
+        MapReduceSpec {
+            map_category: Category(0),
+            map_count: 8,
+            reduce_category: Category(1),
+            reduce_count: 2,
+            rounds: 3,
+        }
+    }
+
+    #[test]
+    fn work_and_span() {
+        let d = map_reduce(2, &spec());
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.work(Category(0)), 24);
+        assert_eq!(d.work(Category(1)), 6);
+        // Each round adds 2 levels (map, reduce).
+        assert_eq!(d.span(), 6);
+    }
+
+    #[test]
+    fn shuffle_is_all_to_all() {
+        let d = map_reduce(2, &spec());
+        // Round 1: edges maps(8) x reduces(2) = 16; between rounds:
+        // reduces(2) x maps(8) = 16. Total = 3*16 + 2*16.
+        assert_eq!(d.edge_count(), 3 * 16 + 2 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_panics() {
+        let mut s = spec();
+        s.rounds = 0;
+        map_reduce(2, &s);
+    }
+}

@@ -1,0 +1,45 @@
+//! K-DAG generators: workload shapes used by the experiments.
+//!
+//! Every generator is deterministic given its inputs (random generators
+//! take an explicit `Rng`), and every produced DAG is validated by the
+//! [`crate::DagBuilder`], so acyclicity and well-formedness hold by
+//! construction.
+//!
+//! | Generator | Shape | Used by |
+//! |-----------|-------|---------|
+//! | [`chain`] | sequential pipeline of tasks cycling through categories | T2, T7 |
+//! | [`fork_join`] | phases of parallel same-category tasks with barriers | T2, T4, T7 |
+//! | [`layered_random`] | random layered DAGs with cross-layer edges | T2, T5 |
+//! | [`series_parallel`] | recursive series/parallel composition | T2, T5 |
+//! | [`phased`] | exact rectangular parallelism profiles | T4, T8 |
+//! | [`map_reduce`] | map/shuffle/reduce rounds over two categories | T7 |
+//! | [`wavefront`] | 2D stencil grids with diamond parallelism ramps | T2, T7 |
+//! | [`divide_conquer`] | binary recursion trees (divide + combine) | T2, T7 |
+//! | [`fig1_example`] | the paper's Figure 1 three-category example | F1 |
+//! | [`adversarial_instance`] | the paper's Figure 3 lower-bound job set | T1 |
+
+mod adversarial;
+mod chain;
+mod divide_conquer;
+mod fig1;
+mod fork_join;
+mod from_profile;
+mod gnp;
+mod layered;
+mod map_reduce;
+mod phased;
+mod series_parallel;
+mod wavefront;
+
+pub use adversarial::{adversarial_instance, AdversarialInstance};
+pub use chain::chain;
+pub use divide_conquer::divide_conquer;
+pub use fig1::fig1_example;
+pub use fork_join::fork_join;
+pub use from_profile::from_profile;
+pub use gnp::gnp;
+pub use layered::{layered_random, LayeredConfig};
+pub use map_reduce::{map_reduce, MapReduceSpec};
+pub use phased::{phased, PhaseSpec};
+pub use series_parallel::series_parallel;
+pub use wavefront::wavefront;

@@ -1,0 +1,136 @@
+//! Exact rectangular parallelism profiles.
+
+use crate::builder::DagBuilder;
+use crate::category::Category;
+use crate::dag::JobDag;
+use crate::ids::TaskId;
+
+/// One phase of a [`phased`] job: `width` parallel columns of `length`
+/// sequential `category`-tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseSpec {
+    /// Category of every task in the phase.
+    pub category: Category,
+    /// Instantaneous parallelism of the phase (number of columns).
+    pub width: u32,
+    /// Number of sequential steps the phase lasts (column length).
+    pub length: u32,
+}
+
+impl PhaseSpec {
+    /// Convenience constructor.
+    pub fn new(category: Category, width: u32, length: u32) -> Self {
+        PhaseSpec {
+            category,
+            width,
+            length,
+        }
+    }
+}
+
+/// A job with an exactly rectangular parallelism profile: phase `i`
+/// exposes exactly `width_i` ready `category_i`-tasks for `length_i`
+/// consecutive steps (when fully satisfied).
+///
+/// Construction: each phase is `width` column chains of `length` tasks;
+/// a dense barrier connects the last row of a phase to the first row of
+/// the next. This is the generator of choice when an experiment needs a
+/// *known* desire sequence (e.g. forcing light-workload DEQ behavior in
+/// the Theorem 5 experiment, or saturating one category in the ablation).
+///
+/// `span == Σ length_i`, `T1(α) == Σ_{i: cat_i = α} width_i · length_i`.
+///
+/// # Panics
+/// Panics if `phases` is empty or any width/length is zero.
+pub fn phased(k: usize, phases: &[PhaseSpec]) -> JobDag {
+    assert!(!phases.is_empty(), "need at least one phase");
+    let tasks: usize = phases
+        .iter()
+        .map(|p| p.width as usize * p.length as usize)
+        .sum();
+    let mut b = DagBuilder::with_capacity(k, tasks, tasks * 2);
+    let mut prev_row: Vec<TaskId> = Vec::new();
+    for p in phases {
+        assert!(p.width > 0, "phase width must be positive");
+        assert!(p.length > 0, "phase length must be positive");
+        // Build columns row by row so that row r+1 depends on row r
+        // column-wise; barrier from the previous phase's last row.
+        let mut row: Vec<TaskId> = b.add_tasks(p.category, p.width as usize);
+        if !prev_row.is_empty() {
+            b.add_barrier(&prev_row, &row).expect("fresh barrier");
+        }
+        for _ in 1..p.length {
+            let next: Vec<TaskId> = b.add_tasks(p.category, p.width as usize);
+            for (u, v) in row.iter().zip(&next) {
+                b.add_edge(*u, *v).expect("fresh column edge");
+            }
+            row = next;
+        }
+        prev_row = row;
+    }
+    b.build().expect("phased DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::parallelism_profile;
+
+    #[test]
+    fn profile_is_exactly_rectangular() {
+        let d = phased(
+            2,
+            &[
+                PhaseSpec::new(Category(0), 3, 4),
+                PhaseSpec::new(Category(1), 5, 2),
+            ],
+        );
+        assert_eq!(d.span(), 6);
+        assert_eq!(d.work(Category(0)), 12);
+        assert_eq!(d.work(Category(1)), 10);
+        let p = parallelism_profile(&d);
+        for row in &p[0..4] {
+            assert_eq!(row.by_category, vec![3, 0]);
+        }
+        for row in &p[4..6] {
+            assert_eq!(row.by_category, vec![0, 5]);
+        }
+    }
+
+    #[test]
+    fn single_phase_single_column_is_chain() {
+        let d = phased(1, &[PhaseSpec::new(Category(0), 1, 7)]);
+        assert_eq!(d.span(), 7);
+        assert_eq!(d.len(), 7);
+        assert_eq!(d.edge_count(), 6);
+    }
+
+    #[test]
+    fn desires_match_widths_under_full_allotment() {
+        use crate::{ExecutionState, SelectionPolicy};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let d = phased(
+            2,
+            &[
+                PhaseSpec::new(Category(0), 2, 2),
+                PhaseSpec::new(Category(1), 4, 1),
+            ],
+        );
+        let mut st = ExecutionState::new(&d, SelectionPolicy::Fifo);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = [0u32; 2];
+        assert_eq!(st.desire(Category(0)), 2);
+        st.execute_step(&d, &[8, 8], &mut rng, &mut out, None);
+        assert_eq!(st.desire(Category(0)), 2);
+        st.execute_step(&d, &[8, 8], &mut rng, &mut out, None);
+        assert_eq!(st.desire(Category(0)), 0);
+        assert_eq!(st.desire(Category(1)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_panics() {
+        phased(1, &[PhaseSpec::new(Category(0), 1, 0)]);
+    }
+}

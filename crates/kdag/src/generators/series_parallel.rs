@@ -1,0 +1,112 @@
+//! Random series-parallel DAGs.
+
+use crate::builder::DagBuilder;
+use crate::category::Category;
+use crate::dag::JobDag;
+use crate::ids::TaskId;
+use rand::Rng;
+
+/// A two-terminal fragment under construction.
+struct Fragment {
+    source: TaskId,
+    sink: TaskId,
+}
+
+fn rand_cat(rng: &mut impl Rng, k: usize) -> Category {
+    Category(rng.gen_range(0..k) as u16)
+}
+
+/// Recursively build a fragment of roughly `budget` tasks.
+fn build(rng: &mut impl Rng, b: &mut DagBuilder, k: usize, budget: usize) -> Fragment {
+    if budget <= 1 {
+        let t = b.add_task(rand_cat(rng, k));
+        return Fragment { source: t, sink: t };
+    }
+    let left = rng.gen_range(1..budget);
+    let right = budget - left;
+    if rng.gen_bool(0.5) {
+        // Series composition: A then B.
+        let a = build(rng, b, k, left);
+        let bb = build(rng, b, k, right);
+        b.add_edge(a.sink, bb.source).expect("fresh series edge");
+        Fragment {
+            source: a.source,
+            sink: bb.sink,
+        }
+    } else {
+        // Parallel composition wrapped in fresh fork/join tasks to keep
+        // the fragment two-terminal.
+        let fork = b.add_task(rand_cat(rng, k));
+        let a = build(rng, b, k, left);
+        let bb = build(rng, b, k, right);
+        let join = b.add_task(rand_cat(rng, k));
+        b.add_edge(fork, a.source).expect("fresh fork edge");
+        b.add_edge(fork, bb.source).expect("fresh fork edge");
+        b.add_edge(a.sink, join).expect("fresh join edge");
+        b.add_edge(bb.sink, join).expect("fresh join edge");
+        Fragment {
+            source: fork,
+            sink: join,
+        }
+    }
+}
+
+/// A random series-parallel K-DAG of roughly `target` tasks (parallel
+/// compositions add fork/join tasks, so the final size is `target` plus
+/// up to ~2× the number of parallel compositions).
+///
+/// Series-parallel DAGs model structured parallelism (spawn/sync, nested
+/// task parallelism à la Cilk) and have a single source and sink, making
+/// them a natural "well-structured job" counterpart to the irregular
+/// [`super::layered_random`] shapes.
+///
+/// # Panics
+/// Panics if `target == 0`.
+pub fn series_parallel(rng: &mut impl Rng, k: usize, target: usize) -> JobDag {
+    assert!(target > 0, "target size must be positive");
+    let mut b = DagBuilder::new(k);
+    build(rng, &mut b, k, target);
+    b.build().expect("series-parallel DAG is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_source_and_sink() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = series_parallel(&mut rng, 3, 40);
+        let sources: Vec<_> = d.sources().collect();
+        assert_eq!(sources.len(), 1, "two-terminal: one source");
+        let sinks = d.tasks().filter(|t| d.successors(*t).is_empty()).count();
+        assert_eq!(sinks, 1, "two-terminal: one sink");
+    }
+
+    #[test]
+    fn size_is_at_least_target() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = series_parallel(&mut rng, 2, 25);
+        assert!(d.len() >= 25);
+        assert!(d.len() <= 25 * 3, "fork/join overhead is bounded");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = series_parallel(&mut StdRng::seed_from_u64(7), 2, 30);
+        let b = series_parallel(&mut StdRng::seed_from_u64(7), 2, 30);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.span(), b.span());
+        assert_eq!(a.work_by_category(), b.work_by_category());
+    }
+
+    #[test]
+    fn trivial_target_is_single_task() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = series_parallel(&mut rng, 1, 1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.span(), 1);
+    }
+}

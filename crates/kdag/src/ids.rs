@@ -1,0 +1,85 @@
+//! Strongly-typed identifiers for tasks and jobs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task (vertex) *within one job's DAG*.
+///
+/// Task ids are dense indices `0..dag.len()`; they are meaningless
+/// across different jobs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The task id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a job *within one job set*.
+///
+/// Job ids are dense indices `0..jobset.len()` assigned by the
+/// simulator in submission order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The job id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_roundtrip() {
+        let t = TaskId(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(format!("{t}"), "t7");
+        assert_eq!(format!("{t:?}"), "t7");
+    }
+
+    #[test]
+    fn job_id_roundtrip() {
+        let j = JobId(3);
+        assert_eq!(j.index(), 3);
+        assert_eq!(format!("{j}"), "J3");
+        assert_eq!(format!("{j:?}"), "J3");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(JobId(0) < JobId(10));
+    }
+}

@@ -1,0 +1,66 @@
+//! # kdag — the K-colored DAG job model
+//!
+//! This crate implements the job model of *"Adaptive Scheduling of
+//! Parallel Jobs on Functionally Heterogeneous Resources"* (He, Sun,
+//! Hsu — ICPP 2007): a parallel job is a **K-DAG**, a directed acyclic
+//! graph of *unit-time tasks* where every vertex is colored with one of
+//! `K` resource **categories**. An `α`-task may only execute on an
+//! `α`-processor; any two tasks of the same job may run concurrently
+//! (possibly on different categories) as long as precedence edges are
+//! respected.
+//!
+//! The crate provides:
+//!
+//! * [`Category`], [`TaskId`], [`JobId`] — strongly-typed identifiers.
+//! * [`JobDag`] — an immutable, validated K-DAG in CSR form with cached
+//!   metrics: per-category work `T1(J, α)`, span `T∞(J)` (longest chain,
+//!   counted in vertices, as in the paper), and per-vertex *heights*
+//!   (longest path to a sink) used by critical-path selection policies.
+//! * [`DagBuilder`] — safe construction with cycle/self-loop detection.
+//! * [`ExecutionState`] — the *dynamically unfolding* view of a job:
+//!   ready sets per category, task completion, and pluggable
+//!   [`SelectionPolicy`] deciding *which* ready tasks run when a job
+//!   receives fewer processors than its desire (the adversary's knob in
+//!   Theorem 1).
+//! * [`generators`] — workload DAG shapes: chains, fork-join phases,
+//!   random layered DAGs, series-parallel DAGs, phased parallelism
+//!   profiles, map-reduce, the paper's Figure 1 example, and the
+//!   Figure 3 adversarial lower-bound instance.
+//! * [`dot`] — Graphviz export for inspection and the Figure 1 example.
+//!
+//! ## Non-clairvoyance
+//!
+//! Schedulers in the companion crates never see a [`JobDag`]; they see
+//! only instantaneous per-category desires. Everything in this crate is
+//! "environment side" and may be clairvoyant (e.g. the adversarial
+//! critical-path-last policy).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod category;
+mod dag;
+mod error;
+mod execution;
+mod ids;
+mod metrics;
+mod policy;
+mod spec;
+mod stats;
+
+pub mod compose;
+pub mod dot;
+pub mod generators;
+pub mod reduce;
+
+pub use builder::DagBuilder;
+pub use category::Category;
+pub use dag::JobDag;
+pub use error::DagError;
+pub use execution::ExecutionState;
+pub use ids::{JobId, TaskId};
+pub use metrics::{parallelism_profile, ProfileRow};
+pub use policy::SelectionPolicy;
+pub use spec::DagSpec;
+pub use stats::DagStats;

@@ -1,0 +1,102 @@
+//! Derived metrics over K-DAGs: parallelism profiles.
+
+use crate::dag::JobDag;
+
+/// One step of a job's parallelism profile: how many tasks of each
+/// category execute at this (earliest-possible) step under unlimited
+/// processors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// 1-based step index.
+    pub step: u64,
+    /// Number of tasks executed per category at this step.
+    pub by_category: Vec<u64>,
+}
+
+/// The *parallelism profile* of a job: for each step of the
+/// earliest-possible (greedy, unlimited-processor) execution, the
+/// number of tasks of each category that run.
+///
+/// Step `s` contains exactly the tasks whose longest path from a source
+/// (in vertices) equals `s`; the profile has `T∞(J)` rows and the
+/// per-category row sums equal `T1(J, α)`.
+pub fn parallelism_profile(dag: &JobDag) -> Vec<ProfileRow> {
+    let n = dag.len();
+    // depth(v) = 1 + max over predecessors depth; computed in topo order.
+    let mut depth = vec![1u64; n];
+    for &t in dag.topological_order() {
+        let dt = depth[t.index()];
+        for &s in dag.successors(t) {
+            if depth[s.index()] < dt + 1 {
+                depth[s.index()] = dt + 1;
+            }
+        }
+    }
+    let steps = dag.span();
+    let mut rows: Vec<ProfileRow> = (1..=steps)
+        .map(|step| ProfileRow {
+            step,
+            by_category: vec![0; dag.k()],
+        })
+        .collect();
+    for t in dag.tasks() {
+        let s = depth[t.index()] as usize - 1;
+        rows[s].by_category[dag.category(t).index()] += 1;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DagBuilder;
+    use crate::category::Category;
+
+    #[test]
+    fn profile_of_diamond() {
+        let mut b = DagBuilder::new(2);
+        let a = b.add_task(Category(0));
+        let x = b.add_task(Category(1));
+        let y = b.add_task(Category(1));
+        let z = b.add_task(Category(0));
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        let d = b.build().unwrap();
+        let p = parallelism_profile(&d);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].by_category, vec![1, 0]);
+        assert_eq!(p[1].by_category, vec![0, 2]);
+        assert_eq!(p[2].by_category, vec![1, 0]);
+    }
+
+    #[test]
+    fn profile_sums_to_work() {
+        let mut b = DagBuilder::new(3);
+        let ts = b.add_tasks(Category(0), 4);
+        let us = b.add_tasks(Category(1), 3);
+        let vs = b.add_tasks(Category(2), 2);
+        b.add_barrier(&ts, &us).unwrap();
+        b.add_barrier(&us, &vs).unwrap();
+        let d = b.build().unwrap();
+        let p = parallelism_profile(&d);
+        assert_eq!(p.len() as u64, d.span());
+        for cat in 0..3 {
+            let sum: u64 = p.iter().map(|r| r.by_category[cat]).sum();
+            assert_eq!(sum, d.work(Category(cat as u16)));
+        }
+    }
+
+    #[test]
+    fn profile_steps_are_one_based_and_contiguous() {
+        let mut b = DagBuilder::new(1);
+        let ts = b.add_tasks(Category(0), 5);
+        b.add_chain(&ts).unwrap();
+        let d = b.build().unwrap();
+        let p = parallelism_profile(&d);
+        let steps: Vec<u64> = p.iter().map(|r| r.step).collect();
+        assert_eq!(steps, vec![1, 2, 3, 4, 5]);
+        assert!(p.iter().all(|r| r.by_category == vec![1]));
+    }
+}

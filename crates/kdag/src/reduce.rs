@@ -1,0 +1,151 @@
+//! Transitive reduction of K-DAGs.
+
+use crate::builder::DagBuilder;
+use crate::dag::JobDag;
+use crate::ids::TaskId;
+
+/// Compute the transitive reduction: the unique minimal edge set with
+/// the same reachability (hence identical precedence semantics, span,
+/// heights, and scheduling behavior) as the input.
+///
+/// Dense constructions — barriers, shuffles, compositions — often
+/// carry edges that longer paths already imply; reducing them shrinks
+/// memory and speeds up the unfolding without changing any schedule.
+///
+/// An edge `u → v` is redundant iff some other successor of `u`
+/// reaches `v`. Runs in `O(V · E)` (a reverse-topological reachability
+/// sweep per vertex), fine for simulation-scale DAGs.
+///
+/// ```
+/// use kdag::{reduce::transitive_reduction, DagBuilder, Category};
+/// let mut b = DagBuilder::new(1);
+/// let a = b.add_task(Category(0));
+/// let m = b.add_task(Category(0));
+/// let z = b.add_task(Category(0));
+/// b.add_edge(a, m).unwrap();
+/// b.add_edge(m, z).unwrap();
+/// b.add_edge(a, z).unwrap(); // implied by a → m → z
+/// let reduced = transitive_reduction(&b.build().unwrap());
+/// assert_eq!(reduced.edge_count(), 2);
+/// ```
+pub fn transitive_reduction(dag: &JobDag) -> JobDag {
+    let n = dag.len();
+    // reach[v] = bitset of vertices reachable from v (excluding v).
+    let words = n.div_ceil(64);
+    let mut reach = vec![vec![0u64; words]; n];
+    let set = |bits: &mut [u64], i: usize| bits[i / 64] |= 1 << (i % 64);
+    let get = |bits: &[u64], i: usize| bits[i / 64] >> (i % 64) & 1 == 1;
+
+    for &t in dag.topological_order().iter().rev() {
+        let ti = t.index();
+        for &s in dag.successors(t) {
+            let si = s.index();
+            // reach[t] |= {s} ∪ reach[s].
+            let (head, tail) = reach.split_at_mut(ti.max(si));
+            let (a, b) = if ti < si {
+                (&mut head[ti], &tail[0])
+            } else {
+                (&mut tail[0], &head[si])
+            };
+            for (x, y) in a.iter_mut().zip(b) {
+                *x |= *y;
+            }
+            set(&mut reach[ti], si);
+        }
+    }
+
+    let mut b = DagBuilder::with_capacity(dag.k(), n, dag.edge_count());
+    for t in dag.tasks() {
+        b.add_task(dag.category(t));
+    }
+    for t in dag.tasks() {
+        let succs = dag.successors(t);
+        for &v in succs {
+            // Redundant iff another direct successor reaches v.
+            let redundant = succs
+                .iter()
+                .any(|&w| w != v && get(&reach[w.index()], v.index()));
+            if !redundant {
+                b.add_edge(TaskId(t.0), v).expect("reduced edge is fresh");
+            }
+        }
+    }
+    b.build().expect("reduction preserves acyclicity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::Category;
+    use crate::generators::{fork_join, wavefront};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn barrier_chains_lose_skip_edges() {
+        // Three stacked barriers of width 2 plus a manual skip edge.
+        let mut b = DagBuilder::new(1);
+        let l1 = b.add_tasks(Category(0), 2);
+        let l2 = b.add_tasks(Category(0), 2);
+        let l3 = b.add_tasks(Category(0), 2);
+        b.add_barrier(&l1, &l2).unwrap();
+        b.add_barrier(&l2, &l3).unwrap();
+        b.add_edge(l1[0], l3[0]).unwrap(); // implied
+        let d = b.build().unwrap();
+        let r = transitive_reduction(&d);
+        assert_eq!(r.edge_count(), 8);
+        assert_eq!(r.span(), d.span());
+    }
+
+    #[test]
+    fn already_minimal_dags_are_unchanged() {
+        let d = wavefront(1, 4, 4, &[Category(0)]);
+        let r = transitive_reduction(&d);
+        assert_eq!(r.edge_count(), d.edge_count(), "grid edges are minimal");
+    }
+
+    #[test]
+    fn fork_join_barriers_are_minimal() {
+        // A dense barrier between two phases has no redundant edges.
+        let d = fork_join(1, &[(Category(0), 3), (Category(0), 4)]);
+        assert_eq!(transitive_reduction(&d).edge_count(), 12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Reduction preserves the scheduling-relevant semantics:
+        /// reachability (sampled), span, heights, work; and it is
+        /// idempotent.
+        #[test]
+        fn reduction_preserves_semantics(seed in 0u64..5000, layers in 2usize..8, w in 1u32..5) {
+            use crate::generators::{layered_random, LayeredConfig};
+            let mut cfg = LayeredConfig::uniform(2, layers, 1, w);
+            cfg.extra_edge_prob = 0.5; // encourage redundant edges
+            let d = layered_random(&mut StdRng::seed_from_u64(seed), &cfg);
+            let r = transitive_reduction(&d);
+
+            prop_assert_eq!(r.len(), d.len());
+            prop_assert!(r.edge_count() <= d.edge_count());
+            prop_assert_eq!(r.span(), d.span());
+            prop_assert_eq!(r.work_by_category(), d.work_by_category());
+            for t in d.tasks() {
+                prop_assert_eq!(r.height(t), d.height(t), "height of {} changed", t);
+            }
+            // Reachability spot-check across all pairs (sizes are small).
+            for u in d.tasks() {
+                for v in d.tasks() {
+                    prop_assert_eq!(
+                        d.precedes(u, v),
+                        r.precedes(u, v),
+                        "reachability {} -> {} changed", u, v
+                    );
+                }
+            }
+            // Idempotence.
+            let rr = transitive_reduction(&r);
+            prop_assert_eq!(rr.edge_count(), r.edge_count());
+        }
+    }
+}

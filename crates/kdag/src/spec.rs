@@ -1,0 +1,116 @@
+//! Serializable DAG descriptions.
+//!
+//! [`crate::JobDag`] itself is deliberately not `Deserialize` — its
+//! invariants (acyclicity, CSR consistency, cached metrics) must go
+//! through the builder. [`DagSpec`] is the wire format: a plain
+//! category/edge list that round-trips through serde and re-validates
+//! on [`DagSpec::build`].
+
+use crate::builder::DagBuilder;
+use crate::category::Category;
+use crate::dag::JobDag;
+use crate::error::DagError;
+use crate::ids::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// A serializable, not-yet-validated description of a K-DAG.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagSpec {
+    /// Number of categories `K`.
+    pub k: usize,
+    /// Category of each task (dense task ids `0..len`).
+    pub categories: Vec<u16>,
+    /// Precedence edges as `(from, to)` task-id pairs.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl DagSpec {
+    /// Extract the spec of a validated DAG (always round-trips).
+    pub fn from_dag(dag: &JobDag) -> DagSpec {
+        let mut edges = Vec::with_capacity(dag.edge_count());
+        for t in dag.tasks() {
+            for &s in dag.successors(t) {
+                edges.push((t.0, s.0));
+            }
+        }
+        DagSpec {
+            k: dag.k(),
+            categories: dag.tasks().map(|t| dag.category(t).0).collect(),
+            edges,
+        }
+    }
+
+    /// Validate and build the DAG (rejects cycles, bad indices, …).
+    pub fn build(&self) -> Result<JobDag, DagError> {
+        let mut b = DagBuilder::with_capacity(self.k, self.categories.len(), self.edges.len());
+        for &c in &self.categories {
+            if usize::from(c) >= self.k {
+                // Mirror the builder's panic as a data error: specs come
+                // from files, not code.
+                return Err(DagError::UnknownTask(TaskId(u32::MAX)));
+            }
+            b.add_task(Category(c));
+        }
+        for &(u, v) in &self.edges {
+            b.add_edge(TaskId(u), TaskId(v))?;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{fig1_example, wavefront};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let original = fig1_example();
+        let spec = DagSpec::from_dag(&original);
+        let rebuilt = spec.build().unwrap();
+        assert_eq!(rebuilt.len(), original.len());
+        assert_eq!(rebuilt.span(), original.span());
+        assert_eq!(rebuilt.work_by_category(), original.work_by_category());
+        assert_eq!(rebuilt.edge_count(), original.edge_count());
+        // And through serde.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: DagSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        // Cycle.
+        let spec = DagSpec {
+            k: 1,
+            categories: vec![0, 0],
+            edges: vec![(0, 1), (1, 0)],
+        };
+        assert_eq!(spec.build().unwrap_err(), DagError::Cycle);
+        // Out-of-range category.
+        let spec = DagSpec {
+            k: 1,
+            categories: vec![5],
+            edges: vec![],
+        };
+        assert!(spec.build().is_err());
+        // Dangling edge endpoint.
+        let spec = DagSpec {
+            k: 1,
+            categories: vec![0],
+            edges: vec![(0, 9)],
+        };
+        assert_eq!(spec.build().unwrap_err(), DagError::UnknownTask(TaskId(9)));
+    }
+
+    #[test]
+    fn bigger_dag_roundtrip() {
+        let d = wavefront(2, 5, 7, &[Category(0), Category(1)]);
+        let rebuilt = DagSpec::from_dag(&d).build().unwrap();
+        assert_eq!(rebuilt.span(), d.span());
+        assert_eq!(rebuilt.len(), d.len());
+        for t in d.tasks() {
+            assert_eq!(rebuilt.height(t), d.height(t));
+        }
+    }
+}

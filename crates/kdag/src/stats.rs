@@ -1,0 +1,127 @@
+//! Structural statistics of a K-DAG.
+
+use crate::dag::JobDag;
+use crate::metrics::parallelism_profile;
+use std::fmt;
+
+/// A structural summary of one job's DAG, for inspection tools and
+/// workload characterization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DagStats {
+    /// Number of categories `K`.
+    pub k: usize,
+    /// Total tasks (= total work, unit-time).
+    pub tasks: usize,
+    /// Precedence edges.
+    pub edges: usize,
+    /// Per-category work `T1(J, α)`.
+    pub work_by_category: Vec<u64>,
+    /// Span `T∞(J)`.
+    pub span: u64,
+    /// Average parallelism `T1 / T∞` — the paper's key ratio: a job is
+    /// "parallelism-limited" when this is small relative to `Pα`.
+    pub avg_parallelism: f64,
+    /// Maximum instantaneous parallelism of the earliest-start profile,
+    /// per category.
+    pub max_parallelism_by_category: Vec<u64>,
+    /// Number of source tasks.
+    pub sources: usize,
+    /// Number of sink tasks.
+    pub sinks: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: u32,
+}
+
+impl DagStats {
+    /// Compute the statistics of a DAG.
+    pub fn of(dag: &JobDag) -> DagStats {
+        let profile = parallelism_profile(dag);
+        let mut max_par = vec![0u64; dag.k()];
+        for row in &profile {
+            for (m, &x) in max_par.iter_mut().zip(&row.by_category) {
+                *m = (*m).max(x);
+            }
+        }
+        DagStats {
+            k: dag.k(),
+            tasks: dag.len(),
+            edges: dag.edge_count(),
+            work_by_category: dag.work_by_category().to_vec(),
+            span: dag.span(),
+            avg_parallelism: dag.total_work() as f64 / dag.span() as f64,
+            max_parallelism_by_category: max_par,
+            sources: dag.sources().count(),
+            sinks: dag
+                .tasks()
+                .filter(|t| dag.successors(*t).is_empty())
+                .count(),
+            max_out_degree: dag
+                .tasks()
+                .map(|t| dag.successors(t).len())
+                .max()
+                .unwrap_or(0),
+            max_in_degree: dag.tasks().map(|t| dag.in_degree(t)).max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for DagStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "tasks {}  edges {}  span {}  avg parallelism {:.2}",
+            self.tasks, self.edges, self.span, self.avg_parallelism
+        )?;
+        writeln!(
+            f,
+            "work by category: {:?}  max instantaneous: {:?}",
+            self.work_by_category, self.max_parallelism_by_category
+        )?;
+        write!(
+            f,
+            "sources {}  sinks {}  max out-degree {}  max in-degree {}",
+            self.sources, self.sinks, self.max_out_degree, self.max_in_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{fig1_example, fork_join};
+    use crate::Category;
+
+    #[test]
+    fn fig1_stats() {
+        let s = DagStats::of(&fig1_example());
+        assert_eq!(s.tasks, 10);
+        assert_eq!(s.edges, 13);
+        assert_eq!(s.span, 5);
+        assert!((s.avg_parallelism - 2.0).abs() < 1e-12);
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.max_parallelism_by_category, vec![2, 2, 1]);
+        assert_eq!(s.max_out_degree, 3);
+        assert_eq!(s.max_in_degree, 2);
+    }
+
+    #[test]
+    fn fork_join_stats() {
+        let s = DagStats::of(&fork_join(1, &[(Category(0), 4), (Category(0), 6)]));
+        assert_eq!(s.max_parallelism_by_category, vec![6]);
+        assert_eq!(s.sources, 4);
+        assert_eq!(s.sinks, 6);
+        assert_eq!(s.max_out_degree, 6);
+        assert_eq!(s.max_in_degree, 4);
+    }
+
+    #[test]
+    fn display_renders() {
+        let text = DagStats::of(&fig1_example()).to_string();
+        assert!(text.contains("tasks 10  edges 13  span 5"));
+        assert!(text.contains("avg parallelism 2.00"));
+        assert!(text.contains("sources 1"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests over every DAG generator: structural invariants that
+//! must hold for any parameters.
+
+use kdag::generators::{
+    chain, divide_conquer, fork_join, gnp, layered_random, map_reduce, phased, series_parallel,
+    wavefront, LayeredConfig, MapReduceSpec, PhaseSpec,
+};
+use kdag::{parallelism_profile, Category, ExecutionState, JobDag, SelectionPolicy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shared invariants every valid K-DAG satisfies.
+fn check_invariants(dag: &JobDag) {
+    // Work decomposes by category.
+    let sum: u64 = dag.work_by_category().iter().sum();
+    assert_eq!(sum, dag.total_work());
+    assert_eq!(dag.total_work(), dag.len() as u64);
+
+    // Span is sane: 1 ≤ span ≤ total work; span == max height.
+    assert!(dag.span() >= 1);
+    assert!(dag.span() <= dag.total_work());
+    let max_h = dag.tasks().map(|t| u64::from(dag.height(t))).max().unwrap();
+    assert_eq!(dag.span(), max_h);
+
+    // Heights decrease along edges by at least 1.
+    for t in dag.tasks() {
+        for &s in dag.successors(t) {
+            assert!(dag.height(t) > dag.height(s));
+        }
+    }
+
+    // The parallelism profile partitions the work and spans the span.
+    let profile = parallelism_profile(dag);
+    assert_eq!(profile.len() as u64, dag.span());
+    for (cat, &w) in dag.work_by_category().iter().enumerate() {
+        let total: u64 = profile.iter().map(|r| r.by_category[cat]).sum();
+        assert_eq!(total, w);
+    }
+    // Every profile step executes at least one task (no gaps).
+    for row in &profile {
+        assert!(row.by_category.iter().sum::<u64>() >= 1);
+    }
+
+    // Executing greedily with unlimited processors finishes in exactly
+    // `span` steps (the dynamic unfolding agrees with the profile).
+    let mut st = ExecutionState::new(dag, SelectionPolicy::Fifo);
+    let mut rng = StdRng::seed_from_u64(0);
+    let huge = vec![u32::MAX; dag.k()];
+    let mut out = vec![0u32; dag.k()];
+    let mut steps = 0u64;
+    while !st.is_complete() {
+        st.execute_step(dag, &huge, &mut rng, &mut out, None);
+        steps += 1;
+        assert!(steps <= dag.span(), "unfolding exceeded the span");
+    }
+    assert_eq!(steps, dag.span());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chain_invariants(len in 1usize..60, k in 1usize..5, plen in 1usize..4) {
+        let pattern: Vec<Category> = (0..plen).map(|i| Category((i % k) as u16)).collect();
+        let d = chain(k, len, &pattern);
+        check_invariants(&d);
+        prop_assert_eq!(d.span(), len as u64);
+    }
+
+    #[test]
+    fn fork_join_invariants(widths in proptest::collection::vec(1u32..12, 1..6), k in 1usize..4) {
+        let phases: Vec<(Category, u32)> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (Category((i % k) as u16), w))
+            .collect();
+        let d = fork_join(k, &phases);
+        check_invariants(&d);
+        prop_assert_eq!(d.span(), phases.len() as u64);
+    }
+
+    #[test]
+    fn layered_invariants(seed in 0u64..10_000, layers in 1usize..12, maxw in 1u32..8, k in 1usize..4) {
+        let cfg = LayeredConfig::uniform(k, layers, 1, maxw);
+        let d = layered_random(&mut StdRng::seed_from_u64(seed), &cfg);
+        check_invariants(&d);
+        prop_assert_eq!(d.span(), layers as u64);
+    }
+
+    #[test]
+    fn series_parallel_invariants(seed in 0u64..10_000, target in 1usize..60, k in 1usize..4) {
+        let d = series_parallel(&mut StdRng::seed_from_u64(seed), k, target);
+        check_invariants(&d);
+        prop_assert!(d.len() >= target);
+        prop_assert_eq!(d.sources().count(), 1);
+    }
+
+    #[test]
+    fn phased_invariants(specs in proptest::collection::vec((1u32..6, 1u32..6), 1..4), k in 1usize..3) {
+        let phases: Vec<PhaseSpec> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, l))| PhaseSpec::new(Category((i % k) as u16), w, l))
+            .collect();
+        let d = phased(k, &phases);
+        check_invariants(&d);
+        let span: u64 = specs.iter().map(|&(_, l)| u64::from(l)).sum();
+        prop_assert_eq!(d.span(), span);
+    }
+
+    #[test]
+    fn map_reduce_invariants(maps in 1u32..10, reduces in 1u32..5, rounds in 1u32..4) {
+        let d = map_reduce(2, &MapReduceSpec {
+            map_category: Category(0),
+            map_count: maps,
+            reduce_category: Category(1),
+            reduce_count: reduces,
+            rounds,
+        });
+        check_invariants(&d);
+        prop_assert_eq!(d.span(), 2 * u64::from(rounds));
+    }
+
+    #[test]
+    fn wavefront_invariants(rows in 1usize..10, cols in 1usize..10, k in 1usize..3) {
+        let pattern: Vec<Category> = (0..k).map(|i| Category(i as u16)).collect();
+        let d = wavefront(k, rows, cols, &pattern);
+        check_invariants(&d);
+        prop_assert_eq!(d.span(), (rows + cols - 1) as u64);
+        prop_assert_eq!(d.len(), rows * cols);
+    }
+
+    #[test]
+    fn gnp_invariants(seed in 0u64..10_000, n in 1usize..40, p_pct in 0u32..100, k in 1usize..4) {
+        let d = gnp(
+            &mut StdRng::seed_from_u64(seed),
+            k,
+            n,
+            f64::from(p_pct) / 100.0,
+        );
+        check_invariants(&d);
+        prop_assert_eq!(d.len(), n);
+    }
+
+    #[test]
+    fn divide_conquer_invariants(depth in 1u32..7, k in 1usize..4) {
+        let d = divide_conquer(
+            k,
+            depth,
+            Category(0),
+            Category((1 % k) as u16),
+            Category(((k - 1) % k) as u16),
+        );
+        check_invariants(&d);
+        prop_assert_eq!(d.len() as u64, 3 * (1u64 << depth) - 2);
+        prop_assert_eq!(d.span(), 2 * u64::from(depth) + 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the serializable DAG spec: lossless round-trips
+//! for valid DAGs, rejection for corrupted ones.
+
+use kdag::generators::{layered_random, series_parallel, LayeredConfig};
+use kdag::DagSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Spec → build round-trips preserve every metric, including
+    /// through a JSON encode/decode.
+    #[test]
+    fn roundtrip_is_lossless(seed in 0u64..10_000, sp in proptest::bool::ANY) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = if sp {
+            series_parallel(&mut rng, 3, 30)
+        } else {
+            layered_random(&mut rng, &LayeredConfig::uniform(3, 6, 1, 5))
+        };
+        let spec = DagSpec::from_dag(&dag);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: DagSpec = serde_json::from_str(&json).unwrap();
+        let rebuilt = back.build().unwrap();
+
+        prop_assert_eq!(rebuilt.len(), dag.len());
+        prop_assert_eq!(rebuilt.edge_count(), dag.edge_count());
+        prop_assert_eq!(rebuilt.span(), dag.span());
+        prop_assert_eq!(rebuilt.work_by_category(), dag.work_by_category());
+        for t in dag.tasks() {
+            prop_assert_eq!(rebuilt.category(t), dag.category(t));
+            prop_assert_eq!(rebuilt.height(t), dag.height(t));
+            prop_assert_eq!(rebuilt.successors(t), dag.successors(t));
+        }
+    }
+
+    /// Arbitrary (possibly nonsensical) specs never build an invalid
+    /// DAG: they either build a valid one or return an error — no
+    /// panics, no corrupt structures.
+    #[test]
+    fn arbitrary_specs_never_panic(
+        k in 1usize..4,
+        categories in proptest::collection::vec(0u16..5, 1..12),
+        edges in proptest::collection::vec((0u32..14, 0u32..14), 0..24),
+    ) {
+        let spec = DagSpec { k, categories, edges };
+        if let Ok(dag) = spec.build() {
+            // If it builds, it must satisfy the invariants.
+            prop_assert!(dag.span() >= 1);
+            let sum: u64 = dag.work_by_category().iter().sum();
+            prop_assert_eq!(sum, dag.len() as u64);
+            for t in dag.tasks() {
+                for &s in dag.successors(t) {
+                    prop_assert!(dag.height(t) > dag.height(s));
+                }
+            }
+        }
+    }
+}

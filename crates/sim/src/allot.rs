@@ -1,0 +1,109 @@
+//! Allotment matrices: the scheduler's per-step decision.
+
+use kdag::Category;
+
+/// A dense `jobs × K` matrix of processor allotments `a(Ji, α, t)`,
+/// row-indexed by the job's *slot* (its position in the `&[JobView]`
+/// slice passed to the scheduler this step).
+///
+/// The engine clears the matrix before each [`crate::Scheduler::allot`]
+/// call; schedulers only write the entries they want non-zero.
+#[derive(Clone, Debug)]
+pub struct AllotmentMatrix {
+    k: usize,
+    rows: usize,
+    data: Vec<u32>,
+}
+
+impl AllotmentMatrix {
+    /// Create an empty matrix for `k` categories.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        AllotmentMatrix {
+            k,
+            rows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of categories `K`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of job slots in the current step.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Resize for `rows` jobs and zero every entry.
+    pub fn reset(&mut self, rows: usize) {
+        self.rows = rows;
+        self.data.clear();
+        self.data.resize(rows * self.k, 0);
+    }
+
+    /// Set the allotment of job slot `slot` for category `cat`.
+    #[inline]
+    pub fn set(&mut self, slot: usize, cat: Category, value: u32) {
+        self.data[slot * self.k + cat.index()] = value;
+    }
+
+    /// Add to the allotment of job slot `slot` for category `cat`.
+    #[inline]
+    pub fn add(&mut self, slot: usize, cat: Category, value: u32) {
+        self.data[slot * self.k + cat.index()] += value;
+    }
+
+    /// The allotment of job slot `slot` for category `cat`.
+    #[inline]
+    pub fn get(&self, slot: usize, cat: Category) -> u32 {
+        self.data[slot * self.k + cat.index()]
+    }
+
+    /// The full allotment row of a job slot (indexed by category).
+    #[inline]
+    pub fn row(&self, slot: usize) -> &[u32] {
+        &self.data[slot * self.k..(slot + 1) * self.k]
+    }
+
+    /// Total allotment of one category across all job slots.
+    pub fn category_total(&self, cat: Category) -> u64 {
+        (0..self.rows)
+            .map(|s| u64::from(self.data[s * self.k + cat.index()]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_row() {
+        let mut m = AllotmentMatrix::new(3);
+        m.reset(2);
+        m.set(0, Category(1), 4);
+        m.set(1, Category(2), 7);
+        m.add(1, Category(2), 1);
+        assert_eq!(m.get(0, Category(1)), 4);
+        assert_eq!(m.row(1), &[0, 0, 8]);
+        assert_eq!(m.category_total(Category(2)), 8);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.k(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut m = AllotmentMatrix::new(2);
+        m.reset(1);
+        m.set(0, Category(0), 9);
+        m.reset(3);
+        assert_eq!(m.rows(), 3);
+        for s in 0..3 {
+            assert_eq!(m.row(s), &[0, 0]);
+        }
+    }
+}

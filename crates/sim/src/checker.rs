@@ -1,0 +1,475 @@
+//! Full-schedule recording and validation.
+//!
+//! The paper (§2) defines a schedule of a job set as `χ = (τ, π1, …,
+//! πK)`: `τ` maps every vertex to a time step and `πα` maps every
+//! `α`-vertex to an `α`-processor, subject to:
+//!
+//! * **precedence**: `u ≺ v ⇒ τ(u) < τ(v)`;
+//! * **exclusivity**: two α-vertices may share `(τ, πα)` only if they
+//!   are the same vertex;
+//! * (implicitly) category matching, processor range, and release
+//!   times.
+//!
+//! The engine can record the full `χ` it produces
+//! ([`crate::SimConfig::record_schedule`]); [`validate`] replays a
+//! recorded schedule against the job specs and machine and reports the
+//! first violation found. Every scheduler in this repository is
+//! integration-tested through this checker.
+
+use crate::engine::JobSpec;
+use crate::{Resources, Time};
+use kdag::{Category, JobId, TaskId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One task execution: vertex `task` of `job` ran at step `t` on
+/// processor `processor` of category `category`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecRecord {
+    /// The job the task belongs to.
+    pub job: JobId,
+    /// The task (vertex) id within the job's DAG.
+    pub task: TaskId,
+    /// The 1-based step at which the task executed (`τ`).
+    pub t: Time,
+    /// The processor category the task ran on.
+    pub category: Category,
+    /// The processor index within the category (`πα`), `0..Pα`.
+    pub processor: u32,
+}
+
+/// A complete recorded schedule `χ`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RecordedSchedule {
+    /// All task executions, in engine emission order (non-decreasing
+    /// `t`).
+    pub records: Vec<ExecRecord>,
+}
+
+impl RecordedSchedule {
+    /// Number of recorded task executions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A violation of the paper's schedule validity conditions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// A record referenced a job id outside the job set.
+    UnknownJob {
+        /// The offending job id.
+        job: JobId,
+    },
+    /// A record referenced a task id outside its job's DAG.
+    UnknownTask {
+        /// The job whose DAG was indexed.
+        job: JobId,
+        /// The offending task id.
+        task: TaskId,
+    },
+    /// A task never executed.
+    TaskNotExecuted {
+        /// The job owning the task.
+        job: JobId,
+        /// The task that never ran.
+        task: TaskId,
+    },
+    /// A task executed more than once.
+    TaskExecutedTwice {
+        /// The job owning the task.
+        job: JobId,
+        /// The task that ran twice.
+        task: TaskId,
+    },
+    /// A task ran on a processor of the wrong category.
+    WrongCategory {
+        /// The job owning the task.
+        job: JobId,
+        /// The task.
+        task: TaskId,
+        /// The category it ran on.
+        ran_on: Category,
+        /// The category it required.
+        required: Category,
+    },
+    /// A precedence edge `u ≺ v` was violated (`τ(u) ≥ τ(v)`).
+    PrecedenceViolated {
+        /// The job owning both tasks.
+        job: JobId,
+        /// The predecessor task.
+        u: TaskId,
+        /// The successor task.
+        v: TaskId,
+    },
+    /// Two tasks shared a `(t, category, processor)` slot.
+    ProcessorConflict {
+        /// The step of the conflict.
+        t: Time,
+        /// The category of the shared processor.
+        category: Category,
+        /// The shared processor index.
+        processor: u32,
+    },
+    /// A processor index was `≥ Pα`.
+    ProcessorOutOfRange {
+        /// The category.
+        category: Category,
+        /// The offending processor index.
+        processor: u32,
+    },
+    /// A task ran at or before its job's release time.
+    ExecutedBeforeRelease {
+        /// The job.
+        job: JobId,
+        /// The step the task ran at.
+        t: Time,
+        /// The job's release time.
+        release: Time,
+    },
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleViolation::UnknownJob { job } => write!(f, "unknown job {job}"),
+            ScheduleViolation::UnknownTask { job, task } => {
+                write!(f, "unknown task {task} in job {job}")
+            }
+            ScheduleViolation::TaskNotExecuted { job, task } => {
+                write!(f, "task {task} of job {job} never executed")
+            }
+            ScheduleViolation::TaskExecutedTwice { job, task } => {
+                write!(f, "task {task} of job {job} executed twice")
+            }
+            ScheduleViolation::WrongCategory {
+                job,
+                task,
+                ran_on,
+                required,
+            } => write!(
+                f,
+                "task {task} of job {job} ran on {ran_on} but requires {required}"
+            ),
+            ScheduleViolation::PrecedenceViolated { job, u, v } => {
+                write!(f, "precedence {u} ≺ {v} violated in job {job}")
+            }
+            ScheduleViolation::ProcessorConflict {
+                t,
+                category,
+                processor,
+            } => write!(
+                f,
+                "processor {processor} of {category} used twice at step {t}"
+            ),
+            ScheduleViolation::ProcessorOutOfRange {
+                category,
+                processor,
+            } => write!(f, "processor {processor} out of range for {category}"),
+            ScheduleViolation::ExecutedBeforeRelease { job, t, release } => write!(
+                f,
+                "job {job} executed at step {t} but released at {release}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleViolation {}
+
+/// Validate a recorded schedule against the job set and machine it was
+/// produced for. Returns the first violation found (checks are ordered
+/// from structural to semantic).
+pub fn validate(
+    schedule: &RecordedSchedule,
+    jobs: &[JobSpec],
+    res: &Resources,
+) -> Result<(), ScheduleViolation> {
+    // Per-job execution times τ, filled from the records.
+    let mut tau: Vec<Vec<Option<Time>>> = jobs.iter().map(|j| vec![None; j.dag.len()]).collect();
+    // Processor slot occupancy.
+    let mut slots: HashMap<(Time, u16, u32), (JobId, TaskId)> = HashMap::new();
+
+    for r in &schedule.records {
+        let ji = r.job.index();
+        if ji >= jobs.len() {
+            return Err(ScheduleViolation::UnknownJob { job: r.job });
+        }
+        let spec = &jobs[ji];
+        if r.task.index() >= spec.dag.len() {
+            return Err(ScheduleViolation::UnknownTask {
+                job: r.job,
+                task: r.task,
+            });
+        }
+        let required = spec.dag.category(r.task);
+        if required != r.category {
+            return Err(ScheduleViolation::WrongCategory {
+                job: r.job,
+                task: r.task,
+                ran_on: r.category,
+                required,
+            });
+        }
+        if r.processor >= res.processors(r.category) {
+            return Err(ScheduleViolation::ProcessorOutOfRange {
+                category: r.category,
+                processor: r.processor,
+            });
+        }
+        if r.t <= spec.release {
+            return Err(ScheduleViolation::ExecutedBeforeRelease {
+                job: r.job,
+                t: r.t,
+                release: spec.release,
+            });
+        }
+        if tau[ji][r.task.index()].replace(r.t).is_some() {
+            return Err(ScheduleViolation::TaskExecutedTwice {
+                job: r.job,
+                task: r.task,
+            });
+        }
+        if slots
+            .insert((r.t, r.category.0, r.processor), (r.job, r.task))
+            .is_some()
+        {
+            return Err(ScheduleViolation::ProcessorConflict {
+                t: r.t,
+                category: r.category,
+                processor: r.processor,
+            });
+        }
+    }
+
+    // Completeness and precedence.
+    for (ji, spec) in jobs.iter().enumerate() {
+        let job = JobId(ji as u32);
+        for task in spec.dag.tasks() {
+            let Some(tu) = tau[ji][task.index()] else {
+                return Err(ScheduleViolation::TaskNotExecuted { job, task });
+            };
+            for &s in spec.dag.successors(task) {
+                if let Some(tv) = tau[ji][s.index()] {
+                    if tu >= tv {
+                        return Err(ScheduleViolation::PrecedenceViolated { job, u: task, v: s });
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::{Category, DagBuilder};
+    use std::sync::Arc;
+
+    fn chain_jobs() -> Vec<JobSpec> {
+        // One job: t0 -> t1, categories 0 then 1.
+        let mut b = DagBuilder::new(2);
+        let a = b.add_task(Category(0));
+        let c = b.add_task(Category(1));
+        b.add_edge(a, c).unwrap();
+        vec![JobSpec {
+            dag: Arc::new(b.build().unwrap()),
+            release: 0,
+        }]
+    }
+
+    fn rec(task: u32, t: Time, cat: u16, proc_id: u32) -> ExecRecord {
+        ExecRecord {
+            job: JobId(0),
+            task: TaskId(task),
+            t,
+            category: Category(cat),
+            processor: proc_id,
+        }
+    }
+
+    fn res() -> Resources {
+        Resources::new(vec![1, 1])
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let jobs = chain_jobs();
+        let sched = RecordedSchedule {
+            records: vec![rec(0, 1, 0, 0), rec(1, 2, 1, 0)],
+        };
+        assert_eq!(validate(&sched, &jobs, &res()), Ok(()));
+    }
+
+    #[test]
+    fn missing_task_detected() {
+        let jobs = chain_jobs();
+        let sched = RecordedSchedule {
+            records: vec![rec(0, 1, 0, 0)],
+        };
+        assert_eq!(
+            validate(&sched, &jobs, &res()),
+            Err(ScheduleViolation::TaskNotExecuted {
+                job: JobId(0),
+                task: TaskId(1)
+            })
+        );
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let jobs = chain_jobs();
+        let sched = RecordedSchedule {
+            records: vec![rec(0, 2, 0, 0), rec(1, 2, 1, 0)],
+        };
+        assert_eq!(
+            validate(&sched, &jobs, &res()),
+            Err(ScheduleViolation::PrecedenceViolated {
+                job: JobId(0),
+                u: TaskId(0),
+                v: TaskId(1)
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_category_detected() {
+        let jobs = chain_jobs();
+        let sched = RecordedSchedule {
+            records: vec![rec(0, 1, 1, 0), rec(1, 2, 1, 0)],
+        };
+        assert!(matches!(
+            validate(&sched, &jobs, &res()),
+            Err(ScheduleViolation::WrongCategory { .. })
+        ));
+    }
+
+    #[test]
+    fn processor_conflict_detected() {
+        // Two single-task jobs of category 0 on one processor at the
+        // same step.
+        let mk = || {
+            let mut b = DagBuilder::new(1);
+            b.add_task(Category(0));
+            Arc::new(b.build().unwrap())
+        };
+        let jobs = vec![
+            JobSpec {
+                dag: mk(),
+                release: 0,
+            },
+            JobSpec {
+                dag: mk(),
+                release: 0,
+            },
+        ];
+        let sched = RecordedSchedule {
+            records: vec![
+                ExecRecord {
+                    job: JobId(0),
+                    task: TaskId(0),
+                    t: 1,
+                    category: Category(0),
+                    processor: 0,
+                },
+                ExecRecord {
+                    job: JobId(1),
+                    task: TaskId(0),
+                    t: 1,
+                    category: Category(0),
+                    processor: 0,
+                },
+            ],
+        };
+        assert_eq!(
+            validate(&sched, &jobs, &Resources::new(vec![1])),
+            Err(ScheduleViolation::ProcessorConflict {
+                t: 1,
+                category: Category(0),
+                processor: 0
+            })
+        );
+    }
+
+    #[test]
+    fn double_execution_detected() {
+        let jobs = chain_jobs();
+        let sched = RecordedSchedule {
+            records: vec![rec(0, 1, 0, 0), rec(0, 2, 0, 0), rec(1, 3, 1, 0)],
+        };
+        assert_eq!(
+            validate(&sched, &jobs, &res()),
+            Err(ScheduleViolation::TaskExecutedTwice {
+                job: JobId(0),
+                task: TaskId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_processor_detected() {
+        let jobs = chain_jobs();
+        let sched = RecordedSchedule {
+            records: vec![rec(0, 1, 0, 5), rec(1, 2, 1, 0)],
+        };
+        assert!(matches!(
+            validate(&sched, &jobs, &res()),
+            Err(ScheduleViolation::ProcessorOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn early_execution_detected() {
+        let mut jobs = chain_jobs();
+        jobs[0].release = 5;
+        let sched = RecordedSchedule {
+            records: vec![rec(0, 5, 0, 0), rec(1, 6, 1, 0)],
+        };
+        assert!(matches!(
+            validate(&sched, &jobs, &res()),
+            Err(ScheduleViolation::ExecutedBeforeRelease { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_detected() {
+        let jobs = chain_jobs();
+        let bad_job = RecordedSchedule {
+            records: vec![ExecRecord {
+                job: JobId(9),
+                task: TaskId(0),
+                t: 1,
+                category: Category(0),
+                processor: 0,
+            }],
+        };
+        assert_eq!(
+            validate(&bad_job, &jobs, &res()),
+            Err(ScheduleViolation::UnknownJob { job: JobId(9) })
+        );
+        let bad_task = RecordedSchedule {
+            records: vec![rec(7, 1, 0, 0)],
+        };
+        assert!(matches!(
+            validate(&bad_task, &jobs, &res()),
+            Err(ScheduleViolation::UnknownTask { .. })
+        ));
+    }
+
+    #[test]
+    fn violation_messages_render() {
+        let v = ScheduleViolation::ProcessorConflict {
+            t: 3,
+            category: Category(0),
+            processor: 1,
+        };
+        assert!(v.to_string().contains("used twice"));
+    }
+}

@@ -1,0 +1,805 @@
+//! The discrete-time simulation engine.
+
+use crate::checker::{ExecRecord, RecordedSchedule};
+use crate::{AllotmentMatrix, JobView, Resources, Scheduler, SimOutcome, StepTrace, Time};
+use kdag::{Category, ExecutionState, JobDag, JobId, SelectionPolicy, TaskId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// One job to simulate: its DAG and its release time.
+///
+/// `r(Ji) = release` means the job is available for processing from
+/// step `release + 1` (the paper counts `release` elapsed steps before
+/// the job exists).
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The job's K-DAG (shared so workloads can reuse shapes cheaply).
+    pub dag: Arc<JobDag>,
+    /// Release time; `0` for batched jobs.
+    pub release: Time,
+}
+
+impl JobSpec {
+    /// A batched (release 0) job.
+    pub fn batched(dag: JobDag) -> Self {
+        JobSpec {
+            dag: Arc::new(dag),
+            release: 0,
+        }
+    }
+
+    /// A job released at `release`.
+    pub fn released(dag: JobDag, release: Time) -> Self {
+        JobSpec {
+            dag: Arc::new(dag),
+            release,
+        }
+    }
+}
+
+/// How the engine derives the desires it exposes to the scheduler.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DesireModel {
+    /// The paper's model: `d(Ji, α, t)` is the exact number of ready
+    /// `α`-tasks (instantaneous parallelism).
+    Exact,
+    /// Two-level adaptive scheduling with **A-Greedy parallelism
+    /// feedback** (He/Hsu/Leiserson, the RAD lineage's job-level
+    /// scheduler): the job reports a multiplicative *estimate* instead
+    /// of its true parallelism. Per step and category, with allotment
+    /// `a`, reported desire `d`, and observed usage `u`:
+    ///
+    /// * deprived (`a < d`): estimate unchanged;
+    /// * satisfied and *efficient* (`u ≥ delta · a`): estimate doubles;
+    /// * satisfied and *inefficient*: estimate halves (min 1).
+    ///
+    /// `delta ∈ (0, 1)` is the utilization parameter (typically 0.8).
+    /// Under feedback the scheduler may allot processors a job cannot
+    /// use (waste) or under-serve a suddenly wide job — experiment T11
+    /// measures that cost against the exact-desire baseline.
+    AGreedy {
+        /// Utilization threshold `δ`.
+        delta: f64,
+    },
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Which ready tasks run when a job is deprived (environment side).
+    pub policy: SelectionPolicy,
+    /// Seed for the [`SelectionPolicy::Random`] policy (unused
+    /// otherwise, but kept in the config so runs are reproducible by
+    /// value).
+    pub seed: u64,
+    /// Record per-step [`StepTrace`]s in the outcome.
+    pub record_trace: bool,
+    /// Record the full schedule `χ` for the [`crate::checker`].
+    pub record_schedule: bool,
+    /// Abort after this many *consecutive* steps in which active jobs
+    /// exist but nothing executes (a stalled/broken scheduler).
+    pub stall_limit: u64,
+    /// Hard cap on simulated steps (safety net against runaways).
+    pub max_steps: u64,
+    /// Scheduling quantum `q ≥ 1`: the scheduler is consulted only at
+    /// steps `t ≡ 1 (mod q)`; between boundaries allotments stay frozen
+    /// (jobs arriving mid-quantum wait; processors of jobs completing
+    /// mid-quantum idle until the boundary). `q = 1` is the paper's
+    /// per-step model.
+    pub quantum: u64,
+    /// How desires are derived (exact instantaneous parallelism, or
+    /// A-Greedy feedback estimates).
+    pub desire_model: DesireModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            policy: SelectionPolicy::Fifo,
+            seed: 0,
+            record_trace: false,
+            record_schedule: false,
+            stall_limit: 10_000,
+            max_steps: 1_000_000_000,
+            quantum: 1,
+            desire_model: DesireModel::Exact,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Default config with a specific selection policy.
+    pub fn with_policy(policy: SelectionPolicy) -> Self {
+        SimConfig {
+            policy,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Simulate `jobs` on machine `res` under `scheduler`.
+///
+/// ```
+/// use kdag::{generators::fork_join, Category};
+/// use krad::KRad;
+/// use ksim::{simulate, JobSpec, Resources, SimConfig};
+/// let jobs = vec![JobSpec::batched(fork_join(2, &[(Category(0), 4), (Category(1), 2)]))];
+/// let res = Resources::new(vec![4, 2]);
+/// let outcome = simulate(&mut KRad::new(2), &jobs, &res, &SimConfig::default());
+/// assert_eq!(outcome.makespan, 2);
+/// assert_eq!(outcome.total_executed(), 6);
+/// ```
+///
+/// Runs until every job completes and returns the full
+/// [`SimOutcome`]. The engine enforces the scheduler contract and the
+/// model invariants:
+///
+/// * per-category allotments never exceed `Pα` (panics otherwise —
+///   that is a scheduler bug, not a data condition);
+/// * tasks execute only when ready; successors unlock next step;
+/// * idle intervals (no active jobs, future releases pending) are
+///   fast-forwarded.
+///
+/// # Panics
+/// Panics if a job's DAG has a different `K` than the machine, if the
+/// scheduler over-allots a category, if the scheduler stalls for more
+/// than [`SimConfig::stall_limit`] consecutive steps, or if
+/// [`SimConfig::max_steps`] is exceeded.
+pub fn simulate(
+    scheduler: &mut dyn Scheduler,
+    jobs: &[JobSpec],
+    res: &Resources,
+    cfg: &SimConfig,
+) -> SimOutcome {
+    let k = res.k();
+    for (i, j) in jobs.iter().enumerate() {
+        assert_eq!(
+            j.dag.k(),
+            k,
+            "job {i}: DAG has {} categories but machine has {k}",
+            j.dag.k()
+        );
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut states: Vec<ExecutionState> = jobs
+        .iter()
+        .map(|j| ExecutionState::new(&j.dag, cfg.policy))
+        .collect();
+
+    // Arrival order: by (release, index).
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (jobs[i].release, i));
+    let mut next_arrival = 0usize;
+
+    let mut active: Vec<usize> = Vec::new();
+    let mut completions: Vec<Time> = vec![0; jobs.len()];
+    let mut remaining = jobs.len();
+
+    let mut desires_buf: Vec<u32> = Vec::new();
+    let mut executed_buf: Vec<u32> = vec![0; k];
+    let mut exec_record: Vec<(Category, TaskId)> = Vec::new();
+    let mut out = AllotmentMatrix::new(k);
+
+    let mut executed_by_category = vec![0u64; k];
+    let mut allotted_by_category = vec![0u64; k];
+    let mut busy_steps = 0u64;
+    let mut idle_steps = 0u64;
+    let mut preemptions = 0u64;
+    let mut stalled = 0u64;
+    let mut trace: Vec<StepTrace> = Vec::new();
+    let mut schedule = RecordedSchedule::default();
+    // Previous step's allotment per job (for preemption accounting).
+    let mut prev_allot: Vec<Option<Vec<u32>>> = vec![None; jobs.len()];
+
+    // Quantum machinery: allotments frozen between decisions.
+    let q = cfg.quantum;
+    assert!(q >= 1, "quantum must be at least 1");
+    let mut frozen: Vec<Option<Vec<u32>>> = vec![None; jobs.len()];
+    let mut next_decision: Time = 0;
+    let mut last_decision: Time = 0;
+    let zero_row: Vec<u32> = vec![0; k];
+
+    // A-Greedy feedback state (one estimate vector per job).
+    let feedback_delta = match cfg.desire_model {
+        DesireModel::Exact => None,
+        DesireModel::AGreedy { delta } => {
+            assert!(
+                (0.0..=1.0).contains(&delta),
+                "A-Greedy delta must be in [0, 1]"
+            );
+            Some(delta)
+        }
+    };
+    let mut est: Vec<Option<Vec<u32>>> = vec![None; jobs.len()];
+    let mut reported: Vec<Option<Vec<u32>>> = vec![None; jobs.len()];
+    let mut usage_q: Vec<Vec<u64>> = vec![Vec::new(); jobs.len()];
+    /// Cap on A-Greedy estimates (doubling is otherwise unbounded).
+    const EST_CAP: u32 = 1 << 20;
+
+    let mut t: Time = 0;
+    while remaining > 0 {
+        // Fast-forward idle intervals.
+        if active.is_empty() {
+            let r = jobs[order[next_arrival]].release;
+            if r > t {
+                idle_steps += r - t;
+                t = r;
+            }
+        }
+        t += 1;
+        assert!(
+            t <= cfg.max_steps,
+            "simulation exceeded max_steps={} under scheduler '{}'",
+            cfg.max_steps,
+            scheduler.name()
+        );
+
+        // Activate arrivals: release < t means available at step t.
+        while next_arrival < order.len() && jobs[order[next_arrival]].release < t {
+            let idx = order[next_arrival];
+            let pos = active.partition_point(|&x| x < idx);
+            active.insert(pos, idx);
+            scheduler.on_arrival(JobId(idx as u32), t);
+            next_arrival += 1;
+        }
+        debug_assert!(!active.is_empty(), "stepping with no active jobs");
+
+        // Quantum boundary: consult the scheduler and freeze allotments.
+        if t >= next_decision {
+            // A-Greedy: digest the quantum that just ended.
+            if let Some(delta) = feedback_delta {
+                let elapsed = t.saturating_sub(last_decision);
+                if elapsed > 0 {
+                    for &idx in &active {
+                        let (Some(fr), Some(rep)) = (&frozen[idx], &reported[idx]) else {
+                            continue;
+                        };
+                        let Some(e) = est[idx].as_mut() else { continue };
+                        for c in 0..k {
+                            if fr[c] < rep[c] {
+                                continue; // deprived: estimate unchanged
+                            }
+                            let granted = u64::from(fr[c]) * elapsed;
+                            if (usage_q[idx][c] as f64) >= delta * granted as f64 {
+                                e[c] = e[c].saturating_mul(2).min(EST_CAP);
+                            } else {
+                                e[c] = (e[c] / 2).max(1);
+                            }
+                        }
+                        usage_q[idx].iter_mut().for_each(|u| *u = 0);
+                    }
+                }
+            }
+
+            // Build the non-clairvoyant views (exact desires or
+            // feedback estimates).
+            desires_buf.clear();
+            desires_buf.resize(active.len() * k, 0);
+            for (slot, &idx) in active.iter().enumerate() {
+                let row = &mut desires_buf[slot * k..(slot + 1) * k];
+                match cfg.desire_model {
+                    DesireModel::Exact => states[idx].desires_into(row),
+                    DesireModel::AGreedy { .. } => {
+                        let e = est[idx].get_or_insert_with(|| vec![1; k]);
+                        row.copy_from_slice(e);
+                        if usage_q[idx].is_empty() {
+                            usage_q[idx] = vec![0; k];
+                        }
+                    }
+                }
+            }
+            let views: Vec<JobView<'_>> = active
+                .iter()
+                .enumerate()
+                .map(|(slot, &idx)| JobView {
+                    id: JobId(idx as u32),
+                    release: jobs[idx].release,
+                    desires: &desires_buf[slot * k..(slot + 1) * k],
+                })
+                .collect();
+
+            out.reset(active.len());
+            scheduler.allot(t, &views, res, &mut out);
+            drop(views);
+
+            // Contract: never allot more than Pα in any category.
+            for cat in Category::all(k) {
+                let total = out.category_total(cat);
+                assert!(
+                    total <= u64::from(res.processors(cat)),
+                    "scheduler '{}' over-allotted {cat}: {total} > {} at step {t}",
+                    scheduler.name(),
+                    res.processors(cat)
+                );
+            }
+
+            // Freeze the decision for the quantum.
+            for (slot, &idx) in active.iter().enumerate() {
+                frozen[idx] = Some(out.row(slot).to_vec());
+                reported[idx] = Some(desires_buf[slot * k..(slot + 1) * k].to_vec());
+            }
+            last_decision = t;
+            next_decision = t + q;
+        }
+
+        // The allotment row each active job uses this step (zeros for
+        // jobs that arrived mid-quantum).
+        let row_of = |idx: usize, frozen: &[Option<Vec<u32>>]| -> Vec<u32> {
+            frozen[idx].clone().unwrap_or_else(|| zero_row.clone())
+        };
+
+        // Per-step allotted totals (for traces) + preemption accounting.
+        let mut allotted_totals = vec![0u32; k];
+        for &idx in &active {
+            let row = row_of(idx, &frozen);
+            for (tot, &a) in allotted_totals.iter_mut().zip(&row) {
+                *tot += a;
+            }
+            if let Some(prev) = &prev_allot[idx] {
+                for (p, &c) in prev.iter().zip(&row) {
+                    preemptions += u64::from(p.saturating_sub(c));
+                }
+            }
+            prev_allot[idx] = Some(row);
+        }
+
+        // Execute the step.
+        let mut step_executed_totals = vec![0u32; k];
+        let mut step_total = 0u64;
+        let mut proc_counter = vec![0u32; k];
+        let mut any_completed = false;
+        let active_snapshot: Vec<usize> = active.clone();
+        for &idx in &active_snapshot {
+            exec_record.clear();
+            let rec = cfg.record_schedule.then_some(&mut exec_record);
+            let row = row_of(idx, &frozen);
+            let n =
+                states[idx].execute_step(&jobs[idx].dag, &row, &mut rng, &mut executed_buf, rec);
+            step_total += n;
+            for (tot, &e) in step_executed_totals.iter_mut().zip(executed_buf.iter()) {
+                *tot += e;
+            }
+            if feedback_delta.is_some() && !usage_q[idx].is_empty() {
+                for (u, &e) in usage_q[idx].iter_mut().zip(executed_buf.iter()) {
+                    *u += u64::from(e);
+                }
+            }
+            for &(cat, task) in &exec_record {
+                let p = &mut proc_counter[cat.index()];
+                schedule.records.push(ExecRecord {
+                    job: JobId(idx as u32),
+                    task,
+                    t,
+                    category: cat,
+                    processor: *p,
+                });
+                *p += 1;
+            }
+            if states[idx].is_complete() {
+                completions[idx] = t;
+                scheduler.on_completion(JobId(idx as u32), t);
+                remaining -= 1;
+                any_completed = true;
+                // Losing processors by *finishing* is not a preemption.
+                prev_allot[idx] = None;
+                frozen[idx] = None;
+                est[idx] = None;
+                reported[idx] = None;
+            }
+        }
+        for (tot, &e) in executed_by_category.iter_mut().zip(&step_executed_totals) {
+            *tot += u64::from(e);
+        }
+        for (tot, &a) in allotted_by_category.iter_mut().zip(&allotted_totals) {
+            *tot += u64::from(a);
+        }
+        if any_completed {
+            active.retain(|&idx| !states[idx].is_complete());
+        }
+        busy_steps += 1;
+
+        // Stall detection.
+        if step_total == 0 && remaining > 0 {
+            stalled += 1;
+            assert!(
+                stalled <= cfg.stall_limit,
+                "scheduler '{}' stalled for {} consecutive steps at t={t}",
+                scheduler.name(),
+                stalled
+            );
+        } else {
+            stalled = 0;
+        }
+
+        if cfg.record_trace {
+            trace.push(StepTrace {
+                t,
+                active_jobs: (active.len() + usize::from(any_completed)) as u32,
+                allotted: allotted_totals,
+                executed: step_executed_totals,
+            });
+        }
+    }
+
+    SimOutcome {
+        scheduler: scheduler.name(),
+        makespan: t,
+        releases: jobs.iter().map(|j| j.release).collect(),
+        completions,
+        executed_by_category,
+        allotted_by_category,
+        busy_steps,
+        idle_steps,
+        preemptions,
+        trace: cfg.record_trace.then_some(trace),
+        schedule: cfg.record_schedule.then_some(schedule),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker;
+    use kdag::DagBuilder;
+
+    /// Gives every job its full desire, clamped per category to the
+    /// remaining capacity, scanning jobs in slot order.
+    struct GreedyAll;
+    impl Scheduler for GreedyAll {
+        fn name(&self) -> String {
+            "greedy-all".into()
+        }
+        fn allot(
+            &mut self,
+            _t: Time,
+            views: &[JobView<'_>],
+            res: &Resources,
+            out: &mut AllotmentMatrix,
+        ) {
+            for cat in Category::all(res.k()) {
+                let mut left = res.processors(cat);
+                for (slot, v) in views.iter().enumerate() {
+                    let a = v.desire(cat).min(left);
+                    out.set(slot, cat, a);
+                    left -= a;
+                    if left == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Never allots anything: must trip the stall detector.
+    struct DoNothing;
+    impl Scheduler for DoNothing {
+        fn name(&self) -> String {
+            "do-nothing".into()
+        }
+        fn allot(&mut self, _: Time, _: &[JobView<'_>], _: &Resources, _: &mut AllotmentMatrix) {}
+    }
+
+    /// Allots more than Pα: must trip the contract assertion.
+    struct OverAllot;
+    impl Scheduler for OverAllot {
+        fn name(&self) -> String {
+            "over-allot".into()
+        }
+        fn allot(
+            &mut self,
+            _t: Time,
+            views: &[JobView<'_>],
+            res: &Resources,
+            out: &mut AllotmentMatrix,
+        ) {
+            for (slot, _) in views.iter().enumerate() {
+                out.set(slot, Category(0), res.processors(Category(0)) + 1);
+            }
+        }
+    }
+
+    fn diamond() -> JobDag {
+        let mut b = DagBuilder::new(2);
+        let a = b.add_task(Category(0));
+        let x = b.add_task(Category(1));
+        let y = b.add_task(Category(1));
+        let z = b.add_task(Category(0));
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_diamond_runs_in_span_steps() {
+        let jobs = vec![JobSpec::batched(diamond())];
+        let res = Resources::uniform(2, 4);
+        let o = simulate(&mut GreedyAll, &jobs, &res, &SimConfig::default());
+        assert_eq!(o.makespan, 3);
+        assert_eq!(o.completions, vec![3]);
+        assert_eq!(o.executed_by_category, vec![2, 2]);
+        assert_eq!(o.busy_steps, 3);
+        assert_eq!(o.idle_steps, 0);
+    }
+
+    #[test]
+    fn release_times_delay_jobs_and_fast_forward() {
+        let jobs = vec![JobSpec::released(diamond(), 10)];
+        let res = Resources::uniform(2, 4);
+        let o = simulate(&mut GreedyAll, &jobs, &res, &SimConfig::default());
+        assert_eq!(o.makespan, 13);
+        assert_eq!(o.response(0), 3);
+        assert_eq!(o.idle_steps, 10);
+        assert_eq!(o.busy_steps, 3);
+    }
+
+    #[test]
+    fn idle_gap_between_jobs_is_fast_forwarded() {
+        let jobs = vec![
+            JobSpec::batched(diamond()),
+            JobSpec::released(diamond(), 100),
+        ];
+        let res = Resources::uniform(2, 4);
+        let o = simulate(&mut GreedyAll, &jobs, &res, &SimConfig::default());
+        assert_eq!(o.completions[0], 3);
+        assert_eq!(o.completions[1], 103);
+        assert_eq!(o.makespan, 103);
+        assert_eq!(o.idle_steps, 97);
+        assert_eq!(o.busy_steps, 6);
+    }
+
+    #[test]
+    fn capacity_is_respected_and_serializes_work() {
+        // Two flat jobs of 4 tasks each, 2 processors: 4 steps.
+        let flat = || {
+            let mut b = DagBuilder::new(1);
+            b.add_tasks(Category(0), 4);
+            b.build().unwrap()
+        };
+        let jobs = vec![JobSpec::batched(flat()), JobSpec::batched(flat())];
+        let res = Resources::uniform(1, 2);
+        let o = simulate(&mut GreedyAll, &jobs, &res, &SimConfig::default());
+        assert_eq!(o.makespan, 4);
+        assert_eq!(o.total_executed(), 8);
+    }
+
+    #[test]
+    fn recorded_schedule_is_valid() {
+        let jobs = vec![JobSpec::batched(diamond()), JobSpec::released(diamond(), 2)];
+        let res = Resources::new(vec![1, 1]);
+        let mut cfg = SimConfig::default();
+        cfg.record_schedule = true;
+        let o = simulate(&mut GreedyAll, &jobs, &res, &cfg);
+        let sched = o.schedule.expect("schedule recorded");
+        assert_eq!(sched.len(), 8);
+        checker::validate(&sched, &jobs, &res).expect("engine produces valid schedules");
+    }
+
+    #[test]
+    fn quantum_freezes_allotments_between_decisions() {
+        // A scheduler that counts how often it is consulted.
+        struct Counting {
+            calls: u64,
+        }
+        impl Scheduler for Counting {
+            fn name(&self) -> String {
+                "counting".into()
+            }
+            fn allot(
+                &mut self,
+                _t: Time,
+                views: &[JobView<'_>],
+                res: &Resources,
+                out: &mut AllotmentMatrix,
+            ) {
+                self.calls += 1;
+                // Give everything to the first job.
+                out.set(
+                    0,
+                    Category(0),
+                    res.processors(Category(0))
+                        .min(views[0].desire(Category(0))),
+                );
+            }
+        }
+        let mut b = DagBuilder::new(1);
+        b.add_tasks(Category(0), 12);
+        let jobs = vec![JobSpec::batched(b.build().unwrap())];
+        let res = Resources::uniform(1, 2);
+        let mut cfg = SimConfig::default();
+        cfg.quantum = 4;
+        let mut s = Counting { calls: 0 };
+        let o = simulate(&mut s, &jobs, &res, &cfg);
+        // 12 tasks at 2/step = 6 steps; decisions at t = 1 and t = 5.
+        assert_eq!(o.makespan, 6);
+        assert_eq!(s.calls, 2, "scheduler must only run at quantum boundaries");
+    }
+
+    #[test]
+    fn mid_quantum_arrival_waits_for_boundary() {
+        let flat = |n: usize| {
+            let mut b = DagBuilder::new(1);
+            b.add_tasks(Category(0), n);
+            b.build().unwrap()
+        };
+        let jobs = vec![
+            JobSpec::batched(flat(20)),
+            JobSpec::released(flat(2), 1), // arrives at step 2, mid-quantum
+        ];
+        let res = Resources::uniform(1, 4);
+        let mut cfg = SimConfig::default();
+        cfg.quantum = 5;
+        let o = simulate(&mut GreedyAll, &jobs, &res, &cfg);
+        // Job 1 gets nothing until the next boundary at t = 6.
+        assert!(
+            o.completions[1] >= 6,
+            "mid-quantum arrival served early: {}",
+            o.completions[1]
+        );
+    }
+
+    #[test]
+    fn agreedy_estimates_ramp_up_to_wide_jobs() {
+        // One very wide flat job: A-Greedy starts at estimate 1 and
+        // doubles while efficient, so completion is slower than exact
+        // desires but far faster than 1 task/step.
+        let mut b = DagBuilder::new(1);
+        let tasks = b.add_tasks(Category(0), 64);
+        let _ = tasks;
+        let jobs = vec![JobSpec::batched(b.build().unwrap())];
+        let res = Resources::uniform(1, 16);
+        let mut cfg = SimConfig::default();
+        cfg.desire_model = DesireModel::AGreedy { delta: 0.8 };
+        let o = simulate(&mut GreedyAll, &jobs, &res, &cfg);
+        let exact = simulate(&mut GreedyAll, &jobs, &res, &SimConfig::default());
+        assert_eq!(exact.makespan, 4); // 64/16
+                                       // Feedback ramp: 1+2+4+8 = 15 tasks in 4 steps, then 16/step:
+                                       // strictly slower than exact but much better than 64 steps.
+        assert!(o.makespan > exact.makespan);
+        assert!(o.makespan <= 10, "ramp too slow: {}", o.makespan);
+        assert_eq!(o.total_executed(), 64);
+    }
+
+    #[test]
+    fn agreedy_estimates_back_off_on_waste() {
+        // A chain job (true parallelism 1): estimates must fall back to
+        // 1 and stay there, so the makespan stays near the span.
+        let mut b = DagBuilder::new(1);
+        let ts = b.add_tasks(Category(0), 30);
+        b.add_chain(&ts).unwrap();
+        let jobs = vec![JobSpec::batched(b.build().unwrap())];
+        let res = Resources::uniform(1, 8);
+        let mut cfg = SimConfig::default();
+        cfg.desire_model = DesireModel::AGreedy { delta: 0.8 };
+        let o = simulate(&mut GreedyAll, &jobs, &res, &cfg);
+        assert_eq!(o.makespan, 30, "a chain runs one task per step regardless");
+    }
+
+    #[test]
+    fn preemptions_counted_only_while_active() {
+        // A scheduler that alternates the single processor between two
+        // flat jobs each step: every switch withdraws one unit.
+        struct Alternator(u64);
+        impl Scheduler for Alternator {
+            fn name(&self) -> String {
+                "alternator".into()
+            }
+            fn allot(
+                &mut self,
+                _t: Time,
+                views: &[JobView<'_>],
+                _res: &Resources,
+                out: &mut AllotmentMatrix,
+            ) {
+                let pick = (self.0 as usize) % views.len();
+                out.set(pick, Category(0), 1);
+                self.0 += 1;
+            }
+        }
+        let flat = || {
+            let mut b = DagBuilder::new(1);
+            b.add_tasks(Category(0), 3);
+            JobSpec::batched(b.build().unwrap())
+        };
+        let jobs = vec![flat(), flat()];
+        let res = Resources::uniform(1, 1);
+        let o = simulate(&mut Alternator(0), &jobs, &res, &SimConfig::default());
+        assert_eq!(o.makespan, 6);
+        // Steps: J0,J1,J0,J1,J0(completes),J1. Withdrawals from a
+        // still-active job: steps 2,3,4,5 minus the completion at 5.
+        assert!(
+            o.preemptions >= 3,
+            "alternating must preempt: {}",
+            o.preemptions
+        );
+
+        // A greedy one-job-at-a-time run has zero preemptions.
+        let o2 = simulate(&mut GreedyAll, &jobs, &res, &SimConfig::default());
+        assert_eq!(
+            o2.preemptions, 0,
+            "FCFS completion must not count as preemption"
+        );
+    }
+
+    #[test]
+    fn trace_records_each_busy_step() {
+        let jobs = vec![JobSpec::batched(diamond())];
+        let res = Resources::uniform(2, 4);
+        let mut cfg = SimConfig::default();
+        cfg.record_trace = true;
+        let o = simulate(&mut GreedyAll, &jobs, &res, &cfg);
+        let trace = o.trace.expect("trace recorded");
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].t, 1);
+        assert_eq!(trace[0].executed, vec![1, 0]);
+        assert_eq!(trace[1].executed, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn stall_detector_fires() {
+        let jobs = vec![JobSpec::batched(diamond())];
+        let res = Resources::uniform(2, 4);
+        let mut cfg = SimConfig::default();
+        cfg.stall_limit = 5;
+        simulate(&mut DoNothing, &jobs, &res, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-allotted")]
+    fn over_allotment_detected() {
+        let jobs = vec![JobSpec::batched(diamond())];
+        let res = Resources::uniform(2, 4);
+        simulate(&mut OverAllot, &jobs, &res, &SimConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "categories but machine")]
+    fn k_mismatch_detected() {
+        let jobs = vec![JobSpec::batched(diamond())]; // K = 2
+        let res = Resources::uniform(3, 4);
+        simulate(&mut GreedyAll, &jobs, &res, &SimConfig::default());
+    }
+
+    #[test]
+    fn arrival_and_completion_callbacks_fire_in_order() {
+        struct Watcher {
+            inner: GreedyAll,
+            events: Vec<(char, u32, Time)>,
+        }
+        impl Scheduler for Watcher {
+            fn name(&self) -> String {
+                "watcher".into()
+            }
+            fn on_arrival(&mut self, id: JobId, t: Time) {
+                self.events.push(('a', id.0, t));
+            }
+            fn on_completion(&mut self, id: JobId, t: Time) {
+                self.events.push(('c', id.0, t));
+            }
+            fn allot(
+                &mut self,
+                t: Time,
+                views: &[JobView<'_>],
+                res: &Resources,
+                out: &mut AllotmentMatrix,
+            ) {
+                self.inner.allot(t, views, res, out);
+            }
+        }
+        let jobs = vec![JobSpec::batched(diamond()), JobSpec::released(diamond(), 1)];
+        let res = Resources::uniform(2, 4);
+        let mut w = Watcher {
+            inner: GreedyAll,
+            events: vec![],
+        };
+        let o = simulate(&mut w, &jobs, &res, &SimConfig::default());
+        assert_eq!(w.events[0], ('a', 0, 1));
+        assert_eq!(w.events[1], ('a', 1, 2));
+        assert!(w.events.contains(&('c', 0, o.completions[0])));
+        assert!(w.events.contains(&('c', 1, o.completions[1])));
+    }
+}

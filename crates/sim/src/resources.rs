@@ -1,0 +1,137 @@
+//! The K-resource machine description.
+
+use kdag::Category;
+use serde::{Deserialize, Serialize};
+
+/// A K-resource machine: `Pα` processors for each category `α`.
+///
+/// ```
+/// use ksim::Resources;
+/// let res = Resources::new(vec![4, 2, 8]);
+/// assert_eq!(res.k(), 3);
+/// assert_eq!(res.p_max(), 8);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resources {
+    p: Vec<u32>,
+}
+
+impl Resources {
+    /// Create a machine with the given per-category processor counts.
+    ///
+    /// # Panics
+    /// Panics if `p` is empty or any count is zero (the model requires
+    /// at least one processor per category).
+    pub fn new(p: Vec<u32>) -> Self {
+        assert!(!p.is_empty(), "need at least one category");
+        assert!(
+            p.iter().all(|&x| x > 0),
+            "every category needs ≥ 1 processor"
+        );
+        Resources { p }
+    }
+
+    /// A machine with `k` categories of `p` processors each.
+    pub fn uniform(k: usize, p: u32) -> Self {
+        Resources::new(vec![p; k])
+    }
+
+    /// A machine that combines **functional and performance
+    /// heterogeneity** — the open challenge in the paper's conclusion:
+    /// category `α` has `p[α]` physical processors, each of integer
+    /// speed `s[α]` (tasks per step).
+    ///
+    /// Because tasks are unit-time, a speed-`s` processor is exactly
+    /// equivalent to `s` unit-speed *virtual* processors: it can run
+    /// `s` **independent** ready tasks per step, but a dependency chain
+    /// still advances only one task per step (successors unlock at the
+    /// next step regardless of speed). The returned machine therefore
+    /// has `p[α] · s[α]` virtual processors per category, and every
+    /// bound in the paper holds with `Pα` replaced by `p[α] · s[α]` —
+    /// which experiment T9 validates.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any speed is zero.
+    pub fn with_speeds(p: &[u32], s: &[u32]) -> Self {
+        assert_eq!(p.len(), s.len(), "one speed per category");
+        assert!(s.iter().all(|&x| x > 0), "speeds must be positive");
+        Resources::new(p.iter().zip(s).map(|(&p, &s)| p * s).collect())
+    }
+
+    /// The number of categories `K`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.p.len()
+    }
+
+    /// `Pα`: processors of category `cat`.
+    #[inline]
+    pub fn processors(&self, cat: Category) -> u32 {
+        self.p[cat.index()]
+    }
+
+    /// All per-category counts, indexed by category.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.p
+    }
+
+    /// `Pmax = maxα Pα`, the constant in the paper's bounds.
+    #[inline]
+    pub fn p_max(&self) -> u32 {
+        *self.p.iter().max().expect("non-empty by construction")
+    }
+
+    /// Total processors across all categories.
+    pub fn total(&self) -> u64 {
+        self.p.iter().map(|&x| u64::from(x)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let r = Resources::new(vec![4, 2, 8]);
+        assert_eq!(r.k(), 3);
+        assert_eq!(r.processors(Category(1)), 2);
+        assert_eq!(r.p_max(), 8);
+        assert_eq!(r.total(), 14);
+        assert_eq!(r.as_slice(), &[4, 2, 8]);
+    }
+
+    #[test]
+    fn uniform_machine() {
+        let r = Resources::uniform(4, 3);
+        assert_eq!(r.k(), 4);
+        assert_eq!(r.as_slice(), &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn speeds_become_virtual_processors() {
+        // 8 slow CPUs + 2 fast (4x) vector units.
+        let r = Resources::with_speeds(&[8, 2], &[1, 4]);
+        assert_eq!(r.as_slice(), &[8, 8]);
+        assert_eq!(r.p_max(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_rejected() {
+        Resources::with_speeds(&[4], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn empty_rejected() {
+        Resources::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 processor")]
+    fn zero_processors_rejected() {
+        Resources::new(vec![4, 0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! The scheduler trait — the non-clairvoyance boundary.
+
+use crate::{AllotmentMatrix, JobView, Resources, Time};
+use kdag::JobId;
+
+/// An online, non-clairvoyant K-resource scheduler.
+///
+/// The engine calls [`Scheduler::allot`] once per time step with the
+/// active jobs' [`JobView`]s (instantaneous desires only). The
+/// scheduler writes allotments into the provided matrix, subject to the
+/// contract:
+///
+/// * for every category `α`, the total allotment over all jobs must not
+///   exceed `Pα` (the engine asserts this);
+/// * allotments larger than a job's desire are allowed — the engine
+///   executes `min(allotment, desire)` — but the surplus is *wasted*
+///   (this is exactly how EQUI differs from DEQ).
+///
+/// [`Scheduler::on_arrival`] / [`Scheduler::on_completion`] let
+/// stateful schedulers (like K-RAD's per-category queues) track the job
+/// population without peeking at job internals.
+pub trait Scheduler {
+    /// Human-readable name used in tables and reports.
+    fn name(&self) -> String;
+
+    /// Called when a job becomes available (once, before its first
+    /// `allot` exposure), in increasing order of release time.
+    fn on_arrival(&mut self, _id: JobId, _t: Time) {}
+
+    /// Called right after a job completes its last task.
+    fn on_completion(&mut self, _id: JobId, _t: Time) {}
+
+    /// Decide the allotments for time step `t`.
+    ///
+    /// `views` lists the active (released, uncompleted) jobs in a
+    /// stable order (increasing job id); `out` has been reset to
+    /// `views.len()` rows of zeros.
+    fn allot(&mut self, t: Time, views: &[JobView<'_>], res: &Resources, out: &mut AllotmentMatrix);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::Category;
+
+    /// A trivial scheduler that gives every job its full desire,
+    /// ignoring capacity — used to verify the engine's over-allotment
+    /// assertion elsewhere; here we just exercise the trait object.
+    struct GreedyInfinite;
+
+    impl Scheduler for GreedyInfinite {
+        fn name(&self) -> String {
+            "greedy-infinite".into()
+        }
+        fn allot(
+            &mut self,
+            _t: Time,
+            views: &[JobView<'_>],
+            res: &Resources,
+            out: &mut AllotmentMatrix,
+        ) {
+            for (slot, v) in views.iter().enumerate() {
+                for cat in Category::all(res.k()) {
+                    out.set(slot, cat, v.desire(cat));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_is_usable() {
+        let mut s: Box<dyn Scheduler> = Box::new(GreedyInfinite);
+        assert_eq!(s.name(), "greedy-infinite");
+        let res = Resources::uniform(2, 4);
+        let desires = [2u32, 0];
+        let views = [JobView {
+            id: JobId(0),
+            release: 0,
+            desires: &desires,
+        }];
+        let mut out = AllotmentMatrix::new(2);
+        out.reset(1);
+        s.allot(1, &views, &res, &mut out);
+        assert_eq!(out.get(0, Category(0)), 2);
+    }
+}

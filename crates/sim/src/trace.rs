@@ -1,0 +1,51 @@
+//! Per-step simulation traces.
+
+use crate::Time;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated record of one simulated time step.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepTrace {
+    /// 1-based step index.
+    pub t: Time,
+    /// Number of active (released, uncompleted) jobs during the step.
+    pub active_jobs: u32,
+    /// Processors allotted per category (what the scheduler asked for).
+    pub allotted: Vec<u32>,
+    /// Tasks actually executed per category (`min(allotment, desire)`
+    /// summed over jobs) — the difference from `allotted` is waste.
+    pub executed: Vec<u32>,
+}
+
+impl StepTrace {
+    /// Total tasks executed across categories during this step.
+    pub fn total_executed(&self) -> u64 {
+        self.executed.iter().map(|&x| u64::from(x)).sum()
+    }
+
+    /// Total allotment waste this step (allotted but not executed).
+    pub fn total_waste(&self) -> u64 {
+        self.allotted
+            .iter()
+            .zip(&self.executed)
+            .map(|(&a, &e)| u64::from(a.saturating_sub(e)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_waste() {
+        let s = StepTrace {
+            t: 3,
+            active_jobs: 2,
+            allotted: vec![4, 2],
+            executed: vec![3, 2],
+        };
+        assert_eq!(s.total_executed(), 5);
+        assert_eq!(s.total_waste(), 1);
+    }
+}

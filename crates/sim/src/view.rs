@@ -1,0 +1,58 @@
+//! The non-clairvoyant view of a job.
+
+use crate::Time;
+use kdag::{Category, JobId};
+
+/// What a non-clairvoyant scheduler is allowed to see about a job at a
+/// time step: its identity, its (already public) release time, and its
+/// instantaneous per-category desires `d(Ji, α, t)`.
+///
+/// Deliberately *not* present: the job's DAG, total work, span, or any
+/// future parallelism — the paper's schedulers must work without them.
+#[derive(Clone, Copy, Debug)]
+pub struct JobView<'a> {
+    /// The job's identity (stable across steps).
+    pub id: JobId,
+    /// When the job was released (≤ current time).
+    pub release: Time,
+    /// `desires[α]` = number of ready `α`-tasks at this step.
+    pub desires: &'a [u32],
+}
+
+impl JobView<'_> {
+    /// The job's desire for one category.
+    #[inline]
+    pub fn desire(&self, cat: Category) -> u32 {
+        self.desires[cat.index()]
+    }
+
+    /// `true` if the job is `α`-active (has at least one ready α-task).
+    #[inline]
+    pub fn is_active(&self, cat: Category) -> bool {
+        self.desire(cat) > 0
+    }
+
+    /// Total desire across categories (≥ 1 for any uncompleted job).
+    pub fn total_desire(&self) -> u64 {
+        self.desires.iter().map(|&d| u64::from(d)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_accessors() {
+        let d = [0u32, 3, 1];
+        let v = JobView {
+            id: JobId(5),
+            release: 2,
+            desires: &d,
+        };
+        assert_eq!(v.desire(Category(1)), 3);
+        assert!(!v.is_active(Category(0)));
+        assert!(v.is_active(Category(2)));
+        assert_eq!(v.total_desire(), 4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Engine property tests with an arbitrary (random but contract-
+//! respecting) scheduler: whatever the scheduler does, the machine
+//! model's invariants must hold.
+
+use kdag::generators::{layered_random, LayeredConfig};
+use kdag::{Category, SelectionPolicy};
+use ksim::{
+    checker, simulate, AllotmentMatrix, JobSpec, JobView, Resources, Scheduler, SimConfig, Time,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A chaotic but legal scheduler: allots random subsets of each
+/// category's processors to random active jobs (never exceeding Pα).
+/// Occasionally allots more than a job's desire (legal: surplus is
+/// wasted) and occasionally allots nothing to anyone (legal: the engine
+/// only requires eventual progress; randomness guarantees it w.h.p.).
+struct Chaotic {
+    rng: StdRng,
+}
+
+impl Scheduler for Chaotic {
+    fn name(&self) -> String {
+        "chaotic".into()
+    }
+    fn allot(
+        &mut self,
+        _t: Time,
+        views: &[JobView<'_>],
+        res: &Resources,
+        out: &mut AllotmentMatrix,
+    ) {
+        for cat in Category::all(res.k()) {
+            let mut left = res.processors(cat);
+            // Give random chunks to random jobs until we stop.
+            while left > 0 && self.rng.gen_bool(0.8) {
+                let slot = self.rng.gen_range(0..views.len());
+                let amount = self.rng.gen_range(0..=left);
+                out.add(slot, cat, amount);
+                left -= amount;
+            }
+        }
+    }
+}
+
+fn jobset(seed: u64, k: usize, n: usize) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let cfg = LayeredConfig::uniform(k, 1 + (i % 5), 1, 4);
+            let dag = layered_random(&mut rng, &cfg);
+            JobSpec::released(dag, rng.gen_range(0..10))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Whatever a legal scheduler does, the run terminates with all
+    /// work done, valid completion times, and a valid schedule χ.
+    #[test]
+    fn chaotic_scheduler_preserves_model_invariants(
+        seed in 0u64..5000,
+        k in 1usize..4,
+        n in 1usize..8,
+        p in 1u32..5,
+        policy_idx in 0usize..5,
+    ) {
+        let jobs = jobset(seed, k, n);
+        let res = Resources::uniform(k, p);
+        let mut cfg = SimConfig::with_policy(SelectionPolicy::ALL[policy_idx]);
+        cfg.seed = seed;
+        cfg.record_schedule = true;
+        let mut sched = Chaotic { rng: StdRng::seed_from_u64(seed ^ 0xC11A) };
+        let o = simulate(&mut sched, &jobs, &res, &cfg);
+
+        // Conservation.
+        let total: u64 = jobs.iter().map(|j| j.dag.total_work()).sum();
+        prop_assert_eq!(o.total_executed(), total);
+
+        // Completion vs release, and makespan = max completion.
+        for i in 0..o.job_count() {
+            prop_assert!(o.completions[i] > o.releases[i]);
+        }
+        prop_assert_eq!(o.makespan, *o.completions.iter().max().unwrap());
+
+        // Absolute lower bounds (inline: span+release and work/P).
+        let lb_span = jobs.iter().map(|j| j.release + j.dag.span()).max().unwrap();
+        prop_assert!(o.makespan >= lb_span || o.makespan as f64 >= lb_span as f64);
+        for cat in Category::all(k) {
+            let w: u64 = jobs.iter().map(|j| j.dag.work(cat)).sum();
+            let lb = w.div_ceil(u64::from(p));
+            prop_assert!(o.makespan >= lb, "makespan {} below work bound {lb}", o.makespan);
+        }
+
+        // Formal schedule validity.
+        checker::validate(o.schedule.as_ref().unwrap(), &jobs, &res).unwrap();
+
+        // Accounting: busy + idle partitions time up to the makespan.
+        prop_assert_eq!(o.busy_steps + o.idle_steps, o.makespan);
+    }
+
+    /// Utilization never exceeds 1 in any category.
+    #[test]
+    fn utilization_is_bounded(
+        seed in 0u64..2000,
+        k in 1usize..3,
+        p in 1u32..5,
+    ) {
+        let jobs = jobset(seed, k, 5);
+        let res = Resources::uniform(k, p);
+        let mut sched = Chaotic { rng: StdRng::seed_from_u64(seed) };
+        let o = simulate(&mut sched, &jobs, &res, &SimConfig::default());
+        for cat in Category::all(k) {
+            let u = o.utilization(cat, &res);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&u), "utilization {u}");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The Figure 3 instance packaged for the simulator.
+
+use kdag::generators::{adversarial_instance, AdversarialInstance};
+use ksim::{JobSpec, Resources};
+use std::sync::Arc;
+
+/// An adversarial workload ready to simulate: the job specs (batched),
+/// the machine they target, and the analytically known optimum.
+#[derive(Clone, Debug)]
+pub struct AdversarialWorkload {
+    /// Batched job specs in the adversary's submission order (special
+    /// job last).
+    pub jobs: Vec<JobSpec>,
+    /// The machine the instance was built for.
+    pub resources: Resources,
+    /// The optimal clairvoyant makespan `T* = K + m·PK − 1`.
+    pub optimal_makespan: u64,
+    /// The asymptotic competitive-ratio bound `K + 1 − 1/Pmax`.
+    pub bound: f64,
+    /// The scale parameter `m`.
+    pub m: u64,
+}
+
+/// Build the Theorem 1 adversarial workload for processor vector `p`
+/// (last category must hold `Pmax`) and scale `m`.
+///
+/// Pair it with [`kdag::SelectionPolicy::CriticalLast`] to realize the
+/// adversary: the environment postpones the special job's hidden
+/// critical path whenever the scheduler under-allots it.
+///
+/// ```
+/// use kworkloads::adversarial::adversarial_workload;
+/// use kdag::SelectionPolicy;
+/// use krad::KRad;
+/// use ksim::{simulate, SimConfig};
+/// let w = adversarial_workload(&[2, 2], 4);
+/// let mut sched = KRad::new(2);
+/// let cfg = SimConfig::with_policy(SelectionPolicy::CriticalLast);
+/// let o = simulate(&mut sched, &w.jobs, &w.resources, &cfg);
+/// // The proof's exact worst-case trajectory: m·K·PK + m·PK − m.
+/// assert_eq!(o.makespan, 4 * 2 * 2 + 4 * 2 - 4);
+/// ```
+pub fn adversarial_workload(p: &[u32], m: u64) -> AdversarialWorkload {
+    let inst: AdversarialInstance = adversarial_instance(p, m);
+    let resources = Resources::new(p.to_vec());
+    let bound = inst.asymptotic_bound(resources.p_max());
+    // Share one Arc across the identical single-task jobs.
+    let mut jobs: Vec<JobSpec> = Vec::with_capacity(inst.jobs.len());
+    let mut singles: Option<Arc<kdag::JobDag>> = None;
+    for (i, dag) in inst.jobs.into_iter().enumerate() {
+        if i == inst.special {
+            jobs.push(JobSpec {
+                dag: Arc::new(dag),
+                release: 0,
+            });
+        } else {
+            let arc = singles.get_or_insert_with(|| Arc::new(dag.clone())).clone();
+            jobs.push(JobSpec {
+                dag: arc,
+                release: 0,
+            });
+        }
+    }
+    AdversarialWorkload {
+        jobs,
+        resources,
+        optimal_makespan: inst.optimal_makespan,
+        bound,
+        m: inst.m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_matches_instance_metadata() {
+        let w = adversarial_workload(&[2, 4], 3);
+        assert_eq!(w.jobs.len() as u64, 3 * 2 * 4);
+        assert_eq!(w.optimal_makespan, 2 + 3 * 4 - 1);
+        assert!((w.bound - 2.75).abs() < 1e-12);
+        assert_eq!(w.resources.as_slice(), &[2, 4]);
+        // Special job is last and is the big one.
+        let last = w.jobs.last().unwrap();
+        assert!(last.dag.len() > 1);
+        assert!(w.jobs[0].dag.len() == 1);
+    }
+
+    #[test]
+    fn singles_share_one_dag_allocation() {
+        let w = adversarial_workload(&[2, 2], 2);
+        let first = &w.jobs[0].dag;
+        let second = &w.jobs[1].dag;
+        assert!(Arc::ptr_eq(first, second), "singles must share their DAG");
+    }
+}

@@ -1,0 +1,99 @@
+//! Release-time processes layered on top of job sets.
+
+use ksim::{JobSpec, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Assign Poisson-process release times: interarrival gaps are
+/// exponential with rate `lambda` (mean gap `1/λ` steps), rounded to
+/// integer steps. The first job keeps release 0 so the set is never
+/// entirely in the future.
+///
+/// # Panics
+/// Panics if `lambda <= 0`.
+pub fn poisson_releases(jobs: &mut [JobSpec], rng: &mut StdRng, lambda: f64) {
+    assert!(lambda > 0.0, "arrival rate must be positive");
+    let mut t = 0.0f64;
+    for (i, job) in jobs.iter_mut().enumerate() {
+        if i > 0 {
+            // Inverse-transform exponential sample.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / lambda;
+        }
+        job.release = t.floor() as Time;
+    }
+}
+
+/// Assign releases drawn uniformly from `[0, horizon]`, then sorted so
+/// job indices remain in release order.
+pub fn uniform_releases(jobs: &mut [JobSpec], rng: &mut StdRng, horizon: Time) {
+    let mut times: Vec<Time> = (0..jobs.len())
+        .map(|_| rng.gen_range(0..=horizon))
+        .collect();
+    times.sort_unstable();
+    if let Some(first) = times.first_mut() {
+        *first = 0;
+    }
+    for (job, t) in jobs.iter_mut().zip(times) {
+        job.release = t;
+    }
+}
+
+/// Reset every release to 0 (batched).
+pub fn batch_releases(jobs: &mut [JobSpec]) {
+    for job in jobs {
+        job.release = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_for;
+    use kdag::{generators::chain, Category};
+
+    fn jobs(n: usize) -> Vec<JobSpec> {
+        (0..n)
+            .map(|_| JobSpec::batched(chain(1, 3, &[Category(0)])))
+            .collect()
+    }
+
+    #[test]
+    fn poisson_is_monotone_and_starts_at_zero() {
+        let mut js = jobs(50);
+        poisson_releases(&mut js, &mut rng_for(1, 0), 0.5);
+        assert_eq!(js[0].release, 0);
+        for w in js.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+        // Mean gap ≈ 2 steps: the last release should be in a sane range.
+        let last = js.last().unwrap().release;
+        assert!(last > 20 && last < 500, "last release {last}");
+    }
+
+    #[test]
+    fn uniform_is_sorted_within_horizon() {
+        let mut js = jobs(20);
+        uniform_releases(&mut js, &mut rng_for(2, 0), 100);
+        assert_eq!(js[0].release, 0);
+        for w in js.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+        assert!(js.iter().all(|j| j.release <= 100));
+    }
+
+    #[test]
+    fn batch_resets() {
+        let mut js = jobs(5);
+        uniform_releases(&mut js, &mut rng_for(3, 0), 50);
+        batch_releases(&mut js);
+        assert!(js.iter().all(|j| j.release == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lambda_panics() {
+        let mut js = jobs(2);
+        poisson_releases(&mut js, &mut rng_for(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Heavy-tailed sizes and bursty arrivals — online-stress realism.
+//!
+//! Real parallel-job traces famously have heavy-tailed service demands
+//! and bursty (non-Poisson) arrivals. These generators provide a
+//! bounded-Pareto size distribution and a two-state Markov-modulated
+//! Poisson process (MMPP) for releases, used by experiment T12 to
+//! stress-test the schedulers beyond the smooth mixes.
+
+use crate::mixes::{random_job, MixConfig};
+use ksim::{JobSpec, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sample a bounded Pareto(α) value in `[min, max]` by inverse
+/// transform.
+///
+/// # Panics
+/// Panics if `alpha <= 0` or `min >= max` or `min <= 0`.
+pub fn bounded_pareto(rng: &mut StdRng, alpha: f64, min: f64, max: f64) -> f64 {
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(min > 0.0 && min < max, "need 0 < min < max");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let la = min.powf(alpha);
+    let ha = max.powf(alpha);
+    // Inverse CDF of the bounded Pareto.
+    (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+}
+
+/// Draw `n` heavy-tailed job sizes (task counts) in `[min, max]`.
+pub fn heavy_tailed_sizes(
+    rng: &mut StdRng,
+    n: usize,
+    alpha: f64,
+    min: usize,
+    max: usize,
+) -> Vec<usize> {
+    (0..n)
+        .map(|_| bounded_pareto(rng, alpha, min as f64, max as f64).round() as usize)
+        .collect()
+}
+
+/// A batched job set with bounded-Pareto(α) sizes and mixed shapes.
+pub fn heavy_tail_mix(
+    rng: &mut StdRng,
+    k: usize,
+    n: usize,
+    alpha: f64,
+    min_size: usize,
+    max_size: usize,
+) -> Vec<JobSpec> {
+    let cfg = MixConfig::new(k, n, (min_size + max_size) / 2);
+    heavy_tailed_sizes(rng, n, alpha, min_size, max_size)
+        .into_iter()
+        .map(|size| JobSpec::batched(random_job(rng, &cfg, size)))
+        .collect()
+}
+
+/// Two-state MMPP arrival configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstyConfig {
+    /// Arrival rate while the source is in its burst (ON) state.
+    pub burst_rate: f64,
+    /// Arrival rate while the source idles (OFF state).
+    pub idle_rate: f64,
+    /// Probability of switching state after each arrival.
+    pub switch_prob: f64,
+}
+
+impl Default for BurstyConfig {
+    fn default() -> Self {
+        BurstyConfig {
+            burst_rate: 2.0,
+            idle_rate: 0.05,
+            switch_prob: 0.15,
+        }
+    }
+}
+
+/// Assign bursty release times: exponential gaps whose rate is
+/// modulated by a two-state Markov chain. The first job keeps
+/// release 0.
+///
+/// # Panics
+/// Panics on non-positive rates or `switch_prob` outside `[0, 1]`.
+pub fn bursty_releases(jobs: &mut [JobSpec], rng: &mut StdRng, cfg: &BurstyConfig) {
+    assert!(
+        cfg.burst_rate > 0.0 && cfg.idle_rate > 0.0,
+        "rates must be positive"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.switch_prob),
+        "switch_prob must be a probability"
+    );
+    let mut t = 0.0f64;
+    let mut bursting = true;
+    for (i, job) in jobs.iter_mut().enumerate() {
+        if i > 0 {
+            let rate = if bursting {
+                cfg.burst_rate
+            } else {
+                cfg.idle_rate
+            };
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate;
+            if rng.gen_bool(cfg.switch_prob) {
+                bursting = !bursting;
+            }
+        }
+        job.release = t.floor() as Time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_for;
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let mut rng = rng_for(1, 0xE0);
+        for _ in 0..2000 {
+            let x = bounded_pareto(&mut rng, 1.2, 4.0, 400.0);
+            assert!((4.0..=400.0).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        // With α = 1.1, the max of 500 draws should dwarf the median.
+        let mut rng = rng_for(2, 0xE1);
+        let mut v: Vec<f64> = (0..500)
+            .map(|_| bounded_pareto(&mut rng, 1.1, 2.0, 2000.0))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[250];
+        let max = v[499];
+        assert!(
+            max > median * 20.0,
+            "tail too light: median {median:.1}, max {max:.1}"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_mix_builds_valid_jobs() {
+        let mut rng = rng_for(3, 0xE2);
+        let jobs = heavy_tail_mix(&mut rng, 2, 40, 1.1, 4, 200);
+        assert_eq!(jobs.len(), 40);
+        let sizes: Vec<usize> = jobs.iter().map(|j| j.dag.len()).collect();
+        // Deterministic seed; the spread (not exact values) is the point.
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max > min * 5, "tail too light: min {min}, max {max}");
+        assert!(min < 20, "no small jobs: {sizes:?}");
+    }
+
+    #[test]
+    fn bursty_releases_cluster() {
+        let mut rng = rng_for(4, 0xE3);
+        let mut jobs = heavy_tail_mix(&mut rng, 1, 60, 1.5, 2, 20);
+        bursty_releases(&mut jobs, &mut rng, &BurstyConfig::default());
+        assert_eq!(jobs[0].release, 0);
+        // Gaps must be wildly uneven: some zero (burst), some huge (idle).
+        let gaps: Vec<u64> = jobs
+            .windows(2)
+            .map(|w| w[1].release - w[0].release)
+            .collect();
+        let zeros = gaps.iter().filter(|&&g| g == 0).count();
+        let max_gap = *gaps.iter().max().unwrap();
+        assert!(zeros >= 5, "bursts should pack arrivals: {gaps:?}");
+        assert!(max_gap >= 10, "idle phases should space them: {gaps:?}");
+    }
+
+    #[test]
+    fn releases_are_monotone() {
+        let mut rng = rng_for(5, 0xE4);
+        let mut jobs = heavy_tail_mix(&mut rng, 1, 30, 1.5, 2, 20);
+        bursty_releases(&mut jobs, &mut rng, &BurstyConfig::default());
+        for w in jobs.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+    }
+}

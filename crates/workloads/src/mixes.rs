@@ -1,0 +1,171 @@
+//! Random batched job sets mixing DAG shapes.
+
+use kdag::generators::{
+    chain, divide_conquer, fork_join, layered_random, phased, series_parallel, wavefront,
+    LayeredConfig, PhaseSpec,
+};
+use kdag::{Category, JobDag};
+use ksim::JobSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a random batched mix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MixConfig {
+    /// Number of categories `K`.
+    pub k: usize,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Approximate tasks per job (each job's size is drawn uniformly
+    /// from `[mean_size/2, 3·mean_size/2]`).
+    pub mean_size: usize,
+    /// Cap on any single phase/layer width (keeps barrier edge counts
+    /// and desires bounded).
+    pub max_width: u32,
+}
+
+impl MixConfig {
+    /// A reasonable default mix.
+    pub fn new(k: usize, jobs: usize, mean_size: usize) -> Self {
+        MixConfig {
+            k,
+            jobs,
+            mean_size,
+            max_width: 16,
+        }
+    }
+}
+
+fn rand_cat(rng: &mut StdRng, k: usize) -> Category {
+    Category(rng.gen_range(0..k) as u16)
+}
+
+fn rand_pattern(rng: &mut StdRng, k: usize) -> Vec<Category> {
+    let len = rng.gen_range(1..=k.min(3));
+    (0..len).map(|_| rand_cat(rng, k)).collect()
+}
+
+/// Draw one random job of roughly `size` tasks with a random shape.
+pub fn random_job(rng: &mut StdRng, cfg: &MixConfig, size: usize) -> JobDag {
+    let size = size.max(1);
+    let k = cfg.k;
+    match rng.gen_range(0..7) {
+        0 => chain(k, size, &rand_pattern(rng, k)),
+        1 => {
+            // Fork-join: a few phases whose widths sum to ~size.
+            let phases = rng.gen_range(2..=4usize);
+            let per = (size / phases).max(1);
+            let specs: Vec<(Category, u32)> = (0..phases)
+                .map(|_| {
+                    let w = rng.gen_range(1..=(2 * per).min(cfg.max_width as usize).max(1)) as u32;
+                    (rand_cat(rng, k), w)
+                })
+                .collect();
+            fork_join(k, &specs)
+        }
+        2 => {
+            let layers = ((size as f64).sqrt().ceil() as usize).max(1);
+            let width = ((size / layers).max(1) as u32).min(cfg.max_width);
+            let mut lc = LayeredConfig::uniform(k, layers, 1, width.max(1));
+            lc.extra_edge_prob = 0.2;
+            layered_random(rng, &lc)
+        }
+        3 => series_parallel(rng, k, size),
+        4 => {
+            // Wavefront grid of roughly `size` cells, bounded widths.
+            let rows = ((size as f64).sqrt().round() as usize).clamp(1, cfg.max_width as usize);
+            let cols = (size / rows).max(1);
+            wavefront(k, rows, cols, &rand_pattern(rng, k))
+        }
+        5 => {
+            // Divide-and-conquer with ~size tasks: 4·2^depth ≈ size.
+            let depth = (((size / 4).max(2) as f64).log2().round() as u32).clamp(1, 6);
+            divide_conquer(
+                k,
+                depth,
+                rand_cat(rng, k),
+                rand_cat(rng, k),
+                rand_cat(rng, k),
+            )
+        }
+        _ => {
+            let phases = rng.gen_range(1..=3usize);
+            let specs: Vec<PhaseSpec> = (0..phases)
+                .map(|_| {
+                    let width = rng.gen_range(1..=cfg.max_width);
+                    let length = ((size / phases) as u32 / width).max(1);
+                    PhaseSpec::new(rand_cat(rng, k), width, length)
+                })
+                .collect();
+            phased(k, &specs)
+        }
+    }
+}
+
+/// Generate a batched (all releases 0) random job set.
+pub fn batched_mix(rng: &mut StdRng, cfg: &MixConfig) -> Vec<JobSpec> {
+    (0..cfg.jobs)
+        .map(|_| {
+            let size = rng.gen_range(cfg.mean_size / 2..=cfg.mean_size * 3 / 2);
+            JobSpec::batched(random_job(rng, cfg, size))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_for;
+
+    #[test]
+    fn mix_is_deterministic_per_seed() {
+        let cfg = MixConfig::new(3, 12, 40);
+        let a = batched_mix(&mut rng_for(7, 0), &cfg);
+        let b = batched_mix(&mut rng_for(7, 0), &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.dag.len(), y.dag.len());
+            assert_eq!(x.dag.span(), y.dag.span());
+            assert_eq!(x.dag.work_by_category(), y.dag.work_by_category());
+        }
+    }
+
+    #[test]
+    fn sizes_are_in_range() {
+        let cfg = MixConfig::new(2, 30, 40);
+        let jobs = batched_mix(&mut rng_for(3, 1), &cfg);
+        assert_eq!(jobs.len(), 30);
+        for j in &jobs {
+            assert!(!j.dag.is_empty());
+            // Upper bound: a size draw can reach 1.5×mean, and the
+            // series-parallel shape adds up to 2× fork/join overhead on
+            // top of its target — 4.5×mean overall, rounded up to 5×.
+            assert!(j.dag.len() <= 40 * 5, "job too large: {}", j.dag.len());
+            assert_eq!(j.release, 0);
+        }
+    }
+
+    #[test]
+    fn all_k_categories_appear_overall() {
+        let cfg = MixConfig::new(3, 50, 30);
+        let jobs = batched_mix(&mut rng_for(11, 2), &cfg);
+        let mut totals = vec![0u64; 3];
+        for j in &jobs {
+            for (t, w) in totals.iter_mut().zip(j.dag.work_by_category()) {
+                *t += w;
+            }
+        }
+        assert!(totals.iter().all(|&t| t > 0), "unused category: {totals:?}");
+    }
+
+    #[test]
+    fn every_shape_is_generated() {
+        // With 100 draws all 5 shape branches should fire; detect by
+        // the structural fingerprints being diverse.
+        let cfg = MixConfig::new(2, 100, 30);
+        let jobs = batched_mix(&mut rng_for(5, 3), &cfg);
+        let spans: std::collections::HashSet<u64> = jobs.iter().map(|j| j.dag.span()).collect();
+        assert!(spans.len() > 5, "suspiciously uniform shapes");
+    }
+}

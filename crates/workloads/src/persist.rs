@@ -1,0 +1,152 @@
+//! Saving and loading job sets as JSON.
+//!
+//! Lets experiments pin exact workloads to disk (or share regression
+//! cases) instead of relying on generator/seed stability across
+//! versions. Everything re-validates through [`kdag::DagSpec::build`]
+//! on load, so a corrupted file can never produce an invalid DAG.
+
+use kdag::{DagError, DagSpec};
+use ksim::{JobSpec, Time};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Serializable form of one job.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The DAG description.
+    pub dag: DagSpec,
+    /// Release time.
+    pub release: Time,
+}
+
+/// Serializable form of a whole job set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobSetSpec {
+    /// Optional human label.
+    pub label: String,
+    /// The jobs, in submission order.
+    pub jobs: Vec<JobRecord>,
+}
+
+/// Errors from loading a job set.
+#[derive(Debug)]
+pub enum PersistError {
+    /// File system error.
+    Io(std::io::Error),
+    /// JSON parse error.
+    Json(serde_json::Error),
+    /// A DAG failed validation (index of the offending job + cause).
+    InvalidDag(usize, DagError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Json(e) => write!(f, "json error: {e}"),
+            PersistError::InvalidDag(i, e) => write!(f, "job {i} has an invalid DAG: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl JobSetSpec {
+    /// Capture a job set for saving.
+    pub fn capture(label: &str, jobs: &[JobSpec]) -> JobSetSpec {
+        JobSetSpec {
+            label: label.to_string(),
+            jobs: jobs
+                .iter()
+                .map(|j| JobRecord {
+                    dag: DagSpec::from_dag(&j.dag),
+                    release: j.release,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild (and re-validate) the simulator-ready job specs.
+    pub fn restore(&self) -> Result<Vec<JobSpec>, PersistError> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .map(|(i, rec)| {
+                let dag = rec
+                    .dag
+                    .build()
+                    .map_err(|e| PersistError::InvalidDag(i, e))?;
+                Ok(JobSpec {
+                    dag: Arc::new(dag),
+                    release: rec.release,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Save a job set to a JSON file.
+pub fn save_jobset(path: &Path, label: &str, jobs: &[JobSpec]) -> Result<(), PersistError> {
+    let spec = JobSetSpec::capture(label, jobs);
+    let json = serde_json::to_string_pretty(&spec).map_err(PersistError::Json)?;
+    std::fs::write(path, json).map_err(PersistError::Io)
+}
+
+/// Load a job set from a JSON file, re-validating every DAG.
+pub fn load_jobset(path: &Path) -> Result<(String, Vec<JobSpec>), PersistError> {
+    let text = std::fs::read_to_string(path).map_err(PersistError::Io)?;
+    let spec: JobSetSpec = serde_json::from_str(&text).map_err(PersistError::Json)?;
+    let jobs = spec.restore()?;
+    Ok((spec.label, jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixes::{batched_mix, MixConfig};
+    use crate::rng_for;
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let jobs = batched_mix(&mut rng_for(3, 0xF1), &MixConfig::new(2, 6, 20));
+        let path = std::env::temp_dir().join(format!("krad-jobs-{}.json", std::process::id()));
+        save_jobset(&path, "test-set", &jobs).unwrap();
+        let (label, loaded) = load_jobset(&path).unwrap();
+        assert_eq!(label, "test-set");
+        assert_eq!(loaded.len(), jobs.len());
+        for (a, b) in jobs.iter().zip(&loaded) {
+            assert_eq!(a.release, b.release);
+            assert_eq!(a.dag.len(), b.dag.len());
+            assert_eq!(a.dag.span(), b.dag.span());
+            assert_eq!(a.dag.work_by_category(), b.dag.work_by_category());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_dag_is_rejected() {
+        let spec = JobSetSpec {
+            label: "bad".into(),
+            jobs: vec![JobRecord {
+                dag: kdag::DagSpec {
+                    k: 1,
+                    categories: vec![0, 0],
+                    edges: vec![(0, 1), (1, 0)],
+                },
+                release: 0,
+            }],
+        };
+        match spec.restore() {
+            Err(PersistError::InvalidDag(0, kdag::DagError::Cycle)) => {}
+            other => panic!("expected cycle rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_jobset(Path::new("/nonexistent/krad.json")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+}

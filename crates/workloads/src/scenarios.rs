@@ -1,0 +1,143 @@
+//! Named end-to-end scenarios for the baseline comparison (T7) and the
+//! examples. Each returns jobs + a machine sized for the workload.
+
+use crate::arrivals::poisson_releases;
+use crate::mixes::{batched_mix, MixConfig};
+use kdag::generators::{chain, map_reduce, phased, MapReduceSpec, PhaseSpec};
+use kdag::Category;
+use ksim::{JobSpec, Resources};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A named scenario: jobs, machine, and a label for tables.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Stable label used in tables and reports.
+    pub label: &'static str,
+    /// The job set (releases may be non-zero).
+    pub jobs: Vec<JobSpec>,
+    /// The machine the scenario targets.
+    pub resources: Resources,
+}
+
+/// Heterogeneous pipeline: `n` jobs alternating CPU (α1) computation
+/// with I/O (α2) stages — the paper's motivating "interleaving
+/// computations and I/Os" programs. Batched.
+pub fn pipeline(rng: &mut StdRng, n: usize) -> Scenario {
+    let jobs = (0..n)
+        .map(|_| {
+            let stages = rng.gen_range(4..=10);
+            let width = rng.gen_range(1..=6u32);
+            if rng.gen_bool(0.5) {
+                // Narrow alternating chain.
+                JobSpec::batched(chain(2, stages * 2, &[Category(0), Category(1)]))
+            } else {
+                // Wide compute phases punctuated by narrow I/O.
+                let phases: Vec<PhaseSpec> = (0..stages)
+                    .flat_map(|_| {
+                        [
+                            PhaseSpec::new(Category(0), width, 2),
+                            PhaseSpec::new(Category(1), 1, 1),
+                        ]
+                    })
+                    .collect();
+                JobSpec::batched(phased(2, &phases))
+            }
+        })
+        .collect();
+    Scenario {
+        label: "pipeline",
+        jobs,
+        resources: Resources::new(vec![8, 2]),
+    }
+}
+
+/// Map-reduce cluster: `n` jobs of map (CPU) / reduce (I/O) rounds of
+/// varying fan-out. Batched.
+pub fn mapreduce(rng: &mut StdRng, n: usize) -> Scenario {
+    let jobs = (0..n)
+        .map(|_| {
+            let spec = MapReduceSpec {
+                map_category: Category(0),
+                map_count: rng.gen_range(4..=16),
+                reduce_category: Category(1),
+                reduce_count: rng.gen_range(1..=4),
+                rounds: rng.gen_range(1..=4),
+            };
+            JobSpec::batched(map_reduce(2, &spec))
+        })
+        .collect();
+    Scenario {
+        label: "map-reduce",
+        jobs,
+        resources: Resources::new(vec![8, 4]),
+    }
+}
+
+/// Mixed server: a 3-category machine (CPU, vector, I/O) receiving a
+/// random mix of job shapes via a Poisson arrival process.
+pub fn mixed_server(rng: &mut StdRng, n: usize, lambda: f64) -> Scenario {
+    let cfg = MixConfig::new(3, n, 48);
+    let mut jobs = batched_mix(rng, &cfg);
+    poisson_releases(&mut jobs, rng, lambda);
+    Scenario {
+        label: "mixed-server",
+        jobs,
+        resources: Resources::new(vec![8, 4, 4]),
+    }
+}
+
+/// All scenarios at a standard size, for the T7 comparison table.
+pub fn standard_suite(rng: &mut StdRng) -> Vec<Scenario> {
+    vec![
+        pipeline(rng, 24),
+        mapreduce(rng, 24),
+        mixed_server(rng, 48, 0.25),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_for;
+
+    #[test]
+    fn scenarios_are_well_formed() {
+        for sc in standard_suite(&mut rng_for(42, 0)) {
+            assert!(!sc.jobs.is_empty(), "{}: empty", sc.label);
+            for j in &sc.jobs {
+                assert_eq!(j.dag.k(), sc.resources.k(), "{}: K mismatch", sc.label);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_uses_both_categories() {
+        let sc = pipeline(&mut rng_for(1, 0), 10);
+        let mut totals = [0u64; 2];
+        for j in &sc.jobs {
+            totals[0] += j.dag.work(Category(0));
+            totals[1] += j.dag.work(Category(1));
+        }
+        assert!(totals[0] > 0 && totals[1] > 0);
+    }
+
+    #[test]
+    fn mixed_server_has_arrivals() {
+        let sc = mixed_server(&mut rng_for(2, 0), 30, 0.2);
+        assert!(sc.jobs.iter().any(|j| j.release > 0));
+        assert_eq!(sc.jobs[0].release, 0);
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = standard_suite(&mut rng_for(9, 9));
+        let b = standard_suite(&mut rng_for(9, 9));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.jobs.len(), y.jobs.len());
+            let wx: u64 = x.jobs.iter().map(|j| j.dag.total_work()).sum();
+            let wy: u64 = y.jobs.iter().map(|j| j.dag.total_work()).sum();
+            assert_eq!(wx, wy);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Replay a cluster trace (SWF format) through every scheduler.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [trace.swf]
+//! ```
+//!
+//! Without an argument a deterministic synthetic trace stands in;
+//! pass any Parallel Workloads Archive `.swf` file to replay real
+//! arrival processes and job mixes through the K-resource model.
+
+use krad_suite::kexperiments::runner::{compare_schedulers, comparison_table};
+use krad_suite::kworkloads::mixes::MixConfig;
+use krad_suite::kworkloads::swf::{jobs_from_swf, parse_swf, swf_stats, synthetic_swf, SwfShape};
+use krad_suite::prelude::*;
+
+fn main() {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => synthetic_swf(120),
+    };
+    let records = parse_swf(&text).unwrap_or_else(|e| {
+        eprintln!("SWF parse error: {e}");
+        std::process::exit(1);
+    });
+    let stats = swf_stats(&records);
+    println!(
+        "trace: {} usable jobs, horizon {} s, ≤ {} procs/job, {} proc-seconds of work",
+        stats.jobs, stats.horizon, stats.max_processors, stats.total_work
+    );
+
+    // Shape the records into 2-category jobs (compute + I/O staging).
+    let cfg = MixConfig::new(2, 0, 60);
+    let shape = SwfShape {
+        k: cfg.k,
+        max_width: cfg.max_width,
+        max_tasks: cfg.mean_size * 4,
+        ..SwfShape::default()
+    };
+    let jobs = jobs_from_swf(&records, &shape);
+    let res = Resources::new(vec![24, 4]);
+    println!(
+        "replaying on machine {:?} ({} simulation jobs)\n",
+        res.as_slice(),
+        jobs.len()
+    );
+
+    let rows = compare_schedulers(&jobs, &res, SelectionPolicy::Fifo, 0);
+    let mut table = comparison_table("trace replay: all schedulers", &rows);
+    table.note("60 trace-seconds per simulation step; widths capped at 16");
+    println!("{table}");
+}

@@ -1,0 +1,88 @@
+//! The Figure 3 instance behaves exactly as the Theorem 1 proof
+//! predicts: closed-form adversarial makespan, exact optimum, and a
+//! ratio that climbs to `K + 1 − 1/Pmax`.
+
+use kdag::SelectionPolicy;
+use krad::KRad;
+use ksim::{simulate, SimConfig};
+use kworkloads::adversarial::adversarial_workload;
+
+fn run(p: &[u32], m: u64) -> (u64, u64, f64, f64) {
+    let w = adversarial_workload(p, m);
+    let mut sched = KRad::new(w.resources.k());
+    let cfg = SimConfig::with_policy(SelectionPolicy::CriticalLast);
+    let o = simulate(&mut sched, &w.jobs, &w.resources, &cfg);
+    let ratio = o.makespan as f64 / w.optimal_makespan as f64;
+    (o.makespan, w.optimal_makespan, ratio, w.bound)
+}
+
+#[test]
+fn k1_realizes_two_minus_one_over_p_exactly() {
+    for p in [2u32, 4, 8] {
+        for m in [1u64, 4, 16] {
+            let (t, opt, ratio, bound) = run(&[p], m);
+            // Closed forms: T = 2mP − m, T* = mP, ratio = 2 − 1/P.
+            assert_eq!(t, 2 * m * u64::from(p) - m, "P={p} m={m}");
+            assert_eq!(opt, m * u64::from(p));
+            assert!((ratio - bound).abs() < 1e-12, "K=1 is tight at every m");
+        }
+    }
+}
+
+#[test]
+fn k2_and_k3_match_the_proof_formula() {
+    for k in [2usize, 3] {
+        for p in [2u32, 4] {
+            for m in [1u64, 4, 16] {
+                let (t, opt, ratio, bound) = run(&vec![p; k], m);
+                // The proof's worst case: T = mKPK + mPK − m.
+                let predicted = m * k as u64 * u64::from(p) + m * u64::from(p) - m;
+                assert_eq!(
+                    t, predicted,
+                    "K={k} P={p} m={m}: K-RAD + critical-last must realize the proof's trajectory"
+                );
+                assert_eq!(opt, k as u64 + m * u64::from(p) - 1);
+                assert!(ratio <= bound + 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn ratio_is_monotonically_tighter_in_m() {
+    let ratios: Vec<f64> = [1u64, 2, 4, 8, 16]
+        .iter()
+        .map(|&m| run(&[4, 4], m).2)
+        .collect();
+    for w in ratios.windows(2) {
+        assert!(w[1] >= w[0] - 1e-12, "ratio must not regress: {ratios:?}");
+    }
+    let bound = run(&[4, 4], 1).3;
+    assert!(ratios.last().unwrap() / bound > 0.97);
+}
+
+#[test]
+fn mixed_processor_counts_work() {
+    // Non-uniform categories with PK = Pmax last.
+    let (t, opt, ratio, bound) = run(&[2, 3, 8], 8);
+    assert!(t > opt);
+    assert!(ratio <= bound + 1e-12);
+    assert!(ratio > 0.9 * bound, "ratio {ratio} vs bound {bound}");
+}
+
+#[test]
+fn friendly_policy_defeats_the_adversary() {
+    // With critical-path-FIRST selection, the hidden chain is served
+    // eagerly and the makespan drops well below the adversarial value.
+    let w = adversarial_workload(&[4, 4], 8);
+    let mut sched = KRad::new(2);
+    let cfg = SimConfig::with_policy(SelectionPolicy::CriticalFirst);
+    let o = simulate(&mut sched, &w.jobs, &w.resources, &cfg);
+    let adversarial = w.m * 2 * 4 + w.m * 4 - w.m;
+    assert!(
+        o.makespan < adversarial,
+        "critical-first ({}) should beat the adversarial trajectory ({})",
+        o.makespan,
+        adversarial
+    );
+}

@@ -1,0 +1,47 @@
+//! End-to-end: the full experiment registry runs green in quick mode
+//! and reports serialize to disk.
+
+use kexperiments::{registry, RunOpts};
+
+#[test]
+fn every_registered_experiment_passes_quick_mode() {
+    let opts = RunOpts::quick(42);
+    for entry in registry::all() {
+        let report = (entry.run)(&opts);
+        assert!(
+            report.passed,
+            "{} failed:\n{}\nconclusions: {:?}",
+            entry.id,
+            report.table.render(),
+            report.conclusions
+        );
+        assert_eq!(report.id, entry.id);
+        assert!(!report.table.rows.is_empty(), "{}: empty table", entry.id);
+        assert!(
+            !report.conclusions.is_empty(),
+            "{}: no conclusions",
+            entry.id
+        );
+    }
+}
+
+#[test]
+fn reports_write_json_and_csv() {
+    let opts = RunOpts::quick(42);
+    let report = (registry::find("F1").unwrap().run)(&opts);
+    let dir = std::env::temp_dir().join(format!("krad-e2e-{}", std::process::id()));
+    let json = report.write_to(&dir).unwrap();
+    let text = std::fs::read_to_string(&json).unwrap();
+    assert!(text.contains("\"id\": \"F1\""));
+    let csv = std::fs::read_to_string(dir.join("F1.csv")).unwrap();
+    assert!(csv.contains("step"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn registry_covers_every_designed_experiment() {
+    let ids: Vec<&str> = registry::all().iter().map(|e| e.id).collect();
+    for expected in ["F1", "F2", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"] {
+        assert!(ids.contains(&expected), "missing experiment {expected}");
+    }
+}

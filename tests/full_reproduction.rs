@@ -1,0 +1,31 @@
+//! The capstone gate: every registered experiment passes in FULL
+//! (non-quick) mode — the same sweeps the committed results/ artifacts
+//! were generated from. Slower than the quick-mode tests (a few
+//! seconds in release), but this is the single test that certifies the
+//! complete reproduction end to end.
+
+use kexperiments::{registry, RunOpts};
+
+#[test]
+fn full_mode_reproduction_passes() {
+    let opts = RunOpts::default(); // seed 42, full sweeps
+    let mut summary = Vec::new();
+    for entry in registry::all() {
+        let report = (entry.run)(&opts);
+        summary.push(format!(
+            "{:<4} {} rows={}",
+            report.id,
+            if report.passed { "PASS" } else { "FAIL" },
+            report.table.rows.len()
+        ));
+        assert!(
+            report.passed,
+            "{} failed in full mode:\n{}\nconclusions: {:?}",
+            entry.id,
+            report.table.render(),
+            report.conclusions
+        );
+    }
+    println!("{}", summary.join("\n"));
+    assert_eq!(summary.len(), 17, "expected all 17 experiments");
+}

@@ -1,0 +1,126 @@
+//! Golden tests for the render surfaces: text tables, markdown, CSV,
+//! DOT, ASCII Gantt, sparklines, SVG. These pin *exact* output so an
+//! accidental formatting change (which would silently alter committed
+//! artifacts and EXPERIMENTS.md excerpts) is caught.
+
+use kanalysis::gantt::gantt;
+use kanalysis::table::Table;
+use kanalysis::timeline::sparkline;
+use kdag::{dot, generators::fig1_example, Category, DagBuilder};
+use ksim::{simulate, JobSpec, Resources, SimConfig};
+
+#[test]
+fn table_text_golden() {
+    let mut t = Table::new("demo", &["name", "x"]);
+    t.row(&["alpha", "1"]);
+    t.row(&["b", "22"]);
+    t.note("a note");
+    assert_eq!(
+        t.render(),
+        "== demo ==\n name   x\n---------\nalpha   1\n    b  22\n  * a note\n"
+    );
+}
+
+#[test]
+fn table_markdown_golden() {
+    let mut t = Table::new("md", &["a", "b"]);
+    t.row(&["1", "2"]);
+    assert_eq!(
+        t.to_markdown(),
+        "**md**\n\n| a | b |\n|---|---|\n| 1 | 2 |\n"
+    );
+}
+
+#[test]
+fn table_csv_golden() {
+    let mut t = Table::new("c", &["a", "b"]);
+    t.row(&["x,y", "2"]);
+    t.note("n");
+    assert_eq!(t.to_csv(), "# n\na,b\n\"x,y\",2\n");
+}
+
+#[test]
+fn dot_golden_prefix() {
+    let dot = dot::to_dot(&fig1_example(), "fig1");
+    let expected_prefix = "digraph fig1 {\n  rankdir=TB;\n  node [style=filled];\n  0 [label=\"t0\\nα1\" fillcolor=lightblue];\n";
+    assert!(
+        dot.starts_with(expected_prefix),
+        "DOT prefix drifted:\n{dot}"
+    );
+    assert!(dot.ends_with("}\n"));
+    assert_eq!(dot.matches(" -> ").count(), 13, "edge count in DOT");
+}
+
+#[test]
+fn sparkline_golden() {
+    assert_eq!(
+        sparkline(&[0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9, 1.0]),
+        "▁▂▃▄▅▆▇█"
+    );
+}
+
+#[test]
+fn gantt_golden() {
+    // A deterministic 2-job run on a tiny machine.
+    struct Greedy;
+    impl ksim::Scheduler for Greedy {
+        fn name(&self) -> String {
+            "g".into()
+        }
+        fn allot(
+            &mut self,
+            _t: ksim::Time,
+            views: &[ksim::JobView<'_>],
+            res: &Resources,
+            out: &mut ksim::AllotmentMatrix,
+        ) {
+            for cat in Category::all(res.k()) {
+                let mut left = res.processors(cat);
+                for (slot, v) in views.iter().enumerate() {
+                    let a = v.desire(cat).min(left);
+                    out.set(slot, cat, a);
+                    left -= a;
+                }
+            }
+        }
+    }
+    let mk = || {
+        let mut b = DagBuilder::new(1);
+        let ts = b.add_tasks(Category(0), 2);
+        b.add_chain(&ts).unwrap();
+        JobSpec::batched(b.build().unwrap())
+    };
+    let jobs = vec![mk(), mk()];
+    let res = Resources::uniform(1, 1);
+    let mut cfg = SimConfig::default();
+    cfg.record_schedule = true;
+    let o = simulate(&mut Greedy, &jobs, &res, &cfg);
+    let chart = gantt(o.schedule.as_ref().unwrap(), &res, 80);
+    // Job 0's chain first (greedy slot order), then job 1's.
+    assert_eq!(
+        chart,
+        "                  \n    α1 p0    | 0011\n  makespan 4\n"
+    );
+}
+
+#[test]
+fn svg_is_stable_shape() {
+    use kanalysis::svg::{LineChart, Series};
+    let chart = LineChart {
+        title: "t".into(),
+        x_label: "x".into(),
+        y_label: "y".into(),
+        series: vec![Series {
+            label: "s".into(),
+            points: vec![(1.0, 1.0), (2.0, 2.0)],
+        }],
+        reference_lines: vec![],
+        log2_x: false,
+    };
+    let svg = chart.render();
+    // Structural pin: element counts, not coordinates.
+    assert_eq!(svg.matches("<polyline").count(), 1);
+    assert_eq!(svg.matches("<circle").count(), 2);
+    // 5+5 axis ticks, title, 2 axis labels, 1 legend label = 14.
+    assert_eq!(svg.matches("<text").count(), 14);
+}

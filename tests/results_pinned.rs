@@ -1,0 +1,63 @@
+//! Regression pinning: the committed `results/` artifacts must match a
+//! fresh regeneration with the default seed. Everything in this
+//! repository is deterministic, so any diff is a behavior change that
+//! needs a deliberate results refresh (`run_experiments --out results`).
+
+use kexperiments::{registry, RunOpts};
+use std::path::Path;
+
+fn committed(id: &str) -> Option<serde_json::Value> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join(format!("{id}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Fast experiments are re-run in FULL mode and compared row-by-row
+/// against the committed artifacts.
+#[test]
+fn committed_results_match_regeneration() {
+    let opts = RunOpts::default(); // seed 42, full sweeps
+    for id in ["F1", "F2", "T1", "T3", "T8", "T9", "T10"] {
+        let Some(expected) = committed(id) else {
+            panic!("missing committed results/{id}.json — run run_experiments --out results");
+        };
+        let report = (registry::find(id).unwrap().run)(&opts);
+        let fresh = serde_json::to_value(&report).unwrap();
+        assert_eq!(
+            fresh["table"]["rows"], expected["table"]["rows"],
+            "{id}: regenerated rows differ from committed results — if intentional, refresh results/"
+        );
+        assert_eq!(
+            fresh["passed"], expected["passed"],
+            "{id}: passed flag drifted"
+        );
+    }
+}
+
+/// Every experiment has both a JSON and a CSV artifact committed.
+#[test]
+fn all_artifacts_are_committed() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    for entry in registry::all() {
+        for ext in ["json", "csv"] {
+            let p = dir.join(format!("{}.{ext}", entry.id));
+            assert!(p.exists(), "missing artifact {}", p.display());
+        }
+    }
+}
+
+/// Committed artifacts self-report success.
+#[test]
+fn committed_results_all_passed() {
+    for entry in registry::all() {
+        let v = committed(entry.id).expect("artifact exists");
+        assert_eq!(
+            v["passed"],
+            serde_json::Value::Bool(true),
+            "{}: committed artifact is failing",
+            entry.id
+        );
+    }
+}

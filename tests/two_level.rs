@@ -1,0 +1,143 @@
+//! Integration tests for the two-level extensions: scheduling quanta
+//! and the A-Greedy desire-feedback model.
+
+use kdag::generators::{fork_join, phased, PhaseSpec};
+use kdag::{Category, SelectionPolicy};
+use krad::KRad;
+use ksim::{checker, simulate, DesireModel, JobSpec, Resources, SimConfig};
+use kworkloads::mixes::{batched_mix, MixConfig};
+use kworkloads::rng_for;
+use proptest::prelude::*;
+
+fn config(quantum: u64, model: DesireModel) -> SimConfig {
+    let mut cfg = SimConfig::with_policy(SelectionPolicy::Fifo);
+    cfg.quantum = quantum;
+    cfg.desire_model = model;
+    cfg
+}
+
+#[test]
+fn quantum_one_exact_matches_default_semantics() {
+    let mut rng = rng_for(5, 0xDD);
+    let jobs = batched_mix(&mut rng, &MixConfig::new(2, 8, 24));
+    let res = Resources::uniform(2, 3);
+    let a = simulate(&mut KRad::new(2), &jobs, &res, &SimConfig::default());
+    let b = simulate(
+        &mut KRad::new(2),
+        &jobs,
+        &res,
+        &config(1, DesireModel::Exact),
+    );
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.completions, b.completions);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the quantum and desire model, runs terminate with all
+    /// work executed and formally valid schedules.
+    #[test]
+    fn two_level_runs_are_valid(
+        seed in 0u64..2000,
+        k in 1usize..3,
+        n in 1usize..8,
+        p in 1u32..5,
+        quantum in 1u64..12,
+        feedback in proptest::bool::ANY,
+    ) {
+        let mut rng = rng_for(seed, 0xDE);
+        let jobs = batched_mix(&mut rng, &MixConfig::new(k, n, 18));
+        let res = Resources::uniform(k, p);
+        let model = if feedback {
+            DesireModel::AGreedy { delta: 0.8 }
+        } else {
+            DesireModel::Exact
+        };
+        let mut cfg = config(quantum, model);
+        cfg.record_schedule = true;
+        let mut sched = KRad::new(k);
+        let o = simulate(&mut sched, &jobs, &res, &cfg);
+        let total: u64 = jobs.iter().map(|j| j.dag.total_work()).sum();
+        prop_assert_eq!(o.total_executed(), total);
+        checker::validate(o.schedule.as_ref().unwrap(), &jobs, &res).unwrap();
+    }
+
+    /// Per-step decisions essentially dominate longer quanta. Strict
+    /// dominance is FALSE — greedy schedulers exhibit Graham-style
+    /// anomalies, and a frozen allotment can get lucky by a step or two
+    /// (e.g. seed 5, q=3 beats q=1 by one step) — so we assert the
+    /// anomaly-tolerant form: q=1 is never worse than a larger quantum
+    /// by more than a small factor, while the reverse direction can and
+    /// does blow up (see T11's q=16 collapse).
+    #[test]
+    fn per_step_decisions_dominate_up_to_anomalies(
+        seed in 0u64..500,
+        quantum in 2u64..16,
+    ) {
+        let mut rng = rng_for(seed, 0xDF);
+        let jobs = batched_mix(&mut rng, &MixConfig::new(2, 10, 24));
+        let res = Resources::uniform(2, 4);
+        let fine = simulate(&mut KRad::new(2), &jobs, &res, &config(1, DesireModel::Exact));
+        let coarse = simulate(&mut KRad::new(2), &jobs, &res, &config(quantum, DesireModel::Exact));
+        prop_assert!(
+            (fine.makespan as f64) <= coarse.makespan as f64 * 1.15 + 2.0,
+            "q=1 ({}) lost to q={quantum} ({}) beyond anomaly tolerance",
+            fine.makespan,
+            coarse.makespan
+        );
+    }
+}
+
+#[test]
+fn agreedy_tracks_rectangular_profiles_within_a_factor() {
+    // A steady width-8 job: A-Greedy ramps 1,2,4,8 then stays — total
+    // slowdown is a small additive ramp, not a factor.
+    let jobs = vec![JobSpec::batched(phased(
+        1,
+        &[PhaseSpec::new(Category(0), 8, 50)],
+    ))];
+    let res = Resources::uniform(1, 8);
+    let exact = simulate(
+        &mut KRad::new(1),
+        &jobs,
+        &res,
+        &config(1, DesireModel::Exact),
+    );
+    let feedback = simulate(
+        &mut KRad::new(1),
+        &jobs,
+        &res,
+        &config(1, DesireModel::AGreedy { delta: 0.8 }),
+    );
+    assert_eq!(exact.makespan, 50);
+    assert!(
+        feedback.makespan <= 60,
+        "ramp cost should be additive: {}",
+        feedback.makespan
+    );
+}
+
+#[test]
+fn agreedy_still_terminates_on_spiky_profiles() {
+    // Alternating wide/narrow phases stress the halving/doubling.
+    let jobs = vec![JobSpec::batched(fork_join(
+        1,
+        &[
+            (Category(0), 16),
+            (Category(0), 1),
+            (Category(0), 16),
+            (Category(0), 1),
+            (Category(0), 16),
+        ],
+    ))];
+    let res = Resources::uniform(1, 16);
+    let o = simulate(
+        &mut KRad::new(1),
+        &jobs,
+        &res,
+        &config(1, DesireModel::AGreedy { delta: 0.8 }),
+    );
+    assert_eq!(o.total_executed(), 50);
+    assert!(o.makespan < 200, "feedback oscillation must stay bounded");
+}
