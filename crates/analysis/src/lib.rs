@@ -14,7 +14,10 @@
 //! * [`table`] — plain-text tables (the "figures" of this
 //!   reproduction) with CSV export;
 //! * [`report`] — JSON experiment reports written next to the printed
-//!   tables.
+//!   tables;
+//! * [`telemetry_report`] — run summaries (waste, utilization,
+//!   DEQ↔RR transitions) reconstructed from `ktelemetry` event
+//!   streams.
 //!
 //! All bound computations take the *job specs* (DAG + release), which
 //! an offline analyst may inspect — these are yardsticks for measuring
@@ -31,5 +34,6 @@ pub mod squashed;
 pub mod stats;
 pub mod svg;
 pub mod table;
+pub mod telemetry_report;
 pub mod timeline;
 pub mod verify;

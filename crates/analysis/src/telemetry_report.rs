@@ -1,0 +1,406 @@
+//! Run summaries reconstructed purely from telemetry event streams.
+//!
+//! [`TelemetrySummary::from_events`] folds a stream of
+//! [`TelemetryEvent`]s (recorded in-process or re-parsed from a JSONL
+//! file) back into the run-level quantities the simulator reports
+//! directly — makespan, per-category executed/allotted/waste,
+//! utilization — plus the scheduler-decision statistics only the
+//! events carry: DEQ↔RR mode-transition counts, completed round-robin
+//! cycles, and per-decision satisfied/deprived tallies. Agreement with
+//! `ksim::SimOutcome` is what the cross-validation tests check.
+
+use crate::table::Table;
+use crate::timeline::{render_timeline, utilization_timeline};
+use ksim::{Resources, StepTrace};
+use ktelemetry::{Histogram, SchedulerMode, TelemetryEvent};
+
+/// Everything a telemetry stream says about one run.
+#[derive(Clone, Debug)]
+pub struct TelemetrySummary {
+    /// Scheduler name from the `run_start` event (empty if absent).
+    pub scheduler: String,
+    /// Job count from `run_start`.
+    pub jobs: u32,
+    /// Makespan from `run_end` (or the last step seen).
+    pub makespan: u64,
+    /// Busy steps from `run_end` (or the number of `step_end` events).
+    pub busy_steps: u64,
+    /// Idle steps from `run_end` (or summed from `idle_skip` events).
+    pub idle_steps: u64,
+    /// Per-category processor-steps allotted, from `step_end`.
+    pub allotted: Vec<u64>,
+    /// Per-category tasks executed, from `step_end`.
+    pub executed: Vec<u64>,
+    /// Per-category scheduler decisions, from `decision`.
+    pub decisions: Vec<u64>,
+    /// Per-category DEQ→RR transitions, from `mode_transition`.
+    pub to_rr: Vec<u64>,
+    /// Per-category RR→DEQ transitions, from `mode_transition`.
+    pub to_deq: Vec<u64>,
+    /// Per-category completed round-robin cycles.
+    pub rr_cycles: Vec<u64>,
+    /// Per-category deprived-job observations summed over decisions.
+    pub deprived: Vec<u64>,
+    /// Response times in completion order, from `job_completed`.
+    pub responses: Vec<u64>,
+    /// Distribution of active jobs per busy step.
+    pub active_jobs: Histogram,
+    /// The step trace rebuilt from `step_start`/`step_end` pairs.
+    pub trace: Vec<StepTrace>,
+}
+
+fn bump(v: &mut Vec<u64>, i: usize, by: u64) {
+    if v.len() <= i {
+        v.resize(i + 1, 0);
+    }
+    v[i] += by;
+}
+
+impl TelemetrySummary {
+    /// Fold an event stream into a summary. Order-tolerant except that
+    /// a `step_end` adopts the active-job count of the most recent
+    /// `step_start`.
+    pub fn from_events(events: &[TelemetryEvent]) -> TelemetrySummary {
+        let mut s = TelemetrySummary {
+            scheduler: String::new(),
+            jobs: 0,
+            makespan: 0,
+            busy_steps: 0,
+            idle_steps: 0,
+            allotted: Vec::new(),
+            executed: Vec::new(),
+            decisions: Vec::new(),
+            to_rr: Vec::new(),
+            to_deq: Vec::new(),
+            rr_cycles: Vec::new(),
+            deprived: Vec::new(),
+            responses: Vec::new(),
+            active_jobs: Histogram::exponential(12),
+            trace: Vec::new(),
+        };
+        let mut saw_run_end = false;
+        let mut idle_seen = 0u64;
+        let mut last_active = 0u32;
+        for e in events {
+            match e {
+                TelemetryEvent::RunStart {
+                    scheduler, jobs, ..
+                } => {
+                    s.scheduler = scheduler.clone();
+                    s.jobs = *jobs;
+                }
+                TelemetryEvent::JobReleased { .. } => {}
+                TelemetryEvent::StepStart { active_jobs, .. } => {
+                    last_active = *active_jobs;
+                    s.active_jobs.record(u64::from(*active_jobs));
+                }
+                TelemetryEvent::StepEnd {
+                    t,
+                    allotted,
+                    executed,
+                } => {
+                    for (cat, &a) in allotted.iter().enumerate() {
+                        bump(&mut s.allotted, cat, u64::from(a));
+                    }
+                    for (cat, &x) in executed.iter().enumerate() {
+                        bump(&mut s.executed, cat, u64::from(x));
+                    }
+                    s.trace.push(StepTrace {
+                        t: *t,
+                        active_jobs: last_active,
+                        allotted: allotted.clone(),
+                        executed: executed.clone(),
+                    });
+                    if !saw_run_end {
+                        s.makespan = s.makespan.max(*t);
+                        s.busy_steps += 1;
+                    }
+                }
+                TelemetryEvent::JobCompleted { response, .. } => {
+                    s.responses.push(*response);
+                }
+                TelemetryEvent::IdleSkip { from, to } => {
+                    idle_seen += to.saturating_sub(*from + 1);
+                }
+                TelemetryEvent::Decision {
+                    category, deprived, ..
+                } => {
+                    bump(&mut s.decisions, usize::from(*category), 1);
+                    bump(
+                        &mut s.deprived,
+                        usize::from(*category),
+                        u64::from(*deprived),
+                    );
+                }
+                TelemetryEvent::ModeTransition { category, to, .. } => {
+                    let per_cat = match to {
+                        SchedulerMode::RoundRobin => &mut s.to_rr,
+                        SchedulerMode::Deq => &mut s.to_deq,
+                    };
+                    bump(per_cat, usize::from(*category), 1);
+                }
+                TelemetryEvent::RrCycleComplete { category, .. } => {
+                    bump(&mut s.rr_cycles, usize::from(*category), 1);
+                }
+                TelemetryEvent::RunEnd {
+                    makespan,
+                    busy_steps,
+                    idle_steps,
+                } => {
+                    saw_run_end = true;
+                    s.makespan = *makespan;
+                    s.busy_steps = *busy_steps;
+                    s.idle_steps = *idle_steps;
+                }
+            }
+        }
+        if !saw_run_end {
+            s.idle_steps = idle_seen;
+        }
+        let k = s.categories();
+        for v in [
+            &mut s.allotted,
+            &mut s.executed,
+            &mut s.decisions,
+            &mut s.to_rr,
+            &mut s.to_deq,
+            &mut s.rr_cycles,
+            &mut s.deprived,
+        ] {
+            v.resize(k, 0);
+        }
+        s
+    }
+
+    /// Number of categories observed across all events.
+    pub fn categories(&self) -> usize {
+        [
+            self.allotted.len(),
+            self.executed.len(),
+            self.decisions.len(),
+            self.to_rr.len(),
+            self.to_deq.len(),
+            self.rr_cycles.len(),
+        ]
+        .into_iter()
+        .max()
+        .unwrap_or(0)
+    }
+
+    /// Per-category allotment waste, via [`StepTrace::waste_by_category`].
+    pub fn waste_by_category(&self) -> Vec<u64> {
+        let mut waste = vec![0u64; self.categories()];
+        for step in &self.trace {
+            for (cat, w) in step.waste_by_category().into_iter().enumerate() {
+                waste[cat] += w;
+            }
+        }
+        waste
+    }
+
+    /// Utilization of one category over the busy steps (matches
+    /// `SimOutcome::utilization`).
+    pub fn utilization(&self, cat: usize, res: &Resources) -> f64 {
+        if self.busy_steps == 0 {
+            return 0.0;
+        }
+        self.executed[cat] as f64 / (f64::from(res.as_slice()[cat]) * self.busy_steps as f64)
+    }
+
+    /// Mean response time over all completions seen (0 if none).
+    pub fn mean_response(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        self.responses.iter().sum::<u64>() as f64 / self.responses.len() as f64
+    }
+
+    /// Render the run summary: headline totals, the per-category table
+    /// (allotted/executed/waste/utilization and the decision counters),
+    /// the active-jobs histogram, and a utilization sparkline timeline.
+    pub fn render(&self, res: &Resources) -> String {
+        let mut out = String::new();
+        let name = if self.scheduler.is_empty() {
+            "unknown scheduler"
+        } else {
+            &self.scheduler
+        };
+        out.push_str(&format!(
+            "telemetry summary — {name}: {} jobs, makespan {} ({} busy + {} idle steps)\n",
+            self.jobs, self.makespan, self.busy_steps, self.idle_steps
+        ));
+        out.push_str(&format!(
+            "completions seen: {} (mean response {:.2})\n",
+            self.responses.len(),
+            self.mean_response()
+        ));
+        out.push_str(&format!(
+            "active jobs per busy step: {}\n\n",
+            self.active_jobs.render()
+        ));
+
+        let waste = self.waste_by_category();
+        let mut table = Table::new(
+            "per-category scheduling activity",
+            &[
+                "category",
+                "allotted",
+                "executed",
+                "waste",
+                "util",
+                "decisions",
+                "deq->rr",
+                "rr->deq",
+                "rr cycles",
+                "deprived",
+            ],
+        );
+        for (cat, w) in waste.iter().enumerate() {
+            table.row_owned(vec![
+                format!("α{}", cat + 1),
+                self.allotted[cat].to_string(),
+                self.executed[cat].to_string(),
+                w.to_string(),
+                format!("{:.3}", self.utilization(cat, res)),
+                self.decisions[cat].to_string(),
+                self.to_rr[cat].to_string(),
+                self.to_deq[cat].to_string(),
+                self.rr_cycles[cat].to_string(),
+                self.deprived[cat].to_string(),
+            ]);
+        }
+        out.push_str(&table.render());
+
+        if !self.trace.is_empty() {
+            out.push_str("\nutilization timeline (executed / Pα per window):\n");
+            let tl = utilization_timeline(&self.trace, res, 60);
+            out.push_str(&render_timeline(&tl));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_stream() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::RunStart {
+                scheduler: "k-rad(K=2)".into(),
+                jobs: 3,
+                categories: 2,
+            },
+            TelemetryEvent::JobReleased { t: 1, job: 0 },
+            TelemetryEvent::StepStart {
+                t: 1,
+                active_jobs: 3,
+            },
+            TelemetryEvent::Decision {
+                t: 1,
+                category: 0,
+                mode: SchedulerMode::RoundRobin,
+                jobs: 3,
+                desire: 9,
+                allotted: 2,
+                satisfied: 0,
+                deprived: 3,
+            },
+            TelemetryEvent::StepEnd {
+                t: 1,
+                allotted: vec![2, 1],
+                executed: vec![2, 0],
+            },
+            TelemetryEvent::ModeTransition {
+                t: 2,
+                category: 0,
+                from: SchedulerMode::Deq,
+                to: SchedulerMode::RoundRobin,
+                active_jobs: 3,
+            },
+            TelemetryEvent::StepStart {
+                t: 2,
+                active_jobs: 2,
+            },
+            TelemetryEvent::StepEnd {
+                t: 2,
+                allotted: vec![2, 2],
+                executed: vec![1, 2],
+            },
+            TelemetryEvent::RrCycleComplete {
+                t: 2,
+                category: 0,
+                served: 2,
+            },
+            TelemetryEvent::JobCompleted {
+                t: 2,
+                job: 1,
+                response: 2,
+            },
+            TelemetryEvent::IdleSkip { from: 2, to: 5 },
+            TelemetryEvent::JobCompleted {
+                t: 6,
+                job: 0,
+                response: 6,
+            },
+            TelemetryEvent::RunEnd {
+                makespan: 6,
+                busy_steps: 3,
+                idle_steps: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn summary_folds_the_stream() {
+        let s = TelemetrySummary::from_events(&synthetic_stream());
+        assert_eq!(s.scheduler, "k-rad(K=2)");
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.categories(), 2);
+        assert_eq!((s.makespan, s.busy_steps, s.idle_steps), (6, 3, 2));
+        assert_eq!(s.allotted, vec![4, 3]);
+        assert_eq!(s.executed, vec![3, 2]);
+        assert_eq!(s.waste_by_category(), vec![1, 1]);
+        assert_eq!(s.decisions, vec![1, 0]);
+        assert_eq!(s.to_rr, vec![1, 0]);
+        assert_eq!(s.to_deq, vec![0, 0]);
+        assert_eq!(s.rr_cycles, vec![1, 0]);
+        assert_eq!(s.deprived, vec![3, 0]);
+        assert_eq!(s.responses, vec![2, 6]);
+        assert_eq!(s.trace.len(), 2);
+        assert_eq!(s.trace[1].active_jobs, 2);
+        assert!((s.mean_response() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_without_run_end_falls_back_to_observed_steps() {
+        let mut events = synthetic_stream();
+        events.pop();
+        let s = TelemetrySummary::from_events(&events);
+        assert_eq!(s.makespan, 2, "last step_end seen");
+        assert_eq!(s.busy_steps, 2);
+        assert_eq!(s.idle_steps, 2, "from the idle_skip span");
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let s = TelemetrySummary::from_events(&synthetic_stream());
+        let res = Resources::new(vec![2, 2]);
+        let r = s.render(&res);
+        assert!(r.contains("k-rad(K=2)"));
+        assert!(r.contains("makespan 6"));
+        assert!(r.contains("deq->rr"));
+        assert!(r.contains("α1"));
+        assert!(r.contains("utilization timeline"));
+        // Utilization matches the hand computation: 3 / (2 · 3).
+        assert!((s.utilization(0, &res) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_renders_without_panicking() {
+        let s = TelemetrySummary::from_events(&[]);
+        assert_eq!(s.categories(), 0);
+        let r = s.render(&Resources::new(vec![1]));
+        assert!(r.contains("unknown scheduler"));
+    }
+}

@@ -3,6 +3,7 @@
 use crate::{DeqOnly, Drf, Equi, GreedyFcfs, Las, RandomRr, RoundRobinOnly};
 use krad::KRad;
 use ksim::Scheduler;
+use ktelemetry::TelemetryHandle;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -75,6 +76,23 @@ impl SchedulerKind {
         }
     }
 
+    /// Instantiate with a telemetry handle: schedulers that emit
+    /// decision events (currently K-RAD) record into `tel`; the rest
+    /// behave exactly like [`SchedulerKind::build_seeded`]. Pass a
+    /// clone of the handle wired into `ksim::SimConfig::telemetry` so
+    /// scheduler decisions interleave with engine step events.
+    pub fn build_instrumented(
+        self,
+        k: usize,
+        seed: u64,
+        tel: TelemetryHandle,
+    ) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::KRad => Box::new(KRad::with_telemetry(k, tel)),
+            other => other.build_seeded(k, seed),
+        }
+    }
+
     /// Short stable label for tables.
     pub fn label(self) -> &'static str {
         match self {
@@ -105,6 +123,40 @@ mod tests {
         for kind in SchedulerKind::ALL {
             let s = kind.build(2);
             assert!(!s.name().is_empty(), "{kind} has a name");
+        }
+    }
+
+    #[test]
+    fn build_instrumented_wires_krad_and_leaves_the_rest_silent() {
+        use kdag::JobId;
+        use ksim::{AllotmentMatrix, Resources};
+
+        let res = Resources::uniform(2, 1);
+        for kind in SchedulerKind::ALL {
+            let (tel, rec) = TelemetryHandle::recording();
+            let mut s = kind.build_instrumented(2, 7, tel);
+            for i in 0..4 {
+                s.on_arrival(JobId(i), 1);
+            }
+            let rows = [[2u32, 2], [2, 2], [2, 2], [2, 2]];
+            let views: Vec<ksim::JobView<'_>> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, d)| ksim::JobView {
+                    id: JobId(i as u32),
+                    release: 0,
+                    desires: d,
+                })
+                .collect();
+            let mut out = AllotmentMatrix::new(2);
+            out.reset(views.len());
+            s.allot(1, &views, &res, &mut out);
+            let n = rec.lock().unwrap().events().len();
+            if kind == SchedulerKind::KRad {
+                assert!(n > 0, "k-rad must emit decision events");
+            } else {
+                assert_eq!(n, 0, "{kind} emits no telemetry");
+            }
         }
     }
 

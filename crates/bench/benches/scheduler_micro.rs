@@ -56,7 +56,7 @@ fn bench_rad_step(c: &mut Criterion) {
             let mut out = AllotmentMatrix::new(1);
             b.iter(|| {
                 out.reset(views.len());
-                rad.allot(&views, (n / 4).max(1) as u32, &mut out);
+                rad.allot(1, &views, (n / 4).max(1) as u32, &mut out);
                 out.category_total(Category(0))
             })
         });

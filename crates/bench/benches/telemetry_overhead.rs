@@ -1,0 +1,100 @@
+//! Telemetry overhead: the disabled path must be free.
+//!
+//! Benchmarks the same RAD allotment step three ways — no handle
+//! (`TelemetryHandle::off()`, the library default), a `NoopSink`
+//! handle (one cached-boolean test per emission site), and a live
+//! `RecordingSink` — plus a whole-simulation variant. The acceptance
+//! bar is NoopSink within 2% of the off-handle baseline on the step
+//! benchmarks; compare the `off`/`noop` lines in the criterion output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kdag::generators::fork_join;
+use kdag::{Category, JobId};
+use krad::{KRad, RadState};
+use ksim::{simulate, AllotmentMatrix, JobSpec, JobView, Resources, SimConfig};
+use ktelemetry::{NoopSink, RecordingSink, TelemetryHandle};
+use std::sync::{Arc, Mutex};
+
+/// The three handles under test. The recording variant keeps the sink
+/// so benchmark loops can drain it each iteration (unbounded growth
+/// would otherwise dominate the measurement).
+#[allow(clippy::type_complexity)]
+fn handle_variants() -> Vec<(
+    &'static str,
+    TelemetryHandle,
+    Option<Arc<Mutex<RecordingSink>>>,
+)> {
+    let (rec_handle, rec) = TelemetryHandle::recording();
+    vec![
+        ("off", TelemetryHandle::off(), None),
+        ("noop", TelemetryHandle::new(NoopSink), None),
+        ("recording", rec_handle, Some(rec)),
+    ]
+}
+
+fn drain(rec: &Option<Arc<Mutex<RecordingSink>>>) -> usize {
+    rec.as_ref()
+        .map(|r| r.lock().unwrap().take().len())
+        .unwrap_or(0)
+}
+
+fn bench_rad_step_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_rad_step");
+    for n in [64usize, 512] {
+        let desires: Vec<u32> = (0..n).map(|i| 1 + ((i * 7 + 3) % 32) as u32).collect();
+        let rows: Vec<[u32; 1]> = desires.iter().map(|&d| [d]).collect();
+        let views: Vec<JobView<'_>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, d)| JobView {
+                id: JobId(i as u32),
+                release: 0,
+                desires: d,
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        for (label, tel, rec) in handle_variants() {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                let mut rad = RadState::with_telemetry(Category(0), tel.clone());
+                for i in 0..n {
+                    rad.job_arrived(JobId(i as u32));
+                }
+                let mut out = AllotmentMatrix::new(1);
+                b.iter(|| {
+                    out.reset(views.len());
+                    rad.allot(1, &views, (n / 4).max(1) as u32, &mut out);
+                    out.category_total(Category(0)) as usize + drain(&rec)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_simulation_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_simulation");
+    let jobs: Vec<JobSpec> = (0..12)
+        .map(|i| {
+            JobSpec::batched(fork_join(
+                2,
+                &[(Category(i % 2), 6), (Category((i + 1) % 2), 4)],
+            ))
+        })
+        .collect();
+    let res = Resources::new(vec![3, 2]);
+    for (label, tel, rec) in handle_variants() {
+        g.bench_with_input(BenchmarkId::new(label, jobs.len()), &(), |b, ()| {
+            b.iter(|| {
+                let mut cfg = SimConfig::default();
+                cfg.telemetry = tel.clone();
+                let mut sched = KRad::with_telemetry(res.k(), tel.clone());
+                let makespan = simulate(&mut sched, &jobs, &res, &cfg).makespan;
+                makespan as usize + drain(&rec)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rad_step_overhead, bench_simulation_overhead);
+criterion_main!(benches);

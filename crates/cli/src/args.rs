@@ -13,7 +13,7 @@ pub struct ArgMap {
 }
 
 /// Option names that are value-less flags.
-const FLAGS: &[&str] = &["run", "gantt", "timeline", "quick"];
+const FLAGS: &[&str] = &["run", "gantt", "timeline", "quick", "telemetry-summary"];
 
 impl ArgMap {
     /// Parse an argv slice (without the subcommand itself).

@@ -8,10 +8,12 @@ use kanalysis::bounds::{makespan_bounds, response_bounds};
 use kanalysis::gantt::gantt;
 use kanalysis::offline::clairvoyant_cp;
 use kanalysis::table::{f3, Table};
+use kanalysis::telemetry_report::TelemetrySummary;
 use kanalysis::timeline::{render_timeline, utilization_timeline};
 use kbaselines::SchedulerKind;
 use kdag::{DagStats, SelectionPolicy};
 use ksim::{simulate, DesireModel, JobSpec, Resources, SimConfig};
+use ktelemetry::{FanoutSink, JsonlSink, RecordingSink, SharedSink, TelemetryHandle};
 use kworkloads::arrivals::poisson_releases;
 use kworkloads::heavy_tail::{bursty_releases, heavy_tail_mix, BurstyConfig};
 use kworkloads::mixes::{batched_mix, MixConfig};
@@ -19,6 +21,7 @@ use kworkloads::persist::{load_jobset, save_jobset};
 use kworkloads::{adversarial::adversarial_workload, rng_for, scenarios};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 fn parse_scheduler(name: &str) -> Result<SchedulerKind, String> {
     SchedulerKind::ALL
@@ -205,8 +208,35 @@ pub fn simulate_cmd(args: &ArgMap) -> Result<String, String> {
     cfg.record_schedule = args.flag("gantt") || args.get("svg").is_some();
     cfg.record_trace = args.flag("timeline");
 
-    let mut sched = kind.build_seeded(res.k(), seed);
+    // Telemetry: a JSONL file (--telemetry), an in-memory recording
+    // for the end-of-run summary (--telemetry-summary), or both
+    // fanned out from one handle.
+    let jsonl = match args.get("telemetry") {
+        Some(path) => Some(Arc::new(Mutex::new(
+            JsonlSink::create(Path::new(path)).map_err(|e| format!("cannot create {path}: {e}"))?,
+        ))),
+        None => None,
+    };
+    let recording = args
+        .flag("telemetry-summary")
+        .then(|| Arc::new(Mutex::new(RecordingSink::new())));
+    let mut sinks: Vec<SharedSink> = Vec::new();
+    if let Some(rec) = &recording {
+        sinks.push(rec.clone() as SharedSink);
+    }
+    if let Some(j) = &jsonl {
+        sinks.push(j.clone() as SharedSink);
+    }
+    let tel = match sinks.len() {
+        0 => TelemetryHandle::off(),
+        1 => TelemetryHandle::from_shared(sinks.remove(0)),
+        _ => TelemetryHandle::new(FanoutSink::new(sinks)),
+    };
+    cfg.telemetry = tel.clone();
+
+    let mut sched = kind.build_instrumented(res.k(), seed, tel.clone());
     let o = simulate(sched.as_mut(), &jobs, &res, &cfg);
+    tel.flush();
     let lb = makespan_bounds(&jobs, &res).lower_bound();
 
     let mut out = String::new();
@@ -269,6 +299,15 @@ pub fn simulate_cmd(args: &ArgMap) -> Result<String, String> {
         let json = serde_json::to_string_pretty(&o).expect("outcome serializes");
         std::fs::write(path, json).map_err(|e| e.to_string())?;
         writeln!(out, "wrote outcome JSON to {path}").unwrap();
+    }
+    if let (Some(j), Some(path)) = (&jsonl, args.get("telemetry")) {
+        let n = j.lock().map(|g| g.events_written()).unwrap_or(0);
+        writeln!(out, "wrote {n} telemetry events to {path}").unwrap();
+    }
+    if let Some(rec) = &recording {
+        let events = rec.lock().map(|mut g| g.take()).unwrap_or_default();
+        out.push('\n');
+        out.push_str(&TelemetrySummary::from_events(&events).render(&res));
     }
     Ok(out)
 }
@@ -460,6 +499,49 @@ mod tests {
         .unwrap();
         assert!(out.contains("quantum 4"));
         assert!(out.contains("a-greedy"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_with_telemetry_writes_jsonl_and_renders_summary() {
+        let dir = std::env::temp_dir().join(format!("krad-cmd3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("w.json");
+        generate(&parse(&[
+            "--kind",
+            "mix",
+            "--k",
+            "2",
+            "--jobs",
+            "8",
+            "--out",
+            file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let events_path = dir.join("events.jsonl");
+        let out = simulate_cmd(&parse(&[
+            file.to_str().unwrap(),
+            "--machine",
+            "2,2",
+            "--telemetry",
+            events_path.to_str().unwrap(),
+            "--telemetry-summary",
+        ]))
+        .unwrap();
+        assert!(out.contains("telemetry events to"), "{out}");
+        assert!(out.contains("telemetry summary"), "{out}");
+        assert!(out.contains("deq->rr"), "{out}");
+
+        // The JSONL stream re-parses into the same summary the
+        // in-memory recording produced.
+        let text = std::fs::read_to_string(&events_path).unwrap();
+        let events = ktelemetry::json::parse_jsonl(&text).unwrap();
+        let summary = TelemetrySummary::from_events(&events);
+        assert!(
+            out.contains(&format!("makespan {}", summary.makespan)),
+            "{out}"
+        );
+        assert_eq!(summary.categories(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

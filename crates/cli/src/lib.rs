@@ -51,6 +51,7 @@ USAGE:
   krad simulate FILE --machine P1,P2,... [--scheduler NAME] [--policy NAME]
                 [--quantum Q] [--feedback DELTA] [--seed S] [--gantt] [--timeline]
                 [--svg FILE] [--json FILE]
+                [--telemetry FILE.jsonl] [--telemetry-summary]
   krad compare  FILE --machine P1,P2,... [--policy NAME] [--seed S]
   krad verify   FILE --machine P1,P2,... [--policy NAME] [--seed S]
   krad adversarial --k K --p P --m M [--run]

@@ -81,6 +81,31 @@ pub fn deq_allot(desires: &[u32], p: u32, spill: usize) -> Vec<u32> {
     out
 }
 
+/// Classify one allotment decision's output: how many participating
+/// jobs received their full desire (*satisfied*) versus fewer
+/// (*deprived*). Zero-desire entries are neither (they are α-inactive
+/// and ask for nothing).
+///
+/// Used by the RAD telemetry to annotate every `Decision` event — the
+/// satisfied/deprived split is the quantity the paper's DEQ analysis
+/// (mean deprived allotment `p̄(α, t)`) reasons about.
+pub fn satisfied_deprived(desires: &[u32], allotted: &[u32]) -> (u32, u32) {
+    assert_eq!(desires.len(), allotted.len());
+    let mut satisfied = 0;
+    let mut deprived = 0;
+    for (&d, &a) in desires.iter().zip(allotted) {
+        if d == 0 {
+            continue;
+        }
+        if a >= d {
+            satisfied += 1;
+        } else {
+            deprived += 1;
+        }
+    }
+    (satisfied, deprived)
+}
+
 /// Reference implementation mirroring the paper's recursive pseudo-code
 /// (Figure 2):
 ///
@@ -215,6 +240,17 @@ mod tests {
     #[test]
     fn reference_matches_on_paper_example() {
         assert_eq!(deq_allot_reference(&[2, 5, 9], 8, 0), vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn satisfied_deprived_classifies_participants() {
+        // Paper example: desires (2,5,9) on 8 → (2,3,3): one satisfied,
+        // two deprived; a zero-desire job counts as neither.
+        let desires = [2, 5, 9, 0];
+        let allotted = deq_allot(&desires, 8, 0);
+        assert_eq!(satisfied_deprived(&desires, &allotted), (1, 2));
+        assert_eq!(satisfied_deprived(&[], &[]), (0, 0));
+        assert_eq!(satisfied_deprived(&[3, 3], &[3, 3]), (2, 0));
     }
 
     proptest! {

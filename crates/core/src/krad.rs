@@ -3,6 +3,7 @@
 use crate::rad::RadState;
 use kdag::{Category, JobId};
 use ksim::{AllotmentMatrix, JobView, Resources, Scheduler, Time};
+use ktelemetry::TelemetryHandle;
 
 /// The K-RAD scheduler (the paper's §3 algorithm).
 ///
@@ -23,9 +24,20 @@ pub struct KRad {
 impl KRad {
     /// Create a K-RAD scheduler for `k` categories.
     pub fn new(k: usize) -> Self {
+        KRad::with_telemetry(k, TelemetryHandle::off())
+    }
+
+    /// Create a K-RAD scheduler whose per-category RAD instances emit
+    /// decision, mode-transition, and RR-cycle events into `tel`
+    /// (pass a clone of the handle wired into
+    /// `ksim::SimConfig::telemetry` to interleave scheduler events
+    /// with the engine's step events in one stream).
+    pub fn with_telemetry(k: usize, tel: TelemetryHandle) -> Self {
         assert!(k >= 1, "need at least one category");
         KRad {
-            rads: Category::all(k).map(RadState::new).collect(),
+            rads: Category::all(k)
+                .map(|c| RadState::with_telemetry(c, tel.clone()))
+                .collect(),
         }
     }
 
@@ -59,7 +71,7 @@ impl Scheduler for KRad {
 
     fn allot(
         &mut self,
-        _t: Time,
+        t: Time,
         views: &[JobView<'_>],
         res: &Resources,
         out: &mut AllotmentMatrix,
@@ -67,7 +79,7 @@ impl Scheduler for KRad {
         assert_eq!(res.k(), self.rads.len(), "machine/scheduler K mismatch");
         for rad in &mut self.rads {
             let p = res.processors(rad.category());
-            rad.allot(views, p, out);
+            rad.allot(t, views, p, out);
         }
     }
 }

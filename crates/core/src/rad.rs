@@ -1,8 +1,9 @@
 //! RAD for a single resource category: DEQ + marked round-robin cycles.
 
-use crate::deq::deq_allot_into;
+use crate::deq::{deq_allot_into, satisfied_deprived};
 use kdag::{Category, JobId};
-use ksim::{AllotmentMatrix, JobView};
+use ksim::{AllotmentMatrix, JobView, Time};
+use ktelemetry::{SchedulerMode, TelemetryEvent, TelemetryHandle};
 use std::collections::HashSet;
 
 /// The RAD scheduler state for one processor category `α`.
@@ -35,11 +36,21 @@ pub struct RadState {
     deq_desires: Vec<u32>,
     /// Scratch: DEQ output.
     deq_out: Vec<u32>,
+    /// Branch taken by the previous decision (for transition events).
+    mode: SchedulerMode,
+    /// Decision-event sink (off by default).
+    tel: TelemetryHandle,
 }
 
 impl RadState {
     /// Create the RAD state for category `cat`.
     pub fn new(cat: Category) -> Self {
+        RadState::with_telemetry(cat, TelemetryHandle::off())
+    }
+
+    /// Create the RAD state for category `cat`, emitting decision,
+    /// mode-transition, and cycle-completion events into `tel`.
+    pub fn with_telemetry(cat: Category, tel: TelemetryHandle) -> Self {
         RadState {
             cat,
             queue: Vec::new(),
@@ -47,7 +58,15 @@ impl RadState {
             spill: 0,
             deq_desires: Vec::new(),
             deq_out: Vec::new(),
+            mode: SchedulerMode::Deq,
+            tel,
         }
+    }
+
+    /// The branch the most recent decision took (starts as DEQ: a
+    /// fresh category is unloaded).
+    pub fn mode(&self) -> SchedulerMode {
+        self.mode
     }
 
     /// The category this instance manages.
@@ -77,11 +96,13 @@ impl RadState {
         self.marked.contains(&id)
     }
 
-    /// Compute this category's allotments for one step.
+    /// Compute this category's allotments for step `t`.
     ///
     /// `views` must be sorted by job id (the engine guarantees this);
-    /// allotments are written into `out` at each job's slot.
-    pub fn allot(&mut self, views: &[JobView<'_>], p: u32, out: &mut AllotmentMatrix) {
+    /// allotments are written into `out` at each job's slot. `t` is
+    /// only stamped into telemetry events — the decision itself
+    /// depends on nothing but the queue state and the desires.
+    pub fn allot(&mut self, t: Time, views: &[JobView<'_>], p: u32, out: &mut AllotmentMatrix) {
         let cat = self.cat;
         // Slot lookup by binary search over the id-sorted views.
         let slot_of = |id: JobId| -> Option<usize> {
@@ -109,12 +130,56 @@ impl RadState {
             }
         }
 
+        // Mode bookkeeping: the branch about to be taken, compared to
+        // the previous decision's branch.
+        let new_mode = if q.len() > p as usize {
+            SchedulerMode::RoundRobin
+        } else {
+            SchedulerMode::Deq
+        };
+        if new_mode != self.mode {
+            let from = self.mode;
+            let active_jobs = (q.len() + q_marked.len()) as u32;
+            self.tel.emit(|| TelemetryEvent::ModeTransition {
+                t,
+                category: cat.0,
+                from,
+                to: new_mode,
+                active_jobs,
+            });
+            self.mode = new_mode;
+        }
+
         if q.len() > p as usize {
             // ROUND-ROBIN: one processor each to the first P of Q.
             for &(id, slot) in &q[..p as usize] {
                 out.set(slot, cat, 1);
                 self.marked.insert(id);
             }
+            self.tel.emit(|| {
+                let desire: u64 = q
+                    .iter()
+                    .chain(&q_marked)
+                    .map(|&(_, slot)| u64::from(views[slot].desire(cat)))
+                    .sum();
+                // A served job is satisfied only if one processor was
+                // all it wanted; everyone else is deprived.
+                let satisfied = q[..p as usize]
+                    .iter()
+                    .filter(|&&(_, slot)| views[slot].desire(cat) == 1)
+                    .count() as u32;
+                let jobs = (q.len() + q_marked.len()) as u32;
+                TelemetryEvent::Decision {
+                    t,
+                    category: cat.0,
+                    mode: SchedulerMode::RoundRobin,
+                    jobs,
+                    desire,
+                    allotted: u64::from(p),
+                    satisfied,
+                    deprived: jobs - satisfied,
+                }
+            });
         } else {
             // Cycle completion: top up with marked jobs, then DEQ.
             let take = q_marked.len().min(p as usize - q.len());
@@ -129,7 +194,34 @@ impl RadState {
             for (&(_, slot), &a) in q.iter().zip(&self.deq_out) {
                 out.set(slot, cat, a);
             }
-            self.marked.clear();
+            if !q.is_empty() {
+                let desires = &self.deq_desires;
+                let allots = &self.deq_out;
+                self.tel.emit(|| {
+                    let (satisfied, deprived) = satisfied_deprived(desires, allots);
+                    TelemetryEvent::Decision {
+                        t,
+                        category: cat.0,
+                        mode: SchedulerMode::Deq,
+                        jobs: q.len() as u32,
+                        desire: desires.iter().map(|&d| u64::from(d)).sum(),
+                        allotted: allots.iter().map(|&a| u64::from(a)).sum(),
+                        satisfied,
+                        deprived,
+                    }
+                });
+            }
+            // Taking the DEQ branch ends the round-robin cycle: every
+            // mark placed during the cycle is cleared.
+            if !self.marked.is_empty() {
+                let served = self.marked.len() as u32;
+                self.tel.emit(|| TelemetryEvent::RrCycleComplete {
+                    t,
+                    category: cat.0,
+                    served,
+                });
+                self.marked.clear();
+            }
         }
     }
 }
@@ -144,19 +236,21 @@ mod tests {
         rad: RadState,
         k: usize,
         p: u32,
+        t: Time,
     }
 
     impl Harness {
         fn new(p: u32) -> Self {
-            Harness {
-                rad: RadState::new(Category(0)),
-                k: 1,
-                p,
-            }
+            Harness::with_rad(RadState::new(Category(0)), p)
+        }
+
+        fn with_rad(rad: RadState, p: u32) -> Self {
+            Harness { rad, k: 1, p, t: 0 }
         }
 
         /// One step: jobs given as (id, desire); returns (id → allotment).
         fn step(&mut self, jobs: &[(u32, u32)]) -> Vec<(u32, u32)> {
+            self.t += 1;
             let desires: Vec<[u32; 1]> = jobs.iter().map(|&(_, d)| [d]).collect();
             let views: Vec<JobView<'_>> = jobs
                 .iter()
@@ -169,7 +263,7 @@ mod tests {
                 .collect();
             let mut out = AllotmentMatrix::new(self.k);
             out.reset(views.len());
-            self.rad.allot(&views, self.p, &mut out);
+            self.rad.allot(self.t, &views, self.p, &mut out);
             jobs.iter()
                 .enumerate()
                 .map(|(slot, &(id, _))| (id, out.get(slot, Category(0))))
@@ -290,6 +384,97 @@ mod tests {
         }
     }
 
+    #[test]
+    fn telemetry_traces_modes_decisions_and_cycles() {
+        use ktelemetry::TelemetryEvent as E;
+        let (handle, rec) = TelemetryHandle::recording();
+        let mut h = Harness::with_rad(RadState::with_telemetry(Category(0), handle), 2);
+        for id in 0..5 {
+            h.rad.job_arrived(JobId(id));
+        }
+        assert_eq!(h.rad.mode(), SchedulerMode::Deq);
+        let jobs: Vec<(u32, u32)> = (0..5).map(|id| (id, 3)).collect();
+        h.step(&jobs); // t=1: 5 > 2 → RR (transition Deq→RR)
+        h.step(&jobs); // t=2: RR
+        h.step(&jobs); // t=3: |Q|=1 ≤ 2 → DEQ, cycle ends (RR→Deq)
+        assert_eq!(h.rad.mode(), SchedulerMode::Deq);
+        let events = rec.lock().unwrap().take();
+
+        let transitions: Vec<(u64, SchedulerMode, SchedulerMode)> = events
+            .iter()
+            .filter_map(|e| match e {
+                E::ModeTransition { t, from, to, .. } => Some((*t, *from, *to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                (1, SchedulerMode::Deq, SchedulerMode::RoundRobin),
+                (3, SchedulerMode::RoundRobin, SchedulerMode::Deq),
+            ]
+        );
+
+        // One decision per step; the RR ones allot exactly P.
+        let decisions: Vec<&E> = events
+            .iter()
+            .filter(|e| matches!(e, E::Decision { .. }))
+            .collect();
+        assert_eq!(decisions.len(), 3);
+        let E::Decision {
+            mode,
+            jobs: nj,
+            desire,
+            allotted,
+            satisfied,
+            deprived,
+            ..
+        } = decisions[0]
+        else {
+            unreachable!()
+        };
+        assert_eq!(*mode, SchedulerMode::RoundRobin);
+        assert_eq!((*nj, *desire, *allotted), (5, 15, 2));
+        assert_eq!((*satisfied, *deprived), (0, 5), "desire 3 > 1 processor");
+
+        // The cycle-ending DEQ step reports the marked jobs served.
+        let cycles: Vec<(u64, u32)> = events
+            .iter()
+            .filter_map(|e| match e {
+                E::RrCycleComplete { t, served, .. } => Some((*t, *served)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cycles, vec![(3, 4)], "jobs 0..=3 were marked in the cycle");
+    }
+
+    #[test]
+    fn light_load_emits_no_transitions() {
+        use ktelemetry::TelemetryEvent as E;
+        let (handle, rec) = TelemetryHandle::recording();
+        let mut h = Harness::with_rad(RadState::with_telemetry(Category(0), handle), 8);
+        for id in 0..3 {
+            h.rad.job_arrived(JobId(id));
+        }
+        for _ in 0..4 {
+            h.step(&[(0, 2), (1, 5), (2, 9)]);
+        }
+        let events = rec.lock().unwrap().take();
+        assert!(
+            events
+                .iter()
+                .all(|e| !matches!(e, E::ModeTransition { .. })),
+            "light load must never leave DEQ: {events:?}"
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, E::Decision { .. }))
+                .count(),
+            4
+        );
+    }
+
     /// Engine-level smoke test: RadState embedded in a 1-category
     /// scheduler behaves like RAD end to end.
     #[test]
@@ -310,12 +495,12 @@ mod tests {
             }
             fn allot(
                 &mut self,
-                _t: Time,
+                t: Time,
                 views: &[JobView<'_>],
                 res: &Resources,
                 out: &mut AllotmentMatrix,
             ) {
-                self.0.allot(views, res.processors(Category(0)), out);
+                self.0.allot(t, views, res.processors(Category(0)), out);
             }
         }
 

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 /// allotment matrix rows per step.
 fn drive(rad: &mut RadState, stream: &[Vec<u32>], p: u32) -> Vec<Vec<u32>> {
     let mut result = Vec::new();
-    for desires in stream {
+    for (step, desires) in stream.iter().enumerate() {
         let rows: Vec<[u32; 1]> = desires.iter().map(|&d| [d]).collect();
         let views: Vec<JobView<'_>> = rows
             .iter()
@@ -23,7 +23,7 @@ fn drive(rad: &mut RadState, stream: &[Vec<u32>], p: u32) -> Vec<Vec<u32>> {
             .collect();
         let mut out = AllotmentMatrix::new(1);
         out.reset(views.len());
-        rad.allot(&views, p, &mut out);
+        rad.allot(step as u64 + 1, &views, p, &mut out);
         result.push((0..views.len()).map(|s| out.get(s, Category(0))).collect());
     }
     result

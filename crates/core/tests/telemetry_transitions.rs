@@ -1,0 +1,110 @@
+//! Mode-transition telemetry: overload must flip a category into
+//! round-robin (and only overloaded categories flip).
+
+use kdag::{Category, DagBuilder};
+use krad::KRad;
+use ksim::{simulate, JobSpec, Resources, SimConfig, TelemetryEvent, TelemetryHandle};
+use ktelemetry::SchedulerMode;
+
+fn flat(cat: Category, k: usize, tasks: usize) -> JobSpec {
+    let mut b = DagBuilder::new(k);
+    b.add_tasks(cat, tasks);
+    JobSpec::batched(b.build().unwrap())
+}
+
+fn run_recorded(jobs: &[JobSpec], res: &Resources) -> Vec<TelemetryEvent> {
+    let (handle, rec) = TelemetryHandle::recording();
+    let mut cfg = SimConfig::default();
+    cfg.telemetry = handle.clone();
+    let mut sched = KRad::with_telemetry(res.k(), handle);
+    simulate(&mut sched, jobs, res, &cfg);
+    let events = rec.lock().unwrap().take();
+    assert!(!events.is_empty());
+    events
+}
+
+fn deq_to_rr_by_category(events: &[TelemetryEvent], k: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; k];
+    for e in events {
+        if let TelemetryEvent::ModeTransition {
+            category,
+            from: SchedulerMode::Deq,
+            to: SchedulerMode::RoundRobin,
+            ..
+        } = e
+        {
+            counts[*category as usize] += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn overloaded_category_transitions_to_rr_but_light_one_does_not() {
+    // Category 0: 6 jobs on P0 = 2 — overloaded, must go round-robin.
+    // Category 1: 1 wide job on P1 = 2 — light, must stay in DEQ.
+    let mut jobs: Vec<JobSpec> = (0..6).map(|_| flat(Category(0), 2, 8)).collect();
+    jobs.push(flat(Category(1), 2, 8));
+    let res = Resources::new(vec![2, 2]);
+    let events = run_recorded(&jobs, &res);
+
+    let to_rr = deq_to_rr_by_category(&events, 2);
+    assert!(
+        to_rr[0] >= 1,
+        "category 0 has 6 active jobs > P0 = 2: at least one DEQ→RR \
+         transition must be recorded, got {to_rr:?}"
+    );
+    assert_eq!(
+        to_rr[1], 0,
+        "category 1 never exceeds P1: it must stay in DEQ"
+    );
+
+    // Overload also means completed round-robin cycles for α0 only.
+    let cycles: Vec<u16> = events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::RrCycleComplete { category, .. } => Some(*category),
+            _ => None,
+        })
+        .collect();
+    assert!(cycles.contains(&0), "α0 must complete RR cycles");
+    assert!(cycles.iter().all(|&c| c == 0), "α1 never entered RR");
+}
+
+#[test]
+fn every_overloaded_category_transitions() {
+    // Both categories overloaded: n = 8 single-category jobs per
+    // category on 2 processors each.
+    let mut jobs: Vec<JobSpec> = (0..8).map(|_| flat(Category(0), 2, 5)).collect();
+    jobs.extend((0..8).map(|_| flat(Category(1), 2, 5)));
+    let res = Resources::new(vec![2, 2]);
+    let to_rr = deq_to_rr_by_category(&run_recorded(&jobs, &res), 2);
+    assert!(
+        to_rr.iter().all(|&c| c >= 1),
+        "every overloaded category must record a DEQ→RR transition: {to_rr:?}"
+    );
+}
+
+#[test]
+fn light_load_workload_has_zero_transitions() {
+    // 3 jobs across 2 categories on 4+4 processors: |J| ≤ Pα always.
+    let jobs = vec![
+        flat(Category(0), 2, 10),
+        flat(Category(1), 2, 10),
+        flat(Category(0), 2, 4),
+    ];
+    let res = Resources::new(vec![4, 4]);
+    let events = run_recorded(&jobs, &res);
+    assert!(
+        events
+            .iter()
+            .all(|e| !matches!(e, TelemetryEvent::ModeTransition { .. })),
+        "light load must produce zero mode transitions"
+    );
+    assert!(
+        events
+            .iter()
+            .all(|e| !matches!(e, TelemetryEvent::RrCycleComplete { .. })),
+        "no RR cycle can complete if RR never starts"
+    );
+}

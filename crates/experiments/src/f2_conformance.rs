@@ -33,7 +33,7 @@ fn rad_step(rad: &mut RadState, desires: &[u32], p: u32) -> Vec<u32> {
         .collect();
     let mut out = AllotmentMatrix::new(1);
     out.reset(views.len());
-    rad.allot(&views, p, &mut out);
+    rad.allot(1, &views, p, &mut out);
     (0..views.len()).map(|s| out.get(s, Category(0))).collect()
 }
 

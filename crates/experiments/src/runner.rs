@@ -7,6 +7,7 @@ use kanalysis::table::{f3, Table};
 use kbaselines::SchedulerKind;
 use kdag::{Category, SelectionPolicy};
 use ksim::{simulate, JobSpec, Resources, SimConfig, SimOutcome};
+use ktelemetry::TelemetryHandle;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -19,9 +20,26 @@ pub fn run_kind(
     policy: SelectionPolicy,
     seed: u64,
 ) -> SimOutcome {
+    run_kind_with_telemetry(kind, jobs, res, policy, seed, TelemetryHandle::off())
+}
+
+/// Like [`run_kind`], but wires `tel` into both the engine (run/step
+/// lifecycle events) and the scheduler (decision events, for kinds
+/// that emit them), so one sink sees the interleaved stream.
+pub fn run_kind_with_telemetry(
+    kind: SchedulerKind,
+    jobs: &[JobSpec],
+    res: &Resources,
+    policy: SelectionPolicy,
+    seed: u64,
+    tel: TelemetryHandle,
+) -> SimOutcome {
     let mut cfg = SimConfig::with_policy(policy);
     cfg.seed = seed;
-    let mut sched = kind.build(res.k());
+    cfg.telemetry = tel.clone();
+    // Scheduler seed matches `SchedulerKind::build` so instrumented
+    // runs reproduce the uninstrumented outcomes bit-for-bit.
+    let mut sched = kind.build_instrumented(res.k(), 0xC0FFEE, tel);
     simulate(sched.as_mut(), jobs, res, &cfg)
 }
 
@@ -173,6 +191,43 @@ mod tests {
         for kind in SchedulerKind::ALL {
             let o = run_kind(kind, &jobs, &res, SelectionPolicy::Fifo, 0);
             assert_eq!(o.makespan, 5, "{kind}: chain must take span steps");
+        }
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run_and_records_events() {
+        use ksim::TelemetryEvent;
+
+        let jobs: Vec<JobSpec> = (0..5)
+            .map(|i| JobSpec::batched(chain(1, 3 + i, &[Category(0)])))
+            .collect();
+        let res = Resources::uniform(1, 2);
+        for kind in SchedulerKind::ALL {
+            let plain = run_kind(kind, &jobs, &res, SelectionPolicy::Fifo, 9);
+            let (tel, rec) = TelemetryHandle::recording();
+            let o = run_kind_with_telemetry(kind, &jobs, &res, SelectionPolicy::Fifo, 9, tel);
+            assert_eq!(
+                o.makespan, plain.makespan,
+                "{kind}: telemetry must not perturb"
+            );
+            assert_eq!(o.executed_by_category, plain.executed_by_category, "{kind}");
+            let events = rec.lock().unwrap().take();
+            let ends: Vec<&TelemetryEvent> = events
+                .iter()
+                .filter(|e| matches!(e, TelemetryEvent::RunEnd { .. }))
+                .collect();
+            assert_eq!(ends.len(), 1, "{kind}: exactly one run_end");
+            if let TelemetryEvent::RunEnd { makespan, .. } = ends[0] {
+                assert_eq!(*makespan, o.makespan, "{kind}");
+            }
+            let has_decisions = events
+                .iter()
+                .any(|e| matches!(e, TelemetryEvent::Decision { .. }));
+            assert_eq!(
+                has_decisions,
+                kind == SchedulerKind::KRad,
+                "{kind}: only k-rad emits decision events"
+            );
         }
     }
 

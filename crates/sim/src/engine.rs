@@ -3,6 +3,7 @@
 use crate::checker::{ExecRecord, RecordedSchedule};
 use crate::{AllotmentMatrix, JobView, Resources, Scheduler, SimOutcome, StepTrace, Time};
 use kdag::{Category, ExecutionState, JobDag, JobId, SelectionPolicy, TaskId};
+use ktelemetry::{TelemetryEvent, TelemetryHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -91,6 +92,11 @@ pub struct SimConfig {
     /// How desires are derived (exact instantaneous parallelism, or
     /// A-Greedy feedback estimates).
     pub desire_model: DesireModel,
+    /// Where the engine emits [`TelemetryEvent`]s (run lifecycle, step
+    /// accounting, job release/completion, idle skips). Off by
+    /// default: a disabled handle costs one branch per emission site
+    /// and never constructs the event.
+    pub telemetry: TelemetryHandle,
 }
 
 impl Default for SimConfig {
@@ -104,6 +110,7 @@ impl Default for SimConfig {
             max_steps: 1_000_000_000,
             quantum: 1,
             desire_model: DesireModel::Exact,
+            telemetry: TelemetryHandle::off(),
         }
     }
 }
@@ -218,6 +225,13 @@ pub fn simulate(
     /// Cap on A-Greedy estimates (doubling is otherwise unbounded).
     const EST_CAP: u32 = 1 << 20;
 
+    let tel = cfg.telemetry.clone();
+    tel.emit(|| TelemetryEvent::RunStart {
+        scheduler: scheduler.name(),
+        jobs: jobs.len() as u32,
+        categories: k as u16,
+    });
+
     let mut t: Time = 0;
     while remaining > 0 {
         // Fast-forward idle intervals.
@@ -225,6 +239,7 @@ pub fn simulate(
             let r = jobs[order[next_arrival]].release;
             if r > t {
                 idle_steps += r - t;
+                tel.emit(|| TelemetryEvent::IdleSkip { from: t, to: r });
                 t = r;
             }
         }
@@ -242,9 +257,14 @@ pub fn simulate(
             let pos = active.partition_point(|&x| x < idx);
             active.insert(pos, idx);
             scheduler.on_arrival(JobId(idx as u32), t);
+            tel.emit(|| TelemetryEvent::JobReleased { t, job: idx as u32 });
             next_arrival += 1;
         }
         debug_assert!(!active.is_empty(), "stepping with no active jobs");
+        tel.emit(|| TelemetryEvent::StepStart {
+            t,
+            active_jobs: active.len() as u32,
+        });
 
         // Quantum boundary: consult the scheduler and freeze allotments.
         if t >= next_decision {
@@ -380,6 +400,11 @@ pub fn simulate(
             if states[idx].is_complete() {
                 completions[idx] = t;
                 scheduler.on_completion(JobId(idx as u32), t);
+                tel.emit(|| TelemetryEvent::JobCompleted {
+                    t,
+                    job: idx as u32,
+                    response: t - jobs[idx].release,
+                });
                 remaining -= 1;
                 any_completed = true;
                 // Losing processors by *finishing* is not a preemption.
@@ -413,6 +438,11 @@ pub fn simulate(
             stalled = 0;
         }
 
+        tel.emit(|| TelemetryEvent::StepEnd {
+            t,
+            allotted: allotted_totals.clone(),
+            executed: step_executed_totals.clone(),
+        });
         if cfg.record_trace {
             trace.push(StepTrace {
                 t,
@@ -422,6 +452,12 @@ pub fn simulate(
             });
         }
     }
+
+    tel.emit(|| TelemetryEvent::RunEnd {
+        makespan: t,
+        busy_steps,
+        idle_steps,
+    });
 
     SimOutcome {
         scheduler: scheduler.name(),
@@ -762,6 +798,95 @@ mod tests {
         let jobs = vec![JobSpec::batched(diamond())]; // K = 2
         let res = Resources::uniform(3, 4);
         simulate(&mut GreedyAll, &jobs, &res, &SimConfig::default());
+    }
+
+    #[test]
+    fn telemetry_events_cover_the_run() {
+        use ktelemetry::TelemetryEvent as E;
+        let jobs = vec![
+            JobSpec::batched(diamond()),
+            JobSpec::released(diamond(), 100),
+        ];
+        let res = Resources::uniform(2, 4);
+        let mut cfg = SimConfig::default();
+        let (handle, rec) = TelemetryHandle::recording();
+        cfg.telemetry = handle;
+        let o = simulate(&mut GreedyAll, &jobs, &res, &cfg);
+        let events = rec.lock().unwrap().take();
+
+        let E::RunStart {
+            scheduler,
+            jobs: nj,
+            categories,
+        } = &events[0]
+        else {
+            panic!("first event must be run_start: {:?}", events[0]);
+        };
+        assert_eq!(scheduler, "greedy-all");
+        assert_eq!((*nj, *categories), (2, 2));
+        let E::RunEnd {
+            makespan,
+            busy_steps,
+            idle_steps,
+        } = events.last().unwrap()
+        else {
+            panic!("last event must be run_end");
+        };
+        assert_eq!(*makespan, o.makespan);
+        assert_eq!(*busy_steps, o.busy_steps);
+        assert_eq!(*idle_steps, o.idle_steps);
+
+        // The gap between job 0 (done at 3) and job 1 (released 100)
+        // must surface as exactly one idle skip.
+        let skips: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, E::IdleSkip { .. }))
+            .collect();
+        assert_eq!(skips, vec![&E::IdleSkip { from: 3, to: 100 }]);
+
+        // One release and one completion per job, with responses.
+        let releases = events
+            .iter()
+            .filter(|e| matches!(e, E::JobReleased { .. }))
+            .count();
+        assert_eq!(releases, 2);
+        let responses: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                E::JobCompleted { response, .. } => Some(*response),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(responses, vec![o.response(0), o.response(1)]);
+
+        // Step accounting: one StepStart + StepEnd per busy step, and
+        // the summed StepEnd executed equals the outcome totals.
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, E::StepStart { .. }))
+            .count();
+        assert_eq!(starts as u64, o.busy_steps);
+        let mut executed_total = vec![0u64; 2];
+        for e in &events {
+            if let E::StepEnd {
+                allotted, executed, ..
+            } = e
+            {
+                for (cat, (&a, &x)) in allotted.iter().zip(executed).enumerate() {
+                    assert!(x <= a, "executed must never exceed allotted");
+                    executed_total[cat] += u64::from(x);
+                }
+            }
+        }
+        assert_eq!(executed_total, o.executed_by_category);
+    }
+
+    #[test]
+    fn disabled_telemetry_emits_nothing_by_default() {
+        // `SimConfig::default()` must stay un-instrumented: the handle
+        // is off and the engine never constructs events.
+        let cfg = SimConfig::default();
+        assert!(!cfg.telemetry.is_enabled());
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub use scheduler::Scheduler;
 pub use trace::StepTrace;
 pub use view::JobView;
 
+// Re-exported so downstream crates can wire sinks into `SimConfig`
+// without naming `ktelemetry` directly.
+pub use ktelemetry::{TelemetryEvent, TelemetryHandle};
+
 /// Simulated time, in unit steps. Steps are 1-indexed as in the paper;
 /// a release time `r` means the job is available from step `r + 1`.
 pub type Time = u64;

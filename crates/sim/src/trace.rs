@@ -25,11 +25,18 @@ impl StepTrace {
 
     /// Total allotment waste this step (allotted but not executed).
     pub fn total_waste(&self) -> u64 {
+        self.waste_by_category().into_iter().sum()
+    }
+
+    /// Per-category allotment waste this step: `allotted[α] −
+    /// executed[α]`. The aggregate [`StepTrace::total_waste`] loses
+    /// the per-category signal the paper's `Pα` analysis needs.
+    pub fn waste_by_category(&self) -> Vec<u64> {
         self.allotted
             .iter()
             .zip(&self.executed)
             .map(|(&a, &e)| u64::from(a.saturating_sub(e)))
-            .sum()
+            .collect()
     }
 }
 
@@ -47,5 +54,17 @@ mod tests {
         };
         assert_eq!(s.total_executed(), 5);
         assert_eq!(s.total_waste(), 1);
+    }
+
+    #[test]
+    fn waste_by_category_keeps_the_per_alpha_signal() {
+        let s = StepTrace {
+            t: 1,
+            active_jobs: 1,
+            allotted: vec![4, 2, 7],
+            executed: vec![1, 2, 4],
+        };
+        assert_eq!(s.waste_by_category(), vec![3, 0, 3]);
+        assert_eq!(s.total_waste(), 6);
     }
 }

@@ -1,0 +1,121 @@
+//! Conservation properties of the telemetry event stream.
+//!
+//! Cross-validates `step_end` events against the ground truth the
+//! engine reports directly: per step and category, tasks executed
+//! never exceed processors allotted, and the executed totals summed
+//! from events equal both the DAG work and the outcome's accounting.
+//!
+//! The invariant lives in a plain function exercised by deterministic
+//! cases; the proptest block re-drives it over randomized workloads.
+
+use kdag::generators::{chain, fork_join};
+use kdag::{Category, DagBuilder};
+use krad::KRad;
+use ksim::{simulate, JobSpec, Resources, SimConfig, SimOutcome, TelemetryEvent, TelemetryHandle};
+use proptest::prelude::*;
+
+/// Run K-RAD with a recording sink and check every conservation
+/// invariant the `step_end` stream must satisfy.
+fn assert_stream_conserves(jobs: &[JobSpec], res: &Resources) -> SimOutcome {
+    let (tel, rec) = TelemetryHandle::recording();
+    let mut cfg = SimConfig::default();
+    cfg.telemetry = tel.clone();
+    let mut sched = KRad::with_telemetry(res.k(), tel);
+    let o = simulate(&mut sched, jobs, res, &cfg);
+    let events = rec.lock().unwrap().take();
+
+    let mut executed_total = vec![0u64; res.k()];
+    let mut steps = 0u64;
+    for e in &events {
+        if let TelemetryEvent::StepEnd {
+            t,
+            allotted,
+            executed,
+        } = e
+        {
+            steps += 1;
+            assert_eq!(allotted.len(), res.k(), "step {t}: one entry per category");
+            assert_eq!(executed.len(), res.k());
+            for (cat, (&a, &x)) in allotted.iter().zip(executed).enumerate() {
+                assert!(
+                    x <= a,
+                    "step {t}, category {cat}: executed {x} > allotted {a}"
+                );
+                assert!(
+                    a <= res.as_slice()[cat],
+                    "step {t}, category {cat}: allotted {a} > P{cat}"
+                );
+                executed_total[cat] += u64::from(x);
+            }
+        }
+    }
+    assert_eq!(steps, o.busy_steps, "one step_end per busy step");
+    assert_eq!(
+        executed_total, o.executed_by_category,
+        "event totals must match the outcome's accounting"
+    );
+    let total: u64 = executed_total.iter().sum();
+    let work: u64 = jobs.iter().map(|j| j.dag.total_work()).sum();
+    assert_eq!(total, work, "every DAG task executes exactly once");
+    o
+}
+
+#[test]
+fn conservation_single_category_overload() {
+    let jobs: Vec<JobSpec> = (0..7)
+        .map(|i| JobSpec::batched(chain(1, 4 + i, &[Category(0)])))
+        .collect();
+    assert_stream_conserves(&jobs, &Resources::uniform(1, 3));
+}
+
+#[test]
+fn conservation_multi_category_mix() {
+    let mut jobs: Vec<JobSpec> = (0..5)
+        .map(|i| {
+            JobSpec::batched(fork_join(
+                2,
+                &[(Category(i % 2), 4), (Category((i + 1) % 2), 3)],
+            ))
+        })
+        .collect();
+    // Wide flat jobs to stress the DEQ branch too.
+    for _ in 0..2 {
+        let mut b = DagBuilder::new(2);
+        b.add_tasks(Category(0), 9);
+        b.add_tasks(Category(1), 6);
+        jobs.push(JobSpec::batched(b.build().unwrap()));
+    }
+    assert_stream_conserves(&jobs, &Resources::new(vec![3, 2]));
+}
+
+#[test]
+fn conservation_with_staggered_releases() {
+    let jobs: Vec<JobSpec> = (0..6)
+        .map(|i| JobSpec::released(chain(2, 5, &[Category(i % 2)]), (i as u64) * 7))
+        .collect();
+    let o = assert_stream_conserves(&jobs, &Resources::new(vec![2, 1]));
+    assert!(o.idle_steps > 0, "gaps of 7 steps force idle skipping");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Randomized workloads: chains and fork-joins of arbitrary sizes
+    /// over 1–3 categories on arbitrary small machines.
+    #[test]
+    fn conservation_over_random_workloads(
+        k in 1usize..4,
+        procs in proptest::collection::vec(1u32..5, 3),
+        shapes in proptest::collection::vec((0usize..3, 1usize..8, 0u64..12), 1..10),
+    ) {
+        let jobs: Vec<JobSpec> = shapes
+            .iter()
+            .map(|&(cat, size, release)| {
+                let cat = Category(cat % k);
+                JobSpec::released(chain(k, size, &[cat]), release)
+            })
+            .collect();
+        let res = Resources::new(procs[..k].to_vec());
+        assert_stream_conserves(&jobs, &res);
+    }
+}

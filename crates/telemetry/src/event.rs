@@ -1,0 +1,243 @@
+//! The event schema.
+//!
+//! Events carry plain integers (`u64` time steps, `u32` job ids, `u16`
+//! category indices) so the crate stays dependency-free; the emitting
+//! crates convert from their `Time`/`JobId`/`Category` newtypes.
+
+use std::fmt;
+
+/// Which branch of RAD's Figure 2 pseudo-code a category is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedulerMode {
+    /// Space-sharing: `|Q| ≤ Pα`, dynamic equi-partitioning.
+    Deq,
+    /// Time-sharing: `|Q| > Pα`, marked round-robin cycles.
+    RoundRobin,
+}
+
+impl SchedulerMode {
+    /// Stable wire label (`"deq"` / `"rr"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerMode::Deq => "deq",
+            SchedulerMode::RoundRobin => "rr",
+        }
+    }
+
+    /// Parse a wire label back into a mode.
+    pub fn from_label(s: &str) -> Option<SchedulerMode> {
+        match s {
+            "deq" => Some(SchedulerMode::Deq),
+            "rr" => Some(SchedulerMode::RoundRobin),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SchedulerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One structured telemetry event.
+///
+/// The engine emits the run/step/job lifecycle events; the schedulers
+/// (RAD per category) emit the decision-level events. Together they
+/// are sufficient to reconstruct the run's makespan, per-category
+/// executed/allotted/waste totals, utilization timeline, and DEQ↔RR
+/// mode-transition history — which is exactly what
+/// `kanalysis::telemetry_report` does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TelemetryEvent {
+    /// A simulation run began.
+    RunStart {
+        /// The scheduler's name.
+        scheduler: String,
+        /// Number of jobs in the run.
+        jobs: u32,
+        /// Number of resource categories `K`.
+        categories: u16,
+    },
+    /// A job's release time passed: it entered the active set.
+    JobReleased {
+        /// The step at which the job became active.
+        t: u64,
+        /// Job index.
+        job: u32,
+    },
+    /// A busy step began (after arrivals were activated).
+    StepStart {
+        /// 1-based step index.
+        t: u64,
+        /// Active (released, uncompleted) jobs this step.
+        active_jobs: u32,
+    },
+    /// A busy step finished executing.
+    StepEnd {
+        /// 1-based step index.
+        t: u64,
+        /// Processors allotted per category.
+        allotted: Vec<u32>,
+        /// Tasks executed per category (`≤ allotted`, elementwise).
+        executed: Vec<u32>,
+    },
+    /// A job executed its last task.
+    JobCompleted {
+        /// Completion step `T(Ji)`.
+        t: u64,
+        /// Job index.
+        job: u32,
+        /// Response time `T(Ji) − r(Ji)`.
+        response: u64,
+    },
+    /// An idle interval (no active jobs, future releases pending) was
+    /// fast-forwarded without simulating the steps in between.
+    IdleSkip {
+        /// Last step before the gap.
+        from: u64,
+        /// Clock value after the skip (the next release time).
+        to: u64,
+    },
+    /// One RAD allotment decision for one category.
+    Decision {
+        /// Decision step.
+        t: u64,
+        /// Category index.
+        category: u16,
+        /// Branch taken (DEQ or round-robin).
+        mode: SchedulerMode,
+        /// Number of α-active jobs considered.
+        jobs: u32,
+        /// Total α-desire across those jobs.
+        desire: u64,
+        /// Total processors allotted by this decision.
+        allotted: u64,
+        /// Jobs whose allotment equals their desire.
+        satisfied: u32,
+        /// Jobs allotted less than their desire.
+        deprived: u32,
+    },
+    /// A category switched between DEQ and round-robin.
+    ModeTransition {
+        /// Step of the switch.
+        t: u64,
+        /// Category index.
+        category: u16,
+        /// Previous mode.
+        from: SchedulerMode,
+        /// New mode.
+        to: SchedulerMode,
+        /// α-active jobs at the moment of the switch.
+        active_jobs: u32,
+    },
+    /// A round-robin cycle completed: every marked job had been served
+    /// and the DEQ branch cleared the marks.
+    RrCycleComplete {
+        /// Step at which the cycle ended.
+        t: u64,
+        /// Category index.
+        category: u16,
+        /// Jobs that were marked (served) during the cycle.
+        served: u32,
+    },
+    /// The run finished (all jobs complete).
+    RunEnd {
+        /// Makespan `T(J)`.
+        makespan: u64,
+        /// Steps actually simulated.
+        busy_steps: u64,
+        /// Steps skipped in idle intervals.
+        idle_steps: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// Stable wire name of the event kind (the JSONL `"event"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::RunStart { .. } => "run_start",
+            TelemetryEvent::JobReleased { .. } => "job_released",
+            TelemetryEvent::StepStart { .. } => "step_start",
+            TelemetryEvent::StepEnd { .. } => "step_end",
+            TelemetryEvent::JobCompleted { .. } => "job_completed",
+            TelemetryEvent::IdleSkip { .. } => "idle_skip",
+            TelemetryEvent::Decision { .. } => "decision",
+            TelemetryEvent::ModeTransition { .. } => "mode_transition",
+            TelemetryEvent::RrCycleComplete { .. } => "rr_cycle_complete",
+            TelemetryEvent::RunEnd { .. } => "run_end",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for m in [SchedulerMode::Deq, SchedulerMode::RoundRobin] {
+            assert_eq!(SchedulerMode::from_label(m.label()), Some(m));
+            assert_eq!(format!("{m}"), m.label());
+        }
+        assert_eq!(SchedulerMode::from_label("nope"), None);
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let events = [
+            TelemetryEvent::RunStart {
+                scheduler: "s".into(),
+                jobs: 1,
+                categories: 1,
+            },
+            TelemetryEvent::JobReleased { t: 1, job: 0 },
+            TelemetryEvent::StepStart {
+                t: 1,
+                active_jobs: 1,
+            },
+            TelemetryEvent::StepEnd {
+                t: 1,
+                allotted: vec![1],
+                executed: vec![1],
+            },
+            TelemetryEvent::JobCompleted {
+                t: 1,
+                job: 0,
+                response: 1,
+            },
+            TelemetryEvent::IdleSkip { from: 1, to: 2 },
+            TelemetryEvent::Decision {
+                t: 1,
+                category: 0,
+                mode: SchedulerMode::Deq,
+                jobs: 1,
+                desire: 1,
+                allotted: 1,
+                satisfied: 1,
+                deprived: 0,
+            },
+            TelemetryEvent::ModeTransition {
+                t: 1,
+                category: 0,
+                from: SchedulerMode::Deq,
+                to: SchedulerMode::RoundRobin,
+                active_jobs: 3,
+            },
+            TelemetryEvent::RrCycleComplete {
+                t: 1,
+                category: 0,
+                served: 2,
+            },
+            TelemetryEvent::RunEnd {
+                makespan: 1,
+                busy_steps: 1,
+                idle_steps: 0,
+            },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+}

@@ -1,0 +1,569 @@
+//! Hand-rolled JSONL codec for [`TelemetryEvent`].
+//!
+//! The crate is deliberately dependency-free, so instead of serde this
+//! module implements the small JSON subset the event schema needs:
+//! one object per line, string keys, unsigned integers, arrays of
+//! unsigned integers, and escaped strings. [`from_json`] inverts
+//! [`to_json`] exactly (property: `from_json(to_json(e)) == e`).
+
+use crate::{SchedulerMode, TelemetryEvent};
+
+/// Encode one event as a single-line JSON object with an `"event"`
+/// discriminator field.
+pub fn to_json(event: &TelemetryEvent) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"event\":\"");
+    s.push_str(event.kind());
+    s.push('"');
+    let field_u64 = |s: &mut String, k: &str, v: u64| {
+        s.push_str(",\"");
+        s.push_str(k);
+        s.push_str("\":");
+        s.push_str(&v.to_string());
+    };
+    match event {
+        TelemetryEvent::RunStart {
+            scheduler,
+            jobs,
+            categories,
+        } => {
+            s.push_str(",\"scheduler\":\"");
+            escape_into(scheduler, &mut s);
+            s.push('"');
+            field_u64(&mut s, "jobs", u64::from(*jobs));
+            field_u64(&mut s, "categories", u64::from(*categories));
+        }
+        TelemetryEvent::JobReleased { t, job } => {
+            field_u64(&mut s, "t", *t);
+            field_u64(&mut s, "job", u64::from(*job));
+        }
+        TelemetryEvent::StepStart { t, active_jobs } => {
+            field_u64(&mut s, "t", *t);
+            field_u64(&mut s, "active_jobs", u64::from(*active_jobs));
+        }
+        TelemetryEvent::StepEnd {
+            t,
+            allotted,
+            executed,
+        } => {
+            field_u64(&mut s, "t", *t);
+            array_into("allotted", allotted, &mut s);
+            array_into("executed", executed, &mut s);
+        }
+        TelemetryEvent::JobCompleted { t, job, response } => {
+            field_u64(&mut s, "t", *t);
+            field_u64(&mut s, "job", u64::from(*job));
+            field_u64(&mut s, "response", *response);
+        }
+        TelemetryEvent::IdleSkip { from, to } => {
+            field_u64(&mut s, "from", *from);
+            field_u64(&mut s, "to", *to);
+        }
+        TelemetryEvent::Decision {
+            t,
+            category,
+            mode,
+            jobs,
+            desire,
+            allotted,
+            satisfied,
+            deprived,
+        } => {
+            field_u64(&mut s, "t", *t);
+            field_u64(&mut s, "category", u64::from(*category));
+            s.push_str(",\"mode\":\"");
+            s.push_str(mode.label());
+            s.push('"');
+            field_u64(&mut s, "jobs", u64::from(*jobs));
+            field_u64(&mut s, "desire", *desire);
+            field_u64(&mut s, "allotted", *allotted);
+            field_u64(&mut s, "satisfied", u64::from(*satisfied));
+            field_u64(&mut s, "deprived", u64::from(*deprived));
+        }
+        TelemetryEvent::ModeTransition {
+            t,
+            category,
+            from,
+            to,
+            active_jobs,
+        } => {
+            field_u64(&mut s, "t", *t);
+            field_u64(&mut s, "category", u64::from(*category));
+            s.push_str(",\"from\":\"");
+            s.push_str(from.label());
+            s.push_str("\",\"to\":\"");
+            s.push_str(to.label());
+            s.push('"');
+            field_u64(&mut s, "active_jobs", u64::from(*active_jobs));
+        }
+        TelemetryEvent::RrCycleComplete {
+            t,
+            category,
+            served,
+        } => {
+            field_u64(&mut s, "t", *t);
+            field_u64(&mut s, "category", u64::from(*category));
+            field_u64(&mut s, "served", u64::from(*served));
+        }
+        TelemetryEvent::RunEnd {
+            makespan,
+            busy_steps,
+            idle_steps,
+        } => {
+            field_u64(&mut s, "makespan", *makespan);
+            field_u64(&mut s, "busy_steps", *busy_steps);
+            field_u64(&mut s, "idle_steps", *idle_steps);
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn escape_into(raw: &str, out: &mut String) {
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn array_into(key: &str, values: &[u32], out: &mut String) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+/// Decode one JSONL line back into an event.
+pub fn from_json(line: &str) -> Result<TelemetryEvent, String> {
+    let obj = Parser::new(line).parse_object()?;
+    let kind = obj.str_field("event")?;
+    let e = match kind {
+        "run_start" => TelemetryEvent::RunStart {
+            scheduler: obj.str_field("scheduler")?.to_string(),
+            jobs: obj.u32_field("jobs")?,
+            categories: obj.u16_field("categories")?,
+        },
+        "job_released" => TelemetryEvent::JobReleased {
+            t: obj.u64_field("t")?,
+            job: obj.u32_field("job")?,
+        },
+        "step_start" => TelemetryEvent::StepStart {
+            t: obj.u64_field("t")?,
+            active_jobs: obj.u32_field("active_jobs")?,
+        },
+        "step_end" => TelemetryEvent::StepEnd {
+            t: obj.u64_field("t")?,
+            allotted: obj.array_field("allotted")?,
+            executed: obj.array_field("executed")?,
+        },
+        "job_completed" => TelemetryEvent::JobCompleted {
+            t: obj.u64_field("t")?,
+            job: obj.u32_field("job")?,
+            response: obj.u64_field("response")?,
+        },
+        "idle_skip" => TelemetryEvent::IdleSkip {
+            from: obj.u64_field("from")?,
+            to: obj.u64_field("to")?,
+        },
+        "decision" => TelemetryEvent::Decision {
+            t: obj.u64_field("t")?,
+            category: obj.u16_field("category")?,
+            mode: obj.mode_field("mode")?,
+            jobs: obj.u32_field("jobs")?,
+            desire: obj.u64_field("desire")?,
+            allotted: obj.u64_field("allotted")?,
+            satisfied: obj.u32_field("satisfied")?,
+            deprived: obj.u32_field("deprived")?,
+        },
+        "mode_transition" => TelemetryEvent::ModeTransition {
+            t: obj.u64_field("t")?,
+            category: obj.u16_field("category")?,
+            from: obj.mode_field("from")?,
+            to: obj.mode_field("to")?,
+            active_jobs: obj.u32_field("active_jobs")?,
+        },
+        "rr_cycle_complete" => TelemetryEvent::RrCycleComplete {
+            t: obj.u64_field("t")?,
+            category: obj.u16_field("category")?,
+            served: obj.u32_field("served")?,
+        },
+        "run_end" => TelemetryEvent::RunEnd {
+            makespan: obj.u64_field("makespan")?,
+            busy_steps: obj.u64_field("busy_steps")?,
+            idle_steps: obj.u64_field("idle_steps")?,
+        },
+        other => return Err(format!("unknown event kind '{other}'")),
+    };
+    Ok(e)
+}
+
+/// Parse a whole JSONL document (blank lines skipped), with the line
+/// number attached to any error.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TelemetryEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// One parsed JSON scalar/array value.
+#[derive(Debug, PartialEq)]
+enum Value {
+    Num(u64),
+    Str(String),
+    Array(Vec<u64>),
+}
+
+/// A flat parsed object (the schema never nests objects).
+struct Object {
+    fields: Vec<(String, Value)>,
+}
+
+impl Object {
+    fn field(&self, key: &str) -> Result<&Value, String> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field '{key}'"))
+    }
+
+    fn str_field(&self, key: &str) -> Result<&str, String> {
+        match self.field(key)? {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("field '{key}' is not a string: {other:?}")),
+        }
+    }
+
+    fn u64_field(&self, key: &str) -> Result<u64, String> {
+        match self.field(key)? {
+            Value::Num(n) => Ok(*n),
+            other => Err(format!("field '{key}' is not a number: {other:?}")),
+        }
+    }
+
+    fn u32_field(&self, key: &str) -> Result<u32, String> {
+        u32::try_from(self.u64_field(key)?).map_err(|_| format!("field '{key}' overflows u32"))
+    }
+
+    fn u16_field(&self, key: &str) -> Result<u16, String> {
+        u16::try_from(self.u64_field(key)?).map_err(|_| format!("field '{key}' overflows u16"))
+    }
+
+    fn array_field(&self, key: &str) -> Result<Vec<u32>, String> {
+        match self.field(key)? {
+            Value::Array(v) => v
+                .iter()
+                .map(|&n| u32::try_from(n).map_err(|_| format!("'{key}' element overflows u32")))
+                .collect(),
+            other => Err(format!("field '{key}' is not an array: {other:?}")),
+        }
+    }
+
+    fn mode_field(&self, key: &str) -> Result<SchedulerMode, String> {
+        let s = self.str_field(key)?;
+        SchedulerMode::from_label(s).ok_or_else(|| format!("field '{key}': unknown mode '{s}'"))
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} of {:?}",
+                b as char,
+                self.pos,
+                String::from_utf8_lossy(self.bytes)
+            ))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Object, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Object { fields });
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err("trailing bytes after object".to_string());
+        }
+        Ok(Object { fields })
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut v = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(v));
+                }
+                loop {
+                    v.push(self.parse_number()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                    }
+                }
+                Ok(Value::Array(v))
+            }
+            Some(b'0'..=b'9') => Ok(Value::Num(self.parse_number()?)),
+            other => Err(format!("unexpected value start {other:?} at {}", self.pos)),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|_| "number overflows u64".to_string())
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("short \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf8 in string")?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::RunStart {
+                scheduler: "k-rad(K=2) \"quoted\" \\ tab\tü".into(),
+                jobs: 12,
+                categories: 2,
+            },
+            TelemetryEvent::JobReleased { t: 1, job: 3 },
+            TelemetryEvent::StepStart {
+                t: 4,
+                active_jobs: 7,
+            },
+            TelemetryEvent::StepEnd {
+                t: 4,
+                allotted: vec![4, 0, 2],
+                executed: vec![3, 0, 2],
+            },
+            TelemetryEvent::JobCompleted {
+                t: 9,
+                job: 3,
+                response: 8,
+            },
+            TelemetryEvent::IdleSkip { from: 9, to: 100 },
+            TelemetryEvent::Decision {
+                t: 4,
+                category: 1,
+                mode: SchedulerMode::Deq,
+                jobs: 3,
+                desire: 16,
+                allotted: 8,
+                satisfied: 1,
+                deprived: 2,
+            },
+            TelemetryEvent::ModeTransition {
+                t: 5,
+                category: 0,
+                from: SchedulerMode::Deq,
+                to: SchedulerMode::RoundRobin,
+                active_jobs: 9,
+            },
+            TelemetryEvent::RrCycleComplete {
+                t: 8,
+                category: 0,
+                served: 6,
+            },
+            TelemetryEvent::RunEnd {
+                makespan: 100,
+                busy_steps: 10,
+                idle_steps: 90,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for e in all_events() {
+            let line = to_json(&e);
+            assert!(!line.contains('\n'), "single line: {line}");
+            let back = from_json(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+            assert_eq!(back, e, "round trip failed for {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_document_round_trips_with_blank_lines() {
+        let events = all_events();
+        let mut doc = String::new();
+        for e in &events {
+            doc.push_str(&to_json(e));
+            doc.push('\n');
+            doc.push('\n'); // blank lines are skipped
+        }
+        assert_eq!(parse_jsonl(&doc).unwrap(), events);
+    }
+
+    #[test]
+    fn step_end_sample_is_plain_json() {
+        let line = to_json(&TelemetryEvent::StepEnd {
+            t: 3,
+            allotted: vec![4, 2],
+            executed: vec![3, 2],
+        });
+        assert_eq!(
+            line,
+            r#"{"event":"step_end","t":3,"allotted":[4,2],"executed":[3,2]}"#
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_with_context() {
+        assert!(from_json("{}").unwrap_err().contains("event"));
+        assert!(from_json(r#"{"event":"nope"}"#)
+            .unwrap_err()
+            .contains("nope"));
+        assert!(from_json(r#"{"event":"idle_skip","from":1}"#)
+            .unwrap_err()
+            .contains("to"));
+        assert!(from_json("not json").is_err());
+        assert!(parse_jsonl("{\"event\":\"x\"}\n")
+            .unwrap_err()
+            .contains("line 1"));
+        let trailing = r#"{"event":"idle_skip","from":1,"to":2} extra"#;
+        assert!(from_json(trailing).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let line = r#" { "event" : "idle_skip" , "from" : 1 , "to" : 2 } "#;
+        assert_eq!(
+            from_json(line).unwrap(),
+            TelemetryEvent::IdleSkip { from: 1, to: 2 }
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # ktelemetry — zero-cost instrumentation for the K-RAD workspace
+//!
+//! The paper's claims are about *mechanism dynamics*: when a category
+//! flips between DEQ and round-robin, how much allotment is wasted,
+//! how idle intervals accrue toward the Lemma 2 bound. This crate
+//! provides the event layer the simulator and schedulers emit into:
+//!
+//! * [`TelemetryEvent`] — the structured event schema (run lifecycle,
+//!   per-step accounting, per-decision scheduler snapshots);
+//! * [`TelemetrySink`] — where events go: [`NoopSink`] (disabled, costs
+//!   one branch on the hot path), [`RecordingSink`] (in-memory, for
+//!   tests and summaries), [`JsonlSink`] (one JSON object per line),
+//!   [`FanoutSink`] (several sinks at once);
+//! * [`TelemetryHandle`] — the cheap clonable handle instrumented code
+//!   holds. `emit` takes a closure so event construction is skipped
+//!   entirely when telemetry is off — the uninstrumented fast path is a
+//!   single boolean test;
+//! * [`Counter`] / [`Histogram`] — dependency-free metrics primitives;
+//! * [`json`] — a hand-rolled JSONL encoder/parser for the event
+//!   schema (no serde: the crate has zero dependencies).
+//!
+//! Everything is plain `std`; no external tracing or metrics crates.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod event;
+pub mod json;
+mod metrics;
+mod sink;
+
+pub use event::{SchedulerMode, TelemetryEvent};
+pub use metrics::{Counter, Histogram};
+pub use sink::{
+    FanoutSink, JsonlSink, NoopSink, RecordingSink, SharedSink, TelemetryHandle, TelemetrySink,
+};

@@ -1,0 +1,163 @@
+//! Dependency-free metrics primitives: counters and fixed-bucket
+//! histograms.
+
+/// A monotonically increasing counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Buckets are defined by ascending inclusive upper bounds; one
+/// implicit overflow bucket catches everything above the last bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending inclusive upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly ascending"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Exponential bounds `1, 2, 4, … , 2^(n-1)` — a good default for
+    /// count-like samples (active jobs, queue lengths).
+    pub fn exponential(buckets: u32) -> Self {
+        Histogram::new((0..buckets).map(|i| 1u64 << i).collect())
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The bucket upper bounds this histogram was built with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Render as `≤1:12 ≤2:5 ≤4:0 >4:1`, skipping nothing.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = self
+            .bounds
+            .iter()
+            .zip(&self.counts)
+            .map(|(b, c)| format!("≤{b}:{c}"))
+            .collect();
+        parts.push(format!(
+            ">{}:{}",
+            self.bounds.last().expect("non-empty bounds"),
+            self.counts.last().expect("overflow bucket")
+        ));
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_inclusively() {
+        let mut h = Histogram::new(vec![1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 16, 17, 1000] {
+            h.record(v);
+        }
+        // ≤1: {0,1}, ≤4: {2,4}, ≤16: {5,16}, >16: {17,1000}.
+        assert_eq!(h.bucket_counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+        assert!((h.mean() - 1045.0 / 8.0).abs() < 1e-12);
+        assert!(h.render().starts_with("≤1:2 ≤4:2 ≤16:2 >16:2"));
+    }
+
+    #[test]
+    fn exponential_bounds() {
+        let h = Histogram::exponential(4);
+        assert_eq!(h.bounds(), &[1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let h = Histogram::new(vec![10]);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(vec![4, 2]);
+    }
+}
