@@ -77,8 +77,8 @@ mod tests {
     fn tiny_outcome() -> (Vec<JobSpec>, Resources, RecordedSchedule) {
         struct Greedy;
         impl ksim::Scheduler for Greedy {
-            fn name(&self) -> String {
-                "g".into()
+            fn name(&self) -> &str {
+                "g"
             }
             fn allot(
                 &mut self,

@@ -28,8 +28,8 @@ impl DeqOnly {
 }
 
 impl Scheduler for DeqOnly {
-    fn name(&self) -> String {
-        "deq-only".into()
+    fn name(&self) -> &str {
+        "deq-only"
     }
 
     fn allot(

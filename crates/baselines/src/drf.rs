@@ -29,8 +29,8 @@ impl Drf {
 }
 
 impl Scheduler for Drf {
-    fn name(&self) -> String {
-        "drf".into()
+    fn name(&self) -> &str {
+        "drf"
     }
 
     fn on_arrival(&mut self, _id: JobId, _t: Time) {}

@@ -26,8 +26,8 @@ impl Equi {
 }
 
 impl Scheduler for Equi {
-    fn name(&self) -> String {
-        "equi".into()
+    fn name(&self) -> &str {
+        "equi"
     }
 
     fn allot(

@@ -22,8 +22,8 @@ impl GreedyFcfs {
 }
 
 impl Scheduler for GreedyFcfs {
-    fn name(&self) -> String {
-        "greedy-fcfs".into()
+    fn name(&self) -> &str {
+        "greedy-fcfs"
     }
 
     fn allot(

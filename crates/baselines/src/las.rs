@@ -28,8 +28,8 @@ impl Las {
 }
 
 impl Scheduler for Las {
-    fn name(&self) -> String {
-        "las".into()
+    fn name(&self) -> &str {
+        "las"
     }
 
     fn on_arrival(&mut self, id: JobId, _t: Time) {

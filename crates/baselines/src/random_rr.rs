@@ -37,8 +37,8 @@ impl Default for RandomRr {
 }
 
 impl Scheduler for RandomRr {
-    fn name(&self) -> String {
-        "random-rr".into()
+    fn name(&self) -> &str {
+        "random-rr"
     }
 
     fn on_arrival(&mut self, _id: JobId, _t: Time) {}

@@ -34,8 +34,8 @@ impl RoundRobinOnly {
 }
 
 impl Scheduler for RoundRobinOnly {
-    fn name(&self) -> String {
-        "rr-only".into()
+    fn name(&self) -> &str {
+        "rr-only"
     }
 
     fn on_arrival(&mut self, id: JobId, _t: Time) {

@@ -37,7 +37,7 @@ fn bench_adversarial(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("krad_critical_last", m), &m, |b, _| {
             b.iter(|| {
                 let mut sched = KRad::new(2);
-                let cfg = SimConfig::with_policy(SelectionPolicy::CriticalLast);
+                let cfg = SimConfig::default().with_policy(SelectionPolicy::CriticalLast);
                 simulate(&mut sched, &w.jobs, &w.resources, &cfg).makespan
             })
         });

@@ -27,7 +27,7 @@ pub fn run(sched: &mut dyn ksim::Scheduler, jobs: &[JobSpec], res: &Resources) -
         sched,
         jobs,
         res,
-        &SimConfig::with_policy(SelectionPolicy::Fifo),
+        &SimConfig::default().with_policy(SelectionPolicy::Fifo),
     )
 }
 

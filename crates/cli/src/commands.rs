@@ -12,7 +12,7 @@ use kanalysis::telemetry_report::TelemetrySummary;
 use kanalysis::timeline::{render_timeline, utilization_timeline};
 use kbaselines::SchedulerKind;
 use kdag::{DagStats, SelectionPolicy};
-use ksim::{simulate, DesireModel, JobSpec, Resources, SimConfig};
+use ksim::{simulate, DesireModel, JobSpec, Resources, SimConfig, Simulation};
 use ktelemetry::{FanoutSink, JsonlSink, RecordingSink, SharedSink, TelemetryHandle};
 use kworkloads::arrivals::poisson_releases;
 use kworkloads::heavy_tail::{bursty_releases, heavy_tail_mix, BurstyConfig};
@@ -196,17 +196,18 @@ pub fn simulate_cmd(args: &ArgMap) -> Result<String, String> {
     let policy = parse_policy(args.get_or("policy", "fifo"))?;
     let seed: u64 = args.num("seed", 0)?;
 
-    let mut cfg = SimConfig::with_policy(policy);
-    cfg.seed = seed;
-    cfg.quantum = args.num("quantum", 1u64)?;
+    let mut cfg = SimConfig::default()
+        .with_policy(policy)
+        .with_seed(seed)
+        .with_quantum(args.num("quantum", 1u64)?)
+        .with_schedule(args.flag("gantt") || args.get("svg").is_some())
+        .with_trace(args.flag("timeline"));
     if let Some(delta) = args.get("feedback") {
         let delta: f64 = delta
             .parse()
             .map_err(|_| format!("bad --feedback: {delta}"))?;
-        cfg.desire_model = DesireModel::AGreedy { delta };
+        cfg = cfg.with_desire_model(DesireModel::AGreedy { delta });
     }
-    cfg.record_schedule = args.flag("gantt") || args.get("svg").is_some();
-    cfg.record_trace = args.flag("timeline");
 
     // Telemetry: a JSONL file (--telemetry), an in-memory recording
     // for the end-of-run summary (--telemetry-summary), or both
@@ -232,10 +233,16 @@ pub fn simulate_cmd(args: &ArgMap) -> Result<String, String> {
         1 => TelemetryHandle::from_shared(sinks.remove(0)),
         _ => TelemetryHandle::new(FanoutSink::new(sinks)),
     };
-    cfg.telemetry = tel.clone();
+    cfg = cfg.with_telemetry(tel.clone());
 
+    let sim = Simulation::builder()
+        .resources(res.clone())
+        .jobs(jobs.iter().cloned())
+        .config(cfg.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
     let mut sched = kind.build_instrumented(res.k(), seed, tel.clone());
-    let o = simulate(sched.as_mut(), &jobs, &res, &cfg);
+    let o = sim.run(sched.as_mut());
     tel.flush();
     let lb = makespan_bounds(&jobs, &res).lower_bound();
 
@@ -347,8 +354,9 @@ pub fn verify(args: &ArgMap) -> Result<String, String> {
         ));
     }
     let policy = parse_policy(args.get_or("policy", "critical-last"))?;
-    let mut cfg = SimConfig::with_policy(policy);
-    cfg.seed = args.num("seed", 0)?;
+    let cfg = SimConfig::default()
+        .with_policy(policy)
+        .with_seed(args.num("seed", 0)?);
     let mut sched = krad::KRad::new(res.k());
     let o = simulate(&mut sched, &jobs, &res, &cfg);
 
@@ -409,7 +417,7 @@ pub fn adversarial(args: &ArgMap) -> Result<String, String> {
     .unwrap();
     if args.flag("run") {
         let mut sched = krad::KRad::new(k);
-        let cfg = SimConfig::with_policy(SelectionPolicy::CriticalLast);
+        let cfg = SimConfig::default().with_policy(SelectionPolicy::CriticalLast);
         let o = simulate(&mut sched, &w.jobs, &w.resources, &cfg);
         let ratio = o.makespan as f64 / w.optimal_makespan as f64;
         writeln!(

@@ -35,13 +35,27 @@
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn deq_allot_into(desires: &[u32], p: u32, spill: usize, out: &mut [u32]) {
+    deq_allot_scratch(desires, p, spill, &mut Vec::new(), out);
+}
+
+/// [`deq_allot_into`] with a caller-provided scratch buffer for the
+/// sort order, so repeated decisions (the per-step scheduler hot path)
+/// perform no allocation.
+pub fn deq_allot_scratch(
+    desires: &[u32],
+    p: u32,
+    spill: usize,
+    order: &mut Vec<u32>,
+    out: &mut [u32],
+) {
     assert_eq!(desires.len(), out.len());
     let n = desires.len();
     if n == 0 {
         return;
     }
     // Ascending by desire, ties by index for determinism.
-    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.clear();
+    order.extend(0..n as u32);
     order.sort_unstable_by_key(|&i| (desires[i as usize], i));
 
     let mut p_rem = u64::from(p);

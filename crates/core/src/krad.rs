@@ -19,6 +19,9 @@ use ktelemetry::TelemetryHandle;
 #[derive(Clone, Debug)]
 pub struct KRad {
     rads: Vec<RadState>,
+    /// Cached display name (`name()` returns a borrow, so the
+    /// formatted string lives with the scheduler).
+    name: String,
 }
 
 impl KRad {
@@ -38,6 +41,7 @@ impl KRad {
             rads: Category::all(k)
                 .map(|c| RadState::with_telemetry(c, tel.clone()))
                 .collect(),
+            name: format!("k-rad(K={k})"),
         }
     }
 
@@ -53,8 +57,8 @@ impl KRad {
 }
 
 impl Scheduler for KRad {
-    fn name(&self) -> String {
-        format!("k-rad(K={})", self.rads.len())
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn on_arrival(&mut self, id: JobId, _t: Time) {

@@ -1,10 +1,9 @@
 //! RAD for a single resource category: DEQ + marked round-robin cycles.
 
-use crate::deq::{deq_allot_into, satisfied_deprived};
+use crate::deq::{deq_allot_scratch, satisfied_deprived};
 use kdag::{Category, JobId};
 use ksim::{AllotmentMatrix, JobView, Time};
 use ktelemetry::{SchedulerMode, TelemetryEvent, TelemetryHandle};
-use std::collections::HashSet;
 
 /// The RAD scheduler state for one processor category `α`.
 ///
@@ -28,14 +27,26 @@ pub struct RadState {
     cat: Category,
     /// Known uncompleted jobs in arrival order.
     queue: Vec<JobId>,
-    /// Jobs already scheduled in the current RR cycle.
-    marked: HashSet<JobId>,
+    /// Per-job "already served in the current RR cycle" flags, indexed
+    /// by job id (flat flags instead of a hash set — mark tests sit on
+    /// the per-step hot path).
+    marked: Vec<bool>,
+    /// Number of set entries in `marked`.
+    marked_count: u32,
+    /// Scratch: job id → view slot for the current decision.
+    slot_lut: Vec<u32>,
     /// Rotation counter for DEQ's remainder distribution.
     spill: usize,
     /// Scratch: desires of the DEQ participants.
     deq_desires: Vec<u32>,
     /// Scratch: DEQ output.
     deq_out: Vec<u32>,
+    /// Scratch: DEQ sort order.
+    deq_order: Vec<u32>,
+    /// Scratch: `Q` — unmarked α-active `(id, slot)`, queue order.
+    scratch_q: Vec<(JobId, usize)>,
+    /// Scratch: `Q'` — marked α-active `(id, slot)`, queue order.
+    scratch_marked: Vec<(JobId, usize)>,
     /// Branch taken by the previous decision (for transition events).
     mode: SchedulerMode,
     /// Decision-event sink (off by default).
@@ -54,10 +65,15 @@ impl RadState {
         RadState {
             cat,
             queue: Vec::new(),
-            marked: HashSet::new(),
+            marked: Vec::new(),
+            marked_count: 0,
+            slot_lut: Vec::new(),
             spill: 0,
             deq_desires: Vec::new(),
             deq_out: Vec::new(),
+            deq_order: Vec::new(),
+            scratch_q: Vec::new(),
+            scratch_marked: Vec::new(),
             mode: SchedulerMode::Deq,
             tel,
         }
@@ -82,7 +98,11 @@ impl RadState {
     /// Remove a completed job from the queue and marks.
     pub fn job_completed(&mut self, id: JobId) {
         self.queue.retain(|&x| x != id);
-        self.marked.remove(&id);
+        if let Some(m) = self.marked.get_mut(id.index()) {
+            if std::mem::take(m) {
+                self.marked_count -= 1;
+            }
+        }
     }
 
     /// Number of jobs currently tracked (all uncompleted released
@@ -93,7 +113,7 @@ impl RadState {
 
     /// `true` if the job has been served in the current RR cycle.
     pub fn is_marked(&self, id: JobId) -> bool {
-        self.marked.contains(&id)
+        self.marked.get(id.index()).copied().unwrap_or(false)
     }
 
     /// Compute this category's allotments for step `t`.
@@ -104,42 +124,53 @@ impl RadState {
     /// depends on nothing but the queue state and the desires.
     pub fn allot(&mut self, t: Time, views: &[JobView<'_>], p: u32, out: &mut AllotmentMatrix) {
         let cat = self.cat;
-        // Slot lookup by binary search over the id-sorted views.
-        let slot_of = |id: JobId| -> Option<usize> {
-            let s = views.partition_point(|v| v.id < id);
-            (s < views.len() && views[s].id == id).then_some(s)
-        };
+        // Slot lookup table: one write per view, then O(1) per queued
+        // job (stale entries from earlier decisions are guarded by the
+        // id check below).
+        let max_id = views.iter().map(|v| v.id.index() + 1).max().unwrap_or(0);
+        if self.slot_lut.len() < max_id {
+            self.slot_lut.resize(max_id, u32::MAX);
+        }
+        if self.marked.len() < max_id {
+            self.marked.resize(max_id, false);
+        }
+        for (slot, v) in views.iter().enumerate() {
+            self.slot_lut[v.id.index()] = slot as u32;
+        }
 
-        // Q: unmarked α-active, Q': marked α-active, both in queue order.
-        let mut q: Vec<(JobId, usize)> = Vec::new();
-        let mut q_marked: Vec<(JobId, usize)> = Vec::new();
+        // Q: unmarked α-active, Q': marked α-active, both in queue
+        // order. Built in persistent scratch buffers so the per-step
+        // hot path allocates nothing once they reach steady size.
+        self.scratch_q.clear();
+        self.scratch_marked.clear();
         for &id in &self.queue {
-            let Some(slot) = slot_of(id) else {
+            let slot = self.slot_lut[id.index()] as usize;
+            if slot >= views.len() || views[slot].id != id {
                 // Job released but not in views: impossible by
                 // construction (queue is synced by the callbacks).
                 debug_assert!(false, "queued job {id} missing from views");
                 continue;
-            };
+            }
             if views[slot].desire(cat) == 0 {
                 continue; // α-inactive this step
             }
-            if self.marked.contains(&id) {
-                q_marked.push((id, slot));
+            if self.marked[id.index()] {
+                self.scratch_marked.push((id, slot));
             } else {
-                q.push((id, slot));
+                self.scratch_q.push((id, slot));
             }
         }
 
         // Mode bookkeeping: the branch about to be taken, compared to
         // the previous decision's branch.
-        let new_mode = if q.len() > p as usize {
+        let new_mode = if self.scratch_q.len() > p as usize {
             SchedulerMode::RoundRobin
         } else {
             SchedulerMode::Deq
         };
         if new_mode != self.mode {
             let from = self.mode;
-            let active_jobs = (q.len() + q_marked.len()) as u32;
+            let active_jobs = (self.scratch_q.len() + self.scratch_marked.len()) as u32;
             self.tel.emit(|| TelemetryEvent::ModeTransition {
                 t,
                 category: cat.0,
@@ -150,16 +181,20 @@ impl RadState {
             self.mode = new_mode;
         }
 
-        if q.len() > p as usize {
+        if self.scratch_q.len() > p as usize {
             // ROUND-ROBIN: one processor each to the first P of Q.
-            for &(id, slot) in &q[..p as usize] {
+            for &(id, slot) in &self.scratch_q[..p as usize] {
                 out.set(slot, cat, 1);
-                self.marked.insert(id);
+                // Jobs in Q are unmarked by construction.
+                self.marked[id.index()] = true;
+                self.marked_count += 1;
             }
+            let q = &self.scratch_q;
+            let q_marked = &self.scratch_marked;
             self.tel.emit(|| {
                 let desire: u64 = q
                     .iter()
-                    .chain(&q_marked)
+                    .chain(q_marked)
                     .map(|&(_, slot)| u64::from(views[slot].desire(cat)))
                     .sum();
                 // A served job is satisfied only if one processor was
@@ -182,28 +217,42 @@ impl RadState {
             });
         } else {
             // Cycle completion: top up with marked jobs, then DEQ.
-            let take = q_marked.len().min(p as usize - q.len());
-            q.extend_from_slice(&q_marked[..take]);
+            let take = self
+                .scratch_marked
+                .len()
+                .min(p as usize - self.scratch_q.len());
+            self.scratch_q
+                .extend_from_slice(&self.scratch_marked[..take]);
             self.deq_desires.clear();
-            self.deq_desires
-                .extend(q.iter().map(|&(_, slot)| views[slot].desire(cat)));
+            self.deq_desires.extend(
+                self.scratch_q
+                    .iter()
+                    .map(|&(_, slot)| views[slot].desire(cat)),
+            );
             self.deq_out.clear();
-            self.deq_out.resize(q.len(), 0);
-            deq_allot_into(&self.deq_desires, p, self.spill, &mut self.deq_out);
+            self.deq_out.resize(self.scratch_q.len(), 0);
+            deq_allot_scratch(
+                &self.deq_desires,
+                p,
+                self.spill,
+                &mut self.deq_order,
+                &mut self.deq_out,
+            );
             self.spill = self.spill.wrapping_add(1);
-            for (&(_, slot), &a) in q.iter().zip(&self.deq_out) {
+            for (&(_, slot), &a) in self.scratch_q.iter().zip(&self.deq_out) {
                 out.set(slot, cat, a);
             }
-            if !q.is_empty() {
+            if !self.scratch_q.is_empty() {
                 let desires = &self.deq_desires;
                 let allots = &self.deq_out;
+                let jobs = self.scratch_q.len() as u32;
                 self.tel.emit(|| {
                     let (satisfied, deprived) = satisfied_deprived(desires, allots);
                     TelemetryEvent::Decision {
                         t,
                         category: cat.0,
                         mode: SchedulerMode::Deq,
-                        jobs: q.len() as u32,
+                        jobs,
                         desire: desires.iter().map(|&d| u64::from(d)).sum(),
                         allotted: allots.iter().map(|&a| u64::from(a)).sum(),
                         satisfied,
@@ -213,14 +262,15 @@ impl RadState {
             }
             // Taking the DEQ branch ends the round-robin cycle: every
             // mark placed during the cycle is cleared.
-            if !self.marked.is_empty() {
-                let served = self.marked.len() as u32;
+            if self.marked_count > 0 {
+                let served = self.marked_count;
                 self.tel.emit(|| TelemetryEvent::RrCycleComplete {
                     t,
                     category: cat.0,
                     served,
                 });
-                self.marked.clear();
+                self.marked.fill(false);
+                self.marked_count = 0;
             }
         }
     }
@@ -484,8 +534,8 @@ mod tests {
 
         struct OneRad(RadState);
         impl ksim::Scheduler for OneRad {
-            fn name(&self) -> String {
-                "rad-1".into()
+            fn name(&self) -> &str {
+                "rad-1"
             }
             fn on_arrival(&mut self, id: JobId, _t: Time) {
                 self.0.job_arrived(id);

@@ -6,13 +6,106 @@ use kanalysis::stats::percentile;
 use kanalysis::table::{f3, Table};
 use kbaselines::SchedulerKind;
 use kdag::{Category, SelectionPolicy};
-use ksim::{simulate, JobSpec, Resources, SimConfig, SimOutcome};
+use ksim::{JobSpec, Resources, SimOutcome, Simulation};
 use ktelemetry::TelemetryHandle;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// One experiment run being assembled: a scheduler kind on a workload,
+/// plus options.
+///
+/// ```no_run
+/// # use kbaselines::SchedulerKind;
+/// # use kdag::SelectionPolicy;
+/// # use kexperiments::runner::Run;
+/// # let (jobs, res) = (vec![], ksim::Resources::uniform(1, 2));
+/// let o = Run::new(SchedulerKind::KRad, &jobs, &res)
+///     .policy(SelectionPolicy::CriticalLast)
+///     .seed(42)
+///     .go();
+/// ```
+///
+/// `go()` builds a fresh scheduler instance (seeded identically to
+/// [`SchedulerKind::build`], so instrumented runs reproduce the
+/// uninstrumented outcomes bit-for-bit), assembles a
+/// [`Simulation`], and runs it. A telemetry handle passed via
+/// [`Run::telemetry`] is wired into *both* the engine (run/step
+/// lifecycle events) and the scheduler (decision events, for kinds that
+/// emit them), so one sink sees the interleaved stream.
+#[derive(Clone, Debug)]
+pub struct Run<'a> {
+    kind: SchedulerKind,
+    jobs: &'a [JobSpec],
+    res: &'a Resources,
+    policy: SelectionPolicy,
+    seed: u64,
+    quantum: u64,
+    tel: TelemetryHandle,
+}
+
+impl<'a> Run<'a> {
+    /// Start assembling a run of `kind` on `jobs`/`res` with the
+    /// standard defaults (FIFO policy, seed 0, quantum 1, telemetry
+    /// off).
+    pub fn new(kind: SchedulerKind, jobs: &'a [JobSpec], res: &'a Resources) -> Self {
+        Run {
+            kind,
+            jobs,
+            res,
+            policy: SelectionPolicy::Fifo,
+            seed: 0,
+            quantum: 1,
+            tel: TelemetryHandle::off(),
+        }
+    }
+
+    /// Set the environment's [`SelectionPolicy`].
+    pub fn policy(mut self, policy: SelectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the engine RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the scheduling quantum `q ≥ 1`.
+    pub fn quantum(mut self, quantum: u64) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Wire a telemetry handle into engine *and* scheduler.
+    pub fn telemetry(mut self, tel: TelemetryHandle) -> Self {
+        self.tel = tel;
+        self
+    }
+
+    /// Execute the run and return the outcome.
+    pub fn go(self) -> SimOutcome {
+        let sim = Simulation::builder()
+            .resources(self.res.clone())
+            .jobs(self.jobs.iter().cloned())
+            .policy(self.policy)
+            .seed(self.seed)
+            .quantum(self.quantum)
+            .telemetry(self.tel.clone())
+            .build()
+            .expect("experiment workloads match their machine");
+        // Scheduler seed matches `SchedulerKind::build` so instrumented
+        // runs reproduce the uninstrumented outcomes bit-for-bit.
+        let mut sched = self
+            .kind
+            .build_instrumented(self.res.k(), 0xC0FFEE, self.tel);
+        sim.run(sched.as_mut())
+    }
+}
+
 /// Simulate one scheduler kind on a job set (fresh scheduler instance,
 /// standard config with the given policy and seed).
+#[deprecated(note = "use `Run::new(kind, jobs, res).policy(..).seed(..).go()`")]
 pub fn run_kind(
     kind: SchedulerKind,
     jobs: &[JobSpec],
@@ -20,12 +113,13 @@ pub fn run_kind(
     policy: SelectionPolicy,
     seed: u64,
 ) -> SimOutcome {
-    run_kind_with_telemetry(kind, jobs, res, policy, seed, TelemetryHandle::off())
+    Run::new(kind, jobs, res).policy(policy).seed(seed).go()
 }
 
 /// Like [`run_kind`], but wires `tel` into both the engine (run/step
 /// lifecycle events) and the scheduler (decision events, for kinds
 /// that emit them), so one sink sees the interleaved stream.
+#[deprecated(note = "use `Run::new(kind, jobs, res).policy(..).seed(..).telemetry(..).go()`")]
 pub fn run_kind_with_telemetry(
     kind: SchedulerKind,
     jobs: &[JobSpec],
@@ -34,13 +128,11 @@ pub fn run_kind_with_telemetry(
     seed: u64,
     tel: TelemetryHandle,
 ) -> SimOutcome {
-    let mut cfg = SimConfig::with_policy(policy);
-    cfg.seed = seed;
-    cfg.telemetry = tel.clone();
-    // Scheduler seed matches `SchedulerKind::build` so instrumented
-    // runs reproduce the uninstrumented outcomes bit-for-bit.
-    let mut sched = kind.build_instrumented(res.k(), 0xC0FFEE, tel);
-    simulate(sched.as_mut(), jobs, res, &cfg)
+    Run::new(kind, jobs, res)
+        .policy(policy)
+        .seed(seed)
+        .telemetry(tel)
+        .go()
 }
 
 /// Map `f` over `items` on all available cores, preserving order.
@@ -119,7 +211,7 @@ pub fn compare_schedulers(
     let lb = makespan_bounds(jobs, res).lower_bound();
     let kinds: Vec<SchedulerKind> = SchedulerKind::ALL.to_vec();
     par_map(&kinds, |_, &kind| {
-        let o = run_kind(kind, jobs, res, policy, seed);
+        let o = Run::new(kind, jobs, res).policy(policy).seed(seed).go();
         let responses: Vec<f64> = (0..o.job_count()).map(|i| o.response(i) as f64).collect();
         CompareRow {
             kind,
@@ -185,12 +277,28 @@ mod tests {
     }
 
     #[test]
-    fn run_kind_smoke() {
+    fn run_builder_smoke() {
         let jobs = vec![JobSpec::batched(chain(1, 5, &[Category(0)]))];
         let res = Resources::uniform(1, 2);
         for kind in SchedulerKind::ALL {
-            let o = run_kind(kind, &jobs, &res, SelectionPolicy::Fifo, 0);
+            let o = Run::new(kind, &jobs, &res).go();
             assert_eq!(o.makespan, 5, "{kind}: chain must take span steps");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_builder() {
+        let jobs = vec![JobSpec::batched(chain(1, 7, &[Category(0)]))];
+        let res = Resources::uniform(1, 2);
+        for kind in SchedulerKind::ALL {
+            let wrapped = run_kind(kind, &jobs, &res, SelectionPolicy::Lifo, 3);
+            let built = Run::new(kind, &jobs, &res)
+                .policy(SelectionPolicy::Lifo)
+                .seed(3)
+                .go();
+            assert_eq!(wrapped.makespan, built.makespan, "{kind}");
+            assert_eq!(wrapped.completions, built.completions, "{kind}");
         }
     }
 
@@ -203,9 +311,9 @@ mod tests {
             .collect();
         let res = Resources::uniform(1, 2);
         for kind in SchedulerKind::ALL {
-            let plain = run_kind(kind, &jobs, &res, SelectionPolicy::Fifo, 9);
+            let plain = Run::new(kind, &jobs, &res).seed(9).go();
             let (tel, rec) = TelemetryHandle::recording();
-            let o = run_kind_with_telemetry(kind, &jobs, &res, SelectionPolicy::Fifo, 9, tel);
+            let o = Run::new(kind, &jobs, &res).seed(9).telemetry(tel).go();
             assert_eq!(
                 o.makespan, plain.makespan,
                 "{kind}: telemetry must not perturb"

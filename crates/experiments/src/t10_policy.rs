@@ -10,7 +10,7 @@
 //! * the ordering is as the theory predicts — the friendly policy is
 //!   never worse than the adversarial one.
 
-use crate::runner::{par_map, run_kind};
+use crate::runner::{par_map, Run};
 use crate::RunOpts;
 use kanalysis::bounds::makespan_bounds;
 use kanalysis::report::ExperimentReport;
@@ -26,7 +26,10 @@ fn measure(policy: SelectionPolicy, seed: u64, master: u64, k: usize, p: u32) ->
     let mut rng = rng_for(master ^ seed, 0x7A);
     let jobs = batched_mix(&mut rng, &MixConfig::new(k, 24, 32));
     let res = Resources::uniform(k, p);
-    let outcome = run_kind(SchedulerKind::KRad, &jobs, &res, policy, seed);
+    let outcome = Run::new(SchedulerKind::KRad, &jobs, &res)
+        .policy(policy)
+        .seed(seed)
+        .go();
     let lb = makespan_bounds(&jobs, &res).lower_bound();
     (
         outcome.makespan as f64 / lb,

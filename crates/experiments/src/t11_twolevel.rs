@@ -23,7 +23,7 @@ use kanalysis::report::ExperimentReport;
 use kanalysis::table::{f3, Table};
 use kdag::SelectionPolicy;
 use krad::KRad;
-use ksim::{simulate, DesireModel, Resources, SimConfig};
+use ksim::{DesireModel, Resources, Simulation};
 use kworkloads::mixes::{batched_mix, MixConfig};
 use kworkloads::rng_for;
 
@@ -53,11 +53,16 @@ fn measure(cfg: &Config, master: u64) -> Row {
     let mut rng = rng_for(master, 0x7B);
     let jobs = batched_mix(&mut rng, &MixConfig::new(k, 24, 40));
     let res = Resources::uniform(k, 6);
-    let mut sim_cfg = SimConfig::with_policy(SelectionPolicy::Fifo);
-    sim_cfg.quantum = cfg.quantum;
-    sim_cfg.desire_model = cfg.model;
+    let sim = Simulation::builder()
+        .resources(res.clone())
+        .jobs(jobs.iter().cloned())
+        .policy(SelectionPolicy::Fifo)
+        .quantum(cfg.quantum)
+        .desire_model(cfg.model)
+        .build()
+        .expect("T11 workload matches the machine");
     let mut sched = KRad::new(k);
-    let o = simulate(&mut sched, &jobs, &res, &sim_cfg);
+    let o = sim.run(&mut sched);
     let lb = makespan_bounds(&jobs, &res).lower_bound();
     Row {
         cfg: *cfg,

@@ -12,7 +12,7 @@
 //!   (K-RAD, EQUI, RR) from the starvation-prone ones (LAS,
 //!   greedy-FCFS) once the burst piles jobs behind a heavy one.
 
-use crate::runner::{par_map, run_kind};
+use crate::runner::{par_map, Run};
 use crate::RunOpts;
 use kanalysis::bounds::makespan_bounds;
 use kanalysis::report::ExperimentReport;
@@ -20,7 +20,6 @@ use kanalysis::stats::percentile;
 use kanalysis::svg::{LineChart, Series};
 use kanalysis::table::{f3, Table};
 use kbaselines::SchedulerKind;
-use kdag::SelectionPolicy;
 use ksim::{JobSpec, Resources};
 use kworkloads::heavy_tail::{bursty_releases, heavy_tail_mix, BurstyConfig};
 use kworkloads::rng_for;
@@ -59,7 +58,7 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
 
     let kinds: Vec<SchedulerKind> = SchedulerKind::ALL.to_vec();
     let rows: Vec<Row> = par_map(&kinds, |_, &kind| {
-        let o = run_kind(kind, &jobs, &res, SelectionPolicy::Fifo, opts.seed);
+        let o = Run::new(kind, &jobs, &res).seed(opts.seed).go();
         let mut responses: Vec<f64> = (0..o.job_count()).map(|i| o.response(i) as f64).collect();
         let p95 = percentile(&responses, 95.0);
         responses.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));

@@ -8,13 +8,13 @@
 //! with statistical rigor; this table is the quick, human-readable
 //! summary and intentionally makes only order-of-magnitude claims.)
 
-use crate::runner::run_kind;
+use crate::runner::Run;
 use crate::RunOpts;
 use kanalysis::report::ExperimentReport;
 use kanalysis::table::Table;
 use kbaselines::SchedulerKind;
 use kdag::generators::{phased, PhaseSpec};
-use kdag::{Category, SelectionPolicy};
+use kdag::Category;
 use ksim::{JobSpec, Resources};
 use std::time::Instant;
 
@@ -46,7 +46,7 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
         let (jobs, res) = workload(n);
         for kind in SchedulerKind::ALL {
             let started = Instant::now();
-            let o = run_kind(kind, &jobs, &res, SelectionPolicy::Fifo, opts.seed);
+            let o = Run::new(kind, &jobs, &res).seed(opts.seed).go();
             let elapsed = started.elapsed();
             rows.push(Row {
                 kind,

@@ -16,13 +16,13 @@
 //!   every step — the tail starves, exactly the failure K-RAD's cycle
 //!   repairs.
 
-use crate::runner::run_kind;
+use crate::runner::Run;
 use crate::RunOpts;
 use kanalysis::report::ExperimentReport;
 use kanalysis::table::{f3, Table};
 use kbaselines::SchedulerKind;
 use kdag::generators::{phased, PhaseSpec};
-use kdag::{Category, SelectionPolicy};
+use kdag::Category;
 use ksim::{JobSpec, Resources};
 
 struct Case {
@@ -93,13 +93,9 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let mut measured = Vec::new();
     for case in &cases {
         for kind in kinds {
-            let o = run_kind(
-                kind,
-                &case.jobs,
-                &case.resources,
-                SelectionPolicy::Fifo,
-                opts.seed,
-            );
+            let o = Run::new(kind, &case.jobs, &case.resources)
+                .seed(opts.seed)
+                .go();
             let min_resp = (0..o.job_count()).map(|i| o.response(i)).min().unwrap();
             let spread = o.max_response() - min_resp;
             table.row_owned(vec![

@@ -8,7 +8,7 @@
 //! below as `m` grows (and must never exceed it, since K-RAD is also
 //! `(K + 1 − 1/Pmax)`-competitive by Theorem 3).
 
-use crate::runner::{par_map, run_kind};
+use crate::runner::{par_map, Run};
 use crate::RunOpts;
 use kanalysis::report::ExperimentReport;
 use kanalysis::svg::{LineChart, Series};
@@ -39,13 +39,10 @@ struct Row {
 fn measure(point: &Point, seed: u64) -> Row {
     let p_vec = vec![point.p; point.k];
     let w = adversarial_workload(&p_vec, point.m);
-    let outcome = run_kind(
-        SchedulerKind::KRad,
-        &w.jobs,
-        &w.resources,
-        SelectionPolicy::CriticalLast,
-        seed,
-    );
+    let outcome = Run::new(SchedulerKind::KRad, &w.jobs, &w.resources)
+        .policy(SelectionPolicy::CriticalLast)
+        .seed(seed)
+        .go();
     // A clairvoyant critical-path-first scheduler defeats the
     // adversary: its feasible makespan certifies T* from above.
     let clairvoyant = kanalysis::offline::clairvoyant_cp(&w.jobs, &w.resources).makespan;

@@ -7,7 +7,7 @@
 //! must stay below `K + 1 − 1/Pmax` — even under the adversarial
 //! critical-path-last environment, which we use to stress the bound.
 
-use crate::runner::{par_map, run_kind};
+use crate::runner::{par_map, Run};
 use crate::RunOpts;
 use kanalysis::bounds::makespan_bounds;
 use kanalysis::report::ExperimentReport;
@@ -39,13 +39,10 @@ fn measure(cfg: &Config, seed: u64, master: u64) -> (f64, f64) {
         poisson_releases(&mut jobs, &mut rng, 0.2);
     }
     let res = Resources::uniform(cfg.k, cfg.p);
-    let outcome = run_kind(
-        SchedulerKind::KRad,
-        &jobs,
-        &res,
-        SelectionPolicy::CriticalLast,
-        seed,
-    );
+    let outcome = Run::new(SchedulerKind::KRad, &jobs, &res)
+        .policy(SelectionPolicy::CriticalLast)
+        .seed(seed)
+        .go();
     let lb = makespan_bounds(&jobs, &res).lower_bound();
     let t_cp = kanalysis::offline::clairvoyant_cp(&jobs, &res).makespan;
     (

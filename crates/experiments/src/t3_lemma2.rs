@@ -7,7 +7,7 @@
 //! optimum — both sides are computed exactly, so it is the sharpest
 //! possible check of the makespan analysis.
 
-use crate::runner::{par_map, run_kind};
+use crate::runner::{par_map, Run};
 use crate::RunOpts;
 use kanalysis::bounds::lemma2_rhs;
 use kanalysis::report::ExperimentReport;
@@ -39,7 +39,10 @@ fn measure(cfg: &Config, master: u64) -> Row {
     let mut rng = rng_for(master ^ cfg.seed, 0x73);
     let jobs = batched_mix(&mut rng, &mix);
     let res = Resources::new(cfg.p.clone());
-    let outcome = run_kind(SchedulerKind::KRad, &jobs, &res, cfg.policy, cfg.seed);
+    let outcome = Run::new(SchedulerKind::KRad, &jobs, &res)
+        .policy(cfg.policy)
+        .seed(cfg.seed)
+        .go();
     Row {
         cfg: cfg.clone(),
         makespan: outcome.makespan,

@@ -9,7 +9,7 @@
 //! 2. the competitive form: `R(J) / LB ≤ 2K + 1 − 2K/(n+1)`, with
 //!    `LB = max(T∞(J), maxα swa(J, α))` the §6 lower bound.
 
-use crate::runner::{par_map, run_kind};
+use crate::runner::{par_map, Run};
 use crate::RunOpts;
 use kanalysis::bounds::{response_bounds, theorem5_rhs};
 use kanalysis::report::ExperimentReport;
@@ -42,7 +42,10 @@ fn measure(cfg: &Config, master: u64) -> Row {
     let mut rng = rng_for(master ^ cfg.seed, 0x74);
     let jobs = batched_mix(&mut rng, &mix);
     let res = Resources::uniform(cfg.k, cfg.p);
-    let outcome = run_kind(SchedulerKind::KRad, &jobs, &res, cfg.policy, cfg.seed);
+    let outcome = Run::new(SchedulerKind::KRad, &jobs, &res)
+        .policy(cfg.policy)
+        .seed(cfg.seed)
+        .go();
     let rb = response_bounds(&jobs, &res);
     let total = outcome.total_response();
     Row {

@@ -6,7 +6,7 @@
 //! bound `LB = max(T∞(J), maxα swa(J, α)) ≤ R*(J)`, which makes the
 //! measured ratio an upper bound on the true competitive ratio.
 
-use crate::runner::{par_map, run_kind};
+use crate::runner::{par_map, Run};
 use crate::RunOpts;
 use kanalysis::bounds::response_bounds;
 use kanalysis::report::ExperimentReport;
@@ -31,13 +31,10 @@ fn measure(cfg: &Config, seed: u64, master: u64) -> f64 {
     let mut rng = rng_for(master ^ seed, 0x75);
     let jobs = batched_mix(&mut rng, &mix);
     let res = Resources::uniform(cfg.k, cfg.p);
-    let outcome = run_kind(
-        SchedulerKind::KRad,
-        &jobs,
-        &res,
-        SelectionPolicy::CriticalLast,
-        seed,
-    );
+    let outcome = Run::new(SchedulerKind::KRad, &jobs, &res)
+        .policy(SelectionPolicy::CriticalLast)
+        .seed(seed)
+        .go();
     outcome.total_response() as f64 / response_bounds(&jobs, &res).lower_bound()
 }
 

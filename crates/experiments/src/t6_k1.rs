@@ -7,7 +7,7 @@
 //! same batched suites and compare measured `R / LB` ratios against
 //! both reference constants.
 
-use crate::runner::{par_map, run_kind};
+use crate::runner::{par_map, Run};
 use crate::RunOpts;
 use kanalysis::bounds::response_bounds;
 use kanalysis::report::ExperimentReport;
@@ -32,7 +32,10 @@ fn measure(cfg: &Config, seed: u64, master: u64) -> f64 {
     let mut rng = rng_for(master ^ seed, 0x76);
     let jobs = batched_mix(&mut rng, &mix);
     let res = Resources::uniform(1, cfg.p);
-    let outcome = run_kind(cfg.kind, &jobs, &res, SelectionPolicy::CriticalLast, seed);
+    let outcome = Run::new(cfg.kind, &jobs, &res)
+        .policy(SelectionPolicy::CriticalLast)
+        .seed(seed)
+        .go();
     outcome.total_response() as f64 / response_bounds(&jobs, &res).lower_bound()
 }
 

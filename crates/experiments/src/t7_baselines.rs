@@ -9,13 +9,13 @@
 //! (span dilation), greedy/DEQ-only on response-time fairness, EQUI on
 //! utilization.
 
-use crate::runner::{par_map, run_kind};
+use crate::runner::{par_map, Run};
 use crate::RunOpts;
 use kanalysis::bounds::makespan_bounds;
 use kanalysis::report::ExperimentReport;
 use kanalysis::table::{f3, Table};
 use kbaselines::SchedulerKind;
-use kdag::{Category, SelectionPolicy};
+use kdag::Category;
 use kworkloads::rng_for;
 use kworkloads::scenarios::standard_suite;
 
@@ -39,13 +39,7 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
 
     let rows: Vec<Row> = par_map(&work, |_, &(i, kind)| {
         let sc = &scenarios[i];
-        let outcome = run_kind(
-            kind,
-            &sc.jobs,
-            &sc.resources,
-            SelectionPolicy::Fifo,
-            opts.seed,
-        );
+        let outcome = Run::new(kind, &sc.jobs, &sc.resources).seed(opts.seed).go();
         let lb = makespan_bounds(&sc.jobs, &sc.resources).lower_bound();
         let min_util = Category::all(sc.resources.k())
             .map(|c| outcome.utilization(c, &sc.resources))

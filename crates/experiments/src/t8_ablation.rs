@@ -10,13 +10,13 @@
 //!   no rotation) feeds the same front-runners every step, starving the
 //!   tail: its *max* response explodes relative to RAD's.
 
-use crate::runner::run_kind;
+use crate::runner::Run;
 use crate::RunOpts;
 use kanalysis::report::ExperimentReport;
 use kanalysis::table::{f3, Table};
 use kbaselines::SchedulerKind;
 use kdag::generators::{fork_join, phased, PhaseSpec};
-use kdag::{Category, SelectionPolicy};
+use kdag::Category;
 use ksim::{JobSpec, Resources};
 
 struct Case {
@@ -63,13 +63,9 @@ pub fn run(opts: &RunOpts) -> ExperimentReport {
     let mut measured = Vec::new();
     for case in &cases {
         for kind in kinds {
-            let o = run_kind(
-                kind,
-                &case.jobs,
-                &case.resources,
-                SelectionPolicy::Fifo,
-                opts.seed,
-            );
+            let o = Run::new(kind, &case.jobs, &case.resources)
+                .seed(opts.seed)
+                .go();
             table.row_owned(vec![
                 case.label.to_string(),
                 kind.label().to_string(),

@@ -13,7 +13,7 @@
 //! K-RAD's makespan and Lemma 2 are checked against the *effective*
 //! bounds on each.
 
-use crate::runner::{par_map, run_kind};
+use crate::runner::{par_map, Run};
 use crate::RunOpts;
 use kanalysis::bounds::{lemma2_rhs, makespan_bounds};
 use kanalysis::report::ExperimentReport;
@@ -45,13 +45,10 @@ fn measure(machine: &Machine, seed: u64, master: u64) -> Row {
     let k = res.k();
     let mut rng = rng_for(master ^ seed, 0x79);
     let jobs = batched_mix(&mut rng, &MixConfig::new(k, 24, 32));
-    let outcome = run_kind(
-        SchedulerKind::KRad,
-        &jobs,
-        &res,
-        SelectionPolicy::CriticalLast,
-        seed,
-    );
+    let outcome = Run::new(SchedulerKind::KRad, &jobs, &res)
+        .policy(SelectionPolicy::CriticalLast)
+        .seed(seed)
+        .go();
     let lb = makespan_bounds(&jobs, &res).lower_bound();
     let rhs = lemma2_rhs(&jobs, &res);
     Row {

@@ -22,13 +22,16 @@ enum Pool {
 }
 
 impl Pool {
-    fn new(policy: SelectionPolicy) -> Self {
+    /// `cap` is an upper bound on the pool's size over the whole run
+    /// (the number of tasks of its category); allocating it up front
+    /// means the pool never reallocates mid-simulation.
+    fn with_capacity(policy: SelectionPolicy, cap: usize) -> Self {
         match policy {
             SelectionPolicy::Fifo | SelectionPolicy::Lifo | SelectionPolicy::Random => {
-                Pool::Deque(VecDeque::new())
+                Pool::Deque(VecDeque::with_capacity(cap))
             }
-            SelectionPolicy::CriticalFirst => Pool::MaxHeight(BinaryHeap::new()),
-            SelectionPolicy::CriticalLast => Pool::MinHeight(BinaryHeap::new()),
+            SelectionPolicy::CriticalFirst => Pool::MaxHeight(BinaryHeap::with_capacity(cap)),
+            SelectionPolicy::CriticalLast => Pool::MinHeight(BinaryHeap::with_capacity(cap)),
         }
     }
 
@@ -89,6 +92,10 @@ impl Pool {
 pub struct ExecutionState {
     remaining_preds: Vec<u32>,
     ready: Vec<Pool>,
+    /// Per-category ready-set sizes, maintained incrementally on every
+    /// push/pop so the engine reads desires as a flat `&[u32]` slice
+    /// without touching the pools.
+    ready_counts: Vec<u32>,
     policy: SelectionPolicy,
     executed: u64,
     total: u64,
@@ -99,13 +106,24 @@ pub struct ExecutionState {
 impl ExecutionState {
     /// Create the initial state for a job: all sources are ready.
     pub fn new(dag: &JobDag, policy: SelectionPolicy) -> Self {
-        let mut ready: Vec<Pool> = (0..dag.k()).map(|_| Pool::new(policy)).collect();
+        // A category's ready set never holds more than that category's
+        // task count, so sizing each pool to `T1(J, α)` up front keeps
+        // the unfolding allocation-free after construction.
+        let mut ready: Vec<Pool> = dag
+            .work_by_category()
+            .iter()
+            .map(|&w| Pool::with_capacity(policy, w as usize))
+            .collect();
+        let mut ready_counts = vec![0u32; dag.k()];
         for t in dag.sources() {
-            ready[dag.category(t).index()].push(t, dag.height(t));
+            let c = dag.category(t).index();
+            ready[c].push(t, dag.height(t));
+            ready_counts[c] += 1;
         }
         ExecutionState {
             remaining_preds: dag.pred_count.clone(),
             ready,
+            ready_counts,
             policy,
             executed: 0,
             total: dag.len() as u64,
@@ -121,22 +139,27 @@ impl ExecutionState {
     /// The instantaneous α-desire: the number of ready `α`-tasks.
     #[inline]
     pub fn desire(&self, cat: Category) -> u32 {
-        self.ready[cat.index()].len() as u32
+        self.ready_counts[cat.index()]
+    }
+
+    /// All per-category desires as one slice (length `K`) — an O(1)
+    /// read of the incrementally maintained ready-set sizes.
+    #[inline]
+    pub fn desires(&self) -> &[u32] {
+        &self.ready_counts
     }
 
     /// Write all per-category desires into `out` (length must be `K`).
     pub fn desires_into(&self, out: &mut [u32]) {
-        assert_eq!(out.len(), self.ready.len());
-        for (o, pool) in out.iter_mut().zip(&self.ready) {
-            *o = pool.len() as u32;
-        }
+        assert_eq!(out.len(), self.ready_counts.len());
+        out.copy_from_slice(&self.ready_counts);
     }
 
     /// Total desire across all categories. An uncompleted job always
     /// has total desire ≥ 1 (the paper's invariant); see
     /// [`ExecutionState::is_complete`].
     pub fn total_desire(&self) -> u64 {
-        self.ready.iter().map(|p| p.len() as u64).sum()
+        self.ready_counts.iter().map(|&c| u64::from(c)).sum()
     }
 
     /// Number of tasks executed so far.
@@ -175,12 +198,14 @@ impl ExecutionState {
         assert_eq!(executed_out.len(), self.ready.len());
         self.scratch.clear();
         let mut total = 0u64;
-        for (a, (pool, out)) in allotments
+        for ((a, count), (pool, out)) in allotments
             .iter()
+            .zip(self.ready_counts.iter_mut())
             .zip(self.ready.iter_mut().zip(executed_out.iter_mut()))
         {
             let take = (*a).min(pool.len() as u32);
             *out = take;
+            *count -= take;
             total += u64::from(take);
             for _ in 0..take {
                 let t = pool
@@ -201,7 +226,9 @@ impl ExecutionState {
                 debug_assert!(*rp > 0, "successor unlocked twice");
                 *rp -= 1;
                 if *rp == 0 {
-                    self.ready[dag.category(s).index()].push(s, dag.height(s));
+                    let c = dag.category(s).index();
+                    self.ready[c].push(s, dag.height(s));
+                    self.ready_counts[c] += 1;
                 }
             }
         }

@@ -1,0 +1,180 @@
+//! Equivalence of the incrementally maintained ready-set counters with
+//! a from-scratch recomputation: after *every* step of a random
+//! unfolding, `ExecutionState::desires()` must equal the desires
+//! derived independently from the set of executed tasks and the DAG's
+//! precedence constraints.
+//!
+//! This is the invariant the engine hot path leans on — the scheduler
+//! reads desires as an O(1) slice, so any drift between the counters
+//! and the pools would silently corrupt every allotment decision.
+
+use kdag::generators::{
+    chain, fork_join, layered_random, series_parallel, wavefront, LayeredConfig,
+};
+use kdag::{Category, ExecutionState, JobDag, SelectionPolicy, TaskId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An independent oracle for the unfolding: tracks the executed set and
+/// recomputes every per-category desire from scratch off the DAG.
+struct Oracle {
+    preds: Vec<Vec<TaskId>>,
+    executed: Vec<bool>,
+}
+
+impl Oracle {
+    fn new(dag: &JobDag) -> Self {
+        // Build predecessor lists by reversing the CSR successor lists.
+        let mut preds = vec![Vec::new(); dag.len()];
+        for t in dag.tasks() {
+            for &s in dag.successors(t) {
+                preds[s.index()].push(t);
+            }
+        }
+        Oracle {
+            preds,
+            executed: vec![false; dag.len()],
+        }
+    }
+
+    /// A task is ready iff it has not executed and all predecessors
+    /// have. Counting ready tasks per category is the desire vector.
+    fn desires(&self, dag: &JobDag) -> Vec<u32> {
+        let mut d = vec![0u32; dag.k()];
+        for t in dag.tasks() {
+            let ready = !self.executed[t.index()]
+                && self.preds[t.index()]
+                    .iter()
+                    .all(|p| self.executed[p.index()]);
+            if ready {
+                d[dag.category(t).index()] += 1;
+            }
+        }
+        d
+    }
+
+    fn mark(&mut self, t: TaskId) {
+        assert!(!self.executed[t.index()], "task {t:?} executed twice");
+        self.executed[t.index()] = true;
+    }
+}
+
+/// Unfold `dag` to completion under `policy` with seeded random
+/// allotments, checking the incremental desires against the oracle
+/// after construction and after every step.
+fn check_unfolding(dag: &JobDag, policy: SelectionPolicy, seed: u64) {
+    let mut st = ExecutionState::new(dag, policy);
+    let mut oracle = Oracle::new(dag);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alloc_rng = StdRng::seed_from_u64(seed ^ 0xA110C);
+    let mut out = vec![0u32; dag.k()];
+    let mut rec = Vec::new();
+
+    assert_eq!(st.desires(), oracle.desires(dag), "{policy}: initial state");
+
+    let mut steps = 0u64;
+    while !st.is_complete() {
+        // Random allotments, sometimes starving a category entirely and
+        // sometimes exceeding any possible desire.
+        let allot: Vec<u32> = (0..dag.k())
+            .map(|_| match alloc_rng.gen_range(0..4u32) {
+                0 => 0,
+                1 => 1,
+                2 => alloc_rng.gen_range(0..8),
+                _ => u32::MAX,
+            })
+            .collect();
+        rec.clear();
+        let n = st.execute_step(dag, &allot, &mut rng, &mut out, Some(&mut rec));
+
+        // The recorded tasks are exactly what the counters claim ran.
+        assert_eq!(n, rec.len() as u64);
+        assert_eq!(n, out.iter().map(|&x| u64::from(x)).sum::<u64>());
+        for &(cat, t) in &rec {
+            assert_eq!(dag.category(t), cat);
+            oracle.mark(t);
+        }
+
+        let want = oracle.desires(dag);
+        assert_eq!(
+            st.desires(),
+            &want[..],
+            "{policy}: desires diverged after step {steps} (allot {allot:?})"
+        );
+        for (c, &w) in want.iter().enumerate() {
+            assert_eq!(st.desire(Category(c as u16)), w);
+        }
+        assert_eq!(
+            st.total_desire(),
+            want.iter().map(|&x| u64::from(x)).sum::<u64>()
+        );
+
+        // Zero allotments across the board stall a step legitimately;
+        // only a long run of them means the unfolding is stuck.
+        steps += 1;
+        assert!(
+            steps <= 50 * dag.len() as u64 + 1000,
+            "{policy}: unfolding failed to make progress"
+        );
+    }
+    assert_eq!(st.desires(), vec![0; dag.k()], "{policy}: complete job");
+    assert!(oracle.executed.iter().all(|&e| e));
+}
+
+fn shapes(seed: u64) -> Vec<JobDag> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        chain(2, 9, &[Category(0), Category(1)]),
+        fork_join(3, &[(Category(0), 7), (Category(2), 3), (Category(1), 5)]),
+        layered_random(&mut rng, &LayeredConfig::uniform(2, 12, 1, 6)),
+        layered_random(&mut rng, &LayeredConfig::uniform(4, 6, 2, 9)),
+        series_parallel(&mut rng, 3, 40),
+        wavefront(2, 5, 4, &[Category(0), Category(1)]),
+    ]
+}
+
+/// Deterministic sweep: every shape × every selection policy × several
+/// seeds. Runs identically under any `rand` backend, so it holds even
+/// where the proptest harness is unavailable.
+#[test]
+fn incremental_desires_match_recomputation_across_policies() {
+    for seed in [1u64, 42, 0xFEED] {
+        for dag in shapes(seed) {
+            for policy in SelectionPolicy::ALL {
+                check_unfolding(&dag, policy, seed);
+            }
+        }
+    }
+}
+
+/// Degenerate corners: a single task, and a DAG with an all-at-once
+/// ready front larger than any allotment.
+#[test]
+fn incremental_desires_match_on_corner_cases() {
+    let single = chain(1, 1, &[Category(0)]);
+    let wide = fork_join(1, &[(Category(0), 64)]);
+    for policy in SelectionPolicy::ALL {
+        check_unfolding(&single, policy, 3);
+        check_unfolding(&wide, policy, 3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized version of the same equivalence over generated
+    /// layered DAGs, category counts, and policies.
+    #[test]
+    fn incremental_desires_match_recomputation_random(
+        seed in 0u64..10_000,
+        k in 1usize..5,
+        layers in 1usize..15,
+        width in 1u32..8,
+        policy_idx in 0usize..SelectionPolicy::ALL.len(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = layered_random(&mut rng, &LayeredConfig::uniform(k, layers, 1, width));
+        check_unfolding(&dag, SelectionPolicy::ALL[policy_idx], seed);
+    }
+}

@@ -116,12 +116,68 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    /// Default config with a specific selection policy.
-    pub fn with_policy(policy: SelectionPolicy) -> Self {
-        SimConfig {
-            policy,
-            ..SimConfig::default()
-        }
+    /// Set the [`SelectionPolicy`] (chainable).
+    ///
+    /// ```
+    /// use kdag::SelectionPolicy;
+    /// use ksim::SimConfig;
+    /// let cfg = SimConfig::default()
+    ///     .with_policy(SelectionPolicy::CriticalLast)
+    ///     .with_quantum(4)
+    ///     .with_trace(true);
+    /// assert_eq!(cfg.quantum, 4);
+    /// ```
+    pub fn with_policy(mut self, policy: SelectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the RNG seed (chainable).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable/disable per-step [`StepTrace`] recording (chainable).
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Enable/disable full-schedule recording (chainable).
+    pub fn with_schedule(mut self, record: bool) -> Self {
+        self.record_schedule = record;
+        self
+    }
+
+    /// Set the stall limit (chainable).
+    pub fn with_stall_limit(mut self, limit: u64) -> Self {
+        self.stall_limit = limit;
+        self
+    }
+
+    /// Set the step cap (chainable).
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Set the scheduling quantum `q ≥ 1` (chainable).
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Set the [`DesireModel`] (chainable).
+    pub fn with_desire_model(mut self, model: DesireModel) -> Self {
+        self.desire_model = model;
+        self
+    }
+
+    /// Wire a [`TelemetryHandle`] into the engine (chainable).
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -159,6 +215,32 @@ pub fn simulate(
     res: &Resources,
     cfg: &SimConfig,
 ) -> SimOutcome {
+    // Thin shim over the builder-first entry point; new code should use
+    // [`crate::Simulation::builder`] directly. Shares the builder's
+    // validation but borrows `jobs`/`res` as-is — no clones.
+    if let Err(e) = crate::session::validate(jobs, res, cfg) {
+        panic!("{e}");
+    }
+    run_engine(scheduler, jobs, res, cfg)
+}
+
+/// The engine proper: one run of `jobs` on `res` under `scheduler`.
+///
+/// Callers ([`crate::Simulation`] and the [`simulate`] shim) have
+/// already validated the job/machine shapes. The per-step loop holds
+/// *flat preallocated* state — per-job allotment rows, feedback
+/// estimates and usage live in `jobs × K` matrices with presence flags,
+/// and the per-step totals are reused buffers — so the steady state
+/// performs no heap allocation. (The per-decision `JobView` slice
+/// borrows the desire buffer and so cannot persist across steps in
+/// safe Rust; it lives in a stack array for ≤ 8 active jobs and falls
+/// back to a short-lived `Vec` beyond that.)
+pub(crate) fn run_engine(
+    scheduler: &mut dyn Scheduler,
+    jobs: &[JobSpec],
+    res: &Resources,
+    cfg: &SimConfig,
+) -> SimOutcome {
     let k = res.k();
     for (i, j) in jobs.iter().enumerate() {
         assert_eq!(
@@ -184,7 +266,7 @@ pub fn simulate(
     let mut completions: Vec<Time> = vec![0; jobs.len()];
     let mut remaining = jobs.len();
 
-    let mut desires_buf: Vec<u32> = Vec::new();
+    let mut desires_buf: Vec<u32> = Vec::with_capacity(jobs.len() * k);
     let mut executed_buf: Vec<u32> = vec![0; k];
     let mut exec_record: Vec<(Category, TaskId)> = Vec::new();
     let mut out = AllotmentMatrix::new(k);
@@ -197,18 +279,23 @@ pub fn simulate(
     let mut stalled = 0u64;
     let mut trace: Vec<StepTrace> = Vec::new();
     let mut schedule = RecordedSchedule::default();
-    // Previous step's allotment per job (for preemption accounting).
-    let mut prev_allot: Vec<Option<Vec<u32>>> = vec![None; jobs.len()];
+
+    // Flat per-job row matrices (`jobs × K`) with presence flags —
+    // preallocated once so the step loop never clones rows.
+    let row_range = |idx: usize| idx * k..(idx + 1) * k;
 
     // Quantum machinery: allotments frozen between decisions.
     let q = cfg.quantum;
     assert!(q >= 1, "quantum must be at least 1");
-    let mut frozen: Vec<Option<Vec<u32>>> = vec![None; jobs.len()];
+    let mut frozen = vec![0u32; jobs.len() * k];
+    let mut frozen_set = vec![false; jobs.len()];
     let mut next_decision: Time = 0;
     let mut last_decision: Time = 0;
     let zero_row: Vec<u32> = vec![0; k];
 
-    // A-Greedy feedback state (one estimate vector per job).
+    // A-Greedy feedback state (flat `jobs × K` matrices, allocated only
+    // when feedback is enabled; `reported` shares `frozen_set` because
+    // both are written at each decision and cleared on completion).
     let feedback_delta = match cfg.desire_model {
         DesireModel::Exact => None,
         DesireModel::AGreedy { delta } => {
@@ -219,15 +306,28 @@ pub fn simulate(
             Some(delta)
         }
     };
-    let mut est: Vec<Option<Vec<u32>>> = vec![None; jobs.len()];
-    let mut reported: Vec<Option<Vec<u32>>> = vec![None; jobs.len()];
-    let mut usage_q: Vec<Vec<u64>> = vec![Vec::new(); jobs.len()];
+    let fb_len = if feedback_delta.is_some() {
+        jobs.len()
+    } else {
+        0
+    };
+    let mut est = vec![0u32; fb_len * k];
+    let mut est_set = vec![false; fb_len];
+    let mut reported = vec![0u32; fb_len * k];
+    let mut usage = vec![0u64; fb_len * k];
+    let mut usage_init = vec![false; fb_len];
     /// Cap on A-Greedy estimates (doubling is otherwise unbounded).
     const EST_CAP: u32 = 1 << 20;
 
+    // Per-step totals, reused across steps.
+    let mut allotted_totals = vec![0u32; k];
+    let mut step_executed_totals = vec![0u32; k];
+    let mut proc_counter = vec![0u32; k];
+    let mut decision_totals = vec![0u64; k];
+
     let tel = cfg.telemetry.clone();
     tel.emit(|| TelemetryEvent::RunStart {
-        scheduler: scheduler.name(),
+        scheduler: scheduler.name().to_string(),
         jobs: jobs.len() as u32,
         categories: k as u16,
     });
@@ -267,66 +367,116 @@ pub fn simulate(
         });
 
         // Quantum boundary: consult the scheduler and freeze allotments.
+        let mut decided = false;
         if t >= next_decision {
             // A-Greedy: digest the quantum that just ended.
             if let Some(delta) = feedback_delta {
                 let elapsed = t.saturating_sub(last_decision);
                 if elapsed > 0 {
                     for &idx in &active {
-                        let (Some(fr), Some(rep)) = (&frozen[idx], &reported[idx]) else {
+                        if !frozen_set[idx] || !est_set[idx] {
                             continue;
-                        };
-                        let Some(e) = est[idx].as_mut() else { continue };
+                        }
+                        let r = row_range(idx);
                         for c in 0..k {
-                            if fr[c] < rep[c] {
+                            let fr = frozen[r.start + c];
+                            if fr < reported[r.start + c] {
                                 continue; // deprived: estimate unchanged
                             }
-                            let granted = u64::from(fr[c]) * elapsed;
-                            if (usage_q[idx][c] as f64) >= delta * granted as f64 {
-                                e[c] = e[c].saturating_mul(2).min(EST_CAP);
+                            let granted = u64::from(fr) * elapsed;
+                            let e = &mut est[r.start + c];
+                            if (usage[r.start + c] as f64) >= delta * granted as f64 {
+                                *e = e.saturating_mul(2).min(EST_CAP);
                             } else {
-                                e[c] = (e[c] / 2).max(1);
+                                *e = (*e / 2).max(1);
                             }
                         }
-                        usage_q[idx].iter_mut().for_each(|u| *u = 0);
+                        usage[r].fill(0);
                     }
                 }
             }
 
-            // Build the non-clairvoyant views (exact desires or
+            // Build the non-clairvoyant views (exact desires — an O(1)
+            // read of the incrementally maintained ready counts — or
             // feedback estimates).
-            desires_buf.clear();
+            // Every row is fully overwritten below, so no zeroing pass.
             desires_buf.resize(active.len() * k, 0);
             for (slot, &idx) in active.iter().enumerate() {
                 let row = &mut desires_buf[slot * k..(slot + 1) * k];
                 match cfg.desire_model {
-                    DesireModel::Exact => states[idx].desires_into(row),
+                    DesireModel::Exact => row.copy_from_slice(states[idx].desires()),
                     DesireModel::AGreedy { .. } => {
-                        let e = est[idx].get_or_insert_with(|| vec![1; k]);
-                        row.copy_from_slice(e);
-                        if usage_q[idx].is_empty() {
-                            usage_q[idx] = vec![0; k];
+                        let r = row_range(idx);
+                        if !est_set[idx] {
+                            est[r.clone()].fill(1);
+                            est_set[idx] = true;
                         }
+                        row.copy_from_slice(&est[r]);
+                        usage_init[idx] = true;
                     }
                 }
             }
-            let views: Vec<JobView<'_>> = active
-                .iter()
-                .enumerate()
-                .map(|(slot, &idx)| JobView {
-                    id: JobId(idx as u32),
-                    release: jobs[idx].release,
-                    desires: &desires_buf[slot * k..(slot + 1) * k],
-                })
-                .collect();
+            // The views borrow `desires_buf`, so they cannot persist
+            // across steps in safe Rust; a stack array covers the
+            // common case and only very wide steps fall back to a
+            // heap allocation.
+            const VIEW_STACK: usize = 8;
+            let make_view = |(slot, &idx): (usize, &usize)| JobView {
+                id: JobId(idx as u32),
+                release: jobs[idx].release,
+                desires: &desires_buf[slot * k..(slot + 1) * k],
+            };
+            let mut view_stack = [JobView {
+                id: JobId(0),
+                release: 0,
+                desires: &[],
+            }; VIEW_STACK];
+            let view_heap: Vec<JobView<'_>>;
+            let views: &[JobView<'_>] = if active.len() <= VIEW_STACK {
+                for (slot, v) in active.iter().enumerate().map(make_view).enumerate() {
+                    view_stack[slot] = v;
+                }
+                &view_stack[..active.len()]
+            } else {
+                view_heap = active.iter().enumerate().map(make_view).collect();
+                &view_heap
+            };
 
             out.reset(active.len());
-            scheduler.allot(t, &views, res, &mut out);
-            drop(views);
+            scheduler.allot(t, views, res, &mut out);
+
+            // Freeze the decision for the quantum (row copies into the
+            // flat matrices — no per-decision allocation), folding the
+            // per-category totals for the over-allotment check into
+            // the same pass over the rows.
+            // Preemption accounting folds in here too: within a quantum
+            // the frozen rows never change, so processors can only be
+            // withdrawn at a decision boundary — comparing the old
+            // frozen row against the new one counts exactly the
+            // step-over-step losses (a job that *finished* has
+            // `frozen_set` cleared and is not counted).
+            decision_totals.fill(0);
+            for (slot, &idx) in active.iter().enumerate() {
+                let r = row_range(idx);
+                let row = out.row(slot);
+                for (tot, &a) in decision_totals.iter_mut().zip(row) {
+                    *tot += u64::from(a);
+                }
+                if frozen_set[idx] {
+                    for (&p, &a) in frozen[r.clone()].iter().zip(row) {
+                        preemptions += u64::from(p.saturating_sub(a));
+                    }
+                }
+                frozen[r.clone()].copy_from_slice(row);
+                frozen_set[idx] = true;
+                if feedback_delta.is_some() {
+                    reported[r].copy_from_slice(&desires_buf[slot * k..(slot + 1) * k]);
+                }
+            }
 
             // Contract: never allot more than Pα in any category.
             for cat in Category::all(k) {
-                let total = out.category_total(cat);
+                let total = decision_totals[cat.index()];
                 assert!(
                     total <= u64::from(res.processors(cat)),
                     "scheduler '{}' over-allotted {cat}: {total} > {} at step {t}",
@@ -334,55 +484,51 @@ pub fn simulate(
                     res.processors(cat)
                 );
             }
-
-            // Freeze the decision for the quantum.
-            for (slot, &idx) in active.iter().enumerate() {
-                frozen[idx] = Some(out.row(slot).to_vec());
-                reported[idx] = Some(desires_buf[slot * k..(slot + 1) * k].to_vec());
-            }
             last_decision = t;
             next_decision = t + q;
+            decided = true;
         }
 
-        // The allotment row each active job uses this step (zeros for
-        // jobs that arrived mid-quantum).
-        let row_of = |idx: usize, frozen: &[Option<Vec<u32>>]| -> Vec<u32> {
-            frozen[idx].clone().unwrap_or_else(|| zero_row.clone())
-        };
-
-        // Per-step allotted totals (for traces) + preemption accounting.
-        let mut allotted_totals = vec![0u32; k];
-        for &idx in &active {
-            let row = row_of(idx, &frozen);
-            for (tot, &a) in allotted_totals.iter_mut().zip(&row) {
-                *tot += a;
+        // Execute the step: one pass over the active jobs doing the
+        // allotted-total bookkeeping and task execution against the
+        // flat frozen rows (zeros for jobs that arrived mid-quantum) —
+        // no per-job allocation. On decision steps the allotted totals
+        // were already summed while freezing the rows.
+        if decided {
+            for (tot, &d) in allotted_totals.iter_mut().zip(&decision_totals) {
+                *tot = d as u32;
             }
-            if let Some(prev) = &prev_allot[idx] {
-                for (p, &c) in prev.iter().zip(&row) {
-                    preemptions += u64::from(p.saturating_sub(c));
+        } else {
+            allotted_totals.fill(0);
+            for &idx in &active {
+                if frozen_set[idx] {
+                    let r = row_range(idx);
+                    for (tot, &a) in allotted_totals.iter_mut().zip(&frozen[r]) {
+                        *tot += a;
+                    }
                 }
             }
-            prev_allot[idx] = Some(row);
         }
-
-        // Execute the step.
-        let mut step_executed_totals = vec![0u32; k];
+        step_executed_totals.fill(0);
+        proc_counter.fill(0);
         let mut step_total = 0u64;
-        let mut proc_counter = vec![0u32; k];
         let mut any_completed = false;
-        let active_snapshot: Vec<usize> = active.clone();
-        for &idx in &active_snapshot {
+        for &idx in &active {
+            let r = row_range(idx);
+            let row: &[u32] = if frozen_set[idx] {
+                &frozen[r.clone()]
+            } else {
+                &zero_row
+            };
             exec_record.clear();
             let rec = cfg.record_schedule.then_some(&mut exec_record);
-            let row = row_of(idx, &frozen);
-            let n =
-                states[idx].execute_step(&jobs[idx].dag, &row, &mut rng, &mut executed_buf, rec);
+            let n = states[idx].execute_step(&jobs[idx].dag, row, &mut rng, &mut executed_buf, rec);
             step_total += n;
             for (tot, &e) in step_executed_totals.iter_mut().zip(executed_buf.iter()) {
                 *tot += e;
             }
-            if feedback_delta.is_some() && !usage_q[idx].is_empty() {
-                for (u, &e) in usage_q[idx].iter_mut().zip(executed_buf.iter()) {
+            if feedback_delta.is_some() && usage_init[idx] {
+                for (u, &e) in usage[r].iter_mut().zip(executed_buf.iter()) {
                     *u += u64::from(e);
                 }
             }
@@ -407,11 +553,13 @@ pub fn simulate(
                 });
                 remaining -= 1;
                 any_completed = true;
-                // Losing processors by *finishing* is not a preemption.
-                prev_allot[idx] = None;
-                frozen[idx] = None;
-                est[idx] = None;
-                reported[idx] = None;
+                // Losing processors by *finishing* is not a preemption:
+                // clearing `frozen_set` excludes this job from the next
+                // decision's old-vs-new comparison.
+                frozen_set[idx] = false;
+                if feedback_delta.is_some() {
+                    est_set[idx] = false;
+                }
             }
         }
         for (tot, &e) in executed_by_category.iter_mut().zip(&step_executed_totals) {
@@ -447,8 +595,8 @@ pub fn simulate(
             trace.push(StepTrace {
                 t,
                 active_jobs: (active.len() + usize::from(any_completed)) as u32,
-                allotted: allotted_totals,
-                executed: step_executed_totals,
+                allotted: allotted_totals.clone(),
+                executed: step_executed_totals.clone(),
             });
         }
     }
@@ -460,7 +608,7 @@ pub fn simulate(
     });
 
     SimOutcome {
-        scheduler: scheduler.name(),
+        scheduler: scheduler.name().to_string(),
         makespan: t,
         releases: jobs.iter().map(|j| j.release).collect(),
         completions,
@@ -484,8 +632,8 @@ mod tests {
     /// remaining capacity, scanning jobs in slot order.
     struct GreedyAll;
     impl Scheduler for GreedyAll {
-        fn name(&self) -> String {
-            "greedy-all".into()
+        fn name(&self) -> &str {
+            "greedy-all"
         }
         fn allot(
             &mut self,
@@ -511,8 +659,8 @@ mod tests {
     /// Never allots anything: must trip the stall detector.
     struct DoNothing;
     impl Scheduler for DoNothing {
-        fn name(&self) -> String {
-            "do-nothing".into()
+        fn name(&self) -> &str {
+            "do-nothing"
         }
         fn allot(&mut self, _: Time, _: &[JobView<'_>], _: &Resources, _: &mut AllotmentMatrix) {}
     }
@@ -520,8 +668,8 @@ mod tests {
     /// Allots more than Pα: must trip the contract assertion.
     struct OverAllot;
     impl Scheduler for OverAllot {
-        fn name(&self) -> String {
-            "over-allot".into()
+        fn name(&self) -> &str {
+            "over-allot"
         }
         fn allot(
             &mut self,
@@ -621,8 +769,8 @@ mod tests {
             calls: u64,
         }
         impl Scheduler for Counting {
-            fn name(&self) -> String {
-                "counting".into()
+            fn name(&self) -> &str {
+                "counting"
             }
             fn allot(
                 &mut self,
@@ -720,8 +868,8 @@ mod tests {
         // flat jobs each step: every switch withdraws one unit.
         struct Alternator(u64);
         impl Scheduler for Alternator {
-            fn name(&self) -> String {
-                "alternator".into()
+            fn name(&self) -> &str {
+                "alternator"
             }
             fn allot(
                 &mut self,
@@ -896,8 +1044,8 @@ mod tests {
             events: Vec<(char, u32, Time)>,
         }
         impl Scheduler for Watcher {
-            fn name(&self) -> String {
-                "watcher".into()
+            fn name(&self) -> &str {
+                "watcher"
             }
             fn on_arrival(&mut self, id: JobId, t: Time) {
                 self.events.push(('a', id.0, t));

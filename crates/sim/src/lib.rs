@@ -41,6 +41,7 @@ mod engine;
 mod outcome;
 mod resources;
 mod scheduler;
+mod session;
 mod trace;
 mod view;
 
@@ -51,6 +52,7 @@ pub use engine::{simulate, DesireModel, JobSpec, SimConfig};
 pub use outcome::SimOutcome;
 pub use resources::Resources;
 pub use scheduler::Scheduler;
+pub use session::{BuildError, Simulation, SimulationBuilder};
 pub use trace::StepTrace;
 pub use view::JobView;
 

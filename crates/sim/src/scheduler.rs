@@ -21,7 +21,11 @@ use kdag::JobId;
 /// population without peeking at job internals.
 pub trait Scheduler {
     /// Human-readable name used in tables and reports.
-    fn name(&self) -> String;
+    ///
+    /// Borrowed from the scheduler: implementations return a constant
+    /// (or a string cached at construction) instead of allocating per
+    /// call; callers that need ownership convert explicitly.
+    fn name(&self) -> &str;
 
     /// Called when a job becomes available (once, before its first
     /// `allot` exposure), in increasing order of release time.
@@ -49,8 +53,8 @@ mod tests {
     struct GreedyInfinite;
 
     impl Scheduler for GreedyInfinite {
-        fn name(&self) -> String {
-            "greedy-infinite".into()
+        fn name(&self) -> &str {
+            "greedy-infinite"
         }
         fn allot(
             &mut self,

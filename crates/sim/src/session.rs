@@ -1,0 +1,378 @@
+//! The builder-first simulation entry point.
+//!
+//! [`Simulation`] owns everything a run needs — machine, jobs, and
+//! configuration (including telemetry) — so callers assemble a run once
+//! and execute it against any number of schedulers, instead of
+//! threading loose `(jobs, res, cfg)` triples through every call.
+
+use crate::engine::run_engine;
+use crate::{JobSpec, Resources, Scheduler, SimConfig, SimOutcome};
+use kdag::SelectionPolicy;
+use ktelemetry::TelemetryHandle;
+use std::fmt;
+
+use crate::DesireModel;
+
+/// Why a [`SimulationBuilder`] refused to produce a [`Simulation`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// No machine was provided ([`SimulationBuilder::resources`]).
+    MissingResources,
+    /// A job's DAG disagrees with the machine on the number of
+    /// processor categories.
+    CategoryMismatch {
+        /// Index of the offending job.
+        job: usize,
+        /// `K` of the job's DAG.
+        dag_k: usize,
+        /// `K` of the machine.
+        machine_k: usize,
+    },
+    /// The scheduling quantum was 0 (must be ≥ 1).
+    ZeroQuantum,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingResources => {
+                write!(f, "simulation requires resources (machine description)")
+            }
+            BuildError::CategoryMismatch {
+                job,
+                dag_k,
+                machine_k,
+            } => write!(
+                f,
+                "job {job}: DAG has {dag_k} categories but machine has {machine_k}"
+            ),
+            BuildError::ZeroQuantum => write!(f, "quantum must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Validate a `(jobs, res, cfg)` triple exactly the way
+/// [`SimulationBuilder::build`] does — shared with the borrowing
+/// [`crate::simulate`] shim so the legacy path pays no clone.
+pub(crate) fn validate(
+    jobs: &[JobSpec],
+    res: &Resources,
+    cfg: &SimConfig,
+) -> Result<(), BuildError> {
+    if cfg.quantum == 0 {
+        return Err(BuildError::ZeroQuantum);
+    }
+    let k = res.k();
+    for (i, j) in jobs.iter().enumerate() {
+        if j.dag.k() != k {
+            return Err(BuildError::CategoryMismatch {
+                job: i,
+                dag_k: j.dag.k(),
+                machine_k: k,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A fully assembled simulation: machine, jobs, and configuration.
+///
+/// Build one with [`Simulation::builder`]; run it with
+/// [`Simulation::run`]. The job/machine shapes are validated once at
+/// build time, so `run` can be called repeatedly (e.g. once per
+/// scheduler under comparison) with no re-validation and no cloning.
+///
+/// ```
+/// use kdag::generators::fork_join;
+/// use kdag::Category;
+/// use krad::KRad;
+/// use ksim::{JobSpec, Resources, Simulation};
+///
+/// let sim = Simulation::builder()
+///     .resources(Resources::new(vec![4, 2]))
+///     .job(JobSpec::batched(fork_join(2, &[(Category(0), 4), (Category(1), 2)])))
+///     .build()
+///     .unwrap();
+/// let outcome = sim.run(&mut KRad::new(2));
+/// assert_eq!(outcome.makespan, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    jobs: Vec<JobSpec>,
+    res: Resources,
+    cfg: SimConfig,
+}
+
+impl Simulation {
+    /// Start assembling a simulation.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder {
+            res: None,
+            jobs: Vec::new(),
+            cfg: SimConfig::default(),
+        }
+    }
+
+    /// Run the simulation under `scheduler` and return the outcome.
+    ///
+    /// Deterministic: the same `Simulation` and a freshly constructed
+    /// scheduler always produce the same [`SimOutcome`].
+    pub fn run(&self, scheduler: &mut dyn Scheduler) -> SimOutcome {
+        run_engine(scheduler, &self.jobs, &self.res, &self.cfg)
+    }
+
+    /// The jobs this simulation will run.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// The machine description.
+    pub fn resources(&self) -> &Resources {
+        &self.res
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+}
+
+/// Builder for [`Simulation`] — owns resources, jobs, config, and
+/// telemetry as they are assembled.
+///
+/// Config shortcuts ([`policy`](SimulationBuilder::policy),
+/// [`seed`](SimulationBuilder::seed), …) mutate the internal
+/// [`SimConfig`]; pass a prebuilt one with
+/// [`config`](SimulationBuilder::config) *before* the shortcuts if you
+/// want to combine both.
+#[derive(Clone, Debug)]
+pub struct SimulationBuilder {
+    res: Option<Resources>,
+    jobs: Vec<JobSpec>,
+    cfg: SimConfig,
+}
+
+impl SimulationBuilder {
+    /// Set the machine description (required).
+    pub fn resources(mut self, res: Resources) -> Self {
+        self.res = Some(res);
+        self
+    }
+
+    /// Add one job.
+    pub fn job(mut self, job: JobSpec) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Add many jobs.
+    pub fn jobs<I: IntoIterator<Item = JobSpec>>(mut self, jobs: I) -> Self {
+        self.jobs.extend(jobs);
+        self
+    }
+
+    /// Replace the entire engine configuration.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set the [`SelectionPolicy`].
+    pub fn policy(mut self, policy: SelectionPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Set the scheduling quantum `q ≥ 1`.
+    pub fn quantum(mut self, quantum: u64) -> Self {
+        self.cfg.quantum = quantum;
+        self
+    }
+
+    /// Set the [`DesireModel`].
+    pub fn desire_model(mut self, model: DesireModel) -> Self {
+        self.cfg.desire_model = model;
+        self
+    }
+
+    /// Record per-step [`crate::StepTrace`]s in the outcome.
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.cfg.record_trace = record;
+        self
+    }
+
+    /// Record the full schedule `χ` for the [`crate::checker`].
+    pub fn record_schedule(mut self, record: bool) -> Self {
+        self.cfg.record_schedule = record;
+        self
+    }
+
+    /// Wire a [`TelemetryHandle`] into the engine.
+    pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    /// Set the stall limit.
+    pub fn stall_limit(mut self, limit: u64) -> Self {
+        self.cfg.stall_limit = limit;
+        self
+    }
+
+    /// Set the step cap.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.cfg.max_steps = max_steps;
+        self
+    }
+
+    /// Validate the assembled run and produce a [`Simulation`].
+    pub fn build(self) -> Result<Simulation, BuildError> {
+        let res = self.res.ok_or(BuildError::MissingResources)?;
+        validate(&self.jobs, &res, &self.cfg)?;
+        Ok(Simulation {
+            jobs: self.jobs,
+            res,
+            cfg: self.cfg,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::{Category, DagBuilder};
+
+    fn diamond() -> kdag::JobDag {
+        let mut b = DagBuilder::new(2);
+        let a = b.add_task(Category(0));
+        let x = b.add_task(Category(1));
+        let y = b.add_task(Category(1));
+        let z = b.add_task(Category(0));
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Gives every job its full desire, clamped to capacity.
+    struct GreedyAll;
+    impl Scheduler for GreedyAll {
+        fn name(&self) -> &str {
+            "greedy-all"
+        }
+        fn allot(
+            &mut self,
+            _t: crate::Time,
+            views: &[crate::JobView<'_>],
+            res: &Resources,
+            out: &mut crate::AllotmentMatrix,
+        ) {
+            for cat in Category::all(res.k()) {
+                let mut left = res.processors(cat);
+                for (slot, v) in views.iter().enumerate() {
+                    let a = v.desire(cat).min(left);
+                    out.set(slot, cat, a);
+                    left -= a;
+                    if left == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builder_assembles_and_runs() {
+        let sim = Simulation::builder()
+            .resources(Resources::uniform(2, 4))
+            .job(JobSpec::batched(diamond()))
+            .job(JobSpec::released(diamond(), 10))
+            .policy(SelectionPolicy::Lifo)
+            .seed(7)
+            .build()
+            .expect("valid build");
+        assert_eq!(sim.jobs().len(), 2);
+        assert_eq!(sim.config().policy, SelectionPolicy::Lifo);
+        assert_eq!(sim.config().seed, 7);
+        let o = sim.run(&mut GreedyAll);
+        assert_eq!(o.completions[0], 3);
+        assert_eq!(o.completions[1], 13);
+    }
+
+    #[test]
+    fn run_is_repeatable_from_one_simulation() {
+        let sim = Simulation::builder()
+            .resources(Resources::uniform(2, 4))
+            .jobs((0..4).map(|i| JobSpec::released(diamond(), i)))
+            .build()
+            .unwrap();
+        let a = sim.run(&mut GreedyAll);
+        let b = sim.run(&mut GreedyAll);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.preemptions, b.preemptions);
+    }
+
+    #[test]
+    fn missing_resources_is_an_error() {
+        let err = Simulation::builder()
+            .job(JobSpec::batched(diamond()))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::MissingResources);
+        assert!(err.to_string().contains("resources"));
+    }
+
+    #[test]
+    fn category_mismatch_is_an_error() {
+        let err = Simulation::builder()
+            .resources(Resources::uniform(3, 4))
+            .job(JobSpec::batched(diamond()))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::CategoryMismatch {
+                job: 0,
+                dag_k: 2,
+                machine_k: 3
+            }
+        );
+        assert!(err.to_string().contains("categories but machine"));
+    }
+
+    #[test]
+    fn zero_quantum_is_an_error() {
+        let err = Simulation::builder()
+            .resources(Resources::uniform(2, 4))
+            .quantum(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::ZeroQuantum);
+    }
+
+    #[test]
+    fn config_then_shortcuts_compose() {
+        let cfg = SimConfig::default()
+            .with_quantum(3)
+            .with_policy(SelectionPolicy::CriticalFirst);
+        let sim = Simulation::builder()
+            .resources(Resources::uniform(2, 4))
+            .config(cfg)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(sim.config().quantum, 3);
+        assert_eq!(sim.config().policy, SelectionPolicy::CriticalFirst);
+        assert_eq!(sim.config().seed, 99);
+    }
+}

@@ -21,8 +21,8 @@ struct Chaotic {
 }
 
 impl Scheduler for Chaotic {
-    fn name(&self) -> String {
-        "chaotic".into()
+    fn name(&self) -> &str {
+        "chaotic"
     }
     fn allot(
         &mut self,
@@ -70,7 +70,7 @@ proptest! {
     ) {
         let jobs = jobset(seed, k, n);
         let res = Resources::uniform(k, p);
-        let mut cfg = SimConfig::with_policy(SelectionPolicy::ALL[policy_idx]);
+        let mut cfg = SimConfig::default().with_policy(SelectionPolicy::ALL[policy_idx]);
         cfg.seed = seed;
         cfg.record_schedule = true;
         let mut sched = Chaotic { rng: StdRng::seed_from_u64(seed ^ 0xC11A) };

@@ -35,7 +35,7 @@ pub struct AdversarialWorkload {
 /// use ksim::{simulate, SimConfig};
 /// let w = adversarial_workload(&[2, 2], 4);
 /// let mut sched = KRad::new(2);
-/// let cfg = SimConfig::with_policy(SelectionPolicy::CriticalLast);
+/// let cfg = SimConfig::default().with_policy(SelectionPolicy::CriticalLast);
 /// let o = simulate(&mut sched, &w.jobs, &w.resources, &cfg);
 /// // The proof's exact worst-case trajectory: m·K·PK + m·PK − m.
 /// assert_eq!(o.makespan, 4 * 2 * 2 + 4 * 2 - 4);

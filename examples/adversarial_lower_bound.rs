@@ -30,7 +30,7 @@ fn main() {
     for m in [1u64, 2, 4, 8, 16, 32, 64] {
         let w = adversarial_workload(&vec![p; k], m);
         let mut sched = KRad::new(k);
-        let cfg = SimConfig::with_policy(SelectionPolicy::CriticalLast);
+        let cfg = SimConfig::default().with_policy(SelectionPolicy::CriticalLast);
         let outcome = simulate(&mut sched, &w.jobs, &w.resources, &cfg);
         let ratio = outcome.makespan as f64 / w.optimal_makespan as f64;
         println!(

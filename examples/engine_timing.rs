@@ -1,0 +1,86 @@
+//! Wall-clock timing of the engine hot path on the bench shapes.
+//!
+//! ```text
+//! cargo run --release --example engine_timing
+//! ```
+//!
+//! Criterion owns the statistical benches (`crates/bench`); this
+//! example is the quick self-contained timer used to record the
+//! before/after numbers quoted in DESIGN.md.
+
+use kdag::generators::{layered_random, LayeredConfig};
+use kdag::SelectionPolicy;
+use krad_suite::prelude::*;
+use kworkloads::heavy_tail::{bursty_releases, heavy_tail_mix, BurstyConfig};
+use kworkloads::mixes::{batched_mix, MixConfig};
+use kworkloads::rng_for;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn t12_stress() -> (Vec<JobSpec>, Resources) {
+    let mut rng = rng_for(42, 0x7C);
+    let mut jobs = heavy_tail_mix(&mut rng, 2, 80, 1.2, 10, 500);
+    let cfg = BurstyConfig {
+        burst_rate: 4.0,
+        idle_rate: 0.02,
+        switch_prob: 0.08,
+    };
+    bursty_releases(&mut jobs, &mut rng, &cfg);
+    (jobs, Resources::new(vec![6, 3]))
+}
+
+fn large_dag() -> (Vec<JobSpec>, Resources) {
+    let cfg = LayeredConfig::uniform(2, 200, 20, 60);
+    let dag = layered_random(&mut rng_for(7, 0xDA6), &cfg);
+    (vec![JobSpec::batched(dag)], Resources::new(vec![16, 16]))
+}
+
+fn many_jobs() -> (Vec<JobSpec>, Resources) {
+    let jobs = batched_mix(&mut rng_for(0xBEEF, 300), &MixConfig::new(2, 300, 24));
+    (jobs, Resources::new(vec![6, 3]))
+}
+
+fn time_shape(name: &str, jobs: &[JobSpec], res: &Resources, iters: u32) {
+    // Warm-up.
+    let mut sched = KRad::new(res.k());
+    let o = simulate(
+        &mut sched,
+        jobs,
+        res,
+        &SimConfig::default().with_policy(SelectionPolicy::Fifo),
+    );
+    let steps = o.busy_steps;
+
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let mut sched = KRad::new(res.k());
+            let start = Instant::now();
+            black_box(
+                simulate(
+                    &mut sched,
+                    jobs,
+                    res,
+                    &SimConfig::default().with_policy(SelectionPolicy::Fifo),
+                )
+                .makespan,
+            );
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:>12}: median {:>9.3} ms over {iters} runs  ({steps} busy steps, {:.1} Msteps/s)",
+        median * 1e3,
+        steps as f64 / median / 1e6,
+    );
+}
+
+fn main() {
+    let (jobs, res) = t12_stress();
+    time_shape("t12_stress", &jobs, &res, 101);
+    let (jobs, res) = large_dag();
+    time_shape("large_dag", &jobs, &res, 51);
+    let (jobs, res) = many_jobs();
+    time_shape("many_jobs", &jobs, &res, 25);
+}

@@ -19,7 +19,7 @@ fn main() {
     let res = Resources::new(vec![3, 1]);
 
     // Four small jobs with different shapes.
-    let jobs = vec![
+    let jobs = [
         JobSpec::batched(fork_join(2, &[(cpu, 6), (io, 1), (cpu, 6)])),
         JobSpec::batched(chain(2, 8, &[cpu, io])),
         JobSpec::batched(fork_join(2, &[(cpu, 4), (io, 2)])),
@@ -31,10 +31,14 @@ fn main() {
         SchedulerKind::GreedyFcfs,
         SchedulerKind::RrOnly,
     ] {
-        let mut cfg = SimConfig::default();
-        cfg.record_schedule = true;
+        let sim = Simulation::builder()
+            .resources(res.clone())
+            .jobs(jobs.iter().cloned())
+            .record_schedule(true)
+            .build()
+            .expect("gallery jobs match the machine");
         let mut sched = kind.build(res.k());
-        let o = simulate(sched.as_mut(), &jobs, &res, &cfg);
+        let o = sim.run(sched.as_mut());
         println!(
             "=== {} — makespan {}, mean response {:.1} ===",
             kind.label(),

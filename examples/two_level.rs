@@ -31,11 +31,15 @@ fn main() {
             ("exact", DesireModel::Exact),
             ("a-greedy δ=0.8", DesireModel::AGreedy { delta: 0.8 }),
         ] {
-            let mut cfg = SimConfig::default();
-            cfg.quantum = quantum;
-            cfg.desire_model = model;
+            let sim = Simulation::builder()
+                .resources(res.clone())
+                .jobs(jobs.iter().cloned())
+                .quantum(quantum)
+                .desire_model(model)
+                .build()
+                .expect("mix matches the machine");
             let mut sched = KRad::new(k);
-            let o = simulate(&mut sched, &jobs, &res, &cfg);
+            let o = sim.run(&mut sched);
             table.row_owned(vec![
                 quantum.to_string(),
                 label.to_string(),

@@ -10,7 +10,7 @@ use kworkloads::adversarial::adversarial_workload;
 fn run(p: &[u32], m: u64) -> (u64, u64, f64, f64) {
     let w = adversarial_workload(p, m);
     let mut sched = KRad::new(w.resources.k());
-    let cfg = SimConfig::with_policy(SelectionPolicy::CriticalLast);
+    let cfg = SimConfig::default().with_policy(SelectionPolicy::CriticalLast);
     let o = simulate(&mut sched, &w.jobs, &w.resources, &cfg);
     let ratio = o.makespan as f64 / w.optimal_makespan as f64;
     (o.makespan, w.optimal_makespan, ratio, w.bound)
@@ -76,7 +76,7 @@ fn friendly_policy_defeats_the_adversary() {
     // eagerly and the makespan drops well below the adversarial value.
     let w = adversarial_workload(&[4, 4], 8);
     let mut sched = KRad::new(2);
-    let cfg = SimConfig::with_policy(SelectionPolicy::CriticalFirst);
+    let cfg = SimConfig::default().with_policy(SelectionPolicy::CriticalFirst);
     let o = simulate(&mut sched, &w.jobs, &w.resources, &cfg);
     let adversarial = w.m * 2 * 4 + w.m * 4 - w.m;
     assert!(

@@ -10,7 +10,7 @@ use kworkloads::rng_for;
 use proptest::prelude::*;
 
 fn run(kind: SchedulerKind, jobs: &[JobSpec], res: &Resources, seed: u64) -> ksim::SimOutcome {
-    let mut cfg = SimConfig::with_policy(SelectionPolicy::Fifo);
+    let mut cfg = SimConfig::default().with_policy(SelectionPolicy::Fifo);
     cfg.seed = seed;
     let mut s = kind.build_seeded(res.k(), seed);
     simulate(s.as_mut(), jobs, res, &cfg)

@@ -11,7 +11,7 @@ fn run_once(kind: SchedulerKind, policy: SelectionPolicy, seed: u64) -> SimOutco
     let mut rng = rng_for(seed, 0xD0);
     let jobs = batched_mix(&mut rng, &MixConfig::new(2, 10, 24));
     let res = Resources::new(vec![3, 2]);
-    let mut cfg = SimConfig::with_policy(policy);
+    let mut cfg = SimConfig::default().with_policy(policy);
     cfg.seed = seed;
     cfg.record_trace = true;
     let mut sched = kind.build(2);
@@ -48,7 +48,7 @@ fn different_seeds_change_random_policy_only() {
     };
     let res = Resources::uniform(2, 3);
     let outcome = |engine_seed: u64| {
-        let mut cfg = SimConfig::with_policy(SelectionPolicy::Fifo);
+        let mut cfg = SimConfig::default().with_policy(SelectionPolicy::Fifo);
         cfg.seed = engine_seed;
         let mut s = SchedulerKind::KRad.build(2);
         simulate(s.as_mut(), &jobs, &res, &cfg)

@@ -34,7 +34,7 @@ proptest! {
         // Bracket: the lower bound can never exceed a feasible schedule.
         prop_assert!(lb <= t_cp as f64 + 1e-9, "LB {lb} > T_cp {t_cp}");
 
-        let mut cfg = SimConfig::with_policy(SelectionPolicy::CriticalLast);
+        let mut cfg = SimConfig::default().with_policy(SelectionPolicy::CriticalLast);
         cfg.seed = seed;
         let mut sched = KRad::new(k);
         let o = simulate(&mut sched, &jobs, &res, &cfg);

@@ -64,8 +64,8 @@ fn gantt_golden() {
     // A deterministic 2-job run on a tiny machine.
     struct Greedy;
     impl ksim::Scheduler for Greedy {
-        fn name(&self) -> String {
-            "g".into()
+        fn name(&self) -> &str {
+            "g"
         }
         fn allot(
             &mut self,

@@ -16,7 +16,7 @@ fn check(
     policy: SelectionPolicy,
     seed: u64,
 ) {
-    let mut cfg = SimConfig::with_policy(policy);
+    let mut cfg = SimConfig::default().with_policy(policy);
     cfg.seed = seed;
     cfg.record_schedule = true;
     let mut sched = kind.build(res.k());

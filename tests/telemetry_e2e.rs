@@ -6,7 +6,7 @@
 use kanalysis::telemetry_report::TelemetrySummary;
 use kbaselines::SchedulerKind;
 use kdag::SelectionPolicy;
-use kexperiments::runner::run_kind_with_telemetry;
+use kexperiments::runner::Run;
 use ksim::Resources;
 use ktelemetry::{
     json::parse_jsonl, FanoutSink, JsonlSink, RecordingSink, SharedSink, TelemetryEvent,
@@ -34,14 +34,11 @@ fn jsonl_stream_reproduces_the_run() {
         rec.clone() as SharedSink,
         file.clone() as SharedSink,
     ]));
-    let o = run_kind_with_telemetry(
-        SchedulerKind::KRad,
-        &jobs,
-        &res,
-        SelectionPolicy::Fifo,
-        7,
-        tel.clone(),
-    );
+    let o = Run::new(SchedulerKind::KRad, &jobs, &res)
+        .policy(SelectionPolicy::Fifo)
+        .seed(7)
+        .telemetry(tel.clone())
+        .go();
     tel.flush();
 
     // The file round-trips to exactly the recorded stream.

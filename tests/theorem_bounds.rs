@@ -16,7 +16,7 @@ fn run_krad(
     policy: SelectionPolicy,
     seed: u64,
 ) -> ksim::SimOutcome {
-    let mut cfg = SimConfig::with_policy(policy);
+    let mut cfg = SimConfig::default().with_policy(policy);
     cfg.seed = seed;
     let mut s = KRad::new(res.k());
     simulate(&mut s, jobs, res, &cfg)

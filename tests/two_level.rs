@@ -10,7 +10,7 @@ use kworkloads::rng_for;
 use proptest::prelude::*;
 
 fn config(quantum: u64, model: DesireModel) -> SimConfig {
-    let mut cfg = SimConfig::with_policy(SelectionPolicy::Fifo);
+    let mut cfg = SimConfig::default().with_policy(SelectionPolicy::Fifo);
     cfg.quantum = quantum;
     cfg.desire_model = model;
     cfg
