@@ -1,0 +1,131 @@
+//! Service-layer throughput: jobs per second through the full daemon
+//! loop — TCP loopback submit, admission, quantum-loop injection,
+//! completion streaming, drain — plus the protocol codec and the
+//! offline replay verification in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kdag::DagSpec;
+use kserve::loadgen::{run_loadgen, ArrivalKind, LoadgenConfig};
+use kserve::protocol::{Request, Response};
+use kserve::{Server, ServerConfig};
+use kworkloads::mixes::{batched_mix, MixConfig};
+use kworkloads::rng_for;
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        machine: vec![8, 4],
+        queue_capacity: 256,
+        max_inflight: 8192,
+        seed: 42,
+        ..ServerConfig::default()
+    }
+}
+
+/// One full daemon session: start, drive with concurrent clients,
+/// drain. Measures end-to-end accepted-job throughput.
+fn bench_loopback_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_loopback");
+    g.sample_size(10);
+    for clients in [1usize, 4] {
+        let jobs_per_client = 32usize;
+        g.throughput(Throughput::Elements((clients * jobs_per_client) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("session", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let server = Server::start(server_config()).expect("server starts");
+                    let addr = server.addr().to_string();
+                    let report = run_loadgen(
+                        &addr,
+                        &LoadgenConfig {
+                            clients,
+                            jobs_per_client,
+                            chunk: 8,
+                            arrivals: ArrivalKind::Burst,
+                            seed: 7,
+                            k: 2,
+                            mean_size: 20,
+                            ..LoadgenConfig::default()
+                        },
+                    )
+                    .expect("loadgen runs");
+                    let mut client = kserve::Client::connect(&addr).expect("connect");
+                    let drained = client.drain().expect("drain");
+                    server.join();
+                    (report.completed, drained)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+/// The protocol codec alone: encode + decode one submit line.
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut rng = rng_for(1, 0xBE9C);
+    let dags: Vec<DagSpec> = batched_mix(&mut rng, &MixConfig::new(2, 16, 30))
+        .iter()
+        .map(|j| DagSpec::from_dag(&j.dag))
+        .collect();
+    let req = Request::Submit {
+        jobs: dags,
+        scenario: None,
+        watch: false,
+    };
+    let line = req.encode();
+    let mut g = c.benchmark_group("serve_codec");
+    g.throughput(Throughput::Bytes(line.len() as u64));
+    g.bench_function("submit_roundtrip", |b| {
+        b.iter(|| {
+            let line = req.encode();
+            Request::decode(&line).expect("decodes")
+        });
+    });
+    g.finish();
+
+    // Keep the helper exercised so the bench compiles it in.
+    assert!(matches!(
+        Response::decode(&Response::Submitted { jobs: vec![1] }.encode()),
+        Ok(Response::Submitted { .. })
+    ));
+}
+
+/// Replay verification: one recorded session re-run offline.
+fn bench_replay_verify(c: &mut Criterion) {
+    let server = Server::start(server_config()).expect("server starts");
+    let addr = server.addr().to_string();
+    run_loadgen(
+        &addr,
+        &LoadgenConfig {
+            clients: 2,
+            jobs_per_client: 16,
+            chunk: 4,
+            seed: 5,
+            mean_size: 20,
+            ..LoadgenConfig::default()
+        },
+    )
+    .expect("loadgen runs");
+    let mut client = kserve::Client::connect(&addr).expect("connect");
+    let trace = match client.drain().expect("drain") {
+        Response::Drained(d) => d.trace,
+        other => panic!("expected drained, got {other:?}"),
+    };
+    server.join();
+
+    let mut g = c.benchmark_group("serve_replay");
+    g.throughput(Throughput::Elements(trace.jobs.len() as u64));
+    g.bench_function("verify", |b| {
+        b.iter(|| trace.verify().expect("replay matches"));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_loopback_session,
+    bench_wire_codec,
+    bench_replay_verify
+);
+criterion_main!(benches);

@@ -13,7 +13,18 @@ pub struct ArgMap {
 }
 
 /// Option names that are value-less flags.
-const FLAGS: &[&str] = &["run", "gantt", "timeline", "quick", "telemetry-summary"];
+const FLAGS: &[&str] = &[
+    "run",
+    "gantt",
+    "timeline",
+    "quick",
+    "telemetry-summary",
+    "watch",
+    "status",
+    "stats",
+    "drain",
+    "verify",
+];
 
 impl ArgMap {
     /// Parse an argv slice (without the subcommand itself).

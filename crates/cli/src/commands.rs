@@ -23,14 +23,14 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-fn parse_scheduler(name: &str) -> Result<SchedulerKind, String> {
+pub(crate) fn parse_scheduler(name: &str) -> Result<SchedulerKind, String> {
     SchedulerKind::ALL
         .into_iter()
         .find(|k| k.label() == name)
         .ok_or_else(|| format!("unknown scheduler '{name}'"))
 }
 
-fn parse_policy(name: &str) -> Result<SelectionPolicy, String> {
+pub(crate) fn parse_policy(name: &str) -> Result<SelectionPolicy, String> {
     SelectionPolicy::ALL
         .into_iter()
         .find(|p| p.name() == name)

@@ -18,6 +18,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod service;
 
 /// Top-level dispatch: returns the text to print, or a usage error.
 pub fn run(argv: &[String]) -> Result<String, String> {
@@ -33,6 +34,9 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "compare" => commands::compare(&args),
         "verify" => commands::verify(&args),
         "adversarial" => commands::adversarial(&args),
+        "serve" => service::serve(&args),
+        "submit" => service::submit(&args),
+        "loadgen" => service::loadgen(&args),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown subcommand '{other}'\n\n{}", usage())),
     }
@@ -55,6 +59,15 @@ USAGE:
   krad compare  FILE --machine P1,P2,... [--policy NAME] [--seed S]
   krad verify   FILE --machine P1,P2,... [--policy NAME] [--seed S]
   krad adversarial --k K --p P --m M [--run]
+  krad serve    --machine P1,P2,... [--scheduler NAME] [--policy NAME] [--quantum Q]
+                [--seed S] [--queue-capacity N] [--max-inflight N] [--tick-ms MS]
+                [--addr HOST:PORT] [--unix PATH]
+  krad submit   --addr HOST:PORT (FILE [--watch] | --scenario NAME [--jobs N] [--seed S]
+                | --status | --stats | --cancel ID
+                | --drain [--verify] [--trace-out FILE])
+  krad loadgen  --addr HOST:PORT [--clients N] [--jobs N] [--chunk N]
+                [--arrivals burst|poisson:<rate>|heavy-tail:<alpha>|trace]
+                [--seed S] [--k K] [--mean-size M] [--pace-ms MS]
 
 SCHEDULERS: k-rad equi deq-only rr-only greedy-fcfs las random-rr
 POLICIES:   fifo lifo random critical-first critical-last"

@@ -1,0 +1,365 @@
+//! The service-layer subcommands: `serve`, `submit`, and `loadgen`.
+//!
+//! `serve` runs the kserve daemon in the foreground until a client
+//! drains it; `submit` is a one-shot protocol client (submit jobs,
+//! query status/stats, cancel, drain); `loadgen` replays a synthetic
+//! arrival process against a running daemon and reports throughput
+//! and response-time percentiles.
+
+use crate::args::ArgMap;
+use crate::commands::{parse_policy, parse_scheduler};
+use kanalysis::table::{f3, Table};
+use kdag::DagSpec;
+use kserve::loadgen::{run_loadgen, ArrivalKind, LoadgenConfig};
+use kserve::protocol::{Response, ScenarioRef};
+use kserve::{Client, Event, Server, ServerConfig};
+use kworkloads::persist::load_jobset;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+/// Build a [`ServerConfig`] from CLI arguments.
+pub fn server_config(args: &ArgMap) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig {
+        machine: args.machine()?,
+        scheduler: parse_scheduler(args.get_or("scheduler", "k-rad"))?,
+        policy: parse_policy(args.get_or("policy", "fifo"))?,
+        quantum: args.num("quantum", 1u64)?,
+        seed: args.num("seed", 0u64)?,
+        queue_capacity: args.num("queue-capacity", 64usize)?,
+        max_inflight: args.num("max-inflight", 1024usize)?,
+        tick: Duration::from_millis(args.num("tick-ms", 0u64)?),
+        addr: args.get_or("addr", "127.0.0.1:0").to_string(),
+        ..ServerConfig::default()
+    };
+    if let Some(path) = args.get("unix") {
+        cfg.unix_path = Some(path.into());
+    }
+    Ok(cfg)
+}
+
+/// `krad serve` — run the daemon in the foreground until drained.
+pub fn serve(args: &ArgMap) -> Result<String, String> {
+    let cfg = server_config(args)?;
+    let unix = cfg.unix_path.clone();
+    let server = Server::start(cfg).map_err(|e| e.to_string())?;
+    // Printed eagerly so clients can connect while we block in join().
+    println!("kserve listening on {}", server.addr());
+    if let Some(path) = unix {
+        println!("kserve unix socket at {}", path.display());
+    }
+    server.join();
+    Ok("kserve: session drained, shutting down".to_string())
+}
+
+fn connect(args: &ArgMap) -> Result<Client, String> {
+    let addr = args.require("addr")?;
+    Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+fn render_drain(args: &ArgMap, reply: kserve::protocol::DrainReply) -> Result<String, String> {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "drained: {} admitted, {} completed, {} cancelled, {} rejected",
+        reply.admitted, reply.completed, reply.cancelled, reply.rejected
+    )
+    .unwrap();
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, reply.trace.encode()).map_err(|e| e.to_string())?;
+        writeln!(out, "session trace written to {path}").unwrap();
+    }
+    if args.flag("verify") {
+        let canon = reply.trace.verify()?;
+        writeln!(
+            out,
+            "replay verified: {} completions reproduced byte-for-byte ({} bytes)",
+            reply.trace.completions.len(),
+            canon.len()
+        )
+        .unwrap();
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// `krad submit` — one-shot client: submit a jobset file or a
+/// scenario, or query/drain a running daemon.
+pub fn submit(args: &ArgMap) -> Result<String, String> {
+    let mut client = connect(args)?;
+
+    if args.flag("status") {
+        return match client.status().map_err(|e| e.to_string())? {
+            Response::Status(st) => {
+                let done = st.jobs.iter().filter(|j| j.completion.is_some()).count();
+                Ok(format!(
+                    "t={} queued={} active={} done={}/{}{}",
+                    st.now,
+                    st.queued,
+                    st.active,
+                    done,
+                    st.jobs.len(),
+                    if st.draining { " (draining)" } else { "" }
+                ))
+            }
+            other => Err(format!("unexpected reply: {other:?}")),
+        };
+    }
+    if args.flag("stats") {
+        return match client.stats().map_err(|e| e.to_string())? {
+            Response::Stats(x) => {
+                let mut t = Table::new("kserve stats", &["metric", "value"]);
+                t.row_owned(vec!["admitted".into(), x.admitted.to_string()]);
+                t.row_owned(vec!["rejected".into(), x.rejected.to_string()]);
+                t.row_owned(vec!["completed".into(), x.completed.to_string()]);
+                t.row_owned(vec!["cancelled".into(), x.cancelled.to_string()]);
+                t.row_owned(vec!["queue depth".into(), x.queue_depth.to_string()]);
+                t.row_owned(vec![
+                    "max queue depth".into(),
+                    x.max_queue_depth.to_string(),
+                ]);
+                t.row_owned(vec!["virtual time".into(), x.now.to_string()]);
+                t.row_owned(vec!["busy steps".into(), x.busy_steps.to_string()]);
+                t.row_owned(vec!["idle steps".into(), x.idle_steps.to_string()]);
+                t.row_owned(vec!["quanta".into(), x.quanta.to_string()]);
+                t.row_owned(vec![
+                    "mean quantum latency (µs)".into(),
+                    f3(x.quantum_latency_mean_us),
+                ]);
+                Ok(t.render())
+            }
+            other => Err(format!("unexpected reply: {other:?}")),
+        };
+    }
+    if let Some(id) = args.get("cancel") {
+        let id: u64 = id.parse().map_err(|_| format!("bad --cancel: {id}"))?;
+        return match client.cancel(id).map_err(|e| e.to_string())? {
+            Response::Cancelled { job } => Ok(format!("cancelled job {job}")),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected reply: {other:?}")),
+        };
+    }
+    if args.flag("drain") {
+        return match client.drain().map_err(|e| e.to_string())? {
+            Response::Drained(reply) => render_drain(args, reply),
+            other => Err(format!("unexpected reply: {other:?}")),
+        };
+    }
+
+    // Submission proper: a jobset file, or a server-side scenario.
+    // Releases in the file are ignored — the daemon assigns releases
+    // at injection (that is what makes the session replayable).
+    let (label, dags): (String, Vec<DagSpec>) = if let Some(name) = args.get("scenario") {
+        let sc = ScenarioRef {
+            name: name.to_string(),
+            jobs: args.num("jobs", 8usize)?,
+            seed: args.num("seed", 42u64)?,
+        };
+        let reply = client.submit_scenario(sc).map_err(|e| e.to_string())?;
+        return match reply {
+            Response::Submitted { jobs } => Ok(format!(
+                "submitted {} jobs from scenario '{name}' (ids {}..{})",
+                jobs.len(),
+                jobs.first().copied().unwrap_or(0),
+                jobs.last().copied().unwrap_or(0),
+            )),
+            Response::Rejected { reason, .. } => Err(format!("rejected: {reason}")),
+            other => Err(format!("unexpected reply: {other:?}")),
+        };
+    } else {
+        let path = args.one_positional()?;
+        let (label, jobs) = load_jobset(Path::new(path)).map_err(|e| e.to_string())?;
+        (
+            label,
+            jobs.iter().map(|j| DagSpec::from_dag(&j.dag)).collect(),
+        )
+    };
+
+    if args.flag("watch") {
+        let (ack, events) = client.submit_watch(dags).map_err(|e| e.to_string())?;
+        match ack {
+            Response::Submitted { jobs } => {
+                let mut t = Table::new(
+                    &format!("'{label}': {} jobs completed", events.len()),
+                    &["job", "release", "completion", "response"],
+                );
+                for ev in &events {
+                    if let Event::JobDone {
+                        job,
+                        release,
+                        completion,
+                        response,
+                    } = ev
+                    {
+                        t.row_owned(vec![
+                            job.to_string(),
+                            release.to_string(),
+                            completion.to_string(),
+                            response.to_string(),
+                        ]);
+                    }
+                }
+                let mut out = t.render();
+                write!(
+                    out,
+                    "\n{} submitted, {} completed",
+                    jobs.len(),
+                    events.len()
+                )
+                .unwrap();
+                Ok(out)
+            }
+            Response::Rejected {
+                reason,
+                queue_depth,
+                capacity,
+            } => Err(format!(
+                "rejected: {reason} (queue {queue_depth}/{capacity})"
+            )),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    } else {
+        match client.submit(dags).map_err(|e| e.to_string())? {
+            Response::Submitted { jobs } => {
+                Ok(format!("submitted {} jobs from '{label}'", jobs.len()))
+            }
+            Response::Rejected {
+                reason,
+                queue_depth,
+                capacity,
+            } => Err(format!(
+                "rejected: {reason} (queue {queue_depth}/{capacity})"
+            )),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+}
+
+fn parse_arrivals(spec: &str) -> Result<ArrivalKind, String> {
+    if spec == "burst" {
+        return Ok(ArrivalKind::Burst);
+    }
+    if spec == "trace" {
+        return Ok(ArrivalKind::Trace);
+    }
+    if let Some(rate) = spec.strip_prefix("poisson:") {
+        let lambda: f64 = rate.parse().map_err(|_| format!("bad rate: {rate}"))?;
+        return Ok(ArrivalKind::Poisson { lambda });
+    }
+    if let Some(alpha) = spec.strip_prefix("heavy-tail:") {
+        let alpha: f64 = alpha.parse().map_err(|_| format!("bad alpha: {alpha}"))?;
+        return Ok(ArrivalKind::HeavyTail { alpha });
+    }
+    Err(format!("unknown --arrivals '{spec}'"))
+}
+
+/// `krad loadgen` — drive a running daemon with concurrent clients.
+pub fn loadgen(args: &ArgMap) -> Result<String, String> {
+    let addr = args.require("addr")?;
+    let cfg = LoadgenConfig {
+        clients: args.num("clients", 4usize)?,
+        jobs_per_client: args.num("jobs", 50usize)?,
+        chunk: args.num("chunk", 5usize)?,
+        arrivals: parse_arrivals(args.get_or("arrivals", "burst"))?,
+        seed: args.num("seed", 42u64)?,
+        k: args.num("k", 2usize)?,
+        mean_size: args.num("mean-size", 30usize)?,
+        pace: Duration::from_millis(args.num("pace-ms", 0u64)?),
+    };
+    if cfg.clients == 0 || cfg.jobs_per_client == 0 {
+        return Err("loadgen needs --clients ≥ 1 and --jobs ≥ 1".into());
+    }
+    let report = run_loadgen(addr, &cfg).map_err(|e| e.to_string())?;
+    Ok(report.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbaselines::SchedulerKind;
+
+    fn parse(parts: &[&str]) -> ArgMap {
+        let v: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        ArgMap::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn server_config_parses() {
+        let cfg = server_config(&parse(&[
+            "--machine",
+            "4,2",
+            "--scheduler",
+            "equi",
+            "--policy",
+            "lifo",
+            "--quantum",
+            "3",
+            "--queue-capacity",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.machine, vec![4, 2]);
+        assert_eq!(cfg.scheduler, SchedulerKind::Equi);
+        assert_eq!(cfg.quantum, 3);
+        assert_eq!(cfg.queue_capacity, 9);
+        assert!(server_config(&parse(&[])).is_err());
+        assert!(server_config(&parse(&["--machine", "4,2", "--scheduler", "nope"])).is_err());
+    }
+
+    #[test]
+    fn arrivals_parse() {
+        assert_eq!(parse_arrivals("burst").unwrap(), ArrivalKind::Burst);
+        assert_eq!(
+            parse_arrivals("poisson:0.5").unwrap(),
+            ArrivalKind::Poisson { lambda: 0.5 }
+        );
+        assert_eq!(
+            parse_arrivals("heavy-tail:1.2").unwrap(),
+            ArrivalKind::HeavyTail { alpha: 1.2 }
+        );
+        assert_eq!(parse_arrivals("trace").unwrap(), ArrivalKind::Trace);
+        assert!(parse_arrivals("poisson:x").is_err());
+        assert!(parse_arrivals("nope").is_err());
+    }
+
+    #[test]
+    fn submit_and_loadgen_against_in_process_server() {
+        let server = Server::start(ServerConfig {
+            machine: vec![6, 3],
+            seed: 11,
+            ..ServerConfig::default()
+        })
+        .expect("server starts");
+        let addr = server.addr().to_string();
+
+        let out = submit(&parse(&[
+            "--addr",
+            &addr,
+            "--scenario",
+            "pipeline",
+            "--jobs",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("submitted 3 jobs"), "{out}");
+
+        let out = loadgen(&parse(&[
+            "--addr",
+            &addr,
+            "--clients",
+            "2",
+            "--jobs",
+            "6",
+            "--chunk",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("throughput"), "{out}");
+
+        let out = submit(&parse(&["--addr", &addr, "--stats"])).unwrap();
+        assert!(out.contains("admitted"), "{out}");
+
+        let out = submit(&parse(&["--addr", &addr, "--drain", "--verify"])).unwrap();
+        assert!(out.contains("replay verified"), "{out}");
+        server.join();
+    }
+}

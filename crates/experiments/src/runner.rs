@@ -103,38 +103,6 @@ impl<'a> Run<'a> {
     }
 }
 
-/// Simulate one scheduler kind on a job set (fresh scheduler instance,
-/// standard config with the given policy and seed).
-#[deprecated(note = "use `Run::new(kind, jobs, res).policy(..).seed(..).go()`")]
-pub fn run_kind(
-    kind: SchedulerKind,
-    jobs: &[JobSpec],
-    res: &Resources,
-    policy: SelectionPolicy,
-    seed: u64,
-) -> SimOutcome {
-    Run::new(kind, jobs, res).policy(policy).seed(seed).go()
-}
-
-/// Like [`run_kind`], but wires `tel` into both the engine (run/step
-/// lifecycle events) and the scheduler (decision events, for kinds
-/// that emit them), so one sink sees the interleaved stream.
-#[deprecated(note = "use `Run::new(kind, jobs, res).policy(..).seed(..).telemetry(..).go()`")]
-pub fn run_kind_with_telemetry(
-    kind: SchedulerKind,
-    jobs: &[JobSpec],
-    res: &Resources,
-    policy: SelectionPolicy,
-    seed: u64,
-    tel: TelemetryHandle,
-) -> SimOutcome {
-    Run::new(kind, jobs, res)
-        .policy(policy)
-        .seed(seed)
-        .telemetry(tel)
-        .go()
-}
-
 /// Map `f` over `items` on all available cores, preserving order.
 ///
 /// The closure gets `(index, &item)`. Work is distributed by an atomic
@@ -283,22 +251,6 @@ mod tests {
         for kind in SchedulerKind::ALL {
             let o = Run::new(kind, &jobs, &res).go();
             assert_eq!(o.makespan, 5, "{kind}: chain must take span steps");
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_builder() {
-        let jobs = vec![JobSpec::batched(chain(1, 7, &[Category(0)]))];
-        let res = Resources::uniform(1, 2);
-        for kind in SchedulerKind::ALL {
-            let wrapped = run_kind(kind, &jobs, &res, SelectionPolicy::Lifo, 3);
-            let built = Run::new(kind, &jobs, &res)
-                .policy(SelectionPolicy::Lifo)
-                .seed(3)
-                .go();
-            assert_eq!(wrapped.makespan, built.makespan, "{kind}");
-            assert_eq!(wrapped.completions, built.completions, "{kind}");
         }
     }
 

@@ -1,0 +1,120 @@
+//! A blocking client for the kserve NDJSON protocol.
+//!
+//! One request per call; `submit_watch` additionally collects the
+//! streamed completion events until the server's `watch_end` marker.
+
+use crate::protocol::{Event, Request, Response, ScenarioRef};
+use kdag::DagSpec;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn bad_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+impl Client {
+    /// Connect to a daemon at `addr` (any `ToSocketAddrs`).
+    pub fn connect<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim().to_string())
+    }
+
+    /// Send one request, read one reply.
+    pub fn roundtrip(&mut self, req: &Request) -> io::Result<Response> {
+        writeln!(self.writer, "{}", req.encode())?;
+        self.writer.flush()?;
+        let line = self.read_line()?;
+        Response::decode(&line).map_err(bad_data)
+    }
+
+    /// Submit inline DAGs; the reply is `Submitted` or `Rejected`.
+    pub fn submit(&mut self, jobs: Vec<DagSpec>) -> io::Result<Response> {
+        self.roundtrip(&Request::Submit {
+            jobs,
+            scenario: None,
+            watch: false,
+        })
+    }
+
+    /// Submit a server-side scenario expansion.
+    pub fn submit_scenario(&mut self, scenario: ScenarioRef) -> io::Result<Response> {
+        self.roundtrip(&Request::Submit {
+            jobs: Vec::new(),
+            scenario: Some(scenario),
+            watch: false,
+        })
+    }
+
+    /// Submit inline DAGs and, if accepted, block until every job has
+    /// completed (or been cancelled), returning the ack plus the
+    /// streamed events in arrival order.
+    pub fn submit_watch(&mut self, jobs: Vec<DagSpec>) -> io::Result<(Response, Vec<Event>)> {
+        writeln!(
+            self.writer,
+            "{}",
+            Request::Submit {
+                jobs,
+                scenario: None,
+                watch: true,
+            }
+            .encode()
+        )?;
+        self.writer.flush()?;
+        let ack = Response::decode(&self.read_line()?).map_err(bad_data)?;
+        let mut events = Vec::new();
+        if matches!(ack, Response::Submitted { .. }) {
+            loop {
+                let line = self.read_line()?;
+                match Event::decode(&line).map_err(bad_data)? {
+                    Some(Event::WatchEnd) => break,
+                    Some(ev) => events.push(ev),
+                    None => return Err(bad_data(format!("expected an event line, got: {line}"))),
+                }
+            }
+        }
+        Ok((ack, events))
+    }
+
+    /// Fetch per-job states and the engine clock.
+    pub fn status(&mut self) -> io::Result<Response> {
+        self.roundtrip(&Request::Status)
+    }
+
+    /// Fetch service counters and latency metrics.
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.roundtrip(&Request::Stats)
+    }
+
+    /// Cancel a still-queued job.
+    pub fn cancel(&mut self, job: u64) -> io::Result<Response> {
+        self.roundtrip(&Request::Cancel { job })
+    }
+
+    /// Drain the server: stop admission, finish in-flight work, and
+    /// return the final counters plus the canonical session trace.
+    pub fn drain(&mut self) -> io::Result<Response> {
+        self.roundtrip(&Request::Drain)
+    }
+}

@@ -1,0 +1,36 @@
+//! # kserve — an online K-RAD scheduling service
+//!
+//! Turns the offline simulator into a daemon: jobs arrive over a
+//! newline-delimited JSON protocol (TCP, and a Unix socket on Unix),
+//! are admitted into a bounded queue with explicit backpressure, and
+//! are injected into the *same* [`ksim::LiveSimulation`] step loop the
+//! offline batch path uses, one quantum at a time. That shared engine
+//! is the deterministic replay bridge: every session records a
+//! canonical arrival trace ([`SessionTrace`]) which, replayed through
+//! offline [`ksim::simulate`], reproduces the live per-job completion
+//! times byte for byte — so the paper's bounds and checkers apply to
+//! live sessions unmodified.
+//!
+//! * [`wire`] — a minimal canonical JSON layer (no serialization
+//!   framework in the hot path);
+//! * [`protocol`] — requests, replies, streamed completion events;
+//! * [`server`] — the threaded daemon (quantum loop + admission);
+//! * [`client`] — a blocking protocol client;
+//! * [`loadgen`] — a multi-threaded closed-loop load generator;
+//! * [`replay`] — the session trace and its byte-for-byte verifier.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod replay;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use loadgen::{run_loadgen, ArrivalKind, LoadgenConfig, LoadgenReport};
+pub use protocol::{Event, Request, Response};
+pub use replay::{SessionTrace, TraceJob};
+pub use server::{Server, ServerConfig};

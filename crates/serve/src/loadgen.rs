@@ -1,0 +1,277 @@
+//! A multi-threaded closed-loop load generator for the daemon.
+//!
+//! Each client thread generates its own deterministic job stream
+//! (seeded per client), submits it in chunks with `watch: true`, and
+//! records the virtual response time of every completion the server
+//! streams back. Rejected chunks are counted as backpressure and not
+//! retried — the rejection rate is part of the measurement.
+
+use crate::client::Client;
+use crate::protocol::{Event, Response};
+use kanalysis::stats::percentile;
+use kanalysis::table::{f3, Table};
+use kdag::DagSpec;
+use kworkloads::heavy_tail::heavy_tail_mix;
+use kworkloads::mixes::{batched_mix, MixConfig};
+use kworkloads::rng_for;
+use kworkloads::swf::synthetic_trace_workload;
+use rand::Rng;
+use std::io;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The arrival/shape family each client thread draws from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalKind {
+    /// Uniform-size mixed-shape jobs, submitted back to back (paced by
+    /// `pace` alone).
+    Burst,
+    /// Poisson arrivals: exponential inter-submission gaps with rate
+    /// `lambda` (in submissions per `pace` unit).
+    Poisson {
+        /// Arrival rate.
+        lambda: f64,
+    },
+    /// Bounded-Pareto job sizes (heavy tail), back-to-back submission.
+    HeavyTail {
+        /// Pareto shape parameter (heavier below 2).
+        alpha: f64,
+    },
+    /// Jobs shaped from a deterministic synthetic SWF trace.
+    Trace,
+}
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Jobs each client submits.
+    pub jobs_per_client: usize,
+    /// Jobs per submit request.
+    pub chunk: usize,
+    /// Arrival process and job-shape family.
+    pub arrivals: ArrivalKind,
+    /// Base seed; client `i` derives its stream from `(seed, i)`.
+    pub seed: u64,
+    /// Categories the generated DAGs use (must match the server's
+    /// machine).
+    pub k: usize,
+    /// Mean job size in tasks.
+    pub mean_size: usize,
+    /// Wall-clock pacing unit between submissions; `ZERO` runs flat
+    /// out.
+    pub pace: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            clients: 4,
+            jobs_per_client: 50,
+            chunk: 5,
+            arrivals: ArrivalKind::Burst,
+            seed: 0,
+            k: 2,
+            mean_size: 30,
+            pace: Duration::ZERO,
+        }
+    }
+}
+
+/// What one loadgen run measured.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Jobs offered across all clients.
+    pub submitted: u64,
+    /// Jobs the server acknowledged.
+    pub accepted: u64,
+    /// Jobs refused with backpressure.
+    pub rejected: u64,
+    /// Completions observed via watch streams.
+    pub completed: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Virtual response times (completion − release) of every
+    /// completed job.
+    pub responses: Vec<f64>,
+}
+
+impl LoadgenReport {
+    /// Accepted jobs per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.accepted as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Render the report as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("loadgen", &["metric", "value"]);
+        t.row_owned(vec!["offered jobs".to_string(), self.submitted.to_string()]);
+        t.row_owned(vec!["accepted".to_string(), self.accepted.to_string()]);
+        t.row_owned(vec![
+            "rejected (backpressure)".to_string(),
+            self.rejected.to_string(),
+        ]);
+        t.row_owned(vec!["completed".to_string(), self.completed.to_string()]);
+        t.row_owned(vec![
+            "wall-clock seconds".to_string(),
+            f3(self.elapsed.as_secs_f64()),
+        ]);
+        t.row_owned(vec![
+            "throughput (jobs/s)".to_string(),
+            f3(self.throughput()),
+        ]);
+        if !self.responses.is_empty() {
+            let mean = self.responses.iter().sum::<f64>() / self.responses.len() as f64;
+            t.row_owned(vec!["mean response (steps)".to_string(), f3(mean)]);
+            for q in [50.0, 95.0, 99.0] {
+                t.row_owned(vec![
+                    format!("p{q:.0} response (steps)"),
+                    f3(percentile(&self.responses, q)),
+                ]);
+            }
+        }
+        t.render()
+    }
+}
+
+/// Generate client `idx`'s job stream as wire-level DAG specs.
+fn client_jobs(cfg: &LoadgenConfig, idx: usize) -> Vec<DagSpec> {
+    let mut rng = rng_for(cfg.seed, idx as u64 + 1);
+    let mix = MixConfig::new(cfg.k, cfg.jobs_per_client, cfg.mean_size);
+    let specs = match cfg.arrivals {
+        ArrivalKind::Burst | ArrivalKind::Poisson { .. } => batched_mix(&mut rng, &mix),
+        ArrivalKind::HeavyTail { alpha } => heavy_tail_mix(
+            &mut rng,
+            cfg.k,
+            cfg.jobs_per_client,
+            alpha,
+            (cfg.mean_size / 4).max(1),
+            cfg.mean_size * 4,
+        ),
+        ArrivalKind::Trace => synthetic_trace_workload(cfg.jobs_per_client, &mix),
+    };
+    specs.iter().map(|j| DagSpec::from_dag(&j.dag)).collect()
+}
+
+struct ClientTally {
+    accepted: u64,
+    rejected: u64,
+    responses: Vec<f64>,
+}
+
+/// One client thread: submit in watched chunks, closed loop.
+fn run_client(addr: &str, cfg: &LoadgenConfig, idx: usize) -> io::Result<ClientTally> {
+    let mut client = Client::connect(addr)?;
+    let mut rng = rng_for(cfg.seed, 0x10AD + idx as u64);
+    let jobs = client_jobs(cfg, idx);
+    let mut tally = ClientTally {
+        accepted: 0,
+        rejected: 0,
+        responses: Vec::new(),
+    };
+    for chunk in jobs.chunks(cfg.chunk.max(1)) {
+        if cfg.pace > Duration::ZERO {
+            let gap = match cfg.arrivals {
+                ArrivalKind::Poisson { lambda } => {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    -(1.0 - u).ln() / lambda.max(1e-9)
+                }
+                _ => 1.0,
+            };
+            thread::sleep(cfg.pace.mul_f64(gap.min(50.0)));
+        }
+        let (ack, events) = client.submit_watch(chunk.to_vec())?;
+        match ack {
+            Response::Submitted { jobs } => {
+                tally.accepted += jobs.len() as u64;
+                for ev in events {
+                    if let Event::JobDone { response, .. } = ev {
+                        tally.responses.push(response as f64);
+                    }
+                }
+            }
+            Response::Rejected { .. } => {
+                tally.rejected += chunk.len() as u64;
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected submit reply: {other:?}"),
+                ));
+            }
+        }
+    }
+    Ok(tally)
+}
+
+/// Run the load generator against a daemon at `addr`.
+pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let start = Instant::now();
+    let tallies: Vec<io::Result<ClientTally>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|idx| scope.spawn(move || run_client(addr, cfg, idx)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(io::Error::other("loadgen client thread panicked")))
+            })
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut report = LoadgenReport {
+        submitted: (cfg.clients * cfg.jobs_per_client) as u64,
+        accepted: 0,
+        rejected: 0,
+        completed: 0,
+        elapsed,
+        responses: Vec::new(),
+    };
+    for tally in tallies {
+        let tally = tally?;
+        report.accepted += tally.accepted;
+        report.rejected += tally.rejected;
+        report.completed += tally.responses.len() as u64;
+        report.responses.extend(tally.responses);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_streams_are_deterministic_per_client() {
+        let cfg = LoadgenConfig {
+            jobs_per_client: 6,
+            ..LoadgenConfig::default()
+        };
+        assert_eq!(client_jobs(&cfg, 0), client_jobs(&cfg, 0));
+        assert_ne!(client_jobs(&cfg, 0), client_jobs(&cfg, 1));
+        assert!(client_jobs(&cfg, 0).iter().all(|d| d.k == cfg.k));
+    }
+
+    #[test]
+    fn report_renders_percentiles() {
+        let report = LoadgenReport {
+            submitted: 10,
+            accepted: 8,
+            rejected: 2,
+            completed: 8,
+            elapsed: Duration::from_millis(250),
+            responses: (1..=8).map(f64::from).collect(),
+        };
+        let text = report.render();
+        assert!(text.contains("throughput"));
+        assert!(text.contains("p95"));
+        assert!(report.throughput() > 0.0);
+    }
+}

@@ -1,0 +1,682 @@
+//! The newline-delimited JSON protocol the daemon speaks.
+//!
+//! One request per line, one reply line per request; a `submit` with
+//! `"watch": true` additionally streams [`Event`] lines after the
+//! reply until every job of that submission has completed.
+//!
+//! Encoding is canonical — fixed field order, no whitespace — so a
+//! reply can be compared byte-for-byte (the replay bridge relies on
+//! this for completion vectors).
+
+use crate::replay::SessionTrace;
+use crate::wire::{self, need_arr, need_str, need_u64, Value};
+use kdag::DagSpec;
+use ksim::Time;
+
+/// A reference to a server-side generated `kworkloads` scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioRef {
+    /// Scenario family: `pipeline`, `mapreduce`, or `mixed-server`.
+    pub name: String,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// A client request (one per line).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit jobs: inline DAG specs, or a scenario reference the
+    /// server expands. `watch` keeps the connection streaming
+    /// completion events for the submitted jobs.
+    Submit {
+        /// Inline K-DAGs.
+        jobs: Vec<DagSpec>,
+        /// Server-side scenario expansion (used when `jobs` is empty).
+        scenario: Option<ScenarioRef>,
+        /// Stream completion events after the reply.
+        watch: bool,
+    },
+    /// Per-job states and engine clock.
+    Status,
+    /// Service counters and latency metrics.
+    Stats,
+    /// Cancel a still-queued job.
+    Cancel {
+        /// Server-assigned job id.
+        job: u64,
+    },
+    /// Stop admission, finish in-flight work, report the session trace.
+    Drain,
+}
+
+/// The lifecycle of one submitted job, as reported by `status`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for the quantum loop to inject it.
+    Queued,
+    /// Cancelled while still queued.
+    Cancelled,
+    /// Injected into the engine and not yet complete.
+    Running,
+    /// Complete.
+    Done,
+}
+
+impl JobState {
+    fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Cancelled => "cancelled",
+            JobState::Running => "running",
+            JobState::Done => "done",
+        }
+    }
+
+    fn from_name(s: &str) -> Result<JobState, String> {
+        Ok(match s {
+            "queued" => JobState::Queued,
+            "cancelled" => JobState::Cancelled,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            other => return Err(format!("unknown job state '{other}'")),
+        })
+    }
+}
+
+/// One row of a `status` reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobStatus {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Virtual release time (assigned at injection).
+    pub release: Option<Time>,
+    /// Virtual completion time (once done).
+    pub completion: Option<Time>,
+}
+
+/// The `status` reply body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatusReply {
+    /// Engine virtual time.
+    pub now: Time,
+    /// Jobs admitted but not yet injected.
+    pub queued: u64,
+    /// Jobs running in the engine.
+    pub active: u64,
+    /// Whether the server is draining.
+    pub draining: bool,
+    /// Per-job states, in id order.
+    pub jobs: Vec<JobStatus>,
+}
+
+/// The `stats` reply body.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatsReply {
+    /// Jobs accepted (acked) so far.
+    pub admitted: u64,
+    /// Submissions refused with backpressure.
+    pub rejected: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Current submission-queue depth.
+    pub queue_depth: u64,
+    /// High-water mark of the submission queue.
+    pub max_queue_depth: u64,
+    /// Engine virtual time.
+    pub now: Time,
+    /// Simulated busy steps.
+    pub busy_steps: u64,
+    /// Fast-forwarded idle steps.
+    pub idle_steps: u64,
+    /// Quantum-loop iterations executed.
+    pub quanta: u64,
+    /// Mean wall-clock latency of one quantum, in microseconds.
+    pub quantum_latency_mean_us: f64,
+}
+
+/// The `drain` reply body: final counters plus the canonical trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DrainReply {
+    /// Jobs accepted over the session.
+    pub admitted: u64,
+    /// Jobs completed (equals injected jobs after a clean drain).
+    pub completed: u64,
+    /// Jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Submissions refused with backpressure.
+    pub rejected: u64,
+    /// The canonical session trace for offline replay.
+    pub trace: SessionTrace,
+}
+
+/// A server reply (one line per request).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Jobs accepted; ids are in submission order.
+    Submitted {
+        /// Server-assigned ids.
+        jobs: Vec<u64>,
+    },
+    /// Backpressure: the submission was refused outright.
+    Rejected {
+        /// Why (queue full, too many in flight, draining).
+        reason: String,
+        /// Queue depth at rejection time.
+        queue_depth: u64,
+        /// Configured queue capacity.
+        capacity: u64,
+    },
+    /// `status` body.
+    Status(StatusReply),
+    /// `stats` body.
+    Stats(StatsReply),
+    /// The job was cancelled while queued.
+    Cancelled {
+        /// Its id.
+        job: u64,
+    },
+    /// Drain finished; the session is over.
+    Drained(DrainReply),
+    /// Malformed request or invalid argument.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// A streamed event line (only on watching connections).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// One watched job completed.
+    JobDone {
+        /// Its id.
+        job: u64,
+        /// Virtual release time.
+        release: Time,
+        /// Virtual completion time.
+        completion: Time,
+        /// `completion - release`.
+        response: Time,
+    },
+    /// One watched job was cancelled while still queued.
+    JobCancelled {
+        /// Its id.
+        job: u64,
+    },
+    /// Every watched job has completed; the stream ends.
+    WatchEnd,
+}
+
+/// Encode a [`DagSpec`] canonically.
+pub fn encode_dag(out: &mut String, dag: &DagSpec) {
+    out.push_str("{\"k\":");
+    out.push_str(&dag.k.to_string());
+    out.push_str(",\"categories\":[");
+    for (i, c) in dag.categories.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&c.to_string());
+    }
+    out.push_str("],\"edges\":[");
+    for (i, (u, v)) in dag.edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        out.push_str(&u.to_string());
+        out.push(',');
+        out.push_str(&v.to_string());
+        out.push(']');
+    }
+    out.push_str("]}");
+}
+
+/// Decode a [`DagSpec`] (structure only; DAG validity is checked by
+/// [`DagSpec::build`] at admission).
+pub fn decode_dag(v: &Value) -> Result<DagSpec, String> {
+    let k = need_u64(v, "k")? as usize;
+    let categories = need_arr(v, "categories")?
+        .iter()
+        .map(|c| {
+            c.as_u64()
+                .filter(|&c| c <= u64::from(u16::MAX))
+                .map(|c| c as u16)
+                .ok_or_else(|| "bad category".to_string())
+        })
+        .collect::<Result<Vec<u16>, String>>()?;
+    let edges = need_arr(v, "edges")?
+        .iter()
+        .map(|e| {
+            let pair = e.as_arr().filter(|p| p.len() == 2);
+            let (u, v) = match pair {
+                Some(p) => (p[0].as_u64(), p[1].as_u64()),
+                None => (None, None),
+            };
+            match (u, v) {
+                (Some(u), Some(v)) if u <= u64::from(u32::MAX) && v <= u64::from(u32::MAX) => {
+                    Ok((u as u32, v as u32))
+                }
+                _ => Err("bad edge".to_string()),
+            }
+        })
+        .collect::<Result<Vec<(u32, u32)>, String>>()?;
+    Ok(DagSpec {
+        k,
+        categories,
+        edges,
+    })
+}
+
+impl Request {
+    /// Canonical one-line encoding.
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        match self {
+            Request::Submit {
+                jobs,
+                scenario,
+                watch,
+            } => {
+                s.push_str("{\"cmd\":\"submit\"");
+                if !jobs.is_empty() {
+                    s.push_str(",\"jobs\":[");
+                    for (i, dag) in jobs.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        encode_dag(&mut s, dag);
+                    }
+                    s.push(']');
+                }
+                if let Some(sc) = scenario {
+                    s.push_str(",\"scenario\":{\"name\":");
+                    wire::push_str_lit(&mut s, &sc.name);
+                    s.push_str(",\"jobs\":");
+                    s.push_str(&sc.jobs.to_string());
+                    s.push_str(",\"seed\":");
+                    s.push_str(&sc.seed.to_string());
+                    s.push('}');
+                }
+                if *watch {
+                    s.push_str(",\"watch\":true");
+                }
+                s.push('}');
+            }
+            Request::Status => s.push_str("{\"cmd\":\"status\"}"),
+            Request::Stats => s.push_str("{\"cmd\":\"stats\"}"),
+            Request::Cancel { job } => {
+                s.push_str("{\"cmd\":\"cancel\",\"job\":");
+                s.push_str(&job.to_string());
+                s.push('}');
+            }
+            Request::Drain => s.push_str("{\"cmd\":\"drain\"}"),
+        }
+        s
+    }
+
+    /// Decode one request line.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let v = wire::parse(line).map_err(|e| e.to_string())?;
+        let cmd = need_str(&v, "cmd")?;
+        Ok(match cmd {
+            "submit" => {
+                let jobs = match v.get("jobs") {
+                    Some(arr) => arr
+                        .as_arr()
+                        .ok_or("'jobs' must be an array")?
+                        .iter()
+                        .map(decode_dag)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    None => Vec::new(),
+                };
+                let scenario = match v.get("scenario") {
+                    Some(sc) => Some(ScenarioRef {
+                        name: need_str(sc, "name")?.to_string(),
+                        jobs: need_u64(sc, "jobs")? as usize,
+                        seed: need_u64(sc, "seed")?,
+                    }),
+                    None => None,
+                };
+                if jobs.is_empty() && scenario.is_none() {
+                    return Err("submit needs 'jobs' or 'scenario'".to_string());
+                }
+                let watch = v.get("watch").and_then(Value::as_bool).unwrap_or(false);
+                Request::Submit {
+                    jobs,
+                    scenario,
+                    watch,
+                }
+            }
+            "status" => Request::Status,
+            "stats" => Request::Stats,
+            "cancel" => Request::Cancel {
+                job: need_u64(&v, "job")?,
+            },
+            "drain" => Request::Drain,
+            other => return Err(format!("unknown command '{other}'")),
+        })
+    }
+}
+
+impl Response {
+    /// Canonical one-line encoding.
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        match self {
+            Response::Submitted { jobs } => {
+                s.push_str("{\"reply\":\"submitted\",\"jobs\":");
+                wire::push_u64_arr(&mut s, jobs);
+                s.push('}');
+            }
+            Response::Rejected {
+                reason,
+                queue_depth,
+                capacity,
+            } => {
+                s.push_str("{\"reply\":\"rejected\",\"reason\":");
+                wire::push_str_lit(&mut s, reason);
+                s.push_str(&format!(
+                    ",\"queue_depth\":{queue_depth},\"capacity\":{capacity}}}"
+                ));
+            }
+            Response::Status(st) => {
+                s.push_str(&format!(
+                    "{{\"reply\":\"status\",\"now\":{},\"queued\":{},\"active\":{},\"draining\":{},\"jobs\":[",
+                    st.now, st.queued, st.active, st.draining
+                ));
+                for (i, j) in st.jobs.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "{{\"job\":{},\"state\":\"{}\"",
+                        j.job,
+                        j.state.name()
+                    ));
+                    if let Some(r) = j.release {
+                        s.push_str(&format!(",\"release\":{r}"));
+                    }
+                    if let Some(c) = j.completion {
+                        s.push_str(&format!(",\"completion\":{c}"));
+                    }
+                    s.push('}');
+                }
+                s.push_str("]}");
+            }
+            Response::Stats(x) => {
+                s.push_str(&format!(
+                    "{{\"reply\":\"stats\",\"admitted\":{},\"rejected\":{},\"completed\":{},\"cancelled\":{},\"queue_depth\":{},\"max_queue_depth\":{},\"now\":{},\"busy_steps\":{},\"idle_steps\":{},\"quanta\":{},\"quantum_latency_mean_us\":{}}}",
+                    x.admitted,
+                    x.rejected,
+                    x.completed,
+                    x.cancelled,
+                    x.queue_depth,
+                    x.max_queue_depth,
+                    x.now,
+                    x.busy_steps,
+                    x.idle_steps,
+                    x.quanta,
+                    x.quantum_latency_mean_us,
+                ));
+            }
+            Response::Cancelled { job } => {
+                s.push_str(&format!("{{\"reply\":\"cancelled\",\"job\":{job}}}"));
+            }
+            Response::Drained(d) => {
+                s.push_str(&format!(
+                    "{{\"reply\":\"drained\",\"admitted\":{},\"completed\":{},\"cancelled\":{},\"rejected\":{},\"trace\":",
+                    d.admitted, d.completed, d.cancelled, d.rejected
+                ));
+                s.push_str(&d.trace.encode());
+                s.push('}');
+            }
+            Response::Error { message } => {
+                s.push_str("{\"reply\":\"error\",\"message\":");
+                wire::push_str_lit(&mut s, message);
+                s.push('}');
+            }
+        }
+        s
+    }
+
+    /// Decode one reply line.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let v = wire::parse(line).map_err(|e| e.to_string())?;
+        let reply = need_str(&v, "reply")?;
+        Ok(match reply {
+            "submitted" => Response::Submitted {
+                jobs: need_arr(&v, "jobs")?
+                    .iter()
+                    .map(|x| x.as_u64().ok_or("bad job id"))
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            "rejected" => Response::Rejected {
+                reason: need_str(&v, "reason")?.to_string(),
+                queue_depth: need_u64(&v, "queue_depth")?,
+                capacity: need_u64(&v, "capacity")?,
+            },
+            "status" => {
+                let jobs = need_arr(&v, "jobs")?
+                    .iter()
+                    .map(|j| {
+                        Ok(JobStatus {
+                            job: need_u64(j, "job")?,
+                            state: JobState::from_name(need_str(j, "state")?)?,
+                            release: j.get("release").and_then(Value::as_u64),
+                            completion: j.get("completion").and_then(Value::as_u64),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Response::Status(StatusReply {
+                    now: need_u64(&v, "now")?,
+                    queued: need_u64(&v, "queued")?,
+                    active: need_u64(&v, "active")?,
+                    draining: v.get("draining").and_then(Value::as_bool).unwrap_or(false),
+                    jobs,
+                })
+            }
+            "stats" => Response::Stats(StatsReply {
+                admitted: need_u64(&v, "admitted")?,
+                rejected: need_u64(&v, "rejected")?,
+                completed: need_u64(&v, "completed")?,
+                cancelled: need_u64(&v, "cancelled")?,
+                queue_depth: need_u64(&v, "queue_depth")?,
+                max_queue_depth: need_u64(&v, "max_queue_depth")?,
+                now: need_u64(&v, "now")?,
+                busy_steps: need_u64(&v, "busy_steps")?,
+                idle_steps: need_u64(&v, "idle_steps")?,
+                quanta: need_u64(&v, "quanta")?,
+                quantum_latency_mean_us: v
+                    .get("quantum_latency_mean_us")
+                    .and_then(Value::as_f64)
+                    .ok_or("missing quantum_latency_mean_us")?,
+            }),
+            "cancelled" => Response::Cancelled {
+                job: need_u64(&v, "job")?,
+            },
+            "drained" => Response::Drained(DrainReply {
+                admitted: need_u64(&v, "admitted")?,
+                completed: need_u64(&v, "completed")?,
+                cancelled: need_u64(&v, "cancelled")?,
+                rejected: need_u64(&v, "rejected")?,
+                trace: SessionTrace::decode_value(v.get("trace").ok_or("missing field 'trace'")?)?,
+            }),
+            "error" => Response::Error {
+                message: need_str(&v, "message")?.to_string(),
+            },
+            other => return Err(format!("unknown reply '{other}'")),
+        })
+    }
+}
+
+impl Event {
+    /// Canonical one-line encoding.
+    pub fn encode(&self) -> String {
+        match self {
+            Event::JobDone {
+                job,
+                release,
+                completion,
+                response,
+            } => format!(
+                "{{\"event\":\"job_done\",\"job\":{job},\"release\":{release},\"completion\":{completion},\"response\":{response}}}"
+            ),
+            Event::JobCancelled { job } => {
+                format!("{{\"event\":\"job_cancelled\",\"job\":{job}}}")
+            }
+            Event::WatchEnd => "{\"event\":\"watch_end\"}".to_string(),
+        }
+    }
+
+    /// Decode one event line; `Ok(None)` if the line is a reply, not
+    /// an event.
+    pub fn decode(line: &str) -> Result<Option<Event>, String> {
+        let v = wire::parse(line).map_err(|e| e.to_string())?;
+        let Some(ev) = v.get("event").and_then(Value::as_str) else {
+            return Ok(None);
+        };
+        Ok(Some(match ev {
+            "job_done" => Event::JobDone {
+                job: need_u64(&v, "job")?,
+                release: need_u64(&v, "release")?,
+                completion: need_u64(&v, "completion")?,
+                response: need_u64(&v, "response")?,
+            },
+            "job_cancelled" => Event::JobCancelled {
+                job: need_u64(&v, "job")?,
+            },
+            "watch_end" => Event::WatchEnd,
+            other => return Err(format!("unknown event '{other}'")),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::generators::fork_join;
+    use kdag::Category;
+
+    fn spec() -> DagSpec {
+        DagSpec::from_dag(&fork_join(2, &[(Category(0), 3), (Category(1), 2)]))
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Submit {
+                jobs: vec![spec(), spec()],
+                scenario: None,
+                watch: true,
+            },
+            Request::Submit {
+                jobs: vec![],
+                scenario: Some(ScenarioRef {
+                    name: "pipeline".into(),
+                    jobs: 8,
+                    seed: 3,
+                }),
+                watch: false,
+            },
+            Request::Status,
+            Request::Stats,
+            Request::Cancel { job: 17 },
+            Request::Drain,
+        ];
+        for r in reqs {
+            let line = r.encode();
+            assert!(!line.contains('\n'));
+            assert_eq!(Request::decode(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            Response::Submitted { jobs: vec![0, 1] },
+            Response::Rejected {
+                reason: "queue full".into(),
+                queue_depth: 64,
+                capacity: 64,
+            },
+            Response::Status(StatusReply {
+                now: 12,
+                queued: 1,
+                active: 2,
+                draining: false,
+                jobs: vec![
+                    JobStatus {
+                        job: 0,
+                        state: JobState::Done,
+                        release: Some(0),
+                        completion: Some(9),
+                    },
+                    JobStatus {
+                        job: 1,
+                        state: JobState::Queued,
+                        release: None,
+                        completion: None,
+                    },
+                ],
+            }),
+            Response::Cancelled { job: 3 },
+            Response::Error {
+                message: "bad \"quote\"".into(),
+            },
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn submit_requires_jobs_or_scenario() {
+        let err = Request::decode(r#"{"cmd":"submit"}"#).unwrap_err();
+        assert!(err.contains("jobs"), "{err}");
+    }
+
+    #[test]
+    fn events_roundtrip_and_replies_are_not_events() {
+        let e = Event::JobDone {
+            job: 5,
+            release: 10,
+            completion: 31,
+            response: 21,
+        };
+        assert_eq!(Event::decode(&e.encode()).unwrap(), Some(e));
+        let c = Event::JobCancelled { job: 2 };
+        assert_eq!(Event::decode(&c.encode()).unwrap(), Some(c));
+        assert_eq!(
+            Event::decode(&Event::WatchEnd.encode()).unwrap(),
+            Some(Event::WatchEnd)
+        );
+        assert_eq!(
+            Event::decode(&Response::Submitted { jobs: vec![1] }.encode()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn dag_spec_decodes_structurally() {
+        let mut s = String::new();
+        encode_dag(&mut s, &spec());
+        let v = crate::wire::parse(&s).unwrap();
+        assert_eq!(decode_dag(&v).unwrap(), spec());
+        // Structure errors are data errors, not panics.
+        assert!(decode_dag(
+            &crate::wire::parse(r#"{"k":2,"categories":[70000],"edges":[]}"#).unwrap()
+        )
+        .is_err());
+        assert!(decode_dag(
+            &crate::wire::parse(r#"{"k":2,"categories":[0],"edges":[[0]]}"#).unwrap()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,938 @@
+//! The threaded scheduling daemon.
+//!
+//! One *scheduler thread* owns the [`LiveSimulation`] and drives it
+//! quantum by quantum; per-connection *handler threads* speak the
+//! NDJSON protocol and interact with the scheduler only through a
+//! mutex-protected [`Inner`] (admission queue, job table, counters)
+//! and a condvar. The engine itself is never stepped under a client's
+//! request — submissions land in a bounded queue and are injected at
+//! the next quantum boundary with `release = now()`, which is what
+//! makes the recorded session trace replayable offline (see
+//! [`crate::replay`]).
+//!
+//! Admission control is explicit: a full queue or too many in-flight
+//! jobs produces a `rejected` reply (backpressure), never unbounded
+//! buffering. Draining stops admission, finishes every acknowledged
+//! job, publishes the canonical [`SessionTrace`], and shuts the
+//! listeners down.
+
+use crate::protocol::{
+    DrainReply, Event, JobState, JobStatus, Request, Response, ScenarioRef, StatsReply, StatusReply,
+};
+use crate::replay::{SessionTrace, TraceJob};
+use kbaselines::SchedulerKind;
+use kdag::{DagSpec, JobDag, SelectionPolicy};
+use ksim::{JobSpec, LiveSimulation, Resources, SimConfig, Time};
+use ktelemetry::{Counter, Histogram, TelemetryHandle};
+use kworkloads::{rng_for, scenarios};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Processors per category.
+    pub machine: Vec<u32>,
+    /// The scheduling policy serving the session.
+    pub scheduler: SchedulerKind,
+    /// The environment's task-selection policy.
+    pub policy: SelectionPolicy,
+    /// Scheduling quantum (engine steps per decision).
+    pub quantum: u64,
+    /// Seed for the engine RNG and randomized schedulers.
+    pub seed: u64,
+    /// Bound on the submission queue (admitted, not yet injected).
+    pub queue_capacity: usize,
+    /// Bound on admitted-but-incomplete jobs (queued + running).
+    pub max_inflight: usize,
+    /// Wall-clock pacing per quantum; `ZERO` runs flat out (tests,
+    /// benches). Ignored while draining.
+    pub tick: Duration,
+    /// TCP bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Optional Unix-domain listener path (removed and re-created).
+    pub unix_path: Option<std::path::PathBuf>,
+    /// Engine telemetry sink (run/step/job events).
+    pub telemetry: TelemetryHandle,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            machine: vec![4, 2],
+            scheduler: SchedulerKind::KRad,
+            policy: SelectionPolicy::Fifo,
+            quantum: 1,
+            seed: 0,
+            queue_capacity: 64,
+            max_inflight: 1024,
+            tick: Duration::ZERO,
+            addr: "127.0.0.1:0".to_string(),
+            unix_path: None,
+            telemetry: TelemetryHandle::off(),
+        }
+    }
+}
+
+/// Lifecycle of one admitted job.
+enum Slot {
+    Queued(Arc<JobDag>),
+    Cancelled,
+    Running { release: Time },
+    Done { release: Time, completion: Time },
+}
+
+/// Shared state between handlers and the scheduler thread.
+struct Inner {
+    queue: VecDeque<u64>,
+    slots: Vec<Slot>,
+    engine_to_id: Vec<u64>,
+    inflight: usize,
+    draining: bool,
+    drained: bool,
+    trace: Option<SessionTrace>,
+    // Canonical session record, filled at injection / completion.
+    trace_jobs: Vec<TraceJob>,
+    completions: Vec<Time>,
+    // Mirrored engine scalars (the engine lives on the scheduler
+    // thread; these are refreshed after every quantum).
+    now: Time,
+    active: u64,
+    busy_steps: u64,
+    idle_steps: u64,
+    // Service metrics (ktelemetry primitives).
+    admitted: Counter,
+    rejections: Counter,
+    completed: Counter,
+    cancelled: Counter,
+    quanta: Counter,
+    queue_depth: Histogram,
+    quantum_latency_us: Histogram,
+    max_queue_depth: u64,
+    watchers: Vec<mpsc::Sender<Event>>,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    stop: AtomicBool,
+    cfg: ServerConfig,
+}
+
+impl Shared {
+    fn new(cfg: ServerConfig) -> Arc<Shared> {
+        Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                slots: Vec::new(),
+                engine_to_id: Vec::new(),
+                inflight: 0,
+                draining: false,
+                drained: false,
+                trace: None,
+                trace_jobs: Vec::new(),
+                completions: Vec::new(),
+                now: 0,
+                active: 0,
+                busy_steps: 0,
+                idle_steps: 0,
+                admitted: Counter::new(),
+                rejections: Counter::new(),
+                completed: Counter::new(),
+                cancelled: Counter::new(),
+                quanta: Counter::new(),
+                queue_depth: Histogram::exponential(16),
+                quantum_latency_us: Histogram::exponential(20),
+                max_queue_depth: 0,
+                watchers: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            cfg,
+        })
+    }
+
+    fn notify(&self) {
+        self.cv.notify_all();
+    }
+
+    fn broadcast(inner: &mut Inner, event: Event) {
+        inner.watchers.retain(|w| w.send(event.clone()).is_ok());
+    }
+}
+
+/// A running daemon: its address and its thread handles.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the listeners, start the scheduler thread, and return.
+    ///
+    /// Configuration errors (empty machine, zero quantum, unknown
+    /// scenario later at submit time) surface as `InvalidInput`.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        if cfg.machine.is_empty() || cfg.machine.contains(&0) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "machine needs at least one category with ≥ 1 processor",
+            ));
+        }
+        if cfg.quantum == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "quantum must be at least 1",
+            ));
+        }
+        let res = Resources::new(cfg.machine.clone());
+        let sim_cfg = SimConfig::default()
+            .with_policy(cfg.policy)
+            .with_seed(cfg.seed)
+            .with_quantum(cfg.quantum)
+            .with_telemetry(cfg.telemetry.clone());
+        let live = LiveSimulation::new(res, sim_cfg)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+
+        #[cfg(unix)]
+        let unix_listener = match &cfg.unix_path {
+            Some(path) => {
+                let _ = std::fs::remove_file(path);
+                Some(std::os::unix::net::UnixListener::bind(path)?)
+            }
+            None => None,
+        };
+
+        let shared = Shared::new(cfg.clone());
+
+        let mut threads = Vec::new();
+
+        let sched_shared = Arc::clone(&shared);
+        let sched_addr = addr;
+        let unix_path = cfg.unix_path.clone();
+        threads.push(
+            thread::Builder::new()
+                .name("kserve-sched".into())
+                .spawn(move || {
+                    scheduler_loop(live, &sched_shared);
+                    // Unblock the accept loops so the process can exit.
+                    sched_shared.stop.store(true, Ordering::SeqCst);
+                    let _ = TcpStream::connect(sched_addr);
+                    #[cfg(unix)]
+                    if let Some(path) = &unix_path {
+                        let _ = std::os::unix::net::UnixStream::connect(path);
+                    }
+                    #[cfg(not(unix))]
+                    let _ = unix_path;
+                })?,
+        );
+
+        let tcp_shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name("kserve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if tcp_shared.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let conn_shared = Arc::clone(&tcp_shared);
+                        let _ =
+                            thread::Builder::new()
+                                .name("kserve-conn".into())
+                                .spawn(move || {
+                                    if let Ok(writer) = stream.try_clone() {
+                                        handle_connection(
+                                            BufReader::new(stream),
+                                            writer,
+                                            &conn_shared,
+                                        );
+                                    }
+                                });
+                    }
+                })?,
+        );
+
+        #[cfg(unix)]
+        if let Some(unix_listener) = unix_listener {
+            let unix_shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("kserve-accept-unix".into())
+                    .spawn(move || {
+                        for stream in unix_listener.incoming() {
+                            if unix_shared.stop.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = stream else { continue };
+                            let conn_shared = Arc::clone(&unix_shared);
+                            let _ = thread::Builder::new().name("kserve-conn".into()).spawn(
+                                move || {
+                                    if let Ok(writer) = stream.try_clone() {
+                                        handle_connection(
+                                            BufReader::new(stream),
+                                            writer,
+                                            &conn_shared,
+                                        );
+                                    }
+                                },
+                            );
+                        }
+                    })?,
+            );
+        }
+
+        Ok(Server {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound TCP address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait until the daemon has drained and every thread has exited.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.shared.cfg.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// The quantum loop: inject admitted jobs, advance one quantum,
+/// publish completions; park on the condvar when there is nothing to
+/// do (wall-clock idle consumes no virtual time).
+fn scheduler_loop(mut live: LiveSimulation, shared: &Shared) {
+    let cfg = &shared.cfg;
+    let mut scheduler = cfg.scheduler.build_seeded(live.resources().k(), cfg.seed);
+    let mut done_buf: Vec<usize> = Vec::new();
+    loop {
+        // Admit, or park until there is work.
+        {
+            let mut g = shared.inner.lock().unwrap();
+            loop {
+                inject_queued(&mut live, &mut g);
+                if live.has_work() {
+                    break;
+                }
+                if g.draining {
+                    finalize_drain(&live, &mut g, cfg);
+                    shared.notify();
+                    return;
+                }
+                g = shared.cv.wait(g).unwrap();
+            }
+        }
+
+        // One quantum of engine work, unlocked.
+        let start = Instant::now();
+        done_buf.clear();
+        for _ in 0..cfg.quantum.max(1) {
+            if !live.has_work() {
+                break;
+            }
+            done_buf.extend_from_slice(live.step(scheduler.as_mut()));
+        }
+        let latency_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+
+        // Publish.
+        {
+            let mut g = shared.inner.lock().unwrap();
+            g.quanta.incr();
+            g.quantum_latency_us.record(latency_us);
+            g.now = live.now();
+            g.active = live.active_jobs() as u64;
+            g.busy_steps = live.busy_steps();
+            g.idle_steps = live.idle_steps();
+            for &engine_idx in &done_buf {
+                let completion = live
+                    .completion(engine_idx)
+                    .expect("just-completed job has a completion time");
+                let id = g.engine_to_id[engine_idx];
+                let release = match g.slots[id as usize] {
+                    Slot::Running { release } => release,
+                    _ => unreachable!("completed job must be running"),
+                };
+                g.slots[id as usize] = Slot::Done {
+                    release,
+                    completion,
+                };
+                g.completions[engine_idx] = completion;
+                g.inflight -= 1;
+                g.completed.incr();
+                Shared::broadcast(
+                    &mut g,
+                    Event::JobDone {
+                        job: id,
+                        release,
+                        completion,
+                        response: completion - release,
+                    },
+                );
+            }
+            if !done_buf.is_empty() {
+                shared.notify();
+            }
+        }
+
+        if cfg.tick > Duration::ZERO {
+            let draining = shared.inner.lock().unwrap().draining;
+            if !draining {
+                thread::sleep(cfg.tick);
+            }
+        }
+    }
+}
+
+/// Move every queued job into the engine with `release = now()`.
+fn inject_queued(live: &mut LiveSimulation, g: &mut Inner) {
+    while let Some(id) = g.queue.pop_front() {
+        let dag = match &g.slots[id as usize] {
+            Slot::Queued(dag) => Arc::clone(dag),
+            Slot::Cancelled => continue,
+            _ => unreachable!("queued id must be queued or cancelled"),
+        };
+        let release = live.now();
+        let spec = JobSpec {
+            dag: Arc::clone(&dag),
+            release,
+        };
+        let engine_idx = live
+            .inject(spec)
+            .expect("admission validated the DAG and release = now() is never in the past");
+        debug_assert_eq!(engine_idx, g.engine_to_id.len());
+        g.engine_to_id.push(id);
+        g.trace_jobs.push(TraceJob {
+            dag: DagSpec::from_dag(&dag),
+            release,
+        });
+        g.completions.push(0);
+        g.slots[id as usize] = Slot::Running { release };
+    }
+}
+
+/// Seal the session: build the canonical trace and mark drained.
+fn finalize_drain(live: &LiveSimulation, g: &mut Inner, cfg: &ServerConfig) {
+    g.now = live.now();
+    g.active = 0;
+    g.busy_steps = live.busy_steps();
+    g.idle_steps = live.idle_steps();
+    g.trace = Some(SessionTrace {
+        machine: cfg.machine.clone(),
+        scheduler: cfg.scheduler,
+        policy: cfg.policy,
+        quantum: cfg.quantum,
+        seed: cfg.seed,
+        jobs: std::mem::take(&mut g.trace_jobs),
+        completions: g.completions.clone(),
+    });
+    g.drained = true;
+    let mut watchers = std::mem::take(&mut g.watchers);
+    watchers.retain(|w| w.send(Event::WatchEnd).is_ok());
+}
+
+/// Admission: validate, then accept into the bounded queue or reject
+/// with explicit backpressure.
+fn admit(shared: &Shared, dags: Vec<JobDag>, watch: bool) -> (Response, Option<WatchSession>) {
+    let cfg = &shared.cfg;
+    let k = cfg.machine.len();
+    for (i, dag) in dags.iter().enumerate() {
+        if dag.k() != k {
+            return (
+                Response::Error {
+                    message: format!(
+                        "job {i}: DAG has {} categories but machine has {k}",
+                        dag.k()
+                    ),
+                },
+                None,
+            );
+        }
+    }
+    let n = dags.len();
+    let mut g = shared.inner.lock().unwrap();
+    if g.draining {
+        g.rejections.add(n as u64);
+        let depth = g.queue.len() as u64;
+        return (
+            Response::Rejected {
+                reason: "draining".to_string(),
+                queue_depth: depth,
+                capacity: cfg.queue_capacity as u64,
+            },
+            None,
+        );
+    }
+    if g.queue.len() + n > cfg.queue_capacity {
+        g.rejections.add(n as u64);
+        let depth = g.queue.len() as u64;
+        return (
+            Response::Rejected {
+                reason: "queue full".to_string(),
+                queue_depth: depth,
+                capacity: cfg.queue_capacity as u64,
+            },
+            None,
+        );
+    }
+    if g.inflight + n > cfg.max_inflight {
+        g.rejections.add(n as u64);
+        let depth = g.queue.len() as u64;
+        return (
+            Response::Rejected {
+                reason: "too many jobs in flight".to_string(),
+                queue_depth: depth,
+                capacity: cfg.queue_capacity as u64,
+            },
+            None,
+        );
+    }
+    let mut ids = Vec::with_capacity(n);
+    for dag in dags {
+        let id = g.slots.len() as u64;
+        g.slots.push(Slot::Queued(Arc::new(dag)));
+        g.queue.push_back(id);
+        ids.push(id);
+    }
+    g.inflight += n;
+    g.admitted.add(n as u64);
+    let depth = g.queue.len() as u64;
+    g.queue_depth.record(depth);
+    g.max_queue_depth = g.max_queue_depth.max(depth);
+    // Register the watcher under the same lock so no completion can
+    // slip between the ack and the subscription.
+    let watch_session = watch.then(|| {
+        let (tx, rx) = mpsc::channel();
+        g.watchers.push(tx);
+        WatchSession {
+            rx,
+            remaining: ids.clone(),
+        }
+    });
+    drop(g);
+    shared.notify();
+    (Response::Submitted { jobs: ids }, watch_session)
+}
+
+/// A registered completion-event subscription for one submission.
+struct WatchSession {
+    rx: mpsc::Receiver<Event>,
+    remaining: Vec<u64>,
+}
+
+/// Expand a scenario reference into its DAGs (releases are assigned by
+/// the server at injection, so only the shapes are used).
+fn expand_scenario(sc: &ScenarioRef, k: usize) -> Result<Vec<JobDag>, String> {
+    let mut rng = rng_for(sc.seed, 0x5EED);
+    let scenario = match sc.name.as_str() {
+        "pipeline" => scenarios::pipeline(&mut rng, sc.jobs),
+        "mapreduce" => scenarios::mapreduce(&mut rng, sc.jobs),
+        "mixed-server" => scenarios::mixed_server(&mut rng, sc.jobs, 0.25),
+        other => return Err(format!("unknown scenario '{other}'")),
+    };
+    let jobs: Vec<JobDag> = scenario.jobs.iter().map(|j| (*j.dag).clone()).collect();
+    if jobs.iter().any(|d| d.k() != k) {
+        return Err(format!(
+            "scenario '{}' generates {}-category jobs but the machine has {k}",
+            sc.name,
+            jobs.first().map_or(0, JobDag::k)
+        ));
+    }
+    Ok(jobs)
+}
+
+fn status_reply(g: &Inner) -> StatusReply {
+    StatusReply {
+        now: g.now,
+        queued: g.queue.len() as u64,
+        active: g.active,
+        draining: g.draining,
+        jobs: g
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(id, slot)| match slot {
+                Slot::Queued(_) => JobStatus {
+                    job: id as u64,
+                    state: JobState::Queued,
+                    release: None,
+                    completion: None,
+                },
+                Slot::Cancelled => JobStatus {
+                    job: id as u64,
+                    state: JobState::Cancelled,
+                    release: None,
+                    completion: None,
+                },
+                Slot::Running { release } => JobStatus {
+                    job: id as u64,
+                    state: JobState::Running,
+                    release: Some(*release),
+                    completion: None,
+                },
+                Slot::Done {
+                    release,
+                    completion,
+                } => JobStatus {
+                    job: id as u64,
+                    state: JobState::Done,
+                    release: Some(*release),
+                    completion: Some(*completion),
+                },
+            })
+            .collect(),
+    }
+}
+
+fn stats_reply(g: &Inner) -> StatsReply {
+    StatsReply {
+        admitted: g.admitted.get(),
+        rejected: g.rejections.get(),
+        completed: g.completed.get(),
+        cancelled: g.cancelled.get(),
+        queue_depth: g.queue.len() as u64,
+        max_queue_depth: g.max_queue_depth,
+        now: g.now,
+        busy_steps: g.busy_steps,
+        idle_steps: g.idle_steps,
+        quanta: g.quanta.get(),
+        quantum_latency_mean_us: g.quantum_latency_us.mean(),
+    }
+}
+
+/// Serve one connection until EOF.
+fn handle_connection<R: BufRead, W: Write>(mut reader: R, mut writer: W, shared: &Arc<Shared>) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (response, watch_session) = dispatch(trimmed, shared);
+        if writeln!(writer, "{}", response.encode()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if let Some(session) = watch_session {
+            if !stream_watch(session, &mut writer, shared) {
+                return;
+            }
+        }
+    }
+}
+
+/// Forward completion events for one watched submission until every
+/// job is done (or cancelled); returns `false` if the client went away.
+fn stream_watch<W: Write>(session: WatchSession, writer: &mut W, shared: &Arc<Shared>) -> bool {
+    let WatchSession { rx, mut remaining } = session;
+    // Jobs may complete strictly after the ack but before this loop
+    // starts; the channel was registered under the admission lock, so
+    // every such completion is already buffered in `rx`.
+    while !remaining.is_empty() {
+        let event = match rx.recv() {
+            Ok(e) => e,
+            // Scheduler gone (drained): resolve the rest from state.
+            Err(_) => break,
+        };
+        match event {
+            Event::JobDone { job, .. } => {
+                if let Some(pos) = remaining.iter().position(|&id| id == job) {
+                    remaining.swap_remove(pos);
+                    if writeln!(writer, "{}", event.encode()).is_err() {
+                        return false;
+                    }
+                }
+            }
+            Event::JobCancelled { job } => {
+                if let Some(pos) = remaining.iter().position(|&id| id == job) {
+                    remaining.swap_remove(pos);
+                    if writeln!(writer, "{}", event.encode()).is_err() {
+                        return false;
+                    }
+                }
+            }
+            Event::WatchEnd => break,
+        }
+    }
+    // Anything still unresolved (drain raced us) is reported from the
+    // final job table.
+    if !remaining.is_empty() {
+        let g = shared.inner.lock().unwrap();
+        for id in remaining {
+            let event = match &g.slots[id as usize] {
+                Slot::Done {
+                    release,
+                    completion,
+                } => Event::JobDone {
+                    job: id,
+                    release: *release,
+                    completion: *completion,
+                    response: *completion - *release,
+                },
+                _ => Event::JobCancelled { job: id },
+            };
+            if writeln!(writer, "{}", event.encode()).is_err() {
+                return false;
+            }
+        }
+    }
+    writeln!(writer, "{}", Event::WatchEnd.encode()).is_ok() && writer.flush().is_ok()
+}
+
+/// Decode one request line and produce its reply (plus a watch
+/// subscription for `submit` with `watch: true`).
+fn dispatch(line: &str, shared: &Arc<Shared>) -> (Response, Option<WatchSession>) {
+    let request = match Request::decode(line) {
+        Ok(r) => r,
+        Err(message) => return (Response::Error { message }, None),
+    };
+    match request {
+        Request::Submit {
+            jobs,
+            scenario,
+            watch,
+        } => {
+            let mut dags = Vec::with_capacity(jobs.len());
+            for (i, spec) in jobs.iter().enumerate() {
+                match spec.build() {
+                    Ok(dag) => dags.push(dag),
+                    Err(e) => {
+                        return (
+                            Response::Error {
+                                message: format!("job {i} has an invalid DAG: {e}"),
+                            },
+                            None,
+                        )
+                    }
+                }
+            }
+            if let Some(sc) = &scenario {
+                match expand_scenario(sc, shared.cfg.machine.len()) {
+                    Ok(mut extra) => dags.append(&mut extra),
+                    Err(message) => return (Response::Error { message }, None),
+                }
+            }
+            admit(shared, dags, watch)
+        }
+        Request::Status => {
+            let g = shared.inner.lock().unwrap();
+            (Response::Status(status_reply(&g)), None)
+        }
+        Request::Stats => {
+            let g = shared.inner.lock().unwrap();
+            (Response::Stats(stats_reply(&g)), None)
+        }
+        Request::Cancel { job } => {
+            let mut g = shared.inner.lock().unwrap();
+            match g.slots.get(job as usize) {
+                Some(Slot::Queued(_)) => {
+                    g.slots[job as usize] = Slot::Cancelled;
+                    g.queue.retain(|&id| id != job);
+                    g.inflight -= 1;
+                    g.cancelled.incr();
+                    Shared::broadcast(&mut g, Event::JobCancelled { job });
+                    (Response::Cancelled { job }, None)
+                }
+                Some(_) => (
+                    Response::Error {
+                        message: format!("job {job} is not cancellable (already injected)"),
+                    },
+                    None,
+                ),
+                None => (
+                    Response::Error {
+                        message: format!("unknown job {job}"),
+                    },
+                    None,
+                ),
+            }
+        }
+        Request::Drain => {
+            let mut g = shared.inner.lock().unwrap();
+            g.draining = true;
+            shared.cv.notify_all();
+            while !g.drained {
+                g = shared.cv.wait(g).unwrap();
+            }
+            let trace = g.trace.clone().expect("drained session has a trace");
+            let reply = DrainReply {
+                admitted: g.admitted.get(),
+                completed: g.completed.get(),
+                cancelled: g.cancelled.get(),
+                rejected: g.rejections.get(),
+                trace,
+            };
+            (Response::Drained(reply), None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_machine() {
+        let cfg = ServerConfig {
+            machine: vec![],
+            ..ServerConfig::default()
+        };
+        assert!(Server::start(cfg).is_err());
+        let cfg = ServerConfig {
+            machine: vec![4, 0],
+            ..ServerConfig::default()
+        };
+        assert!(Server::start(cfg).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_quantum() {
+        let cfg = ServerConfig {
+            quantum: 0,
+            ..ServerConfig::default()
+        };
+        assert!(Server::start(cfg).is_err());
+    }
+
+    // Dispatch against a bare `Shared` (no scheduler thread): jobs
+    // stay queued forever, which makes the admission, backpressure,
+    // and cancel paths fully deterministic.
+    fn bare_shared(queue_capacity: usize, max_inflight: usize) -> Arc<Shared> {
+        Shared::new(ServerConfig {
+            queue_capacity,
+            max_inflight,
+            ..ServerConfig::default()
+        })
+    }
+
+    fn submit_line(n: usize) -> String {
+        use kdag::generators::fork_join;
+        use kdag::Category;
+        let dag = DagSpec::from_dag(&fork_join(2, &[(Category(0), 2), (Category(1), 1)]));
+        Request::Submit {
+            jobs: vec![dag; n],
+            scenario: None,
+            watch: false,
+        }
+        .encode()
+    }
+
+    #[test]
+    fn admission_backpressure_is_explicit() {
+        let shared = bare_shared(4, 100);
+        let (r, _) = dispatch(&submit_line(3), &shared);
+        assert!(matches!(r, Response::Submitted { ref jobs } if jobs == &[0, 1, 2]));
+        // 3 queued + 2 > capacity 4 → rejected, queue untouched.
+        let (r, _) = dispatch(&submit_line(2), &shared);
+        match r {
+            Response::Rejected {
+                reason,
+                queue_depth,
+                capacity,
+            } => {
+                assert_eq!(reason, "queue full");
+                assert_eq!((queue_depth, capacity), (3, 4));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // A single job still fits.
+        let (r, _) = dispatch(&submit_line(1), &shared);
+        assert!(matches!(r, Response::Submitted { ref jobs } if jobs == &[3]));
+        let g = shared.inner.lock().unwrap();
+        assert_eq!(g.admitted.get(), 4);
+        assert_eq!(g.rejections.get(), 2);
+        assert_eq!(g.max_queue_depth, 4);
+    }
+
+    #[test]
+    fn inflight_cap_rejects() {
+        let shared = bare_shared(100, 2);
+        let (r, _) = dispatch(&submit_line(2), &shared);
+        assert!(matches!(r, Response::Submitted { .. }));
+        let (r, _) = dispatch(&submit_line(1), &shared);
+        assert!(matches!(r, Response::Rejected { ref reason, .. } if reason.contains("in flight")));
+    }
+
+    #[test]
+    fn cancel_lifecycle() {
+        let shared = bare_shared(10, 10);
+        let (r, _) = dispatch(&submit_line(2), &shared);
+        assert!(matches!(r, Response::Submitted { .. }));
+        let (r, _) = dispatch(r#"{"cmd":"cancel","job":1}"#, &shared);
+        assert_eq!(r, Response::Cancelled { job: 1 });
+        // Cancelling twice is an error; unknown ids too.
+        let (r, _) = dispatch(r#"{"cmd":"cancel","job":1}"#, &shared);
+        assert!(matches!(r, Response::Error { .. }));
+        let (r, _) = dispatch(r#"{"cmd":"cancel","job":9}"#, &shared);
+        assert!(matches!(r, Response::Error { ref message } if message.contains("unknown")));
+        // Status reflects the cancellation; the slot frees capacity.
+        let (r, _) = dispatch(r#"{"cmd":"status"}"#, &shared);
+        match r {
+            Response::Status(st) => {
+                assert_eq!(st.queued, 1);
+                assert_eq!(st.jobs[1].state, crate::protocol::JobState::Cancelled);
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+        assert_eq!(shared.inner.lock().unwrap().inflight, 1);
+    }
+
+    #[test]
+    fn malformed_lines_and_bad_dags_are_errors() {
+        let shared = bare_shared(10, 10);
+        let (r, _) = dispatch("not json", &shared);
+        assert!(matches!(r, Response::Error { .. }));
+        // A k-mismatched DAG is refused before admission.
+        let line = r#"{"cmd":"submit","jobs":[{"k":3,"categories":[0],"edges":[]}]}"#;
+        let (r, _) = dispatch(line, &shared);
+        assert!(matches!(r, Response::Error { ref message } if message.contains("categories")));
+        // A cyclic DAG fails validation.
+        let line = r#"{"cmd":"submit","jobs":[{"k":2,"categories":[0,1],"edges":[[0,1],[1,0]]}]}"#;
+        let (r, _) = dispatch(line, &shared);
+        assert!(matches!(r, Response::Error { ref message } if message.contains("invalid DAG")));
+        assert_eq!(shared.inner.lock().unwrap().admitted.get(), 0);
+    }
+
+    #[test]
+    fn scenario_expansion_checks_k() {
+        let sc = ScenarioRef {
+            name: "pipeline".into(),
+            jobs: 3,
+            seed: 1,
+        };
+        assert_eq!(expand_scenario(&sc, 2).unwrap().len(), 3);
+        assert!(expand_scenario(&sc, 3)
+            .unwrap_err()
+            .contains("machine has 3"));
+        let bad = ScenarioRef {
+            name: "nope".into(),
+            jobs: 1,
+            seed: 1,
+        };
+        assert!(expand_scenario(&bad, 2)
+            .unwrap_err()
+            .contains("unknown scenario"));
+    }
+}

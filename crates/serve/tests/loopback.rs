@@ -1,0 +1,226 @@
+//! End-to-end loopback exercise of the daemon: concurrent clients,
+//! explicit backpressure, graceful drain, and the deterministic
+//! replay bridge (the recorded trace must reproduce the live per-job
+//! completion times byte for byte through the offline batch path).
+
+use kbaselines::SchedulerKind;
+use kdag::{DagSpec, SelectionPolicy};
+use kserve::loadgen::{run_loadgen, ArrivalKind, LoadgenConfig};
+use kserve::protocol::{Request, Response, ScenarioRef};
+use kserve::replay::SessionTrace;
+use kserve::server::{Server, ServerConfig};
+use kserve::Client;
+use kworkloads::mixes::{batched_mix, MixConfig};
+use kworkloads::rng_for;
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        machine: vec![6, 3],
+        scheduler: SchedulerKind::KRad,
+        policy: SelectionPolicy::Fifo,
+        quantum: 2,
+        seed: 42,
+        queue_capacity: 16,
+        max_inflight: 4096,
+        ..ServerConfig::default()
+    }
+}
+
+fn some_dags(n: usize, seed: u64) -> Vec<DagSpec> {
+    let mut rng = rng_for(seed, 0xE2E);
+    batched_mix(&mut rng, &MixConfig::new(2, n, 20))
+        .iter()
+        .map(|j| DagSpec::from_dag(&j.dag))
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_drain_and_replay_byte_for_byte() {
+    let server = Server::start(test_config()).expect("server starts");
+    let addr = server.addr().to_string();
+
+    // A burst larger than the queue capacity is refused outright —
+    // backpressure is an explicit reply, not a hang or a drop.
+    let mut probe = Client::connect(&addr).expect("probe connects");
+    match probe.submit(some_dags(64, 1)).expect("submit runs") {
+        Response::Rejected {
+            reason, capacity, ..
+        } => {
+            assert_eq!(reason, "queue full");
+            assert_eq!(capacity, 16);
+        }
+        other => panic!("oversized burst should be rejected, got {other:?}"),
+    }
+
+    // Four concurrent closed-loop clients, 50 jobs each: every one of
+    // the 200 offered jobs is either acknowledged or rejected with
+    // backpressure, and every accepted job completes (watch streams).
+    let cfg = LoadgenConfig {
+        clients: 4,
+        jobs_per_client: 50,
+        chunk: 5,
+        arrivals: ArrivalKind::Burst,
+        seed: 7,
+        k: 2,
+        mean_size: 20,
+        ..LoadgenConfig::default()
+    };
+    let report = run_loadgen(&addr, &cfg).expect("loadgen runs");
+    assert_eq!(report.submitted, 200);
+    assert_eq!(
+        report.accepted + report.rejected,
+        200,
+        "every offered job is acked or explicitly rejected"
+    );
+    assert!(report.accepted > 0, "some jobs must get through");
+    assert_eq!(report.completed, report.accepted);
+    assert_eq!(report.responses.len() as u64, report.completed);
+    assert!(report.responses.iter().all(|&r| r >= 0.0));
+
+    // Server-side scenario expansion rides the same admission path.
+    let mut client = Client::connect(&addr).expect("client connects");
+    let scenario_jobs = match client
+        .submit_scenario(ScenarioRef {
+            name: "pipeline".into(),
+            jobs: 4,
+            seed: 3,
+        })
+        .expect("scenario submit runs")
+    {
+        Response::Submitted { jobs } => jobs.len() as u64,
+        other => panic!("scenario should be admitted, got {other:?}"),
+    };
+    assert_eq!(scenario_jobs, 4);
+
+    // Status sees every admitted job and no draining yet.
+    match client.status().expect("status runs") {
+        Response::Status(st) => {
+            assert!(!st.draining);
+            assert_eq!(st.jobs.len() as u64, report.accepted + scenario_jobs);
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    // Graceful drain: in-flight work finishes, counters reconcile,
+    // and the session trace is the full arrival record.
+    let drain = match client.drain().expect("drain runs") {
+        Response::Drained(d) => d,
+        other => panic!("expected drained, got {other:?}"),
+    };
+    assert_eq!(drain.admitted, report.accepted + scenario_jobs);
+    assert_eq!(drain.completed, drain.admitted);
+    assert_eq!(drain.cancelled, 0);
+    assert_eq!(drain.rejected, 64 + report.rejected);
+    assert_eq!(drain.trace.jobs.len() as u64, drain.admitted);
+    assert_eq!(drain.trace.completions.len() as u64, drain.completed);
+    // Releases are nondecreasing in injection order — the invariant
+    // that makes the offline stable sort the identity on replay.
+    assert!(drain
+        .trace
+        .jobs
+        .windows(2)
+        .all(|w| w[0].release <= w[1].release));
+
+    // The replay bridge: run the recorded arrivals through the
+    // offline batch simulator and compare completion vectors byte for
+    // byte (after a wire round trip, like a real audit would).
+    let wire_trace = SessionTrace::decode(&drain.trace.encode()).expect("trace round-trips");
+    assert_eq!(wire_trace, drain.trace);
+    let canon = wire_trace
+        .verify()
+        .expect("offline replay reproduces the live session");
+    assert_eq!(
+        canon,
+        SessionTrace::canonical_completions(&drain.trace.completions)
+    );
+
+    // Post-drain: stats on the still-open connection reconcile, and
+    // the server shuts down cleanly.
+    match client.stats().expect("stats runs") {
+        Response::Stats(stats) => {
+            assert_eq!(stats.admitted, drain.admitted);
+            assert_eq!(stats.completed, drain.completed);
+            assert_eq!(stats.rejected, drain.rejected);
+            assert_eq!(stats.queue_depth, 0);
+            assert!(stats.busy_steps > 0);
+            assert_eq!(stats.idle_steps, 0, "work-conserving: no virtual idling");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn watch_streams_completions_in_virtual_time() {
+    let server = Server::start(test_config()).expect("server starts");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("client connects");
+
+    let dags = some_dags(6, 9);
+    let (ack, events) = client.submit_watch(dags).expect("watched submit runs");
+    let ids = match ack {
+        Response::Submitted { jobs } => jobs,
+        other => panic!("expected ack, got {other:?}"),
+    };
+    assert_eq!(events.len(), ids.len());
+    for ev in &events {
+        match ev {
+            kserve::Event::JobDone {
+                job,
+                release,
+                completion,
+                response,
+            } => {
+                assert!(ids.contains(job));
+                assert_eq!(completion - release, *response);
+                assert!(completion > release);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    let drain = match client.drain().expect("drain runs") {
+        Response::Drained(d) => d,
+        other => panic!("expected drained, got {other:?}"),
+    };
+    drain.trace.verify().expect("replay matches");
+    server.join();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_speaks_the_same_protocol() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let path = std::env::temp_dir().join(format!("kserve-test-{}.sock", std::process::id()));
+    let cfg = ServerConfig {
+        unix_path: Some(path.clone()),
+        ..test_config()
+    };
+    let server = Server::start(cfg).expect("server starts");
+
+    let stream = std::os::unix::net::UnixStream::connect(&path).expect("unix connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    writeln!(writer, "{}", Request::Status.encode()).expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    match Response::decode(line.trim()).expect("decode") {
+        Response::Status(st) => assert_eq!(st.jobs.len(), 0),
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    writeln!(writer, "{}", Request::Drain.encode()).expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    let drain = match Response::decode(line.trim()).expect("decode") {
+        Response::Drained(d) => d,
+        other => panic!("expected drained, got {other:?}"),
+    };
+    assert_eq!(drain.admitted, 0);
+    assert!(drain.trace.jobs.is_empty());
+    drain.trace.verify().expect("empty session replays");
+    server.join();
+    assert!(!path.exists(), "socket file is cleaned up");
+}

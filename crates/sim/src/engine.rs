@@ -1,11 +1,9 @@
 //! The discrete-time simulation engine.
 
-use crate::checker::{ExecRecord, RecordedSchedule};
-use crate::{AllotmentMatrix, JobView, Resources, Scheduler, SimOutcome, StepTrace, Time};
-use kdag::{Category, ExecutionState, JobDag, JobId, SelectionPolicy, TaskId};
+use crate::live::LiveSimulation;
+use crate::{Resources, Scheduler, SimOutcome, Time};
+use kdag::{JobDag, SelectionPolicy};
 use ktelemetry::{TelemetryEvent, TelemetryHandle};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 /// One job to simulate: its DAG and its release time.
@@ -227,406 +225,50 @@ pub fn simulate(
 /// The engine proper: one run of `jobs` on `res` under `scheduler`.
 ///
 /// Callers ([`crate::Simulation`] and the [`simulate`] shim) have
-/// already validated the job/machine shapes. The per-step loop holds
-/// *flat preallocated* state — per-job allotment rows, feedback
-/// estimates and usage live in `jobs × K` matrices with presence flags,
-/// and the per-step totals are reused buffers — so the steady state
-/// performs no heap allocation. (The per-decision `JobView` slice
-/// borrows the desire buffer and so cannot persist across steps in
-/// safe Rust; it lives in a stack array for ≤ 8 active jobs and falls
-/// back to a short-lived `Vec` beyond that.)
+/// already validated the job/machine shapes. Since the live-engine
+/// refactor this is a thin driver over [`LiveSimulation`] — it injects
+/// every job up front and steps to completion, so the batch and online
+/// paths execute the *same* step loop (the replay-bridge guarantee the
+/// `kserve` daemon relies on). The step loop itself holds flat
+/// preallocated state and performs no steady-state heap allocation;
+/// see [`crate::live`] for the data-structure notes.
 pub(crate) fn run_engine(
     scheduler: &mut dyn Scheduler,
     jobs: &[JobSpec],
     res: &Resources,
     cfg: &SimConfig,
 ) -> SimOutcome {
-    let k = res.k();
-    for (i, j) in jobs.iter().enumerate() {
-        assert_eq!(
-            j.dag.k(),
-            k,
-            "job {i}: DAG has {} categories but machine has {k}",
-            j.dag.k()
-        );
-    }
-
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut states: Vec<ExecutionState> = jobs
-        .iter()
-        .map(|j| ExecutionState::new(&j.dag, cfg.policy))
-        .collect();
-
-    // Arrival order: by (release, index).
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by_key(|&i| (jobs[i].release, i));
-    let mut next_arrival = 0usize;
-
-    let mut active: Vec<usize> = Vec::new();
-    let mut completions: Vec<Time> = vec![0; jobs.len()];
-    let mut remaining = jobs.len();
-
-    let mut desires_buf: Vec<u32> = Vec::with_capacity(jobs.len() * k);
-    let mut executed_buf: Vec<u32> = vec![0; k];
-    let mut exec_record: Vec<(Category, TaskId)> = Vec::new();
-    let mut out = AllotmentMatrix::new(k);
-
-    let mut executed_by_category = vec![0u64; k];
-    let mut allotted_by_category = vec![0u64; k];
-    let mut busy_steps = 0u64;
-    let mut idle_steps = 0u64;
-    let mut preemptions = 0u64;
-    let mut stalled = 0u64;
-    let mut trace: Vec<StepTrace> = Vec::new();
-    let mut schedule = RecordedSchedule::default();
-
-    // Flat per-job row matrices (`jobs × K`) with presence flags —
-    // preallocated once so the step loop never clones rows.
-    let row_range = |idx: usize| idx * k..(idx + 1) * k;
-
-    // Quantum machinery: allotments frozen between decisions.
-    let q = cfg.quantum;
-    assert!(q >= 1, "quantum must be at least 1");
-    let mut frozen = vec![0u32; jobs.len() * k];
-    let mut frozen_set = vec![false; jobs.len()];
-    let mut next_decision: Time = 0;
-    let mut last_decision: Time = 0;
-    let zero_row: Vec<u32> = vec![0; k];
-
-    // A-Greedy feedback state (flat `jobs × K` matrices, allocated only
-    // when feedback is enabled; `reported` shares `frozen_set` because
-    // both are written at each decision and cleared on completion).
-    let feedback_delta = match cfg.desire_model {
-        DesireModel::Exact => None,
-        DesireModel::AGreedy { delta } => {
-            assert!(
-                (0.0..=1.0).contains(&delta),
-                "A-Greedy delta must be in [0, 1]"
-            );
-            Some(delta)
-        }
-    };
-    let fb_len = if feedback_delta.is_some() {
-        jobs.len()
-    } else {
-        0
-    };
-    let mut est = vec![0u32; fb_len * k];
-    let mut est_set = vec![false; fb_len];
-    let mut reported = vec![0u32; fb_len * k];
-    let mut usage = vec![0u64; fb_len * k];
-    let mut usage_init = vec![false; fb_len];
-    /// Cap on A-Greedy estimates (doubling is otherwise unbounded).
-    const EST_CAP: u32 = 1 << 20;
-
-    // Per-step totals, reused across steps.
-    let mut allotted_totals = vec![0u32; k];
-    let mut step_executed_totals = vec![0u32; k];
-    let mut proc_counter = vec![0u32; k];
-    let mut decision_totals = vec![0u64; k];
-
     let tel = cfg.telemetry.clone();
     tel.emit(|| TelemetryEvent::RunStart {
         scheduler: scheduler.name().to_string(),
         jobs: jobs.len() as u32,
-        categories: k as u16,
+        categories: res.k() as u16,
     });
 
-    let mut t: Time = 0;
-    while remaining > 0 {
-        // Fast-forward idle intervals.
-        if active.is_empty() {
-            let r = jobs[order[next_arrival]].release;
-            if r > t {
-                idle_steps += r - t;
-                tel.emit(|| TelemetryEvent::IdleSkip { from: t, to: r });
-                t = r;
-            }
-        }
-        t += 1;
-        assert!(
-            t <= cfg.max_steps,
-            "simulation exceeded max_steps={} under scheduler '{}'",
-            cfg.max_steps,
-            scheduler.name()
-        );
-
-        // Activate arrivals: release < t means available at step t.
-        while next_arrival < order.len() && jobs[order[next_arrival]].release < t {
-            let idx = order[next_arrival];
-            let pos = active.partition_point(|&x| x < idx);
-            active.insert(pos, idx);
-            scheduler.on_arrival(JobId(idx as u32), t);
-            tel.emit(|| TelemetryEvent::JobReleased { t, job: idx as u32 });
-            next_arrival += 1;
-        }
-        debug_assert!(!active.is_empty(), "stepping with no active jobs");
-        tel.emit(|| TelemetryEvent::StepStart {
-            t,
-            active_jobs: active.len() as u32,
-        });
-
-        // Quantum boundary: consult the scheduler and freeze allotments.
-        let mut decided = false;
-        if t >= next_decision {
-            // A-Greedy: digest the quantum that just ended.
-            if let Some(delta) = feedback_delta {
-                let elapsed = t.saturating_sub(last_decision);
-                if elapsed > 0 {
-                    for &idx in &active {
-                        if !frozen_set[idx] || !est_set[idx] {
-                            continue;
-                        }
-                        let r = row_range(idx);
-                        for c in 0..k {
-                            let fr = frozen[r.start + c];
-                            if fr < reported[r.start + c] {
-                                continue; // deprived: estimate unchanged
-                            }
-                            let granted = u64::from(fr) * elapsed;
-                            let e = &mut est[r.start + c];
-                            if (usage[r.start + c] as f64) >= delta * granted as f64 {
-                                *e = e.saturating_mul(2).min(EST_CAP);
-                            } else {
-                                *e = (*e / 2).max(1);
-                            }
-                        }
-                        usage[r].fill(0);
-                    }
-                }
-            }
-
-            // Build the non-clairvoyant views (exact desires — an O(1)
-            // read of the incrementally maintained ready counts — or
-            // feedback estimates).
-            // Every row is fully overwritten below, so no zeroing pass.
-            desires_buf.resize(active.len() * k, 0);
-            for (slot, &idx) in active.iter().enumerate() {
-                let row = &mut desires_buf[slot * k..(slot + 1) * k];
-                match cfg.desire_model {
-                    DesireModel::Exact => row.copy_from_slice(states[idx].desires()),
-                    DesireModel::AGreedy { .. } => {
-                        let r = row_range(idx);
-                        if !est_set[idx] {
-                            est[r.clone()].fill(1);
-                            est_set[idx] = true;
-                        }
-                        row.copy_from_slice(&est[r]);
-                        usage_init[idx] = true;
-                    }
-                }
-            }
-            // The views borrow `desires_buf`, so they cannot persist
-            // across steps in safe Rust; a stack array covers the
-            // common case and only very wide steps fall back to a
-            // heap allocation.
-            const VIEW_STACK: usize = 8;
-            let make_view = |(slot, &idx): (usize, &usize)| JobView {
-                id: JobId(idx as u32),
-                release: jobs[idx].release,
-                desires: &desires_buf[slot * k..(slot + 1) * k],
-            };
-            let mut view_stack = [JobView {
-                id: JobId(0),
-                release: 0,
-                desires: &[],
-            }; VIEW_STACK];
-            let view_heap: Vec<JobView<'_>>;
-            let views: &[JobView<'_>] = if active.len() <= VIEW_STACK {
-                for (slot, v) in active.iter().enumerate().map(make_view).enumerate() {
-                    view_stack[slot] = v;
-                }
-                &view_stack[..active.len()]
-            } else {
-                view_heap = active.iter().enumerate().map(make_view).collect();
-                &view_heap
-            };
-
-            out.reset(active.len());
-            scheduler.allot(t, views, res, &mut out);
-
-            // Freeze the decision for the quantum (row copies into the
-            // flat matrices — no per-decision allocation), folding the
-            // per-category totals for the over-allotment check into
-            // the same pass over the rows.
-            // Preemption accounting folds in here too: within a quantum
-            // the frozen rows never change, so processors can only be
-            // withdrawn at a decision boundary — comparing the old
-            // frozen row against the new one counts exactly the
-            // step-over-step losses (a job that *finished* has
-            // `frozen_set` cleared and is not counted).
-            decision_totals.fill(0);
-            for (slot, &idx) in active.iter().enumerate() {
-                let r = row_range(idx);
-                let row = out.row(slot);
-                for (tot, &a) in decision_totals.iter_mut().zip(row) {
-                    *tot += u64::from(a);
-                }
-                if frozen_set[idx] {
-                    for (&p, &a) in frozen[r.clone()].iter().zip(row) {
-                        preemptions += u64::from(p.saturating_sub(a));
-                    }
-                }
-                frozen[r.clone()].copy_from_slice(row);
-                frozen_set[idx] = true;
-                if feedback_delta.is_some() {
-                    reported[r].copy_from_slice(&desires_buf[slot * k..(slot + 1) * k]);
-                }
-            }
-
-            // Contract: never allot more than Pα in any category.
-            for cat in Category::all(k) {
-                let total = decision_totals[cat.index()];
-                assert!(
-                    total <= u64::from(res.processors(cat)),
-                    "scheduler '{}' over-allotted {cat}: {total} > {} at step {t}",
-                    scheduler.name(),
-                    res.processors(cat)
-                );
-            }
-            last_decision = t;
-            next_decision = t + q;
-            decided = true;
-        }
-
-        // Execute the step: one pass over the active jobs doing the
-        // allotted-total bookkeeping and task execution against the
-        // flat frozen rows (zeros for jobs that arrived mid-quantum) —
-        // no per-job allocation. On decision steps the allotted totals
-        // were already summed while freezing the rows.
-        if decided {
-            for (tot, &d) in allotted_totals.iter_mut().zip(&decision_totals) {
-                *tot = d as u32;
-            }
-        } else {
-            allotted_totals.fill(0);
-            for &idx in &active {
-                if frozen_set[idx] {
-                    let r = row_range(idx);
-                    for (tot, &a) in allotted_totals.iter_mut().zip(&frozen[r]) {
-                        *tot += a;
-                    }
-                }
-            }
-        }
-        step_executed_totals.fill(0);
-        proc_counter.fill(0);
-        let mut step_total = 0u64;
-        let mut any_completed = false;
-        for &idx in &active {
-            let r = row_range(idx);
-            let row: &[u32] = if frozen_set[idx] {
-                &frozen[r.clone()]
-            } else {
-                &zero_row
-            };
-            exec_record.clear();
-            let rec = cfg.record_schedule.then_some(&mut exec_record);
-            let n = states[idx].execute_step(&jobs[idx].dag, row, &mut rng, &mut executed_buf, rec);
-            step_total += n;
-            for (tot, &e) in step_executed_totals.iter_mut().zip(executed_buf.iter()) {
-                *tot += e;
-            }
-            if feedback_delta.is_some() && usage_init[idx] {
-                for (u, &e) in usage[r].iter_mut().zip(executed_buf.iter()) {
-                    *u += u64::from(e);
-                }
-            }
-            for &(cat, task) in &exec_record {
-                let p = &mut proc_counter[cat.index()];
-                schedule.records.push(ExecRecord {
-                    job: JobId(idx as u32),
-                    task,
-                    t,
-                    category: cat,
-                    processor: *p,
-                });
-                *p += 1;
-            }
-            if states[idx].is_complete() {
-                completions[idx] = t;
-                scheduler.on_completion(JobId(idx as u32), t);
-                tel.emit(|| TelemetryEvent::JobCompleted {
-                    t,
-                    job: idx as u32,
-                    response: t - jobs[idx].release,
-                });
-                remaining -= 1;
-                any_completed = true;
-                // Losing processors by *finishing* is not a preemption:
-                // clearing `frozen_set` excludes this job from the next
-                // decision's old-vs-new comparison.
-                frozen_set[idx] = false;
-                if feedback_delta.is_some() {
-                    est_set[idx] = false;
-                }
-            }
-        }
-        for (tot, &e) in executed_by_category.iter_mut().zip(&step_executed_totals) {
-            *tot += u64::from(e);
-        }
-        for (tot, &a) in allotted_by_category.iter_mut().zip(&allotted_totals) {
-            *tot += u64::from(a);
-        }
-        if any_completed {
-            active.retain(|&idx| !states[idx].is_complete());
-        }
-        busy_steps += 1;
-
-        // Stall detection.
-        if step_total == 0 && remaining > 0 {
-            stalled += 1;
-            assert!(
-                stalled <= cfg.stall_limit,
-                "scheduler '{}' stalled for {} consecutive steps at t={t}",
-                scheduler.name(),
-                stalled
-            );
-        } else {
-            stalled = 0;
-        }
-
-        tel.emit(|| TelemetryEvent::StepEnd {
-            t,
-            allotted: allotted_totals.clone(),
-            executed: step_executed_totals.clone(),
-        });
-        if cfg.record_trace {
-            trace.push(StepTrace {
-                t,
-                active_jobs: (active.len() + usize::from(any_completed)) as u32,
-                allotted: allotted_totals.clone(),
-                executed: step_executed_totals.clone(),
-            });
-        }
+    let mut live = LiveSimulation::new(res.clone(), cfg.clone())
+        .unwrap_or_else(|e| panic!("invalid engine configuration: {e}"));
+    live.reserve(jobs.len());
+    for j in jobs {
+        // Shape validation already ran; a mismatch here is a caller bug.
+        live.inject(j.clone()).unwrap_or_else(|e| panic!("{e}"));
+    }
+    while live.has_work() {
+        live.step(scheduler);
     }
 
     tel.emit(|| TelemetryEvent::RunEnd {
-        makespan: t,
-        busy_steps,
-        idle_steps,
+        makespan: live.now(),
+        busy_steps: live.busy_steps(),
+        idle_steps: live.idle_steps(),
     });
-
-    SimOutcome {
-        scheduler: scheduler.name().to_string(),
-        makespan: t,
-        releases: jobs.iter().map(|j| j.release).collect(),
-        completions,
-        executed_by_category,
-        allotted_by_category,
-        busy_steps,
-        idle_steps,
-        preemptions,
-        trace: cfg.record_trace.then_some(trace),
-        schedule: cfg.record_schedule.then_some(schedule),
-    }
+    live.into_outcome(scheduler.name())
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::checker;
-    use kdag::DagBuilder;
+    use crate::{AllotmentMatrix, JobView};
+    use kdag::{Category, DagBuilder, JobId};
 
     /// Gives every job its full desire, clamped per category to the
     /// remaining capacity, scanning jobs in slot order.

@@ -46,9 +46,11 @@ mod trace;
 mod view;
 
 pub mod checker;
+pub mod live;
 
 pub use allot::AllotmentMatrix;
 pub use engine::{simulate, DesireModel, JobSpec, SimConfig};
+pub use live::{InjectError, LiveSimulation};
 pub use outcome::SimOutcome;
 pub use resources::Resources;
 pub use scheduler::Scheduler;

@@ -1,0 +1,838 @@
+//! The incremental engine core: a simulation that can be driven one
+//! step at a time while new jobs are injected mid-run.
+//!
+//! [`LiveSimulation`] is the *same* engine the batch [`crate::simulate`]
+//! path runs — `run_engine` is a thin driver that injects every job up
+//! front and steps to completion. A long-running service (the `kserve`
+//! daemon) instead injects jobs as they arrive over the wire and
+//! advances virtual time quantum by quantum. Because both paths execute
+//! this one step loop, an online session whose arrivals are recorded as
+//! `(dag, release)` pairs replays *bit-for-bit* through the offline
+//! path: same decision boundaries, same freeze semantics, same RNG
+//! stream, same completions.
+//!
+//! ## Invariants for online injection
+//!
+//! * A job may only be injected with `release >= now()` — the engine
+//!   cannot rewrite history ([`InjectError::ReleaseInPast`]).
+//! * Injection order is the job-index order; the offline replay must
+//!   present the same jobs in the same order with the same releases.
+//! * Virtual time is work-conserving: it only advances while jobs are
+//!   active (or fast-forwards to the next pending release), so
+//!   wall-clock idle time at the service layer consumes no virtual
+//!   steps and leaves no trace in the canonical arrival record.
+
+use crate::checker::{ExecRecord, RecordedSchedule};
+use crate::session::BuildError;
+use crate::{
+    AllotmentMatrix, DesireModel, JobSpec, JobView, Resources, Scheduler, SimConfig, SimOutcome,
+    StepTrace, Time,
+};
+use kdag::{Category, ExecutionState, JobId, TaskId};
+use ktelemetry::{TelemetryEvent, TelemetryHandle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Cap on A-Greedy estimates (doubling is otherwise unbounded).
+const EST_CAP: u32 = 1 << 20;
+
+/// Why [`LiveSimulation::inject`] refused a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InjectError {
+    /// The job's DAG disagrees with the machine on the number of
+    /// processor categories.
+    CategoryMismatch {
+        /// Index the job would have received.
+        job: usize,
+        /// `K` of the job's DAG.
+        dag_k: usize,
+        /// `K` of the machine.
+        machine_k: usize,
+    },
+    /// The release time is before the engine's current virtual time —
+    /// accepting it would diverge from the offline replay.
+    ReleaseInPast {
+        /// The offending release time.
+        release: Time,
+        /// The engine's current virtual time.
+        now: Time,
+    },
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::CategoryMismatch {
+                job,
+                dag_k,
+                machine_k,
+            } => write!(
+                f,
+                "job {job}: DAG has {dag_k} categories but machine has {machine_k}"
+            ),
+            InjectError::ReleaseInPast { release, now } => {
+                write!(f, "release {release} is before the current time {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// An incrementally drivable simulation: inject jobs at (or after) the
+/// current virtual time, advance with [`step`](LiveSimulation::step),
+/// and extract the standard [`SimOutcome`] when done.
+///
+/// ```
+/// use kdag::generators::fork_join;
+/// use kdag::Category;
+/// use krad::KRad;
+/// use ksim::{JobSpec, LiveSimulation, Resources, SimConfig};
+///
+/// let mut live = LiveSimulation::new(Resources::new(vec![4, 2]), SimConfig::default()).unwrap();
+/// let mut sched = KRad::new(2);
+/// live.inject(JobSpec::batched(fork_join(2, &[(Category(0), 4), (Category(1), 2)])))
+///     .unwrap();
+/// while live.has_work() {
+///     live.step(&mut sched);
+/// }
+/// assert_eq!(live.now(), 2);
+/// assert_eq!(live.into_outcome("k-rad").makespan, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LiveSimulation {
+    res: Resources,
+    cfg: SimConfig,
+    k: usize,
+    rng: StdRng,
+    jobs: Vec<JobSpec>,
+    states: Vec<ExecutionState>,
+    /// Not-yet-activated job indices from `next_arrival` on, sorted by
+    /// `(release, index)`; the activated prefix is kept for posterity.
+    order: Vec<usize>,
+    next_arrival: usize,
+    active: Vec<usize>,
+    completions: Vec<Time>,
+    remaining: usize,
+    t: Time,
+
+    // Quantum machinery: allotments frozen between decisions.
+    frozen: Vec<u32>,
+    frozen_set: Vec<bool>,
+    next_decision: Time,
+    last_decision: Time,
+    zero_row: Vec<u32>,
+
+    // A-Greedy feedback state (flat `jobs × K` matrices, grown only
+    // when feedback is enabled).
+    feedback_delta: Option<f64>,
+    est: Vec<u32>,
+    est_set: Vec<bool>,
+    reported: Vec<u32>,
+    usage: Vec<u64>,
+    usage_init: Vec<bool>,
+
+    // Reused per-step buffers (no steady-state allocation).
+    desires_buf: Vec<u32>,
+    executed_buf: Vec<u32>,
+    exec_record: Vec<(Category, TaskId)>,
+    out: AllotmentMatrix,
+    allotted_totals: Vec<u32>,
+    step_executed_totals: Vec<u32>,
+    proc_counter: Vec<u32>,
+    decision_totals: Vec<u64>,
+    just_completed: Vec<usize>,
+
+    // Accounting.
+    executed_by_category: Vec<u64>,
+    allotted_by_category: Vec<u64>,
+    busy_steps: u64,
+    idle_steps: u64,
+    preemptions: u64,
+    stalled: u64,
+    trace: Vec<StepTrace>,
+    schedule: RecordedSchedule,
+    tel: TelemetryHandle,
+}
+
+impl LiveSimulation {
+    /// An empty live simulation on machine `res` under `cfg`.
+    ///
+    /// Fails with [`BuildError::ZeroQuantum`] if `cfg.quantum == 0`.
+    ///
+    /// # Panics
+    /// Panics if an [`DesireModel::AGreedy`] delta is outside `[0, 1]`
+    /// (a configuration bug, same as the batch path).
+    pub fn new(res: Resources, cfg: SimConfig) -> Result<LiveSimulation, BuildError> {
+        crate::session::validate(&[], &res, &cfg)?;
+        let k = res.k();
+        let feedback_delta = match cfg.desire_model {
+            DesireModel::Exact => None,
+            DesireModel::AGreedy { delta } => {
+                assert!(
+                    (0.0..=1.0).contains(&delta),
+                    "A-Greedy delta must be in [0, 1]"
+                );
+                Some(delta)
+            }
+        };
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let tel = cfg.telemetry.clone();
+        Ok(LiveSimulation {
+            res,
+            k,
+            rng,
+            jobs: Vec::new(),
+            states: Vec::new(),
+            order: Vec::new(),
+            next_arrival: 0,
+            active: Vec::new(),
+            completions: Vec::new(),
+            remaining: 0,
+            t: 0,
+            frozen: Vec::new(),
+            frozen_set: Vec::new(),
+            next_decision: 0,
+            last_decision: 0,
+            zero_row: vec![0; k],
+            feedback_delta,
+            est: Vec::new(),
+            est_set: Vec::new(),
+            reported: Vec::new(),
+            usage: Vec::new(),
+            usage_init: Vec::new(),
+            desires_buf: Vec::new(),
+            executed_buf: vec![0; k],
+            exec_record: Vec::new(),
+            out: AllotmentMatrix::new(k),
+            allotted_totals: vec![0; k],
+            step_executed_totals: vec![0; k],
+            proc_counter: vec![0; k],
+            decision_totals: vec![0; k],
+            just_completed: Vec::new(),
+            executed_by_category: vec![0; k],
+            allotted_by_category: vec![0; k],
+            busy_steps: 0,
+            idle_steps: 0,
+            preemptions: 0,
+            stalled: 0,
+            trace: Vec::new(),
+            schedule: RecordedSchedule::default(),
+            tel,
+            cfg,
+        })
+    }
+
+    /// Pre-size the per-job matrices for `n` further jobs (the batch
+    /// driver knows the job count up front; online callers need not
+    /// bother).
+    pub fn reserve(&mut self, n: usize) {
+        self.jobs.reserve(n);
+        self.states.reserve(n);
+        self.order.reserve(n);
+        self.completions.reserve(n);
+        self.frozen.reserve(n * self.k);
+        self.frozen_set.reserve(n);
+    }
+
+    /// Inject one job; returns its index (dense, in injection order).
+    ///
+    /// The job becomes visible to the scheduler at step `release + 1`;
+    /// `release` must be at or after [`now`](LiveSimulation::now).
+    pub fn inject(&mut self, spec: JobSpec) -> Result<usize, InjectError> {
+        let idx = self.jobs.len();
+        if spec.dag.k() != self.k {
+            return Err(InjectError::CategoryMismatch {
+                job: idx,
+                dag_k: spec.dag.k(),
+                machine_k: self.k,
+            });
+        }
+        if spec.release < self.t {
+            return Err(InjectError::ReleaseInPast {
+                release: spec.release,
+                now: self.t,
+            });
+        }
+        self.states
+            .push(ExecutionState::new(&spec.dag, self.cfg.policy));
+        self.completions.push(0);
+        self.frozen.extend(std::iter::repeat_n(0, self.k));
+        self.frozen_set.push(false);
+        if self.feedback_delta.is_some() {
+            self.est.extend(std::iter::repeat_n(0, self.k));
+            self.est_set.push(false);
+            self.reported.extend(std::iter::repeat_n(0, self.k));
+            self.usage.extend(std::iter::repeat_n(0, self.k));
+            self.usage_init.push(false);
+        }
+        // Sorted insert by (release, index) among the pending tail.
+        let key = (spec.release, idx);
+        let jobs = &self.jobs;
+        let pos = self.next_arrival
+            + self.order[self.next_arrival..].partition_point(|&j| (jobs[j].release, j) < key);
+        self.order.insert(pos, idx);
+        self.jobs.push(spec);
+        self.remaining += 1;
+        Ok(idx)
+    }
+
+    /// The engine's current virtual time (last completed step).
+    pub fn now(&self) -> Time {
+        self.t
+    }
+
+    /// `true` while any injected job is incomplete.
+    pub fn has_work(&self) -> bool {
+        self.remaining > 0
+    }
+
+    /// Number of currently active (released, incomplete) jobs.
+    pub fn active_jobs(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of injected jobs whose release is still in the future.
+    pub fn pending_jobs(&self) -> usize {
+        self.order.len() - self.next_arrival
+    }
+
+    /// Total jobs injected so far.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The injected jobs, in injection order.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Completion time of job `idx`, if it has finished.
+    pub fn completion(&self, idx: usize) -> Option<Time> {
+        match self.completions.get(idx) {
+            Some(&c) if c > 0 => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Busy (simulated) steps so far.
+    pub fn busy_steps(&self) -> u64 {
+        self.busy_steps
+    }
+
+    /// Idle (fast-forwarded) steps so far.
+    pub fn idle_steps(&self) -> u64 {
+        self.idle_steps
+    }
+
+    /// The machine description.
+    pub fn resources(&self) -> &Resources {
+        &self.res
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Advance exactly one step (plus any idle fast-forward preceding
+    /// it) and return the indices of jobs that completed on this step.
+    ///
+    /// # Panics
+    /// Panics if called with no work ([`has_work`](Self::has_work) is
+    /// the caller's guard), if the scheduler over-allots a category,
+    /// stalls past `cfg.stall_limit`, or `cfg.max_steps` is exceeded —
+    /// the same contract enforcement as the batch path.
+    pub fn step(&mut self, scheduler: &mut dyn Scheduler) -> &[usize] {
+        assert!(self.remaining > 0, "step() called with no incomplete jobs");
+        let k = self.k;
+        let row_range = |idx: usize| idx * k..(idx + 1) * k;
+        let cfg = &self.cfg;
+        let res = &self.res;
+        let jobs = &self.jobs;
+        let states = &mut self.states;
+        let active = &mut self.active;
+        let tel = &self.tel;
+        self.just_completed.clear();
+
+        // Fast-forward idle intervals.
+        if active.is_empty() {
+            let r = jobs[self.order[self.next_arrival]].release;
+            let t = self.t;
+            if r > t {
+                self.idle_steps += r - t;
+                tel.emit(|| TelemetryEvent::IdleSkip { from: t, to: r });
+                self.t = r;
+            }
+        }
+        self.t += 1;
+        let t = self.t;
+        assert!(
+            t <= cfg.max_steps,
+            "simulation exceeded max_steps={} under scheduler '{}'",
+            cfg.max_steps,
+            scheduler.name()
+        );
+
+        // Activate arrivals: release < t means available at step t.
+        while self.next_arrival < self.order.len()
+            && jobs[self.order[self.next_arrival]].release < t
+        {
+            let idx = self.order[self.next_arrival];
+            let pos = active.partition_point(|&x| x < idx);
+            active.insert(pos, idx);
+            scheduler.on_arrival(JobId(idx as u32), t);
+            tel.emit(|| TelemetryEvent::JobReleased { t, job: idx as u32 });
+            self.next_arrival += 1;
+        }
+        debug_assert!(!active.is_empty(), "stepping with no active jobs");
+        tel.emit(|| TelemetryEvent::StepStart {
+            t,
+            active_jobs: active.len() as u32,
+        });
+
+        // Quantum boundary: consult the scheduler and freeze allotments.
+        let mut decided = false;
+        if t >= self.next_decision {
+            // A-Greedy: digest the quantum that just ended.
+            if let Some(delta) = self.feedback_delta {
+                let elapsed = t.saturating_sub(self.last_decision);
+                if elapsed > 0 {
+                    for &idx in active.iter() {
+                        if !self.frozen_set[idx] || !self.est_set[idx] {
+                            continue;
+                        }
+                        let r = row_range(idx);
+                        for c in 0..k {
+                            let fr = self.frozen[r.start + c];
+                            if fr < self.reported[r.start + c] {
+                                continue; // deprived: estimate unchanged
+                            }
+                            let granted = u64::from(fr) * elapsed;
+                            let e = &mut self.est[r.start + c];
+                            if (self.usage[r.start + c] as f64) >= delta * granted as f64 {
+                                *e = e.saturating_mul(2).min(EST_CAP);
+                            } else {
+                                *e = (*e / 2).max(1);
+                            }
+                        }
+                        self.usage[r].fill(0);
+                    }
+                }
+            }
+
+            // Build the non-clairvoyant views (exact desires — an O(1)
+            // read of the incrementally maintained ready counts — or
+            // feedback estimates).
+            // Every row is fully overwritten below, so no zeroing pass.
+            self.desires_buf.resize(active.len() * k, 0);
+            for (slot, &idx) in active.iter().enumerate() {
+                let row = &mut self.desires_buf[slot * k..(slot + 1) * k];
+                match cfg.desire_model {
+                    DesireModel::Exact => row.copy_from_slice(states[idx].desires()),
+                    DesireModel::AGreedy { .. } => {
+                        let r = row_range(idx);
+                        if !self.est_set[idx] {
+                            self.est[r.clone()].fill(1);
+                            self.est_set[idx] = true;
+                        }
+                        row.copy_from_slice(&self.est[r]);
+                        self.usage_init[idx] = true;
+                    }
+                }
+            }
+            // The views borrow `desires_buf`, so they cannot persist
+            // across steps in safe Rust; a stack array covers the
+            // common case and only very wide steps fall back to a
+            // heap allocation.
+            const VIEW_STACK: usize = 8;
+            let desires_buf = &self.desires_buf;
+            let make_view = |(slot, &idx): (usize, &usize)| JobView {
+                id: JobId(idx as u32),
+                release: jobs[idx].release,
+                desires: &desires_buf[slot * k..(slot + 1) * k],
+            };
+            let mut view_stack = [JobView {
+                id: JobId(0),
+                release: 0,
+                desires: &[],
+            }; VIEW_STACK];
+            let view_heap: Vec<JobView<'_>>;
+            let views: &[JobView<'_>] = if active.len() <= VIEW_STACK {
+                for (slot, v) in active.iter().enumerate().map(make_view).enumerate() {
+                    view_stack[slot] = v;
+                }
+                &view_stack[..active.len()]
+            } else {
+                view_heap = active.iter().enumerate().map(make_view).collect();
+                &view_heap
+            };
+
+            self.out.reset(active.len());
+            scheduler.allot(t, views, res, &mut self.out);
+
+            // Freeze the decision for the quantum (row copies into the
+            // flat matrices — no per-decision allocation), folding the
+            // per-category totals for the over-allotment check into
+            // the same pass over the rows.
+            // Preemption accounting folds in here too: within a quantum
+            // the frozen rows never change, so processors can only be
+            // withdrawn at a decision boundary — comparing the old
+            // frozen row against the new one counts exactly the
+            // step-over-step losses (a job that *finished* has
+            // `frozen_set` cleared and is not counted).
+            self.decision_totals.fill(0);
+            for (slot, &idx) in active.iter().enumerate() {
+                let r = row_range(idx);
+                let row = self.out.row(slot);
+                for (tot, &a) in self.decision_totals.iter_mut().zip(row) {
+                    *tot += u64::from(a);
+                }
+                if self.frozen_set[idx] {
+                    for (&p, &a) in self.frozen[r.clone()].iter().zip(row) {
+                        self.preemptions += u64::from(p.saturating_sub(a));
+                    }
+                }
+                self.frozen[r.clone()].copy_from_slice(row);
+                self.frozen_set[idx] = true;
+                if self.feedback_delta.is_some() {
+                    self.reported[r].copy_from_slice(&desires_buf[slot * k..(slot + 1) * k]);
+                }
+            }
+
+            // Contract: never allot more than Pα in any category.
+            for cat in Category::all(k) {
+                let total = self.decision_totals[cat.index()];
+                assert!(
+                    total <= u64::from(res.processors(cat)),
+                    "scheduler '{}' over-allotted {cat}: {total} > {} at step {t}",
+                    scheduler.name(),
+                    res.processors(cat)
+                );
+            }
+            self.last_decision = t;
+            self.next_decision = t + cfg.quantum;
+            decided = true;
+        }
+
+        // Execute the step: one pass over the active jobs doing the
+        // allotted-total bookkeeping and task execution against the
+        // flat frozen rows (zeros for jobs that arrived mid-quantum) —
+        // no per-job allocation. On decision steps the allotted totals
+        // were already summed while freezing the rows.
+        if decided {
+            for (tot, &d) in self.allotted_totals.iter_mut().zip(&self.decision_totals) {
+                *tot = d as u32;
+            }
+        } else {
+            self.allotted_totals.fill(0);
+            for &idx in active.iter() {
+                if self.frozen_set[idx] {
+                    let r = row_range(idx);
+                    for (tot, &a) in self.allotted_totals.iter_mut().zip(&self.frozen[r]) {
+                        *tot += a;
+                    }
+                }
+            }
+        }
+        self.step_executed_totals.fill(0);
+        self.proc_counter.fill(0);
+        let mut step_total = 0u64;
+        let mut any_completed = false;
+        for &idx in active.iter() {
+            let r = row_range(idx);
+            let row: &[u32] = if self.frozen_set[idx] {
+                &self.frozen[r.clone()]
+            } else {
+                &self.zero_row
+            };
+            self.exec_record.clear();
+            let rec = cfg.record_schedule.then_some(&mut self.exec_record);
+            let n = states[idx].execute_step(
+                &jobs[idx].dag,
+                row,
+                &mut self.rng,
+                &mut self.executed_buf,
+                rec,
+            );
+            step_total += n;
+            for (tot, &e) in self
+                .step_executed_totals
+                .iter_mut()
+                .zip(self.executed_buf.iter())
+            {
+                *tot += e;
+            }
+            if self.feedback_delta.is_some() && self.usage_init[idx] {
+                for (u, &e) in self.usage[r].iter_mut().zip(self.executed_buf.iter()) {
+                    *u += u64::from(e);
+                }
+            }
+            for &(cat, task) in &self.exec_record {
+                let p = &mut self.proc_counter[cat.index()];
+                self.schedule.records.push(ExecRecord {
+                    job: JobId(idx as u32),
+                    task,
+                    t,
+                    category: cat,
+                    processor: *p,
+                });
+                *p += 1;
+            }
+            if states[idx].is_complete() {
+                self.completions[idx] = t;
+                scheduler.on_completion(JobId(idx as u32), t);
+                tel.emit(|| TelemetryEvent::JobCompleted {
+                    t,
+                    job: idx as u32,
+                    response: t - jobs[idx].release,
+                });
+                self.remaining -= 1;
+                any_completed = true;
+                self.just_completed.push(idx);
+                // Losing processors by *finishing* is not a preemption:
+                // clearing `frozen_set` excludes this job from the next
+                // decision's old-vs-new comparison.
+                self.frozen_set[idx] = false;
+                if self.feedback_delta.is_some() {
+                    self.est_set[idx] = false;
+                }
+            }
+        }
+        for (tot, &e) in self
+            .executed_by_category
+            .iter_mut()
+            .zip(&self.step_executed_totals)
+        {
+            *tot += u64::from(e);
+        }
+        for (tot, &a) in self
+            .allotted_by_category
+            .iter_mut()
+            .zip(&self.allotted_totals)
+        {
+            *tot += u64::from(a);
+        }
+        if any_completed {
+            active.retain(|&idx| !states[idx].is_complete());
+        }
+        self.busy_steps += 1;
+
+        // Stall detection.
+        if step_total == 0 && self.remaining > 0 {
+            self.stalled += 1;
+            assert!(
+                self.stalled <= cfg.stall_limit,
+                "scheduler '{}' stalled for {} consecutive steps at t={t}",
+                scheduler.name(),
+                self.stalled
+            );
+        } else {
+            self.stalled = 0;
+        }
+
+        tel.emit(|| TelemetryEvent::StepEnd {
+            t,
+            allotted: self.allotted_totals.clone(),
+            executed: self.step_executed_totals.clone(),
+        });
+        if cfg.record_trace {
+            self.trace.push(StepTrace {
+                t,
+                active_jobs: (self.active.len() + usize::from(any_completed)) as u32,
+                allotted: self.allotted_totals.clone(),
+                executed: self.step_executed_totals.clone(),
+            });
+        }
+        &self.just_completed
+    }
+
+    /// Consume the engine and produce the standard [`SimOutcome`]
+    /// (attributed to `scheduler_name`). Normally called once all work
+    /// is done, but a partial outcome mid-run is well-formed too —
+    /// incomplete jobs simply carry completion time 0.
+    pub fn into_outcome(self, scheduler_name: &str) -> SimOutcome {
+        SimOutcome {
+            scheduler: scheduler_name.to_string(),
+            makespan: self.t,
+            releases: self.jobs.iter().map(|j| j.release).collect(),
+            completions: self.completions,
+            executed_by_category: self.executed_by_category,
+            allotted_by_category: self.allotted_by_category,
+            busy_steps: self.busy_steps,
+            idle_steps: self.idle_steps,
+            preemptions: self.preemptions,
+            trace: self.cfg.record_trace.then_some(self.trace),
+            schedule: self.cfg.record_schedule.then_some(self.schedule),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use kdag::DagBuilder;
+
+    /// Gives every job its full desire, clamped to capacity.
+    struct GreedyAll;
+    impl Scheduler for GreedyAll {
+        fn name(&self) -> &str {
+            "greedy-all"
+        }
+        fn allot(
+            &mut self,
+            _t: Time,
+            views: &[JobView<'_>],
+            res: &Resources,
+            out: &mut AllotmentMatrix,
+        ) {
+            for cat in Category::all(res.k()) {
+                let mut left = res.processors(cat);
+                for (slot, v) in views.iter().enumerate() {
+                    let a = v.desire(cat).min(left);
+                    out.set(slot, cat, a);
+                    left -= a;
+                    if left == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn diamond() -> kdag::JobDag {
+        let mut b = DagBuilder::new(2);
+        let a = b.add_task(Category(0));
+        let x = b.add_task(Category(1));
+        let y = b.add_task(Category(1));
+        let z = b.add_task(Category(0));
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn live_injection_matches_batch_simulation() {
+        // Inject jobs online exactly at their release times; the
+        // outcome must equal the batch run given the same specs.
+        let releases = [0u64, 0, 3, 7, 7, 20];
+        let jobs: Vec<JobSpec> = releases
+            .iter()
+            .map(|&r| JobSpec::released(diamond(), r))
+            .collect();
+        let res = Resources::uniform(2, 2);
+        let cfg = SimConfig::default().with_quantum(3);
+
+        let batch = simulate(&mut GreedyAll, &jobs, &res, &cfg);
+
+        let mut live = LiveSimulation::new(res, cfg).unwrap();
+        let mut sched = GreedyAll;
+        let mut next = 0usize;
+        loop {
+            while next < jobs.len() && jobs[next].release <= live.now() {
+                live.inject(jobs[next].clone()).unwrap();
+                next += 1;
+            }
+            if !live.has_work() {
+                if next >= jobs.len() {
+                    break;
+                }
+                // Idle at the service layer: the next arrival defines
+                // the new virtual time, exactly like the batch
+                // fast-forward.
+                live.inject(jobs[next].clone()).unwrap();
+                next += 1;
+                continue;
+            }
+            live.step(&mut sched);
+        }
+        let online = live.into_outcome("greedy-all");
+        assert_eq!(online.completions, batch.completions);
+        assert_eq!(online.makespan, batch.makespan);
+        assert_eq!(online.executed_by_category, batch.executed_by_category);
+        assert_eq!(online.preemptions, batch.preemptions);
+        assert_eq!(online.busy_steps, batch.busy_steps);
+        assert_eq!(online.idle_steps, batch.idle_steps);
+    }
+
+    #[test]
+    fn step_reports_completions() {
+        let mut live = LiveSimulation::new(Resources::uniform(2, 4), SimConfig::default()).unwrap();
+        live.inject(JobSpec::batched(diamond())).unwrap();
+        let mut sched = GreedyAll;
+        let mut done = Vec::new();
+        while live.has_work() {
+            done.extend_from_slice(live.step(&mut sched));
+        }
+        assert_eq!(done, vec![0]);
+        assert_eq!(live.completion(0), Some(3));
+        assert_eq!(live.now(), 3);
+    }
+
+    #[test]
+    fn inject_rejects_past_releases_and_k_mismatch() {
+        let mut live = LiveSimulation::new(Resources::uniform(2, 4), SimConfig::default()).unwrap();
+        live.inject(JobSpec::batched(diamond())).unwrap();
+        let mut sched = GreedyAll;
+        live.step(&mut sched);
+        assert_eq!(
+            live.inject(JobSpec::batched(diamond())).unwrap_err(),
+            InjectError::ReleaseInPast { release: 0, now: 1 }
+        );
+        let mut b = DagBuilder::new(3);
+        b.add_task(Category(0));
+        let err = live
+            .inject(JobSpec::released(b.build().unwrap(), 5))
+            .unwrap_err();
+        assert!(matches!(err, InjectError::CategoryMismatch { job: 1, .. }));
+        assert!(err.to_string().contains("categories but machine"));
+    }
+
+    #[test]
+    fn zero_quantum_is_rejected() {
+        let cfg = SimConfig::default().with_quantum(0);
+        assert!(matches!(
+            LiveSimulation::new(Resources::uniform(1, 1), cfg),
+            Err(BuildError::ZeroQuantum)
+        ));
+    }
+
+    #[test]
+    fn late_injection_while_running_matches_batch() {
+        // A job injected mid-run (release = now) must behave exactly
+        // like a batch job with that release.
+        let res = Resources::uniform(1, 2);
+        let flat = |n: usize| {
+            let mut b = DagBuilder::new(1);
+            b.add_tasks(Category(0), n);
+            b.build().unwrap()
+        };
+        let cfg = SimConfig::default().with_quantum(2);
+
+        let mut live = LiveSimulation::new(res.clone(), cfg.clone()).unwrap();
+        let mut sched = GreedyAll;
+        live.inject(JobSpec::batched(flat(8))).unwrap();
+        let mut injected_second = None;
+        while live.has_work() {
+            live.step(&mut sched);
+            if live.now() == 2 && injected_second.is_none() {
+                let r = live.now();
+                live.inject(JobSpec::released(flat(4), r)).unwrap();
+                injected_second = Some(r);
+            }
+        }
+        let online = live.into_outcome("greedy-all");
+
+        let jobs = vec![
+            JobSpec::batched(flat(8)),
+            JobSpec::released(flat(4), injected_second.unwrap()),
+        ];
+        let batch = simulate(&mut GreedyAll, &jobs, &res, &cfg);
+        assert_eq!(online.completions, batch.completions);
+        assert_eq!(online.makespan, batch.makespan);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the SWF trace parser: no input may panic it,
+//! every error names the offending 1-based line, and valid records
+//! round-trip through the synthetic trace generator.
+
+use kworkloads::swf::{jobs_from_swf, parse_swf, swf_stats, synthetic_swf, SwfError, SwfShape};
+use proptest::prelude::*;
+
+/// A syntactically valid SWF data line for the given field values
+/// (18 columns, the unused ones set to `-1`).
+fn swf_line(id: i64, submit: i64, run_time: i64, procs: i64, status: i64) -> String {
+    format!("{id} {submit} 0 {run_time} {procs} -1 -1 {procs} -1 {run_time} {status} -1 -1 -1 -1 -1 -1 -1")
+}
+
+#[test]
+fn garbage_corpus_never_panics() {
+    // A hand-picked corpus of hostile inputs: every one must come back
+    // as `Ok` (skipped/filtered) or a line-numbered `Err` — never a
+    // panic.
+    let corpus = [
+        "",
+        "\n\n\n",
+        ";",
+        "; only comments\n;and more",
+        "1",
+        "1 2 3 4 5 6 7 8 9 10",                           // one field short
+        "x y z a b c d e f g h",                          // non-numeric everywhere
+        "1 2 3 4 5 6 7 8 9 10 eleven",                    // bad status field
+        "9223372036854775807 0 0 1 1 -1 -1 1 -1 1 1",     // i64::MAX id
+        "-9223372036854775808 0 0 1 1 -1 -1 1 -1 1 1",    // i64::MIN id
+        "1 0 0 99999999999999999999 1 -1 -1 1 -1 1 1",    // overflows i64
+        "1\t0\t0\t60\t4\t-1\t-1\t4\t-1\t60\t1",           // tabs as separators
+        "  1 0 0 60 4 -1 -1 4 -1 60 1  ",                 // padded
+        "\u{feff}1 0 0 60 4 -1 -1 4 -1 60 1",             // BOM garbage
+        "1 0 0 60 4 -1 -1 4 -1 60 1 trailing junk words", // extra fields are fine
+    ];
+    for text in corpus {
+        let _ = parse_swf(text);
+    }
+    // Errors still carry line numbers through the corpus shapes.
+    assert_eq!(
+        parse_swf("; header\n\n1 2 3").unwrap_err(),
+        SwfError::TooFewFields { line: 3 }
+    );
+}
+
+#[test]
+fn error_lines_are_one_based_and_skip_comments() {
+    // The bad record sits on line 4; two comments and a valid record
+    // precede it.
+    let text = format!(
+        "; c1\n{}\n; c2\n{}",
+        swf_line(1, 0, 60, 4, 1),
+        "2 0 0 bad 4 -1 -1 4 -1 60 1"
+    );
+    assert_eq!(
+        parse_swf(&text).unwrap_err(),
+        SwfError::BadField { line: 4, field: 4 }
+    );
+    let msg = parse_swf(&text).unwrap_err().to_string();
+    assert!(msg.contains("line 4"), "{msg}");
+    assert!(msg.contains("field 4"), "{msg}");
+}
+
+#[test]
+fn synthetic_swf_round_trips() {
+    for n in [0, 1, 7, 64] {
+        let text = synthetic_swf(n);
+        let records = parse_swf(&text).expect("synthetic trace is well-formed");
+        assert_eq!(records.len(), n);
+        // Submit times are nondecreasing, every record is simulatable.
+        for w in records.windows(2) {
+            assert!(w[0].submit <= w[1].submit);
+        }
+        assert!(records.iter().all(|r| r.run_time > 0 && r.processors > 0));
+        // And the whole set converts to simulator-ready jobs.
+        let jobs = jobs_from_swf(&records, &SwfShape::default());
+        assert_eq!(jobs.len(), n);
+        assert_eq!(swf_stats(&records).jobs, n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes (as text) never panic the parser.
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC{0,200}") {
+        let _ = parse_swf(&text);
+    }
+
+    /// Arbitrary whitespace-separated token soup never panics, and any
+    /// error it produces points at a real 1-based line of the input.
+    #[test]
+    fn token_soup_errors_carry_line_numbers(
+        lines in proptest::collection::vec("[ a-z0-9.;-]{0,40}", 0..12),
+    ) {
+        let text = lines.join("\n");
+        if let Err(e) = parse_swf(&text) {
+            let line = match e {
+                SwfError::TooFewFields { line } => line,
+                SwfError::BadField { line, .. } => line,
+            };
+            prop_assert!(line >= 1);
+            prop_assert!(line <= lines.len());
+        }
+    }
+
+    /// Any valid field combination formatted as an SWF line parses
+    /// back to exactly those values (or is filtered for the documented
+    /// reasons: unknown runtime or zero processors).
+    #[test]
+    fn valid_records_round_trip(
+        id in 0i64..1_000_000,
+        submit in 0i64..1_000_000_000,
+        run_time in -1i64..1_000_000,
+        procs in 0i64..100_000,
+        status in -1i64..6,
+    ) {
+        let text = swf_line(id, submit, run_time, procs, status);
+        let records = parse_swf(&text).expect("well-formed line");
+        if run_time <= 0 || procs <= 0 {
+            prop_assert!(records.is_empty(), "unsimulatable records are dropped");
+        } else {
+            prop_assert_eq!(records.len(), 1);
+            let r = records[0];
+            prop_assert_eq!(r.id, id);
+            prop_assert_eq!(r.submit, submit as u64);
+            prop_assert_eq!(r.run_time, run_time as u64);
+            prop_assert_eq!(r.processors, procs as u32);
+            prop_assert_eq!(r.status, status);
+        }
+    }
+
+    /// Truncating a valid trace mid-line yields either a clean parse of
+    /// the surviving prefix or an error on the final (cut) line.
+    #[test]
+    fn truncation_fails_cleanly(n in 1usize..20, cut in 1usize..400) {
+        let text = synthetic_swf(n);
+        let cut = cut.min(text.len());
+        let Some(prefix) = text.get(..cut) else { return Ok(()); };
+        match parse_swf(prefix) {
+            Ok(records) => prop_assert!(records.len() <= n),
+            Err(e) => {
+                let line = match e {
+                    SwfError::TooFewFields { line } => line,
+                    SwfError::BadField { line, .. } => line,
+                };
+                prop_assert_eq!(line, prefix.lines().count(), "only the cut line may fail");
+            }
+        }
+    }
+}

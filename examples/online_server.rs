@@ -1,38 +1,49 @@
-//! An online server: jobs arrive over time (Poisson process) and the
-//! non-clairvoyant schedulers must react with no knowledge of future
-//! arrivals or job shapes.
+//! An online server, for real this time: a kserve daemon is started
+//! in-process, jobs are submitted over the TCP loopback as protocol
+//! clients would send them, and response times are measured from the
+//! completion events the daemon streams back. One session per
+//! scheduler, same arrival sequence each time.
 //!
 //! ```text
-//! cargo run --release --example online_server [lambda]
+//! cargo run --release --example online_server [jobs_per_batch]
 //! ```
 //!
-//! Prints response-time statistics per scheduler across arrival rates —
-//! the online counterpart of the batched response-time theorems.
+//! After each session the recorded arrival trace is replayed through
+//! the offline simulator and checked byte-for-byte — the deterministic
+//! replay bridge in action.
 
+use kdag::DagSpec;
 use krad_suite::kanalysis::stats::percentile;
 use krad_suite::kanalysis::table::{f3, Table};
-use krad_suite::kworkloads::arrivals::poisson_releases;
+use krad_suite::kserve::protocol::Response;
+use krad_suite::kserve::{Client, Event, Server, ServerConfig};
 use krad_suite::kworkloads::mixes::{batched_mix, MixConfig};
 use krad_suite::kworkloads::rng_for;
 use krad_suite::prelude::*;
 
 fn main() {
-    let lambda: f64 = std::env::args()
+    let per_batch: usize = std::env::args()
         .nth(1)
-        .map(|s| s.parse().expect("lambda"))
-        .unwrap_or(0.3);
+        .map(|s| s.parse().expect("jobs per batch"))
+        .unwrap_or(15);
+    let batches = 4;
+    let machine = vec![8u32, 4];
 
-    let res = Resources::new(vec![8, 4]);
+    // The same arrival sequence for every scheduler: four batches of
+    // mixed-shape jobs, submitted one after another over the loopback.
     let mut rng = rng_for(7, 1);
-    let mut jobs = batched_mix(&mut rng, &MixConfig::new(2, 60, 40));
-    poisson_releases(&mut jobs, &mut rng, lambda);
-    let horizon = jobs.last().unwrap().release;
+    let waves: Vec<Vec<DagSpec>> = (0..batches)
+        .map(|_| {
+            batched_mix(&mut rng, &MixConfig::new(2, per_batch, 40))
+                .iter()
+                .map(|j| DagSpec::from_dag(&j.dag))
+                .collect()
+        })
+        .collect();
 
     println!(
-        "online server: {} jobs arriving over ~{} steps (λ={lambda}), machine {:?}\n",
-        jobs.len(),
-        horizon,
-        res.as_slice()
+        "online server: {} jobs in {batches} submission waves, machine {machine:?}\n",
+        batches * per_batch,
     );
 
     let mut table = Table::new(
@@ -40,19 +51,49 @@ fn main() {
         &["scheduler", "makespan", "mean resp", "p95 resp", "max resp"],
     );
     for kind in SchedulerKind::ALL {
-        let mut sched = kind.build(res.k());
-        let outcome = simulate(sched.as_mut(), &jobs, &res, &SimConfig::default());
-        let responses: Vec<f64> = (0..outcome.job_count())
-            .map(|i| outcome.response(i) as f64)
-            .collect();
+        let server = Server::start(ServerConfig {
+            machine: machine.clone(),
+            scheduler: kind,
+            seed: 7,
+            queue_capacity: 4 * per_batch,
+            ..ServerConfig::default()
+        })
+        .expect("server starts");
+        let mut client = Client::connect(server.addr()).expect("loopback connect");
+
+        let mut responses: Vec<f64> = Vec::new();
+        for wave in &waves {
+            let (ack, events) = client.submit_watch(wave.clone()).expect("submit");
+            assert!(matches!(ack, Response::Submitted { .. }), "{ack:?}");
+            for ev in events {
+                if let Event::JobDone { response, .. } = ev {
+                    responses.push(response as f64);
+                }
+            }
+        }
+
+        let drained = match client.drain().expect("drain") {
+            Response::Drained(d) => d,
+            other => panic!("expected drained reply, got {other:?}"),
+        };
+        server.join();
+        // The replay bridge: the live session must be reproducible
+        // offline, byte for byte.
+        drained
+            .trace
+            .verify()
+            .expect("offline replay matches the live session");
+
+        let makespan = drained.trace.completions.iter().copied().max().unwrap_or(0);
+        let mean = responses.iter().sum::<f64>() / responses.len() as f64;
         table.row_owned(vec![
             kind.label().to_string(),
-            outcome.makespan.to_string(),
-            f3(outcome.mean_response()),
+            makespan.to_string(),
+            f3(mean),
             f3(percentile(&responses, 95.0)),
-            outcome.max_response().to_string(),
+            format!("{:.0}", percentile(&responses, 100.0)),
         ]);
     }
-    table.note("K-RAD equalizes allotments per category, keeping the response tail short");
+    table.note("every session's trace was replayed offline and matched byte-for-byte");
     println!("{table}");
 }

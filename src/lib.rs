@@ -10,7 +10,9 @@
 //! * [`kbaselines`] — EQUI / DEQ-only / RR-only / Greedy-FCFS;
 //! * [`kanalysis`] — lower bounds, squashed work areas, tables;
 //! * [`kworkloads`] — seeded workloads and the Figure 3 instance;
-//! * [`kexperiments`] — the table/figure regeneration harness.
+//! * [`kexperiments`] — the table/figure regeneration harness;
+//! * [`kserve`] — the online scheduling daemon, protocol client,
+//!   load generator, and deterministic replay bridge.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use kbaselines;
 pub use kdag;
 pub use kexperiments;
 pub use krad;
+pub use kserve;
 pub use ksim;
 pub use kworkloads;
 
