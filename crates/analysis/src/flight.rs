@@ -1,0 +1,250 @@
+//! Post-mortem analysis of flight-recorder dumps.
+//!
+//! A [`ktelemetry::FlightRecorder`] dump is the JSONL tail of a live
+//! session's event stream — the last events before a drain (or crash).
+//! This module summarizes such a dump ([`FlightRecorderReport`]) and
+//! cross-checks it against a deterministically replayed event stream
+//! ([`verify_against_stream`]): because the daemon and the offline
+//! batch path share one engine, an honest dump must equal, byte for
+//! byte, the tail of the offline stream (minus the offline-only
+//! `run_start`/`run_end` framing).
+
+use crate::table::Table;
+use ktelemetry::{json, SchedulerMode, TelemetryEvent};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parse a flight-recorder JSONL dump from disk.
+pub fn load_flight_dump(path: &Path) -> Result<Vec<TelemetryEvent>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    json::parse_jsonl(&text)
+}
+
+/// A summary of one flight-recorder dump.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlightRecorderReport {
+    /// Events retained in the dump.
+    pub events: usize,
+    /// Count per event kind, in kind order.
+    pub by_kind: Vec<(String, u64)>,
+    /// Smallest step stamp seen (events carrying a `t`).
+    pub first_t: Option<u64>,
+    /// Largest step stamp seen.
+    pub last_t: Option<u64>,
+    /// DEQ→RR and RR→DEQ switches per category.
+    pub mode_transitions: Vec<(u16, u64)>,
+    /// Mode each category was last seen in.
+    pub final_modes: Vec<(u16, SchedulerMode)>,
+    /// Jobs whose completion is inside the retained window.
+    pub completions: u64,
+}
+
+/// The step stamp an event carries, if any.
+fn event_t(event: &TelemetryEvent) -> Option<u64> {
+    match event {
+        TelemetryEvent::RunStart { .. } | TelemetryEvent::RunEnd { .. } => None,
+        TelemetryEvent::JobReleased { t, .. }
+        | TelemetryEvent::StepStart { t, .. }
+        | TelemetryEvent::StepEnd { t, .. }
+        | TelemetryEvent::JobCompleted { t, .. }
+        | TelemetryEvent::Decision { t, .. }
+        | TelemetryEvent::ModeTransition { t, .. }
+        | TelemetryEvent::RrCycleComplete { t, .. } => Some(*t),
+        TelemetryEvent::IdleSkip { to, .. } => Some(*to),
+    }
+}
+
+impl FlightRecorderReport {
+    /// Summarize a dump (events are oldest first, as written by
+    /// [`ktelemetry::FlightRecorder::to_jsonl`]).
+    pub fn from_events(events: &[TelemetryEvent]) -> Self {
+        let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut transitions: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut final_modes: BTreeMap<u16, SchedulerMode> = BTreeMap::new();
+        let mut report = FlightRecorderReport {
+            events: events.len(),
+            ..FlightRecorderReport::default()
+        };
+        for event in events {
+            *by_kind.entry(event.kind()).or_insert(0) += 1;
+            if let Some(t) = event_t(event) {
+                report.first_t = Some(report.first_t.map_or(t, |f| f.min(t)));
+                report.last_t = Some(report.last_t.map_or(t, |l| l.max(t)));
+            }
+            match event {
+                TelemetryEvent::ModeTransition { category, to, .. } => {
+                    *transitions.entry(*category).or_insert(0) += 1;
+                    final_modes.insert(*category, *to);
+                }
+                TelemetryEvent::JobCompleted { .. } => report.completions += 1,
+                _ => {}
+            }
+        }
+        report.by_kind = by_kind
+            .into_iter()
+            .map(|(k, n)| (k.to_string(), n))
+            .collect();
+        report.mode_transitions = transitions.into_iter().collect();
+        report.final_modes = final_modes.into_iter().collect();
+        report
+    }
+
+    /// Render the summary as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("flight recorder", &["metric", "value"]);
+        t.row_owned(vec!["events retained".into(), self.events.to_string()]);
+        if let (Some(first), Some(last)) = (self.first_t, self.last_t) {
+            t.row_owned(vec!["step window".into(), format!("{first}..{last}")]);
+        }
+        t.row_owned(vec![
+            "completions in window".into(),
+            self.completions.to_string(),
+        ]);
+        for (kind, n) in &self.by_kind {
+            t.row_owned(vec![format!("events: {kind}"), n.to_string()]);
+        }
+        for (cat, n) in &self.mode_transitions {
+            t.row_owned(vec![
+                format!("mode switches (category {cat})"),
+                n.to_string(),
+            ]);
+        }
+        for (cat, mode) in &self.final_modes {
+            t.row_owned(vec![
+                format!("final mode (category {cat})"),
+                mode.label().to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Verify a flight dump against a full replayed event stream: after
+/// dropping the offline-only `run_start`/`run_end` framing, the dump
+/// must equal the **tail** of the offline stream byte for byte (the
+/// ring only retains the last `capacity` events). Returns the number
+/// of matched events.
+pub fn verify_against_stream(
+    dump: &[TelemetryEvent],
+    offline: &[TelemetryEvent],
+) -> Result<usize, String> {
+    let replayed: Vec<&TelemetryEvent> = offline
+        .iter()
+        .filter(|e| {
+            !matches!(
+                e,
+                TelemetryEvent::RunStart { .. } | TelemetryEvent::RunEnd { .. }
+            )
+        })
+        .collect();
+    if dump.len() > replayed.len() {
+        return Err(format!(
+            "dump has {} events but the replayed stream only {}",
+            dump.len(),
+            replayed.len()
+        ));
+    }
+    let tail = &replayed[replayed.len() - dump.len()..];
+    for (i, (live, offline)) in dump.iter().zip(tail).enumerate() {
+        let live_line = json::to_json(live);
+        let offline_line = json::to_json(offline);
+        if live_line != offline_line {
+            return Err(format!(
+                "flight divergence at dump event {i}:\n  live:     {live_line}\n  replayed: {offline_line}"
+            ));
+        }
+    }
+    Ok(dump.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktelemetry::FlightRecorder;
+
+    fn step(t: u64) -> TelemetryEvent {
+        TelemetryEvent::StepStart { t, active_jobs: 1 }
+    }
+
+    fn stream() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::RunStart {
+                scheduler: "k-rad(K=1)".into(),
+                jobs: 2,
+                categories: 1,
+            },
+            step(1),
+            TelemetryEvent::ModeTransition {
+                t: 1,
+                category: 0,
+                from: SchedulerMode::Deq,
+                to: SchedulerMode::RoundRobin,
+                active_jobs: 3,
+            },
+            step(2),
+            TelemetryEvent::JobCompleted {
+                t: 3,
+                job: 0,
+                response: 3,
+            },
+            TelemetryEvent::RunEnd {
+                makespan: 3,
+                busy_steps: 3,
+                idle_steps: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn report_summarizes_kinds_window_and_modes() {
+        let report = FlightRecorderReport::from_events(&stream());
+        assert_eq!(report.events, 6);
+        assert_eq!((report.first_t, report.last_t), (Some(1), Some(3)));
+        assert_eq!(report.completions, 1);
+        assert_eq!(report.mode_transitions, vec![(0, 1)]);
+        assert_eq!(report.final_modes, vec![(0, SchedulerMode::RoundRobin)]);
+        let text = report.render();
+        assert!(text.contains("step window"));
+        assert!(text.contains("mode switches (category 0)"));
+        assert!(text.contains("rr"));
+    }
+
+    #[test]
+    fn verify_matches_a_true_tail_and_rejects_forgeries() {
+        let offline = stream();
+        // A ring that only kept the last 3 events (minus framing).
+        let mut ring = FlightRecorder::new(3);
+        for e in offline.iter().filter(|e| {
+            !matches!(
+                e,
+                TelemetryEvent::RunStart { .. } | TelemetryEvent::RunEnd { .. }
+            )
+        }) {
+            ring.push(e.clone());
+        }
+        let dump = ring.snapshot();
+        assert_eq!(verify_against_stream(&dump, &offline), Ok(3));
+
+        let mut forged = dump.clone();
+        forged[2] = TelemetryEvent::JobCompleted {
+            t: 4,
+            job: 0,
+            response: 4,
+        };
+        let err = verify_against_stream(&forged, &offline).unwrap_err();
+        assert!(err.contains("divergence"), "{err}");
+
+        let long: Vec<TelemetryEvent> = (0..10).map(step).collect();
+        let err = verify_against_stream(&long, &offline).unwrap_err();
+        assert!(err.contains("only"), "{err}");
+    }
+
+    #[test]
+    fn empty_dump_trivially_verifies() {
+        assert_eq!(verify_against_stream(&[], &stream()), Ok(0));
+        let report = FlightRecorderReport::from_events(&[]);
+        assert_eq!(report.first_t, None);
+        assert!(report.render().contains("events retained"));
+    }
+}

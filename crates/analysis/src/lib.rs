@@ -17,7 +17,10 @@
 //!   tables;
 //! * [`telemetry_report`] — run summaries (waste, utilization,
 //!   DEQ↔RR transitions) reconstructed from `ktelemetry` event
-//!   streams.
+//!   streams;
+//! * [`flight`] — post-mortem summaries of service flight-recorder
+//!   dumps and their byte-for-byte verification against deterministic
+//!   replays.
 //!
 //! All bound computations take the *job specs* (DAG + release), which
 //! an offline analyst may inspect — these are yardsticks for measuring
@@ -27,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bounds;
+pub mod flight;
 pub mod gantt;
 pub mod offline;
 pub mod report;

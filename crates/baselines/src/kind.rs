@@ -3,7 +3,7 @@
 use crate::{DeqOnly, Drf, Equi, GreedyFcfs, Las, RandomRr, RoundRobinOnly};
 use krad::KRad;
 use ksim::Scheduler;
-use ktelemetry::TelemetryHandle;
+use ktelemetry::{SpanRecorder, TelemetryHandle};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -87,8 +87,22 @@ impl SchedulerKind {
         seed: u64,
         tel: TelemetryHandle,
     ) -> Box<dyn Scheduler> {
+        self.build_observed(k, seed, tel, SpanRecorder::off())
+    }
+
+    /// Instantiate with full observability: telemetry events into
+    /// `tel` *and* `deq_allot`/`rr_cycle` span durations into `spans`
+    /// (currently K-RAD; other kinds ignore both). The service daemon
+    /// uses this so live scrapes see scheduler-internal timing.
+    pub fn build_observed(
+        self,
+        k: usize,
+        seed: u64,
+        tel: TelemetryHandle,
+        spans: SpanRecorder,
+    ) -> Box<dyn Scheduler> {
         match self {
-            SchedulerKind::KRad => Box::new(KRad::with_telemetry(k, tel)),
+            SchedulerKind::KRad => Box::new(KRad::with_instrumentation(k, tel, spans)),
             other => other.build_seeded(k, seed),
         }
     }

@@ -12,7 +12,9 @@ use kdag::generators::fork_join;
 use kdag::{Category, JobId};
 use krad::{KRad, RadState};
 use ksim::{simulate, AllotmentMatrix, JobSpec, JobView, Resources, SimConfig};
-use ktelemetry::{NoopSink, RecordingSink, TelemetryHandle};
+use ktelemetry::{
+    FlightRecorder, MetricsRegistry, NoopSink, RecordingSink, SpanRecorder, TelemetryHandle,
+};
 use std::sync::{Arc, Mutex};
 
 /// The three handles under test. The recording variant keeps the sink
@@ -93,6 +95,24 @@ fn bench_simulation_overhead(c: &mut Criterion) {
             })
         });
     }
+
+    // The live-service shape: events into a bounded flight ring and
+    // quantum/decision spans into a metrics registry that is never
+    // scraped — what every `kserve` quantum pays whether or not a
+    // scraper is attached.
+    let registry = MetricsRegistry::new();
+    let spans = SpanRecorder::for_registry(&registry);
+    let flight: Arc<Mutex<FlightRecorder>> = Arc::new(Mutex::new(FlightRecorder::new(4096)));
+    let tel = TelemetryHandle::from_shared(flight);
+    g.bench_with_input(BenchmarkId::new("registry", jobs.len()), &(), |b, ()| {
+        b.iter(|| {
+            let mut cfg = SimConfig::default();
+            cfg.telemetry = tel.clone();
+            cfg.spans = spans.clone();
+            let mut sched = KRad::with_instrumentation(res.k(), tel.clone(), spans.clone());
+            simulate(&mut sched, &jobs, &res, &cfg).makespan as usize
+        })
+    });
     g.finish();
 }
 

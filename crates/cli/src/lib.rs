@@ -37,6 +37,9 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "serve" => service::serve(&args),
         "submit" => service::submit(&args),
         "loadgen" => service::loadgen(&args),
+        "stats" => service::stats(&args),
+        "metrics" => service::metrics(&args),
+        "flight" => service::flight(&args),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown subcommand '{other}'\n\n{}", usage())),
     }
@@ -61,13 +64,17 @@ USAGE:
   krad adversarial --k K --p P --m M [--run]
   krad serve    --machine P1,P2,... [--scheduler NAME] [--policy NAME] [--quantum Q]
                 [--seed S] [--queue-capacity N] [--max-inflight N] [--tick-ms MS]
-                [--addr HOST:PORT] [--unix PATH]
+                [--addr HOST:PORT] [--unix PATH] [--metrics-addr HOST:PORT]
+                [--flight-capacity N] [--flight-dump FILE.jsonl]
   krad submit   --addr HOST:PORT (FILE [--watch] | --scenario NAME [--jobs N] [--seed S]
                 | --status | --stats | --cancel ID
                 | --drain [--verify] [--trace-out FILE])
   krad loadgen  --addr HOST:PORT [--clients N] [--jobs N] [--chunk N]
                 [--arrivals burst|poisson:<rate>|heavy-tail:<alpha>|trace]
                 [--seed S] [--k K] [--mean-size M] [--pace-ms MS]
+  krad stats    --addr HOST:PORT [--watch [--interval-ms MS] [--count N]]
+  krad metrics  --addr HOST:PORT
+  krad flight   FILE.jsonl [--trace TRACE.json]
 
 SCHEDULERS: k-rad equi deq-only rr-only greedy-fcfs las random-rr
 POLICIES:   fifo lifo random critical-first critical-last"

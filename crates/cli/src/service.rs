@@ -1,18 +1,25 @@
-//! The service-layer subcommands: `serve`, `submit`, and `loadgen`.
+//! The service-layer subcommands: `serve`, `submit`, `loadgen`,
+//! `stats`, `metrics`, and `flight`.
 //!
 //! `serve` runs the kserve daemon in the foreground until a client
 //! drains it; `submit` is a one-shot protocol client (submit jobs,
 //! query status/stats, cancel, drain); `loadgen` replays a synthetic
 //! arrival process against a running daemon and reports throughput
-//! and response-time percentiles.
+//! and response-time percentiles; `stats` renders the live counters
+//! (optionally as a `--watch` dashboard); `metrics` fetches the
+//! Prometheus exposition; `flight` summarizes a flight-recorder dump
+//! and can cross-check it against a session trace's deterministic
+//! replay.
 
 use crate::args::ArgMap;
 use crate::commands::{parse_policy, parse_scheduler};
+use kanalysis::flight::{load_flight_dump, verify_against_stream, FlightRecorderReport};
 use kanalysis::table::{f3, Table};
 use kdag::DagSpec;
 use kserve::loadgen::{run_loadgen, ArrivalKind, LoadgenConfig};
-use kserve::protocol::{Response, ScenarioRef};
-use kserve::{Client, Event, Server, ServerConfig};
+use kserve::protocol::{Response, ScenarioRef, StatsReply};
+use kserve::{Client, Event, Server, ServerConfig, SessionTrace};
+use ktelemetry::TelemetryHandle;
 use kworkloads::persist::load_jobset;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -35,6 +42,13 @@ pub fn server_config(args: &ArgMap) -> Result<ServerConfig, String> {
     if let Some(path) = args.get("unix") {
         cfg.unix_path = Some(path.into());
     }
+    if let Some(addr) = args.get("metrics-addr") {
+        cfg.metrics_addr = Some(addr.to_string());
+    }
+    cfg.flight_capacity = args.num("flight-capacity", cfg.flight_capacity)?;
+    if let Some(path) = args.get("flight-dump") {
+        cfg.flight_dump = Some(path.into());
+    }
     Ok(cfg)
 }
 
@@ -47,6 +61,9 @@ pub fn serve(args: &ArgMap) -> Result<String, String> {
     println!("kserve listening on {}", server.addr());
     if let Some(path) = unix {
         println!("kserve unix socket at {}", path.display());
+    }
+    if let Some(addr) = server.metrics_addr() {
+        println!("kserve /metrics scrape endpoint on http://{addr}/metrics");
     }
     server.join();
     Ok("kserve: session drained, shutting down".to_string())
@@ -82,6 +99,110 @@ fn render_drain(args: &ArgMap, reply: kserve::protocol::DrainReply) -> Result<St
     Ok(out.trim_end().to_string())
 }
 
+/// Render a stats reply as a table.
+fn render_stats(x: &StatsReply) -> String {
+    let mut t = Table::new("kserve stats", &["metric", "value"]);
+    t.row_owned(vec!["scheduler".into(), x.scheduler.clone()]);
+    t.row_owned(vec!["uptime (s)".into(), f3(x.uptime_secs)]);
+    t.row_owned(vec!["admitted".into(), x.admitted.to_string()]);
+    t.row_owned(vec!["rejected".into(), x.rejected.to_string()]);
+    t.row_owned(vec!["completed".into(), x.completed.to_string()]);
+    t.row_owned(vec!["cancelled".into(), x.cancelled.to_string()]);
+    t.row_owned(vec!["queue depth".into(), x.queue_depth.to_string()]);
+    t.row_owned(vec![
+        "max queue depth".into(),
+        x.max_queue_depth.to_string(),
+    ]);
+    t.row_owned(vec!["virtual time".into(), x.now.to_string()]);
+    t.row_owned(vec!["busy steps".into(), x.busy_steps.to_string()]);
+    t.row_owned(vec!["idle steps".into(), x.idle_steps.to_string()]);
+    t.row_owned(vec!["quanta".into(), x.quanta.to_string()]);
+    t.row_owned(vec![
+        "mean quantum latency (µs)".into(),
+        f3(x.quantum_latency_mean_us),
+    ]);
+    for (label, v) in [
+        ("p50 quantum latency (µs)", x.quantum_latency_p50_us),
+        ("p95 quantum latency (µs)", x.quantum_latency_p95_us),
+        ("p99 quantum latency (µs)", x.quantum_latency_p99_us),
+    ] {
+        t.row_owned(vec![label.into(), f3(v)]);
+    }
+    t.render()
+}
+
+/// `krad stats` — render a daemon's live counters; with `--watch`,
+/// redraw every `--interval-ms` until the connection drops (or
+/// `--count` frames have been shown).
+pub fn stats(args: &ArgMap) -> Result<String, String> {
+    let addr = args.require("addr")?;
+    if !args.flag("watch") {
+        let mut client = connect(args)?;
+        let x = client.stats_reply().map_err(|e| e.to_string())?;
+        return Ok(render_stats(&x));
+    }
+    let interval = Duration::from_millis(args.num("interval-ms", 1000u64)?);
+    let count = args.num("count", 0u64)?; // 0 = until the server goes away
+    let mut frames = 0u64;
+    let mut last = String::new();
+    loop {
+        let x = Client::connect(addr)
+            .and_then(|mut c| c.stats_reply())
+            .map_err(|e| format!("cannot fetch stats from {addr}: {e}"));
+        match x {
+            Ok(x) => last = render_stats(&x),
+            // A vanished server ends the watch without an error: the
+            // last rendered frame is the session's final state.
+            Err(e) if frames > 0 => {
+                return Ok(format!("{last}\nwatch ended: {e}"));
+            }
+            Err(e) => return Err(e),
+        }
+        frames += 1;
+        if count > 0 && frames >= count {
+            return Ok(last);
+        }
+        // Clear the screen and redraw in place, dashboard style.
+        print!("\x1b[2J\x1b[H{last}\n(frame {frames}, every {interval:?}; ctrl-c to stop)\n");
+        std::thread::sleep(interval);
+    }
+}
+
+/// `krad metrics` — fetch the Prometheus exposition over the protocol.
+pub fn metrics(args: &ArgMap) -> Result<String, String> {
+    let mut client = connect(args)?;
+    client.metrics().map_err(|e| e.to_string())
+}
+
+/// `krad flight` — summarize a flight-recorder JSONL dump; with
+/// `--trace`, replay the session offline and require the dump to be a
+/// byte-for-byte tail of the replayed event stream.
+pub fn flight(args: &ArgMap) -> Result<String, String> {
+    let path = args.one_positional()?;
+    let dump = load_flight_dump(Path::new(path))?;
+    let mut out = FlightRecorderReport::from_events(&dump).render();
+    if let Some(trace_path) = args.get("trace") {
+        let text = std::fs::read_to_string(trace_path)
+            .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+        let trace = SessionTrace::decode(&text)?;
+        let (tel, rec) = TelemetryHandle::recording();
+        trace.replay_instrumented(tel)?;
+        let offline = rec
+            .lock()
+            .map_err(|_| "replay recording poisoned".to_string())?
+            .take();
+        let matched = verify_against_stream(&dump, &offline)?;
+        write!(
+            out,
+            "\nflight verified: {matched} events reproduced byte-for-byte \
+             against the replayed stream ({} events total)",
+            offline.len()
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
 /// `krad submit` — one-shot client: submit a jobset file or a
 /// scenario, or query/drain a running daemon.
 pub fn submit(args: &ArgMap) -> Result<String, String> {
@@ -105,30 +226,8 @@ pub fn submit(args: &ArgMap) -> Result<String, String> {
         };
     }
     if args.flag("stats") {
-        return match client.stats().map_err(|e| e.to_string())? {
-            Response::Stats(x) => {
-                let mut t = Table::new("kserve stats", &["metric", "value"]);
-                t.row_owned(vec!["admitted".into(), x.admitted.to_string()]);
-                t.row_owned(vec!["rejected".into(), x.rejected.to_string()]);
-                t.row_owned(vec!["completed".into(), x.completed.to_string()]);
-                t.row_owned(vec!["cancelled".into(), x.cancelled.to_string()]);
-                t.row_owned(vec!["queue depth".into(), x.queue_depth.to_string()]);
-                t.row_owned(vec![
-                    "max queue depth".into(),
-                    x.max_queue_depth.to_string(),
-                ]);
-                t.row_owned(vec!["virtual time".into(), x.now.to_string()]);
-                t.row_owned(vec!["busy steps".into(), x.busy_steps.to_string()]);
-                t.row_owned(vec!["idle steps".into(), x.idle_steps.to_string()]);
-                t.row_owned(vec!["quanta".into(), x.quanta.to_string()]);
-                t.row_owned(vec![
-                    "mean quantum latency (µs)".into(),
-                    f3(x.quantum_latency_mean_us),
-                ]);
-                Ok(t.render())
-            }
-            other => Err(format!("unexpected reply: {other:?}")),
-        };
+        let x = client.stats_reply().map_err(|e| e.to_string())?;
+        return Ok(render_stats(&x));
     }
     if let Some(id) = args.get("cancel") {
         let id: u64 = id.parse().map_err(|_| format!("bad --cancel: {id}"))?;
@@ -301,8 +400,25 @@ mod tests {
         assert_eq!(cfg.scheduler, SchedulerKind::Equi);
         assert_eq!(cfg.quantum, 3);
         assert_eq!(cfg.queue_capacity, 9);
+        assert_eq!(cfg.metrics_addr, None);
+        assert_eq!(cfg.flight_dump, None);
         assert!(server_config(&parse(&[])).is_err());
         assert!(server_config(&parse(&["--machine", "4,2", "--scheduler", "nope"])).is_err());
+
+        let cfg = server_config(&parse(&[
+            "--machine",
+            "2",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--flight-capacity",
+            "128",
+            "--flight-dump",
+            "/tmp/f.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cfg.flight_capacity, 128);
+        assert_eq!(cfg.flight_dump.as_deref(), Some(Path::new("/tmp/f.jsonl")));
     }
 
     #[test]
@@ -361,5 +477,78 @@ mod tests {
         let out = submit(&parse(&["--addr", &addr, "--drain", "--verify"])).unwrap();
         assert!(out.contains("replay verified"), "{out}");
         server.join();
+    }
+
+    #[test]
+    fn stats_metrics_and_flight_commands_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("kcli-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("flight.jsonl");
+        let trace = dir.join("trace.json");
+
+        let server = Server::start(ServerConfig {
+            machine: vec![4, 2],
+            seed: 3,
+            metrics_addr: Some("127.0.0.1:0".into()),
+            flight_dump: Some(dump.clone()),
+            ..ServerConfig::default()
+        })
+        .expect("server starts");
+        let addr = server.addr().to_string();
+        assert!(server.metrics_addr().is_some());
+
+        let out = submit(&parse(&[
+            "--addr",
+            &addr,
+            "--scenario",
+            "pipeline",
+            "--jobs",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("submitted 4 jobs"), "{out}");
+
+        let out = stats(&parse(&["--addr", &addr])).unwrap();
+        assert!(out.contains("uptime (s)"), "{out}");
+        assert!(out.contains("p95 quantum latency"), "{out}");
+
+        let out = stats(&parse(&[
+            "--addr",
+            &addr,
+            "--watch",
+            "--interval-ms",
+            "1",
+            "--count",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("quanta"), "{out}");
+
+        let out = metrics(&parse(&["--addr", &addr])).unwrap();
+        assert!(out.contains("krad_quanta_total"), "{out}");
+        assert!(out.contains("krad_mode_residency_seconds"), "{out}");
+
+        let out = submit(&parse(&[
+            "--addr",
+            &addr,
+            "--drain",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("session trace written"), "{out}");
+        server.join();
+
+        // Summary alone, then summary + byte-for-byte replay check.
+        let out = flight(&parse(&[dump.to_str().unwrap()])).unwrap();
+        assert!(out.contains("events retained"), "{out}");
+        let out = flight(&parse(&[
+            dump.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("flight verified"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -3,7 +3,7 @@
 use crate::rad::RadState;
 use kdag::{Category, JobId};
 use ksim::{AllotmentMatrix, JobView, Resources, Scheduler, Time};
-use ktelemetry::TelemetryHandle;
+use ktelemetry::{SpanRecorder, TelemetryHandle};
 
 /// The K-RAD scheduler (the paper's §3 algorithm).
 ///
@@ -36,10 +36,17 @@ impl KRad {
     /// `ksim::SimConfig::telemetry` to interleave scheduler events
     /// with the engine's step events in one stream).
     pub fn with_telemetry(k: usize, tel: TelemetryHandle) -> Self {
+        KRad::with_instrumentation(k, tel, SpanRecorder::off())
+    }
+
+    /// Create a fully instrumented K-RAD scheduler: events into `tel`
+    /// plus `deq_allot`/`rr_cycle` span durations into `spans` (every
+    /// per-category RAD instance shares both).
+    pub fn with_instrumentation(k: usize, tel: TelemetryHandle, spans: SpanRecorder) -> Self {
         assert!(k >= 1, "need at least one category");
         KRad {
             rads: Category::all(k)
-                .map(|c| RadState::with_telemetry(c, tel.clone()))
+                .map(|c| RadState::with_instrumentation(c, tel.clone(), spans.clone()))
                 .collect(),
             name: format!("k-rad(K={k})"),
         }

@@ -3,7 +3,7 @@
 use crate::deq::{deq_allot_scratch, satisfied_deprived};
 use kdag::{Category, JobId};
 use ksim::{AllotmentMatrix, JobView, Time};
-use ktelemetry::{SchedulerMode, TelemetryEvent, TelemetryHandle};
+use ktelemetry::{SchedulerMode, SpanKind, SpanRecorder, TelemetryEvent, TelemetryHandle};
 
 /// The RAD scheduler state for one processor category `α`.
 ///
@@ -51,6 +51,9 @@ pub struct RadState {
     mode: SchedulerMode,
     /// Decision-event sink (off by default).
     tel: TelemetryHandle,
+    /// Span-duration recorder for `deq_allot`/`rr_cycle` (off by
+    /// default: disabled, it never reads the clock).
+    spans: SpanRecorder,
 }
 
 impl RadState {
@@ -62,6 +65,13 @@ impl RadState {
     /// Create the RAD state for category `cat`, emitting decision,
     /// mode-transition, and cycle-completion events into `tel`.
     pub fn with_telemetry(cat: Category, tel: TelemetryHandle) -> Self {
+        RadState::with_instrumentation(cat, tel, SpanRecorder::off())
+    }
+
+    /// Create a fully instrumented RAD state: events into `tel`, and
+    /// the durations of the DEQ-allotment and round-robin branches
+    /// recorded as `deq_allot`/`rr_cycle` spans in `spans`.
+    pub fn with_instrumentation(cat: Category, tel: TelemetryHandle, spans: SpanRecorder) -> Self {
         RadState {
             cat,
             queue: Vec::new(),
@@ -76,6 +86,7 @@ impl RadState {
             scratch_marked: Vec::new(),
             mode: SchedulerMode::Deq,
             tel,
+            spans,
         }
     }
 
@@ -183,6 +194,7 @@ impl RadState {
 
         if self.scratch_q.len() > p as usize {
             // ROUND-ROBIN: one processor each to the first P of Q.
+            let span_started = self.spans.start();
             for &(id, slot) in &self.scratch_q[..p as usize] {
                 out.set(slot, cat, 1);
                 // Jobs in Q are unmarked by construction.
@@ -215,8 +227,10 @@ impl RadState {
                     deprived: jobs - satisfied,
                 }
             });
+            self.spans.finish(SpanKind::RrCycle, span_started);
         } else {
             // Cycle completion: top up with marked jobs, then DEQ.
+            let span_started = self.spans.start();
             let take = self
                 .scratch_marked
                 .len()
@@ -242,6 +256,7 @@ impl RadState {
             for (&(_, slot), &a) in self.scratch_q.iter().zip(&self.deq_out) {
                 out.set(slot, cat, a);
             }
+            self.spans.finish(SpanKind::DeqAllot, span_started);
             if !self.scratch_q.is_empty() {
                 let desires = &self.deq_desires;
                 let allots = &self.deq_out;
@@ -496,6 +511,26 @@ mod tests {
             })
             .collect();
         assert_eq!(cycles, vec![(3, 4)], "jobs 0..=3 were marked in the cycle");
+    }
+
+    #[test]
+    fn spans_time_the_branch_actually_taken() {
+        use ktelemetry::{MetricsRegistry, SpanRecorder};
+        let reg = MetricsRegistry::new();
+        let spans = SpanRecorder::for_registry(&reg);
+        let rad =
+            RadState::with_instrumentation(Category(0), TelemetryHandle::off(), spans.clone());
+        let mut h = Harness::with_rad(rad, 2);
+        for id in 0..5 {
+            h.rad.job_arrived(JobId(id));
+        }
+        let jobs: Vec<(u32, u32)> = (0..5).map(|id| (id, 3)).collect();
+        h.step(&jobs); // 5 > 2 → RR
+        h.step(&jobs); // RR
+        h.step(&jobs); // DEQ (cycle ends)
+        assert_eq!(spans.count(SpanKind::RrCycle), 2);
+        assert_eq!(spans.count(SpanKind::DeqAllot), 1);
+        assert_eq!(spans.count(SpanKind::Quantum), 0, "engine-level span");
     }
 
     #[test]

@@ -107,6 +107,22 @@ impl Client {
         self.roundtrip(&Request::Stats)
     }
 
+    /// Fetch the decoded `stats` body (errors on any other reply).
+    pub fn stats_reply(&mut self) -> io::Result<crate::protocol::StatsReply> {
+        match self.stats()? {
+            Response::Stats(reply) => Ok(reply),
+            other => Err(bad_data(format!("expected a stats reply, got {other:?}"))),
+        }
+    }
+
+    /// Fetch the live metrics registry as Prometheus exposition text.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(bad_data(format!("expected a metrics reply, got {other:?}"))),
+        }
+    }
+
     /// Cancel a still-queued job.
     pub fn cancel(&mut self, job: u64) -> io::Result<Response> {
         self.roundtrip(&Request::Cancel { job })

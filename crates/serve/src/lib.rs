@@ -15,15 +15,25 @@
 //!   framework in the hot path);
 //! * [`protocol`] — requests, replies, streamed completion events;
 //! * [`server`] — the threaded daemon (quantum loop + admission);
+//! * [`metrics`] — the live metrics registry (admission counters,
+//!   paper-semantic per-category gauges, Theorem 3 bound accumulators,
+//!   DEQ/RR mode-residency tracking) behind the `metrics` verb and the
+//!   optional plain-HTTP `/metrics` scrape listener;
 //! * [`client`] — a blocking protocol client;
 //! * [`loadgen`] — a multi-threaded closed-loop load generator;
 //! * [`replay`] — the session trace and its byte-for-byte verifier.
+//!
+//! The daemon also carries a [`ktelemetry::FlightRecorder`]: a
+//! fixed-capacity ring holding the last engine/scheduler events, dumped
+//! as JSONL at drain (and on a scheduler-thread panic) so the tail of
+//! any session can be cross-checked against the deterministic replay.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod client;
 pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
 pub mod replay;
 pub mod server;
@@ -31,6 +41,7 @@ pub mod wire;
 
 pub use client::Client;
 pub use loadgen::{run_loadgen, ArrivalKind, LoadgenConfig, LoadgenReport};
+pub use metrics::{ModeTracker, ServiceMetrics};
 pub use protocol::{Event, Request, Response};
 pub use replay::{SessionTrace, TraceJob};
 pub use server::{Server, ServerConfig};

@@ -7,7 +7,7 @@
 //! retried — the rejection rate is part of the measurement.
 
 use crate::client::Client;
-use crate::protocol::{Event, Response};
+use crate::protocol::{Event, Response, StatsReply};
 use kanalysis::stats::percentile;
 use kanalysis::table::{f3, Table};
 use kdag::DagSpec;
@@ -95,6 +95,9 @@ pub struct LoadgenReport {
     /// Virtual response times (completion − release) of every
     /// completed job.
     pub responses: Vec<f64>,
+    /// Server-side metrics snapshots taken just before and just after
+    /// the run (absent if the `stats` fetch failed).
+    pub server_stats: Option<(StatsReply, StatsReply)>,
 }
 
 impl LoadgenReport {
@@ -135,6 +138,28 @@ impl LoadgenReport {
                     f3(percentile(&self.responses, q)),
                 ]);
             }
+        }
+        if let Some((before, after)) = &self.server_stats {
+            t.row_owned(vec![
+                "server admitted (delta)".to_string(),
+                (after.admitted - before.admitted).to_string(),
+            ]);
+            t.row_owned(vec![
+                "server rejected (delta)".to_string(),
+                (after.rejected - before.rejected).to_string(),
+            ]);
+            t.row_owned(vec![
+                "server completed (delta)".to_string(),
+                (after.completed - before.completed).to_string(),
+            ]);
+            t.row_owned(vec![
+                "server quanta (delta)".to_string(),
+                (after.quanta - before.quanta).to_string(),
+            ]);
+            t.row_owned(vec![
+                "server quantum p95 (us)".to_string(),
+                f3(after.quantum_latency_p95_us),
+            ]);
         }
         t.render()
     }
@@ -212,6 +237,11 @@ fn run_client(addr: &str, cfg: &LoadgenConfig, idx: usize) -> io::Result<ClientT
 
 /// Run the load generator against a daemon at `addr`.
 pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    // Snapshot the server's counters around the run so the report can
+    // show exactly what this run contributed (admitted/rejected/
+    // completed deltas survive other clients only approximately, but a
+    // dedicated session gets exact attribution).
+    let stats_before = Client::connect(addr).and_then(|mut c| c.stats_reply()).ok();
     let start = Instant::now();
     let tallies: Vec<io::Result<ClientTally>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients)
@@ -226,6 +256,7 @@ pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadgenReport>
             .collect()
     });
     let elapsed = start.elapsed();
+    let stats_after = Client::connect(addr).and_then(|mut c| c.stats_reply()).ok();
     let mut report = LoadgenReport {
         submitted: (cfg.clients * cfg.jobs_per_client) as u64,
         accepted: 0,
@@ -233,6 +264,7 @@ pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadgenReport>
         completed: 0,
         elapsed,
         responses: Vec::new(),
+        server_stats: stats_before.zip(stats_after),
     };
     for tally in tallies {
         let tally = tally?;
@@ -268,10 +300,41 @@ mod tests {
             completed: 8,
             elapsed: Duration::from_millis(250),
             responses: (1..=8).map(f64::from).collect(),
+            server_stats: None,
         };
         let text = report.render();
         assert!(text.contains("throughput"));
         assert!(text.contains("p95"));
+        assert!(!text.contains("server admitted"));
         assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn report_renders_server_deltas_when_present() {
+        let before = StatsReply {
+            admitted: 2,
+            quanta: 10,
+            ..StatsReply::default()
+        };
+        let after = StatsReply {
+            admitted: 10,
+            completed: 8,
+            quanta: 60,
+            quantum_latency_p95_us: 40.0,
+            ..StatsReply::default()
+        };
+        let report = LoadgenReport {
+            submitted: 8,
+            accepted: 8,
+            rejected: 0,
+            completed: 8,
+            elapsed: Duration::from_millis(100),
+            responses: Vec::new(),
+            server_stats: Some((before, after)),
+        };
+        let text = report.render();
+        assert!(text.contains("server admitted (delta)"));
+        assert!(text.contains("server quanta (delta)"));
+        assert!(text.contains('8') && text.contains("50"));
     }
 }

@@ -1,0 +1,416 @@
+//! Live service metrics.
+//!
+//! [`ServiceMetrics`] owns the daemon's [`MetricsRegistry`] and every
+//! handle the quantum loop updates: admission counters, queue and
+//! engine gauges, latency histograms, per-category paper semantics
+//! (instantaneous desire `Σi d(Ji, α, t)`, allotment, utilization,
+//! waste), and the live Theorem 3 accumulators — `Σα T1(J, α)/Pα` and
+//! `max (T∞(J) + r(J))` over everything injected so far, combined into
+//! the bound's right-hand side. A scrape is therefore a statement of
+//! the guarantee the session is currently running under, not just
+//! plumbing counters.
+//!
+//! [`ModeTracker`] is a [`TelemetrySink`] that rides the engine event
+//! stream: every [`TelemetryEvent::ModeTransition`] folds the elapsed
+//! wall-clock into `krad_mode_residency_seconds{category,mode}`, so a
+//! scrape shows how long each category has actually spent in DEQ
+//! space-sharing vs round-robin time-sharing.
+
+use ktelemetry::{
+    CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, SchedulerMode, TelemetryEvent,
+    TelemetrySink,
+};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Exponential bucket bounds `1, 2, 4, …, 2^(n-1)` for registry
+/// histograms (mirrors [`ktelemetry::Histogram::exponential`]).
+fn exp_bounds(n: usize) -> Vec<u64> {
+    (0..n).map(|i| 1u64 << i).collect()
+}
+
+/// Every registry-backed instrument the daemon exposes.
+#[derive(Clone, Debug)]
+pub struct ServiceMetrics {
+    registry: MetricsRegistry,
+    /// Jobs accepted (acked) — `krad_jobs_admitted_total`.
+    pub admitted: CounterHandle,
+    /// Submissions refused with backpressure — `krad_jobs_rejected_total`.
+    pub rejected: CounterHandle,
+    /// Jobs completed — `krad_jobs_completed_total`.
+    pub completed: CounterHandle,
+    /// Jobs cancelled while queued — `krad_jobs_cancelled_total`.
+    pub cancelled: CounterHandle,
+    /// Quantum-loop iterations — `krad_quanta_total`.
+    pub quanta: CounterHandle,
+    /// Current submission-queue depth — `krad_queue_depth`.
+    pub queue_depth: GaugeHandle,
+    /// Jobs live in the engine — `krad_active_jobs`.
+    pub active_jobs: GaugeHandle,
+    /// Engine virtual time — `krad_virtual_time_steps`.
+    pub virtual_time: GaugeHandle,
+    /// Simulated busy steps — `krad_busy_steps`.
+    pub busy_steps: GaugeHandle,
+    /// Fast-forwarded idle steps — `krad_idle_steps`.
+    pub idle_steps: GaugeHandle,
+    /// Wall-clock seconds since the daemon started — `krad_uptime_seconds`.
+    pub uptime_seconds: GaugeHandle,
+    /// 1 while draining, else 0 — `krad_draining`.
+    pub draining: GaugeHandle,
+    /// Queue depth sampled at each admission — `krad_queue_depth_at_admit`.
+    pub queue_depth_at_admit: HistogramHandle,
+    /// Wall-clock latency of one quantum — `krad_quantum_latency_us`.
+    pub quantum_latency_us: HistogramHandle,
+    /// Instantaneous desire per category — `krad_category_desire{category}`.
+    pub desire: Vec<GaugeHandle>,
+    /// Last-quantum allotment per category — `krad_category_allotment{category}`.
+    pub allotment: Vec<GaugeHandle>,
+    /// Executed / capacity fraction — `krad_category_utilization{category}`.
+    pub utilization: Vec<GaugeHandle>,
+    /// Allotted-but-unused processor-steps — `krad_category_waste_steps{category}`.
+    pub waste: Vec<GaugeHandle>,
+    /// `Σα T1(J, α)/Pα` over injected jobs — `krad_bound_work_over_p`.
+    pub bound_work_over_p: GaugeHandle,
+    /// `max (T∞(J) + r(J))` over injected jobs — `krad_bound_span_release`.
+    pub bound_span_release: GaugeHandle,
+    /// The Theorem 3 right-hand side — `krad_bound_theorem3`.
+    pub bound_theorem3: GaugeHandle,
+    started: Instant,
+}
+
+impl ServiceMetrics {
+    /// Build the full instrument set for a `machine.len()`-category
+    /// daemon on a fresh registry.
+    pub fn new(machine: &[u32]) -> Self {
+        let registry = MetricsRegistry::new();
+        let k = machine.len();
+        let mut desire = Vec::with_capacity(k);
+        let mut allotment = Vec::with_capacity(k);
+        let mut utilization = Vec::with_capacity(k);
+        let mut waste = Vec::with_capacity(k);
+        for cat in 0..k {
+            let label = cat.to_string();
+            let labels: &[(&str, &str)] = &[("category", &label)];
+            desire.push(registry.gauge_with(
+                "krad_category_desire",
+                "Instantaneous desire sum over active jobs, per category",
+                labels,
+            ));
+            allotment.push(registry.gauge_with(
+                "krad_category_allotment",
+                "Processors allotted at the last decision, per category",
+                labels,
+            ));
+            utilization.push(registry.gauge_with(
+                "krad_category_utilization",
+                "Executed work over capacity (P * now), per category",
+                labels,
+            ));
+            waste.push(registry.gauge_with(
+                "krad_category_waste_steps",
+                "Cumulative allotted-but-unused processor-steps, per category",
+                labels,
+            ));
+        }
+        ServiceMetrics {
+            admitted: registry.counter("krad_jobs_admitted_total", "Jobs accepted into the queue"),
+            rejected: registry.counter(
+                "krad_jobs_rejected_total",
+                "Submissions refused with backpressure",
+            ),
+            completed: registry.counter("krad_jobs_completed_total", "Jobs completed"),
+            cancelled: registry.counter("krad_jobs_cancelled_total", "Jobs cancelled while queued"),
+            quanta: registry.counter("krad_quanta_total", "Quantum-loop iterations executed"),
+            queue_depth: registry.gauge("krad_queue_depth", "Current submission-queue depth"),
+            active_jobs: registry.gauge("krad_active_jobs", "Jobs live in the engine"),
+            virtual_time: registry.gauge("krad_virtual_time_steps", "Engine virtual time"),
+            busy_steps: registry.gauge("krad_busy_steps", "Simulated busy steps"),
+            idle_steps: registry.gauge("krad_idle_steps", "Fast-forwarded idle steps"),
+            uptime_seconds: registry
+                .gauge("krad_uptime_seconds", "Seconds since the daemon started"),
+            draining: registry.gauge("krad_draining", "1 while the session is draining"),
+            queue_depth_at_admit: registry.histogram(
+                "krad_queue_depth_at_admit",
+                "Submission-queue depth sampled at each admission",
+                exp_bounds(16),
+            ),
+            quantum_latency_us: registry.histogram(
+                "krad_quantum_latency_us",
+                "Wall-clock latency of one scheduling quantum in microseconds",
+                exp_bounds(20),
+            ),
+            desire,
+            allotment,
+            utilization,
+            waste,
+            bound_work_over_p: registry.gauge(
+                "krad_bound_work_over_p",
+                "Sum over categories of injected work T1(J,a)/Pa (Theorem 3 work term)",
+            ),
+            bound_span_release: registry.gauge(
+                "krad_bound_span_release",
+                "Max over injected jobs of span + release (Theorem 3 span term)",
+            ),
+            bound_theorem3: registry.gauge(
+                "krad_bound_theorem3",
+                "Theorem 3 makespan bound: work_over_p + (1 - 1/Pmax) * span_release",
+            ),
+            registry,
+            started: Instant::now(),
+        }
+    }
+
+    /// The registry behind the handles (for rendering and for wiring
+    /// extra instruments such as span histograms).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// When the daemon started.
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+
+    /// Wall-clock seconds since the daemon started.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Refresh the uptime gauge from the wall clock.
+    pub fn refresh_uptime(&self) {
+        self.uptime_seconds.set(self.uptime_secs());
+    }
+
+    /// Publish the per-category paper semantics for one quantum:
+    /// instantaneous `desires`, the last decision's `allotted` vector,
+    /// and the cumulative executed/allotted processor-step totals.
+    pub fn update_per_category(
+        &self,
+        machine: &[u32],
+        desires: &[u64],
+        allotted_last: &[u32],
+        executed: &[u64],
+        allotted_cum: &[u64],
+        now: u64,
+    ) {
+        for cat in 0..machine.len() {
+            self.desire[cat].set_u64(desires[cat]);
+            self.allotment[cat].set_u64(u64::from(allotted_last[cat]));
+            let capacity = u64::from(machine[cat]) * now;
+            let util = if capacity == 0 {
+                0.0
+            } else {
+                executed[cat] as f64 / capacity as f64
+            };
+            self.utilization[cat].set(util);
+            self.waste[cat].set_u64(allotted_cum[cat].saturating_sub(executed[cat]));
+        }
+    }
+
+    /// Publish the Theorem 3 accumulators: `work_by_cat[α] = Σ T1(J,α)`
+    /// and `span_release_max = max (T∞(J) + r(J))` over injected jobs.
+    pub fn update_bounds(&self, machine: &[u32], work_by_cat: &[u64], span_release_max: u64) {
+        let work_over_p: f64 = machine
+            .iter()
+            .zip(work_by_cat)
+            .map(|(&p, &w)| w as f64 / f64::from(p.max(1)))
+            .sum();
+        let pmax = machine.iter().copied().max().unwrap_or(1).max(1);
+        let theorem3 = work_over_p + (1.0 - 1.0 / f64::from(pmax)) * span_release_max as f64;
+        self.bound_work_over_p.set(work_over_p);
+        self.bound_span_release.set_u64(span_release_max);
+        self.bound_theorem3.set(theorem3);
+    }
+}
+
+/// Residency bookkeeping for one category.
+#[derive(Debug)]
+struct ModeState {
+    /// Current mode and when it was entered (or last folded).
+    modes: Vec<(SchedulerMode, Instant)>,
+    /// Accumulated seconds `[deq, rr]` per category.
+    residency: Vec<[f64; 2]>,
+}
+
+fn mode_index(mode: SchedulerMode) -> usize {
+    match mode {
+        SchedulerMode::Deq => 0,
+        SchedulerMode::RoundRobin => 1,
+    }
+}
+
+/// A [`TelemetrySink`] turning [`TelemetryEvent::ModeTransition`]
+/// events into per-category wall-clock residency gauges. Every
+/// category starts in DEQ (matching the scheduler's initial state);
+/// [`ModeTracker::refresh`] folds the in-progress stretch so scrapes
+/// are current even between transitions.
+#[derive(Clone, Debug)]
+pub struct ModeTracker {
+    state: Arc<Mutex<ModeState>>,
+    /// `krad_mode_residency_seconds{category,mode}`, `[deq, rr]` per category.
+    gauges: Arc<Vec<[GaugeHandle; 2]>>,
+    /// `krad_mode_transitions_total`.
+    pub transitions: CounterHandle,
+}
+
+impl ModeTracker {
+    /// Track `k` categories, registering the residency gauges and
+    /// transition counter on `registry`.
+    pub fn new(k: usize, registry: &MetricsRegistry) -> Self {
+        let now = Instant::now();
+        let mut gauges = Vec::with_capacity(k);
+        for cat in 0..k {
+            let label = cat.to_string();
+            let gauge = |mode: SchedulerMode| {
+                registry.gauge_with(
+                    "krad_mode_residency_seconds",
+                    "Wall-clock seconds each category has spent in DEQ vs round-robin",
+                    &[("category", &label), ("mode", mode.label())],
+                )
+            };
+            gauges.push([gauge(SchedulerMode::Deq), gauge(SchedulerMode::RoundRobin)]);
+        }
+        ModeTracker {
+            state: Arc::new(Mutex::new(ModeState {
+                modes: vec![(SchedulerMode::Deq, now); k],
+                residency: vec![[0.0; 2]; k],
+            })),
+            gauges: Arc::new(gauges),
+            transitions: registry.counter(
+                "krad_mode_transitions_total",
+                "DEQ/RR mode switches observed",
+            ),
+        }
+    }
+
+    /// Fold the in-progress stretch of every category into its gauge.
+    pub fn refresh(&self) {
+        let mut st = self.state.lock().expect("mode tracker lock");
+        let now = Instant::now();
+        for cat in 0..st.modes.len() {
+            let (mode, since) = st.modes[cat];
+            st.residency[cat][mode_index(mode)] += now.duration_since(since).as_secs_f64();
+            st.modes[cat] = (mode, now);
+            self.gauges[cat][0].set(st.residency[cat][0]);
+            self.gauges[cat][1].set(st.residency[cat][1]);
+        }
+    }
+
+    /// Residency seconds `[deq, rr]` for one category, folded to now.
+    pub fn residency(&self, cat: usize) -> [f64; 2] {
+        self.refresh();
+        self.state.lock().expect("mode tracker lock").residency[cat]
+    }
+}
+
+impl TelemetrySink for ModeTracker {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TelemetryEvent) {
+        let TelemetryEvent::ModeTransition { category, to, .. } = event else {
+            return;
+        };
+        let cat = usize::from(category);
+        let mut st = self.state.lock().expect("mode tracker lock");
+        if cat >= st.modes.len() {
+            return;
+        }
+        let now = Instant::now();
+        // Fold the stretch spent in the *tracked* mode (robust even if
+        // an event was dropped and `from` disagrees).
+        let (mode, since) = st.modes[cat];
+        st.residency[cat][mode_index(mode)] += now.duration_since(since).as_secs_f64();
+        st.modes[cat] = (to, now);
+        self.gauges[cat][0].set(st.residency[cat][0]);
+        self.gauges[cat][1].set(st.residency[cat][1]);
+        self.transitions.incr();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_category_gauges_follow_the_engine_mirrors() {
+        let m = ServiceMetrics::new(&[4, 2]);
+        m.update_per_category(&[4, 2], &[7, 1], &[4, 1], &[8, 3], &[10, 3], 4);
+        assert_eq!(m.desire[0].get(), 7.0);
+        assert_eq!(m.desire[1].get(), 1.0);
+        assert_eq!(m.allotment[0].get(), 4.0);
+        assert_eq!(m.utilization[0].get(), 8.0 / 16.0);
+        assert_eq!(m.utilization[1].get(), 3.0 / 8.0);
+        assert_eq!(m.waste[0].get(), 2.0);
+        assert_eq!(m.waste[1].get(), 0.0);
+        // now = 0 divides nothing.
+        m.update_per_category(&[4, 2], &[0, 0], &[0, 0], &[0, 0], &[0, 0], 0);
+        assert_eq!(m.utilization[0].get(), 0.0);
+    }
+
+    #[test]
+    fn theorem3_bound_combines_both_terms() {
+        let m = ServiceMetrics::new(&[4, 2]);
+        // Σα T1/Pα = 8/4 + 6/2 = 5; Pmax = 4 → bound = 5 + 0.75 * 12.
+        m.update_bounds(&[4, 2], &[8, 6], 12);
+        assert_eq!(m.bound_work_over_p.get(), 5.0);
+        assert_eq!(m.bound_span_release.get(), 12.0);
+        assert_eq!(m.bound_theorem3.get(), 5.0 + 0.75 * 12.0);
+        let text = m.registry().render();
+        assert!(text.contains("krad_bound_theorem3 14"));
+    }
+
+    #[test]
+    fn mode_tracker_accumulates_residency_and_counts_transitions() {
+        let m = ServiceMetrics::new(&[2, 2]);
+        let tracker = ModeTracker::new(2, m.registry());
+        let mut sink = tracker.clone();
+        assert!(sink.enabled());
+        sink.record(TelemetryEvent::ModeTransition {
+            t: 3,
+            category: 0,
+            from: SchedulerMode::Deq,
+            to: SchedulerMode::RoundRobin,
+            active_jobs: 5,
+        });
+        sink.record(TelemetryEvent::ModeTransition {
+            t: 9,
+            category: 0,
+            from: SchedulerMode::RoundRobin,
+            to: SchedulerMode::Deq,
+            active_jobs: 1,
+        });
+        assert_eq!(tracker.transitions.get(), 2);
+        let r0 = tracker.residency(0);
+        assert!(r0[0] >= 0.0 && r0[1] >= 0.0);
+        // Category 1 never transitioned: all residency is DEQ.
+        let r1 = tracker.residency(1);
+        assert_eq!(r1[1], 0.0);
+        let text = m.registry().render();
+        assert!(text.contains("krad_mode_residency_seconds{category=\"0\",mode=\"rr\"}"));
+        assert!(text.contains("krad_mode_transitions_total 2"));
+        // Out-of-range categories are ignored, not a panic.
+        sink.record(TelemetryEvent::ModeTransition {
+            t: 10,
+            category: 7,
+            from: SchedulerMode::Deq,
+            to: SchedulerMode::RoundRobin,
+            active_jobs: 1,
+        });
+        assert_eq!(tracker.transitions.get(), 2);
+    }
+
+    #[test]
+    fn non_mode_events_are_ignored() {
+        let m = ServiceMetrics::new(&[1]);
+        let tracker = ModeTracker::new(1, m.registry());
+        let mut sink = tracker.clone();
+        sink.record(TelemetryEvent::RunStart {
+            scheduler: "x".into(),
+            jobs: 1,
+            categories: 1,
+        });
+        assert_eq!(tracker.transitions.get(), 0);
+    }
+}

@@ -42,6 +42,8 @@ pub enum Request {
     Status,
     /// Service counters and latency metrics.
     Stats,
+    /// The live metrics registry in Prometheus text exposition format.
+    Metrics,
     /// Cancel a still-queued job.
     Cancel {
         /// Server-assigned job id.
@@ -138,6 +140,16 @@ pub struct StatsReply {
     pub quanta: u64,
     /// Mean wall-clock latency of one quantum, in microseconds.
     pub quantum_latency_mean_us: f64,
+    /// Median quantum latency (histogram-interpolated), microseconds.
+    pub quantum_latency_p50_us: f64,
+    /// 95th-percentile quantum latency, microseconds.
+    pub quantum_latency_p95_us: f64,
+    /// 99th-percentile quantum latency, microseconds.
+    pub quantum_latency_p99_us: f64,
+    /// Wall-clock seconds since the daemon started.
+    pub uptime_secs: f64,
+    /// Label of the scheduling policy serving the session.
+    pub scheduler: String,
 }
 
 /// The `drain` reply body: final counters plus the canonical trace.
@@ -176,6 +188,11 @@ pub enum Response {
     Status(StatusReply),
     /// `stats` body.
     Stats(StatsReply),
+    /// `metrics` body: the Prometheus text exposition.
+    Metrics {
+        /// The rendered exposition text.
+        text: String,
+    },
     /// The job was cancelled while queued.
     Cancelled {
         /// Its id.
@@ -311,6 +328,7 @@ impl Request {
             }
             Request::Status => s.push_str("{\"cmd\":\"status\"}"),
             Request::Stats => s.push_str("{\"cmd\":\"stats\"}"),
+            Request::Metrics => s.push_str("{\"cmd\":\"metrics\"}"),
             Request::Cancel { job } => {
                 s.push_str("{\"cmd\":\"cancel\",\"job\":");
                 s.push_str(&job.to_string());
@@ -356,6 +374,7 @@ impl Request {
             }
             "status" => Request::Status,
             "stats" => Request::Stats,
+            "metrics" => Request::Metrics,
             "cancel" => Request::Cancel {
                 job: need_u64(&v, "job")?,
             },
@@ -412,7 +431,7 @@ impl Response {
             }
             Response::Stats(x) => {
                 s.push_str(&format!(
-                    "{{\"reply\":\"stats\",\"admitted\":{},\"rejected\":{},\"completed\":{},\"cancelled\":{},\"queue_depth\":{},\"max_queue_depth\":{},\"now\":{},\"busy_steps\":{},\"idle_steps\":{},\"quanta\":{},\"quantum_latency_mean_us\":{}}}",
+                    "{{\"reply\":\"stats\",\"admitted\":{},\"rejected\":{},\"completed\":{},\"cancelled\":{},\"queue_depth\":{},\"max_queue_depth\":{},\"now\":{},\"busy_steps\":{},\"idle_steps\":{},\"quanta\":{},\"quantum_latency_mean_us\":{},\"quantum_latency_p50_us\":{},\"quantum_latency_p95_us\":{},\"quantum_latency_p99_us\":{},\"uptime_secs\":{},\"scheduler\":",
                     x.admitted,
                     x.rejected,
                     x.completed,
@@ -424,7 +443,18 @@ impl Response {
                     x.idle_steps,
                     x.quanta,
                     x.quantum_latency_mean_us,
+                    x.quantum_latency_p50_us,
+                    x.quantum_latency_p95_us,
+                    x.quantum_latency_p99_us,
+                    x.uptime_secs,
                 ));
+                wire::push_str_lit(&mut s, &x.scheduler);
+                s.push('}');
+            }
+            Response::Metrics { text } => {
+                s.push_str("{\"reply\":\"metrics\",\"text\":");
+                wire::push_str_lit(&mut s, text);
+                s.push('}');
             }
             Response::Cancelled { job } => {
                 s.push_str(&format!("{{\"reply\":\"cancelled\",\"job\":{job}}}"));
@@ -497,7 +527,28 @@ impl Response {
                     .get("quantum_latency_mean_us")
                     .and_then(Value::as_f64)
                     .ok_or("missing quantum_latency_mean_us")?,
+                quantum_latency_p50_us: v
+                    .get("quantum_latency_p50_us")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                quantum_latency_p95_us: v
+                    .get("quantum_latency_p95_us")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                quantum_latency_p99_us: v
+                    .get("quantum_latency_p99_us")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                uptime_secs: v.get("uptime_secs").and_then(Value::as_f64).unwrap_or(0.0),
+                scheduler: v
+                    .get("scheduler")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
             }),
+            "metrics" => Response::Metrics {
+                text: need_str(&v, "text")?.to_string(),
+            },
             "cancelled" => Response::Cancelled {
                 job: need_u64(&v, "job")?,
             },
@@ -587,6 +638,7 @@ mod tests {
             },
             Request::Status,
             Request::Stats,
+            Request::Metrics,
             Request::Cancel { job: 17 },
             Request::Drain,
         ];
@@ -626,6 +678,27 @@ mod tests {
                     },
                 ],
             }),
+            Response::Stats(StatsReply {
+                admitted: 9,
+                rejected: 2,
+                completed: 7,
+                cancelled: 1,
+                queue_depth: 3,
+                max_queue_depth: 5,
+                now: 40,
+                busy_steps: 38,
+                idle_steps: 2,
+                quanta: 20,
+                quantum_latency_mean_us: 12.5,
+                quantum_latency_p50_us: 8.5,
+                quantum_latency_p95_us: 30.25,
+                quantum_latency_p99_us: 64.5,
+                uptime_secs: 1.5,
+                scheduler: "k-rad".into(),
+            }),
+            Response::Metrics {
+                text: "# HELP krad_quanta_total x\nkrad_quanta_total 3\n".into(),
+            },
             Response::Cancelled { job: 3 },
             Response::Error {
                 message: "bad \"quote\"".into(),

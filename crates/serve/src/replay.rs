@@ -17,6 +17,7 @@ use crate::wire::{self, need_arr, need_str, need_u64, Value};
 use kbaselines::SchedulerKind;
 use kdag::{DagSpec, SelectionPolicy};
 use ksim::{simulate, JobSpec, Resources, SimConfig, SimOutcome, Time};
+use ktelemetry::{SpanRecorder, TelemetryHandle};
 
 /// One recorded arrival: the DAG and the virtual release time the
 /// server assigned at injection.
@@ -154,13 +155,24 @@ impl SessionTrace {
     /// same machine, scheduler, policy, quantum, and seed the live
     /// server used.
     pub fn replay(&self) -> Result<SimOutcome, String> {
+        self.replay_instrumented(TelemetryHandle::off())
+    }
+
+    /// Replay with a telemetry sink attached to both the engine and
+    /// the scheduler, reproducing the event stream the live server's
+    /// flight recorder captured (modulo the offline-only
+    /// `run_start`/`run_end` framing events).
+    pub fn replay_instrumented(&self, tel: TelemetryHandle) -> Result<SimOutcome, String> {
         let jobs = self.restore_jobs()?;
         let res = Resources::new(self.machine.clone());
         let cfg = SimConfig::default()
             .with_policy(self.policy)
             .with_seed(self.seed)
-            .with_quantum(self.quantum);
-        let mut sched = self.scheduler.build_seeded(res.k(), self.seed);
+            .with_quantum(self.quantum)
+            .with_telemetry(tel.clone());
+        let mut sched = self
+            .scheduler
+            .build_observed(res.k(), self.seed, tel, SpanRecorder::off());
         Ok(simulate(sched.as_mut(), &jobs, &res, &cfg))
     }
 

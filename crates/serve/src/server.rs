@@ -16,6 +16,7 @@
 //! job, publishes the canonical [`SessionTrace`], and shuts the
 //! listeners down.
 
+use crate::metrics::{ModeTracker, ServiceMetrics};
 use crate::protocol::{
     DrainReply, Event, JobState, JobStatus, Request, Response, ScenarioRef, StatsReply, StatusReply,
 };
@@ -23,11 +24,15 @@ use crate::replay::{SessionTrace, TraceJob};
 use kbaselines::SchedulerKind;
 use kdag::{DagSpec, JobDag, SelectionPolicy};
 use ksim::{JobSpec, LiveSimulation, Resources, SimConfig, Time};
-use ktelemetry::{Counter, Histogram, TelemetryHandle};
+use ktelemetry::{
+    CounterHandle, FanoutSink, FlightRecorder, HistogramHandle, SharedSink, SpanKind, SpanRecorder,
+    TelemetryHandle,
+};
 use kworkloads::{rng_for, scenarios};
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -60,6 +65,14 @@ pub struct ServerConfig {
     pub unix_path: Option<std::path::PathBuf>,
     /// Engine telemetry sink (run/step/job events).
     pub telemetry: TelemetryHandle,
+    /// Plain-HTTP `/metrics` scrape listener bind address (no scrape
+    /// endpoint when `None`; the `metrics` protocol verb still works).
+    pub metrics_addr: Option<String>,
+    /// Flight-recorder capacity in events (0 disables the recorder).
+    pub flight_capacity: usize,
+    /// Where the flight recorder is dumped (JSONL) at drain — and on a
+    /// scheduler-thread panic, for post-mortem replay.
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +89,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             unix_path: None,
             telemetry: TelemetryHandle::off(),
+            metrics_addr: None,
+            flight_capacity: 4096,
+            flight_dump: None,
         }
     }
 }
@@ -106,14 +122,19 @@ struct Inner {
     active: u64,
     busy_steps: u64,
     idle_steps: u64,
-    // Service metrics (ktelemetry primitives).
-    admitted: Counter,
-    rejections: Counter,
-    completed: Counter,
-    cancelled: Counter,
-    quanta: Counter,
-    queue_depth: Histogram,
-    quantum_latency_us: Histogram,
+    // Theorem 3 accumulators over injected jobs: Σ T1(J, α) per
+    // category, and max (T∞(J) + r(J)).
+    work_by_cat: Vec<u64>,
+    span_release_max: u64,
+    // Service metrics (registry-backed atomic handles; clones of the
+    // instruments in `Shared::metrics`).
+    admitted: CounterHandle,
+    rejections: CounterHandle,
+    completed: CounterHandle,
+    cancelled: CounterHandle,
+    quanta: CounterHandle,
+    queue_depth: HistogramHandle,
+    quantum_latency_us: HistogramHandle,
     max_queue_depth: u64,
     watchers: Vec<mpsc::Sender<Event>>,
 }
@@ -123,10 +144,18 @@ struct Shared {
     cv: Condvar,
     stop: AtomicBool,
     cfg: ServerConfig,
+    metrics: ServiceMetrics,
+    mode_tracker: ModeTracker,
+    flight: Option<Arc<Mutex<FlightRecorder>>>,
 }
 
 impl Shared {
     fn new(cfg: ServerConfig) -> Arc<Shared> {
+        let metrics = ServiceMetrics::new(&cfg.machine);
+        let mode_tracker = ModeTracker::new(cfg.machine.len(), metrics.registry());
+        let flight = (cfg.flight_capacity > 0)
+            .then(|| Arc::new(Mutex::new(FlightRecorder::new(cfg.flight_capacity))));
+        let k = cfg.machine.len();
         Arc::new(Shared {
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
@@ -142,20 +171,40 @@ impl Shared {
                 active: 0,
                 busy_steps: 0,
                 idle_steps: 0,
-                admitted: Counter::new(),
-                rejections: Counter::new(),
-                completed: Counter::new(),
-                cancelled: Counter::new(),
-                quanta: Counter::new(),
-                queue_depth: Histogram::exponential(16),
-                quantum_latency_us: Histogram::exponential(20),
+                work_by_cat: vec![0; k],
+                span_release_max: 0,
+                admitted: metrics.admitted.clone(),
+                rejections: metrics.rejected.clone(),
+                completed: metrics.completed.clone(),
+                cancelled: metrics.cancelled.clone(),
+                quanta: metrics.quanta.clone(),
+                queue_depth: metrics.queue_depth_at_admit.clone(),
+                quantum_latency_us: metrics.quantum_latency_us.clone(),
                 max_queue_depth: 0,
                 watchers: Vec::new(),
             }),
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
             cfg,
+            metrics,
+            mode_tracker,
+            flight,
         })
+    }
+
+    /// The telemetry handle the engine and scheduler record into: the
+    /// user's configured sink, the flight recorder, and the mode
+    /// tracker, fanned out.
+    fn telemetry_fanout(&self) -> TelemetryHandle {
+        let mut sinks: Vec<SharedSink> = Vec::new();
+        if self.cfg.telemetry.is_enabled() {
+            sinks.push(Arc::new(Mutex::new(self.cfg.telemetry.clone())));
+        }
+        if let Some(flight) = &self.flight {
+            sinks.push(Arc::clone(flight) as SharedSink);
+        }
+        sinks.push(Arc::new(Mutex::new(self.mode_tracker.clone())));
+        TelemetryHandle::new(FanoutSink::new(sinks))
     }
 
     fn notify(&self) {
@@ -170,6 +219,7 @@ impl Shared {
 /// A running daemon: its address and its thread handles.
 pub struct Server {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -192,17 +242,31 @@ impl Server {
                 "quantum must be at least 1",
             ));
         }
+        let shared = Shared::new(cfg.clone());
+        let tel = shared.telemetry_fanout();
+        let spans = SpanRecorder::for_registry(shared.metrics.registry());
+
         let res = Resources::new(cfg.machine.clone());
         let sim_cfg = SimConfig::default()
             .with_policy(cfg.policy)
             .with_seed(cfg.seed)
             .with_quantum(cfg.quantum)
-            .with_telemetry(cfg.telemetry.clone());
+            .with_telemetry(tel.clone())
+            .with_spans(spans.clone());
         let live = LiveSimulation::new(res, sim_cfg)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(a) => Some(TcpListener::bind(a)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
 
         #[cfg(unix)]
         let unix_listener = match &cfg.unix_path {
@@ -213,21 +277,30 @@ impl Server {
             None => None,
         };
 
-        let shared = Shared::new(cfg.clone());
-
         let mut threads = Vec::new();
 
         let sched_shared = Arc::clone(&shared);
         let sched_addr = addr;
+        let sched_metrics_addr = metrics_addr;
         let unix_path = cfg.unix_path.clone();
         threads.push(
             thread::Builder::new()
                 .name("kserve-sched".into())
                 .spawn(move || {
-                    scheduler_loop(live, &sched_shared);
+                    // Dump the flight recorder even if the quantum loop
+                    // panics, so the tail of the event stream survives
+                    // for post-mortem replay.
+                    let _guard = FlightDumpGuard {
+                        flight: sched_shared.flight.clone(),
+                        path: sched_shared.cfg.flight_dump.clone(),
+                    };
+                    scheduler_loop(live, &sched_shared, tel, spans);
                     // Unblock the accept loops so the process can exit.
                     sched_shared.stop.store(true, Ordering::SeqCst);
                     let _ = TcpStream::connect(sched_addr);
+                    if let Some(maddr) = sched_metrics_addr {
+                        let _ = TcpStream::connect(maddr);
+                    }
                     #[cfg(unix)]
                     if let Some(path) = &unix_path {
                         let _ = std::os::unix::net::UnixStream::connect(path);
@@ -236,6 +309,24 @@ impl Server {
                     let _ = unix_path;
                 })?,
         );
+
+        if let Some(metrics_listener) = metrics_listener {
+            let scrape_shared = Arc::clone(&shared);
+            threads.push(thread::Builder::new().name("kserve-metrics".into()).spawn(
+                move || {
+                    for stream in metrics_listener.incoming() {
+                        if scrape_shared.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let conn_shared = Arc::clone(&scrape_shared);
+                        let _ = thread::Builder::new()
+                            .name("kserve-scrape".into())
+                            .spawn(move || serve_scrape(stream, &conn_shared));
+                    }
+                },
+            )?);
+        }
 
         let tcp_shared = Arc::clone(&shared);
         threads.push(
@@ -295,6 +386,7 @@ impl Server {
 
         Ok(Server {
             addr,
+            metrics_addr,
             shared,
             threads,
         })
@@ -303,6 +395,12 @@ impl Server {
     /// The bound TCP address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound `/metrics` scrape address, if a listener was
+    /// configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Wait until the daemon has drained and every thread has exited.
@@ -320,10 +418,18 @@ impl Server {
 /// The quantum loop: inject admitted jobs, advance one quantum,
 /// publish completions; park on the condvar when there is nothing to
 /// do (wall-clock idle consumes no virtual time).
-fn scheduler_loop(mut live: LiveSimulation, shared: &Shared) {
+fn scheduler_loop(
+    mut live: LiveSimulation,
+    shared: &Shared,
+    tel: TelemetryHandle,
+    spans: SpanRecorder,
+) {
     let cfg = &shared.cfg;
-    let mut scheduler = cfg.scheduler.build_seeded(live.resources().k(), cfg.seed);
+    let mut scheduler =
+        cfg.scheduler
+            .build_observed(live.resources().k(), cfg.seed, tel, spans.clone());
     let mut done_buf: Vec<usize> = Vec::new();
+    let mut desires_buf: Vec<u64> = Vec::new();
     loop {
         // Admit, or park until there is work.
         {
@@ -334,7 +440,7 @@ fn scheduler_loop(mut live: LiveSimulation, shared: &Shared) {
                     break;
                 }
                 if g.draining {
-                    finalize_drain(&live, &mut g, cfg);
+                    finalize_drain(&live, &mut g, shared);
                     shared.notify();
                     return;
                 }
@@ -344,6 +450,7 @@ fn scheduler_loop(mut live: LiveSimulation, shared: &Shared) {
 
         // One quantum of engine work, unlocked.
         let start = Instant::now();
+        let quantum_span = spans.start();
         done_buf.clear();
         for _ in 0..cfg.quantum.max(1) {
             if !live.has_work() {
@@ -351,7 +458,28 @@ fn scheduler_loop(mut live: LiveSimulation, shared: &Shared) {
             }
             done_buf.extend_from_slice(live.step(scheduler.as_mut()));
         }
+        spans.finish(SpanKind::Quantum, quantum_span);
         let latency_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+
+        // Refresh the scrapeable gauges (atomic handles — no lock).
+        live.desire_totals_into(&mut desires_buf);
+        shared.metrics.update_per_category(
+            &cfg.machine,
+            &desires_buf,
+            live.last_allotted(),
+            live.executed_by_category(),
+            live.allotted_by_category(),
+            live.now(),
+        );
+        shared
+            .metrics
+            .active_jobs
+            .set_u64(live.active_jobs() as u64);
+        shared.metrics.virtual_time.set_u64(live.now());
+        shared.metrics.busy_steps.set_u64(live.busy_steps());
+        shared.metrics.idle_steps.set_u64(live.idle_steps());
+        shared.metrics.refresh_uptime();
+        shared.mode_tracker.refresh();
 
         // Publish.
         {
@@ -362,6 +490,9 @@ fn scheduler_loop(mut live: LiveSimulation, shared: &Shared) {
             g.active = live.active_jobs() as u64;
             g.busy_steps = live.busy_steps();
             g.idle_steps = live.idle_steps();
+            shared
+                .metrics
+                .update_bounds(&cfg.machine, &g.work_by_cat, g.span_release_max);
             for &engine_idx in &done_buf {
                 let completion = live
                     .completion(engine_idx)
@@ -419,6 +550,10 @@ fn inject_queued(live: &mut LiveSimulation, g: &mut Inner) {
             .inject(spec)
             .expect("admission validated the DAG and release = now() is never in the past");
         debug_assert_eq!(engine_idx, g.engine_to_id.len());
+        for (cat, &w) in g.work_by_cat.iter_mut().zip(dag.work_by_category()) {
+            *cat += w;
+        }
+        g.span_release_max = g.span_release_max.max(dag.span() + release);
         g.engine_to_id.push(id);
         g.trace_jobs.push(TraceJob {
             dag: DagSpec::from_dag(&dag),
@@ -429,12 +564,19 @@ fn inject_queued(live: &mut LiveSimulation, g: &mut Inner) {
     }
 }
 
-/// Seal the session: build the canonical trace and mark drained.
-fn finalize_drain(live: &LiveSimulation, g: &mut Inner, cfg: &ServerConfig) {
+/// Seal the session: build the canonical trace, dump the flight
+/// recorder, and mark drained.
+fn finalize_drain(live: &LiveSimulation, g: &mut Inner, shared: &Shared) {
+    let cfg = &shared.cfg;
     g.now = live.now();
     g.active = 0;
     g.busy_steps = live.busy_steps();
     g.idle_steps = live.idle_steps();
+    shared.metrics.active_jobs.set_u64(0);
+    shared.metrics.virtual_time.set_u64(live.now());
+    shared.metrics.busy_steps.set_u64(live.busy_steps());
+    shared.metrics.idle_steps.set_u64(live.idle_steps());
+    dump_flight(shared.flight.as_ref(), cfg.flight_dump.as_deref());
     g.trace = Some(SessionTrace {
         machine: cfg.machine.clone(),
         scheduler: cfg.scheduler,
@@ -447,6 +589,84 @@ fn finalize_drain(live: &LiveSimulation, g: &mut Inner, cfg: &ServerConfig) {
     g.drained = true;
     let mut watchers = std::mem::take(&mut g.watchers);
     watchers.retain(|w| w.send(Event::WatchEnd).is_ok());
+}
+
+/// Write the flight recorder's contents (oldest first) to `path` as
+/// JSONL. A no-op unless both the recorder and the path are configured.
+fn dump_flight(flight: Option<&Arc<Mutex<FlightRecorder>>>, path: Option<&Path>) {
+    let (Some(flight), Some(path)) = (flight, path) else {
+        return;
+    };
+    if let Ok(recorder) = flight.lock() {
+        let _ = std::fs::write(path, recorder.to_jsonl());
+    }
+}
+
+/// Dumps the flight recorder from `Drop` when the scheduler thread
+/// panics, so the last events before the crash survive on disk.
+struct FlightDumpGuard {
+    flight: Option<Arc<Mutex<FlightRecorder>>>,
+    path: Option<PathBuf>,
+}
+
+impl Drop for FlightDumpGuard {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            dump_flight(self.flight.as_ref(), self.path.as_deref());
+        }
+    }
+}
+
+/// Render one scrape: refresh the wall-clock and lock-guarded gauges,
+/// then encode the registry in Prometheus text exposition format.
+fn render_scrape(shared: &Shared) -> String {
+    shared.metrics.refresh_uptime();
+    shared.mode_tracker.refresh();
+    {
+        let g = shared.inner.lock().unwrap();
+        shared.metrics.queue_depth.set_u64(g.queue.len() as u64);
+        shared.metrics.draining.set_u64(u64::from(g.draining));
+    }
+    shared.metrics.registry().render()
+}
+
+/// Serve one plain-HTTP scrape connection: read the request head,
+/// answer `GET /metrics` (or `/`) with the text exposition, anything
+/// else with 404, and close.
+fn serve_scrape(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the header block so the peer sees a clean close.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => {}
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut writer = stream;
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/") {
+        ("200 OK", render_scrape(shared))
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = writer.flush();
 }
 
 /// Admission: validate, then accept into the bounded queue or reject
@@ -602,7 +822,8 @@ fn status_reply(g: &Inner) -> StatusReply {
     }
 }
 
-fn stats_reply(g: &Inner) -> StatsReply {
+fn stats_reply(g: &Inner, shared: &Shared) -> StatsReply {
+    let latency = g.quantum_latency_us.snapshot();
     StatsReply {
         admitted: g.admitted.get(),
         rejected: g.rejections.get(),
@@ -614,7 +835,12 @@ fn stats_reply(g: &Inner) -> StatsReply {
         busy_steps: g.busy_steps,
         idle_steps: g.idle_steps,
         quanta: g.quanta.get(),
-        quantum_latency_mean_us: g.quantum_latency_us.mean(),
+        quantum_latency_mean_us: latency.mean(),
+        quantum_latency_p50_us: latency.quantile(0.50),
+        quantum_latency_p95_us: latency.quantile(0.95),
+        quantum_latency_p99_us: latency.quantile(0.99),
+        uptime_secs: shared.metrics.uptime_secs(),
+        scheduler: shared.cfg.scheduler.label().to_string(),
     }
 }
 
@@ -742,8 +968,14 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (Response, Option<WatchSession>
         }
         Request::Stats => {
             let g = shared.inner.lock().unwrap();
-            (Response::Stats(stats_reply(&g)), None)
+            (Response::Stats(stats_reply(&g, shared)), None)
         }
+        Request::Metrics => (
+            Response::Metrics {
+                text: render_scrape(shared),
+            },
+            None,
+        ),
         Request::Cancel { job } => {
             let mut g = shared.inner.lock().unwrap();
             match g.slots.get(job as usize) {
@@ -772,6 +1004,7 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (Response, Option<WatchSession>
         Request::Drain => {
             let mut g = shared.inner.lock().unwrap();
             g.draining = true;
+            shared.metrics.draining.set_u64(1);
             shared.cv.notify_all();
             while !g.drained {
                 g = shared.cv.wait(g).unwrap();

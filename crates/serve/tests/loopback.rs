@@ -187,6 +187,123 @@ fn watch_streams_completions_in_virtual_time() {
     server.join();
 }
 
+/// Minimal HTTP/1.0-style GET against the scrape listener.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("scrape connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// The value of an un-labelled sample line in an exposition body.
+fn sample(body: &str, name: &str) -> f64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("no sample for {name} in:\n{body}"))
+        .trim()
+        .parse()
+        .expect("numeric sample")
+}
+
+#[test]
+fn metrics_scrape_and_flight_dump_observe_a_live_session() {
+    let dir = std::env::temp_dir().join(format!("kserve-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump_path = dir.join("flight.jsonl");
+    let cfg = ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        flight_capacity: 1 << 14,
+        flight_dump: Some(dump_path.clone()),
+        ..test_config()
+    };
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.addr().to_string();
+    let http = server.metrics_addr().expect("metrics listener bound");
+
+    // A scrape works before any job was ever admitted.
+    let (head, body) = http_get(http, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "exposition content type: {head}"
+    );
+    assert_eq!(sample(&body, "krad_jobs_admitted_total"), 0.0);
+    assert!(sample(&body, "krad_uptime_seconds") >= 0.0);
+
+    // Unknown paths are a 404, not a hang or a crash.
+    let (head, _) = http_get(http, "/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    // Run real work to completion, then scrape again: counters are
+    // monotone and the paper-semantic families are populated.
+    let mut client = Client::connect(&addr).expect("client connects");
+    let (ack, events) = client
+        .submit_watch(some_dags(8, 5))
+        .expect("watched submit runs");
+    assert!(matches!(ack, Response::Submitted { .. }));
+    assert_eq!(events.len(), 8);
+
+    let (_, scraped) = http_get(http, "/metrics");
+    let verb_text = client.metrics().expect("metrics verb runs");
+    // Verb and HTTP listener render the same registry.
+    for text in [&scraped, &verb_text] {
+        assert_eq!(sample(text, "krad_jobs_admitted_total"), 8.0);
+        assert_eq!(sample(text, "krad_jobs_completed_total"), 8.0);
+        assert!(sample(text, "krad_quanta_total") > 0.0);
+        assert!(sample(text, "krad_bound_theorem3") > 0.0);
+        assert!(sample(text, "krad_bound_work_over_p") > 0.0);
+        for family in [
+            "krad_category_desire{category=\"0\"}",
+            "krad_category_allotment{category=\"1\"}",
+            "krad_category_utilization{category=\"0\"}",
+            "krad_category_waste_steps{category=\"1\"}",
+            "krad_mode_residency_seconds{category=\"0\",mode=\"deq\"}",
+            "krad_mode_residency_seconds{category=\"1\",mode=\"rr\"}",
+            "krad_quantum_latency_us_bucket",
+            "krad_mode_transitions_total",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+    // Monotonicity across scrapes (more work in between).
+    let quanta_before = sample(&scraped, "krad_quanta_total");
+    let (ack, _) = client
+        .submit_watch(some_dags(4, 6))
+        .expect("second batch runs");
+    assert!(matches!(ack, Response::Submitted { .. }));
+    let (_, after) = http_get(http, "/metrics");
+    assert!(sample(&after, "krad_jobs_admitted_total") >= 12.0);
+    assert!(sample(&after, "krad_quanta_total") >= quanta_before);
+
+    // Drain: the flight recorder lands on disk, and its tail is a
+    // byte-for-byte suffix of the deterministically replayed stream.
+    let drain = match client.drain().expect("drain runs") {
+        Response::Drained(d) => d,
+        other => panic!("expected drained, got {other:?}"),
+    };
+    server.join();
+
+    let dump = kanalysis::flight::load_flight_dump(&dump_path).expect("dump parses");
+    assert!(!dump.is_empty(), "flight recorder captured the session");
+    let report = kanalysis::flight::FlightRecorderReport::from_events(&dump);
+    assert!(report.completions > 0);
+    assert!(report.render().contains("events retained"));
+
+    let (tel, rec) = ktelemetry::TelemetryHandle::recording();
+    drain
+        .trace
+        .replay_instrumented(tel)
+        .expect("instrumented replay runs");
+    let offline = rec.lock().unwrap().take();
+    let matched = kanalysis::flight::verify_against_stream(&dump, &offline)
+        .expect("dump is a byte-for-byte tail of the replayed stream");
+    assert_eq!(matched, dump.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[cfg(unix)]
 #[test]
 fn unix_socket_speaks_the_same_protocol() {

@@ -3,7 +3,7 @@
 use crate::live::LiveSimulation;
 use crate::{Resources, Scheduler, SimOutcome, Time};
 use kdag::{JobDag, SelectionPolicy};
-use ktelemetry::{TelemetryEvent, TelemetryHandle};
+use ktelemetry::{SpanRecorder, TelemetryEvent, TelemetryHandle};
 use std::sync::Arc;
 
 /// One job to simulate: its DAG and its release time.
@@ -95,6 +95,10 @@ pub struct SimConfig {
     /// default: a disabled handle costs one branch per emission site
     /// and never constructs the event.
     pub telemetry: TelemetryHandle,
+    /// Span-duration recorder for the quantum loop (`decide` spans are
+    /// timed by the engine; schedulers add `deq_allot`/`rr_cycle`).
+    /// Off by default: a disabled recorder never reads the clock.
+    pub spans: SpanRecorder,
 }
 
 impl Default for SimConfig {
@@ -109,6 +113,7 @@ impl Default for SimConfig {
             quantum: 1,
             desire_model: DesireModel::Exact,
             telemetry: TelemetryHandle::off(),
+            spans: SpanRecorder::off(),
         }
     }
 }
@@ -175,6 +180,13 @@ impl SimConfig {
     /// Wire a [`TelemetryHandle`] into the engine (chainable).
     pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Wire a [`SpanRecorder`] into the engine (chainable); the engine
+    /// times each scheduler `decide` call under it.
+    pub fn with_spans(mut self, spans: SpanRecorder) -> Self {
+        self.spans = spans;
         self
     }
 }

@@ -29,7 +29,7 @@ use crate::{
     StepTrace, Time,
 };
 use kdag::{Category, ExecutionState, JobId, TaskId};
-use ktelemetry::{TelemetryEvent, TelemetryHandle};
+use ktelemetry::{SpanKind, TelemetryEvent, TelemetryHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -331,6 +331,36 @@ impl LiveSimulation {
         &self.res
     }
 
+    /// Sum the *instantaneous* per-category desires of the active jobs
+    /// into `out` (resized to `K`). This is the paper's `Σi d(Ji, α, t)`
+    /// read straight from the incrementally maintained ready counts —
+    /// independent of the desire model the scheduler is shown.
+    pub fn desire_totals_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.k, 0);
+        for &idx in &self.active {
+            for (tot, &d) in out.iter_mut().zip(self.states[idx].desires()) {
+                *tot += u64::from(d);
+            }
+        }
+    }
+
+    /// Per-category allotment totals of the most recently executed
+    /// step (zeros before the first step).
+    pub fn last_allotted(&self) -> &[u32] {
+        &self.allotted_totals
+    }
+
+    /// Cumulative per-category executed task counts.
+    pub fn executed_by_category(&self) -> &[u64] {
+        &self.executed_by_category
+    }
+
+    /// Cumulative per-category allotted processor-steps.
+    pub fn allotted_by_category(&self) -> &[u64] {
+        &self.allotted_by_category
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
@@ -470,7 +500,9 @@ impl LiveSimulation {
             };
 
             self.out.reset(active.len());
+            let decide_started = cfg.spans.start();
             scheduler.allot(t, views, res, &mut self.out);
+            cfg.spans.finish(SpanKind::Decide, decide_started);
 
             // Freeze the decision for the quantum (row copies into the
             // flat matrices — no per-decision allocation), folding the
@@ -790,6 +822,39 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, InjectError::CategoryMismatch { job: 1, .. }));
         assert!(err.to_string().contains("categories but machine"));
+    }
+
+    #[test]
+    fn spans_and_live_gauge_accessors_track_the_run() {
+        use ktelemetry::{MetricsRegistry, SpanRecorder};
+        let reg = MetricsRegistry::new();
+        let cfg = SimConfig::default().with_spans(SpanRecorder::for_registry(&reg));
+        let mut live = LiveSimulation::new(Resources::uniform(2, 2), cfg.clone()).unwrap();
+        live.inject(JobSpec::batched(diamond())).unwrap();
+
+        let mut desires = Vec::new();
+        live.desire_totals_into(&mut desires);
+        assert_eq!(desires, vec![0, 0], "nothing active before the first step");
+        assert_eq!(live.last_allotted(), &[0, 0]);
+
+        let mut sched = GreedyAll;
+        live.step(&mut sched);
+        // After step 1 the diamond's root ran: one category-0 task.
+        assert_eq!(live.executed_by_category(), &[1, 0]);
+        assert!(live.last_allotted()[0] >= 1);
+        live.desire_totals_into(&mut desires);
+        assert_eq!(desires, vec![0, 2], "both middle tasks are now ready");
+
+        while live.has_work() {
+            live.step(&mut sched);
+        }
+        // Quantum 1 → one decision per busy step (3 for the diamond).
+        assert_eq!(cfg.spans.count(SpanKind::Decide), 3);
+        assert!(reg
+            .render()
+            .contains("krad_span_duration_us_count{span=\"decide\"} 3"));
+        assert_eq!(live.executed_by_category(), &[2, 2]);
+        assert_eq!(live.allotted_by_category(), &[2, 2]);
     }
 
     #[test]

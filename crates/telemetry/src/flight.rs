@@ -1,0 +1,194 @@
+//! A fixed-capacity flight recorder: the last N telemetry events,
+//! retained in a ring buffer with zero steady-state allocation.
+//!
+//! The recorder is a [`TelemetrySink`], so it drops straight into the
+//! existing handle/fanout plumbing: attach it alongside a user sink,
+//! let the service run indefinitely, and on drain (or panic) dump the
+//! tail for post-mortem replay. Slots are pre-allocated once at
+//! construction; recording an event moves it into a slot and drops
+//! whatever was there — no allocation, no unbounded growth.
+
+use crate::sink::{TelemetryHandle, TelemetrySink};
+use crate::TelemetryEvent;
+use std::sync::{Arc, Mutex};
+
+/// A ring buffer retaining the most recent telemetry events.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    /// Pre-allocated slots; `None` until first written.
+    slots: Vec<Option<TelemetryEvent>>,
+    /// Index the next event lands in.
+    next: usize,
+    /// Live events (≤ capacity).
+    len: usize,
+    /// Total events ever recorded (monotone).
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs at least one slot");
+        FlightRecorder {
+            slots: vec![None; capacity],
+            next: 0,
+            len: 0,
+            recorded: 0,
+        }
+    }
+
+    /// A recorder wrapped the way instrumented code consumes it: a
+    /// [`TelemetryHandle`] feeding it, plus the shared recorder for
+    /// later snapshots.
+    pub fn shared(capacity: usize) -> (TelemetryHandle, Arc<Mutex<FlightRecorder>>) {
+        let rec = Arc::new(Mutex::new(FlightRecorder::new(capacity)));
+        let handle = TelemetryHandle::from_shared(rec.clone());
+        (handle, rec)
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been recorded (or everything was taken).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total events ever pushed through the recorder.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events that fell off the ring (recorded − retained).
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.len as u64
+    }
+
+    /// Append one event, evicting the oldest when full.
+    pub fn push(&mut self, event: TelemetryEvent) {
+        self.slots[self.next] = Some(event);
+        self.next = (self.next + 1) % self.slots.len();
+        self.len = (self.len + 1).min(self.slots.len());
+        self.recorded += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TelemetryEvent> {
+        let cap = self.slots.len();
+        let start = (self.next + cap - self.len) % cap;
+        (0..self.len)
+            .filter_map(|i| self.slots[(start + i) % cap].clone())
+            .collect()
+    }
+
+    /// Drain the retained events (oldest first) and reset the ring.
+    /// The lifetime `recorded` total is preserved.
+    pub fn take(&mut self) -> Vec<TelemetryEvent> {
+        let out = self.snapshot();
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.next = 0;
+        self.len = 0;
+        out
+    }
+
+    /// Render the retained events as JSONL, one event per line —
+    /// the same codec the offline replay path parses back.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.snapshot() {
+            out.push_str(&crate::json::to_json(&event));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TelemetrySink for FlightRecorder {
+    fn record(&mut self, event: TelemetryEvent) {
+        self.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TelemetryEvent {
+        TelemetryEvent::StepStart { t, active_jobs: 1 }
+    }
+
+    #[test]
+    fn retains_tail_in_order_after_wraparound() {
+        let mut fr = FlightRecorder::new(3);
+        assert!(fr.is_empty());
+        for t in 1..=5 {
+            fr.push(ev(t));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.capacity(), 3);
+        assert_eq!(fr.recorded(), 5);
+        assert_eq!(fr.dropped(), 2);
+        assert_eq!(fr.snapshot(), vec![ev(3), ev(4), ev(5)]);
+    }
+
+    #[test]
+    fn partial_fill_snapshots_from_start() {
+        let mut fr = FlightRecorder::new(8);
+        fr.push(ev(1));
+        fr.push(ev(2));
+        assert_eq!(fr.snapshot(), vec![ev(1), ev(2)]);
+        assert_eq!(fr.dropped(), 0);
+    }
+
+    #[test]
+    fn take_drains_and_keeps_lifetime_total() {
+        let mut fr = FlightRecorder::new(2);
+        for t in 1..=3 {
+            fr.push(ev(t));
+        }
+        assert_eq!(fr.take(), vec![ev(2), ev(3)]);
+        assert!(fr.is_empty());
+        assert_eq!(fr.recorded(), 3);
+        fr.push(ev(9));
+        assert_eq!(fr.snapshot(), vec![ev(9)]);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_codec() {
+        let mut fr = FlightRecorder::new(4);
+        fr.push(ev(1));
+        fr.push(TelemetryEvent::IdleSkip { from: 3, to: 10 });
+        let parsed = crate::json::parse_jsonl(&fr.to_jsonl()).unwrap();
+        assert_eq!(parsed, fr.snapshot());
+    }
+
+    #[test]
+    fn shared_recorder_feeds_through_a_handle() {
+        let (tel, rec) = FlightRecorder::shared(2);
+        assert!(tel.is_enabled());
+        for t in 1..=3 {
+            tel.emit(|| ev(t));
+        }
+        let guard = rec.lock().unwrap();
+        assert_eq!(guard.snapshot(), vec![ev(2), ev(3)]);
+        assert_eq!(guard.recorded(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        FlightRecorder::new(0);
+    }
+}

@@ -16,6 +16,15 @@
 //!   entirely when telemetry is off — the uninstrumented fast path is a
 //!   single boolean test;
 //! * [`Counter`] / [`Histogram`] — dependency-free metrics primitives;
+//! * [`MetricsRegistry`] — named, labeled metric families
+//!   ([`CounterHandle`] / [`GaugeHandle`] / [`HistogramHandle`],
+//!   lock-free atomic handles) with a Prometheus-compatible text
+//!   exposition encoder for live scrapes;
+//! * [`FlightRecorder`] — a fixed-capacity ring buffer sink retaining
+//!   the last N events with zero steady-state allocation, for
+//!   post-mortem dump and replay;
+//! * [`SpanRecorder`] — monotonic span timing (`quantum`, `decide`,
+//!   `deq_allot`, `rr_cycle`) feeding the registry;
 //! * [`json`] — a hand-rolled JSONL encoder/parser for the event
 //!   schema (no serde: the crate has zero dependencies).
 //!
@@ -25,12 +34,18 @@
 #![forbid(unsafe_code)]
 
 mod event;
+mod flight;
 pub mod json;
 mod metrics;
+mod registry;
 mod sink;
+mod spans;
 
 pub use event::{SchedulerMode, TelemetryEvent};
+pub use flight::FlightRecorder;
 pub use metrics::{Counter, Histogram};
+pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry};
 pub use sink::{
     FanoutSink, JsonlSink, NoopSink, RecordingSink, SharedSink, TelemetryHandle, TelemetrySink,
 };
+pub use spans::{SpanKind, SpanRecorder};

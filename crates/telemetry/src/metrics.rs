@@ -32,8 +32,12 @@ impl Counter {
 
 /// A fixed-bucket histogram over `u64` samples.
 ///
-/// Buckets are defined by ascending inclusive upper bounds; one
+/// Buckets are defined by ascending **inclusive** upper bounds; one
 /// implicit overflow bucket catches everything above the last bound.
+/// A sample `v` lands in the first bucket whose bound `b` satisfies
+/// `v <= b` — identical to the Prometheus `le` convention, so the
+/// exposition encoder can use [`Histogram::bounds`] verbatim. There
+/// is no lower bound: `0` always lands in the first bucket.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     bounds: Vec<u64>,
@@ -64,11 +68,43 @@ impl Histogram {
 
     /// Exponential bounds `1, 2, 4, … , 2^(n-1)` — a good default for
     /// count-like samples (active jobs, queue lengths).
+    ///
+    /// Bounds are inclusive upper bounds like every histogram in this
+    /// crate: a sample of exactly `2` lands in the `≤2` bucket (not
+    /// `≤4`), `0` lands in `≤1`, and anything above `2^(n-1)` —
+    /// including `u64::MAX` — lands in the overflow bucket.
+    ///
+    /// # Panics
+    /// Panics if `buckets` is 0 or ≥ 64 (the bounds would be empty or
+    /// overflow `u64`).
     pub fn exponential(buckets: u32) -> Self {
+        assert!(buckets < 64, "2^{} overflows a u64 bound", buckets);
         Histogram::new((0..buckets).map(|i| 1u64 << i).collect())
     }
 
-    /// Record one sample.
+    /// Rebuild a histogram from raw parts (bounds, per-bucket counts
+    /// including the overflow slot, and the running sum) — the inverse
+    /// of [`Histogram::bounds`] + [`Histogram::bucket_counts`] +
+    /// [`Histogram::sum`], used by atomic snapshots.
+    ///
+    /// # Panics
+    /// Panics on invalid bounds or a count vector whose length is not
+    /// `bounds.len() + 1`.
+    pub fn from_parts(bounds: Vec<u64>, counts: Vec<u64>, sum: u64) -> Self {
+        let mut h = Histogram::new(bounds);
+        assert_eq!(
+            counts.len(),
+            h.counts.len(),
+            "counts must cover every bucket plus overflow"
+        );
+        h.total = counts.iter().sum();
+        h.counts = counts;
+        h.sum = sum;
+        h
+    }
+
+    /// Record one sample. The sample lands in the first bucket whose
+    /// inclusive upper bound is `>= value` (overflow bucket otherwise).
     pub fn record(&mut self, value: u64) {
         let idx = self.bounds.partition_point(|&b| b < value);
         self.counts[idx] += 1;
@@ -90,9 +126,61 @@ impl Histogram {
         }
     }
 
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Per-bucket counts; the last entry is the overflow bucket.
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Cumulative counts per bound (Prometheus `le` semantics): entry
+    /// `i` is the number of samples `<= bounds[i]`; the final entry is
+    /// the total (`le="+Inf"`).
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut cum = 0u64;
+        self.counts
+            .iter()
+            .map(|c| {
+                cum += c;
+                cum
+            })
+            .collect()
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the owning bucket, the way Prometheus'
+    /// `histogram_quantile` does. Returns 0 when empty; a quantile
+    /// that lands in the overflow bucket returns the last finite
+    /// bound (the histogram cannot resolve beyond it).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.total as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let prev = cum;
+            cum += c;
+            if (cum as f64) >= rank {
+                if i == self.bounds.len() {
+                    // Overflow bucket: unbounded above, clamp to the
+                    // last finite bound.
+                    return self.bounds[self.bounds.len() - 1] as f64;
+                }
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let fraction = (rank - prev as f64) / c as f64;
+                return lower as f64 + fraction * (upper - lower) as f64;
+            }
+        }
+        self.bounds[self.bounds.len() - 1] as f64
     }
 
     /// The bucket upper bounds this histogram was built with.
@@ -159,5 +247,77 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn unsorted_bounds_rejected() {
         Histogram::new(vec![4, 2]);
+    }
+
+    #[test]
+    fn exponential_boundaries_are_inclusive() {
+        // Pin the edge semantics: 0 → first bucket, an exact boundary
+        // value → that bucket (not the next), u64::MAX → overflow.
+        let mut h = Histogram::exponential(4); // bounds 1, 2, 4, 8
+        h.record(0);
+        assert_eq!(h.bucket_counts(), &[1, 0, 0, 0, 0], "0 lands in ≤1");
+        h.record(2);
+        assert_eq!(h.bucket_counts(), &[1, 1, 0, 0, 0], "2 lands in ≤2, not ≤4");
+        h.record(8);
+        assert_eq!(h.bucket_counts(), &[1, 1, 0, 1, 0], "8 lands in ≤8");
+        h.record(9);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_counts(), &[1, 1, 0, 1, 2], "above-last → overflow");
+        assert_eq!(h.count(), 5);
+        // The running sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn exponential_rejects_unrepresentable_bounds() {
+        Histogram::exponential(64);
+    }
+
+    #[test]
+    fn cumulative_counts_follow_le_semantics() {
+        let mut h = Histogram::new(vec![1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 16, 17, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.cumulative_counts(), vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Histogram::new(vec![2, 8]);
+        for v in [1, 3, 9, 100] {
+            h.record(v);
+        }
+        let rebuilt =
+            Histogram::from_parts(h.bounds().to_vec(), h.bucket_counts().to_vec(), h.sum());
+        assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn from_parts_checks_count_length() {
+        Histogram::from_parts(vec![1, 2], vec![0, 0], 0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(vec![10, 20, 40]);
+        for _ in 0..50 {
+            h.record(5); // ≤10 bucket
+        }
+        for _ in 0..50 {
+            h.record(15); // ≤20 bucket
+        }
+        // Half the mass is ≤10, so p50 is the top of the first bucket.
+        assert!((h.quantile(0.5) - 10.0).abs() < 1e-9);
+        // p75 is halfway through the (10, 20] bucket.
+        assert!((h.quantile(0.75) - 15.0).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 20.0).abs() < 1e-9);
+        assert_eq!(Histogram::new(vec![1]).quantile(0.5), 0.0, "empty → 0");
+        // Mass in the overflow bucket clamps to the last finite bound.
+        let mut o = Histogram::new(vec![1, 2]);
+        o.record(1000);
+        assert_eq!(o.quantile(0.99), 2.0);
     }
 }

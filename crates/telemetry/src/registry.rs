@@ -1,0 +1,654 @@
+//! A process-wide metrics registry with Prometheus text exposition.
+//!
+//! The registry hands out cheap atomic *handles* ([`CounterHandle`],
+//! [`GaugeHandle`], [`HistogramHandle`]); instrumented code updates
+//! them lock-free while a scrape walks the registered families and
+//! renders the text exposition format (version 0.0.4: `# HELP` /
+//! `# TYPE` headers, escaped label values, and cumulative
+//! `_bucket`/`_sum`/`_count` triplets for histograms). Registration
+//! takes a mutex; the hot path never does.
+//!
+//! Histogram bucket bounds are **inclusive** upper bounds, exactly
+//! matching both [`crate::Histogram`] and the Prometheus `le` label,
+//! so a snapshot and its exposition always agree.
+
+use crate::metrics::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A lock-free counter handle registered in a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free gauge handle (an `f64` stored as bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct GaugeHandle(Arc<AtomicU64>);
+
+impl Default for GaugeHandle {
+    fn default() -> Self {
+        GaugeHandle(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl GaugeHandle {
+    /// Set the gauge to `value`.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Set the gauge from an integer sample.
+    #[inline]
+    pub fn set_u64(&self, value: u64) {
+        self.set(value as f64);
+    }
+
+    /// Add `delta` (may be negative) to the gauge.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// The shared atomic state behind a [`HistogramHandle`].
+#[derive(Debug)]
+struct HistogramCell {
+    bounds: Vec<u64>,
+    /// One slot per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A lock-free histogram handle with the same inclusive-upper-bound
+/// bucket semantics as [`crate::Histogram`].
+#[derive(Clone, Debug)]
+pub struct HistogramHandle(Arc<HistogramCell>);
+
+impl HistogramHandle {
+    fn with_bounds(bounds: Vec<u64>) -> Self {
+        // Delegate bound validation (non-empty, strictly ascending).
+        let template = Histogram::new(bounds);
+        let bounds = template.bounds().to_vec();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        HistogramHandle(Arc::new(HistogramCell {
+            bounds,
+            counts,
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one sample. A sample `v` lands in the first bucket whose
+    /// bound `b` satisfies `v <= b`; values above the last bound land
+    /// in the overflow bucket.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let cell = &*self.0;
+        let idx = cell.bounds.partition_point(|&b| b < value);
+        cell.counts[idx].fetch_add(1, Ordering::Relaxed);
+        cell.total.fetch_add(1, Ordering::Relaxed);
+        // Saturate rather than wrap so `mean` degrades gracefully.
+        let _ = cell
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            0.0
+        } else {
+            self.0.sum.load(Ordering::Relaxed) as f64 / total as f64
+        }
+    }
+
+    /// The bucket upper bounds this histogram was built with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.0.bounds
+    }
+
+    /// A point-in-time plain [`Histogram`] copy (for quantiles and
+    /// reports). Not a consistent cut under concurrent writers, but
+    /// each field is individually coherent.
+    pub fn snapshot(&self) -> Histogram {
+        let cell = &*self.0;
+        let counts: Vec<u64> = cell
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        Histogram::from_parts(
+            cell.bounds.clone(),
+            counts,
+            cell.sum.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// What kind of metric a family holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn type_label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Instrument {
+    Counter(CounterHandle),
+    Gauge(GaugeHandle),
+    Histogram(HistogramHandle),
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+/// A registry of named, labeled metric families.
+///
+/// Cloning shares the registry. Registration is idempotent: asking
+/// for the same `(name, labels)` twice returns a handle to the same
+/// underlying instrument, so independent subsystems can register the
+/// series they touch without coordinating.
+///
+/// ```
+/// use ktelemetry::MetricsRegistry;
+/// let reg = MetricsRegistry::new();
+/// let quanta = reg.counter("krad_quanta_total", "Scheduling quanta executed.");
+/// quanta.add(3);
+/// let text = reg.render();
+/// assert!(text.contains("# TYPE krad_quanta_total counter"));
+/// assert!(text.contains("krad_quanta_total 3"));
+/// ```
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    families: Arc<Mutex<Vec<Family>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.families.lock().map(|g| g.len()).unwrap_or(0);
+        f.debug_struct("MetricsRegistry")
+            .field("families", &n)
+            .finish()
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label_value(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escape HELP text: backslash and newline (quotes are legal there).
+fn escape_help(out: &mut String, help: &str) {
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render an `f64` sample the way Prometheus expects.
+fn push_f64(out: &mut String, value: f64) {
+    if value.is_nan() {
+        out.push_str("NaN");
+    } else if value == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if value == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        out.push_str(&format!("{value}"));
+    }
+}
+
+fn push_label_set(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label_value(out, v);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label_value(out, v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or fetch) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> CounterHandle {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a counter series with the given labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> CounterHandle {
+        match self.register(name, help, MetricKind::Counter, labels, None) {
+            Instrument::Counter(h) => h,
+            _ => unreachable!("registry returned mismatched instrument"),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> GaugeHandle {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a gauge series with the given labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> GaugeHandle {
+        match self.register(name, help, MetricKind::Gauge, labels, None) {
+            Instrument::Gauge(h) => h,
+            _ => unreachable!("registry returned mismatched instrument"),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled histogram with the given
+    /// ascending inclusive upper bounds.
+    pub fn histogram(&self, name: &str, help: &str, bounds: Vec<u64>) -> HistogramHandle {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Register (or fetch) a labeled histogram series.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: Vec<u64>,
+        labels: &[(&str, &str)],
+    ) -> HistogramHandle {
+        match self.register(name, help, MetricKind::Histogram, labels, Some(bounds)) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("registry returned mismatched instrument"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        bounds: Option<Vec<u64>>,
+    ) -> Instrument {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?}");
+            assert!(
+                kind != MetricKind::Histogram || *k != "le",
+                "label name `le` is reserved on histograms"
+            );
+        }
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().expect("registry lock");
+        if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            assert!(
+                family.kind == kind,
+                "metric {name:?} already registered as a {}",
+                family.kind.type_label()
+            );
+            if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+                return clone_instrument(&series.instrument);
+            }
+            let instrument = new_instrument(kind, bounds);
+            let out = clone_instrument(&instrument);
+            family.series.push(Series { labels, instrument });
+            return out;
+        }
+        let instrument = new_instrument(kind, bounds);
+        let out = clone_instrument(&instrument);
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            series: vec![Series { labels, instrument }],
+        });
+        out
+    }
+
+    /// Render every registered family in the Prometheus text
+    /// exposition format (version 0.0.4), families in registration
+    /// order, series in series-registration order.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("registry lock");
+        let mut out = String::new();
+        for family in families.iter() {
+            out.push_str("# HELP ");
+            out.push_str(&family.name);
+            out.push(' ');
+            escape_help(&mut out, &family.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(family.kind.type_label());
+            out.push('\n');
+            for series in &family.series {
+                match &series.instrument {
+                    Instrument::Counter(h) => {
+                        out.push_str(&family.name);
+                        push_label_set(&mut out, &series.labels, None);
+                        out.push(' ');
+                        out.push_str(&h.get().to_string());
+                        out.push('\n');
+                    }
+                    Instrument::Gauge(h) => {
+                        out.push_str(&family.name);
+                        push_label_set(&mut out, &series.labels, None);
+                        out.push(' ');
+                        push_f64(&mut out, h.get());
+                        out.push('\n');
+                    }
+                    Instrument::Histogram(h) => {
+                        render_histogram(&mut out, &family.name, &series.labels, h);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn new_instrument(kind: MetricKind, bounds: Option<Vec<u64>>) -> Instrument {
+    match kind {
+        MetricKind::Counter => Instrument::Counter(CounterHandle::default()),
+        MetricKind::Gauge => Instrument::Gauge(GaugeHandle::default()),
+        MetricKind::Histogram => Instrument::Histogram(HistogramHandle::with_bounds(
+            bounds.expect("histogram registration carries bounds"),
+        )),
+    }
+}
+
+fn clone_instrument(instrument: &Instrument) -> Instrument {
+    match instrument {
+        Instrument::Counter(h) => Instrument::Counter(h.clone()),
+        Instrument::Gauge(h) => Instrument::Gauge(h.clone()),
+        Instrument::Histogram(h) => Instrument::Histogram(h.clone()),
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    handle: &HistogramHandle,
+) {
+    let snap = handle.snapshot();
+    let cumulative = snap.cumulative_counts();
+    let total = snap.count();
+    for (bound, cum) in snap.bounds().iter().zip(&cumulative) {
+        out.push_str(name);
+        out.push_str("_bucket");
+        push_label_set(out, labels, Some(("le", &bound.to_string())));
+        out.push(' ');
+        out.push_str(&cum.to_string());
+        out.push('\n');
+    }
+    out.push_str(name);
+    out.push_str("_bucket");
+    push_label_set(out, labels, Some(("le", "+Inf")));
+    out.push(' ');
+    out.push_str(&total.to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_sum");
+    push_label_set(out, labels, None);
+    out.push(' ');
+    out.push_str(&snap.sum().to_string());
+    out.push('\n');
+    out.push_str(name);
+    out.push_str("_count");
+    push_label_set(out, labels, None);
+    out.push(' ');
+    out.push_str(&total.to_string());
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("krad_test_total", "help");
+        let b = reg.counter("krad_test_total", "help");
+        a.incr();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+
+        let g = reg.gauge("krad_test_gauge", "help");
+        g.set(1.5);
+        g.add(-0.5);
+        assert!((g.get() - 1.0).abs() < 1e-12);
+        let g2 = reg.gauge("krad_test_gauge", "help");
+        assert!((g2.get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("krad_cat_total", "help", &[("category", "0")]);
+        let b = reg.counter_with("krad_cat_total", "help", &[("category", "1")]);
+        a.incr();
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 0);
+        let text = reg.render();
+        assert!(text.contains("krad_cat_total{category=\"0\"} 1"));
+        assert!(text.contains("krad_cat_total{category=\"1\"} 0"));
+        // One family header for both series.
+        assert_eq!(text.matches("# TYPE krad_cat_total counter").count(), 1);
+    }
+
+    #[test]
+    fn histogram_handle_matches_plain_histogram() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("krad_lat_us", "help", vec![1, 4, 16]);
+        let mut plain = Histogram::new(vec![1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 16, 17, 1000] {
+            h.record(v);
+            plain.record(v);
+        }
+        assert_eq!(h.snapshot(), plain);
+        assert_eq!(h.count(), 8);
+        assert!((h.mean() - plain.mean()).abs() < 1e-12);
+        assert_eq!(h.bounds(), &[1, 4, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("krad_x", "help");
+        reg.gauge("krad_x", "help");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_rejected() {
+        MetricsRegistry::new().counter("9starts_with_digit", "help");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn le_label_reserved_on_histograms() {
+        MetricsRegistry::new().histogram_with("krad_h", "help", vec![1], &[("le", "x")]);
+    }
+
+    #[test]
+    fn golden_exposition_text() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("krad_quanta_total", "Scheduling quanta executed.");
+        c.add(7);
+        let g = reg.gauge_with(
+            "krad_mode_residency_seconds",
+            "Wall-clock seconds spent per mode.",
+            &[("category", "0"), ("mode", "deq")],
+        );
+        g.set(2.5);
+        let weird = reg.gauge_with(
+            "krad_escape_check",
+            "Help with \\ and\nnewline.",
+            &[("path", "a\\b\"c\nd")],
+        );
+        weird.set(1.0);
+        let h = reg.histogram("krad_latency_us", "Quantum latency.", vec![1, 10]);
+        for v in [0, 1, 5, 100] {
+            h.record(v);
+        }
+        let text = reg.render();
+        let expected = "\
+# HELP krad_quanta_total Scheduling quanta executed.
+# TYPE krad_quanta_total counter
+krad_quanta_total 7
+# HELP krad_mode_residency_seconds Wall-clock seconds spent per mode.
+# TYPE krad_mode_residency_seconds gauge
+krad_mode_residency_seconds{category=\"0\",mode=\"deq\"} 2.5
+# HELP krad_escape_check Help with \\\\ and\\nnewline.
+# TYPE krad_escape_check gauge
+krad_escape_check{path=\"a\\\\b\\\"c\\nd\"} 1
+# HELP krad_latency_us Quantum latency.
+# TYPE krad_latency_us histogram
+krad_latency_us_bucket{le=\"1\"} 2
+krad_latency_us_bucket{le=\"10\"} 3
+krad_latency_us_bucket{le=\"+Inf\"} 4
+krad_latency_us_sum 106
+krad_latency_us_count 4
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn labeled_histogram_buckets_carry_series_labels() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with("krad_span_us", "spans", vec![8], &[("span", "decide")]);
+        h.record(3);
+        let text = reg.render();
+        assert!(text.contains("krad_span_us_bucket{span=\"decide\",le=\"8\"} 1"));
+        assert!(text.contains("krad_span_us_bucket{span=\"decide\",le=\"+Inf\"} 1"));
+        assert!(text.contains("krad_span_us_sum{span=\"decide\"} 3"));
+        assert!(text.contains("krad_span_us_count{span=\"decide\"} 1"));
+    }
+
+    #[test]
+    fn special_gauge_values_render() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("krad_special", "help");
+        g.set(f64::INFINITY);
+        assert!(reg.render().contains("krad_special +Inf"));
+        g.set(f64::NEG_INFINITY);
+        assert!(reg.render().contains("krad_special -Inf"));
+        g.set(f64::NAN);
+        assert!(reg.render().contains("krad_special NaN"));
+    }
+}

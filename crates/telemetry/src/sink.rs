@@ -245,6 +245,23 @@ impl TelemetryHandle {
     }
 }
 
+/// A handle is itself a sink, so one handle can fan out into another
+/// pipeline (e.g. a server duplicating events to the user's sink
+/// *and* a [`crate::FlightRecorder`] via a [`FanoutSink`]).
+impl TelemetrySink for TelemetryHandle {
+    fn enabled(&self) -> bool {
+        self.is_enabled()
+    }
+
+    fn record(&mut self, event: TelemetryEvent) {
+        self.emit(move || event);
+    }
+
+    fn flush(&mut self) {
+        TelemetryHandle::flush(self);
+    }
+}
+
 // The sink is a `dyn` object; render only the useful bit.
 impl fmt::Debug for TelemetryHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -1,0 +1,191 @@
+//! Span-style instrumentation with monotonic timing.
+//!
+//! The engine and schedulers wrap their hot sections (`quantum`,
+//! `decide`, `deq_allot`, `rr_cycle`) in spans; durations land in a
+//! per-span [`HistogramHandle`] family (`krad_span_duration_us`) in a
+//! [`MetricsRegistry`]. A disabled recorder ([`SpanRecorder::off`],
+//! the default) never reads the clock — the cost is one `Option`
+//! check per span site, mirroring the [`crate::TelemetryHandle`]
+//! fast path.
+
+use crate::registry::{HistogramHandle, MetricsRegistry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The instrumented sections of the quantum loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One full scheduling quantum (inject, decide, execute, publish).
+    Quantum,
+    /// One scheduler `allot` decision across all categories.
+    Decide,
+    /// One DEQ allotment computation within a category.
+    DeqAllot,
+    /// One round-robin cycle bookkeeping pass within a category.
+    RrCycle,
+}
+
+impl SpanKind {
+    /// Every span kind, in label order.
+    pub const ALL: [SpanKind; 4] = [
+        SpanKind::Quantum,
+        SpanKind::Decide,
+        SpanKind::DeqAllot,
+        SpanKind::RrCycle,
+    ];
+
+    /// The `span` label value used in the metrics family.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Quantum => "quantum",
+            SpanKind::Decide => "decide",
+            SpanKind::DeqAllot => "deq_allot",
+            SpanKind::RrCycle => "rr_cycle",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SpanKind::Quantum => 0,
+            SpanKind::Decide => 1,
+            SpanKind::DeqAllot => 2,
+            SpanKind::RrCycle => 3,
+        }
+    }
+}
+
+/// Cheap clonable recorder for span durations; disabled by default.
+#[derive(Clone, Debug, Default)]
+pub struct SpanRecorder {
+    hists: Option<Arc<[HistogramHandle; 4]>>,
+}
+
+impl SpanRecorder {
+    /// A disabled recorder: `start` returns `None`, nothing reads the
+    /// clock or records.
+    pub fn off() -> Self {
+        SpanRecorder::default()
+    }
+
+    /// A recorder feeding the `krad_span_duration_us{span=...}`
+    /// histogram family in `registry` (microsecond buckets, 1 µs to
+    /// ~2 s exponentially).
+    pub fn for_registry(registry: &MetricsRegistry) -> Self {
+        let bounds: Vec<u64> = (0..22).map(|i| 1u64 << i).collect();
+        let hists = SpanKind::ALL.map(|kind| {
+            registry.histogram_with(
+                "krad_span_duration_us",
+                "Duration of instrumented quantum-loop sections in microseconds.",
+                bounds.clone(),
+                &[("span", kind.label())],
+            )
+        });
+        SpanRecorder {
+            hists: Some(Arc::new(hists)),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.hists.is_some()
+    }
+
+    /// Begin timing a span. Returns `None` (and skips the clock read)
+    /// when the recorder is off; pass the result to
+    /// [`SpanRecorder::finish`].
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.hists.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Finish a span started with [`SpanRecorder::start`], recording
+    /// its duration in microseconds.
+    #[inline]
+    pub fn finish(&self, kind: SpanKind, started: Option<Instant>) {
+        if let (Some(hists), Some(started)) = (&self.hists, started) {
+            let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            hists[kind.index()].record(micros);
+        }
+    }
+
+    /// Record an externally measured span duration in microseconds.
+    #[inline]
+    pub fn record(&self, kind: SpanKind, micros: u64) {
+        if let Some(hists) = &self.hists {
+            hists[kind.index()].record(micros);
+        }
+    }
+
+    /// Time a closure as one span (convenience over `start`/`finish`
+    /// for call sites without borrow conflicts).
+    #[inline]
+    pub fn time<T>(&self, kind: SpanKind, f: impl FnOnce() -> T) -> T {
+        let started = self.start();
+        let out = f();
+        self.finish(kind, started);
+        out
+    }
+
+    /// Samples recorded so far for `kind` (0 when off) — for tests
+    /// and reports.
+    pub fn count(&self, kind: SpanKind) -> u64 {
+        self.hists
+            .as_ref()
+            .map(|h| h[kind.index()].count())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_never_reads_the_clock() {
+        let spans = SpanRecorder::off();
+        assert!(!spans.is_enabled());
+        assert!(spans.start().is_none());
+        spans.finish(SpanKind::Decide, None);
+        spans.record(SpanKind::Quantum, 5);
+        assert_eq!(spans.count(SpanKind::Quantum), 0);
+        assert_eq!(spans.time(SpanKind::Decide, || 42), 42);
+    }
+
+    #[test]
+    fn enabled_recorder_feeds_the_registry_family() {
+        let reg = MetricsRegistry::new();
+        let spans = SpanRecorder::for_registry(&reg);
+        assert!(spans.is_enabled());
+        let started = spans.start();
+        assert!(started.is_some());
+        spans.finish(SpanKind::Decide, started);
+        spans.record(SpanKind::RrCycle, 7);
+        assert_eq!(spans.count(SpanKind::Decide), 1);
+        assert_eq!(spans.count(SpanKind::RrCycle), 1);
+        assert_eq!(spans.count(SpanKind::Quantum), 0);
+        let text = reg.render();
+        assert!(text.contains("krad_span_duration_us_count{span=\"decide\"} 1"));
+        assert!(text.contains("krad_span_duration_us_count{span=\"rr_cycle\"} 1"));
+    }
+
+    #[test]
+    fn clones_share_the_same_histograms() {
+        let reg = MetricsRegistry::new();
+        let a = SpanRecorder::for_registry(&reg);
+        let b = a.clone();
+        a.record(SpanKind::DeqAllot, 1);
+        b.record(SpanKind::DeqAllot, 2);
+        assert_eq!(a.count(SpanKind::DeqAllot), 2);
+    }
+
+    #[test]
+    fn labels_cover_every_kind() {
+        let labels: Vec<_> = SpanKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["quantum", "decide", "deq_allot", "rr_cycle"]);
+    }
+}
