@@ -1,0 +1,260 @@
+//! Schedule timeline export in Chrome trace-event JSON.
+//!
+//! [`chrome_trace`] turns a traced [`SimOutcome`] plus its replayed
+//! telemetry event stream into a `chrome://tracing` / Perfetto-loadable
+//! trace:
+//!
+//! * **pid 1 — jobs**: one thread per job, one complete (`"X"`) slice
+//!   spanning release → completion;
+//! * **pid 2 — categories**: per-step counter (`"C"`) tracks for
+//!   allotted and executed processors per category;
+//! * **pid 3 — scheduler**: instant (`"i"`) events for every DEQ↔RR
+//!   mode transition and quantum decision boundary, one thread per
+//!   category.
+//!
+//! One simulated step is rendered as one millisecond
+//! ([`US_PER_STEP`] µs), so step stamps survive the integer-µs `ts`
+//! field exactly. The emitted JSON uses a fixed field order
+//! (`name, ph, pid, tid, ts, …`) so the export is byte-stable and can
+//! be golden-tested.
+
+use ksim::SimOutcome;
+use ktelemetry::TelemetryEvent;
+
+/// Trace microseconds per simulated step (1 step = 1 ms).
+pub const US_PER_STEP: u64 = 1_000;
+
+/// The `pid` of the per-job slice tracks.
+pub const PID_JOBS: u32 = 1;
+/// The `pid` of the per-category counter tracks.
+pub const PID_CATEGORIES: u32 = 2;
+/// The `pid` of the scheduler instant-event tracks.
+pub const PID_SCHEDULER: u32 = 3;
+
+fn meta(events: &mut Vec<String>, name: &str, pid: u32, tid: u64, value: &str) {
+    events.push(format!(
+        "{{\"name\":\"{name}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"ts\":0,\
+         \"args\":{{\"name\":\"{value}\"}}}}"
+    ));
+}
+
+fn counter(events: &mut Vec<String>, name: &str, t: u64, per_cat: &[u32]) {
+    let args: Vec<String> = per_cat
+        .iter()
+        .enumerate()
+        .map(|(c, n)| format!("\"cat{c}\":{n}"))
+        .collect();
+    events.push(format!(
+        "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":{PID_CATEGORIES},\"tid\":0,\"ts\":{},\
+         \"args\":{{{}}}}}",
+        t * US_PER_STEP,
+        args.join(",")
+    ));
+}
+
+/// Render an outcome (simulated with per-step traces) and its telemetry
+/// event stream as a Chrome trace-event JSON document.
+///
+/// Events the export does not visualize (step framing, releases,
+/// completions — already implied by the job slices) are ignored, so
+/// passing a full replay stream or a flight-recorder tail both work.
+pub fn chrome_trace(outcome: &SimOutcome, events: &[TelemetryEvent]) -> String {
+    let k = outcome.executed_by_category.len();
+    let mut out: Vec<String> = Vec::new();
+
+    meta(&mut out, "process_name", PID_JOBS, 0, "jobs");
+    meta(&mut out, "process_name", PID_CATEGORIES, 0, "categories");
+    meta(&mut out, "process_name", PID_SCHEDULER, 0, "scheduler");
+    for j in 0..outcome.job_count() {
+        let tid = j as u64 + 1;
+        meta(&mut out, "thread_name", PID_JOBS, tid, &format!("job {j}"));
+    }
+    for c in 0..k {
+        let tid = c as u64 + 1;
+        let label = format!("category {c}");
+        meta(&mut out, "thread_name", PID_SCHEDULER, tid, &label);
+    }
+
+    for j in 0..outcome.job_count() {
+        let ts = outcome.releases[j] * US_PER_STEP;
+        let dur = outcome.completions[j].saturating_sub(outcome.releases[j]) * US_PER_STEP;
+        out.push(format!(
+            "{{\"name\":\"job {j}\",\"ph\":\"X\",\"pid\":{PID_JOBS},\"tid\":{},\
+             \"ts\":{ts},\"dur\":{dur}}}",
+            j as u64 + 1
+        ));
+    }
+
+    if let Some(trace) = &outcome.trace {
+        for step in trace {
+            counter(&mut out, "allotted", step.t, &step.allotted);
+        }
+        for step in trace {
+            counter(&mut out, "executed", step.t, &step.executed);
+        }
+    }
+
+    for event in events {
+        match event {
+            TelemetryEvent::ModeTransition {
+                t,
+                category,
+                from,
+                to,
+                active_jobs,
+            } => {
+                out.push(format!(
+                    "{{\"name\":\"mode {}->{}\",\"ph\":\"i\",\"pid\":{PID_SCHEDULER},\
+                     \"tid\":{},\"ts\":{},\"s\":\"t\",\"args\":{{\"active_jobs\":{active_jobs}}}}}",
+                    from.label(),
+                    to.label(),
+                    u64::from(*category) + 1,
+                    t * US_PER_STEP
+                ));
+            }
+            TelemetryEvent::Decision {
+                t,
+                category,
+                mode,
+                jobs,
+                desire,
+                allotted,
+                ..
+            } => {
+                out.push(format!(
+                    "{{\"name\":\"decide {}\",\"ph\":\"i\",\"pid\":{PID_SCHEDULER},\
+                     \"tid\":{},\"ts\":{},\"s\":\"t\",\
+                     \"args\":{{\"jobs\":{jobs},\"desire\":{desire},\"allotted\":{allotted}}}}}",
+                    mode.label(),
+                    u64::from(*category) + 1,
+                    t * US_PER_STEP
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        out.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::StepTrace;
+    use ktelemetry::SchedulerMode;
+
+    fn outcome() -> SimOutcome {
+        SimOutcome {
+            scheduler: "k-rad(K=2)".into(),
+            makespan: 4,
+            releases: vec![0, 1],
+            completions: vec![3, 4],
+            executed_by_category: vec![5, 2],
+            allotted_by_category: vec![6, 2],
+            busy_steps: 4,
+            idle_steps: 0,
+            preemptions: 0,
+            trace: Some(vec![
+                StepTrace {
+                    t: 1,
+                    active_jobs: 1,
+                    allotted: vec![2, 1],
+                    executed: vec![2, 0],
+                },
+                StepTrace {
+                    t: 2,
+                    active_jobs: 2,
+                    allotted: vec![2, 1],
+                    executed: vec![1, 1],
+                },
+            ]),
+            schedule: None,
+        }
+    }
+
+    fn events() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::Decision {
+                t: 1,
+                category: 0,
+                mode: SchedulerMode::Deq,
+                jobs: 1,
+                desire: 3,
+                allotted: 2,
+                satisfied: 0,
+                deprived: 1,
+            },
+            TelemetryEvent::ModeTransition {
+                t: 2,
+                category: 1,
+                from: SchedulerMode::Deq,
+                to: SchedulerMode::RoundRobin,
+                active_jobs: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn export_matches_the_golden_trace() {
+        let golden = "\
+{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"name\":\"jobs\"}},\n\
+{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"ts\":0,\"args\":{\"name\":\"categories\"}},\n\
+{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,\"tid\":0,\"ts\":0,\"args\":{\"name\":\"scheduler\"}},\n\
+{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"ts\":0,\"args\":{\"name\":\"job 0\"}},\n\
+{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,\"ts\":0,\"args\":{\"name\":\"job 1\"}},\n\
+{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":3,\"tid\":1,\"ts\":0,\"args\":{\"name\":\"category 0\"}},\n\
+{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":3,\"tid\":2,\"ts\":0,\"args\":{\"name\":\"category 1\"}},\n\
+{\"name\":\"job 0\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":3000},\n\
+{\"name\":\"job 1\",\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":1000,\"dur\":3000},\n\
+{\"name\":\"allotted\",\"ph\":\"C\",\"pid\":2,\"tid\":0,\"ts\":1000,\"args\":{\"cat0\":2,\"cat1\":1}},\n\
+{\"name\":\"allotted\",\"ph\":\"C\",\"pid\":2,\"tid\":0,\"ts\":2000,\"args\":{\"cat0\":2,\"cat1\":1}},\n\
+{\"name\":\"executed\",\"ph\":\"C\",\"pid\":2,\"tid\":0,\"ts\":1000,\"args\":{\"cat0\":2,\"cat1\":0}},\n\
+{\"name\":\"executed\",\"ph\":\"C\",\"pid\":2,\"tid\":0,\"ts\":2000,\"args\":{\"cat0\":1,\"cat1\":1}},\n\
+{\"name\":\"decide deq\",\"ph\":\"i\",\"pid\":3,\"tid\":1,\"ts\":1000,\"s\":\"t\",\"args\":{\"jobs\":1,\"desire\":3,\"allotted\":2}},\n\
+{\"name\":\"mode deq->rr\",\"ph\":\"i\",\"pid\":3,\"tid\":2,\"ts\":2000,\"s\":\"t\",\"args\":{\"active_jobs\":2}}\
+]}";
+        assert_eq!(chrome_trace(&outcome(), &events()), golden);
+    }
+
+    #[test]
+    fn export_is_valid_json_with_monotone_tracks() {
+        let text = chrome_trace(&outcome(), &events());
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = doc["traceEvents"].as_array().expect("traceEvents array");
+        assert!(!events.is_empty());
+
+        // Within every (pid, tid, name) track, ts must be monotone
+        // non-decreasing, and every event must carry the required
+        // fields of its phase type.
+        let mut last: std::collections::BTreeMap<(u64, u64, String), u64> = Default::default();
+        for e in events {
+            let ph = e["ph"].as_str().expect("ph");
+            let pid = e["pid"].as_u64().expect("pid");
+            let tid = e["tid"].as_u64().expect("tid");
+            let ts = e["ts"].as_u64().expect("ts");
+            let name = e["name"].as_str().expect("name").to_string();
+            if ph == "X" {
+                assert!(e["dur"].as_u64().is_some());
+            }
+            let key = (pid, tid, name);
+            if let Some(prev) = last.get(&key) {
+                assert!(ts >= *prev, "ts regressed in track {key:?}");
+            }
+            last.insert(key, ts);
+        }
+    }
+
+    #[test]
+    fn untraced_outcomes_still_export_job_slices() {
+        let mut o = outcome();
+        o.trace = None;
+        let text = chrome_trace(&o, &[]);
+        assert!(text.contains("\"job 1\""));
+        assert!(!text.contains("\"allotted\""));
+        serde_json::from_str::<serde_json::Value>(&text).expect("valid JSON");
+    }
+}

@@ -15,10 +15,33 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Parse a flight-recorder JSONL dump from disk.
+///
+/// Dumps written by [`ktelemetry::FlightRecorder::to_jsonl`] lead with
+/// a one-line schema header; bare event streams (pre-header dumps) are
+/// still accepted. A header with the wrong schema or version is an
+/// error, not a silent misparse.
 pub fn load_flight_dump(path: &Path) -> Result<Vec<TelemetryEvent>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    json::parse_jsonl(&text)
+    parse_flight_dump(&text)
+}
+
+/// Parse flight-dump text: an optional schema header line followed by
+/// one JSON event per line.
+pub fn parse_flight_dump(text: &str) -> Result<Vec<TelemetryEvent>, String> {
+    let events = match text.split_once('\n') {
+        Some((first, rest)) if first.trim_start().starts_with("{\"schema\"") => {
+            if first.trim() != ktelemetry::flight_dump_header() {
+                return Err(format!(
+                    "unsupported flight dump header {first:?} (expected {:?})",
+                    ktelemetry::flight_dump_header()
+                ));
+            }
+            rest
+        }
+        _ => text,
+    };
+    json::parse_jsonl(events)
 }
 
 /// A summary of one flight-recorder dump.
@@ -238,6 +261,29 @@ mod tests {
         let long: Vec<TelemetryEvent> = (0..10).map(step).collect();
         let err = verify_against_stream(&long, &offline).unwrap_err();
         assert!(err.contains("only"), "{err}");
+    }
+
+    #[test]
+    fn parses_dumps_with_and_without_schema_header() {
+        let mut ring = FlightRecorder::new(8);
+        for e in &stream()[1..5] {
+            ring.push(e.clone());
+        }
+        let dump = ring.to_jsonl();
+        assert!(dump.starts_with("{\"schema\""));
+        assert_eq!(parse_flight_dump(&dump).unwrap(), ring.snapshot());
+
+        // A bare (pre-header) event stream still parses.
+        let bare: String = ring
+            .snapshot()
+            .iter()
+            .map(|e| format!("{}\n", json::to_json(e)))
+            .collect();
+        assert_eq!(parse_flight_dump(&bare).unwrap(), ring.snapshot());
+
+        // A wrong header is an error, not a misparse.
+        let err = parse_flight_dump("{\"schema\":\"other\",\"version\":9}\n").unwrap_err();
+        assert!(err.contains("unsupported flight dump header"), "{err}");
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //!   streams;
 //! * [`flight`] — post-mortem summaries of service flight-recorder
 //!   dumps and their byte-for-byte verification against deterministic
-//!   replays.
+//!   replays;
+//! * [`profile`] — ASCII per-phase breakdowns of the engine hot path
+//!   from [`ktelemetry::PhaseStat`] profiles;
+//! * [`chrome_trace`] — schedule timelines exported as Chrome
+//!   trace-event JSON (Perfetto-loadable).
 //!
 //! All bound computations take the *job specs* (DAG + release), which
 //! an offline analyst may inspect — these are yardsticks for measuring
@@ -30,9 +34,11 @@
 #![forbid(unsafe_code)]
 
 pub mod bounds;
+pub mod chrome_trace;
 pub mod flight;
 pub mod gantt;
 pub mod offline;
+pub mod profile;
 pub mod report;
 pub mod squashed;
 pub mod stats;

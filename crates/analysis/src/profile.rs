@@ -1,0 +1,182 @@
+//! Per-phase profile reports for the engine hot path.
+//!
+//! The simulation engine, when built with a profiling
+//! [`ktelemetry::SpanRecorder`], accounts every busy step's wall time
+//! to three top-level phases (ready-set maintenance, scheduler decide,
+//! execute/commit) plus the scheduler-internal sub-phases (DEQ
+//! allotment, RR cycling, quantum checks). This module renders those
+//! [`PhaseStat`]s as the ASCII table behind `krad profile`.
+
+use crate::table::{f3, Table};
+use ktelemetry::{PhaseStat, SpanKind, SpanRecorder};
+
+/// The top-level phases that tile a busy step's wall time. Their nanos
+/// sum to (approximately) the engine's total in-step time; the other
+/// kinds are sub-phases recorded inside `Decide`.
+pub const TOP_LEVEL: [SpanKind; 3] = [SpanKind::Ready, SpanKind::Decide, SpanKind::Execute];
+
+/// Sum of nanoseconds over the top-level (tiling) phases.
+pub fn engine_total_ns(stats: &[PhaseStat]) -> u64 {
+    stats
+        .iter()
+        .filter(|s| TOP_LEVEL.contains(&s.kind))
+        .map(|s| s.total_ns)
+        .sum()
+}
+
+/// Measure the *unattributed* cost of one profiler lap pair: the part
+/// of a `start()`/`finish()` cycle — the opening clock read and the
+/// post-timestamp bookkeeping — that falls between phases and therefore
+/// shows up in harness wall time but in no phase total. Calibrated by
+/// running empty pairs and subtracting what they attributed.
+pub fn calibrate_lap_overhead_ns() -> u64 {
+    let recorder = SpanRecorder::profiler();
+    const ITERS: u64 = 10_000;
+    let started = std::time::Instant::now();
+    for _ in 0..ITERS {
+        let lap = recorder.start();
+        recorder.finish(SpanKind::Execute, lap);
+    }
+    let wall = started.elapsed().as_nanos() as u64;
+    let attributed: u64 = recorder
+        .profile()
+        .map(|stats| stats.iter().map(|s| s.total_ns).sum())
+        .unwrap_or(0);
+    wall.saturating_sub(attributed) / ITERS
+}
+
+/// Render a per-phase breakdown table.
+///
+/// `wall_ns`, when known, is the harness-measured wall time of the run;
+/// the table then gains an estimated `profiler` self-overhead row (the
+/// lap chain's own boundary cost, calibrated at render time) and a note
+/// comparing wall against the accounted sum so lost time is visible.
+pub fn render_phase_profile(title: &str, stats: &[PhaseStat], wall_ns: Option<u64>) -> String {
+    let engine = engine_total_ns(stats);
+    let mut t = Table::new(
+        title,
+        &["phase", "samples", "total ms", "mean \u{b5}s", "% engine"],
+    );
+    for s in stats {
+        let sub = !TOP_LEVEL.contains(&s.kind);
+        let name = if sub {
+            format!("  {}", s.kind.label())
+        } else {
+            s.kind.label().to_string()
+        };
+        let share = if engine == 0 {
+            0.0
+        } else {
+            100.0 * s.total_ns as f64 / engine as f64
+        };
+        t.row_owned(vec![
+            name,
+            s.count.to_string(),
+            f3(s.total_ns as f64 / 1e6),
+            f3(s.mean_ns() / 1e3),
+            f3(share),
+        ]);
+    }
+    // The lap chain's own boundary cost (one opening clock read plus
+    // post-timestamp bookkeeping per step) is real wall time that no
+    // phase can claim; estimate it so the table sums to the wall.
+    let steps = stats
+        .iter()
+        .filter(|s| TOP_LEVEL.contains(&s.kind))
+        .map(|s| s.count)
+        .max()
+        .unwrap_or(0);
+    let overhead = if wall_ns.is_some() && steps > 0 {
+        let per_step = calibrate_lap_overhead_ns();
+        let total = steps * per_step;
+        t.row_owned(vec![
+            "profiler".to_string(),
+            steps.to_string(),
+            f3(total as f64 / 1e6),
+            f3(per_step as f64 / 1e3),
+            "-".to_string(),
+        ]);
+        total
+    } else {
+        0
+    };
+    t.note(&format!(
+        "top-level phases (ready/decide/execute) tile each busy step; \
+         indented kinds are sub-phases inside decide; \
+         engine total {} ms",
+        f3(engine as f64 / 1e6)
+    ));
+    if let Some(wall) = wall_ns {
+        let accounted = engine + overhead;
+        let covered = if wall == 0 {
+            0.0
+        } else {
+            100.0 * accounted as f64 / wall as f64
+        };
+        t.note(&format!(
+            "harness wall {} ms, {}% accounted to phases \
+             (incl. {} ms calibrated profiler self-overhead)",
+            f3(wall as f64 / 1e6),
+            f3(covered),
+            f3(overhead as f64 / 1e6)
+        ));
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(kind: SpanKind, count: u64, total_ns: u64) -> PhaseStat {
+        PhaseStat {
+            kind,
+            count,
+            total_ns,
+        }
+    }
+
+    #[test]
+    fn engine_total_sums_only_top_level_phases() {
+        let stats = [
+            stat(SpanKind::Quantum, 5, 1_000),
+            stat(SpanKind::Ready, 10, 40_000),
+            stat(SpanKind::Decide, 4, 10_000),
+            stat(SpanKind::DeqAllot, 3, 6_000),
+            stat(SpanKind::RrCycle, 1, 2_000),
+            stat(SpanKind::Execute, 10, 50_000),
+        ];
+        assert_eq!(engine_total_ns(&stats), 100_000);
+    }
+
+    #[test]
+    fn render_includes_phases_shares_and_wall_note() {
+        let stats = [
+            stat(SpanKind::Ready, 10, 40_000),
+            stat(SpanKind::Decide, 4, 10_000),
+            stat(SpanKind::Execute, 10, 50_000),
+        ];
+        let text = render_phase_profile("profile: t12-stress", &stats, Some(125_000));
+        assert!(text.contains("profile: t12-stress"));
+        assert!(text.contains("ready"));
+        assert!(text.contains("decide"));
+        assert!(text.contains("execute"));
+        assert!(text.contains("50.000"), "execute share of engine:\n{text}");
+        assert!(text.contains("profiler"), "self-overhead row:\n{text}");
+        assert!(text.contains("accounted to phases"), "wall note:\n{text}");
+    }
+
+    #[test]
+    fn lap_overhead_calibration_is_sane() {
+        let per_pair = calibrate_lap_overhead_ns();
+        // A start/finish pair costs a few clock reads: more than zero,
+        // far less than a millisecond even on pathological clocks.
+        assert!(per_pair < 1_000_000, "per-pair overhead {per_pair} ns");
+    }
+
+    #[test]
+    fn empty_stats_render_without_dividing_by_zero() {
+        let text = render_phase_profile("profile: empty", &[], None);
+        assert!(text.contains("engine total 0.000 ms"));
+    }
+}

@@ -1,7 +1,9 @@
 //! Engine hot-path benches: simulated steps/second on the shapes that
 //! stress the per-step loop.
 //!
-//! Three shapes bracket the engine's cost model:
+//! The workloads are pinned in [`kworkloads::suite`] and shared with
+//! the `kperf` trajectory harness. Three shapes bracket the engine's
+//! cost model:
 //!
 //! * `t12_stress` — the T12 experiment workload (80 heavy-tailed jobs,
 //!   MMPP bursts, K = 2): many concurrently active jobs, constant
@@ -16,41 +18,11 @@
 //!   preallocated buffers are for.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use kdag::generators::{layered_random, LayeredConfig};
 use kdag::SelectionPolicy;
 use krad::KRad;
 use ksim::{JobSpec, Resources, SimConfig, Simulation};
-use kworkloads::heavy_tail::{bursty_releases, heavy_tail_mix, BurstyConfig};
-use kworkloads::mixes::{batched_mix, MixConfig};
-use kworkloads::rng_for;
+use kworkloads::suite;
 use std::hint::black_box;
-
-/// The T12 stress workload, full (non-quick) size: heavy-tailed sizes
-/// with bursty MMPP releases on a [6, 3] machine.
-fn t12_stress_workload() -> (Vec<JobSpec>, Resources) {
-    let mut rng = rng_for(42, 0x7C);
-    let mut jobs = heavy_tail_mix(&mut rng, 2, 80, 1.2, 10, 500);
-    let cfg = BurstyConfig {
-        burst_rate: 4.0,
-        idle_rate: 0.02,
-        switch_prob: 0.08,
-    };
-    bursty_releases(&mut jobs, &mut rng, &cfg);
-    (jobs, Resources::new(vec![6, 3]))
-}
-
-/// One deep layered DAG: ~200 layers of width 20–60.
-fn large_dag_workload() -> (Vec<JobSpec>, Resources) {
-    let cfg = LayeredConfig::uniform(2, 200, 20, 60);
-    let dag = layered_random(&mut rng_for(7, 0xDA6), &cfg);
-    (vec![JobSpec::batched(dag)], Resources::new(vec![16, 16]))
-}
-
-/// Many small jobs: 300 mixed-shape batched jobs on a small machine.
-fn many_jobs_workload() -> (Vec<JobSpec>, Resources) {
-    let jobs = batched_mix(&mut rng_for(0xBEEF, 300), &MixConfig::new(2, 300, 24));
-    (jobs, Resources::new(vec![6, 3]))
-}
 
 fn bench_shape(c: &mut Criterion, name: &str, jobs: &[JobSpec], res: &Resources) {
     let mut g = c.benchmark_group("engine_hot_path");
@@ -71,19 +43,19 @@ fn bench_shape(c: &mut Criterion, name: &str, jobs: &[JobSpec], res: &Resources)
 }
 
 fn engine_hot_path(c: &mut Criterion) {
-    let (jobs, res) = t12_stress_workload();
+    let (jobs, res) = suite::t12_stress();
     bench_shape(c, "t12_stress", &jobs, &res);
 
-    let (jobs, res) = large_dag_workload();
+    let (jobs, res) = suite::large_dag();
     bench_shape(c, "large_dag", &jobs, &res);
 
-    let (jobs, res) = many_jobs_workload();
+    let (jobs, res) = suite::many_jobs();
     bench_shape(c, "many_jobs", &jobs, &res);
 
     // The legacy entry point must stay a zero-cost shim over the
     // session type: bench it on the stress shape so a regression in
     // the compatibility layer is visible.
-    let (jobs, res) = t12_stress_workload();
+    let (jobs, res) = suite::t12_stress();
     let mut g = c.benchmark_group("engine_hot_path");
     g.sample_size(10);
     g.bench_function("t12_stress_legacy_shim", |b| {

@@ -1,0 +1,363 @@
+//! `kperf` — the pinned perf-trajectory harness.
+//!
+//! `kperf run` executes the pinned workload suite
+//! ([`kworkloads::suite`]) under K-RAD with the phase profiler on,
+//! takes the best of N iterations per suite, and writes a
+//! `BENCH_*.json` trajectory file (schema `krad-bench` v1: per-suite
+//! wall time, per-phase nanosecond totals, throughput).
+//!
+//! `kperf compare` is the CI regression gate: it compares a fresh run
+//! against the committed baseline. Because the baseline was recorded
+//! on a different machine, absolute wall times are not comparable;
+//! instead the gate computes each suite's current/baseline wall ratio,
+//! takes the **median ratio as the machine-speed factor**, and flags
+//! suites whose ratio deviates from that median (default: warn beyond
+//! 10%, fail beyond 30%). A uniform slowdown (slower runner) passes; a
+//! single suite regressing relative to the others does not.
+
+use kdag::SelectionPolicy;
+use krad::KRad;
+use ksim::{SimOutcome, Simulation};
+use ktelemetry::{PhaseStat, SpanRecorder, TelemetryHandle};
+use kworkloads::suite::PinnedWorkload;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const SCHEMA: &str = "krad-bench";
+const VERSION: u32 = 1;
+
+const USAGE: &str = "kperf — pinned perf trajectory harness
+
+USAGE:
+    kperf run [--smoke] [--iters N] [--out FILE]
+        Run the pinned suite (t12-stress, large-dag, many-jobs,
+        swf-slice) and write a krad-bench trajectory JSON.
+        --smoke    single iteration per suite (CI mode)
+        --iters N  iterations per suite (best-of; default 3)
+        --out FILE output path (default BENCH_6.json)
+
+    kperf compare --baseline FILE --current FILE [--warn F] [--fail F]
+        Gate a fresh run against a committed baseline. Per-suite wall
+        ratios are normalized by their median (machine speed); a suite
+        deviating beyond --warn (default 0.10) warns, beyond --fail
+        (default 0.30) fails with exit code 1.";
+
+struct SuiteRun {
+    name: &'static str,
+    jobs: usize,
+    iters: u32,
+    wall_ns: u64,
+    busy_steps: u64,
+    makespan: u64,
+    phases: Vec<PhaseStat>,
+}
+
+fn run_suite(workload: PinnedWorkload, iters: u32) -> SuiteRun {
+    let (jobs, res) = workload.build();
+    let mut best: Option<(u64, SimOutcome, Vec<PhaseStat>)> = None;
+    for _ in 0..iters {
+        // Fresh profiler per iteration so best-of keeps matched
+        // wall/phase numbers.
+        let spans = SpanRecorder::profiler();
+        let mut sched = KRad::with_instrumentation(res.k(), TelemetryHandle::off(), spans.clone());
+        let sim = Simulation::builder()
+            .resources(res.clone())
+            .jobs(jobs.iter().cloned())
+            .policy(SelectionPolicy::Fifo)
+            .spans(spans.clone())
+            .build()
+            .expect("pinned workloads match their machines");
+        let started = Instant::now();
+        let outcome = sim.run(&mut sched);
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let profile = spans.profile().unwrap_or_default();
+        let better = match &best {
+            None => true,
+            Some((prev, _, _)) => wall_ns < *prev,
+        };
+        if better {
+            best = Some((wall_ns, outcome, profile));
+        }
+    }
+    let (wall_ns, outcome, phases) = best.expect("at least one iteration");
+    SuiteRun {
+        name: workload.name(),
+        jobs: jobs.len(),
+        iters,
+        wall_ns,
+        busy_steps: outcome.busy_steps,
+        makespan: outcome.makespan,
+        phases,
+    }
+}
+
+impl SuiteRun {
+    fn secs(&self) -> f64 {
+        self.wall_ns as f64 / 1e9
+    }
+
+    fn steps_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.busy_steps as f64 / self.secs()
+        }
+    }
+
+    fn jobs_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.jobs as f64 / self.secs()
+        }
+    }
+}
+
+/// Render the trajectory file. Hand-written so field order is stable
+/// and diffs of committed baselines stay readable.
+fn render_json(runs: &[SuiteRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"version\": {VERSION},\n"));
+    out.push_str("  \"suites\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"jobs\": {},\n", r.jobs));
+        out.push_str(&format!("      \"iters\": {},\n", r.iters));
+        out.push_str(&format!("      \"wall_ns\": {},\n", r.wall_ns));
+        out.push_str(&format!("      \"busy_steps\": {},\n", r.busy_steps));
+        out.push_str(&format!("      \"makespan\": {},\n", r.makespan));
+        out.push_str(&format!(
+            "      \"steps_per_sec\": {:.1},\n",
+            r.steps_per_sec()
+        ));
+        out.push_str(&format!(
+            "      \"jobs_per_sec\": {:.1},\n",
+            r.jobs_per_sec()
+        ));
+        out.push_str("      \"phases_ns\": {");
+        let cells: Vec<String> = r
+            .phases
+            .iter()
+            .map(|p| format!("\"{}\": {}", p.kind.label(), p.total_ns))
+            .collect();
+        out.push_str(&cells.join(", "));
+        out.push_str("}\n");
+        out.push_str(if i + 1 == runs.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut iters: u32 = 3;
+    let mut out_path = String::from("BENCH_6.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => iters = 1,
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => iters = n,
+                _ => {
+                    eprintln!("--iters needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut runs = Vec::new();
+    for w in PinnedWorkload::ALL {
+        let run = run_suite(w, iters);
+        println!(
+            "{:<12} {:>6} jobs  {:>10} steps  {:>10.1} ms  {:>12.1} steps/s",
+            run.name,
+            run.jobs,
+            run.busy_steps,
+            run.wall_ns as f64 / 1e6,
+            run.steps_per_sec()
+        );
+        runs.push(run);
+    }
+    let json = render_json(&runs);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+/// One suite's wall time pulled out of a trajectory file.
+fn suite_walls(doc: &serde_json::Value, path: &str) -> Result<Vec<(String, f64)>, String> {
+    if doc["schema"].as_str() != Some(SCHEMA) {
+        return Err(format!("{path}: not a {SCHEMA} file"));
+    }
+    if doc["version"].as_u64() != Some(u64::from(VERSION)) {
+        return Err(format!("{path}: unsupported version"));
+    }
+    let suites = doc["suites"]
+        .as_array()
+        .ok_or_else(|| format!("{path}: no suites array"))?;
+    let mut walls = Vec::new();
+    for s in suites {
+        let name = s["name"]
+            .as_str()
+            .ok_or_else(|| format!("{path}: suite without name"))?;
+        let wall = s["wall_ns"]
+            .as_u64()
+            .ok_or_else(|| format!("{path}: suite {name} without wall_ns"))?;
+        if wall == 0 {
+            return Err(format!("{path}: suite {name} has zero wall_ns"));
+        }
+        walls.push((name.to_string(), wall as f64));
+    }
+    Ok(walls)
+}
+
+fn load_walls(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    suite_walls(&doc, path)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    let n = xs.len();
+    match n {
+        0 => 1.0,
+        _ if n % 2 == 1 => xs[n / 2],
+        _ => (xs[n / 2 - 1] + xs[n / 2]) / 2.0,
+    }
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut baseline = None;
+    let mut current = None;
+    let mut warn = 0.10f64;
+    let mut fail = 0.30f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(p.clone()),
+                None => {
+                    eprintln!("--baseline needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--current" => match it.next() {
+                Some(p) => current = Some(p.clone()),
+                None => {
+                    eprintln!("--current needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--warn" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) => warn = f,
+                None => {
+                    eprintln!("--warn needs a fraction");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fail" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) => fail = f,
+                None => {
+                    eprintln!("--fail needs a fraction");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        eprintln!("compare needs --baseline and --current\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let base = match load_walls(&baseline) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cur = match load_walls(&current) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    let mut failed = false;
+    for (name, base_wall) in &base {
+        match cur.iter().find(|(n, _)| n == name) {
+            Some((_, cur_wall)) => ratios.push((name.clone(), cur_wall / base_wall)),
+            None => {
+                println!("FAIL {name}: missing from current run");
+                failed = true;
+            }
+        }
+    }
+    let machine = median(ratios.iter().map(|(_, r)| *r).collect());
+    println!("machine-speed factor (median wall ratio): {machine:.3}");
+    for (name, ratio) in &ratios {
+        let deviation = ratio / machine - 1.0;
+        // Only a relative *slowdown* is a regression worth failing on;
+        // a large divergence in either direction (including a speedup,
+        // which means the committed baseline is stale) warns.
+        let status = if deviation > fail {
+            failed = true;
+            "FAIL"
+        } else if deviation.abs() > warn {
+            "WARN"
+        } else {
+            "  ok"
+        };
+        println!(
+            "{status} {name}: wall ratio {ratio:.3}, {deviation:+.1}% vs fleet median",
+            deviation = deviation * 100.0
+        );
+    }
+    if failed {
+        eprintln!("perf gate failed (deviation beyond {:.0}%)", fail * 100.0);
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -34,6 +34,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "compare" => commands::compare(&args),
         "verify" => commands::verify(&args),
         "adversarial" => commands::adversarial(&args),
+        "profile" => commands::profile(&args),
+        "timeline" => commands::timeline(&args),
         "serve" => service::serve(&args),
         "submit" => service::submit(&args),
         "loadgen" => service::loadgen(&args),
@@ -62,6 +64,9 @@ USAGE:
   krad compare  FILE --machine P1,P2,... [--policy NAME] [--seed S]
   krad verify   FILE --machine P1,P2,... [--policy NAME] [--seed S]
   krad adversarial --k K --p P --m M [--run]
+  krad profile  [--kind t12|large-dag|many-jobs|swf] [--quantum Q]
+  krad timeline --out FILE.json [--kind t12|large-dag|many-jobs|swf]
+                [--scheduler NAME] [--quantum Q] [--seed S]
   krad serve    --machine P1,P2,... [--scheduler NAME] [--policy NAME] [--quantum Q]
                 [--seed S] [--queue-capacity N] [--max-inflight N] [--tick-ms MS]
                 [--addr HOST:PORT] [--unix PATH] [--metrics-addr HOST:PORT]
@@ -71,7 +76,7 @@ USAGE:
                 | --drain [--verify] [--trace-out FILE])
   krad loadgen  --addr HOST:PORT [--clients N] [--jobs N] [--chunk N]
                 [--arrivals burst|poisson:<rate>|heavy-tail:<alpha>|trace]
-                [--seed S] [--k K] [--mean-size M] [--pace-ms MS]
+                [--seed S] [--k K] [--mean-size M] [--pace-ms MS] [--stats-out FILE]
   krad stats    --addr HOST:PORT [--watch [--interval-ms MS] [--count N]]
   krad metrics  --addr HOST:PORT
   krad flight   FILE.jsonl [--trace TRACE.json]

@@ -125,6 +125,11 @@ fn render_stats(x: &StatsReply) -> String {
         ("p50 quantum latency (µs)", x.quantum_latency_p50_us),
         ("p95 quantum latency (µs)", x.quantum_latency_p95_us),
         ("p99 quantum latency (µs)", x.quantum_latency_p99_us),
+        ("phase ready mean (µs)", x.phase_ready_mean_us),
+        ("phase decide mean (µs)", x.phase_decide_mean_us),
+        ("phase deq-allot mean (µs)", x.phase_deq_allot_mean_us),
+        ("phase rr-cycle mean (µs)", x.phase_rr_cycle_mean_us),
+        ("phase execute mean (µs)", x.phase_execute_mean_us),
     ] {
         t.row_owned(vec![label.into(), f3(v)]);
     }
@@ -351,6 +356,55 @@ fn parse_arrivals(spec: &str) -> Result<ArrivalKind, String> {
     Err(format!("unknown --arrivals '{spec}'"))
 }
 
+/// One stats reply as a flat JSON object (stable field order).
+fn stats_json(x: &StatsReply) -> String {
+    format!(
+        "{{\"admitted\":{},\"rejected\":{},\"completed\":{},\"cancelled\":{},\
+         \"queue_depth\":{},\"max_queue_depth\":{},\"now\":{},\"busy_steps\":{},\
+         \"idle_steps\":{},\"quanta\":{},\"quantum_latency_mean_us\":{},\
+         \"phase_ready_mean_us\":{},\"phase_decide_mean_us\":{},\
+         \"phase_deq_allot_mean_us\":{},\"phase_rr_cycle_mean_us\":{},\
+         \"phase_execute_mean_us\":{},\"uptime_secs\":{},\"scheduler\":\"{}\"}}",
+        x.admitted,
+        x.rejected,
+        x.completed,
+        x.cancelled,
+        x.queue_depth,
+        x.max_queue_depth,
+        x.now,
+        x.busy_steps,
+        x.idle_steps,
+        x.quanta,
+        x.quantum_latency_mean_us,
+        x.phase_ready_mean_us,
+        x.phase_decide_mean_us,
+        x.phase_deq_allot_mean_us,
+        x.phase_rr_cycle_mean_us,
+        x.phase_execute_mean_us,
+        x.uptime_secs,
+        x.scheduler
+    )
+}
+
+/// The `--stats-out` document: server stats before and after the
+/// loadgen burst, plus the counter deltas the burst caused.
+fn loadgen_stats_json(before: &StatsReply, after: &StatsReply) -> String {
+    format!(
+        "{{\n  \"schema\": \"krad-loadgen-stats\",\n  \"version\": 1,\n  \
+         \"before\": {},\n  \"after\": {},\n  \
+         \"delta\": {{\"admitted\":{},\"rejected\":{},\"completed\":{},\
+         \"quanta\":{},\"busy_steps\":{},\"idle_steps\":{}}}\n}}\n",
+        stats_json(before),
+        stats_json(after),
+        after.admitted.saturating_sub(before.admitted),
+        after.rejected.saturating_sub(before.rejected),
+        after.completed.saturating_sub(before.completed),
+        after.quanta.saturating_sub(before.quanta),
+        after.busy_steps.saturating_sub(before.busy_steps),
+        after.idle_steps.saturating_sub(before.idle_steps),
+    )
+}
+
 /// `krad loadgen` — drive a running daemon with concurrent clients.
 pub fn loadgen(args: &ArgMap) -> Result<String, String> {
     let addr = args.require("addr")?;
@@ -367,8 +421,24 @@ pub fn loadgen(args: &ArgMap) -> Result<String, String> {
     if cfg.clients == 0 || cfg.jobs_per_client == 0 {
         return Err("loadgen needs --clients ≥ 1 and --jobs ≥ 1".into());
     }
+    let fetch_stats = || {
+        Client::connect(addr)
+            .and_then(|mut c| c.stats_reply())
+            .map_err(|e| format!("cannot fetch stats from {addr}: {e}"))
+    };
+    let before = match args.get("stats-out") {
+        Some(_) => Some(fetch_stats()?),
+        None => None,
+    };
     let report = run_loadgen(addr, &cfg).map_err(|e| e.to_string())?;
-    Ok(report.render())
+    let mut out = report.render();
+    if let (Some(path), Some(before)) = (args.get("stats-out"), before) {
+        let after = fetch_stats()?;
+        std::fs::write(path, loadgen_stats_json(&before, &after))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        write!(out, "\nwrote before/after server stats to {path}").unwrap();
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -458,6 +528,9 @@ mod tests {
         .unwrap();
         assert!(out.contains("submitted 3 jobs"), "{out}");
 
+        let dir = std::env::temp_dir().join(format!("kcli-loadgen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stats_path = dir.join("loadgen-stats.json");
         let out = loadgen(&parse(&[
             "--addr",
             &addr,
@@ -467,9 +540,18 @@ mod tests {
             "6",
             "--chunk",
             "3",
+            "--stats-out",
+            stats_path.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("throughput"), "{out}");
+        assert!(out.contains("wrote before/after server stats"), "{out}");
+        let text = std::fs::read_to_string(&stats_path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc["schema"].as_str(), Some("krad-loadgen-stats"));
+        assert_eq!(doc["delta"]["admitted"].as_u64(), Some(12));
+        assert!(doc["before"]["quanta"].as_u64().is_some());
+        std::fs::remove_dir_all(&dir).ok();
 
         let out = submit(&parse(&["--addr", &addr, "--stats"])).unwrap();
         assert!(out.contains("admitted"), "{out}");

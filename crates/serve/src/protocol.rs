@@ -148,6 +148,18 @@ pub struct StatsReply {
     pub quantum_latency_p99_us: f64,
     /// Wall-clock seconds since the daemon started.
     pub uptime_secs: f64,
+    /// Mean wall time of the ready-set maintenance phase per busy
+    /// step, microseconds (0 until the engine records spans).
+    pub phase_ready_mean_us: f64,
+    /// Mean wall time of one scheduler decide phase, microseconds.
+    pub phase_decide_mean_us: f64,
+    /// Mean wall time of one DEQ allotment branch, microseconds.
+    pub phase_deq_allot_mean_us: f64,
+    /// Mean wall time of one RR cycling branch, microseconds.
+    pub phase_rr_cycle_mean_us: f64,
+    /// Mean wall time of the execute/commit phase per busy step,
+    /// microseconds.
+    pub phase_execute_mean_us: f64,
     /// Label of the scheduling policy serving the session.
     pub scheduler: String,
 }
@@ -431,7 +443,7 @@ impl Response {
             }
             Response::Stats(x) => {
                 s.push_str(&format!(
-                    "{{\"reply\":\"stats\",\"admitted\":{},\"rejected\":{},\"completed\":{},\"cancelled\":{},\"queue_depth\":{},\"max_queue_depth\":{},\"now\":{},\"busy_steps\":{},\"idle_steps\":{},\"quanta\":{},\"quantum_latency_mean_us\":{},\"quantum_latency_p50_us\":{},\"quantum_latency_p95_us\":{},\"quantum_latency_p99_us\":{},\"uptime_secs\":{},\"scheduler\":",
+                    "{{\"reply\":\"stats\",\"admitted\":{},\"rejected\":{},\"completed\":{},\"cancelled\":{},\"queue_depth\":{},\"max_queue_depth\":{},\"now\":{},\"busy_steps\":{},\"idle_steps\":{},\"quanta\":{},\"quantum_latency_mean_us\":{},\"quantum_latency_p50_us\":{},\"quantum_latency_p95_us\":{},\"quantum_latency_p99_us\":{},\"uptime_secs\":{},\"phase_ready_mean_us\":{},\"phase_decide_mean_us\":{},\"phase_deq_allot_mean_us\":{},\"phase_rr_cycle_mean_us\":{},\"phase_execute_mean_us\":{},\"scheduler\":",
                     x.admitted,
                     x.rejected,
                     x.completed,
@@ -447,6 +459,11 @@ impl Response {
                     x.quantum_latency_p95_us,
                     x.quantum_latency_p99_us,
                     x.uptime_secs,
+                    x.phase_ready_mean_us,
+                    x.phase_decide_mean_us,
+                    x.phase_deq_allot_mean_us,
+                    x.phase_rr_cycle_mean_us,
+                    x.phase_execute_mean_us,
                 ));
                 wire::push_str_lit(&mut s, &x.scheduler);
                 s.push('}');
@@ -540,6 +557,26 @@ impl Response {
                     .and_then(Value::as_f64)
                     .unwrap_or(0.0),
                 uptime_secs: v.get("uptime_secs").and_then(Value::as_f64).unwrap_or(0.0),
+                phase_ready_mean_us: v
+                    .get("phase_ready_mean_us")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                phase_decide_mean_us: v
+                    .get("phase_decide_mean_us")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                phase_deq_allot_mean_us: v
+                    .get("phase_deq_allot_mean_us")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                phase_rr_cycle_mean_us: v
+                    .get("phase_rr_cycle_mean_us")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                phase_execute_mean_us: v
+                    .get("phase_execute_mean_us")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
                 scheduler: v
                     .get("scheduler")
                     .and_then(Value::as_str)
@@ -694,6 +731,11 @@ mod tests {
                 quantum_latency_p95_us: 30.25,
                 quantum_latency_p99_us: 64.5,
                 uptime_secs: 1.5,
+                phase_ready_mean_us: 2.25,
+                phase_decide_mean_us: 4.5,
+                phase_deq_allot_mean_us: 3.75,
+                phase_rr_cycle_mean_us: 0.5,
+                phase_execute_mean_us: 6.25,
                 scheduler: "k-rad".into(),
             }),
             Response::Metrics {

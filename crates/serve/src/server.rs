@@ -824,6 +824,9 @@ fn status_reply(g: &Inner) -> StatusReply {
 
 fn stats_reply(g: &Inner, shared: &Shared) -> StatsReply {
     let latency = g.quantum_latency_us.snapshot();
+    // Span family handles are shared by label, so re-attaching to the
+    // registry reads the same histograms the quantum loop records into.
+    let spans = SpanRecorder::for_registry(shared.metrics.registry());
     StatsReply {
         admitted: g.admitted.get(),
         rejected: g.rejections.get(),
@@ -840,6 +843,11 @@ fn stats_reply(g: &Inner, shared: &Shared) -> StatsReply {
         quantum_latency_p95_us: latency.quantile(0.95),
         quantum_latency_p99_us: latency.quantile(0.99),
         uptime_secs: shared.metrics.uptime_secs(),
+        phase_ready_mean_us: spans.mean_micros(SpanKind::Ready),
+        phase_decide_mean_us: spans.mean_micros(SpanKind::Decide),
+        phase_deq_allot_mean_us: spans.mean_micros(SpanKind::DeqAllot),
+        phase_rr_cycle_mean_us: spans.mean_micros(SpanKind::RrCycle),
+        phase_execute_mean_us: spans.mean_micros(SpanKind::Execute),
         scheduler: shared.cfg.scheduler.label().to_string(),
     }
 }

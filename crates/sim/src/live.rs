@@ -375,6 +375,13 @@ impl LiveSimulation {
     /// stalls past `cfg.stall_limit`, or `cfg.max_steps` is exceeded —
     /// the same contract enforcement as the batch path.
     pub fn step(&mut self, scheduler: &mut dyn Scheduler) -> &[usize] {
+        // Phase lap chain: `ready` (arrival activation, desire
+        // digestion, view building) → `decide` (scheduler allot, on
+        // decision steps only) → `execute` (freeze/commit, task
+        // execution, accounting). One clock read per boundary, opened
+        // as the first statement so the phases tile the step's wall
+        // time exactly; disabled recorders never read the clock.
+        let mut lap = self.cfg.spans.start();
         assert!(self.remaining > 0, "step() called with no incomplete jobs");
         let k = self.k;
         let row_range = |idx: usize| idx * k..(idx + 1) * k;
@@ -500,9 +507,9 @@ impl LiveSimulation {
             };
 
             self.out.reset(active.len());
-            let decide_started = cfg.spans.start();
+            lap = cfg.spans.lap(SpanKind::Ready, lap);
             scheduler.allot(t, views, res, &mut self.out);
-            cfg.spans.finish(SpanKind::Decide, decide_started);
+            lap = cfg.spans.lap(SpanKind::Decide, lap);
 
             // Freeze the decision for the quantum (row copies into the
             // flat matrices — no per-decision allocation), folding the
@@ -546,6 +553,8 @@ impl LiveSimulation {
             self.last_decision = t;
             self.next_decision = t + cfg.quantum;
             decided = true;
+        } else {
+            lap = cfg.spans.lap(SpanKind::Ready, lap);
         }
 
         // Execute the step: one pass over the active jobs doing the
@@ -677,6 +686,7 @@ impl LiveSimulation {
                 executed: self.step_executed_totals.clone(),
             });
         }
+        cfg.spans.finish(SpanKind::Execute, lap);
         &self.just_completed
     }
 
@@ -850,6 +860,9 @@ mod tests {
         }
         // Quantum 1 → one decision per busy step (3 for the diamond).
         assert_eq!(cfg.spans.count(SpanKind::Decide), 3);
+        // The lap chain times ready/execute on *every* busy step.
+        assert_eq!(cfg.spans.count(SpanKind::Ready), 3);
+        assert_eq!(cfg.spans.count(SpanKind::Execute), 3);
         assert!(reg
             .render()
             .contains("krad_span_duration_us_count{span=\"decide\"} 3"));

@@ -8,7 +8,7 @@
 use crate::engine::run_engine;
 use crate::{JobSpec, Resources, Scheduler, SimConfig, SimOutcome};
 use kdag::SelectionPolicy;
-use ktelemetry::TelemetryHandle;
+use ktelemetry::{SpanRecorder, TelemetryHandle};
 use std::fmt;
 
 use crate::DesireModel;
@@ -221,6 +221,17 @@ impl SimulationBuilder {
         self
     }
 
+    /// Wire a [`SpanRecorder`] into the engine's per-phase lap chain
+    /// (`ready`/`decide`/`execute`, plus scheduler-internal
+    /// `deq_allot`/`rr_cycle` when the scheduler shares the recorder).
+    /// Pass [`SpanRecorder::profiler`] for offline per-phase
+    /// breakdowns, or [`SpanRecorder::for_registry`] to aggregate into
+    /// registry histograms.
+    pub fn spans(mut self, spans: SpanRecorder) -> Self {
+        self.cfg.spans = spans;
+        self
+    }
+
     /// Set the stall limit.
     pub fn stall_limit(mut self, limit: u64) -> Self {
         self.cfg.stall_limit = limit;
@@ -358,6 +369,25 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, BuildError::ZeroQuantum);
+    }
+
+    #[test]
+    fn builder_wires_a_phase_profiler() {
+        use ktelemetry::SpanKind;
+        let spans = SpanRecorder::profiler();
+        let sim = Simulation::builder()
+            .resources(Resources::uniform(2, 4))
+            .job(JobSpec::batched(diamond()))
+            .spans(spans.clone())
+            .build()
+            .unwrap();
+        sim.run(&mut GreedyAll);
+        // Quantum 1 → ready/decide/execute once per busy step (3 for
+        // the diamond), and the profile snapshot covers every kind.
+        assert_eq!(spans.count(SpanKind::Ready), 3);
+        assert_eq!(spans.count(SpanKind::Decide), 3);
+        assert_eq!(spans.count(SpanKind::Execute), 3);
+        assert_eq!(spans.profile().unwrap().len(), SpanKind::COUNT);
     }
 
     #[test]

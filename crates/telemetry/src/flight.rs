@@ -12,6 +12,19 @@ use crate::sink::{TelemetryHandle, TelemetrySink};
 use crate::TelemetryEvent;
 use std::sync::{Arc, Mutex};
 
+/// Schema identifier written in the first line of a flight dump.
+pub const FLIGHT_DUMP_SCHEMA: &str = "krad-flight";
+
+/// Current version of the flight-dump format. Bump when the header or
+/// event framing changes so readers can branch on it.
+pub const FLIGHT_DUMP_VERSION: u32 = 1;
+
+/// The header line prefixed to every JSONL flight dump. Readers can
+/// detect it cheaply: it is the only line starting with `{"schema"`.
+pub fn flight_dump_header() -> String {
+    format!("{{\"schema\":\"{FLIGHT_DUMP_SCHEMA}\",\"version\":{FLIGHT_DUMP_VERSION}}}")
+}
+
 /// A ring buffer retaining the most recent telemetry events.
 #[derive(Clone, Debug)]
 pub struct FlightRecorder {
@@ -103,10 +116,12 @@ impl FlightRecorder {
         out
     }
 
-    /// Render the retained events as JSONL, one event per line —
+    /// Render the retained events as JSONL: a schema/version header
+    /// line ([`flight_dump_header`]) followed by one event per line —
     /// the same codec the offline replay path parses back.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
+        let mut out = flight_dump_header();
+        out.push('\n');
         for event in self.snapshot() {
             out.push_str(&crate::json::to_json(&event));
             out.push('\n');
@@ -170,7 +185,11 @@ mod tests {
         let mut fr = FlightRecorder::new(4);
         fr.push(ev(1));
         fr.push(TelemetryEvent::IdleSkip { from: 3, to: 10 });
-        let parsed = crate::json::parse_jsonl(&fr.to_jsonl()).unwrap();
+        let dump = fr.to_jsonl();
+        let (header, events) = dump.split_once('\n').unwrap();
+        assert_eq!(header, flight_dump_header());
+        assert_eq!(header, "{\"schema\":\"krad-flight\",\"version\":1}");
+        let parsed = crate::json::parse_jsonl(events).unwrap();
         assert_eq!(parsed, fr.snapshot());
     }
 

@@ -23,8 +23,10 @@
 //! * [`FlightRecorder`] — a fixed-capacity ring buffer sink retaining
 //!   the last N events with zero steady-state allocation, for
 //!   post-mortem dump and replay;
-//! * [`SpanRecorder`] — monotonic span timing (`quantum`, `decide`,
-//!   `deq_allot`, `rr_cycle`) feeding the registry;
+//! * [`SpanRecorder`] — monotonic span timing (`quantum`, `ready`,
+//!   `decide`, `deq_allot`, `rr_cycle`, `execute`) feeding the
+//!   registry and/or lock-free per-phase profile totals
+//!   ([`PhaseStat`]) for offline per-phase breakdowns;
 //! * [`json`] — a hand-rolled JSONL encoder/parser for the event
 //!   schema (no serde: the crate has zero dependencies).
 //!
@@ -42,10 +44,10 @@ mod sink;
 mod spans;
 
 pub use event::{SchedulerMode, TelemetryEvent};
-pub use flight::FlightRecorder;
+pub use flight::{flight_dump_header, FlightRecorder, FLIGHT_DUMP_SCHEMA, FLIGHT_DUMP_VERSION};
 pub use metrics::{Counter, Histogram};
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry};
 pub use sink::{
     FanoutSink, JsonlSink, NoopSink, RecordingSink, SharedSink, TelemetryHandle, TelemetrySink,
 };
-pub use spans::{SpanKind, SpanRecorder};
+pub use spans::{PhaseStat, SpanKind, SpanRecorder};

@@ -300,6 +300,131 @@ mod tests {
         Histogram::from_parts(vec![1, 2], vec![0, 0], 0);
     }
 
+    /// Deterministic 64-bit LCG for the hand-rolled property tests
+    /// (the crate stays dependency-free, so no proptest).
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    /// Random strictly-ascending bounds (1–6 buckets, values ≤ ~4096).
+    fn random_bounds(state: &mut u64) -> Vec<u64> {
+        let n = 1 + (lcg(state) % 6) as usize;
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = 0u64;
+        for _ in 0..n {
+            b += 1 + lcg(state) % 512;
+            bounds.push(b);
+        }
+        bounds
+    }
+
+    #[test]
+    fn prop_quantile_is_monotone_and_bounded() {
+        let mut s = 0x5EED_0001u64;
+        for _ in 0..200 {
+            let bounds = random_bounds(&mut s);
+            let last = *bounds.last().unwrap();
+            let mut h = Histogram::new(bounds);
+            let samples = (lcg(&mut s) % 40) as usize;
+            for _ in 0..samples {
+                h.record(lcg(&mut s) % (last * 2 + 1));
+            }
+            let grid = [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let mut prev = -1.0f64;
+            for &q in &grid {
+                let v = h.quantile(q);
+                if samples == 0 {
+                    assert_eq!(v, 0.0, "empty histogram must answer 0");
+                    continue;
+                }
+                assert!(
+                    (0.0..=last as f64).contains(&v),
+                    "quantile within [0, last]"
+                );
+                assert!(v >= prev, "quantile must be monotone in q");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn prop_boundary_samples_stay_inclusive() {
+        // Recording exactly a bucket bound `b` must keep all mass in
+        // the `≤b` bucket: quantile(1.0) answers `b` itself, never the
+        // next bound. Recording `b + 1` must spill to the next bucket.
+        let mut s = 0xB0DA_0002u64;
+        for _ in 0..100 {
+            let bounds = random_bounds(&mut s);
+            for (i, &b) in bounds.iter().enumerate() {
+                let mut h = Histogram::new(bounds.clone());
+                let n = 1 + lcg(&mut s) % 9;
+                for _ in 0..n {
+                    h.record(b);
+                }
+                let mut expected = vec![0u64; bounds.len() + 1];
+                expected[i] = n;
+                assert_eq!(h.bucket_counts(), &expected[..], "b lands in its bucket");
+                assert!((h.quantile(1.0) - b as f64).abs() < 1e-9);
+
+                let mut above = Histogram::new(bounds.clone());
+                above.record(b + 1);
+                let expect_bound = *bounds.get(i + 1).unwrap_or(&b) as f64;
+                assert!((above.quantile(1.0) - expect_bound).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_single_sample_resolves_to_owning_bucket_bound() {
+        // With one sample every quantile asks for rank 1, so the
+        // answer is the inclusive upper bound of the owning bucket
+        // (clamped to the last finite bound on overflow).
+        let mut s = 0x051_0003u64;
+        for _ in 0..200 {
+            let bounds = random_bounds(&mut s);
+            let last = *bounds.last().unwrap();
+            let v = lcg(&mut s) % (last * 2 + 1);
+            let mut h = Histogram::new(bounds.clone());
+            h.record(v);
+            let owning = bounds.iter().find(|&&b| v <= b).copied().unwrap_or(last) as f64;
+            for q in [0.0, 0.5, 1.0] {
+                assert!((h.quantile(q) - owning).abs() < 1e-9, "v={v} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn prop_quantile_rank_mass_is_covered() {
+        // At least ceil(q · total) samples are ≤ the upper bound of
+        // the bucket the quantile interpolates inside (when the
+        // quantile does not clamp into overflow).
+        let mut s = 0xC0DE_0004u64;
+        for _ in 0..150 {
+            let bounds = random_bounds(&mut s);
+            let last = *bounds.last().unwrap();
+            let mut h = Histogram::new(bounds.clone());
+            let samples = 1 + (lcg(&mut s) % 60) as usize;
+            for _ in 0..samples {
+                h.record(lcg(&mut s) % (last + 1)); // no overflow mass
+            }
+            for q in [0.1, 0.5, 0.9, 0.99] {
+                let v = h.quantile(q);
+                let bucket_upper = bounds.iter().find(|&&b| v <= b as f64).copied().unwrap();
+                let covered: u64 = bounds
+                    .iter()
+                    .zip(h.cumulative_counts())
+                    .find(|(&b, _)| b == bucket_upper)
+                    .map(|(_, c)| c)
+                    .unwrap();
+                let rank = (q * samples as f64).max(1.0).ceil() as u64;
+                assert!(covered >= rank, "bucket ≤{bucket_upper} covers rank {rank}");
+            }
+        }
+    }
+
     #[test]
     fn quantiles_interpolate_within_buckets() {
         let mut h = Histogram::new(vec![10, 20, 40]);

@@ -1,14 +1,28 @@
-//! Span-style instrumentation with monotonic timing.
+//! Span-style instrumentation with monotonic timing, doubling as the
+//! engine's per-phase profiler.
 //!
 //! The engine and schedulers wrap their hot sections (`quantum`,
-//! `decide`, `deq_allot`, `rr_cycle`) in spans; durations land in a
-//! per-span [`HistogramHandle`] family (`krad_span_duration_us`) in a
-//! [`MetricsRegistry`]. A disabled recorder ([`SpanRecorder::off`],
-//! the default) never reads the clock — the cost is one `Option`
-//! check per span site, mirroring the [`crate::TelemetryHandle`]
-//! fast path.
+//! `ready`, `decide`, `deq_allot`, `rr_cycle`, `execute`) in spans.
+//! A [`SpanRecorder`] can aggregate those durations two ways, alone or
+//! together:
+//!
+//! * **registry histograms** ([`SpanRecorder::for_registry`]) — each
+//!   duration lands in a per-span [`HistogramHandle`] family
+//!   (`krad_span_duration_us`) for live scraping;
+//! * **profile totals** ([`SpanRecorder::profiler`]) — lock-free
+//!   nanosecond + sample totals per phase, snapshotted with
+//!   [`SpanRecorder::profile`] into [`PhaseStat`] rows for offline
+//!   per-phase breakdowns.
+//!
+//! A disabled recorder ([`SpanRecorder::off`], the default) never
+//! reads the clock — the cost is one `Option` check per span site,
+//! mirroring the [`crate::TelemetryHandle`] fast path. The engine's
+//! top-level phases (`ready`/`decide`/`execute`) are timed as a *lap
+//! chain* ([`SpanRecorder::lap`]): one clock read per phase boundary,
+//! so the phases tile the step wall time exactly.
 
 use crate::registry::{HistogramHandle, MetricsRegistry};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -17,39 +31,99 @@ use std::time::Instant;
 pub enum SpanKind {
     /// One full scheduling quantum (inject, decide, execute, publish).
     Quantum,
+    /// Ready-set maintenance: arrival activation, desire digestion,
+    /// and scheduler-view construction ahead of a decision.
+    Ready,
     /// One scheduler `allot` decision across all categories.
     Decide,
     /// One DEQ allotment computation within a category.
     DeqAllot,
     /// One round-robin cycle bookkeeping pass within a category.
     RrCycle,
+    /// Execute/commit: allotment freezing, task execution, completion
+    /// handling, and accounting for one step.
+    Execute,
 }
 
 impl SpanKind {
-    /// Every span kind, in label order.
-    pub const ALL: [SpanKind; 4] = [
+    /// Number of span kinds.
+    pub const COUNT: usize = 6;
+
+    /// Every span kind, in pipeline order.
+    pub const ALL: [SpanKind; SpanKind::COUNT] = [
         SpanKind::Quantum,
+        SpanKind::Ready,
         SpanKind::Decide,
         SpanKind::DeqAllot,
         SpanKind::RrCycle,
+        SpanKind::Execute,
     ];
 
     /// The `span` label value used in the metrics family.
     pub fn label(self) -> &'static str {
         match self {
             SpanKind::Quantum => "quantum",
+            SpanKind::Ready => "ready",
             SpanKind::Decide => "decide",
             SpanKind::DeqAllot => "deq_allot",
             SpanKind::RrCycle => "rr_cycle",
+            SpanKind::Execute => "execute",
         }
     }
 
     fn index(self) -> usize {
         match self {
             SpanKind::Quantum => 0,
-            SpanKind::Decide => 1,
-            SpanKind::DeqAllot => 2,
-            SpanKind::RrCycle => 3,
+            SpanKind::Ready => 1,
+            SpanKind::Decide => 2,
+            SpanKind::DeqAllot => 3,
+            SpanKind::RrCycle => 4,
+            SpanKind::Execute => 5,
+        }
+    }
+}
+
+/// Lock-free per-phase accumulators (nanoseconds + samples).
+#[derive(Debug)]
+struct PhaseTotals {
+    nanos: [AtomicU64; SpanKind::COUNT],
+    counts: [AtomicU64; SpanKind::COUNT],
+}
+
+impl PhaseTotals {
+    fn new() -> Self {
+        PhaseTotals {
+            nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn add(&self, kind: SpanKind, nanos: u64) {
+        let i = kind.index();
+        self.nanos[i].fetch_add(nanos, Ordering::Relaxed);
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One row of a per-phase profile snapshot: total time spent in a
+/// span kind and how many samples contributed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// The profiled section.
+    pub kind: SpanKind,
+    /// Samples recorded.
+    pub count: u64,
+    /// Total nanoseconds across all samples.
+    pub total_ns: u64,
+}
+
+impl PhaseStat {
+    /// Mean nanoseconds per sample (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
         }
     }
 }
@@ -57,7 +131,8 @@ impl SpanKind {
 /// Cheap clonable recorder for span durations; disabled by default.
 #[derive(Clone, Debug, Default)]
 pub struct SpanRecorder {
-    hists: Option<Arc<[HistogramHandle; 4]>>,
+    hists: Option<Arc<[HistogramHandle; SpanKind::COUNT]>>,
+    totals: Option<Arc<PhaseTotals>>,
 }
 
 impl SpanRecorder {
@@ -82,21 +157,40 @@ impl SpanRecorder {
         });
         SpanRecorder {
             hists: Some(Arc::new(hists)),
+            totals: None,
+        }
+    }
+
+    /// A profiling recorder: lock-free nanosecond/sample totals per
+    /// phase, no registry. Snapshot with [`SpanRecorder::profile`].
+    pub fn profiler() -> Self {
+        SpanRecorder {
+            hists: None,
+            totals: Some(Arc::new(PhaseTotals::new())),
+        }
+    }
+
+    /// A recorder doing both: registry histograms for scraping *and*
+    /// profile totals for per-phase breakdowns.
+    pub fn profiler_for_registry(registry: &MetricsRegistry) -> Self {
+        SpanRecorder {
+            totals: Some(Arc::new(PhaseTotals::new())),
+            ..SpanRecorder::for_registry(registry)
         }
     }
 
     /// Whether spans are being recorded.
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.hists.is_some()
+        self.hists.is_some() || self.totals.is_some()
     }
 
     /// Begin timing a span. Returns `None` (and skips the clock read)
     /// when the recorder is off; pass the result to
-    /// [`SpanRecorder::finish`].
+    /// [`SpanRecorder::finish`] or [`SpanRecorder::lap`].
     #[inline]
     pub fn start(&self) -> Option<Instant> {
-        if self.hists.is_some() {
+        if self.is_enabled() {
             Some(Instant::now())
         } else {
             None
@@ -104,12 +198,39 @@ impl SpanRecorder {
     }
 
     /// Finish a span started with [`SpanRecorder::start`], recording
-    /// its duration in microseconds.
+    /// its duration.
     #[inline]
     pub fn finish(&self, kind: SpanKind, started: Option<Instant>) {
-        if let (Some(hists), Some(started)) = (&self.hists, started) {
-            let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        if let Some(started) = started {
+            self.record_elapsed(kind, started.elapsed());
+        }
+    }
+
+    /// Finish one span and immediately begin the next with a single
+    /// clock read, so consecutive phases tile wall time exactly:
+    /// `let lap = spans.lap(SpanKind::Ready, lap);` records the
+    /// `ready` phase and restarts the stopwatch for the next one.
+    #[inline]
+    pub fn lap(&self, kind: SpanKind, started: Option<Instant>) -> Option<Instant> {
+        match started {
+            Some(started) => {
+                let now = Instant::now();
+                self.record_elapsed(kind, now.duration_since(started));
+                Some(now)
+            }
+            None => None,
+        }
+    }
+
+    #[inline]
+    fn record_elapsed(&self, kind: SpanKind, elapsed: std::time::Duration) {
+        if let Some(hists) = &self.hists {
+            let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
             hists[kind.index()].record(micros);
+        }
+        if let Some(totals) = &self.totals {
+            let nanos = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+            totals.add(kind, nanos);
         }
     }
 
@@ -118,6 +239,9 @@ impl SpanRecorder {
     pub fn record(&self, kind: SpanKind, micros: u64) {
         if let Some(hists) = &self.hists {
             hists[kind.index()].record(micros);
+        }
+        if let Some(totals) = &self.totals {
+            totals.add(kind, micros.saturating_mul(1_000));
         }
     }
 
@@ -134,10 +258,51 @@ impl SpanRecorder {
     /// Samples recorded so far for `kind` (0 when off) — for tests
     /// and reports.
     pub fn count(&self, kind: SpanKind) -> u64 {
-        self.hists
+        if let Some(h) = &self.hists {
+            return h[kind.index()].count();
+        }
+        self.totals
             .as_ref()
-            .map(|h| h[kind.index()].count())
+            .map(|t| t.counts[kind.index()].load(Ordering::Relaxed))
             .unwrap_or(0)
+    }
+
+    /// Mean recorded duration for `kind` in microseconds (0 when off
+    /// or empty). Histogram-backed recorders answer from the registry
+    /// histogram; profile-only recorders from the exact totals.
+    pub fn mean_micros(&self, kind: SpanKind) -> f64 {
+        if let Some(h) = &self.hists {
+            return h[kind.index()].mean();
+        }
+        if let Some(t) = &self.totals {
+            let i = kind.index();
+            let count = t.counts[i].load(Ordering::Relaxed);
+            if count > 0 {
+                return t.nanos[i].load(Ordering::Relaxed) as f64 / count as f64 / 1_000.0;
+            }
+        }
+        0.0
+    }
+
+    /// Snapshot the per-phase profile totals, one [`PhaseStat`] per
+    /// [`SpanKind`] in [`SpanKind::ALL`] order. `None` unless the
+    /// recorder was built with profiling totals
+    /// ([`SpanRecorder::profiler`] / `profiler_for_registry`).
+    pub fn profile(&self) -> Option<Vec<PhaseStat>> {
+        let totals = self.totals.as_ref()?;
+        Some(
+            SpanKind::ALL
+                .iter()
+                .map(|&kind| {
+                    let i = kind.index();
+                    PhaseStat {
+                        kind,
+                        count: totals.counts[i].load(Ordering::Relaxed),
+                        total_ns: totals.nanos[i].load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+        )
     }
 }
 
@@ -150,10 +315,13 @@ mod tests {
         let spans = SpanRecorder::off();
         assert!(!spans.is_enabled());
         assert!(spans.start().is_none());
+        assert!(spans.lap(SpanKind::Ready, None).is_none());
         spans.finish(SpanKind::Decide, None);
         spans.record(SpanKind::Quantum, 5);
         assert_eq!(spans.count(SpanKind::Quantum), 0);
         assert_eq!(spans.time(SpanKind::Decide, || 42), 42);
+        assert!(spans.profile().is_none());
+        assert_eq!(spans.mean_micros(SpanKind::Decide), 0.0);
     }
 
     #[test]
@@ -186,6 +354,69 @@ mod tests {
     #[test]
     fn labels_cover_every_kind() {
         let labels: Vec<_> = SpanKind::ALL.iter().map(|k| k.label()).collect();
-        assert_eq!(labels, vec!["quantum", "decide", "deq_allot", "rr_cycle"]);
+        assert_eq!(
+            labels,
+            vec![
+                "quantum",
+                "ready",
+                "decide",
+                "deq_allot",
+                "rr_cycle",
+                "execute"
+            ]
+        );
+    }
+
+    #[test]
+    fn profiler_accumulates_nanosecond_totals() {
+        let spans = SpanRecorder::profiler();
+        assert!(spans.is_enabled());
+        spans.record(SpanKind::Ready, 3); // 3 µs → 3000 ns
+        spans.record(SpanKind::Ready, 5);
+        spans.record(SpanKind::Execute, 1);
+        let profile = spans.profile().unwrap();
+        assert_eq!(profile.len(), SpanKind::COUNT);
+        let ready = profile
+            .iter()
+            .find(|p| p.kind == SpanKind::Ready)
+            .copied()
+            .unwrap();
+        assert_eq!(ready.count, 2);
+        assert_eq!(ready.total_ns, 8_000);
+        assert!((ready.mean_ns() - 4_000.0).abs() < 1e-9);
+        assert!((spans.mean_micros(SpanKind::Ready) - 4.0).abs() < 1e-9);
+        let quantum = &profile[0];
+        assert_eq!(quantum.kind, SpanKind::Quantum);
+        assert_eq!(quantum.count, 0);
+        assert_eq!(quantum.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn lap_chain_tiles_consecutive_phases() {
+        let spans = SpanRecorder::profiler();
+        let lap0 = spans.start();
+        assert!(lap0.is_some());
+        let lap1 = spans.lap(SpanKind::Ready, lap0);
+        assert!(lap1.is_some());
+        let lap2 = spans.lap(SpanKind::Decide, lap1);
+        spans.finish(SpanKind::Execute, lap2);
+        assert_eq!(spans.count(SpanKind::Ready), 1);
+        assert_eq!(spans.count(SpanKind::Decide), 1);
+        assert_eq!(spans.count(SpanKind::Execute), 1);
+        // Laps never overlap: lap1 starts exactly where ready ended.
+        assert!(lap1.unwrap() >= lap0.unwrap());
+    }
+
+    #[test]
+    fn profiler_with_registry_feeds_both_sinks() {
+        let reg = MetricsRegistry::new();
+        let spans = SpanRecorder::profiler_for_registry(&reg);
+        spans.record(SpanKind::Quantum, 9);
+        assert_eq!(spans.count(SpanKind::Quantum), 1);
+        let profile = spans.profile().unwrap();
+        assert_eq!(profile[0].total_ns, 9_000);
+        assert!(reg
+            .render()
+            .contains("krad_span_duration_us_count{span=\"quantum\"} 1"));
     }
 }

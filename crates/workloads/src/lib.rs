@@ -11,7 +11,10 @@
 //!   [`ksim::JobSpec`]s together with its analytically known optimum;
 //! * [`scenarios`] — named end-to-end scenarios (heterogeneous
 //!   pipeline, map-reduce cluster, mixed server) used by the baseline
-//!   comparison (T7) and the examples.
+//!   comparison (T7) and the examples;
+//! * [`suite`] — the pinned perf/profiling workload suite shared by
+//!   the criterion benches, the `kperf` trajectory harness, and the
+//!   CLI `profile`/`timeline` subcommands.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +25,7 @@ pub mod heavy_tail;
 pub mod mixes;
 pub mod persist;
 pub mod scenarios;
+pub mod suite;
 pub mod swf;
 
 /// The canonical experiment RNG: `StdRng` seeded with a stable hash of

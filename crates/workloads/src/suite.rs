@@ -1,0 +1,158 @@
+//! The pinned profiling/perf workload suite.
+//!
+//! One canonical definition of the workloads the perf trajectory is
+//! measured on, shared by the `engine_hot_path` criterion bench, the
+//! `kperf` harness (which emits `BENCH_*.json`), and the CLI
+//! `profile`/`timeline` subcommands — so a number in the trajectory
+//! always refers to exactly the same jobs on exactly the same machine.
+//!
+//! Everything is seeded through [`crate::rng_for`]; a pinned workload
+//! is bit-for-bit reproducible across runs and machines.
+
+use crate::heavy_tail::{bursty_releases, heavy_tail_mix, BurstyConfig};
+use crate::mixes::{batched_mix, MixConfig};
+use crate::rng_for;
+use crate::swf::synthetic_trace_workload;
+use kdag::generators::{layered_random, LayeredConfig};
+use ksim::{JobSpec, Resources};
+
+/// The T12 stress workload, full (non-quick) size: 80 heavy-tailed
+/// jobs with bursty MMPP releases on a `[6, 3]` machine — many
+/// concurrently active jobs, constant arrival/completion churn.
+pub fn t12_stress() -> (Vec<JobSpec>, Resources) {
+    let mut rng = rng_for(42, 0x7C);
+    let mut jobs = heavy_tail_mix(&mut rng, 2, 80, 1.2, 10, 500);
+    let cfg = BurstyConfig {
+        burst_rate: 4.0,
+        idle_rate: 0.02,
+        switch_prob: 0.08,
+    };
+    bursty_releases(&mut jobs, &mut rng, &cfg);
+    (jobs, Resources::new(vec![6, 3]))
+}
+
+/// One deep layered DAG (~200 layers of width 20–60, ~8k tasks) on a
+/// `[16, 16]` machine: per-step cost is dominated by ready-queue
+/// maintenance inside a single execution state.
+pub fn large_dag() -> (Vec<JobSpec>, Resources) {
+    let cfg = LayeredConfig::uniform(2, 200, 20, 60);
+    let dag = layered_random(&mut rng_for(7, 0xDA6), &cfg);
+    (vec![JobSpec::batched(dag)], Resources::new(vec![16, 16]))
+}
+
+/// Many small jobs: 300 mixed-shape batched jobs on a `[6, 3]`
+/// machine — per-step cost is dominated by per-job engine bookkeeping.
+pub fn many_jobs() -> (Vec<JobSpec>, Resources) {
+    let jobs = batched_mix(&mut rng_for(0xBEEF, 300), &MixConfig::new(2, 300, 24));
+    (jobs, Resources::new(vec![6, 3]))
+}
+
+/// A deterministic SWF-trace slice: 60 synthetic archive records
+/// shaped into rectangular compute + I/O bracket jobs (releases follow
+/// the trace's submit times) on a `[16, 2]` machine.
+pub fn swf_slice() -> (Vec<JobSpec>, Resources) {
+    let cfg = MixConfig::new(2, 0, 40);
+    let jobs = synthetic_trace_workload(60, &cfg);
+    (jobs, Resources::new(vec![16, 2]))
+}
+
+/// One workload of the pinned suite, addressable by name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinnedWorkload {
+    /// [`t12_stress`].
+    T12Stress,
+    /// [`large_dag`].
+    LargeDag,
+    /// [`many_jobs`].
+    ManyJobs,
+    /// [`swf_slice`].
+    SwfSlice,
+}
+
+impl PinnedWorkload {
+    /// Every pinned workload, in trajectory order.
+    pub const ALL: [PinnedWorkload; 4] = [
+        PinnedWorkload::T12Stress,
+        PinnedWorkload::LargeDag,
+        PinnedWorkload::ManyJobs,
+        PinnedWorkload::SwfSlice,
+    ];
+
+    /// The canonical suite name (used in `BENCH_*.json` and the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            PinnedWorkload::T12Stress => "t12-stress",
+            PinnedWorkload::LargeDag => "large-dag",
+            PinnedWorkload::ManyJobs => "many-jobs",
+            PinnedWorkload::SwfSlice => "swf-slice",
+        }
+    }
+
+    /// Parse a workload name; short aliases (`t12`, `dag`, `jobs`,
+    /// `swf`) are accepted.
+    pub fn from_name(name: &str) -> Option<PinnedWorkload> {
+        match name {
+            "t12-stress" | "t12" => Some(PinnedWorkload::T12Stress),
+            "large-dag" | "dag" => Some(PinnedWorkload::LargeDag),
+            "many-jobs" | "jobs" => Some(PinnedWorkload::ManyJobs),
+            "swf-slice" | "swf" => Some(PinnedWorkload::SwfSlice),
+            _ => None,
+        }
+    }
+
+    /// Build the jobs and the machine they are pinned to.
+    pub fn build(self) -> (Vec<JobSpec>, Resources) {
+        match self {
+            PinnedWorkload::T12Stress => t12_stress(),
+            PinnedWorkload::LargeDag => large_dag(),
+            PinnedWorkload::ManyJobs => many_jobs(),
+            PinnedWorkload::SwfSlice => swf_slice(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic() {
+        for w in PinnedWorkload::ALL {
+            let (a, res_a) = w.build();
+            let (b, res_b) = w.build();
+            assert_eq!(a.len(), b.len(), "{}", w.name());
+            assert_eq!(res_a.as_slice(), res_b.as_slice());
+            assert_eq!(
+                a.iter()
+                    .map(|j| (j.release, j.dag.len()))
+                    .collect::<Vec<_>>(),
+                b.iter()
+                    .map(|j| (j.release, j.dag.len()))
+                    .collect::<Vec<_>>(),
+                "{}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_match_their_machines() {
+        for w in PinnedWorkload::ALL {
+            let (jobs, res) = w.build();
+            assert!(!jobs.is_empty(), "{}", w.name());
+            assert!(jobs.iter().all(|j| j.dag.k() == res.k()), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for w in PinnedWorkload::ALL {
+            assert_eq!(PinnedWorkload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(
+            PinnedWorkload::from_name("t12"),
+            Some(PinnedWorkload::T12Stress)
+        );
+        assert_eq!(PinnedWorkload::from_name("nope"), None);
+    }
+}
