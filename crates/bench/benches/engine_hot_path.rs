@@ -16,11 +16,16 @@
 //!   cost is dominated by the per-job engine bookkeeping (allotment
 //!   rows, preemption accounting, desire reads), the part the flat
 //!   preallocated buffers are for.
+//! * `trace_sparse` — 120 small jobs spread over a ~160k-step horizon
+//!   at a coarse quantum, benched under both [`TimePolicy`] values:
+//!   the pair measures the event-driven clock's batching win on the
+//!   trace-scale regime (the unit stepper pays one call per simulated
+//!   step; the event clock pays per event).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kdag::SelectionPolicy;
 use krad::KRad;
-use ksim::{JobSpec, Resources, SimConfig, Simulation};
+use ksim::{JobSpec, Resources, SimConfig, Simulation, TimePolicy};
 use kworkloads::suite;
 use std::hint::black_box;
 
@@ -51,6 +56,35 @@ fn engine_hot_path(c: &mut Criterion) {
 
     let (jobs, res) = suite::many_jobs();
     bench_shape(c, "many_jobs", &jobs, &res);
+
+    // The sparse trace-scale shape, under both clock policies at its
+    // pinned coarse quantum — same outcome (enforced by the oracle
+    // tests), very different wall clock.
+    let (jobs, res) = suite::trace_sparse();
+    let quantum = suite::PinnedWorkload::TraceSparse.quantum();
+    let mut g = c.benchmark_group("engine_hot_path");
+    g.sample_size(10);
+    for policy in [TimePolicy::UnitStep, TimePolicy::EventDriven] {
+        g.bench_with_input(
+            BenchmarkId::new("trace_sparse", policy.label()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut sched = KRad::new(res.k());
+                    let sim = Simulation::builder()
+                        .resources(res.clone())
+                        .jobs(jobs.iter().cloned())
+                        .policy(SelectionPolicy::Fifo)
+                        .quantum(quantum)
+                        .time_policy(policy)
+                        .build()
+                        .expect("bench workloads match their machines");
+                    black_box(sim.run(&mut sched).makespan)
+                })
+            },
+        );
+    }
+    g.finish();
 
     // The legacy entry point must stay a zero-cost shim over the
     // session type: bench it on the stress shape so a regression in

@@ -17,7 +17,7 @@
 
 use kdag::SelectionPolicy;
 use krad::KRad;
-use ksim::{SimOutcome, Simulation};
+use ksim::{SimOutcome, Simulation, TimePolicy};
 use ktelemetry::{PhaseStat, SpanRecorder, TelemetryHandle};
 use kworkloads::suite::PinnedWorkload;
 use std::process::ExitCode;
@@ -31,10 +31,12 @@ const USAGE: &str = "kperf — pinned perf trajectory harness
 USAGE:
     kperf run [--smoke] [--iters N] [--out FILE]
         Run the pinned suite (t12-stress, large-dag, many-jobs,
-        swf-slice) and write a krad-bench trajectory JSON.
-        --smoke    single iteration per suite (CI mode)
+        swf-slice, trace-sparse under both engine clocks) and write a
+        krad-bench trajectory JSON.
+        --smoke    single iteration per suite (CI mode; sub-millisecond
+                   suites keep a small best-of floor for stable walls)
         --iters N  iterations per suite (best-of; default 3)
-        --out FILE output path (default BENCH_6.json)
+        --out FILE output path (default BENCH_7.json)
 
     kperf compare --baseline FILE --current FILE [--warn F] [--fail F]
         Gate a fresh run against a committed baseline. Per-suite wall
@@ -44,6 +46,8 @@ USAGE:
 
 struct SuiteRun {
     name: &'static str,
+    time_policy: TimePolicy,
+    quantum: u64,
     jobs: usize,
     iters: u32,
     wall_ns: u64,
@@ -52,8 +56,58 @@ struct SuiteRun {
     phases: Vec<PhaseStat>,
 }
 
-fn run_suite(workload: PinnedWorkload, iters: u32) -> SuiteRun {
-    let (jobs, res) = workload.build();
+/// One entry of the pinned suite: a workload measured under a specific
+/// engine clock. The four dense workloads keep the unit-step
+/// methodology of earlier trajectory files; the sparse trace-scale
+/// shape is measured under *both* clocks so the trajectory records the
+/// event-driven batching win explicitly.
+struct SuiteSpec {
+    name: &'static str,
+    workload: PinnedWorkload,
+    time_policy: TimePolicy,
+    /// Best-of floor even in `--smoke` mode: sub-millisecond suites
+    /// (the event-driven sparse run) need a few iterations for the
+    /// minimum to be a stable statistic on shared CI runners.
+    min_iters: u32,
+}
+
+fn pinned_suites() -> Vec<SuiteSpec> {
+    let mut suites: Vec<SuiteSpec> = [
+        PinnedWorkload::T12Stress,
+        PinnedWorkload::LargeDag,
+        PinnedWorkload::ManyJobs,
+        PinnedWorkload::SwfSlice,
+    ]
+    .into_iter()
+    .map(|w| SuiteSpec {
+        name: w.name(),
+        workload: w,
+        time_policy: TimePolicy::UnitStep,
+        // The millisecond-scale suites need a best-of floor for the
+        // wall minimum to be stable on shared runners; many-jobs is
+        // long enough to be stable single-shot.
+        min_iters: if w == PinnedWorkload::ManyJobs { 1 } else { 3 },
+    })
+    .collect();
+    suites.push(SuiteSpec {
+        name: "trace-sparse-unit",
+        workload: PinnedWorkload::TraceSparse,
+        time_policy: TimePolicy::UnitStep,
+        min_iters: 1,
+    });
+    suites.push(SuiteSpec {
+        name: "trace-sparse",
+        workload: PinnedWorkload::TraceSparse,
+        time_policy: TimePolicy::EventDriven,
+        min_iters: 5,
+    });
+    suites
+}
+
+fn run_suite(spec: &SuiteSpec, iters: u32) -> SuiteRun {
+    let (jobs, res) = spec.workload.build();
+    let iters = iters.max(spec.min_iters);
+    let quantum = spec.workload.quantum();
     let mut best: Option<(u64, SimOutcome, Vec<PhaseStat>)> = None;
     for _ in 0..iters {
         // Fresh profiler per iteration so best-of keeps matched
@@ -64,6 +118,8 @@ fn run_suite(workload: PinnedWorkload, iters: u32) -> SuiteRun {
             .resources(res.clone())
             .jobs(jobs.iter().cloned())
             .policy(SelectionPolicy::Fifo)
+            .quantum(quantum)
+            .time_policy(spec.time_policy)
             .spans(spans.clone())
             .build()
             .expect("pinned workloads match their machines");
@@ -81,7 +137,9 @@ fn run_suite(workload: PinnedWorkload, iters: u32) -> SuiteRun {
     }
     let (wall_ns, outcome, phases) = best.expect("at least one iteration");
     SuiteRun {
-        name: workload.name(),
+        name: spec.name,
+        time_policy: spec.time_policy,
+        quantum,
         jobs: jobs.len(),
         iters,
         wall_ns,
@@ -124,6 +182,11 @@ fn render_json(runs: &[SuiteRun]) -> String {
     for (i, r) in runs.iter().enumerate() {
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!(
+            "      \"time_policy\": \"{}\",\n",
+            r.time_policy.label()
+        ));
+        out.push_str(&format!("      \"quantum\": {},\n", r.quantum));
         out.push_str(&format!("      \"jobs\": {},\n", r.jobs));
         out.push_str(&format!("      \"iters\": {},\n", r.iters));
         out.push_str(&format!("      \"wall_ns\": {},\n", r.wall_ns));
@@ -157,7 +220,7 @@ fn render_json(runs: &[SuiteRun]) -> String {
 
 fn cmd_run(args: &[String]) -> ExitCode {
     let mut iters: u32 = 3;
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -184,10 +247,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
 
     let mut runs = Vec::new();
-    for w in PinnedWorkload::ALL {
-        let run = run_suite(w, iters);
+    for spec in pinned_suites() {
+        let run = run_suite(&spec, iters);
         println!(
-            "{:<12} {:>6} jobs  {:>10} steps  {:>10.1} ms  {:>12.1} steps/s",
+            "{:<18} {:>6} jobs  {:>10} steps  {:>10.1} ms  {:>12.1} steps/s",
             run.name,
             run.jobs,
             run.busy_steps,

@@ -12,7 +12,9 @@ use kanalysis::telemetry_report::TelemetrySummary;
 use kanalysis::timeline::{render_timeline, utilization_timeline};
 use kbaselines::SchedulerKind;
 use kdag::{DagStats, SelectionPolicy};
-use ksim::{simulate, DesireModel, JobSpec, LiveSimulation, Resources, SimConfig, Simulation};
+use ksim::{
+    simulate, DesireModel, JobSpec, LiveSimulation, Resources, SimConfig, Simulation, TimePolicy,
+};
 use ktelemetry::{FanoutSink, JsonlSink, RecordingSink, SharedSink, SpanRecorder, TelemetryHandle};
 use kworkloads::arrivals::poisson_releases;
 use kworkloads::heavy_tail::{bursty_releases, heavy_tail_mix, BurstyConfig};
@@ -35,6 +37,12 @@ pub(crate) fn parse_policy(name: &str) -> Result<SelectionPolicy, String> {
         .into_iter()
         .find(|p| p.name() == name)
         .ok_or_else(|| format!("unknown policy '{name}'"))
+}
+
+pub(crate) fn parse_time_policy(args: &ArgMap) -> Result<TimePolicy, String> {
+    let label = args.get_or("time-policy", "event");
+    TimePolicy::from_label(label)
+        .ok_or_else(|| format!("unknown --time-policy '{label}' (expected unit or event)"))
 }
 
 fn load(args: &ArgMap) -> Result<(String, Vec<JobSpec>), String> {
@@ -200,6 +208,7 @@ pub fn simulate_cmd(args: &ArgMap) -> Result<String, String> {
         .with_policy(policy)
         .with_seed(seed)
         .with_quantum(args.num("quantum", 1u64)?)
+        .with_time_policy(parse_time_policy(args)?)
         .with_schedule(args.flag("gantt") || args.get("svg").is_some())
         .with_trace(args.flag("timeline"));
     if let Some(delta) = args.get("feedback") {
@@ -403,7 +412,9 @@ pub fn verify(args: &ArgMap) -> Result<String, String> {
 fn pinned_workload(args: &ArgMap) -> Result<kworkloads::suite::PinnedWorkload, String> {
     let kind = args.get_or("kind", "t12");
     kworkloads::suite::PinnedWorkload::from_name(kind).ok_or_else(|| {
-        format!("unknown --kind '{kind}' (expected t12-stress, large-dag, many-jobs, or swf-slice)")
+        format!(
+            "unknown --kind '{kind}' (expected t12-stress, large-dag, many-jobs, swf-slice, or trace-sparse)"
+        )
     })
 }
 
@@ -413,7 +424,7 @@ fn pinned_workload(args: &ArgMap) -> Result<kworkloads::suite::PinnedWorkload, S
 pub fn profile(args: &ArgMap) -> Result<String, String> {
     let workload = pinned_workload(args)?;
     let (jobs, res) = workload.build();
-    let quantum: u64 = args.num("quantum", 1u64)?;
+    let quantum: u64 = args.num("quantum", workload.quantum())?;
     let spans = SpanRecorder::profiler();
     let mut sched =
         krad::KRad::with_instrumentation(res.k(), TelemetryHandle::off(), spans.clone());
@@ -424,6 +435,7 @@ pub fn profile(args: &ArgMap) -> Result<String, String> {
     let cfg = SimConfig::default()
         .with_policy(SelectionPolicy::Fifo)
         .with_quantum(quantum)
+        .with_time_policy(parse_time_policy(args)?)
         .with_spans(spans.clone());
     let mut live = LiveSimulation::new(res.clone(), cfg).map_err(|e| e.to_string())?;
     live.reserve(jobs.len());
@@ -432,7 +444,7 @@ pub fn profile(args: &ArgMap) -> Result<String, String> {
     }
     let started = std::time::Instant::now();
     while live.has_work() {
-        live.step(&mut sched);
+        live.advance(&mut sched);
     }
     let wall_ns = started.elapsed().as_nanos() as u64;
     let o = live.into_outcome("k-rad");
@@ -471,7 +483,8 @@ pub fn timeline(args: &ArgMap) -> Result<String, String> {
     let tel = TelemetryHandle::from_shared(rec.clone() as SharedSink);
     let cfg = SimConfig::default()
         .with_policy(SelectionPolicy::Fifo)
-        .with_quantum(args.num("quantum", 1u64)?)
+        .with_quantum(args.num("quantum", workload.quantum())?)
+        .with_time_policy(parse_time_policy(args)?)
         .with_trace(true)
         .with_telemetry(tel.clone());
     let sim = Simulation::builder()

@@ -58,16 +58,19 @@ USAGE:
   krad inspect  FILE
   krad bounds   FILE --machine P1,P2,...
   krad simulate FILE --machine P1,P2,... [--scheduler NAME] [--policy NAME]
-                [--quantum Q] [--feedback DELTA] [--seed S] [--gantt] [--timeline]
+                [--quantum Q] [--time-policy unit|event] [--feedback DELTA]
+                [--seed S] [--gantt] [--timeline]
                 [--svg FILE] [--json FILE]
                 [--telemetry FILE.jsonl] [--telemetry-summary]
   krad compare  FILE --machine P1,P2,... [--policy NAME] [--seed S]
   krad verify   FILE --machine P1,P2,... [--policy NAME] [--seed S]
   krad adversarial --k K --p P --m M [--run]
-  krad profile  [--kind t12|large-dag|many-jobs|swf] [--quantum Q]
-  krad timeline --out FILE.json [--kind t12|large-dag|many-jobs|swf]
-                [--scheduler NAME] [--quantum Q] [--seed S]
+  krad profile  [--kind t12|large-dag|many-jobs|swf|trace-sparse] [--quantum Q]
+                [--time-policy unit|event]
+  krad timeline --out FILE.json [--kind t12|large-dag|many-jobs|swf|trace-sparse]
+                [--scheduler NAME] [--quantum Q] [--time-policy unit|event] [--seed S]
   krad serve    --machine P1,P2,... [--scheduler NAME] [--policy NAME] [--quantum Q]
+                [--time-policy unit|event]
                 [--seed S] [--queue-capacity N] [--max-inflight N] [--tick-ms MS]
                 [--addr HOST:PORT] [--unix PATH] [--metrics-addr HOST:PORT]
                 [--flight-capacity N] [--flight-dump FILE.jsonl]

@@ -12,7 +12,7 @@
 //! replay.
 
 use crate::args::ArgMap;
-use crate::commands::{parse_policy, parse_scheduler};
+use crate::commands::{parse_policy, parse_scheduler, parse_time_policy};
 use kanalysis::flight::{load_flight_dump, verify_against_stream, FlightRecorderReport};
 use kanalysis::table::{f3, Table};
 use kdag::DagSpec;
@@ -32,6 +32,7 @@ pub fn server_config(args: &ArgMap) -> Result<ServerConfig, String> {
         scheduler: parse_scheduler(args.get_or("scheduler", "k-rad"))?,
         policy: parse_policy(args.get_or("policy", "fifo"))?,
         quantum: args.num("quantum", 1u64)?,
+        time_policy: parse_time_policy(args)?,
         seed: args.num("seed", 0u64)?,
         queue_capacity: args.num("queue-capacity", 64usize)?,
         max_inflight: args.num("max-inflight", 1024usize)?,

@@ -235,6 +235,95 @@ impl ExecutionState {
         self.executed += total;
         total
     }
+
+    /// Execute up to `max_steps` consecutive synchronous steps under
+    /// one *fixed* allotment row — the batched multi-quantum primitive
+    /// behind the engine's event-driven clock.
+    ///
+    /// Each executed step is bit-for-bit identical to a call of
+    /// [`ExecutionState::execute_step`] with the same `allotments`
+    /// (same pop order per category, same staged successor unlocking,
+    /// same RNG draws), but the per-step dispatch overhead is paid
+    /// once. The run stops early at the first step that would execute
+    /// zero tasks — under a frozen allotment the ready pools only grow
+    /// through this job's own executions, so such a step repeats
+    /// forever and the caller can account the remaining quantum in
+    /// O(1) — or as soon as the job completes.
+    ///
+    /// `executed_out` (length `K`) **accumulates** per-category counts
+    /// across the whole run; the caller zeroes it.
+    pub fn execute_run(
+        &mut self,
+        dag: &JobDag,
+        allotments: &[u32],
+        max_steps: u64,
+        rng: &mut dyn RngCore,
+        executed_out: &mut [u32],
+    ) -> RunReport {
+        assert_eq!(allotments.len(), self.ready.len());
+        assert_eq!(executed_out.len(), self.ready.len());
+        let mut steps = 0u64;
+        let mut tasks = 0u64;
+        while steps < max_steps {
+            self.scratch.clear();
+            let mut step_total = 0u64;
+            for ((a, count), (pool, out)) in allotments
+                .iter()
+                .zip(self.ready_counts.iter_mut())
+                .zip(self.ready.iter_mut().zip(executed_out.iter_mut()))
+            {
+                let take = (*a).min(pool.len() as u32);
+                *out += take;
+                *count -= take;
+                step_total += u64::from(take);
+                for _ in 0..take {
+                    let t = pool
+                        .pop(self.policy, rng)
+                        .expect("pool length checked above");
+                    self.scratch.push(t);
+                }
+            }
+            if step_total == 0 {
+                break;
+            }
+            for i in 0..self.scratch.len() {
+                let t = self.scratch[i];
+                for &s in dag.successors(t) {
+                    let rp = &mut self.remaining_preds[s.index()];
+                    debug_assert!(*rp > 0, "successor unlocked twice");
+                    *rp -= 1;
+                    if *rp == 0 {
+                        let c = dag.category(s).index();
+                        self.ready[c].push(s, dag.height(s));
+                        self.ready_counts[c] += 1;
+                    }
+                }
+            }
+            self.executed += step_total;
+            tasks += step_total;
+            steps += 1;
+            if self.is_complete() {
+                break;
+            }
+        }
+        RunReport {
+            steps,
+            tasks,
+            completed: self.is_complete(),
+        }
+    }
+}
+
+/// Outcome of [`ExecutionState::execute_run`]: how far a fixed-allotment
+/// batch got before the job completed, drained, or hit the step cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Steps executed (each ran at least one task).
+    pub steps: u64,
+    /// Total tasks executed across the run.
+    pub tasks: u64,
+    /// Whether the job completed on the last executed step.
+    pub completed: bool,
 }
 
 #[cfg(test)]
@@ -375,6 +464,66 @@ mod tests {
         let mut rec = Vec::new();
         st.execute_step(&d, &[4, 4], &mut r, &mut out, Some(&mut rec));
         assert_eq!(rec, vec![(Category(0), TaskId(0))]);
+    }
+
+    #[test]
+    fn execute_run_matches_repeated_execute_step() {
+        // Same DAG, same fixed allotment: the batched run must consume
+        // the same RNG draws and execute the same per-step counts as
+        // the unit-step loop, for every selection policy.
+        let cfg = crate::generators::LayeredConfig::uniform(2, 12, 1, 5);
+        let d = crate::generators::layered_random(&mut rng(), &cfg);
+        for policy in SelectionPolicy::ALL {
+            let allot = [2u32, 1];
+            // Oracle: unit steps.
+            let mut st_a = ExecutionState::new(&d, policy);
+            let mut rng_a = StdRng::seed_from_u64(9);
+            let mut totals_a = [0u32; 2];
+            let mut buf = [0u32; 2];
+            let mut steps_a = 0u64;
+            loop {
+                let n = st_a.execute_step(&d, &allot, &mut rng_a, &mut buf, None);
+                if n == 0 {
+                    break;
+                }
+                steps_a += 1;
+                totals_a[0] += buf[0];
+                totals_a[1] += buf[1];
+                if st_a.is_complete() {
+                    break;
+                }
+            }
+            // Batched run.
+            let mut st_b = ExecutionState::new(&d, policy);
+            let mut rng_b = StdRng::seed_from_u64(9);
+            let mut totals_b = [0u32; 2];
+            let rep = st_b.execute_run(&d, &allot, u64::MAX, &mut rng_b, &mut totals_b);
+            assert_eq!(rep.steps, steps_a, "policy {policy}");
+            assert_eq!(totals_b, totals_a, "policy {policy}");
+            assert_eq!(rep.completed, st_a.is_complete(), "policy {policy}");
+            assert_eq!(rep.tasks, st_b.executed());
+            assert_eq!(st_b.desires(), st_a.desires(), "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn execute_run_respects_step_cap_and_drain() {
+        // A 2-task chain under allotment [1]: cap 1 stops mid-job;
+        // allotment [0] drains immediately with zero steps.
+        let mut b = DagBuilder::new(1);
+        let ts = b.add_tasks(Category(0), 2);
+        b.add_chain(&ts).unwrap();
+        let d = b.build().unwrap();
+        let mut st = ExecutionState::new(&d, SelectionPolicy::Fifo);
+        let mut r = rng();
+        let mut totals = [0u32; 1];
+        let rep = st.execute_run(&d, &[1], 1, &mut r, &mut totals);
+        assert_eq!((rep.steps, rep.tasks, rep.completed), (1, 1, false));
+        let rep = st.execute_run(&d, &[0], 10, &mut r, &mut totals);
+        assert_eq!((rep.steps, rep.completed), (0, false));
+        let rep = st.execute_run(&d, &[1], 10, &mut r, &mut totals);
+        assert_eq!((rep.steps, rep.completed), (1, true));
+        assert_eq!(totals, [2]);
     }
 
     #[test]

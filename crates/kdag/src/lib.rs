@@ -58,7 +58,7 @@ pub use builder::DagBuilder;
 pub use category::Category;
 pub use dag::JobDag;
 pub use error::DagError;
-pub use execution::ExecutionState;
+pub use execution::{ExecutionState, RunReport};
 pub use ids::{JobId, TaskId};
 pub use metrics::{parallelism_profile, ProfileRow};
 pub use policy::SelectionPolicy;

@@ -97,6 +97,19 @@ impl Client {
         Ok((ack, events))
     }
 
+    /// Identify the server (protocol version, scheduler, clock).
+    pub fn hello(&mut self) -> io::Result<Response> {
+        self.roundtrip(&Request::Hello)
+    }
+
+    /// Fetch the decoded `hello` body (errors on any other reply).
+    pub fn hello_reply(&mut self) -> io::Result<crate::protocol::HelloReply> {
+        match self.hello()? {
+            Response::Hello(reply) => Ok(reply),
+            other => Err(bad_data(format!("expected a hello reply, got {other:?}"))),
+        }
+    }
+
     /// Fetch per-job states and the engine clock.
     pub fn status(&mut self) -> io::Result<Response> {
         self.roundtrip(&Request::Status)

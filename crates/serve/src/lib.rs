@@ -42,6 +42,6 @@ pub mod wire;
 pub use client::Client;
 pub use loadgen::{run_loadgen, ArrivalKind, LoadgenConfig, LoadgenReport};
 pub use metrics::{ModeTracker, ServiceMetrics};
-pub use protocol::{Event, Request, Response};
+pub use protocol::{Event, HelloReply, Request, Response, PROTOCOL_VERSION};
 pub use replay::{SessionTrace, TraceJob};
 pub use server::{Server, ServerConfig};

@@ -13,6 +13,15 @@ use crate::wire::{self, need_arr, need_str, need_u64, Value};
 use kdag::DagSpec;
 use ksim::Time;
 
+/// Wire-protocol version, reported in `hello` and `stats` replies.
+///
+/// Version history:
+/// * **1** — the original verb set (implicit: replies carry no
+///   `"version"` field; decoders treat its absence as 1).
+/// * **2** — adds the `hello` verb, the `"version"` field on
+///   `hello`/`stats`, and `"time_policy"` on `stats`.
+pub const PROTOCOL_VERSION: u64 = 2;
+
 /// A reference to a server-side generated `kworkloads` scenario.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScenarioRef {
@@ -38,6 +47,8 @@ pub enum Request {
         /// Stream completion events after the reply.
         watch: bool,
     },
+    /// Identify the server: protocol version, scheduler, clock policy.
+    Hello,
     /// Per-job states and engine clock.
     Status,
     /// Service counters and latency metrics.
@@ -98,6 +109,23 @@ pub struct JobStatus {
     pub release: Option<Time>,
     /// Virtual completion time (once done).
     pub completion: Option<Time>,
+}
+
+/// The `hello` reply body: enough for a client to pick compatible
+/// verbs and for wire-protocol evolution to be detectable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HelloReply {
+    /// [`PROTOCOL_VERSION`] of the serving daemon (absent on the wire
+    /// means a pre-versioning v1 server).
+    pub version: u64,
+    /// Label of the scheduling policy serving the session.
+    pub scheduler: String,
+    /// Engine clock policy label (`unit` or `event`).
+    pub time_policy: String,
+    /// Scheduling quantum (engine steps per decision).
+    pub quantum: u64,
+    /// Engine virtual time at the reply.
+    pub now: Time,
 }
 
 /// The `status` reply body.
@@ -162,6 +190,12 @@ pub struct StatsReply {
     pub phase_execute_mean_us: f64,
     /// Label of the scheduling policy serving the session.
     pub scheduler: String,
+    /// [`PROTOCOL_VERSION`] of the serving daemon (decoded as 1 when
+    /// the field is absent — a pre-versioning server).
+    pub version: u64,
+    /// Engine clock policy label (`unit` or `event`; empty from
+    /// pre-versioning servers).
+    pub time_policy: String,
 }
 
 /// The `drain` reply body: final counters plus the canonical trace.
@@ -196,6 +230,8 @@ pub enum Response {
         /// Configured queue capacity.
         capacity: u64,
     },
+    /// `hello` body.
+    Hello(HelloReply),
     /// `status` body.
     Status(StatusReply),
     /// `stats` body.
@@ -338,6 +374,7 @@ impl Request {
                 }
                 s.push('}');
             }
+            Request::Hello => s.push_str("{\"cmd\":\"hello\"}"),
             Request::Status => s.push_str("{\"cmd\":\"status\"}"),
             Request::Stats => s.push_str("{\"cmd\":\"stats\"}"),
             Request::Metrics => s.push_str("{\"cmd\":\"metrics\"}"),
@@ -384,6 +421,7 @@ impl Request {
                     watch,
                 }
             }
+            "hello" => Request::Hello,
             "status" => Request::Status,
             "stats" => Request::Stats,
             "metrics" => Request::Metrics,
@@ -416,6 +454,16 @@ impl Response {
                 s.push_str(&format!(
                     ",\"queue_depth\":{queue_depth},\"capacity\":{capacity}}}"
                 ));
+            }
+            Response::Hello(h) => {
+                s.push_str(&format!(
+                    "{{\"reply\":\"hello\",\"version\":{},\"scheduler\":",
+                    h.version
+                ));
+                wire::push_str_lit(&mut s, &h.scheduler);
+                s.push_str(",\"time_policy\":");
+                wire::push_str_lit(&mut s, &h.time_policy);
+                s.push_str(&format!(",\"quantum\":{},\"now\":{}}}", h.quantum, h.now));
             }
             Response::Status(st) => {
                 s.push_str(&format!(
@@ -466,6 +514,8 @@ impl Response {
                     x.phase_execute_mean_us,
                 ));
                 wire::push_str_lit(&mut s, &x.scheduler);
+                s.push_str(&format!(",\"version\":{},\"time_policy\":", x.version));
+                wire::push_str_lit(&mut s, &x.time_policy);
                 s.push('}');
             }
             Response::Metrics { text } => {
@@ -509,6 +559,21 @@ impl Response {
                 queue_depth: need_u64(&v, "queue_depth")?,
                 capacity: need_u64(&v, "capacity")?,
             },
+            "hello" => Response::Hello(HelloReply {
+                version: v.get("version").and_then(Value::as_u64).unwrap_or(1),
+                scheduler: v
+                    .get("scheduler")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                time_policy: v
+                    .get("time_policy")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                quantum: v.get("quantum").and_then(Value::as_u64).unwrap_or(1),
+                now: v.get("now").and_then(Value::as_u64).unwrap_or(0),
+            }),
             "status" => {
                 let jobs = need_arr(&v, "jobs")?
                     .iter()
@@ -579,6 +644,12 @@ impl Response {
                     .unwrap_or(0.0),
                 scheduler: v
                     .get("scheduler")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                version: v.get("version").and_then(Value::as_u64).unwrap_or(1),
+                time_policy: v
+                    .get("time_policy")
                     .and_then(Value::as_str)
                     .unwrap_or_default()
                     .to_string(),
@@ -673,6 +744,7 @@ mod tests {
                 }),
                 watch: false,
             },
+            Request::Hello,
             Request::Status,
             Request::Stats,
             Request::Metrics,
@@ -690,6 +762,13 @@ mod tests {
     fn responses_roundtrip() {
         let resps = [
             Response::Submitted { jobs: vec![0, 1] },
+            Response::Hello(HelloReply {
+                version: PROTOCOL_VERSION,
+                scheduler: "k-rad".into(),
+                time_policy: "event".into(),
+                quantum: 4,
+                now: 17,
+            }),
             Response::Rejected {
                 reason: "queue full".into(),
                 queue_depth: 64,
@@ -737,6 +816,8 @@ mod tests {
                 phase_rr_cycle_mean_us: 0.5,
                 phase_execute_mean_us: 6.25,
                 scheduler: "k-rad".into(),
+                version: PROTOCOL_VERSION,
+                time_policy: "event".into(),
             }),
             Response::Metrics {
                 text: "# HELP krad_quanta_total x\nkrad_quanta_total 3\n".into(),
@@ -749,6 +830,30 @@ mod tests {
         for r in resps {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn version_fields_are_backward_tolerant() {
+        // A v1 server never sends "version"/"time_policy"; a v2 client
+        // must decode its stats reply and see version 1.
+        let v1 = r#"{"reply":"stats","admitted":1,"rejected":0,"completed":1,"cancelled":0,"queue_depth":0,"max_queue_depth":1,"now":5,"busy_steps":5,"idle_steps":0,"quanta":5,"quantum_latency_mean_us":1.0,"scheduler":"k-rad"}"#;
+        match Response::decode(v1).unwrap() {
+            Response::Stats(x) => {
+                assert_eq!(x.version, 1);
+                assert_eq!(x.time_policy, "");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // And a v2 reply advertises the current protocol version.
+        let line = Response::Hello(HelloReply {
+            version: PROTOCOL_VERSION,
+            scheduler: "equi".into(),
+            time_policy: "unit".into(),
+            quantum: 1,
+            now: 0,
+        })
+        .encode();
+        assert!(line.contains("\"version\":2"), "{line}");
     }
 
     #[test]

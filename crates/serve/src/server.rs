@@ -18,12 +18,13 @@
 
 use crate::metrics::{ModeTracker, ServiceMetrics};
 use crate::protocol::{
-    DrainReply, Event, JobState, JobStatus, Request, Response, ScenarioRef, StatsReply, StatusReply,
+    DrainReply, Event, HelloReply, JobState, JobStatus, Request, Response, ScenarioRef, StatsReply,
+    StatusReply, PROTOCOL_VERSION,
 };
 use crate::replay::{SessionTrace, TraceJob};
 use kbaselines::SchedulerKind;
 use kdag::{DagSpec, JobDag, SelectionPolicy};
-use ksim::{JobSpec, LiveSimulation, Resources, SimConfig, Time};
+use ksim::{JobSpec, LiveSimulation, Resources, SimConfig, Time, TimePolicy};
 use ktelemetry::{
     CounterHandle, FanoutSink, FlightRecorder, HistogramHandle, SharedSink, SpanKind, SpanRecorder,
     TelemetryHandle,
@@ -50,6 +51,10 @@ pub struct ServerConfig {
     pub policy: SelectionPolicy,
     /// Scheduling quantum (engine steps per decision).
     pub quantum: u64,
+    /// How the engine clock advances inside a service quantum (see
+    /// [`ksim::TimePolicy`]); the event-driven clock batches idle and
+    /// frozen spans so sparse sessions cost O(events), not O(steps).
+    pub time_policy: TimePolicy,
     /// Seed for the engine RNG and randomized schedulers.
     pub seed: u64,
     /// Bound on the submission queue (admitted, not yet injected).
@@ -82,6 +87,7 @@ impl Default for ServerConfig {
             scheduler: SchedulerKind::KRad,
             policy: SelectionPolicy::Fifo,
             quantum: 1,
+            time_policy: TimePolicy::EventDriven,
             seed: 0,
             queue_capacity: 64,
             max_inflight: 1024,
@@ -251,6 +257,7 @@ impl Server {
             .with_policy(cfg.policy)
             .with_seed(cfg.seed)
             .with_quantum(cfg.quantum)
+            .with_time_policy(cfg.time_policy)
             .with_telemetry(tel.clone())
             .with_spans(spans.clone());
         let live = LiveSimulation::new(res, sim_cfg)
@@ -448,15 +455,16 @@ fn scheduler_loop(
             }
         }
 
-        // One quantum of engine work, unlocked.
+        // One quantum of engine work, unlocked. `run_until` follows
+        // the configured [`TimePolicy`]: under the event-driven clock
+        // the whole quantum is usually a handful of batched segments.
         let start = Instant::now();
         let quantum_span = spans.start();
         done_buf.clear();
-        for _ in 0..cfg.quantum.max(1) {
-            if !live.has_work() {
-                break;
-            }
-            done_buf.extend_from_slice(live.step(scheduler.as_mut()));
+        let target = live.now() + cfg.quantum.max(1);
+        if live.has_work() {
+            let report = live.run_until(target, scheduler.as_mut());
+            done_buf.extend(report.completed_jobs());
         }
         spans.finish(SpanKind::Quantum, quantum_span);
         let latency_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
@@ -849,6 +857,8 @@ fn stats_reply(g: &Inner, shared: &Shared) -> StatsReply {
         phase_rr_cycle_mean_us: spans.mean_micros(SpanKind::RrCycle),
         phase_execute_mean_us: spans.mean_micros(SpanKind::Execute),
         scheduler: shared.cfg.scheduler.label().to_string(),
+        version: PROTOCOL_VERSION,
+        time_policy: shared.cfg.time_policy.label().to_string(),
     }
 }
 
@@ -969,6 +979,19 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (Response, Option<WatchSession>
                 }
             }
             admit(shared, dags, watch)
+        }
+        Request::Hello => {
+            let g = shared.inner.lock().unwrap();
+            (
+                Response::Hello(HelloReply {
+                    version: PROTOCOL_VERSION,
+                    scheduler: shared.cfg.scheduler.label().to_string(),
+                    time_policy: shared.cfg.time_policy.label().to_string(),
+                    quantum: shared.cfg.quantum,
+                    now: g.now,
+                }),
+                None,
+            )
         }
         Request::Status => {
             let g = shared.inner.lock().unwrap();

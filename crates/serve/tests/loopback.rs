@@ -42,6 +42,15 @@ fn concurrent_clients_drain_and_replay_byte_for_byte() {
     // A burst larger than the queue capacity is refused outright —
     // backpressure is an explicit reply, not a hang or a drop.
     let mut probe = Client::connect(&addr).expect("probe connects");
+
+    // A v2 server identifies itself: protocol version, scheduler, and
+    // the engine clock policy serving the session.
+    let hello = probe.hello_reply().expect("hello runs");
+    assert_eq!(hello.version, kserve::PROTOCOL_VERSION);
+    assert_eq!(hello.scheduler, "k-rad");
+    assert_eq!(hello.time_policy, "event");
+    assert_eq!(hello.quantum, 2);
+
     match probe.submit(some_dags(64, 1)).expect("submit runs") {
         Response::Rejected {
             reason, capacity, ..
@@ -144,6 +153,8 @@ fn concurrent_clients_drain_and_replay_byte_for_byte() {
             assert_eq!(stats.queue_depth, 0);
             assert!(stats.busy_steps > 0);
             assert_eq!(stats.idle_steps, 0, "work-conserving: no virtual idling");
+            assert_eq!(stats.version, kserve::PROTOCOL_VERSION);
+            assert_eq!(stats.time_policy, "event");
         }
         other => panic!("expected stats, got {other:?}"),
     }

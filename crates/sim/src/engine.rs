@@ -63,8 +63,60 @@ pub enum DesireModel {
     },
 }
 
+/// How the engine's virtual clock advances.
+///
+/// Both policies produce **bit-for-bit identical** outcomes, traces,
+/// schedules, and telemetry streams — `UnitStep` is the oracle the
+/// event-driven core is property-tested against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TimePolicy {
+    /// One unit-time step per engine iteration: the paper's model,
+    /// executed literally. Cost is `O(makespan)` engine iterations.
+    #[default]
+    UnitStep,
+    /// Event-driven clock: each [`crate::LiveSimulation::advance`]
+    /// call executes one *event* step (decision boundary, job
+    /// activation, or idle fast-forward) and then batches the plain
+    /// steps up to the next event horizon in one pass — jobs that
+    /// drain under their frozen allotments drop out of the inner loop,
+    /// and once nothing can execute the remaining quantum is accounted
+    /// in O(1). Cost is proportional to steps on which *something
+    /// happens*, which is what makes trace-scale (SWF) runs feasible.
+    EventDriven,
+}
+
+impl TimePolicy {
+    /// Stable wire/CLI label (`"unit"` / `"event"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TimePolicy::UnitStep => "unit",
+            TimePolicy::EventDriven => "event",
+        }
+    }
+
+    /// Parse a wire/CLI label back into a policy.
+    pub fn from_label(s: &str) -> Option<TimePolicy> {
+        match s {
+            "unit" | "unit-step" => Some(TimePolicy::UnitStep),
+            "event" | "event-driven" => Some(TimePolicy::EventDriven),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TimePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Engine configuration.
+///
+/// Non-exhaustive: construct via [`SimConfig::default`] (mutating the
+/// public fields) or [`SimConfig::builder`]; future knobs can then be
+/// added without breaking callers.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Which ready tasks run when a job is deprived (environment side).
     pub policy: SelectionPolicy,
@@ -99,6 +151,10 @@ pub struct SimConfig {
     /// timed by the engine; schedulers add `deq_allot`/`rr_cycle`).
     /// Off by default: a disabled recorder never reads the clock.
     pub spans: SpanRecorder,
+    /// How the virtual clock advances ([`TimePolicy::UnitStep`] by
+    /// default). Outcomes are identical either way; `EventDriven`
+    /// batches the plain steps between events.
+    pub time_policy: TimePolicy,
 }
 
 impl Default for SimConfig {
@@ -114,6 +170,7 @@ impl Default for SimConfig {
             desire_model: DesireModel::Exact,
             telemetry: TelemetryHandle::off(),
             spans: SpanRecorder::off(),
+            time_policy: TimePolicy::UnitStep,
         }
     }
 }
@@ -188,6 +245,115 @@ impl SimConfig {
     pub fn with_spans(mut self, spans: SpanRecorder) -> Self {
         self.spans = spans;
         self
+    }
+
+    /// Set the [`TimePolicy`] (chainable).
+    pub fn with_time_policy(mut self, time_policy: TimePolicy) -> Self {
+        self.time_policy = time_policy;
+        self
+    }
+
+    /// A builder over the default configuration, mirroring
+    /// [`crate::Simulation::builder`]'s knob names.
+    ///
+    /// ```
+    /// use ksim::{SimConfig, TimePolicy};
+    /// let cfg = SimConfig::builder()
+    ///     .quantum(4)
+    ///     .time_policy(TimePolicy::EventDriven)
+    ///     .record_trace(true)
+    ///     .build();
+    /// assert_eq!(cfg.quantum, 4);
+    /// assert_eq!(cfg.time_policy, TimePolicy::EventDriven);
+    /// ```
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`SimConfig`], created by [`SimConfig::builder`].
+///
+/// Knob names mirror [`crate::SimulationBuilder`]; `build()` is
+/// infallible — structural validation (e.g. the `q ≥ 1` contract)
+/// happens where the config meets jobs and a machine, exactly as with
+/// a field-mutated config.
+#[derive(Clone, Debug, Default)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Set the [`SelectionPolicy`].
+    pub fn policy(mut self, policy: SelectionPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Set the scheduling quantum `q ≥ 1`.
+    pub fn quantum(mut self, quantum: u64) -> Self {
+        self.cfg.quantum = quantum;
+        self
+    }
+
+    /// Set the [`DesireModel`].
+    pub fn desire_model(mut self, model: DesireModel) -> Self {
+        self.cfg.desire_model = model;
+        self
+    }
+
+    /// Enable/disable per-step [`crate::StepTrace`] recording.
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.cfg.record_trace = record;
+        self
+    }
+
+    /// Enable/disable full-schedule recording.
+    pub fn record_schedule(mut self, record: bool) -> Self {
+        self.cfg.record_schedule = record;
+        self
+    }
+
+    /// Set the stall limit.
+    pub fn stall_limit(mut self, limit: u64) -> Self {
+        self.cfg.stall_limit = limit;
+        self
+    }
+
+    /// Set the step cap.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.cfg.max_steps = max_steps;
+        self
+    }
+
+    /// Wire a [`TelemetryHandle`] into the engine.
+    pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    /// Wire a [`SpanRecorder`] into the engine.
+    pub fn spans(mut self, spans: SpanRecorder) -> Self {
+        self.cfg.spans = spans;
+        self
+    }
+
+    /// Set the [`TimePolicy`].
+    pub fn time_policy(mut self, time_policy: TimePolicy) -> Self {
+        self.cfg.time_policy = time_policy;
+        self
+    }
+
+    /// Finish the configuration.
+    pub fn build(self) -> SimConfig {
+        self.cfg
     }
 }
 
@@ -264,8 +430,17 @@ pub(crate) fn run_engine(
         // Shape validation already ran; a mismatch here is a caller bug.
         live.inject(j.clone()).unwrap_or_else(|e| panic!("{e}"));
     }
-    while live.has_work() {
-        live.step(scheduler);
+    match cfg.time_policy {
+        TimePolicy::UnitStep => {
+            while live.has_work() {
+                live.step_once(scheduler);
+            }
+        }
+        TimePolicy::EventDriven => {
+            while live.has_work() {
+                live.advance(scheduler);
+            }
+        }
     }
 
     tel.emit(|| TelemetryEvent::RunEnd {

@@ -49,8 +49,8 @@ pub mod checker;
 pub mod live;
 
 pub use allot::AllotmentMatrix;
-pub use engine::{simulate, DesireModel, JobSpec, SimConfig};
-pub use live::{InjectError, LiveSimulation};
+pub use engine::{simulate, DesireModel, JobSpec, SimConfig, SimConfigBuilder, TimePolicy};
+pub use live::{InjectError, LiveSimulation, QuantumReport};
 pub use outcome::SimOutcome;
 pub use resources::Resources;
 pub use scheduler::Scheduler;

@@ -26,7 +26,7 @@ use crate::checker::{ExecRecord, RecordedSchedule};
 use crate::session::BuildError;
 use crate::{
     AllotmentMatrix, DesireModel, JobSpec, JobView, Resources, Scheduler, SimConfig, SimOutcome,
-    StepTrace, Time,
+    StepTrace, Time, TimePolicy,
 };
 use kdag::{Category, ExecutionState, JobId, TaskId};
 use ktelemetry::{SpanKind, TelemetryEvent, TelemetryHandle};
@@ -80,9 +80,52 @@ impl fmt::Display for InjectError {
 
 impl std::error::Error for InjectError {}
 
+/// What one [`LiveSimulation::advance`] (or
+/// [`LiveSimulation::run_until`]) call did — the typed report that
+/// replaces the bare completed-index slice of the deprecated
+/// [`LiveSimulation::step`].
+///
+/// Non-exhaustive so the engine can grow the report (e.g. per-category
+/// waste) without breaking callers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct QuantumReport {
+    /// Virtual time when the call began.
+    pub from: Time,
+    /// Virtual time when the call returned.
+    pub to: Time,
+    /// Busy (executed) steps in `(from, to]`.
+    pub busy: u64,
+    /// Idle (fast-forwarded) steps in `(from, to]`.
+    pub idle: u64,
+    /// Whether a decision boundary fell inside this call (the
+    /// scheduler was consulted and allotments were re-frozen).
+    pub decided: bool,
+    /// Per-category allotment totals in force at `to`.
+    pub allotted: Vec<u32>,
+    /// Jobs that completed, as `(job index, completion time)` pairs in
+    /// completion order.
+    pub completed: Vec<(usize, Time)>,
+    /// The clock mode the engine ran this call under.
+    pub time_policy: TimePolicy,
+}
+
+impl QuantumReport {
+    /// Steps of virtual time this call advanced (`to - from`).
+    pub fn steps(&self) -> u64 {
+        self.to - self.from
+    }
+
+    /// Indices of the jobs that completed during this call.
+    pub fn completed_jobs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.completed.iter().map(|&(idx, _)| idx)
+    }
+}
+
 /// An incrementally drivable simulation: inject jobs at (or after) the
-/// current virtual time, advance with [`step`](LiveSimulation::step),
-/// and extract the standard [`SimOutcome`] when done.
+/// current virtual time, advance with
+/// [`advance`](LiveSimulation::advance), and extract the standard
+/// [`SimOutcome`] when done.
 ///
 /// ```
 /// use kdag::generators::fork_join;
@@ -95,7 +138,8 @@ impl std::error::Error for InjectError {}
 /// live.inject(JobSpec::batched(fork_join(2, &[(Category(0), 4), (Category(1), 2)])))
 ///     .unwrap();
 /// while live.has_work() {
-///     live.step(&mut sched);
+///     let report = live.advance(&mut sched);
+///     assert!(report.to > report.from);
 /// }
 /// assert_eq!(live.now(), 2);
 /// assert_eq!(live.into_outcome("k-rad").makespan, 2);
@@ -143,6 +187,11 @@ pub struct LiveSimulation {
     proc_counter: Vec<u32>,
     decision_totals: Vec<u64>,
     just_completed: Vec<usize>,
+    /// Active jobs that can still execute under the current frozen
+    /// rows — the working set of the event-driven plain-step batcher.
+    seg_live: Vec<usize>,
+    /// Reused report buffer returned by `advance`/`run_until`.
+    report: QuantumReport,
 
     // Accounting.
     executed_by_category: Vec<u64>,
@@ -211,6 +260,8 @@ impl LiveSimulation {
             proc_counter: vec![0; k],
             decision_totals: vec![0; k],
             just_completed: Vec::new(),
+            seg_live: Vec::new(),
+            report: QuantumReport::default(),
             executed_by_category: vec![0; k],
             allotted_by_category: vec![0; k],
             busy_steps: 0,
@@ -369,12 +420,30 @@ impl LiveSimulation {
     /// Advance exactly one step (plus any idle fast-forward preceding
     /// it) and return the indices of jobs that completed on this step.
     ///
+    /// Deprecated: use [`advance`](Self::advance), which returns a
+    /// typed [`QuantumReport`] (time advanced, allotments, completions,
+    /// clock mode) and honors [`SimConfig::time_policy`]. `step`
+    /// always advances exactly one unit step regardless of the
+    /// configured time policy.
+    ///
     /// # Panics
     /// Panics if called with no work ([`has_work`](Self::has_work) is
     /// the caller's guard), if the scheduler over-allots a category,
     /// stalls past `cfg.stall_limit`, or `cfg.max_steps` is exceeded —
     /// the same contract enforcement as the batch path.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `advance`, which returns a typed `QuantumReport`"
+    )]
     pub fn step(&mut self, scheduler: &mut dyn Scheduler) -> &[usize] {
+        self.report.completed.clear();
+        self.step_once(scheduler);
+        &self.just_completed
+    }
+
+    /// One unit step of the engine: the shared core both clock modes
+    /// are built on. Returns whether a decision was taken.
+    pub(crate) fn step_once(&mut self, scheduler: &mut dyn Scheduler) -> bool {
         // Phase lap chain: `ready` (arrival activation, desire
         // digestion, view building) → `decide` (scheduler allot, on
         // decision steps only) → `execute` (freeze/commit, task
@@ -632,6 +701,7 @@ impl LiveSimulation {
                 self.remaining -= 1;
                 any_completed = true;
                 self.just_completed.push(idx);
+                self.report.completed.push((idx, t));
                 // Losing processors by *finishing* is not a preemption:
                 // clearing `frozen_set` excludes this job from the next
                 // decision's old-vs-new comparison.
@@ -687,7 +757,448 @@ impl LiveSimulation {
             });
         }
         cfg.spans.finish(SpanKind::Execute, lap);
-        &self.just_completed
+        decided
+    }
+
+    /// Advance the clock by one *event* and return a typed
+    /// [`QuantumReport`] of what happened.
+    ///
+    /// Under [`TimePolicy::UnitStep`] (the default) this is exactly
+    /// one unit step, like the deprecated [`step`](Self::step). Under
+    /// [`TimePolicy::EventDriven`] one call executes the next event
+    /// step — a decision boundary, a job activation, or an idle
+    /// fast-forward — and then batches the *plain* steps up to the
+    /// next event horizon `min(next decision, next activation)` in one
+    /// pass: jobs that drain under their frozen rows leave the inner
+    /// loop permanently, and once every active job is drained the rest
+    /// of the quantum is accounted in O(1). Outcomes, traces,
+    /// schedules, and telemetry streams are bit-for-bit identical
+    /// under both policies.
+    ///
+    /// # Panics
+    /// Same contract enforcement as [`step`](Self::step).
+    pub fn advance(&mut self, scheduler: &mut dyn Scheduler) -> &QuantumReport {
+        self.begin_report();
+        self.advance_inner(scheduler);
+        self.finish_report()
+    }
+
+    /// Advance until virtual time reaches at least `target` (or all
+    /// work completes), returning one merged [`QuantumReport`] for the
+    /// whole span. A single event (e.g. an idle fast-forward to a far
+    /// release) may overshoot `target`, exactly as repeated
+    /// [`step`](Self::step) calls would.
+    pub fn run_until(&mut self, target: Time, scheduler: &mut dyn Scheduler) -> &QuantumReport {
+        self.begin_report();
+        while self.remaining > 0 && self.t < target {
+            self.advance_inner(scheduler);
+        }
+        self.finish_report()
+    }
+
+    /// The next *scheduled* event time: the earliest step at which the
+    /// engine must consult the scheduler or activate an arrival.
+    /// `None` when no work remains. Task completions are not
+    /// predictable in the non-clairvoyant model — they are discovered
+    /// (and reported) by advancing.
+    pub fn next_event(&self) -> Option<Time> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.active.is_empty() {
+            // The next event is the activation step of the earliest
+            // pending arrival (after any idle fast-forward).
+            let r = self.jobs[self.order[self.next_arrival]].release;
+            return Some(r.max(self.t) + 1);
+        }
+        Some(self.plain_horizon().max(self.t + 1))
+    }
+
+    /// Reset the report accumulators for a fresh `advance`/`run_until`
+    /// call. `busy`/`idle` temporarily hold the starting counters;
+    /// `finish_report` converts them to deltas.
+    fn begin_report(&mut self) {
+        self.report.from = self.t;
+        self.report.to = self.t;
+        self.report.decided = false;
+        self.report.completed.clear();
+        self.report.busy = self.busy_steps;
+        self.report.idle = self.idle_steps;
+    }
+
+    fn finish_report(&mut self) -> &QuantumReport {
+        self.report.to = self.t;
+        self.report.busy = self.busy_steps - self.report.busy;
+        self.report.idle = self.idle_steps - self.report.idle;
+        self.report.allotted.clear();
+        self.report
+            .allotted
+            .extend_from_slice(&self.allotted_totals);
+        self.report.time_policy = self.cfg.time_policy;
+        &self.report
+    }
+
+    /// One event step, plus (event-driven only) the batched plain
+    /// steps up to the next event horizon.
+    fn advance_inner(&mut self, scheduler: &mut dyn Scheduler) {
+        if self.step_once(scheduler) {
+            self.report.decided = true;
+        }
+        if self.cfg.time_policy == TimePolicy::EventDriven {
+            while self.remaining > 0 && !self.active.is_empty() {
+                let horizon = self.plain_horizon();
+                if self.t + 1 >= horizon {
+                    break;
+                }
+                self.run_plain_segment(horizon - 1 - self.t, scheduler);
+            }
+        }
+    }
+
+    /// First step index that is *not* plain: the next decision
+    /// boundary or the activation step of the next pending arrival.
+    /// Steps strictly before the horizon change no frozen state and
+    /// admit no arrivals, so they may be batched.
+    fn plain_horizon(&self) -> Time {
+        let activation = match self.order.get(self.next_arrival) {
+            Some(&j) => self.jobs[j].release + 1,
+            None => Time::MAX,
+        };
+        self.next_decision.min(activation)
+    }
+
+    /// Execute up to `n` plain steps (no decision, no arrival) in one
+    /// batched pass. May stop early when the active set empties; every
+    /// state transition, panic, telemetry event, and trace record is
+    /// bit-for-bit what `n` unit steps would have produced.
+    fn run_plain_segment(&mut self, n: u64, scheduler: &mut dyn Scheduler) {
+        debug_assert!(n > 0 && !self.active.is_empty());
+        let lap = self.cfg.spans.start();
+        let k = self.k;
+        let observed = self.cfg.record_trace || self.cfg.record_schedule || self.tel.is_enabled();
+        // A job that executes zero tasks on a plain step can never
+        // execute again before the next decision: its allotment row is
+        // frozen and its ready pools only grow through its own
+        // executions. So the live set starts as the active jobs with a
+        // nonzero frozen row and only ever shrinks.
+        self.seg_live.clear();
+        for &idx in &self.active {
+            if self.frozen_set[idx] && self.frozen[idx * k..(idx + 1) * k].iter().any(|&a| a > 0) {
+                self.seg_live.push(idx);
+            }
+        }
+        self.recompute_allotted_totals();
+        let mut left = n;
+        while left > 0 && self.remaining > 0 && !self.active.is_empty() {
+            if self.seg_live.is_empty() {
+                // Nothing can execute until the horizon: O(1) jump.
+                self.bulk_idle_active_steps(left, scheduler, observed);
+                break;
+            }
+            if !observed && self.seg_live.len() == 1 {
+                // Single live job, no per-step observers: hand the
+                // whole remaining segment to the batched kdag run.
+                // Any drained co-active jobs draw no RNG and record
+                // nothing, so skipping them is observationally exact.
+                let idx = self.seg_live[0];
+                let cap = left.min(self.cfg.max_steps.saturating_sub(self.t));
+                if cap == 0 {
+                    self.t += 1;
+                    panic!(
+                        "simulation exceeded max_steps={} under scheduler '{}'",
+                        self.cfg.max_steps,
+                        scheduler.name()
+                    );
+                }
+                let row = idx * k..(idx + 1) * k;
+                self.executed_buf.fill(0);
+                let rep = self.states[idx].execute_run(
+                    &self.jobs[idx].dag,
+                    &self.frozen[row.clone()],
+                    cap,
+                    &mut self.rng,
+                    &mut self.executed_buf,
+                );
+                self.t += rep.steps;
+                self.busy_steps += rep.steps;
+                if rep.steps > 0 {
+                    self.stalled = 0;
+                }
+                left -= rep.steps;
+                for (tot, &e) in self.executed_by_category.iter_mut().zip(&self.executed_buf) {
+                    *tot += u64::from(e);
+                }
+                if self.feedback_delta.is_some() && self.usage_init[idx] {
+                    for (u, &e) in self.usage[row].iter_mut().zip(&self.executed_buf) {
+                        *u += u64::from(e);
+                    }
+                }
+                for (tot, &a) in self
+                    .allotted_by_category
+                    .iter_mut()
+                    .zip(&self.allotted_totals)
+                {
+                    *tot += u64::from(a) * rep.steps;
+                }
+                if rep.completed {
+                    self.complete_job(idx, scheduler);
+                    self.seg_live.clear();
+                    self.active.retain(|&x| x != idx);
+                    self.recompute_allotted_totals();
+                } else if rep.steps < cap {
+                    // Drained: the next step executes nothing, forever
+                    // within this quantum.
+                    self.seg_live.clear();
+                } else if left > 0 {
+                    // `cap` was the max_steps allowance, not the
+                    // horizon: the next step trips the cap.
+                    self.t += 1;
+                    panic!(
+                        "simulation exceeded max_steps={} under scheduler '{}'",
+                        self.cfg.max_steps,
+                        scheduler.name()
+                    );
+                }
+                continue;
+            }
+            self.plain_step_lean(scheduler);
+            left -= 1;
+        }
+        self.cfg.spans.finish(SpanKind::Execute, lap);
+    }
+
+    /// One plain step, step-major over the live jobs — used when
+    /// per-step observers (trace, schedule, telemetry) are on or more
+    /// than one job is live, both of which pin the exact per-step,
+    /// per-job order of RNG draws and records.
+    fn plain_step_lean(&mut self, scheduler: &mut dyn Scheduler) {
+        self.t += 1;
+        let t = self.t;
+        assert!(
+            t <= self.cfg.max_steps,
+            "simulation exceeded max_steps={} under scheduler '{}'",
+            self.cfg.max_steps,
+            scheduler.name()
+        );
+        let active_before = self.active.len() as u32;
+        self.tel.emit(|| TelemetryEvent::StepStart {
+            t,
+            active_jobs: active_before,
+        });
+        self.step_executed_totals.fill(0);
+        self.proc_counter.fill(0);
+        let k = self.k;
+        let mut step_total = 0u64;
+        let mut any_completed = false;
+        let mut w = 0usize;
+        for i in 0..self.seg_live.len() {
+            let idx = self.seg_live[i];
+            let row = idx * k..(idx + 1) * k;
+            self.exec_record.clear();
+            let rec = self.cfg.record_schedule.then_some(&mut self.exec_record);
+            let n = self.states[idx].execute_step(
+                &self.jobs[idx].dag,
+                &self.frozen[row.clone()],
+                &mut self.rng,
+                &mut self.executed_buf,
+                rec,
+            );
+            step_total += n;
+            for (tot, &e) in self
+                .step_executed_totals
+                .iter_mut()
+                .zip(self.executed_buf.iter())
+            {
+                *tot += e;
+            }
+            if self.feedback_delta.is_some() && self.usage_init[idx] {
+                for (u, &e) in self.usage[row].iter_mut().zip(self.executed_buf.iter()) {
+                    *u += u64::from(e);
+                }
+            }
+            for &(cat, task) in &self.exec_record {
+                let p = &mut self.proc_counter[cat.index()];
+                self.schedule.records.push(ExecRecord {
+                    job: JobId(idx as u32),
+                    task,
+                    t,
+                    category: cat,
+                    processor: *p,
+                });
+                *p += 1;
+            }
+            if self.states[idx].is_complete() {
+                any_completed = true;
+                self.complete_job(idx, scheduler);
+            } else if n > 0 {
+                self.seg_live[w] = idx;
+                w += 1;
+            }
+            // `n == 0` without completion: drained, drop from the live
+            // set (skipped by not writing back).
+        }
+        self.seg_live.truncate(w);
+        for (tot, &e) in self
+            .executed_by_category
+            .iter_mut()
+            .zip(&self.step_executed_totals)
+        {
+            *tot += u64::from(e);
+        }
+        for (tot, &a) in self
+            .allotted_by_category
+            .iter_mut()
+            .zip(&self.allotted_totals)
+        {
+            *tot += u64::from(a);
+        }
+        if any_completed {
+            let states = &self.states;
+            self.active.retain(|&idx| !states[idx].is_complete());
+        }
+        self.busy_steps += 1;
+        if step_total == 0 && self.remaining > 0 {
+            self.stalled += 1;
+            assert!(
+                self.stalled <= self.cfg.stall_limit,
+                "scheduler '{}' stalled for {} consecutive steps at t={t}",
+                scheduler.name(),
+                self.stalled
+            );
+        } else {
+            self.stalled = 0;
+        }
+        self.tel.emit(|| TelemetryEvent::StepEnd {
+            t,
+            allotted: self.allotted_totals.clone(),
+            executed: self.step_executed_totals.clone(),
+        });
+        if self.cfg.record_trace {
+            self.trace.push(StepTrace {
+                t,
+                active_jobs: (self.active.len() + usize::from(any_completed)) as u32,
+                allotted: self.allotted_totals.clone(),
+                executed: self.step_executed_totals.clone(),
+            });
+        }
+        if any_completed {
+            self.recompute_allotted_totals();
+        }
+    }
+
+    /// Account `m` plain steps on which every active job is drained —
+    /// state-wise an O(1) jump, with per-step telemetry/trace emitted
+    /// only when observers are on, and the unit stepper's stall/cap
+    /// panics reproduced at their exact times.
+    fn bulk_idle_active_steps(&mut self, m: u64, scheduler: &mut dyn Scheduler, observed: bool) {
+        debug_assert!(self.remaining > 0 && !self.active.is_empty());
+        // Steps that pass each per-step assert: `max_ok` more steps
+        // keep `t <= max_steps`; `stall_ok` more keep the stall counter
+        // within the limit.
+        let max_ok = self.cfg.max_steps.saturating_sub(self.t);
+        let stall_ok = self.cfg.stall_limit.saturating_sub(self.stalled);
+        if m <= max_ok && m <= stall_ok {
+            self.apply_zero_steps(m, observed);
+            return;
+        }
+        if max_ok <= stall_ok {
+            // The step cap trips first: it asserts immediately after
+            // the time increment, before any accounting.
+            self.apply_zero_steps(max_ok.min(m), observed);
+            self.t += 1;
+            panic!(
+                "simulation exceeded max_steps={} under scheduler '{}'",
+                self.cfg.max_steps,
+                scheduler.name()
+            );
+        }
+        // The stall limit trips first: the failing step completes its
+        // accounting before the assert, exactly like the unit stepper.
+        self.apply_zero_steps(stall_ok + 1, observed);
+        panic!(
+            "scheduler '{}' stalled for {} consecutive steps at t={}",
+            scheduler.name(),
+            self.stalled,
+            self.t
+        );
+    }
+
+    /// Pure accounting for `m` zero-execution steps (no asserts).
+    fn apply_zero_steps(&mut self, m: u64, observed: bool) {
+        if m == 0 {
+            return;
+        }
+        let t0 = self.t;
+        self.t += m;
+        self.busy_steps += m;
+        self.stalled += m;
+        for (tot, &a) in self
+            .allotted_by_category
+            .iter_mut()
+            .zip(&self.allotted_totals)
+        {
+            *tot += u64::from(a) * m;
+        }
+        if observed {
+            let active_jobs = self.active.len() as u32;
+            for t in t0 + 1..=t0 + m {
+                self.tel
+                    .emit(|| TelemetryEvent::StepStart { t, active_jobs });
+                self.tel.emit(|| TelemetryEvent::StepEnd {
+                    t,
+                    allotted: self.allotted_totals.clone(),
+                    executed: vec![0; self.k],
+                });
+                if self.cfg.record_trace {
+                    self.trace.push(StepTrace {
+                        t,
+                        active_jobs,
+                        allotted: self.allotted_totals.clone(),
+                        executed: vec![0; self.k],
+                    });
+                }
+            }
+        }
+    }
+
+    /// Shared completion bookkeeping for the batched paths (the unit
+    /// stepper inlines the same sequence). Does *not* remove the job
+    /// from `active`/`seg_live` — callers own those structures.
+    fn complete_job(&mut self, idx: usize, scheduler: &mut dyn Scheduler) {
+        let t = self.t;
+        self.completions[idx] = t;
+        scheduler.on_completion(JobId(idx as u32), t);
+        let release = self.jobs[idx].release;
+        self.tel.emit(|| TelemetryEvent::JobCompleted {
+            t,
+            job: idx as u32,
+            response: t - release,
+        });
+        self.remaining -= 1;
+        self.frozen_set[idx] = false;
+        if self.feedback_delta.is_some() {
+            self.est_set[idx] = false;
+        }
+        self.report.completed.push((idx, t));
+    }
+
+    /// Rebuild the per-category allotment totals from the frozen rows
+    /// of the active jobs (what the unit stepper computes per
+    /// non-decision step).
+    fn recompute_allotted_totals(&mut self) {
+        let k = self.k;
+        self.allotted_totals.fill(0);
+        for &idx in &self.active {
+            if self.frozen_set[idx] {
+                for (tot, &a) in self
+                    .allotted_totals
+                    .iter_mut()
+                    .zip(&self.frozen[idx * k..(idx + 1) * k])
+                {
+                    *tot += a;
+                }
+            }
+        }
     }
 
     /// Consume the engine and produce the standard [`SimOutcome`]
@@ -790,7 +1301,7 @@ mod tests {
                 next += 1;
                 continue;
             }
-            live.step(&mut sched);
+            live.advance(&mut sched);
         }
         let online = live.into_outcome("greedy-all");
         assert_eq!(online.completions, batch.completions);
@@ -802,7 +1313,8 @@ mod tests {
     }
 
     #[test]
-    fn step_reports_completions() {
+    #[allow(deprecated)]
+    fn deprecated_step_still_reports_completions() {
         let mut live = LiveSimulation::new(Resources::uniform(2, 4), SimConfig::default()).unwrap();
         live.inject(JobSpec::batched(diamond())).unwrap();
         let mut sched = GreedyAll;
@@ -816,11 +1328,70 @@ mod tests {
     }
 
     #[test]
+    fn advance_reports_completions_and_time() {
+        let mut live = LiveSimulation::new(Resources::uniform(2, 4), SimConfig::default()).unwrap();
+        live.inject(JobSpec::batched(diamond())).unwrap();
+        live.inject(JobSpec::released(diamond(), 10)).unwrap();
+        let mut sched = GreedyAll;
+        let mut done = Vec::new();
+        let mut idle = 0u64;
+        while live.has_work() {
+            let report = live.advance(&mut sched).clone();
+            assert_eq!(report.to, live.now());
+            assert!(report.to > report.from);
+            assert_eq!(report.time_policy, TimePolicy::UnitStep);
+            idle += report.idle;
+            done.extend(report.completed_jobs());
+        }
+        assert_eq!(done, vec![0, 1]);
+        assert_eq!(live.completion(0), Some(3));
+        assert_eq!(live.completion(1), Some(13));
+        assert_eq!(idle, 7, "gap between t=3 and release 10");
+    }
+
+    #[test]
+    fn next_event_and_run_until_walk_the_horizon() {
+        let cfg = SimConfig::builder()
+            .quantum(5)
+            .time_policy(TimePolicy::EventDriven)
+            .build();
+        let mut live = LiveSimulation::new(Resources::uniform(1, 2), cfg).unwrap();
+        let flat = |n: usize| {
+            let mut b = DagBuilder::new(1);
+            b.add_tasks(Category(0), n);
+            b.build().unwrap()
+        };
+        live.inject(JobSpec::batched(flat(20))).unwrap();
+        live.inject(JobSpec::released(flat(2), 2)).unwrap();
+        // Before any step: the first event is step 1 (activation).
+        assert_eq!(live.next_event(), Some(1));
+        let report = live.advance(&mut GreedyAll);
+        // Decision at t=1 froze allotments until t=6; job 1 activates
+        // at step 3, so the first advance batches steps 1..=2.
+        assert!(report.decided);
+        assert_eq!((report.from, report.to), (0, 2));
+        assert_eq!(live.next_event(), Some(3));
+        // run_until pushes through activation + boundary events.
+        let report = live.run_until(7, &mut GreedyAll);
+        assert_eq!(report.from, 2);
+        assert!(report.to >= 7);
+        assert!(report.decided, "boundary at t=6 falls in this span");
+        assert_eq!(live.next_event(), Some(11), "next boundary after t=6");
+        while live.has_work() {
+            live.advance(&mut GreedyAll);
+        }
+        assert_eq!(live.next_event(), None);
+        let o = live.into_outcome("greedy-all");
+        // 22 tasks on 2 processors, serialized by the shared category.
+        assert_eq!(o.busy_steps, 11);
+    }
+
+    #[test]
     fn inject_rejects_past_releases_and_k_mismatch() {
         let mut live = LiveSimulation::new(Resources::uniform(2, 4), SimConfig::default()).unwrap();
         live.inject(JobSpec::batched(diamond())).unwrap();
         let mut sched = GreedyAll;
-        live.step(&mut sched);
+        live.advance(&mut sched);
         assert_eq!(
             live.inject(JobSpec::batched(diamond())).unwrap_err(),
             InjectError::ReleaseInPast { release: 0, now: 1 }
@@ -848,7 +1419,7 @@ mod tests {
         assert_eq!(live.last_allotted(), &[0, 0]);
 
         let mut sched = GreedyAll;
-        live.step(&mut sched);
+        live.advance(&mut sched);
         // After step 1 the diamond's root ran: one category-0 task.
         assert_eq!(live.executed_by_category(), &[1, 0]);
         assert!(live.last_allotted()[0] >= 1);
@@ -856,7 +1427,7 @@ mod tests {
         assert_eq!(desires, vec![0, 2], "both middle tasks are now ready");
 
         while live.has_work() {
-            live.step(&mut sched);
+            live.advance(&mut sched);
         }
         // Quantum 1 → one decision per busy step (3 for the diamond).
         assert_eq!(cfg.spans.count(SpanKind::Decide), 3);
@@ -896,7 +1467,7 @@ mod tests {
         live.inject(JobSpec::batched(flat(8))).unwrap();
         let mut injected_second = None;
         while live.has_work() {
-            live.step(&mut sched);
+            live.advance(&mut sched);
             if live.now() == 2 && injected_second.is_none() {
                 let r = live.now();
                 live.inject(JobSpec::released(flat(4), r)).unwrap();

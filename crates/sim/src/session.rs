@@ -244,6 +244,12 @@ impl SimulationBuilder {
         self
     }
 
+    /// Select how the engine clock advances (see [`crate::TimePolicy`]).
+    pub fn time_policy(mut self, policy: crate::TimePolicy) -> Self {
+        self.cfg.time_policy = policy;
+        self
+    }
+
     /// Validate the assembled run and produce a [`Simulation`].
     pub fn build(self) -> Result<Simulation, BuildError> {
         let res = self.res.ok_or(BuildError::MissingResources)?;

@@ -13,8 +13,10 @@ use crate::heavy_tail::{bursty_releases, heavy_tail_mix, BurstyConfig};
 use crate::mixes::{batched_mix, MixConfig};
 use crate::rng_for;
 use crate::swf::synthetic_trace_workload;
-use kdag::generators::{layered_random, LayeredConfig};
+use kdag::generators::{layered_random, phased, LayeredConfig, PhaseSpec};
+use kdag::Category;
 use ksim::{JobSpec, Resources};
+use std::sync::Arc;
 
 /// The T12 stress workload, full (non-quick) size: 80 heavy-tailed
 /// jobs with bursty MMPP releases on a `[6, 3]` machine — many
@@ -56,6 +58,35 @@ pub fn swf_slice() -> (Vec<JobSpec>, Resources) {
     (jobs, Resources::new(vec![16, 2]))
 }
 
+/// Trace-scale sparse workload: 120 small phased jobs (I/O bracket +
+/// compute rectangle, width 1–4) whose releases are separated by
+/// 400–2300 steps of quiet, stretching the horizon to ~160k steps on a
+/// `[16, 2]` machine. Paired with its pinned quantum of 4096 (see
+/// [`PinnedWorkload::quantum`]), arriving jobs sit un-allotted until
+/// the next freeze boundary while the machine is otherwise drained —
+/// the regime where the unit stepper pays one call per simulated step
+/// and the event-driven clock collapses whole segments to O(1).
+pub fn trace_sparse() -> (Vec<JobSpec>, Resources) {
+    let mut jobs = Vec::with_capacity(120);
+    let mut t: u64 = 0;
+    for i in 0..120u64 {
+        t += 400 + (i * 181) % 1900;
+        let width = 1 + (i % 4) as u32;
+        let length = 8 + ((i * 7) % 25) as u32;
+        let io_len = 1 + (i % 3) as u32;
+        let phases = [
+            PhaseSpec::new(Category(1), 1, io_len),
+            PhaseSpec::new(Category(0), width, length),
+            PhaseSpec::new(Category(1), 1, io_len),
+        ];
+        jobs.push(JobSpec {
+            dag: Arc::new(phased(2, &phases)),
+            release: t,
+        });
+    }
+    (jobs, Resources::new(vec![16, 2]))
+}
+
 /// One workload of the pinned suite, addressable by name.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PinnedWorkload {
@@ -67,15 +98,18 @@ pub enum PinnedWorkload {
     ManyJobs,
     /// [`swf_slice`].
     SwfSlice,
+    /// [`trace_sparse`].
+    TraceSparse,
 }
 
 impl PinnedWorkload {
     /// Every pinned workload, in trajectory order.
-    pub const ALL: [PinnedWorkload; 4] = [
+    pub const ALL: [PinnedWorkload; 5] = [
         PinnedWorkload::T12Stress,
         PinnedWorkload::LargeDag,
         PinnedWorkload::ManyJobs,
         PinnedWorkload::SwfSlice,
+        PinnedWorkload::TraceSparse,
     ];
 
     /// The canonical suite name (used in `BENCH_*.json` and the CLI).
@@ -85,6 +119,7 @@ impl PinnedWorkload {
             PinnedWorkload::LargeDag => "large-dag",
             PinnedWorkload::ManyJobs => "many-jobs",
             PinnedWorkload::SwfSlice => "swf-slice",
+            PinnedWorkload::TraceSparse => "trace-sparse",
         }
     }
 
@@ -96,6 +131,7 @@ impl PinnedWorkload {
             "large-dag" | "dag" => Some(PinnedWorkload::LargeDag),
             "many-jobs" | "jobs" => Some(PinnedWorkload::ManyJobs),
             "swf-slice" | "swf" => Some(PinnedWorkload::SwfSlice),
+            "trace-sparse" | "sparse" => Some(PinnedWorkload::TraceSparse),
             _ => None,
         }
     }
@@ -107,6 +143,18 @@ impl PinnedWorkload {
             PinnedWorkload::LargeDag => large_dag(),
             PinnedWorkload::ManyJobs => many_jobs(),
             PinnedWorkload::SwfSlice => swf_slice(),
+            PinnedWorkload::TraceSparse => trace_sparse(),
+        }
+    }
+
+    /// The scheduling quantum the workload is pinned to. The dense
+    /// workloads are measured at the paper's unit quantum; the sparse
+    /// trace shape is measured at a coarse quantum (4096) so allotments
+    /// stay frozen across arrival gaps — the trace-scale regime.
+    pub fn quantum(self) -> u64 {
+        match self {
+            PinnedWorkload::TraceSparse => 4096,
+            _ => 1,
         }
     }
 }
@@ -141,6 +189,24 @@ mod tests {
             let (jobs, res) = w.build();
             assert!(!jobs.is_empty(), "{}", w.name());
             assert!(jobs.iter().all(|j| j.dag.k() == res.k()), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn trace_sparse_is_sparse() {
+        let (jobs, res) = trace_sparse();
+        assert_eq!(jobs.len(), 120);
+        assert_eq!(res.as_slice(), &[16, 2]);
+        let horizon = jobs.iter().map(|j| j.release).max().unwrap();
+        let total_tasks: usize = jobs.iter().map(|j| j.dag.len()).sum();
+        // The horizon dwarfs the work: most steps execute nothing.
+        assert!(horizon > 100_000, "horizon {horizon}");
+        assert!(total_tasks < 10_000, "tasks {total_tasks}");
+        // Gaps stay below the pinned quantum + stall limit headroom.
+        let mut prev = 0;
+        for j in &jobs {
+            assert!(j.release - prev < 2400);
+            prev = j.release;
         }
     }
 
