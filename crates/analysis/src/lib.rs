@@ -21,6 +21,9 @@
 //! * [`flight`] — post-mortem summaries of service flight-recorder
 //!   dumps and their byte-for-byte verification against deterministic
 //!   replays;
+//! * [`journal`] — post-mortem reader for `kjournal` files: record
+//!   tallies per file and a dry run of server recovery over a journal
+//!   directory;
 //! * [`profile`] — ASCII per-phase breakdowns of the engine hot path
 //!   from [`ktelemetry::PhaseStat`] profiles;
 //! * [`chrome_trace`] — schedule timelines exported as Chrome
@@ -37,6 +40,7 @@ pub mod bounds;
 pub mod chrome_trace;
 pub mod flight;
 pub mod gantt;
+pub mod journal;
 pub mod offline;
 pub mod profile;
 pub mod report;

@@ -57,13 +57,13 @@ impl SchedulerKind {
     /// Instantiate a fresh scheduler for a `k`-category machine.
     /// Randomized schedulers use a fixed default seed; use
     /// [`SchedulerKind::build_seeded`] to vary it.
-    pub fn build(self, k: usize) -> Box<dyn Scheduler> {
+    pub fn build(self, k: usize) -> Box<dyn Scheduler + Send> {
         self.build_seeded(k, 0xC0FFEE)
     }
 
     /// Instantiate with an explicit seed for randomized schedulers
     /// (ignored by the deterministic ones).
-    pub fn build_seeded(self, k: usize, seed: u64) -> Box<dyn Scheduler> {
+    pub fn build_seeded(self, k: usize, seed: u64) -> Box<dyn Scheduler + Send> {
         match self {
             SchedulerKind::KRad => Box::new(KRad::new(k)),
             SchedulerKind::Equi => Box::new(Equi::new()),
@@ -86,7 +86,7 @@ impl SchedulerKind {
         k: usize,
         seed: u64,
         tel: TelemetryHandle,
-    ) -> Box<dyn Scheduler> {
+    ) -> Box<dyn Scheduler + Send> {
         self.build_observed(k, seed, tel, SpanRecorder::off())
     }
 
@@ -100,7 +100,7 @@ impl SchedulerKind {
         seed: u64,
         tel: TelemetryHandle,
         spans: SpanRecorder,
-    ) -> Box<dyn Scheduler> {
+    ) -> Box<dyn Scheduler + Send> {
         match self {
             SchedulerKind::KRad => Box::new(KRad::with_instrumentation(k, tel, spans)),
             other => other.build_seeded(k, seed),

@@ -42,6 +42,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "stats" => service::stats(&args),
         "metrics" => service::metrics(&args),
         "flight" => service::flight(&args),
+        "journal" => service::journal(&args),
+        "recover" => service::recover(&args),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown subcommand '{other}'\n\n{}", usage())),
     }
@@ -74,6 +76,8 @@ USAGE:
                 [--seed S] [--queue-capacity N] [--max-inflight N] [--tick-ms MS]
                 [--addr HOST:PORT] [--unix PATH] [--metrics-addr HOST:PORT]
                 [--flight-capacity N] [--flight-dump FILE.jsonl]
+                [--journal-dir DIR] [--fsync always|interval[:ms]|never]
+                [--snapshot-every N]
   krad submit   --addr HOST:PORT (FILE [--watch] | --scenario NAME [--jobs N] [--seed S]
                 | --status | --stats | --cancel ID
                 | --drain [--verify] [--trace-out FILE])
@@ -83,6 +87,8 @@ USAGE:
   krad stats    --addr HOST:PORT [--watch [--interval-ms MS] [--count N]]
   krad metrics  --addr HOST:PORT
   krad flight   FILE.jsonl [--trace TRACE.json]
+  krad journal  inspect FILE.kj
+  krad recover  DIR
 
 SCHEDULERS: k-rad equi deq-only rr-only greedy-fcfs las random-rr
 POLICIES:   fifo lifo random critical-first critical-last"

@@ -14,8 +14,10 @@
 use crate::args::ArgMap;
 use crate::commands::{parse_policy, parse_scheduler, parse_time_policy};
 use kanalysis::flight::{load_flight_dump, verify_against_stream, FlightRecorderReport};
+use kanalysis::journal::{JournalDirReport, JournalFileReport};
 use kanalysis::table::{f3, Table};
 use kdag::DagSpec;
+use kjournal::FsyncPolicy;
 use kserve::loadgen::{run_loadgen, ArrivalKind, LoadgenConfig};
 use kserve::protocol::{Response, ScenarioRef, StatsReply};
 use kserve::{Client, Event, Server, ServerConfig, SessionTrace};
@@ -50,6 +52,14 @@ pub fn server_config(args: &ArgMap) -> Result<ServerConfig, String> {
     if let Some(path) = args.get("flight-dump") {
         cfg.flight_dump = Some(path.into());
     }
+    if let Some(dir) = args.get("journal-dir") {
+        cfg.journal_dir = Some(dir.into());
+    }
+    if let Some(label) = args.get("fsync") {
+        cfg.fsync = FsyncPolicy::parse(label)
+            .ok_or_else(|| format!("bad --fsync '{label}' (always|interval[:ms]|never)"))?;
+    }
+    cfg.snapshot_every = args.num("snapshot-every", cfg.snapshot_every)?;
     Ok(cfg)
 }
 
@@ -134,6 +144,24 @@ fn render_stats(x: &StatsReply) -> String {
     ] {
         t.row_owned(vec![label.into(), f3(v)]);
     }
+    t.row_owned(vec!["durability".into(), x.durability.clone()]);
+    if x.durability != "off" {
+        t.row_owned(vec![
+            "journal records".into(),
+            x.journal_records.to_string(),
+        ]);
+        t.row_owned(vec!["journal bytes".into(), x.journal_bytes.to_string()]);
+        t.row_owned(vec!["journal fsyncs".into(), x.journal_fsyncs.to_string()]);
+        t.row_owned(vec![
+            "journal snapshots".into(),
+            x.journal_snapshots.to_string(),
+        ]);
+        t.row_owned(vec![
+            "journal tail records".into(),
+            x.journal_tail_records.to_string(),
+        ]);
+        t.row_owned(vec!["last recovery (ms)".into(), f3(x.last_recovery_ms)]);
+    }
     t.render()
 }
 
@@ -207,6 +235,33 @@ pub fn flight(args: &ArgMap) -> Result<String, String> {
         .unwrap();
     }
     Ok(out)
+}
+
+/// `krad journal` — offline summary of one journal file:
+/// `krad journal inspect FILE.kj` (a WAL or a snapshot).
+pub fn journal(args: &ArgMap) -> Result<String, String> {
+    match args.positional.as_slice() {
+        [action, path] if action == "inspect" => {
+            let path = Path::new(path);
+            let title = format!(
+                "journal file: {}",
+                path.file_name().map_or_else(
+                    || path.display().to_string(),
+                    |n| n.to_string_lossy().into_owned()
+                )
+            );
+            Ok(JournalFileReport::from_file(path)?.render(&title))
+        }
+        _ => Err("usage: krad journal inspect FILE.kj".into()),
+    }
+}
+
+/// `krad recover` — dry run of server recovery: fold snapshot + WAL
+/// in a journal directory and print the session image a restarting
+/// `kserve --journal-dir` would rebuild, without starting a server.
+pub fn recover(args: &ArgMap) -> Result<String, String> {
+    let dir = args.one_positional()?;
+    Ok(JournalDirReport::from_dir(Path::new(dir))?.render())
 }
 
 /// `krad submit` — one-shot client: submit a jobset file or a
@@ -363,6 +418,9 @@ fn stats_json(x: &StatsReply) -> String {
         "{{\"admitted\":{},\"rejected\":{},\"completed\":{},\"cancelled\":{},\
          \"queue_depth\":{},\"max_queue_depth\":{},\"now\":{},\"busy_steps\":{},\
          \"idle_steps\":{},\"quanta\":{},\"quantum_latency_mean_us\":{},\
+         \"quantum_latency_p50_us\":{},\"quantum_latency_p95_us\":{},\
+         \"quantum_latency_p99_us\":{},\
+         \"journal_records\":{},\"journal_fsyncs\":{},\"durability\":\"{}\",\
          \"phase_ready_mean_us\":{},\"phase_decide_mean_us\":{},\
          \"phase_deq_allot_mean_us\":{},\"phase_rr_cycle_mean_us\":{},\
          \"phase_execute_mean_us\":{},\"uptime_secs\":{},\"scheduler\":\"{}\"}}",
@@ -377,6 +435,12 @@ fn stats_json(x: &StatsReply) -> String {
         x.idle_steps,
         x.quanta,
         x.quantum_latency_mean_us,
+        x.quantum_latency_p50_us,
+        x.quantum_latency_p95_us,
+        x.quantum_latency_p99_us,
+        x.journal_records,
+        x.journal_fsyncs,
+        x.durability,
         x.phase_ready_mean_us,
         x.phase_decide_mean_us,
         x.phase_deq_allot_mean_us,
@@ -490,6 +554,83 @@ mod tests {
         assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(cfg.flight_capacity, 128);
         assert_eq!(cfg.flight_dump.as_deref(), Some(Path::new("/tmp/f.jsonl")));
+    }
+
+    #[test]
+    fn server_config_parses_journal_flags() {
+        let cfg = server_config(&parse(&["--machine", "4,2"])).unwrap();
+        assert_eq!(cfg.journal_dir, None);
+
+        let cfg = server_config(&parse(&[
+            "--machine",
+            "4,2",
+            "--journal-dir",
+            "/tmp/j",
+            "--fsync",
+            "always",
+            "--snapshot-every",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.journal_dir.as_deref(), Some(Path::new("/tmp/j")));
+        assert_eq!(cfg.fsync, FsyncPolicy::Always);
+        assert_eq!(cfg.snapshot_every, 64);
+        assert_eq!(
+            server_config(&parse(&["--machine", "4,2", "--fsync", "interval:5"]))
+                .unwrap()
+                .fsync
+                .label(),
+            "interval:5"
+        );
+        assert!(server_config(&parse(&["--machine", "4,2", "--fsync", "nope"])).is_err());
+    }
+
+    #[test]
+    fn journal_inspect_and_recover_over_a_drained_session() {
+        let dir = std::env::temp_dir().join(format!("kcli-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let jdir = dir.join("journal");
+
+        let server = Server::start(ServerConfig {
+            machine: vec![6, 3],
+            seed: 5,
+            journal_dir: Some(jdir.clone()),
+            fsync: FsyncPolicy::Never,
+            ..ServerConfig::default()
+        })
+        .expect("server starts");
+        let addr = server.addr().to_string();
+
+        let out = submit(&parse(&[
+            "--addr",
+            &addr,
+            "--scenario",
+            "pipeline",
+            "--jobs",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("submitted 3 jobs"), "{out}");
+
+        let out = stats(&parse(&["--addr", &addr])).unwrap();
+        assert!(out.contains("durability"), "{out}");
+        assert!(out.contains("wal:never"), "{out}");
+        assert!(out.contains("journal records"), "{out}");
+
+        let out = submit(&parse(&["--addr", &addr, "--drain", "--verify"])).unwrap();
+        assert!(out.contains("replay verified"), "{out}");
+        server.join();
+
+        let snap = jdir.join("snap.kj");
+        let out = journal(&parse(&["inspect", snap.to_str().unwrap()])).unwrap();
+        assert!(out.contains("journal file: snap.kj"), "{out}");
+        assert!(out.contains("session-open"), "{out}");
+        assert!(journal(&parse(&["inspect"])).is_err());
+
+        let out = recover(&parse(&[jdir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("recovered session image"), "{out}");
+        assert!(out.contains("k-rad"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

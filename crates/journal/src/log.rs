@@ -1,0 +1,268 @@
+//! The append side of the journal: a buffered writer with group
+//! commit and a configurable fsync policy.
+//!
+//! Durability layers, and what each one survives:
+//!
+//! 1. `append` copies the frame into a userspace buffer — survives
+//!    nothing by itself.
+//! 2. `commit` flushes the buffer to the kernel with `write(2)` —
+//!    survives `kill -9` of the server process (the page cache is the
+//!    kernel's, not ours). This is the group-commit point: the server
+//!    batches every record of a quantum (or a submit batch) into one
+//!    flush, and *always* commits before acknowledging on the wire.
+//! 3. `fsync(2)` pushes the page cache to the device — survives an OS
+//!    crash or power loss. How often it runs is the [`FsyncPolicy`]:
+//!    `always` syncs every commit, `interval` at most once per window
+//!    (bounded data loss on power failure, bounded latency tax on the
+//!    quantum loop), `never` leaves it to the kernel writeback.
+
+use crate::frame::{append_frame, header_bytes, Record, HEADER_LEN};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// When `commit` escalates from `write(2)` to `fsync(2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync on every commit: survives power loss, pays the device
+    /// latency on every quantum.
+    Always,
+    /// Fsync at most once per window: bounded loss on power failure
+    /// (never more than one window of acked work), amortized cost.
+    Interval(Duration),
+    /// Never fsync explicitly; kernel writeback only. Still survives
+    /// `kill -9` — commits reach the page cache.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse a CLI label: `always`, `never`, `interval` (default
+    /// 50 ms), or `interval:<ms>`.
+    pub fn parse(label: &str) -> Option<FsyncPolicy> {
+        match label {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            "interval" => Some(FsyncPolicy::Interval(Duration::from_millis(50))),
+            other => {
+                let ms = other.strip_prefix("interval:")?.parse::<u64>().ok()?;
+                Some(FsyncPolicy::Interval(Duration::from_millis(ms)))
+            }
+        }
+    }
+
+    /// Stable label (round-trips through [`FsyncPolicy::parse`]).
+    pub fn label(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".into(),
+            FsyncPolicy::Interval(d) => format!("interval:{}", d.as_millis()),
+            FsyncPolicy::Never => "never".into(),
+        }
+    }
+}
+
+/// Counters the writer maintains; the serve layer mirrors them into
+/// the Prometheus registry after each commit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended since open.
+    pub records: u64,
+    /// Frame bytes appended since open (header excluded).
+    pub bytes: u64,
+    /// Group commits (buffer flushes).
+    pub commits: u64,
+    /// Explicit fsyncs issued.
+    pub fsyncs: u64,
+    /// Wall-clock microseconds spent in the last fsync.
+    pub last_fsync_micros: u64,
+}
+
+/// Append-only writer over one journal file.
+pub struct JournalWriter {
+    file: File,
+    buf: Vec<u8>,
+    policy: FsyncPolicy,
+    last_sync: Instant,
+    stats: JournalStats,
+}
+
+impl JournalWriter {
+    /// Open `path` for appending, writing a fresh header if the file
+    /// is new or empty. `valid_len` (from a recovery scan) truncates
+    /// a torn tail first; pass `None` for a brand-new file.
+    pub fn open(
+        path: &Path,
+        policy: FsyncPolicy,
+        valid_len: Option<u64>,
+    ) -> io::Result<JournalWriter> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if let Some(valid) = valid_len {
+            if valid < len {
+                file.set_len(valid)?;
+            }
+        }
+        let len = file.metadata()?.len();
+        if len < HEADER_LEN {
+            file.set_len(0)?;
+            file.write_all(&header_bytes())?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(JournalWriter {
+            file,
+            buf: Vec::with_capacity(4096),
+            policy,
+            last_sync: Instant::now(),
+            stats: JournalStats::default(),
+        })
+    }
+
+    /// Buffer one record. Not durable until [`JournalWriter::commit`].
+    pub fn append(&mut self, record: &Record) {
+        let n = append_frame(&mut self.buf, record);
+        self.stats.records += 1;
+        self.stats.bytes += n as u64;
+    }
+
+    /// Group commit: flush everything buffered to the kernel, then
+    /// fsync according to policy. Must run before the corresponding
+    /// wire acknowledgment.
+    pub fn commit(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.stats.commits += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.fsync()?,
+            FsyncPolicy::Interval(window) => {
+                if self.last_sync.elapsed() >= window {
+                    self.fsync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forced fsync (drain, snapshot rotation) regardless of policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.fsync()
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        let t0 = Instant::now();
+        self.file.sync_data()?;
+        self.last_sync = Instant::now();
+        self.stats.fsyncs += 1;
+        self.stats.last_fsync_micros = t0.elapsed().as_micros() as u64;
+        Ok(())
+    }
+
+    /// Truncate back to a bare header (after a snapshot made the tail
+    /// redundant) and fsync the now-empty log.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.buf.clear();
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header_bytes())?;
+        self.file.sync_all()?;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Counters since open.
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{read_records, sample_meta};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kjournal-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for label in ["always", "never", "interval:7"] {
+            assert_eq!(FsyncPolicy::parse(label).unwrap().label(), label);
+        }
+        assert_eq!(
+            FsyncPolicy::parse("interval").unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(50))
+        );
+        assert!(FsyncPolicy::parse("sometimes").is_none());
+        assert!(FsyncPolicy::parse("interval:ms").is_none());
+    }
+
+    #[test]
+    fn append_commit_reopen_appends_after_valid_tail() {
+        let path = tmp("reopen.kj");
+        std::fs::remove_file(&path).ok();
+        let mut w = JournalWriter::open(&path, FsyncPolicy::Always, None).unwrap();
+        w.append(&Record::SessionOpen(sample_meta()));
+        w.append(&Record::JobAdmitted {
+            job: 1,
+            dag: kdag::DagSpec {
+                k: 1,
+                categories: vec![0],
+                edges: vec![],
+            },
+        });
+        w.commit().unwrap();
+        assert_eq!(w.stats().records, 2);
+        assert!(w.stats().fsyncs >= 1);
+        drop(w);
+
+        // Simulate a torn tail, then reopen with the scan's valid_len.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let valid = read_records(&bytes).unwrap().valid_len;
+        bytes.extend_from_slice(&[0x17, 0x00, 0x00]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut w = JournalWriter::open(&path, FsyncPolicy::Never, Some(valid)).unwrap();
+        w.append(&Record::JobCancelled { job: 1 });
+        w.commit().unwrap();
+        drop(w);
+
+        let out = read_records(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(
+            out.dropped_bytes, 0,
+            "torn bytes were truncated before appending"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_leaves_a_bare_header() {
+        let path = tmp("reset.kj");
+        std::fs::remove_file(&path).ok();
+        let mut w = JournalWriter::open(&path, FsyncPolicy::Never, None).unwrap();
+        w.append(&Record::SessionOpen(sample_meta()));
+        w.commit().unwrap();
+        w.reset().unwrap();
+        w.append(&Record::SessionOpen(sample_meta()));
+        w.commit().unwrap();
+        drop(w);
+        let out = read_records(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(out.records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,569 @@
+//! Directory-level journal store: one live WAL plus the latest
+//! snapshot, and the fold that turns either (or both) back into a
+//! logical session image.
+//!
+//! Layout inside `--journal-dir`:
+//!
+//! ```text
+//! wal.kj    append-only log of everything since the last snapshot
+//! snap.kj   latest snapshot — the same frame format, compacted
+//! ```
+//!
+//! A snapshot is *literally a compacted journal*: the session header,
+//! one `JobAdmitted` per job, the cancellations, the injections in
+//! injection order, and a single `Quantum` record carrying the clock
+//! and every completion. Recovery therefore has exactly one reader:
+//! fold `snap.kj`, then fold `wal.kj` on top. The fold is idempotent
+//! (records keyed by job id are deduplicated, the clock is a max), so
+//! a crash *between* writing the snapshot and truncating the WAL —
+//! when both files describe overlapping history — recovers cleanly.
+//!
+//! Snapshot rotation is crash-safe by construction: write
+//! `snap.kj.tmp`, fsync it, `rename(2)` over `snap.kj` (atomic on
+//! POSIX), then truncate the WAL. At every intermediate point the
+//! directory folds to the same session.
+
+use crate::frame::{read_records, FrameError, Record, SessionMeta};
+use crate::log::{FsyncPolicy, JournalStats, JournalWriter};
+use ksim::Time;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Lifecycle phase of one journaled job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted, waiting in the server queue.
+    Queued,
+    /// Cancelled while queued.
+    Cancelled,
+    /// Handed to the engine with this release stamp. Whether it has
+    /// finished is recorded in [`SessionImage::completed`].
+    Injected {
+        /// Engine clock at injection.
+        release: Time,
+    },
+}
+
+/// One job as the journal knows it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobImage {
+    /// Server-assigned id.
+    pub id: u64,
+    /// The job's DAG.
+    pub dag: kdag::DagSpec,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+}
+
+/// The complete logical state of a session: everything needed to
+/// rebuild the live engine deterministically. Derived engine state
+/// (ready counts, RAD marks/queues, RNG) is intentionally absent — it
+/// is a pure function of `(meta, injected stream, clock)` and is
+/// reconstructed by replay; see DESIGN.md §14.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionImage {
+    /// Session configuration.
+    pub meta: SessionMeta,
+    /// Engine clock at the last journaled quantum boundary.
+    pub clock: Time,
+    /// Cumulative busy steps at `clock` (recovery digest).
+    pub busy: u64,
+    /// Cumulative idle steps at `clock` (recovery digest).
+    pub idle: u64,
+    /// Every admitted job in id (= admission) order.
+    pub jobs: Vec<JobImage>,
+    /// `(job id, completion time)` in completion order.
+    pub completed: Vec<(u64, Time)>,
+}
+
+impl SessionImage {
+    /// A fresh, empty session around `meta`.
+    pub fn new(meta: SessionMeta) -> SessionImage {
+        SessionImage {
+            meta,
+            clock: 0,
+            busy: 0,
+            idle: 0,
+            jobs: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Compact this image back into the canonical record stream a
+    /// snapshot stores. Injections are emitted in id order, which is
+    /// injection order (admission is FIFO and ids are assigned at
+    /// admission), so replaying them preserves release monotonicity.
+    pub fn to_records(&self) -> Vec<Record> {
+        let mut out = Vec::with_capacity(2 + 2 * self.jobs.len());
+        out.push(Record::SessionOpen(self.meta.clone()));
+        for j in &self.jobs {
+            out.push(Record::JobAdmitted {
+                job: j.id,
+                dag: j.dag.clone(),
+            });
+        }
+        for j in &self.jobs {
+            match j.phase {
+                JobPhase::Queued => {}
+                JobPhase::Cancelled => out.push(Record::JobCancelled { job: j.id }),
+                JobPhase::Injected { release } => {
+                    out.push(Record::JobInjected { job: j.id, release })
+                }
+            }
+        }
+        out.push(Record::Quantum {
+            to: self.clock,
+            busy: self.busy,
+            idle: self.idle,
+            completed: self.completed.clone(),
+        });
+        out
+    }
+
+    /// Per-phase counts `(queued, injected-running, cancelled, done)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let done: std::collections::HashSet<u64> =
+            self.completed.iter().map(|&(id, _)| id).collect();
+        let (mut q, mut run, mut c, mut d) = (0, 0, 0, 0);
+        for j in &self.jobs {
+            match j.phase {
+                JobPhase::Queued => q += 1,
+                JobPhase::Cancelled => c += 1,
+                JobPhase::Injected { .. } => {
+                    if done.contains(&j.id) {
+                        d += 1
+                    } else {
+                        run += 1
+                    }
+                }
+            }
+        }
+        (q, run, c, d)
+    }
+}
+
+/// Result of folding a record stream (snapshot + WAL) into an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedSession {
+    /// The reconstructed logical state.
+    pub image: SessionImage,
+    /// Records that referenced unknown job ids or arrived before any
+    /// `SessionOpen` — tolerated but counted, like alien frames.
+    pub anomalies: u64,
+}
+
+/// Fold records (in file order) into a session image. Idempotent:
+/// re-folding a snapshot's own compaction on top of it is a no-op, so
+/// overlapping snapshot + WAL histories merge cleanly.
+pub fn fold_records(records: &[Record]) -> Option<FoldedSession> {
+    let mut image: Option<SessionImage> = None;
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    let mut done: HashMap<u64, Time> = HashMap::new();
+    let mut anomalies = 0u64;
+    for rec in records {
+        let Some(img) = image.as_mut() else {
+            match rec {
+                Record::SessionOpen(meta) => image = Some(SessionImage::new(meta.clone())),
+                _ => anomalies += 1,
+            }
+            continue;
+        };
+        match rec {
+            // A later SessionOpen (the WAL's own, after a snapshot)
+            // must agree with the one already folded.
+            Record::SessionOpen(meta) => {
+                if *meta != img.meta {
+                    anomalies += 1;
+                }
+            }
+            Record::JobAdmitted { job, dag } => {
+                if !index.contains_key(job) {
+                    index.insert(*job, img.jobs.len());
+                    img.jobs.push(JobImage {
+                        id: *job,
+                        dag: dag.clone(),
+                        phase: JobPhase::Queued,
+                    });
+                }
+            }
+            Record::JobCancelled { job } => match index.get(job) {
+                Some(&i) => img.jobs[i].phase = JobPhase::Cancelled,
+                None => anomalies += 1,
+            },
+            Record::JobInjected { job, release } => match index.get(job) {
+                Some(&i) => img.jobs[i].phase = JobPhase::Injected { release: *release },
+                None => anomalies += 1,
+            },
+            Record::Quantum {
+                to,
+                busy,
+                idle,
+                completed,
+            } => {
+                img.clock = img.clock.max(*to);
+                img.busy = img.busy.max(*busy);
+                img.idle = img.idle.max(*idle);
+                for &(job, t) in completed {
+                    if done.insert(job, t).is_none() {
+                        img.completed.push((job, t));
+                    }
+                }
+            }
+        }
+    }
+    image.map(|image| FoldedSession { image, anomalies })
+}
+
+/// What `JournalStore::open` found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredSession {
+    /// The folded logical state.
+    pub image: SessionImage,
+    /// Whether a snapshot contributed (vs. WAL-only history).
+    pub from_snapshot: bool,
+    /// Valid records found in the WAL tail.
+    pub wal_records: u64,
+    /// Torn-tail bytes truncated from the WAL before reopening.
+    pub dropped_bytes: u64,
+    /// CRC-valid frames skipped (unknown kind) across both files.
+    pub skipped: u64,
+    /// Fold anomalies (records referencing unknown jobs).
+    pub anomalies: u64,
+}
+
+/// The live handle the server holds: WAL writer + snapshot rotation.
+pub struct JournalStore {
+    dir: PathBuf,
+    wal: JournalWriter,
+    policy: FsyncPolicy,
+    tail_records: u64,
+    snapshots: u64,
+}
+
+impl JournalStore {
+    /// WAL path inside `dir`.
+    pub fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("wal.kj")
+    }
+
+    /// Snapshot path inside `dir`.
+    pub fn snapshot_path(dir: &Path) -> PathBuf {
+        dir.join("snap.kj")
+    }
+
+    /// Open (creating if needed) the journal directory. Returns the
+    /// store plus the recovered session, if the directory holds one.
+    /// Torn WAL tails are truncated here, before the WAL reopens for
+    /// append; a corrupt *snapshot* is an error (it was written
+    /// atomically, so damage means something external happened).
+    pub fn open(
+        dir: &Path,
+        policy: FsyncPolicy,
+    ) -> io::Result<(JournalStore, Option<RecoveredSession>)> {
+        fs::create_dir_all(dir)?;
+        let mut records: Vec<Record> = Vec::new();
+        let mut from_snapshot = false;
+        let mut skipped = 0u64;
+
+        let snap_path = Self::snapshot_path(dir);
+        if snap_path.exists() {
+            let bytes = fs::read(&snap_path)?;
+            let out = read_records(&bytes).map_err(not_a_journal(&snap_path))?;
+            if out.dropped_bytes > 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "snapshot {} has {} corrupt trailing bytes; snapshots are written \
+                         atomically, refusing to guess",
+                        snap_path.display(),
+                        out.dropped_bytes
+                    ),
+                ));
+            }
+            skipped += out.skipped;
+            from_snapshot = !out.records.is_empty();
+            records.extend(out.records);
+        }
+
+        let wal_path = Self::wal_path(dir);
+        let mut wal_valid = None;
+        let mut wal_records = 0u64;
+        let mut dropped_bytes = 0u64;
+        if wal_path.exists() {
+            let bytes = fs::read(&wal_path)?;
+            // A file shorter than the header is a crash during
+            // creation: treat as empty. Anything longer must carry
+            // our magic.
+            if bytes.len() >= crate::frame::HEADER_LEN as usize {
+                let out = read_records(&bytes).map_err(not_a_journal(&wal_path))?;
+                skipped += out.skipped;
+                wal_records = out.records.len() as u64;
+                dropped_bytes = out.dropped_bytes;
+                wal_valid = Some(out.valid_len);
+                records.extend(out.records);
+            }
+        }
+
+        let wal = JournalWriter::open(&wal_path, policy, wal_valid)?;
+        let recovered = fold_records(&records).map(|folded| RecoveredSession {
+            image: folded.image,
+            from_snapshot,
+            wal_records,
+            dropped_bytes,
+            skipped,
+            anomalies: folded.anomalies,
+        });
+        let store = JournalStore {
+            dir: dir.to_path_buf(),
+            wal,
+            policy,
+            tail_records: wal_records,
+            snapshots: 0,
+        };
+        Ok((store, recovered))
+    }
+
+    /// Buffer one record into the WAL (see [`JournalWriter::append`]).
+    pub fn append(&mut self, record: &Record) {
+        self.wal.append(record);
+        self.tail_records += 1;
+    }
+
+    /// Group commit (see [`JournalWriter::commit`]).
+    pub fn commit(&mut self) -> io::Result<()> {
+        self.wal.commit()
+    }
+
+    /// Forced fsync regardless of policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.wal.sync()
+    }
+
+    /// Write a snapshot of `image` and truncate the WAL behind it.
+    pub fn snapshot(&mut self, image: &SessionImage) -> io::Result<()> {
+        let tmp = self.dir.join("snap.kj.tmp");
+        let mut bytes = crate::frame::header_bytes().to_vec();
+        for rec in image.to_records() {
+            crate::frame::append_frame(&mut bytes, &rec);
+        }
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, Self::snapshot_path(&self.dir))?;
+        // Make the rename itself durable before dropping the WAL; a
+        // failure to fsync the directory is tolerable (the WAL still
+        // folds to the same image), so best effort.
+        if let Ok(d) = fs::File::open(&self.dir) {
+            d.sync_all().ok();
+        }
+        self.wal.reset()?;
+        self.tail_records = 0;
+        self.snapshots += 1;
+        Ok(())
+    }
+
+    /// Records appended to the WAL since the last snapshot — the
+    /// log-tail lag a restart would have to replay.
+    pub fn tail_records(&self) -> u64 {
+        self.tail_records
+    }
+
+    /// Snapshots written by this store since open.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots
+    }
+
+    /// The fsync policy this store was opened with.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Writer counters since open.
+    pub fn stats(&self) -> JournalStats {
+        self.wal.stats()
+    }
+}
+
+fn not_a_journal(path: &Path) -> impl Fn(FrameError) -> io::Error + '_ {
+    move |e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::sample_meta;
+    use kdag::DagSpec;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kjournal-store-{}-{name}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn dag() -> DagSpec {
+        DagSpec {
+            k: 2,
+            categories: vec![0, 1],
+            edges: vec![(0, 1)],
+        }
+    }
+
+    fn scripted_session(store: &mut JournalStore) {
+        store.append(&Record::SessionOpen(sample_meta()));
+        for id in 1..=3u64 {
+            store.append(&Record::JobAdmitted {
+                job: id,
+                dag: dag(),
+            });
+        }
+        store.append(&Record::JobCancelled { job: 2 });
+        store.append(&Record::JobInjected { job: 1, release: 0 });
+        store.append(&Record::Quantum {
+            to: 2,
+            busy: 3,
+            idle: 1,
+            completed: vec![(1, 2)],
+        });
+        store.commit().unwrap();
+    }
+
+    #[test]
+    fn fresh_directory_recovers_nothing_then_everything() {
+        let dir = tmp_dir("fresh");
+        let (mut store, recovered) = JournalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert!(recovered.is_none());
+        scripted_session(&mut store);
+        drop(store);
+
+        let (_store, recovered) = JournalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        let rec = recovered.expect("session recovered");
+        assert!(!rec.from_snapshot);
+        assert_eq!(rec.image.meta, sample_meta());
+        assert_eq!(rec.image.clock, 2);
+        assert_eq!(rec.image.counts(), (1, 0, 1, 1)); // job3 queued, job2 cancelled, job1 done
+        assert_eq!(rec.image.completed, vec![(1, 2)]);
+        assert_eq!(rec.dropped_bytes, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_truncates_wal_and_folds_identically() {
+        let dir = tmp_dir("snap");
+        {
+            let (mut store, _) = JournalStore::open(&dir, FsyncPolicy::Never).unwrap();
+            scripted_session(&mut store);
+        }
+        let (mut store, recovered) = JournalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        let before = recovered.unwrap().image;
+        assert!(store.tail_records() > 0);
+        store.snapshot(&before).unwrap();
+        assert_eq!(store.tail_records(), 0);
+        assert_eq!(store.snapshots(), 1);
+        drop(store);
+
+        let (_s, recovered) = JournalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        let rec = recovered.unwrap();
+        assert!(rec.from_snapshot);
+        assert_eq!(rec.wal_records, 0, "WAL was truncated behind the snapshot");
+        assert_eq!(rec.image, before, "snapshot folds to the identical image");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overlapping_snapshot_and_wal_fold_idempotently() {
+        // Crash between snapshot rename and WAL truncation: both
+        // files describe the same history. The fold must not
+        // duplicate jobs or completions.
+        let dir = tmp_dir("overlap");
+        {
+            let (mut store, _) = JournalStore::open(&dir, FsyncPolicy::Never).unwrap();
+            scripted_session(&mut store);
+        }
+        let image = JournalStore::open(&dir, FsyncPolicy::Never)
+            .unwrap()
+            .1
+            .unwrap()
+            .image;
+
+        // Hand-write the snapshot without touching the WAL.
+        let mut bytes = crate::frame::header_bytes().to_vec();
+        for rec in image.to_records() {
+            crate::frame::append_frame(&mut bytes, &rec);
+        }
+        fs::write(JournalStore::snapshot_path(&dir), &bytes).unwrap();
+
+        let (_s, recovered) = JournalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        let rec = recovered.unwrap();
+        assert_eq!(rec.image, image, "idempotent fold across overlapping files");
+        assert_eq!(rec.anomalies, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_on_open() {
+        let dir = tmp_dir("torn");
+        let (mut store, _) = JournalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        scripted_session(&mut store);
+        drop(store);
+        let wal = JournalStore::wal_path(&dir);
+        let mut bytes = fs::read(&wal).unwrap();
+        let cut = bytes.len() - 3; // tear the final frame
+        bytes.truncate(cut);
+        fs::write(&wal, &bytes).unwrap();
+
+        let (_s, recovered) = JournalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        let rec = recovered.unwrap();
+        assert!(rec.dropped_bytes > 0);
+        assert_eq!(rec.image.clock, 0, "the torn Quantum record was discarded");
+        assert_eq!(
+            fs::metadata(&wal).unwrap().len(),
+            cut as u64 - rec.dropped_bytes,
+            "the file was physically truncated to the last valid frame"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn image_to_records_round_trips_through_fold() {
+        let mut image = SessionImage::new(sample_meta());
+        image.clock = 9;
+        image.busy = 12;
+        image.idle = 4;
+        image.jobs = vec![
+            JobImage {
+                id: 1,
+                dag: dag(),
+                phase: JobPhase::Injected { release: 0 },
+            },
+            JobImage {
+                id: 2,
+                dag: dag(),
+                phase: JobPhase::Cancelled,
+            },
+            JobImage {
+                id: 3,
+                dag: dag(),
+                phase: JobPhase::Injected { release: 4 },
+            },
+            JobImage {
+                id: 4,
+                dag: dag(),
+                phase: JobPhase::Queued,
+            },
+        ];
+        image.completed = vec![(1, 3)];
+        let folded = fold_records(&image.to_records()).unwrap();
+        assert_eq!(folded.image, image);
+        assert_eq!(folded.anomalies, 0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Durability bridge between the daemon and [`kjournal`].
+//!
+//! [`SessionJournal`] wraps the on-disk [`JournalStore`] behind its
+//! own mutex (lock order: `Inner` first, journal second — never the
+//! reverse) and mirrors writer counters into the metrics registry
+//! after every commit. The daemon's invariant is *commit before ack*:
+//! an admission, cancellation, or completion broadcast only reaches
+//! the wire after the corresponding records are flushed to the WAL
+//! with `write(2)` (so they survive `kill -9`; the fsync policy
+//! decides what survives an OS crash).
+//!
+//! Recovery ([`replay_session`]) is the replay-determinism argument
+//! made operational: the journal persists only the session *inputs*
+//! (config, admitted DAGs, injection releases) plus a digest of the
+//! outputs (clock, busy/idle accumulators, completion times). The
+//! engine is rebuilt by re-injecting the inputs and advancing to the
+//! journaled clock; the rebuilt digest must match the journaled one
+//! exactly, in both directions, or recovery refuses to serve. See
+//! DESIGN.md §14.
+
+use crate::metrics::ServiceMetrics;
+use crate::server::ServerConfig;
+use kdag::{DagSpec, JobDag};
+use kjournal::{JobPhase, JournalStats, JournalStore, Record, SessionImage, SessionMeta};
+use ksim::{JobSpec, LiveSimulation, Scheduler, Time};
+use ktelemetry::{CounterHandle, GaugeHandle, HistogramHandle};
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// The [`SessionMeta`] a config journals — and the one a journaled
+/// session is validated against on restart.
+pub fn session_meta(cfg: &ServerConfig) -> SessionMeta {
+    SessionMeta {
+        machine: cfg.machine.clone(),
+        scheduler: cfg.scheduler.label().to_string(),
+        policy: cfg.policy.name().to_string(),
+        time_policy: cfg.time_policy.label().to_string(),
+        quantum: cfg.quantum,
+        seed: cfg.seed,
+    }
+}
+
+/// Refuse to resume a journal under a different configuration: the
+/// engine is only deterministic under the exact (machine, scheduler,
+/// policy, clock, quantum, seed) tuple that produced the journal.
+pub fn validate_meta(cfg: &ServerConfig, meta: &SessionMeta) -> io::Result<()> {
+    let want = session_meta(cfg);
+    if want == *meta {
+        return Ok(());
+    }
+    let mut diffs = Vec::new();
+    if want.machine != meta.machine {
+        diffs.push(format!(
+            "machine {:?} vs journaled {:?}",
+            want.machine, meta.machine
+        ));
+    }
+    if want.scheduler != meta.scheduler {
+        diffs.push(format!(
+            "scheduler {} vs journaled {}",
+            want.scheduler, meta.scheduler
+        ));
+    }
+    if want.policy != meta.policy {
+        diffs.push(format!(
+            "policy {} vs journaled {}",
+            want.policy, meta.policy
+        ));
+    }
+    if want.time_policy != meta.time_policy {
+        diffs.push(format!(
+            "time_policy {} vs journaled {}",
+            want.time_policy, meta.time_policy
+        ));
+    }
+    if want.quantum != meta.quantum {
+        diffs.push(format!(
+            "quantum {} vs journaled {}",
+            want.quantum, meta.quantum
+        ));
+    }
+    if want.seed != meta.seed {
+        diffs.push(format!("seed {} vs journaled {}", want.seed, meta.seed));
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!(
+            "journal was written by a different session configuration: {}",
+            diffs.join(", ")
+        ),
+    ))
+}
+
+/// One journaled job, rebuilt: the validated DAG plus its lifecycle.
+pub struct RecoveredJob {
+    /// Server-assigned id.
+    pub id: u64,
+    /// The built DAG (validated by [`DagSpec::build`]).
+    pub dag: Arc<JobDag>,
+    /// Journaled lifecycle phase.
+    pub phase: JobPhase,
+    /// Completion time from the *rebuilt engine* (verified against
+    /// the journal), for injected jobs that finished before `clock`.
+    pub completion: Option<Time>,
+}
+
+fn divergence(what: impl std::fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("journal/replay divergence — refusing to resume: {what}"),
+    )
+}
+
+/// Rebuild the engine from a journaled [`SessionImage`]: re-inject
+/// every injected job in id (= injection) order with its journaled
+/// release, advance to the journaled clock under the *same* scheduler
+/// instance that will keep serving, and verify the rebuilt digest
+/// (clock, busy/idle, every completion) against the journal in both
+/// directions. Any mismatch is an error, not a warning — serving from
+/// a diverged engine would silently rewrite history.
+pub fn replay_session(
+    live: &mut LiveSimulation,
+    scheduler: &mut dyn Scheduler,
+    image: &SessionImage,
+) -> io::Result<Vec<RecoveredJob>> {
+    let mut jobs = Vec::with_capacity(image.jobs.len());
+    let mut injected: Vec<u64> = Vec::new();
+    for (i, j) in image.jobs.iter().enumerate() {
+        if j.id != i as u64 {
+            return Err(divergence(format!(
+                "job ids must be consecutive admission ids, found {} at position {i}",
+                j.id
+            )));
+        }
+        let dag = j.dag.build().map_err(|e| {
+            divergence(format!(
+                "journaled DAG for job {} fails validation: {e}",
+                j.id
+            ))
+        })?;
+        let dag = Arc::new(dag);
+        if let JobPhase::Injected { release } = j.phase {
+            let engine_idx = live
+                .inject(JobSpec {
+                    dag: Arc::clone(&dag),
+                    release,
+                })
+                .map_err(|e| divergence(format!("re-injecting job {}: {e}", j.id)))?;
+            debug_assert_eq!(engine_idx, injected.len());
+            injected.push(j.id);
+        }
+        jobs.push(RecoveredJob {
+            id: j.id,
+            dag,
+            phase: j.phase,
+            completion: None,
+        });
+    }
+
+    if !injected.is_empty() {
+        live.run_until(image.clock, scheduler);
+    }
+    if live.now() != image.clock {
+        return Err(divergence(format!(
+            "clock: replay reached {} but the journal says {}",
+            live.now(),
+            image.clock
+        )));
+    }
+    if live.busy_steps() != image.busy || live.idle_steps() != image.idle {
+        return Err(divergence(format!(
+            "busy/idle: replay reached {}/{} but the journal says {}/{}",
+            live.busy_steps(),
+            live.idle_steps(),
+            image.busy,
+            image.idle
+        )));
+    }
+
+    // Completion digest, both directions: everything the journal acked
+    // must have completed at the same virtual time, and nothing may
+    // have completed that the journal does not know about.
+    let journaled: std::collections::HashMap<u64, Time> = image.completed.iter().copied().collect();
+    for (engine_idx, &id) in injected.iter().enumerate() {
+        let replayed = live.completion(engine_idx);
+        match (replayed, journaled.get(&id)) {
+            (Some(r), Some(&j)) if r == j => {
+                jobs[id as usize].completion = Some(r);
+            }
+            (None, None) => {}
+            (r, j) => {
+                return Err(divergence(format!(
+                    "job {id}: replayed completion {r:?} vs journaled {j:?}"
+                )));
+            }
+        }
+    }
+    for &(id, _) in &image.completed {
+        let known = image
+            .jobs
+            .get(id as usize)
+            .is_some_and(|j| matches!(j.phase, JobPhase::Injected { .. }));
+        if !known {
+            return Err(divergence(format!(
+                "journaled completion for job {id}, which was never injected"
+            )));
+        }
+    }
+    Ok(jobs)
+}
+
+/// Journal health for the `stats` verb.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JournalHealth {
+    /// Records appended since open.
+    pub records: u64,
+    /// Bytes committed since open.
+    pub bytes: u64,
+    /// fsync(2) calls since open.
+    pub fsyncs: u64,
+    /// Snapshots written since open.
+    pub snapshots: u64,
+    /// WAL records past the last snapshot.
+    pub tail_records: u64,
+}
+
+struct JState {
+    store: JournalStore,
+    mirrored: JournalStats,
+    quanta: u64,
+}
+
+/// The daemon's handle on the journal: serialized writes, snapshot
+/// cadence, and metric mirroring.
+pub struct SessionJournal {
+    state: Mutex<JState>,
+    snapshot_every: u64,
+    records: CounterHandle,
+    bytes: CounterHandle,
+    fsyncs: CounterHandle,
+    fsync_us: HistogramHandle,
+    snapshots: CounterHandle,
+    tail: GaugeHandle,
+}
+
+impl SessionJournal {
+    /// Wrap an opened store, wiring its counters into `metrics`.
+    pub fn new(store: JournalStore, metrics: &ServiceMetrics, snapshot_every: u64) -> Self {
+        SessionJournal {
+            state: Mutex::new(JState {
+                store,
+                mirrored: JournalStats::default(),
+                quanta: 0,
+            }),
+            snapshot_every,
+            records: metrics.journal_records.clone(),
+            bytes: metrics.journal_bytes.clone(),
+            fsyncs: metrics.journal_fsyncs.clone(),
+            fsync_us: metrics.journal_fsync_us.clone(),
+            snapshots: metrics.journal_snapshots.clone(),
+            tail: metrics.journal_tail_records.clone(),
+        }
+    }
+
+    fn mirror(&self, st: &mut JState) {
+        let now = st.store.stats();
+        self.records.add(now.records - st.mirrored.records);
+        self.bytes.add(now.bytes - st.mirrored.bytes);
+        if now.fsyncs > st.mirrored.fsyncs {
+            self.fsyncs.add(now.fsyncs - st.mirrored.fsyncs);
+            self.fsync_us.record(now.last_fsync_micros);
+        }
+        self.tail.set_u64(st.store.tail_records());
+        st.mirrored = now;
+    }
+
+    /// Journal the session header for a fresh (non-recovered) session.
+    pub fn log_open(&self, meta: &SessionMeta) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.store.append(&Record::SessionOpen(meta.clone()));
+        st.store.commit()?;
+        self.mirror(&mut st);
+        Ok(())
+    }
+
+    /// Journal and commit a batch admission (ids `base..base + n`)
+    /// *before* the `submitted` ack goes out.
+    pub fn log_admitted(&self, base: u64, specs: &[DagSpec]) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        for (i, dag) in specs.iter().enumerate() {
+            st.store.append(&Record::JobAdmitted {
+                job: base + i as u64,
+                dag: dag.clone(),
+            });
+        }
+        st.store.commit()?;
+        self.mirror(&mut st);
+        Ok(())
+    }
+
+    /// Journal and commit a cancellation before its ack.
+    pub fn log_cancelled(&self, job: u64) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.store.append(&Record::JobCancelled { job });
+        st.store.commit()?;
+        self.mirror(&mut st);
+        Ok(())
+    }
+
+    /// Buffer an injection record. Not committed here — it rides the
+    /// next group commit (the quantum boundary, at the latest), which
+    /// is safe: until the quantum commits, no output depending on this
+    /// injection has been acknowledged either.
+    pub fn note_injected(&self, job: u64, release: Time) {
+        let mut st = self.state.lock().unwrap();
+        st.store.append(&Record::JobInjected { job, release });
+    }
+
+    /// Journal and group-commit one quantum boundary — *before* its
+    /// completions are broadcast. Returns `true` when the snapshot
+    /// cadence says a snapshot is due.
+    pub fn log_quantum(
+        &self,
+        to: Time,
+        busy: u64,
+        idle: u64,
+        completed: &[(u64, Time)],
+    ) -> io::Result<bool> {
+        let mut st = self.state.lock().unwrap();
+        st.store.append(&Record::Quantum {
+            to,
+            busy,
+            idle,
+            completed: completed.to_vec(),
+        });
+        st.store.commit()?;
+        self.mirror(&mut st);
+        st.quanta += 1;
+        Ok(self.snapshot_every > 0 && st.quanta.is_multiple_of(self.snapshot_every))
+    }
+
+    /// Write a snapshot and truncate the WAL behind it.
+    pub fn snapshot(&self, image: &SessionImage) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.store.snapshot(image)?;
+        self.snapshots.incr();
+        self.mirror(&mut st);
+        Ok(())
+    }
+
+    /// Force an fsync regardless of policy (used at drain).
+    pub fn sync(&self) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.store.sync()?;
+        self.mirror(&mut st);
+        Ok(())
+    }
+
+    /// The durability label clients see: `wal:<fsync policy>`.
+    pub fn durability(&self) -> String {
+        let st = self.state.lock().unwrap();
+        format!("wal:{}", st.store.policy().label())
+    }
+
+    /// Counters for the `stats` verb.
+    pub fn health(&self) -> JournalHealth {
+        let st = self.state.lock().unwrap();
+        let stats = st.store.stats();
+        JournalHealth {
+            records: stats.records,
+            bytes: stats.bytes,
+            fsyncs: stats.fsyncs,
+            snapshots: st.store.snapshots(),
+            tail_records: st.store.tail_records(),
+        }
+    }
+}

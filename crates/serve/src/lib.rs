@@ -19,6 +19,8 @@
 //!   paper-semantic per-category gauges, Theorem 3 bound accumulators,
 //!   DEQ/RR mode-residency tracking) behind the `metrics` verb and the
 //!   optional plain-HTTP `/metrics` scrape listener;
+//! * [`journal`] — the durability bridge: write-ahead session journal,
+//!   snapshot images, and deterministic-replay recovery for hot restart;
 //! * [`client`] — a blocking protocol client;
 //! * [`loadgen`] — a multi-threaded closed-loop load generator;
 //! * [`replay`] — the session trace and its byte-for-byte verifier.
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod journal;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
@@ -40,6 +43,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::Client;
+pub use journal::{JournalHealth, SessionJournal};
 pub use loadgen::{run_loadgen, ArrivalKind, LoadgenConfig, LoadgenReport};
 pub use metrics::{ModeTracker, ServiceMetrics};
 pub use protocol::{Event, HelloReply, Request, Response, PROTOCOL_VERSION};

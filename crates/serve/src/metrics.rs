@@ -75,6 +75,21 @@ pub struct ServiceMetrics {
     pub bound_span_release: GaugeHandle,
     /// The Theorem 3 right-hand side — `krad_bound_theorem3`.
     pub bound_theorem3: GaugeHandle,
+    /// Journal records committed — `krad_journal_records_total`.
+    pub journal_records: CounterHandle,
+    /// Journal bytes committed — `krad_journal_bytes_total`.
+    pub journal_bytes: CounterHandle,
+    /// Journal fsync(2) calls — `krad_journal_fsync_total`.
+    pub journal_fsyncs: CounterHandle,
+    /// Wall-clock fsync latency — `krad_journal_fsync_us`.
+    pub journal_fsync_us: HistogramHandle,
+    /// Snapshots written — `krad_journal_snapshots_total`.
+    pub journal_snapshots: CounterHandle,
+    /// WAL records past the last snapshot — `krad_journal_tail_records`.
+    pub journal_tail_records: GaugeHandle,
+    /// Milliseconds the last journal recovery took —
+    /// `krad_recovery_duration_ms` (0 without a recovery).
+    pub recovery_duration_ms: GaugeHandle,
     started: Instant,
 }
 
@@ -154,6 +169,35 @@ impl ServiceMetrics {
             bound_theorem3: registry.gauge(
                 "krad_bound_theorem3",
                 "Theorem 3 makespan bound: work_over_p + (1 - 1/Pmax) * span_release",
+            ),
+            journal_records: registry.counter(
+                "krad_journal_records_total",
+                "Records committed to the session journal",
+            ),
+            journal_bytes: registry.counter(
+                "krad_journal_bytes_total",
+                "Bytes committed to the session journal",
+            ),
+            journal_fsyncs: registry.counter(
+                "krad_journal_fsync_total",
+                "fsync(2) calls issued by the session journal",
+            ),
+            journal_fsync_us: registry.histogram(
+                "krad_journal_fsync_us",
+                "Wall-clock latency of one journal fsync in microseconds",
+                exp_bounds(20),
+            ),
+            journal_snapshots: registry.counter(
+                "krad_journal_snapshots_total",
+                "Session snapshots written (each truncates the WAL)",
+            ),
+            journal_tail_records: registry.gauge(
+                "krad_journal_tail_records",
+                "WAL records past the last snapshot (replay lag on restart)",
+            ),
+            recovery_duration_ms: registry.gauge(
+                "krad_recovery_duration_ms",
+                "Milliseconds the last journal recovery took (0 if none)",
             ),
             registry,
             started: Instant::now(),

@@ -20,7 +20,10 @@ use ksim::Time;
 ///   `"version"` field; decoders treat its absence as 1).
 /// * **2** — adds the `hello` verb, the `"version"` field on
 ///   `hello`/`stats`, and `"time_policy"` on `stats`.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// * **3** — adds `"durability"` on `hello` and the journal health
+///   fields (`"durability"`, `"journal_*"`, `"last_recovery_ms"`) on
+///   `stats`. All decode tolerantly: absent means journaling off.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// A reference to a server-side generated `kworkloads` scenario.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -126,6 +129,9 @@ pub struct HelloReply {
     pub quantum: u64,
     /// Engine virtual time at the reply.
     pub now: Time,
+    /// Durability mode: `off` (no journal) or `wal:<fsync policy>`,
+    /// e.g. `wal:interval:50`. Decodes as `off` from older servers.
+    pub durability: String,
 }
 
 /// The `status` reply body.
@@ -196,6 +202,23 @@ pub struct StatsReply {
     /// Engine clock policy label (`unit` or `event`; empty from
     /// pre-versioning servers).
     pub time_policy: String,
+    /// Durability mode: `off` or `wal:<fsync policy>` (v3+; decodes
+    /// as `off` from older servers).
+    pub durability: String,
+    /// Records appended to the journal since open.
+    pub journal_records: u64,
+    /// Bytes committed to the journal since open.
+    pub journal_bytes: u64,
+    /// fsync(2) calls issued by the journal since open.
+    pub journal_fsyncs: u64,
+    /// Snapshots written since open.
+    pub journal_snapshots: u64,
+    /// WAL records past the last snapshot — the replay lag a restart
+    /// would pay.
+    pub journal_tail_records: u64,
+    /// Wall-clock milliseconds the last journal recovery took
+    /// (0 when the session did not start from a journal).
+    pub last_recovery_ms: f64,
 }
 
 /// The `drain` reply body: final counters plus the canonical trace.
@@ -463,7 +486,10 @@ impl Response {
                 wire::push_str_lit(&mut s, &h.scheduler);
                 s.push_str(",\"time_policy\":");
                 wire::push_str_lit(&mut s, &h.time_policy);
-                s.push_str(&format!(",\"quantum\":{},\"now\":{}}}", h.quantum, h.now));
+                s.push_str(&format!(",\"quantum\":{},\"now\":{}", h.quantum, h.now));
+                s.push_str(",\"durability\":");
+                wire::push_str_lit(&mut s, &h.durability);
+                s.push('}');
             }
             Response::Status(st) => {
                 s.push_str(&format!(
@@ -516,7 +542,17 @@ impl Response {
                 wire::push_str_lit(&mut s, &x.scheduler);
                 s.push_str(&format!(",\"version\":{},\"time_policy\":", x.version));
                 wire::push_str_lit(&mut s, &x.time_policy);
-                s.push('}');
+                s.push_str(",\"durability\":");
+                wire::push_str_lit(&mut s, &x.durability);
+                s.push_str(&format!(
+                    ",\"journal_records\":{},\"journal_bytes\":{},\"journal_fsyncs\":{},\"journal_snapshots\":{},\"journal_tail_records\":{},\"last_recovery_ms\":{}}}",
+                    x.journal_records,
+                    x.journal_bytes,
+                    x.journal_fsyncs,
+                    x.journal_snapshots,
+                    x.journal_tail_records,
+                    x.last_recovery_ms,
+                ));
             }
             Response::Metrics { text } => {
                 s.push_str("{\"reply\":\"metrics\",\"text\":");
@@ -573,6 +609,11 @@ impl Response {
                     .to_string(),
                 quantum: v.get("quantum").and_then(Value::as_u64).unwrap_or(1),
                 now: v.get("now").and_then(Value::as_u64).unwrap_or(0),
+                durability: v
+                    .get("durability")
+                    .and_then(Value::as_str)
+                    .unwrap_or("off")
+                    .to_string(),
             }),
             "status" => {
                 let jobs = need_arr(&v, "jobs")?
@@ -653,6 +694,29 @@ impl Response {
                     .and_then(Value::as_str)
                     .unwrap_or_default()
                     .to_string(),
+                durability: v
+                    .get("durability")
+                    .and_then(Value::as_str)
+                    .unwrap_or("off")
+                    .to_string(),
+                journal_records: v
+                    .get("journal_records")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0),
+                journal_bytes: v.get("journal_bytes").and_then(Value::as_u64).unwrap_or(0),
+                journal_fsyncs: v.get("journal_fsyncs").and_then(Value::as_u64).unwrap_or(0),
+                journal_snapshots: v
+                    .get("journal_snapshots")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0),
+                journal_tail_records: v
+                    .get("journal_tail_records")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0),
+                last_recovery_ms: v
+                    .get("last_recovery_ms")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
             }),
             "metrics" => Response::Metrics {
                 text: need_str(&v, "text")?.to_string(),
@@ -768,6 +832,7 @@ mod tests {
                 time_policy: "event".into(),
                 quantum: 4,
                 now: 17,
+                durability: "wal:interval:50".into(),
             }),
             Response::Rejected {
                 reason: "queue full".into(),
@@ -818,6 +883,13 @@ mod tests {
                 scheduler: "k-rad".into(),
                 version: PROTOCOL_VERSION,
                 time_policy: "event".into(),
+                durability: "wal:always".into(),
+                journal_records: 44,
+                journal_bytes: 2048,
+                journal_fsyncs: 44,
+                journal_snapshots: 2,
+                journal_tail_records: 7,
+                last_recovery_ms: 1.25,
             }),
             Response::Metrics {
                 text: "# HELP krad_quanta_total x\nkrad_quanta_total 3\n".into(),
@@ -841,19 +913,28 @@ mod tests {
             Response::Stats(x) => {
                 assert_eq!(x.version, 1);
                 assert_eq!(x.time_policy, "");
+                assert_eq!(x.durability, "off", "journal fields default off");
+                assert_eq!(x.journal_records, 0);
             }
             other => panic!("expected stats, got {other:?}"),
         }
-        // And a v2 reply advertises the current protocol version.
+        // A v2 hello (no "durability") decodes with journaling off.
+        let v2 = r#"{"reply":"hello","version":2,"scheduler":"k-rad","time_policy":"event","quantum":1,"now":0}"#;
+        match Response::decode(v2).unwrap() {
+            Response::Hello(h) => assert_eq!(h.durability, "off"),
+            other => panic!("expected hello, got {other:?}"),
+        }
+        // And a current reply advertises the current protocol version.
         let line = Response::Hello(HelloReply {
             version: PROTOCOL_VERSION,
             scheduler: "equi".into(),
             time_policy: "unit".into(),
             quantum: 1,
             now: 0,
+            durability: "off".into(),
         })
         .encode();
-        assert!(line.contains("\"version\":2"), "{line}");
+        assert!(line.contains("\"version\":3"), "{line}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! job, publishes the canonical [`SessionTrace`], and shuts the
 //! listeners down.
 
+use crate::journal::{self, SessionJournal};
 use crate::metrics::{ModeTracker, ServiceMetrics};
 use crate::protocol::{
     DrainReply, Event, HelloReply, JobState, JobStatus, Request, Response, ScenarioRef, StatsReply,
@@ -24,7 +25,8 @@ use crate::protocol::{
 use crate::replay::{SessionTrace, TraceJob};
 use kbaselines::SchedulerKind;
 use kdag::{DagSpec, JobDag, SelectionPolicy};
-use ksim::{JobSpec, LiveSimulation, Resources, SimConfig, Time, TimePolicy};
+use kjournal::{FsyncPolicy, JobImage, JobPhase, JournalStore, SessionImage};
+use ksim::{JobSpec, LiveSimulation, Resources, Scheduler, SimConfig, Time, TimePolicy};
 use ktelemetry::{
     CounterHandle, FanoutSink, FlightRecorder, HistogramHandle, SharedSink, SpanKind, SpanRecorder,
     TelemetryHandle,
@@ -78,6 +80,19 @@ pub struct ServerConfig {
     /// Where the flight recorder is dumped (JSONL) at drain — and on a
     /// scheduler-thread panic, for post-mortem replay.
     pub flight_dump: Option<PathBuf>,
+    /// Directory for the write-ahead session journal. `None` runs
+    /// without durability; with a directory, every admission,
+    /// cancellation, and quantum boundary is committed to the WAL
+    /// *before* it is acknowledged on the wire, and a restart pointed
+    /// at the same directory rebuilds the session by verified replay.
+    pub journal_dir: Option<PathBuf>,
+    /// When the WAL escalates from `write(2)` to `fsync(2)` (see
+    /// [`kjournal::FsyncPolicy`]). Irrelevant without `journal_dir`.
+    pub fsync: FsyncPolicy,
+    /// Write a snapshot (truncating the WAL behind it) every this many
+    /// quanta; 0 disables periodic snapshots. Drain and recovery
+    /// always snapshot.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +113,9 @@ impl Default for ServerConfig {
             metrics_addr: None,
             flight_capacity: 4096,
             flight_dump: None,
+            journal_dir: None,
+            fsync: FsyncPolicy::Interval(Duration::from_millis(50)),
+            snapshot_every: 256,
         }
     }
 }
@@ -114,14 +132,23 @@ enum Slot {
 struct Inner {
     queue: VecDeque<u64>,
     slots: Vec<Slot>,
+    // `DagSpec` per admitted id, kept for journal snapshots (the DAG
+    // itself is dropped from `Slot` once a job is injected).
+    dag_specs: Vec<DagSpec>,
     engine_to_id: Vec<u64>,
     inflight: usize,
     draining: bool,
     drained: bool,
+    // Drained replies built but not yet written to their sockets.
+    // `Server::join` waits for this to hit zero so the process cannot
+    // exit (closing every connection) while a reply is in flight.
+    drain_acks: usize,
     trace: Option<SessionTrace>,
     // Canonical session record, filled at injection / completion.
     trace_jobs: Vec<TraceJob>,
     completions: Vec<Time>,
+    // `(id, completion)` in completion order — the journal's view.
+    completed_log: Vec<(u64, Time)>,
     // Mirrored engine scalars (the engine lives on the scheduler
     // thread; these are refreshed after every quantum).
     now: Time,
@@ -153,26 +180,44 @@ struct Shared {
     metrics: ServiceMetrics,
     mode_tracker: ModeTracker,
     flight: Option<Arc<Mutex<FlightRecorder>>>,
+    journal: Option<SessionJournal>,
 }
 
 impl Shared {
-    fn new(cfg: ServerConfig) -> Arc<Shared> {
+    /// Build the shared state, opening the journal directory when one
+    /// is configured. Returns the session the journal recovered, if
+    /// any — `Server::start` replays it into the engine before the
+    /// scheduler thread exists.
+    fn new(cfg: ServerConfig) -> io::Result<(Arc<Shared>, Option<kjournal::RecoveredSession>)> {
         let metrics = ServiceMetrics::new(&cfg.machine);
         let mode_tracker = ModeTracker::new(cfg.machine.len(), metrics.registry());
         let flight = (cfg.flight_capacity > 0)
             .then(|| Arc::new(Mutex::new(FlightRecorder::new(cfg.flight_capacity))));
+        let (journal, recovered) = match &cfg.journal_dir {
+            Some(dir) => {
+                let (store, recovered) = JournalStore::open(dir, cfg.fsync)?;
+                (
+                    Some(SessionJournal::new(store, &metrics, cfg.snapshot_every)),
+                    recovered,
+                )
+            }
+            None => (None, None),
+        };
         let k = cfg.machine.len();
-        Arc::new(Shared {
+        let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 slots: Vec::new(),
+                dag_specs: Vec::new(),
                 engine_to_id: Vec::new(),
                 inflight: 0,
                 draining: false,
                 drained: false,
+                drain_acks: 0,
                 trace: None,
                 trace_jobs: Vec::new(),
                 completions: Vec::new(),
+                completed_log: Vec::new(),
                 now: 0,
                 active: 0,
                 busy_steps: 0,
@@ -195,7 +240,9 @@ impl Shared {
             metrics,
             mode_tracker,
             flight,
-        })
+            journal,
+        });
+        Ok((shared, recovered))
     }
 
     /// The telemetry handle the engine and scheduler record into: the
@@ -248,7 +295,7 @@ impl Server {
                 "quantum must be at least 1",
             ));
         }
-        let shared = Shared::new(cfg.clone());
+        let (shared, recovered) = Shared::new(cfg.clone())?;
         let tel = shared.telemetry_fanout();
         let spans = SpanRecorder::for_registry(shared.metrics.registry());
 
@@ -260,8 +307,58 @@ impl Server {
             .with_time_policy(cfg.time_policy)
             .with_telemetry(tel.clone())
             .with_spans(spans.clone());
-        let live = LiveSimulation::new(res, sim_cfg)
+        let mut live = LiveSimulation::new(res, sim_cfg)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+
+        // The scheduler is built here (not in the loop) so a journal
+        // recovery replays through the *same* instance that then keeps
+        // serving — its internal state (RAD marks, RR cursors, RNG) is
+        // part of the determinism argument.
+        let mut scheduler =
+            cfg.scheduler
+                .build_observed(live.resources().k(), cfg.seed, tel, spans.clone());
+
+        match recovered {
+            Some(rec) => {
+                let t0 = Instant::now();
+                journal::validate_meta(&cfg, &rec.image.meta)?;
+                let jobs = journal::replay_session(&mut live, scheduler.as_mut(), &rec.image)?;
+                let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let counts = rec.image.counts();
+                {
+                    let mut g = shared.inner.lock().unwrap();
+                    rebuild_inner(&mut g, &shared.metrics, &rec.image, &jobs, &live);
+                }
+                shared.metrics.recovery_duration_ms.set(recovery_ms);
+                // Compact immediately: a crash-restart loop must not
+                // grow the WAL without bound.
+                if let Some(j) = &shared.journal {
+                    j.snapshot(&rec.image)?;
+                }
+                eprintln!(
+                    "kserve: recovered session from journal ({} jobs: {} done, {} running, \
+                     {} queued, {} cancelled; clock {}; {} WAL records{}), replay verified \
+                     in {recovery_ms:.1} ms",
+                    rec.image.jobs.len(),
+                    counts.3,
+                    counts.1,
+                    counts.0,
+                    counts.2,
+                    rec.image.clock,
+                    rec.wal_records,
+                    if rec.dropped_bytes > 0 {
+                        format!(", {} torn bytes truncated", rec.dropped_bytes)
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+            None => {
+                if let Some(j) = &shared.journal {
+                    j.log_open(&journal::session_meta(&cfg))?;
+                }
+            }
+        }
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -301,7 +398,7 @@ impl Server {
                         flight: sched_shared.flight.clone(),
                         path: sched_shared.cfg.flight_dump.clone(),
                     };
-                    scheduler_loop(live, &sched_shared, tel, spans);
+                    scheduler_loop(live, &sched_shared, scheduler, spans);
                     // Unblock the accept loops so the process can exit.
                     sched_shared.stop.store(true, Ordering::SeqCst);
                     let _ = TcpStream::connect(sched_addr);
@@ -415,6 +512,21 @@ impl Server {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // Drained replies are written by detached connection threads;
+        // give every pending one a bounded window to reach its socket
+        // before the caller is free to exit the process (which would
+        // sever the connections mid-reply).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut g = self.shared.inner.lock().unwrap();
+        while g.drain_acks > 0 && Instant::now() < deadline {
+            let (back, _) = self
+                .shared
+                .cv
+                .wait_timeout(g, Duration::from_millis(50))
+                .unwrap();
+            g = back;
+        }
+        drop(g);
         #[cfg(unix)]
         if let Some(path) = &self.shared.cfg.unix_path {
             let _ = std::fs::remove_file(path);
@@ -428,13 +540,10 @@ impl Server {
 fn scheduler_loop(
     mut live: LiveSimulation,
     shared: &Shared,
-    tel: TelemetryHandle,
+    mut scheduler: Box<dyn Scheduler + Send>,
     spans: SpanRecorder,
 ) {
     let cfg = &shared.cfg;
-    let mut scheduler =
-        cfg.scheduler
-            .build_observed(live.resources().k(), cfg.seed, tel, spans.clone());
     let mut done_buf: Vec<usize> = Vec::new();
     let mut desires_buf: Vec<u64> = Vec::new();
     loop {
@@ -442,7 +551,7 @@ fn scheduler_loop(
         {
             let mut g = shared.inner.lock().unwrap();
             loop {
-                inject_queued(&mut live, &mut g);
+                inject_queued(&mut live, &mut g, shared.journal.as_ref());
                 if live.has_work() {
                     break;
                 }
@@ -501,11 +610,25 @@ fn scheduler_loop(
             shared
                 .metrics
                 .update_bounds(&cfg.machine, &g.work_by_cat, g.span_release_max);
-            for &engine_idx in &done_buf {
-                let completion = live
-                    .completion(engine_idx)
-                    .expect("just-completed job has a completion time");
-                let id = g.engine_to_id[engine_idx];
+            let done_jobs: Vec<(u64, Time)> = done_buf
+                .iter()
+                .map(|&engine_idx| {
+                    let completion = live
+                        .completion(engine_idx)
+                        .expect("just-completed job has a completion time");
+                    (g.engine_to_id[engine_idx], completion)
+                })
+                .collect();
+            // Commit the quantum (and any injections buffered at its
+            // start) before a single completion is broadcast: a
+            // `kill -9` after this point replays to the same state.
+            let mut snapshot_due = false;
+            if let Some(j) = &shared.journal {
+                snapshot_due = j
+                    .log_quantum(live.now(), live.busy_steps(), live.idle_steps(), &done_jobs)
+                    .expect("journal commit failed; cannot acknowledge unjournaled completions");
+            }
+            for (&engine_idx, &(id, completion)) in done_buf.iter().zip(&done_jobs) {
                 let release = match g.slots[id as usize] {
                     Slot::Running { release } => release,
                     _ => unreachable!("completed job must be running"),
@@ -515,6 +638,7 @@ fn scheduler_loop(
                     completion,
                 };
                 g.completions[engine_idx] = completion;
+                g.completed_log.push((id, completion));
                 g.inflight -= 1;
                 g.completed.incr();
                 Shared::broadcast(
@@ -526,6 +650,14 @@ fn scheduler_loop(
                         response: completion - release,
                     },
                 );
+            }
+            if snapshot_due {
+                if let Some(j) = &shared.journal {
+                    if let Err(e) = j.snapshot(&session_image(cfg, &g)) {
+                        // The WAL is still intact — degraded, not fatal.
+                        eprintln!("kserve: journal snapshot failed: {e}");
+                    }
+                }
             }
             if !done_buf.is_empty() {
                 shared.notify();
@@ -542,7 +674,10 @@ fn scheduler_loop(
 }
 
 /// Move every queued job into the engine with `release = now()`.
-fn inject_queued(live: &mut LiveSimulation, g: &mut Inner) {
+/// Injection records are buffered into the journal (not yet
+/// committed): they ride the quantum's group commit, and nothing
+/// observable depends on them until that commit lands.
+fn inject_queued(live: &mut LiveSimulation, g: &mut Inner, journal: Option<&SessionJournal>) {
     while let Some(id) = g.queue.pop_front() {
         let dag = match &g.slots[id as usize] {
             Slot::Queued(dag) => Arc::clone(dag),
@@ -558,18 +693,114 @@ fn inject_queued(live: &mut LiveSimulation, g: &mut Inner) {
             .inject(spec)
             .expect("admission validated the DAG and release = now() is never in the past");
         debug_assert_eq!(engine_idx, g.engine_to_id.len());
+        if let Some(j) = journal {
+            j.note_injected(id, release);
+        }
         for (cat, &w) in g.work_by_cat.iter_mut().zip(dag.work_by_category()) {
             *cat += w;
         }
         g.span_release_max = g.span_release_max.max(dag.span() + release);
         g.engine_to_id.push(id);
         g.trace_jobs.push(TraceJob {
-            dag: DagSpec::from_dag(&dag),
+            dag: g.dag_specs[id as usize].clone(),
             release,
         });
         g.completions.push(0);
         g.slots[id as usize] = Slot::Running { release };
     }
+}
+
+/// The journal's view of the current session, built from the job
+/// table under the `Inner` lock (the mirrored scalars were refreshed
+/// by the same quantum that triggered the snapshot).
+fn session_image(cfg: &ServerConfig, g: &Inner) -> SessionImage {
+    let mut image = SessionImage::new(journal::session_meta(cfg));
+    image.clock = g.now;
+    image.busy = g.busy_steps;
+    image.idle = g.idle_steps;
+    image.completed = g.completed_log.clone();
+    image.jobs = g
+        .slots
+        .iter()
+        .enumerate()
+        .map(|(id, slot)| JobImage {
+            id: id as u64,
+            dag: g.dag_specs[id].clone(),
+            phase: match slot {
+                Slot::Queued(_) => JobPhase::Queued,
+                Slot::Cancelled => JobPhase::Cancelled,
+                Slot::Running { release } | Slot::Done { release, .. } => {
+                    JobPhase::Injected { release: *release }
+                }
+            },
+        })
+        .collect();
+    image
+}
+
+/// Seed the job table from a verified recovery: the inverse of
+/// [`session_image`], plus the engine-side vectors (`engine_to_id`,
+/// trace, Theorem 3 accumulators) that replay re-derives.
+fn rebuild_inner(
+    g: &mut Inner,
+    metrics: &ServiceMetrics,
+    image: &SessionImage,
+    jobs: &[journal::RecoveredJob],
+    live: &LiveSimulation,
+) {
+    let mut done = 0u64;
+    let mut cancelled = 0u64;
+    for job in jobs {
+        g.dag_specs.push(image.jobs[job.id as usize].dag.clone());
+        match job.phase {
+            JobPhase::Queued => {
+                g.slots.push(Slot::Queued(Arc::clone(&job.dag)));
+                g.queue.push_back(job.id);
+                g.inflight += 1;
+            }
+            JobPhase::Cancelled => {
+                g.slots.push(Slot::Cancelled);
+                cancelled += 1;
+            }
+            JobPhase::Injected { release } => {
+                g.engine_to_id.push(job.id);
+                g.trace_jobs.push(TraceJob {
+                    dag: image.jobs[job.id as usize].dag.clone(),
+                    release,
+                });
+                g.completions.push(job.completion.unwrap_or(0));
+                for (cat, &w) in g.work_by_cat.iter_mut().zip(job.dag.work_by_category()) {
+                    *cat += w;
+                }
+                g.span_release_max = g.span_release_max.max(job.dag.span() + release);
+                match job.completion {
+                    Some(completion) => {
+                        g.slots.push(Slot::Done {
+                            release,
+                            completion,
+                        });
+                        done += 1;
+                    }
+                    None => {
+                        g.slots.push(Slot::Running { release });
+                        g.inflight += 1;
+                    }
+                }
+            }
+        }
+    }
+    g.completed_log = image.completed.clone();
+    g.now = live.now();
+    g.active = live.active_jobs() as u64;
+    g.busy_steps = live.busy_steps();
+    g.idle_steps = live.idle_steps();
+    g.admitted.add(jobs.len() as u64);
+    g.completed.add(done);
+    g.cancelled.add(cancelled);
+    metrics.virtual_time.set_u64(live.now());
+    metrics.busy_steps.set_u64(live.busy_steps());
+    metrics.idle_steps.set_u64(live.idle_steps());
+    metrics.active_jobs.set_u64(live.active_jobs() as u64);
 }
 
 /// Seal the session: build the canonical trace, dump the flight
@@ -585,6 +816,13 @@ fn finalize_drain(live: &LiveSimulation, g: &mut Inner, shared: &Shared) {
     shared.metrics.busy_steps.set_u64(live.busy_steps());
     shared.metrics.idle_steps.set_u64(live.idle_steps());
     dump_flight(shared.flight.as_ref(), cfg.flight_dump.as_deref());
+    // Seal the journal: one final snapshot (fsync'd regardless of
+    // policy) so the directory holds the complete session compactly.
+    if let Some(j) = &shared.journal {
+        if let Err(e) = j.snapshot(&session_image(cfg, g)).and_then(|()| j.sync()) {
+            eprintln!("kserve: journal drain snapshot failed: {e}");
+        }
+    }
     g.trace = Some(SessionTrace {
         machine: cfg.machine.clone(),
         scheduler: cfg.scheduler,
@@ -733,10 +971,26 @@ fn admit(shared: &Shared, dags: Vec<JobDag>, watch: bool) -> (Response, Option<W
             None,
         );
     }
+    // Write-ahead: the admission must be durable before anything is
+    // mutated or acknowledged. On a journal error nothing changed, so
+    // the client sees an error and can retry safely.
+    let specs: Vec<DagSpec> = dags.iter().map(DagSpec::from_dag).collect();
+    if let Some(j) = &shared.journal {
+        let base = g.slots.len() as u64;
+        if let Err(e) = j.log_admitted(base, &specs) {
+            return (
+                Response::Error {
+                    message: format!("journal write failed, submission not accepted: {e}"),
+                },
+                None,
+            );
+        }
+    }
     let mut ids = Vec::with_capacity(n);
-    for dag in dags {
+    for (dag, spec) in dags.into_iter().zip(specs) {
         let id = g.slots.len() as u64;
         g.slots.push(Slot::Queued(Arc::new(dag)));
+        g.dag_specs.push(spec);
         g.queue.push_back(id);
         ids.push(id);
     }
@@ -832,6 +1086,11 @@ fn status_reply(g: &Inner) -> StatusReply {
 
 fn stats_reply(g: &Inner, shared: &Shared) -> StatsReply {
     let latency = g.quantum_latency_us.snapshot();
+    let health = shared
+        .journal
+        .as_ref()
+        .map(SessionJournal::health)
+        .unwrap_or_default();
     // Span family handles are shared by label, so re-attaching to the
     // registry reads the same histograms the quantum loop records into.
     let spans = SpanRecorder::for_registry(shared.metrics.registry());
@@ -859,7 +1118,22 @@ fn stats_reply(g: &Inner, shared: &Shared) -> StatsReply {
         scheduler: shared.cfg.scheduler.label().to_string(),
         version: PROTOCOL_VERSION,
         time_policy: shared.cfg.time_policy.label().to_string(),
+        durability: durability_label(shared),
+        journal_records: health.records,
+        journal_bytes: health.bytes,
+        journal_fsyncs: health.fsyncs,
+        journal_snapshots: health.snapshots,
+        journal_tail_records: health.tail_records,
+        last_recovery_ms: shared.metrics.recovery_duration_ms.get(),
     }
+}
+
+/// The durability mode clients see: `off`, or `wal:<fsync policy>`.
+fn durability_label(shared: &Shared) -> String {
+    shared
+        .journal
+        .as_ref()
+        .map_or_else(|| "off".to_string(), SessionJournal::durability)
 }
 
 /// Serve one connection until EOF.
@@ -876,7 +1150,16 @@ fn handle_connection<R: BufRead, W: Write>(mut reader: R, mut writer: W, shared:
             continue;
         }
         let (response, watch_session) = dispatch(trimmed, shared);
-        if writeln!(writer, "{}", response.encode()).is_err() || writer.flush().is_err() {
+        let is_drain_ack = matches!(response, Response::Drained(_));
+        let written = writeln!(writer, "{}", response.encode()).is_ok() && writer.flush().is_ok();
+        if is_drain_ack {
+            // Whether the write succeeded or the client vanished, the
+            // reply is no longer pending — unblock `Server::join`.
+            let mut g = shared.inner.lock().unwrap();
+            g.drain_acks -= 1;
+            shared.cv.notify_all();
+        }
+        if !written {
             return;
         }
         if let Some(session) = watch_session {
@@ -989,6 +1272,7 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (Response, Option<WatchSession>
                     time_policy: shared.cfg.time_policy.label().to_string(),
                     quantum: shared.cfg.quantum,
                     now: g.now,
+                    durability: durability_label(shared),
                 }),
                 None,
             )
@@ -1011,6 +1295,20 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (Response, Option<WatchSession>
             let mut g = shared.inner.lock().unwrap();
             match g.slots.get(job as usize) {
                 Some(Slot::Queued(_)) => {
+                    // Write-ahead, like admission: durable before the
+                    // slot flips or the ack goes out.
+                    if let Some(j) = &shared.journal {
+                        if let Err(e) = j.log_cancelled(job) {
+                            return (
+                                Response::Error {
+                                    message: format!(
+                                        "journal write failed, job {job} not cancelled: {e}"
+                                    ),
+                                },
+                                None,
+                            );
+                        }
+                    }
                     g.slots[job as usize] = Slot::Cancelled;
                     g.queue.retain(|&id| id != job);
                     g.inflight -= 1;
@@ -1035,6 +1333,11 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (Response, Option<WatchSession>
         Request::Drain => {
             let mut g = shared.inner.lock().unwrap();
             g.draining = true;
+            // Registered before `drained` can possibly be set, so
+            // `Server::join` (which runs after the scheduler thread
+            // exits) always sees this reply as pending until it is on
+            // the wire — see the ack in `handle_connection`.
+            g.drain_acks += 1;
             shared.metrics.draining.set_u64(1);
             shared.cv.notify_all();
             while !g.drained {
@@ -1089,6 +1392,8 @@ mod tests {
             max_inflight,
             ..ServerConfig::default()
         })
+        .expect("no journal configured")
+        .0
     }
 
     fn submit_line(n: usize) -> String {

@@ -47,6 +47,7 @@ mod view;
 
 pub mod checker;
 pub mod live;
+pub mod snapshot;
 
 pub use allot::AllotmentMatrix;
 pub use engine::{simulate, DesireModel, JobSpec, SimConfig, SimConfigBuilder, TimePolicy};
@@ -55,6 +56,7 @@ pub use outcome::SimOutcome;
 pub use resources::Resources;
 pub use scheduler::Scheduler;
 pub use session::{BuildError, Simulation, SimulationBuilder};
+pub use snapshot::EngineSnapshot;
 pub use trace::StepTrace;
 pub use view::JobView;
 

@@ -81,9 +81,8 @@ impl fmt::Display for InjectError {
 impl std::error::Error for InjectError {}
 
 /// What one [`LiveSimulation::advance`] (or
-/// [`LiveSimulation::run_until`]) call did — the typed report that
-/// replaces the bare completed-index slice of the deprecated
-/// [`LiveSimulation::step`].
+/// [`LiveSimulation::run_until`]) call did — the typed report of time
+/// advanced, allotments, completions, and clock mode.
 ///
 /// Non-exhaustive so the engine can grow the report (e.g. per-category
 /// waste) without breaking callers.
@@ -186,7 +185,6 @@ pub struct LiveSimulation {
     step_executed_totals: Vec<u32>,
     proc_counter: Vec<u32>,
     decision_totals: Vec<u64>,
-    just_completed: Vec<usize>,
     /// Active jobs that can still execute under the current frozen
     /// rows — the working set of the event-driven plain-step batcher.
     seg_live: Vec<usize>,
@@ -259,7 +257,6 @@ impl LiveSimulation {
             step_executed_totals: vec![0; k],
             proc_counter: vec![0; k],
             decision_totals: vec![0; k],
-            just_completed: Vec::new(),
             seg_live: Vec::new(),
             report: QuantumReport::default(),
             executed_by_category: vec![0; k],
@@ -417,30 +414,6 @@ impl LiveSimulation {
         &self.cfg
     }
 
-    /// Advance exactly one step (plus any idle fast-forward preceding
-    /// it) and return the indices of jobs that completed on this step.
-    ///
-    /// Deprecated: use [`advance`](Self::advance), which returns a
-    /// typed [`QuantumReport`] (time advanced, allotments, completions,
-    /// clock mode) and honors [`SimConfig::time_policy`]. `step`
-    /// always advances exactly one unit step regardless of the
-    /// configured time policy.
-    ///
-    /// # Panics
-    /// Panics if called with no work ([`has_work`](Self::has_work) is
-    /// the caller's guard), if the scheduler over-allots a category,
-    /// stalls past `cfg.stall_limit`, or `cfg.max_steps` is exceeded —
-    /// the same contract enforcement as the batch path.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `advance`, which returns a typed `QuantumReport`"
-    )]
-    pub fn step(&mut self, scheduler: &mut dyn Scheduler) -> &[usize] {
-        self.report.completed.clear();
-        self.step_once(scheduler);
-        &self.just_completed
-    }
-
     /// One unit step of the engine: the shared core both clock modes
     /// are built on. Returns whether a decision was taken.
     pub(crate) fn step_once(&mut self, scheduler: &mut dyn Scheduler) -> bool {
@@ -460,7 +433,6 @@ impl LiveSimulation {
         let states = &mut self.states;
         let active = &mut self.active;
         let tel = &self.tel;
-        self.just_completed.clear();
 
         // Fast-forward idle intervals.
         if active.is_empty() {
@@ -700,7 +672,6 @@ impl LiveSimulation {
                 });
                 self.remaining -= 1;
                 any_completed = true;
-                self.just_completed.push(idx);
                 self.report.completed.push((idx, t));
                 // Losing processors by *finishing* is not a preemption:
                 // clearing `frozen_set` excludes this job from the next
@@ -764,7 +735,7 @@ impl LiveSimulation {
     /// [`QuantumReport`] of what happened.
     ///
     /// Under [`TimePolicy::UnitStep`] (the default) this is exactly
-    /// one unit step, like the deprecated [`step`](Self::step). Under
+    /// one unit step. Under
     /// [`TimePolicy::EventDriven`] one call executes the next event
     /// step — a decision boundary, a job activation, or an idle
     /// fast-forward — and then batches the *plain* steps up to the
@@ -776,7 +747,10 @@ impl LiveSimulation {
     /// under both policies.
     ///
     /// # Panics
-    /// Same contract enforcement as [`step`](Self::step).
+    /// Panics if called with no work ([`has_work`](Self::has_work) is
+    /// the caller's guard), if the scheduler over-allots a category,
+    /// stalls past `cfg.stall_limit`, or `cfg.max_steps` is exceeded —
+    /// the same contract enforcement as the batch path.
     pub fn advance(&mut self, scheduler: &mut dyn Scheduler) -> &QuantumReport {
         self.begin_report();
         self.advance_inner(scheduler);
@@ -786,8 +760,8 @@ impl LiveSimulation {
     /// Advance until virtual time reaches at least `target` (or all
     /// work completes), returning one merged [`QuantumReport`] for the
     /// whole span. A single event (e.g. an idle fast-forward to a far
-    /// release) may overshoot `target`, exactly as repeated
-    /// [`step`](Self::step) calls would.
+    /// release) may overshoot `target`, exactly as repeated unit
+    /// steps would.
     pub fn run_until(&mut self, target: Time, scheduler: &mut dyn Scheduler) -> &QuantumReport {
         self.begin_report();
         while self.remaining > 0 && self.t < target {
@@ -1310,21 +1284,6 @@ mod tests {
         assert_eq!(online.preemptions, batch.preemptions);
         assert_eq!(online.busy_steps, batch.busy_steps);
         assert_eq!(online.idle_steps, batch.idle_steps);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_step_still_reports_completions() {
-        let mut live = LiveSimulation::new(Resources::uniform(2, 4), SimConfig::default()).unwrap();
-        live.inject(JobSpec::batched(diamond())).unwrap();
-        let mut sched = GreedyAll;
-        let mut done = Vec::new();
-        while live.has_work() {
-            done.extend_from_slice(live.step(&mut sched));
-        }
-        assert_eq!(done, vec![0]);
-        assert_eq!(live.completion(0), Some(3));
-        assert_eq!(live.now(), 3);
     }
 
     #[test]
