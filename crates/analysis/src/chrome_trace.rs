@@ -19,7 +19,7 @@
 //! be golden-tested.
 
 use ksim::SimOutcome;
-use ktelemetry::TelemetryEvent;
+use ktelemetry::{assemble_traces, TelemetryEvent};
 
 /// Trace microseconds per simulated step (1 step = 1 ms).
 pub const US_PER_STEP: u64 = 1_000;
@@ -83,6 +83,35 @@ pub fn chrome_trace(outcome: &SimOutcome, events: &[TelemetryEvent]) -> String {
              \"ts\":{ts},\"dur\":{dur}}}",
             j as u64 + 1
         ));
+    }
+
+    // ktrace span trees: when the stream carries per-job lifecycle
+    // events, nest wait and execution-segment slices inside each job's
+    // release→completion slice. Streams without trace events (older
+    // recordings, flight tails) produce no extra output, keeping the
+    // export byte-stable for them. Step `s` renders as the interval
+    // `[s−1, s]` ms, matching the job slices above.
+    for trace in assemble_traces(events) {
+        let tid = u64::from(trace.job) + 1;
+        if let (Some(activated), Some(first)) = (trace.activated, trace.first_allot) {
+            if first > activated {
+                out.push(format!(
+                    "{{\"name\":\"wait\",\"ph\":\"X\",\"pid\":{PID_JOBS},\"tid\":{tid},\
+                     \"ts\":{},\"dur\":{}}}",
+                    (activated - 1) * US_PER_STEP,
+                    (first - activated) * US_PER_STEP
+                ));
+            }
+        }
+        for seg in &trace.segments {
+            out.push(format!(
+                "{{\"name\":\"exec\",\"ph\":\"X\",\"pid\":{PID_JOBS},\"tid\":{tid},\
+                 \"ts\":{},\"dur\":{},\"args\":{{\"tasks\":{}}}}}",
+                (seg.from - 1) * US_PER_STEP,
+                seg.steps() * US_PER_STEP,
+                seg.tasks
+            ));
+        }
     }
 
     if let Some(trace) = &outcome.trace {
@@ -246,6 +275,37 @@ mod tests {
             }
             last.insert(key, ts);
         }
+    }
+
+    #[test]
+    fn trace_events_nest_wait_and_exec_slices_inside_jobs() {
+        let mut evs = events();
+        evs.extend([
+            TelemetryEvent::JobReleased { t: 1, job: 0 },
+            TelemetryEvent::JobFirstAllot { t: 2, job: 0 },
+            TelemetryEvent::JobExecSegment {
+                job: 0,
+                from: 2,
+                to: 3,
+                tasks: 4,
+            },
+            TelemetryEvent::JobCompleted {
+                t: 3,
+                job: 0,
+                response: 3,
+            },
+        ]);
+        let text = chrome_trace(&outcome(), &evs);
+        // Wait spans steps [1..1] → [0, 1000) µs; exec spans steps
+        // [2..3] → [1000, 3000) µs. Both on job 0's thread (tid 1).
+        assert!(text.contains(
+            "{\"name\":\"wait\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":1000}"
+        ));
+        assert!(text.contains(
+            "{\"name\":\"exec\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":1000,\"dur\":2000,\
+             \"args\":{\"tasks\":4}}"
+        ));
+        serde_json::from_str::<serde_json::Value>(&text).expect("valid JSON");
     }
 
     #[test]

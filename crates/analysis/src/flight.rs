@@ -71,10 +71,14 @@ fn event_t(event: &TelemetryEvent) -> Option<u64> {
         | TelemetryEvent::StepStart { t, .. }
         | TelemetryEvent::StepEnd { t, .. }
         | TelemetryEvent::JobCompleted { t, .. }
+        | TelemetryEvent::JobFirstAllot { t, .. }
+        | TelemetryEvent::SloAlert { t, .. }
         | TelemetryEvent::Decision { t, .. }
         | TelemetryEvent::ModeTransition { t, .. }
         | TelemetryEvent::RrCycleComplete { t, .. } => Some(*t),
-        TelemetryEvent::IdleSkip { to, .. } => Some(*to),
+        TelemetryEvent::JobExecSegment { to, .. } | TelemetryEvent::IdleSkip { to, .. } => {
+            Some(*to)
+        }
     }
 }
 
@@ -146,18 +150,27 @@ impl FlightRecorderReport {
 /// Verify a flight dump against a full replayed event stream: after
 /// dropping the offline-only `run_start`/`run_end` framing, the dump
 /// must equal the **tail** of the offline stream byte for byte (the
-/// ring only retains the last `capacity` events). Returns the number
-/// of matched events.
+/// ring only retains the last `capacity` events). `slo_alert` events
+/// are service-layer annotations — the daemon pushes them into the
+/// flight ring directly, never through the engine — so they are
+/// skipped on both sides before comparing. Returns the number of
+/// matched events.
 pub fn verify_against_stream(
     dump: &[TelemetryEvent],
     offline: &[TelemetryEvent],
 ) -> Result<usize, String> {
+    let dump: Vec<&TelemetryEvent> = dump
+        .iter()
+        .filter(|e| !matches!(e, TelemetryEvent::SloAlert { .. }))
+        .collect();
     let replayed: Vec<&TelemetryEvent> = offline
         .iter()
         .filter(|e| {
             !matches!(
                 e,
-                TelemetryEvent::RunStart { .. } | TelemetryEvent::RunEnd { .. }
+                TelemetryEvent::RunStart { .. }
+                    | TelemetryEvent::RunEnd { .. }
+                    | TelemetryEvent::SloAlert { .. }
             )
         })
         .collect();
@@ -261,6 +274,29 @@ mod tests {
         let long: Vec<TelemetryEvent> = (0..10).map(step).collect();
         let err = verify_against_stream(&long, &offline).unwrap_err();
         assert!(err.contains("only"), "{err}");
+    }
+
+    #[test]
+    fn verify_skips_service_only_slo_alerts() {
+        let offline = stream();
+        let mut ring = FlightRecorder::new(8);
+        for e in offline.iter().filter(|e| {
+            !matches!(
+                e,
+                TelemetryEvent::RunStart { .. } | TelemetryEvent::RunEnd { .. }
+            )
+        }) {
+            ring.push(e.clone());
+        }
+        // The daemon interleaves an SLO breach annotation into the
+        // ring; replay verification must still match the engine tail.
+        ring.push(TelemetryEvent::SloAlert {
+            t: 3,
+            mean_response_milli: 3000,
+            threshold_milli: 2500,
+        });
+        let dump = ring.snapshot();
+        assert_eq!(verify_against_stream(&dump, &offline), Ok(4));
     }
 
     #[test]

@@ -26,8 +26,12 @@
 //!   directory;
 //! * [`profile`] — ASCII per-phase breakdowns of the engine hot path
 //!   from [`ktelemetry::PhaseStat`] profiles;
+//! * [`trace_report`] — per-job lifecycle (wait/service/response)
+//!   tables and critical-path summaries assembled from ktrace event
+//!   streams;
 //! * [`chrome_trace`] — schedule timelines exported as Chrome
-//!   trace-event JSON (Perfetto-loadable).
+//!   trace-event JSON (Perfetto-loadable), with nested per-job
+//!   wait/exec span slices when the stream carries ktrace events.
 //!
 //! All bound computations take the *job specs* (DAG + release), which
 //! an offline analyst may inspect — these are yardsticks for measuring
@@ -50,4 +54,5 @@ pub mod svg;
 pub mod table;
 pub mod telemetry_report;
 pub mod timeline;
+pub mod trace_report;
 pub mod verify;

@@ -119,6 +119,11 @@ impl TelemetrySummary {
                 TelemetryEvent::JobCompleted { response, .. } => {
                     s.responses.push(*response);
                 }
+                // Per-job trace spans and service-layer SLO annotations
+                // are folded by `trace_report`, not the run summary.
+                TelemetryEvent::JobFirstAllot { .. }
+                | TelemetryEvent::JobExecSegment { .. }
+                | TelemetryEvent::SloAlert { .. } => {}
                 TelemetryEvent::IdleSkip { from, to } => {
                     idle_seen += to.saturating_sub(*from + 1);
                 }

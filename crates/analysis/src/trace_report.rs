@@ -1,0 +1,207 @@
+//! Per-job lifecycle reports assembled from ktrace event streams.
+//!
+//! [`TraceReport::from_events`] folds a telemetry stream (recorded
+//! live, replayed offline, or parsed from a flight dump / JSONL file)
+//! into the per-job wait/service decomposition of `ktelemetry`'s
+//! [`JobTrace`] model and renders it as a critical-path table: every
+//! completed job's release, first allotment, completion, wait, service
+//! and response, plus the aggregate picture (mean/max wait, mean
+//! response, which job's completion set the makespan and how its
+//! response decomposes).
+
+use crate::table::Table;
+use ktelemetry::{assemble_traces, JobTrace, TelemetryEvent};
+
+/// Per-job lifecycle traces plus the aggregates a capacity analyst
+/// reads first.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    /// Assembled traces, indexed by engine job id.
+    pub traces: Vec<JobTrace>,
+}
+
+impl TraceReport {
+    /// Assemble a report from a recorded event stream.
+    pub fn from_events(events: &[TelemetryEvent]) -> TraceReport {
+        TraceReport {
+            traces: assemble_traces(events),
+        }
+    }
+
+    /// Traces of jobs whose completion the stream observed.
+    pub fn completed(&self) -> impl Iterator<Item = &JobTrace> {
+        self.traces.iter().filter(|t| t.is_complete())
+    }
+
+    /// The job whose completion step is largest — the job on the
+    /// session's critical path (ties broken by lowest id).
+    pub fn critical_job(&self) -> Option<&JobTrace> {
+        self.completed().reduce(|best, t| {
+            if t.completion > best.completion {
+                t
+            } else {
+                best
+            }
+        })
+    }
+
+    /// Mean response over completed jobs (0 if none).
+    pub fn mean_response(&self) -> f64 {
+        let (mut sum, mut n) = (0u64, 0u64);
+        for t in self.completed() {
+            sum += t.response.unwrap_or(0);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Mean wait (steps released but never allotted) over completed
+    /// jobs with a known first allotment.
+    pub fn mean_wait(&self) -> f64 {
+        let (mut sum, mut n) = (0u64, 0u64);
+        for t in self.completed() {
+            if let Some(w) = t.wait() {
+                sum += w;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Longest wait observed across completed jobs.
+    pub fn max_wait(&self) -> u64 {
+        self.completed().filter_map(|t| t.wait()).max().unwrap_or(0)
+    }
+
+    /// Render the per-job table plus the aggregate headline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let completed = self.completed().count();
+        out.push_str(&format!(
+            "trace report: {} jobs seen, {completed} completed\n",
+            self.traces.len()
+        ));
+        if completed > 0 {
+            out.push_str(&format!(
+                "mean response {:.2}, mean wait {:.2}, max wait {}\n",
+                self.mean_response(),
+                self.mean_wait(),
+                self.max_wait()
+            ));
+        }
+        if let Some(critical) = self.critical_job() {
+            out.push_str(&format!(
+                "critical path: job {} completes last at step {} \
+                 (wait {} + service {} = response {})\n",
+                critical.job,
+                critical.completion.unwrap_or(0),
+                critical.wait().unwrap_or(0),
+                critical.service().unwrap_or(0),
+                critical.response.unwrap_or(0),
+            ));
+        }
+        out.push('\n');
+
+        let mut table = Table::new(
+            "per-job lifecycle",
+            &[
+                "job", "release", "first", "complete", "wait", "service", "response", "segs",
+                "tasks",
+            ],
+        );
+        for t in &self.traces {
+            let opt = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+            table.row_owned(vec![
+                t.job.to_string(),
+                opt(t.release),
+                opt(t.first_allot),
+                opt(t.completion),
+                opt(t.wait()),
+                opt(t.service()),
+                opt(t.response),
+                t.segments.len().to_string(),
+                t.executed_tasks().to_string(),
+            ]);
+        }
+        out.push_str(&table.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::JobReleased { t: 1, job: 0 },
+            TelemetryEvent::JobReleased { t: 1, job: 1 },
+            TelemetryEvent::JobFirstAllot { t: 1, job: 0 },
+            TelemetryEvent::JobExecSegment {
+                job: 0,
+                from: 1,
+                to: 4,
+                tasks: 6,
+            },
+            TelemetryEvent::JobCompleted {
+                t: 4,
+                job: 0,
+                response: 4,
+            },
+            TelemetryEvent::JobFirstAllot { t: 5, job: 1 },
+            TelemetryEvent::JobExecSegment {
+                job: 1,
+                from: 5,
+                to: 9,
+                tasks: 5,
+            },
+            TelemetryEvent::JobCompleted {
+                t: 9,
+                job: 1,
+                response: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn aggregates_wait_service_and_critical_path() {
+        let r = TraceReport::from_events(&stream());
+        assert_eq!(r.traces.len(), 2);
+        assert_eq!(r.completed().count(), 2);
+        // Job 0: wait 0, service 4; job 1: wait 4, service 5.
+        assert!((r.mean_response() - 6.5).abs() < 1e-12);
+        assert!((r.mean_wait() - 2.0).abs() < 1e-12);
+        assert_eq!(r.max_wait(), 4);
+        let critical = r.critical_job().unwrap();
+        assert_eq!(critical.job, 1);
+        assert_eq!(critical.wait(), Some(4));
+    }
+
+    #[test]
+    fn render_lists_every_job_and_the_critical_path() {
+        let text = TraceReport::from_events(&stream()).render();
+        assert!(text.contains("2 jobs seen, 2 completed"));
+        assert!(text.contains("critical path: job 1"));
+        assert!(text.contains("wait 4 + service 5 = response 9"));
+        assert!(text.contains("per-job lifecycle"));
+    }
+
+    #[test]
+    fn incomplete_and_empty_streams_render() {
+        let r = TraceReport::from_events(&stream()[..4]);
+        assert_eq!(r.completed().count(), 0);
+        assert!(r.critical_job().is_none());
+        assert!(r.render().contains("2 jobs seen, 0 completed"));
+        assert!(TraceReport::from_events(&[])
+            .render()
+            .contains("0 jobs seen"));
+    }
+}

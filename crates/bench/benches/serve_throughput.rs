@@ -86,7 +86,13 @@ fn bench_wire_codec(c: &mut Criterion) {
 
     // Keep the helper exercised so the bench compiles it in.
     assert!(matches!(
-        Response::decode(&Response::Submitted { jobs: vec![1] }.encode()),
+        Response::decode(
+            &Response::Submitted {
+                jobs: vec![1],
+                trace_ids: vec![]
+            }
+            .encode()
+        ),
         Ok(Response::Submitted { .. })
     ));
 }

@@ -41,6 +41,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "loadgen" => service::loadgen(&args),
         "stats" => service::stats(&args),
         "metrics" => service::metrics(&args),
+        "trace" => service::trace(&args),
         "flight" => service::flight(&args),
         "journal" => service::journal(&args),
         "recover" => service::recover(&args),
@@ -77,7 +78,7 @@ USAGE:
                 [--addr HOST:PORT] [--unix PATH] [--metrics-addr HOST:PORT]
                 [--flight-capacity N] [--flight-dump FILE.jsonl]
                 [--journal-dir DIR] [--fsync always|interval[:ms]|never]
-                [--snapshot-every N]
+                [--snapshot-every N] [--slo-factor X]
   krad submit   --addr HOST:PORT (FILE [--watch] | --scenario NAME [--jobs N] [--seed S]
                 | --status | --stats | --cancel ID
                 | --drain [--verify] [--trace-out FILE])
@@ -86,6 +87,7 @@ USAGE:
                 [--seed S] [--k K] [--mean-size M] [--pace-ms MS] [--stats-out FILE]
   krad stats    --addr HOST:PORT [--watch [--interval-ms MS] [--count N]]
   krad metrics  --addr HOST:PORT
+  krad trace    --addr HOST:PORT JOB | --flight FILE.jsonl [--job N]
   krad flight   FILE.jsonl [--trace TRACE.json]
   krad journal  inspect FILE.kj
   krad recover  DIR

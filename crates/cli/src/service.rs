@@ -1,5 +1,5 @@
 //! The service-layer subcommands: `serve`, `submit`, `loadgen`,
-//! `stats`, `metrics`, and `flight`.
+//! `stats`, `metrics`, `trace`, and `flight`.
 //!
 //! `serve` runs the kserve daemon in the foreground until a client
 //! drains it; `submit` is a one-shot protocol client (submit jobs,
@@ -7,7 +7,9 @@
 //! arrival process against a running daemon and reports throughput
 //! and response-time percentiles; `stats` renders the live counters
 //! (optionally as a `--watch` dashboard); `metrics` fetches the
-//! Prometheus exposition; `flight` summarizes a flight-recorder dump
+//! Prometheus exposition; `trace` renders one job's ktrace span tree
+//! from a running daemon (or whole-session lifecycle reports offline
+//! from a flight dump); `flight` summarizes a flight-recorder dump
 //! and can cross-check it against a session trace's deterministic
 //! replay.
 
@@ -16,6 +18,7 @@ use crate::commands::{parse_policy, parse_scheduler, parse_time_policy};
 use kanalysis::flight::{load_flight_dump, verify_against_stream, FlightRecorderReport};
 use kanalysis::journal::{JournalDirReport, JournalFileReport};
 use kanalysis::table::{f3, Table};
+use kanalysis::trace_report::TraceReport;
 use kdag::DagSpec;
 use kjournal::FsyncPolicy;
 use kserve::loadgen::{run_loadgen, ArrivalKind, LoadgenConfig};
@@ -60,6 +63,7 @@ pub fn server_config(args: &ArgMap) -> Result<ServerConfig, String> {
             .ok_or_else(|| format!("bad --fsync '{label}' (always|interval[:ms]|never)"))?;
     }
     cfg.snapshot_every = args.num("snapshot-every", cfg.snapshot_every)?;
+    cfg.slo_factor = args.num("slo-factor", cfg.slo_factor)?;
     Ok(cfg)
 }
 
@@ -144,6 +148,33 @@ fn render_stats(x: &StatsReply) -> String {
     ] {
         t.row_owned(vec![label.into(), f3(v)]);
     }
+    if x.response_jobs > 0 {
+        t.row_owned(vec![
+            "jobs with response".into(),
+            x.response_jobs.to_string(),
+        ]);
+        t.row_owned(vec![
+            "mean response (steps)".into(),
+            f3(x.response_mean_steps),
+        ]);
+        t.row_owned(vec![
+            "p99 response (steps)".into(),
+            f3(x.response_p99_steps),
+        ]);
+        t.row_owned(vec![
+            "mean slowdown (×)".into(),
+            f3(x.slowdown_mean_milli / 1e3),
+        ]);
+        t.row_owned(vec![
+            "p99 slowdown (×)".into(),
+            f3(x.slowdown_p99_milli / 1e3),
+        ]);
+        for (cat, mean) in x.response_mean_steps_by_cat.iter().enumerate() {
+            if *mean > 0.0 {
+                t.row_owned(vec![format!("mean response cat {cat} (steps)"), f3(*mean)]);
+            }
+        }
+    }
     t.row_owned(vec!["durability".into(), x.durability.clone()]);
     if x.durability != "off" {
         t.row_owned(vec![
@@ -206,6 +237,48 @@ pub fn stats(args: &ArgMap) -> Result<String, String> {
 pub fn metrics(args: &ArgMap) -> Result<String, String> {
     let mut client = connect(args)?;
     client.metrics().map_err(|e| e.to_string())
+}
+
+/// `krad trace` — render ktrace span trees.
+///
+/// Live: `krad trace --addr HOST:PORT JOB` fetches one job's span
+/// tree (lifecycle state, engine-time wait/service/exec spans, wall
+/// stamps) over the protocol's `trace` verb. Offline: `krad trace
+/// --flight FILE.jsonl [--job N]` assembles traces from a
+/// flight-recorder dump — the whole session's lifecycle table, or one
+/// job's tree.
+pub fn trace(args: &ArgMap) -> Result<String, String> {
+    if let Some(path) = args.get("flight") {
+        let dump = load_flight_dump(Path::new(path))?;
+        let report = TraceReport::from_events(&dump);
+        return match args.get("job") {
+            Some(id) => {
+                let id: usize = id.parse().map_err(|_| format!("bad --job: {id}"))?;
+                report.traces.get(id).map_or_else(
+                    || {
+                        Err(format!(
+                            "no job {id} in {path} ({} traces)",
+                            report.traces.len()
+                        ))
+                    },
+                    |t| Ok(t.render_tree(&id.to_string()).trim_end().to_string()),
+                )
+            }
+            None => Ok(report.render().trim_end().to_string()),
+        };
+    }
+    let mut client = connect(args)?;
+    let job: u64 = {
+        let raw = args.one_positional()?;
+        raw.parse().map_err(|_| format!("bad job id: {raw}"))?
+    };
+    let reply = client.trace_reply(job).map_err(|e| e.to_string())?;
+    let label = format!("{job} [{}] ({})", reply.trace_id, reply.state);
+    Ok(reply
+        .to_job_trace()
+        .render_tree(&label)
+        .trim_end()
+        .to_string())
 }
 
 /// `krad flight` — summarize a flight-recorder JSONL dump; with
@@ -316,7 +389,7 @@ pub fn submit(args: &ArgMap) -> Result<String, String> {
         };
         let reply = client.submit_scenario(sc).map_err(|e| e.to_string())?;
         return match reply {
-            Response::Submitted { jobs } => Ok(format!(
+            Response::Submitted { jobs, .. } => Ok(format!(
                 "submitted {} jobs from scenario '{name}' (ids {}..{})",
                 jobs.len(),
                 jobs.first().copied().unwrap_or(0),
@@ -337,7 +410,7 @@ pub fn submit(args: &ArgMap) -> Result<String, String> {
     if args.flag("watch") {
         let (ack, events) = client.submit_watch(dags).map_err(|e| e.to_string())?;
         match ack {
-            Response::Submitted { jobs } => {
+            Response::Submitted { jobs, .. } => {
                 let mut t = Table::new(
                     &format!("'{label}': {} jobs completed", events.len()),
                     &["job", "release", "completion", "response"],
@@ -348,6 +421,7 @@ pub fn submit(args: &ArgMap) -> Result<String, String> {
                         release,
                         completion,
                         response,
+                        ..
                     } = ev
                     {
                         t.row_owned(vec![
@@ -379,7 +453,7 @@ pub fn submit(args: &ArgMap) -> Result<String, String> {
         }
     } else {
         match client.submit(dags).map_err(|e| e.to_string())? {
-            Response::Submitted { jobs } => {
+            Response::Submitted { jobs, .. } => {
                 Ok(format!("submitted {} jobs from '{label}'", jobs.len()))
             }
             Response::Rejected {
@@ -412,6 +486,19 @@ fn parse_arrivals(spec: &str) -> Result<ArrivalKind, String> {
     Err(format!("unknown --arrivals '{spec}'"))
 }
 
+/// Render a float slice as a JSON array.
+fn f64_json_arr(xs: &[f64]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&x.to_string());
+    }
+    s.push(']');
+    s
+}
+
 /// One stats reply as a flat JSON object (stable field order).
 fn stats_json(x: &StatsReply) -> String {
     format!(
@@ -423,7 +510,11 @@ fn stats_json(x: &StatsReply) -> String {
          \"journal_records\":{},\"journal_fsyncs\":{},\"durability\":\"{}\",\
          \"phase_ready_mean_us\":{},\"phase_decide_mean_us\":{},\
          \"phase_deq_allot_mean_us\":{},\"phase_rr_cycle_mean_us\":{},\
-         \"phase_execute_mean_us\":{},\"uptime_secs\":{},\"scheduler\":\"{}\"}}",
+         \"phase_execute_mean_us\":{},\"uptime_secs\":{},\"scheduler\":\"{}\",\
+         \"response_jobs\":{},\"response_mean_steps\":{},\
+         \"response_p99_steps\":{},\"slowdown_mean_milli\":{},\
+         \"slowdown_p99_milli\":{},\"response_mean_steps_by_cat\":{},\
+         \"slowdown_mean_milli_by_cat\":{}}}",
         x.admitted,
         x.rejected,
         x.completed,
@@ -447,18 +538,45 @@ fn stats_json(x: &StatsReply) -> String {
         x.phase_rr_cycle_mean_us,
         x.phase_execute_mean_us,
         x.uptime_secs,
-        x.scheduler
+        x.scheduler,
+        x.response_jobs,
+        x.response_mean_steps,
+        x.response_p99_steps,
+        x.slowdown_mean_milli,
+        x.slowdown_p99_milli,
+        f64_json_arr(&x.response_mean_steps_by_cat),
+        f64_json_arr(&x.slowdown_mean_milli_by_cat),
     )
 }
 
 /// The `--stats-out` document: server stats before and after the
-/// loadgen burst, plus the counter deltas the burst caused.
+/// loadgen burst, plus the counter deltas the burst caused and the
+/// per-category response/slowdown mean shifts it induced.
 fn loadgen_stats_json(before: &StatsReply, after: &StatsReply) -> String {
+    let cats = after
+        .response_mean_steps_by_cat
+        .len()
+        .max(before.response_mean_steps_by_cat.len());
+    let mean_deltas = |a: &[f64], b: &[f64]| -> Vec<f64> {
+        (0..cats)
+            .map(|i| a.get(i).copied().unwrap_or(0.0) - b.get(i).copied().unwrap_or(0.0))
+            .collect()
+    };
+    let response_shift = mean_deltas(
+        &after.response_mean_steps_by_cat,
+        &before.response_mean_steps_by_cat,
+    );
+    let slowdown_shift = mean_deltas(
+        &after.slowdown_mean_milli_by_cat,
+        &before.slowdown_mean_milli_by_cat,
+    );
     format!(
-        "{{\n  \"schema\": \"krad-loadgen-stats\",\n  \"version\": 1,\n  \
+        "{{\n  \"schema\": \"krad-loadgen-stats\",\n  \"version\": 2,\n  \
          \"before\": {},\n  \"after\": {},\n  \
          \"delta\": {{\"admitted\":{},\"rejected\":{},\"completed\":{},\
-         \"quanta\":{},\"busy_steps\":{},\"idle_steps\":{}}}\n}}\n",
+         \"quanta\":{},\"busy_steps\":{},\"idle_steps\":{},\
+         \"response_jobs\":{},\
+         \"response_mean_steps_by_cat\":{},\"slowdown_mean_milli_by_cat\":{}}}\n}}\n",
         stats_json(before),
         stats_json(after),
         after.admitted.saturating_sub(before.admitted),
@@ -467,6 +585,9 @@ fn loadgen_stats_json(before: &StatsReply, after: &StatsReply) -> String {
         after.quanta.saturating_sub(before.quanta),
         after.busy_steps.saturating_sub(before.busy_steps),
         after.idle_steps.saturating_sub(before.idle_steps),
+        after.response_jobs.saturating_sub(before.response_jobs),
+        f64_json_arr(&response_shift),
+        f64_json_arr(&slowdown_shift),
     )
 }
 
@@ -693,10 +814,25 @@ mod tests {
         assert_eq!(doc["schema"].as_str(), Some("krad-loadgen-stats"));
         assert_eq!(doc["delta"]["admitted"].as_u64(), Some(12));
         assert!(doc["before"]["quanta"].as_u64().is_some());
+        assert!(doc["delta"]["response_jobs"].as_u64().is_some());
+        assert!(doc["delta"]["response_mean_steps_by_cat"]
+            .as_array()
+            .is_some());
+        assert!(doc["delta"]["slowdown_mean_milli_by_cat"]
+            .as_array()
+            .is_some());
+        assert!(doc["after"]["response_mean_steps"].as_f64().is_some());
         std::fs::remove_dir_all(&dir).ok();
 
         let out = submit(&parse(&["--addr", &addr, "--stats"])).unwrap();
         assert!(out.contains("admitted"), "{out}");
+
+        // The session has completions by now, so the live trace verb
+        // can render job 0's span tree end to end.
+        let out = trace(&parse(&["--addr", &addr, "0"])).unwrap();
+        assert!(out.contains("job 0 ["), "{out}");
+        assert!(out.contains("wait"), "{out}");
+        assert!(trace(&parse(&["--addr", &addr, "99999"])).is_err());
 
         let out = submit(&parse(&["--addr", &addr, "--drain", "--verify"])).unwrap();
         assert!(out.contains("replay verified"), "{out}");
@@ -708,7 +844,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("kcli-flight-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let dump = dir.join("flight.jsonl");
-        let trace = dir.join("trace.json");
+        let trace_path = dir.join("trace.json");
 
         let server = Server::start(ServerConfig {
             machine: vec![4, 2],
@@ -757,11 +893,25 @@ mod tests {
             &addr,
             "--drain",
             "--trace-out",
-            trace.to_str().unwrap(),
+            trace_path.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("session trace written"), "{out}");
         server.join();
+
+        // Offline trace assembly from the same dump: whole-session
+        // lifecycle table, then one job's span tree.
+        let out = trace(&parse(&["--flight", dump.to_str().unwrap()])).unwrap();
+        assert!(out.contains("per-job lifecycle"), "{out}");
+        let out = trace(&parse(&["--flight", dump.to_str().unwrap(), "--job", "0"])).unwrap();
+        assert!(out.contains("job 0"), "{out}");
+        assert!(trace(&parse(&[
+            "--flight",
+            dump.to_str().unwrap(),
+            "--job",
+            "999"
+        ]))
+        .is_err());
 
         // Summary alone, then summary + byte-for-byte replay check.
         let out = flight(&parse(&[dump.to_str().unwrap()])).unwrap();
@@ -769,7 +919,7 @@ mod tests {
         let out = flight(&parse(&[
             dump.to_str().unwrap(),
             "--trace",
-            trace.to_str().unwrap(),
+            trace_path.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("flight verified"), "{out}");

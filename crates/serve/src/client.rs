@@ -136,6 +136,21 @@ impl Client {
         }
     }
 
+    /// Fetch one job's ktrace span tree (lifecycle state, engine-time
+    /// spans, wall-clock stamps).
+    pub fn trace(&mut self, job: u64) -> io::Result<Response> {
+        self.roundtrip(&Request::Trace { job })
+    }
+
+    /// Fetch the decoded `trace` body (errors on any other reply).
+    pub fn trace_reply(&mut self, job: u64) -> io::Result<crate::protocol::TraceReply> {
+        match self.trace(job)? {
+            Response::Trace(reply) => Ok(reply),
+            Response::Error { message } => Err(bad_data(message)),
+            other => Err(bad_data(format!("expected a trace reply, got {other:?}"))),
+        }
+    }
+
     /// Cancel a still-queued job.
     pub fn cancel(&mut self, job: u64) -> io::Result<Response> {
         self.roundtrip(&Request::Cancel { job })

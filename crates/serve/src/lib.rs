@@ -46,6 +46,6 @@ pub use client::Client;
 pub use journal::{JournalHealth, SessionJournal};
 pub use loadgen::{run_loadgen, ArrivalKind, LoadgenConfig, LoadgenReport};
 pub use metrics::{ModeTracker, ServiceMetrics};
-pub use protocol::{Event, HelloReply, Request, Response, PROTOCOL_VERSION};
+pub use protocol::{Event, HelloReply, Request, Response, TraceReply, PROTOCOL_VERSION};
 pub use replay::{SessionTrace, TraceJob};
 pub use server::{Server, ServerConfig};

@@ -213,7 +213,7 @@ fn run_client(addr: &str, cfg: &LoadgenConfig, idx: usize) -> io::Result<ClientT
         }
         let (ack, events) = client.submit_watch(chunk.to_vec())?;
         match ack {
-            Response::Submitted { jobs } => {
+            Response::Submitted { jobs, .. } => {
                 tally.accepted += jobs.len() as u64;
                 for ev in events {
                     if let Event::JobDone { response, .. } = ev {

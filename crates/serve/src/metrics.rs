@@ -61,6 +61,21 @@ pub struct ServiceMetrics {
     pub queue_depth_at_admit: HistogramHandle,
     /// Wall-clock latency of one quantum — `krad_quantum_latency_us`.
     pub quantum_latency_us: HistogramHandle,
+    /// Response time of completed jobs, in engine steps, per dominant
+    /// category — `krad_job_response_steps{category}`.
+    pub response_steps: Vec<HistogramHandle>,
+    /// Slowdown (response / span) of completed jobs in milli-units,
+    /// per dominant category — `krad_job_slowdown_milli{category}`.
+    pub slowdown_milli: Vec<HistogramHandle>,
+    /// Response time of completed jobs across all categories —
+    /// `krad_job_response_steps_all`.
+    pub response_all: HistogramHandle,
+    /// Slowdown of completed jobs across all categories —
+    /// `krad_job_slowdown_milli_all`.
+    pub slowdown_all: HistogramHandle,
+    /// SLO breaches observed (edge-triggered) —
+    /// `krad_slo_breaches_total`.
+    pub slo_breaches: CounterHandle,
     /// Instantaneous desire per category — `krad_category_desire{category}`.
     pub desire: Vec<GaugeHandle>,
     /// Last-quantum allotment per category — `krad_category_allotment{category}`.
@@ -103,6 +118,8 @@ impl ServiceMetrics {
         let mut allotment = Vec::with_capacity(k);
         let mut utilization = Vec::with_capacity(k);
         let mut waste = Vec::with_capacity(k);
+        let mut response_steps = Vec::with_capacity(k);
+        let mut slowdown_milli = Vec::with_capacity(k);
         for cat in 0..k {
             let label = cat.to_string();
             let labels: &[(&str, &str)] = &[("category", &label)];
@@ -124,6 +141,18 @@ impl ServiceMetrics {
             waste.push(registry.gauge_with(
                 "krad_category_waste_steps",
                 "Cumulative allotted-but-unused processor-steps, per category",
+                labels,
+            ));
+            response_steps.push(registry.histogram_with(
+                "krad_job_response_steps",
+                "Response time of completed jobs in engine steps, by dominant category",
+                exp_bounds(20),
+                labels,
+            ));
+            slowdown_milli.push(registry.histogram_with(
+                "krad_job_slowdown_milli",
+                "Slowdown (response/span, milli-units) of completed jobs, by dominant category",
+                exp_bounds(24),
                 labels,
             ));
         }
@@ -154,10 +183,26 @@ impl ServiceMetrics {
                 "Wall-clock latency of one scheduling quantum in microseconds",
                 exp_bounds(20),
             ),
+            response_all: registry.histogram(
+                "krad_job_response_steps_all",
+                "Response time of completed jobs in engine steps, all categories",
+                exp_bounds(20),
+            ),
+            slowdown_all: registry.histogram(
+                "krad_job_slowdown_milli_all",
+                "Slowdown (response/span, milli-units) of completed jobs, all categories",
+                exp_bounds(24),
+            ),
+            slo_breaches: registry.counter(
+                "krad_slo_breaches_total",
+                "Times mean response crossed the configured multiple of the Theorem 3 bound",
+            ),
             desire,
             allotment,
             utilization,
             waste,
+            response_steps,
+            slowdown_milli,
             bound_work_over_p: registry.gauge(
                 "krad_bound_work_over_p",
                 "Sum over categories of injected work T1(J,a)/Pa (Theorem 3 work term)",
@@ -249,6 +294,22 @@ impl ServiceMetrics {
             self.utilization[cat].set(util);
             self.waste[cat].set_u64(allotted_cum[cat].saturating_sub(executed[cat]));
         }
+    }
+
+    /// Record one completed job's response time and slowdown into the
+    /// per-category (`cat` = dominant category) and overall
+    /// histograms. `span` is the job's critical-path length `T∞`;
+    /// slowdown is `response / max(span, 1)` in milli-units.
+    pub fn record_completion(&self, cat: usize, response: u64, span: u64) {
+        let slowdown = response.saturating_mul(1000) / span.max(1);
+        if let Some(h) = self.response_steps.get(cat) {
+            h.record(response);
+        }
+        if let Some(h) = self.slowdown_milli.get(cat) {
+            h.record(slowdown);
+        }
+        self.response_all.record(response);
+        self.slowdown_all.record(slowdown);
     }
 
     /// Publish the Theorem 3 accumulators: `work_by_cat[α] = Σ T1(J,α)`
@@ -353,7 +414,11 @@ impl TelemetrySink for ModeTracker {
     }
 
     fn record(&mut self, event: TelemetryEvent) {
-        let TelemetryEvent::ModeTransition { category, to, .. } = event else {
+        self.record_ref(&event);
+    }
+
+    fn record_ref(&mut self, event: &TelemetryEvent) {
+        let TelemetryEvent::ModeTransition { category, to, .. } = *event else {
             return;
         };
         let cat = usize::from(category);
@@ -370,6 +435,10 @@ impl TelemetrySink for ModeTracker {
         self.gauges[cat][0].set(st.residency[cat][0]);
         self.gauges[cat][1].set(st.residency[cat][1]);
         self.transitions.incr();
+    }
+
+    fn interest(&self) -> u32 {
+        ktelemetry::interest::MODE_TRANSITION
     }
 }
 
@@ -391,6 +460,27 @@ mod tests {
         // now = 0 divides nothing.
         m.update_per_category(&[4, 2], &[0, 0], &[0, 0], &[0, 0], &[0, 0], 0);
         assert_eq!(m.utilization[0].get(), 0.0);
+    }
+
+    #[test]
+    fn completions_feed_response_and_slowdown_histograms() {
+        let m = ServiceMetrics::new(&[4, 2]);
+        // Response 12 on a span-4 job of category 1 → slowdown 3000m.
+        m.record_completion(1, 12, 4);
+        // Span 0 clamps to 1 instead of dividing by zero.
+        m.record_completion(0, 5, 0);
+        assert_eq!(m.response_steps[1].count(), 1);
+        assert_eq!(m.slowdown_milli[1].snapshot().quantile(1.0), 4096.0);
+        assert_eq!(m.response_all.count(), 2);
+        assert_eq!(m.response_all.mean(), 8.5);
+        assert_eq!(m.slowdown_all.mean(), (3000.0 + 5000.0) / 2.0);
+        // Out-of-range categories still land in the overall series.
+        m.record_completion(9, 2, 1);
+        assert_eq!(m.response_all.count(), 3);
+        let text = m.registry().render();
+        assert!(text.contains("krad_job_response_steps_bucket{category=\"1\""));
+        assert!(text.contains("krad_job_slowdown_milli_all_count 3"));
+        assert!(text.contains("krad_slo_breaches_total 0"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::replay::SessionTrace;
 use crate::wire::{self, need_arr, need_str, need_u64, Value};
 use kdag::DagSpec;
 use ksim::Time;
+use ktelemetry::{ExecSegment, JobTrace, TraceStamps};
 
 /// Wire-protocol version, reported in `hello` and `stats` replies.
 ///
@@ -23,7 +24,12 @@ use ksim::Time;
 /// * **3** — adds `"durability"` on `hello` and the journal health
 ///   fields (`"durability"`, `"journal_*"`, `"last_recovery_ms"`) on
 ///   `stats`. All decode tolerantly: absent means journaling off.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// * **4** — ktrace: adds the `trace` verb (per-job span tree),
+///   `"trace_ids"` on `submitted` replies, `"trace_id"` on `job_done`
+///   events, and the response-time/slowdown fields (`"response_*"`,
+///   `"slowdown_*"`) on `stats`. All decode tolerantly: absent means
+///   a pre-tracing server.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// A reference to a server-side generated `kworkloads` scenario.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,6 +66,11 @@ pub enum Request {
     Metrics,
     /// Cancel a still-queued job.
     Cancel {
+        /// Server-assigned job id.
+        job: u64,
+    },
+    /// The assembled ktrace span tree of one job (v4+).
+    Trace {
         /// Server-assigned job id.
         job: u64,
     },
@@ -219,6 +230,76 @@ pub struct StatsReply {
     /// Wall-clock milliseconds the last journal recovery took
     /// (0 when the session did not start from a journal).
     pub last_recovery_ms: f64,
+    /// Completed jobs with recorded response times (v4+).
+    pub response_jobs: u64,
+    /// Mean response time over completed jobs, engine steps (v4+).
+    pub response_mean_steps: f64,
+    /// 99th-percentile response time, engine steps (v4+).
+    pub response_p99_steps: f64,
+    /// Mean slowdown (response/span) in milli-units (v4+).
+    pub slowdown_mean_milli: f64,
+    /// 99th-percentile slowdown in milli-units (v4+).
+    pub slowdown_p99_milli: f64,
+    /// Mean response per dominant category, engine steps (v4+).
+    pub response_mean_steps_by_cat: Vec<f64>,
+    /// Mean slowdown per dominant category, milli-units (v4+).
+    pub slowdown_mean_milli_by_cat: Vec<f64>,
+}
+
+/// The `trace` reply body: one job's assembled lifecycle span tree
+/// (v4+). Engine-time fields are absent until the corresponding event
+/// has been observed; wall-clock stamps are nanoseconds since the
+/// daemon's monotonic epoch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceReply {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Session-unique trace id (`<session-nonce>-<job>`).
+    pub trace_id: String,
+    /// Lifecycle state (`queued`/`cancelled`/`running`/`done`).
+    pub state: String,
+    /// Virtual release time `r(Ji)`.
+    pub release: Option<u64>,
+    /// Step at which the job entered the active set.
+    pub activated: Option<u64>,
+    /// Decision step of the first nonzero allotment.
+    pub first_allot: Option<u64>,
+    /// Execution segments in ascending step order.
+    pub segments: Vec<ExecSegment>,
+    /// Virtual completion time.
+    pub completion: Option<u64>,
+    /// `completion − release`.
+    pub response: Option<u64>,
+    /// When the submit request was read off the wire (ns).
+    pub submit_ns: Option<u64>,
+    /// When admission committed (ns).
+    pub admit_ns: Option<u64>,
+    /// When the job was injected into the engine (ns).
+    pub inject_ns: Option<u64>,
+    /// When the completion was published (ns).
+    pub complete_ns: Option<u64>,
+}
+
+impl TraceReply {
+    /// Convert into the `ktelemetry` trace model (for rendering the
+    /// span tree and for equality checks against offline replays).
+    pub fn to_job_trace(&self) -> JobTrace {
+        JobTrace {
+            job: self.job as u32,
+            release: self.release,
+            activated: self.activated,
+            first_allot: self.first_allot,
+            segments: self.segments.clone(),
+            completion: self.completion,
+            response: self.response,
+            stamps: TraceStamps {
+                submit_ns: self.submit_ns,
+                admit_ns: self.admit_ns,
+                inject_ns: self.inject_ns,
+                complete_ns: self.complete_ns,
+            },
+        }
+    }
 }
 
 /// The `drain` reply body: final counters plus the canonical trace.
@@ -243,6 +324,9 @@ pub enum Response {
     Submitted {
         /// Server-assigned ids.
         jobs: Vec<u64>,
+        /// Trace ids, parallel to `jobs` (v4+; empty from older
+        /// servers).
+        trace_ids: Vec<String>,
     },
     /// Backpressure: the submission was refused outright.
     Rejected {
@@ -269,6 +353,8 @@ pub enum Response {
         /// Its id.
         job: u64,
     },
+    /// `trace` body.
+    Trace(TraceReply),
     /// Drain finished; the session is over.
     Drained(DrainReply),
     /// Malformed request or invalid argument.
@@ -291,6 +377,8 @@ pub enum Event {
         completion: Time,
         /// `completion - release`.
         response: Time,
+        /// Trace id (v4+; empty from older servers).
+        trace_id: String,
     },
     /// One watched job was cancelled while still queued.
     JobCancelled {
@@ -362,6 +450,15 @@ pub fn decode_dag(v: &Value) -> Result<DagSpec, String> {
     })
 }
 
+/// Tolerantly decode an optional `f64` array field (absent or
+/// malformed entries → empty / 0.0).
+fn decode_f64_arr(v: &Value, key: &str) -> Vec<f64> {
+    match v.get(key).and_then(Value::as_arr) {
+        Some(arr) => arr.iter().map(|x| x.as_f64().unwrap_or(0.0)).collect(),
+        None => Vec::new(),
+    }
+}
+
 impl Request {
     /// Canonical one-line encoding.
     pub fn encode(&self) -> String {
@@ -403,6 +500,11 @@ impl Request {
             Request::Metrics => s.push_str("{\"cmd\":\"metrics\"}"),
             Request::Cancel { job } => {
                 s.push_str("{\"cmd\":\"cancel\",\"job\":");
+                s.push_str(&job.to_string());
+                s.push('}');
+            }
+            Request::Trace { job } => {
+                s.push_str("{\"cmd\":\"trace\",\"job\":");
                 s.push_str(&job.to_string());
                 s.push('}');
             }
@@ -451,6 +553,9 @@ impl Request {
             "cancel" => Request::Cancel {
                 job: need_u64(&v, "job")?,
             },
+            "trace" => Request::Trace {
+                job: need_u64(&v, "job")?,
+            },
             "drain" => Request::Drain,
             other => return Err(format!("unknown command '{other}'")),
         })
@@ -462,9 +567,19 @@ impl Response {
     pub fn encode(&self) -> String {
         let mut s = String::new();
         match self {
-            Response::Submitted { jobs } => {
+            Response::Submitted { jobs, trace_ids } => {
                 s.push_str("{\"reply\":\"submitted\",\"jobs\":");
                 wire::push_u64_arr(&mut s, jobs);
+                if !trace_ids.is_empty() {
+                    s.push_str(",\"trace_ids\":[");
+                    for (i, id) in trace_ids.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        wire::push_str_lit(&mut s, id);
+                    }
+                    s.push(']');
+                }
                 s.push('}');
             }
             Response::Rejected {
@@ -545,7 +660,7 @@ impl Response {
                 s.push_str(",\"durability\":");
                 wire::push_str_lit(&mut s, &x.durability);
                 s.push_str(&format!(
-                    ",\"journal_records\":{},\"journal_bytes\":{},\"journal_fsyncs\":{},\"journal_snapshots\":{},\"journal_tail_records\":{},\"last_recovery_ms\":{}}}",
+                    ",\"journal_records\":{},\"journal_bytes\":{},\"journal_fsyncs\":{},\"journal_snapshots\":{},\"journal_tail_records\":{},\"last_recovery_ms\":{}",
                     x.journal_records,
                     x.journal_bytes,
                     x.journal_fsyncs,
@@ -553,6 +668,37 @@ impl Response {
                     x.journal_tail_records,
                     x.last_recovery_ms,
                 ));
+                s.push_str(&format!(
+                    ",\"response_jobs\":{},\"response_mean_steps\":{},\"response_p99_steps\":{},\"slowdown_mean_milli\":{},\"slowdown_p99_milli\":{}",
+                    x.response_jobs,
+                    x.response_mean_steps,
+                    x.response_p99_steps,
+                    x.slowdown_mean_milli,
+                    x.slowdown_p99_milli,
+                ));
+                let f64_arr = |s: &mut String, key: &str, vals: &[f64]| {
+                    s.push_str(",\"");
+                    s.push_str(key);
+                    s.push_str("\":[");
+                    for (i, v) in vals.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(&v.to_string());
+                    }
+                    s.push(']');
+                };
+                f64_arr(
+                    &mut s,
+                    "response_mean_steps_by_cat",
+                    &x.response_mean_steps_by_cat,
+                );
+                f64_arr(
+                    &mut s,
+                    "slowdown_mean_milli_by_cat",
+                    &x.slowdown_mean_milli_by_cat,
+                );
+                s.push('}');
             }
             Response::Metrics { text } => {
                 s.push_str("{\"reply\":\"metrics\",\"text\":");
@@ -561,6 +707,39 @@ impl Response {
             }
             Response::Cancelled { job } => {
                 s.push_str(&format!("{{\"reply\":\"cancelled\",\"job\":{job}}}"));
+            }
+            Response::Trace(t) => {
+                s.push_str(&format!("{{\"reply\":\"trace\",\"job\":{}", t.job));
+                s.push_str(",\"trace_id\":");
+                wire::push_str_lit(&mut s, &t.trace_id);
+                s.push_str(",\"state\":");
+                wire::push_str_lit(&mut s, &t.state);
+                let opt = |s: &mut String, key: &str, v: Option<u64>| {
+                    if let Some(v) = v {
+                        s.push_str(&format!(",\"{key}\":{v}"));
+                    }
+                };
+                opt(&mut s, "release", t.release);
+                opt(&mut s, "activated", t.activated);
+                opt(&mut s, "first_allot", t.first_allot);
+                s.push_str(",\"segments\":[");
+                for (i, seg) in t.segments.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "{{\"from\":{},\"to\":{},\"tasks\":{}}}",
+                        seg.from, seg.to, seg.tasks
+                    ));
+                }
+                s.push(']');
+                opt(&mut s, "completion", t.completion);
+                opt(&mut s, "response", t.response);
+                opt(&mut s, "submit_ns", t.submit_ns);
+                opt(&mut s, "admit_ns", t.admit_ns);
+                opt(&mut s, "inject_ns", t.inject_ns);
+                opt(&mut s, "complete_ns", t.complete_ns);
+                s.push('}');
             }
             Response::Drained(d) => {
                 s.push_str(&format!(
@@ -589,6 +768,17 @@ impl Response {
                     .iter()
                     .map(|x| x.as_u64().ok_or("bad job id"))
                     .collect::<Result<Vec<_>, _>>()?,
+                trace_ids: match v.get("trace_ids").and_then(Value::as_arr) {
+                    Some(arr) => arr
+                        .iter()
+                        .map(|x| {
+                            x.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "bad trace id".to_string())
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    None => Vec::new(),
+                },
             },
             "rejected" => Response::Rejected {
                 reason: need_str(&v, "reason")?.to_string(),
@@ -717,6 +907,25 @@ impl Response {
                     .get("last_recovery_ms")
                     .and_then(Value::as_f64)
                     .unwrap_or(0.0),
+                response_jobs: v.get("response_jobs").and_then(Value::as_u64).unwrap_or(0),
+                response_mean_steps: v
+                    .get("response_mean_steps")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                response_p99_steps: v
+                    .get("response_p99_steps")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                slowdown_mean_milli: v
+                    .get("slowdown_mean_milli")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                slowdown_p99_milli: v
+                    .get("slowdown_p99_milli")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0),
+                response_mean_steps_by_cat: decode_f64_arr(&v, "response_mean_steps_by_cat"),
+                slowdown_mean_milli_by_cat: decode_f64_arr(&v, "slowdown_mean_milli_by_cat"),
             }),
             "metrics" => Response::Metrics {
                 text: need_str(&v, "text")?.to_string(),
@@ -724,6 +933,41 @@ impl Response {
             "cancelled" => Response::Cancelled {
                 job: need_u64(&v, "job")?,
             },
+            "trace" => {
+                let segments = match v.get("segments").and_then(Value::as_arr) {
+                    Some(arr) => arr
+                        .iter()
+                        .map(|seg| {
+                            Ok(ExecSegment {
+                                from: need_u64(seg, "from")?,
+                                to: need_u64(seg, "to")?,
+                                tasks: need_u64(seg, "tasks")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    None => Vec::new(),
+                };
+                let opt = |key: &str| v.get(key).and_then(Value::as_u64);
+                Response::Trace(TraceReply {
+                    job: need_u64(&v, "job")?,
+                    trace_id: v
+                        .get("trace_id")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    state: need_str(&v, "state")?.to_string(),
+                    release: opt("release"),
+                    activated: opt("activated"),
+                    first_allot: opt("first_allot"),
+                    segments,
+                    completion: opt("completion"),
+                    response: opt("response"),
+                    submit_ns: opt("submit_ns"),
+                    admit_ns: opt("admit_ns"),
+                    inject_ns: opt("inject_ns"),
+                    complete_ns: opt("complete_ns"),
+                })
+            }
             "drained" => Response::Drained(DrainReply {
                 admitted: need_u64(&v, "admitted")?,
                 completed: need_u64(&v, "completed")?,
@@ -748,9 +992,18 @@ impl Event {
                 release,
                 completion,
                 response,
-            } => format!(
-                "{{\"event\":\"job_done\",\"job\":{job},\"release\":{release},\"completion\":{completion},\"response\":{response}}}"
-            ),
+                trace_id,
+            } => {
+                let mut s = format!(
+                    "{{\"event\":\"job_done\",\"job\":{job},\"release\":{release},\"completion\":{completion},\"response\":{response}"
+                );
+                if !trace_id.is_empty() {
+                    s.push_str(",\"trace_id\":");
+                    wire::push_str_lit(&mut s, trace_id);
+                }
+                s.push('}');
+                s
+            }
             Event::JobCancelled { job } => {
                 format!("{{\"event\":\"job_cancelled\",\"job\":{job}}}")
             }
@@ -771,6 +1024,11 @@ impl Event {
                 release: need_u64(&v, "release")?,
                 completion: need_u64(&v, "completion")?,
                 response: need_u64(&v, "response")?,
+                trace_id: v
+                    .get("trace_id")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
             },
             "job_cancelled" => Event::JobCancelled {
                 job: need_u64(&v, "job")?,
@@ -813,6 +1071,7 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Cancel { job: 17 },
+            Request::Trace { job: 4 },
             Request::Drain,
         ];
         for r in reqs {
@@ -825,7 +1084,46 @@ mod tests {
     #[test]
     fn responses_roundtrip() {
         let resps = [
-            Response::Submitted { jobs: vec![0, 1] },
+            Response::Submitted {
+                jobs: vec![0, 1],
+                trace_ids: vec!["a1b2-0".into(), "a1b2-1".into()],
+            },
+            Response::Submitted {
+                jobs: vec![7],
+                trace_ids: vec![],
+            },
+            Response::Trace(TraceReply {
+                job: 3,
+                trace_id: "a1b2-3".into(),
+                state: "done".into(),
+                release: Some(5),
+                activated: Some(6),
+                first_allot: Some(8),
+                segments: vec![
+                    ExecSegment {
+                        from: 8,
+                        to: 10,
+                        tasks: 5,
+                    },
+                    ExecSegment {
+                        from: 12,
+                        to: 14,
+                        tasks: 4,
+                    },
+                ],
+                completion: Some(14),
+                response: Some(9),
+                submit_ns: Some(1_000),
+                admit_ns: Some(2_000),
+                inject_ns: Some(3_000),
+                complete_ns: Some(9_000),
+            }),
+            Response::Trace(TraceReply {
+                job: 9,
+                trace_id: "a1b2-9".into(),
+                state: "queued".into(),
+                ..TraceReply::default()
+            }),
             Response::Hello(HelloReply {
                 version: PROTOCOL_VERSION,
                 scheduler: "k-rad".into(),
@@ -890,6 +1188,13 @@ mod tests {
                 journal_snapshots: 2,
                 journal_tail_records: 7,
                 last_recovery_ms: 1.25,
+                response_jobs: 7,
+                response_mean_steps: 18.5,
+                response_p99_steps: 64.0,
+                slowdown_mean_milli: 2250.5,
+                slowdown_p99_milli: 8192.0,
+                response_mean_steps_by_cat: vec![20.0, 17.5],
+                slowdown_mean_milli_by_cat: vec![2000.0, 2500.0],
             }),
             Response::Metrics {
                 text: "# HELP krad_quanta_total x\nkrad_quanta_total 3\n".into(),
@@ -915,6 +1220,9 @@ mod tests {
                 assert_eq!(x.time_policy, "");
                 assert_eq!(x.durability, "off", "journal fields default off");
                 assert_eq!(x.journal_records, 0);
+                assert_eq!(x.response_jobs, 0, "tracing fields default empty");
+                assert_eq!(x.response_mean_steps, 0.0);
+                assert!(x.response_mean_steps_by_cat.is_empty());
             }
             other => panic!("expected stats, got {other:?}"),
         }
@@ -934,7 +1242,53 @@ mod tests {
             durability: "off".into(),
         })
         .encode();
-        assert!(line.contains("\"version\":3"), "{line}");
+        assert!(line.contains("\"version\":4"), "{line}");
+
+        // A v3 submitted reply (no "trace_ids") and a v3 job_done
+        // event (no "trace_id") decode with empty trace ids.
+        match Response::decode(r#"{"reply":"submitted","jobs":[0,1]}"#).unwrap() {
+            Response::Submitted { jobs, trace_ids } => {
+                assert_eq!(jobs, vec![0, 1]);
+                assert!(trace_ids.is_empty());
+            }
+            other => panic!("expected submitted, got {other:?}"),
+        }
+        match Event::decode(
+            r#"{"event":"job_done","job":2,"release":0,"completion":9,"response":9}"#,
+        )
+        .unwrap()
+        {
+            Some(Event::JobDone { trace_id, .. }) => assert_eq!(trace_id, ""),
+            other => panic!("expected job_done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_reply_converts_to_the_telemetry_model() {
+        let reply = TraceReply {
+            job: 3,
+            trace_id: "n-3".into(),
+            state: "done".into(),
+            release: Some(5),
+            activated: Some(6),
+            first_allot: Some(8),
+            segments: vec![ExecSegment {
+                from: 8,
+                to: 14,
+                tasks: 9,
+            }],
+            completion: Some(14),
+            response: Some(9),
+            admit_ns: Some(500),
+            ..TraceReply::default()
+        };
+        let trace = reply.to_job_trace();
+        trace.well_formed(9).unwrap();
+        assert_eq!(trace.wait(), Some(2));
+        assert_eq!(trace.service(), Some(7));
+        assert_eq!(trace.stamps.admit_ns, Some(500));
+        let tree = trace.render_tree("3");
+        assert!(tree.contains("wait"), "{tree}");
     }
 
     #[test]
@@ -950,8 +1304,18 @@ mod tests {
             release: 10,
             completion: 31,
             response: 21,
+            trace_id: "f00-5".into(),
         };
         assert_eq!(Event::decode(&e.encode()).unwrap(), Some(e));
+        let bare = Event::JobDone {
+            job: 5,
+            release: 10,
+            completion: 31,
+            response: 21,
+            trace_id: String::new(),
+        };
+        assert!(!bare.encode().contains("trace_id"));
+        assert_eq!(Event::decode(&bare.encode()).unwrap(), Some(bare));
         let c = Event::JobCancelled { job: 2 };
         assert_eq!(Event::decode(&c.encode()).unwrap(), Some(c));
         assert_eq!(
@@ -959,7 +1323,14 @@ mod tests {
             Some(Event::WatchEnd)
         );
         assert_eq!(
-            Event::decode(&Response::Submitted { jobs: vec![1] }.encode()).unwrap(),
+            Event::decode(
+                &Response::Submitted {
+                    jobs: vec![1],
+                    trace_ids: vec![],
+                }
+                .encode()
+            )
+            .unwrap(),
             None
         );
     }

@@ -20,7 +20,7 @@ use crate::journal::{self, SessionJournal};
 use crate::metrics::{ModeTracker, ServiceMetrics};
 use crate::protocol::{
     DrainReply, Event, HelloReply, JobState, JobStatus, Request, Response, ScenarioRef, StatsReply,
-    StatusReply, PROTOCOL_VERSION,
+    StatusReply, TraceReply, PROTOCOL_VERSION,
 };
 use crate::replay::{SessionTrace, TraceJob};
 use kbaselines::SchedulerKind;
@@ -29,7 +29,7 @@ use kjournal::{FsyncPolicy, JobImage, JobPhase, JournalStore, SessionImage};
 use ksim::{JobSpec, LiveSimulation, Resources, Scheduler, SimConfig, Time, TimePolicy};
 use ktelemetry::{
     CounterHandle, FanoutSink, FlightRecorder, HistogramHandle, SharedSink, SpanKind, SpanRecorder,
-    TelemetryHandle,
+    TelemetryEvent, TelemetryHandle, TelemetrySink, TraceAssembler, TraceStamps,
 };
 use kworkloads::{rng_for, scenarios};
 use std::collections::VecDeque;
@@ -93,6 +93,12 @@ pub struct ServerConfig {
     /// quanta; 0 disables periodic snapshots. Drain and recovery
     /// always snapshot.
     pub snapshot_every: u64,
+    /// Alert when the observed mean response exceeds this multiple of
+    /// the running Theorem-3 makespan bound (`krad_bound_theorem3`).
+    /// Crossing the threshold bumps `krad_slo_breaches_total` and
+    /// drops an `slo_alert` annotation into the flight recorder;
+    /// `0.0` disables the check.
+    pub slo_factor: f64,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +122,7 @@ impl Default for ServerConfig {
             journal_dir: None,
             fsync: FsyncPolicy::Interval(Duration::from_millis(50)),
             snapshot_every: 256,
+            slo_factor: 0.0,
         }
     }
 }
@@ -159,6 +166,15 @@ struct Inner {
     // category, and max (T∞(J) + r(J)).
     work_by_cat: Vec<u64>,
     span_release_max: u64,
+    // ktrace wall-clock stamps per admitted id, nanoseconds since the
+    // daemon's monotonic epoch (`ServiceMetrics::started`).
+    stamps: Vec<TraceStamps>,
+    // Dominant work category and span per admitted id, fixed at
+    // admission — the slowdown denominator and histogram label.
+    cat_span: Vec<(usize, u64)>,
+    // Edge-trigger state for the SLO alert: set while the mean
+    // response sits above the threshold so one crossing fires once.
+    slo_breached: bool,
     // Service metrics (registry-backed atomic handles; clones of the
     // instruments in `Shared::metrics`).
     admitted: CounterHandle,
@@ -181,6 +197,12 @@ struct Shared {
     mode_tracker: ModeTracker,
     flight: Option<Arc<Mutex<FlightRecorder>>>,
     journal: Option<SessionJournal>,
+    // Live span-tree view: assembles engine trace events on the fly;
+    // the `trace` verb reads it, `admit` never touches it.
+    traces: Arc<Mutex<TraceAssembler>>,
+    // Session nonce baked into every trace id (`<nonce:x>-<job>`), so
+    // ids from different sessions never collide in downstream stores.
+    nonce: u64,
 }
 
 impl Shared {
@@ -224,6 +246,9 @@ impl Shared {
                 idle_steps: 0,
                 work_by_cat: vec![0; k],
                 span_release_max: 0,
+                stamps: Vec::new(),
+                cat_span: Vec::new(),
+                slo_breached: false,
                 admitted: metrics.admitted.clone(),
                 rejections: metrics.rejected.clone(),
                 completed: metrics.completed.clone(),
@@ -241,22 +266,42 @@ impl Shared {
             mode_tracker,
             flight,
             journal,
+            traces: Arc::new(Mutex::new(TraceAssembler::new())),
+            nonce: session_nonce(),
         });
         Ok((shared, recovered))
     }
 
+    /// Nanoseconds since the daemon's monotonic epoch, for ktrace
+    /// wall-clock stamps.
+    fn elapsed_ns(&self) -> u64 {
+        self.metrics
+            .started()
+            .elapsed()
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// The wire-visible trace id of job `id` in this session.
+    fn trace_id(&self, id: u64) -> String {
+        format!("{:x}-{id}", self.nonce)
+    }
+
     /// The telemetry handle the engine and scheduler record into: the
-    /// user's configured sink, the flight recorder, and the mode
-    /// tracker, fanned out.
+    /// user's configured sink, the trace assembler, the mode tracker,
+    /// and the flight recorder, fanned out. The flight ring (the one
+    /// sink that keeps the event) goes last so the read-only sinks
+    /// ahead of it are fed by reference and never force a clone.
     fn telemetry_fanout(&self) -> TelemetryHandle {
         let mut sinks: Vec<SharedSink> = Vec::new();
         if self.cfg.telemetry.is_enabled() {
             sinks.push(Arc::new(Mutex::new(self.cfg.telemetry.clone())));
         }
+        sinks.push(Arc::clone(&self.traces) as SharedSink);
+        sinks.push(Arc::new(Mutex::new(self.mode_tracker.clone())));
         if let Some(flight) = &self.flight {
             sinks.push(Arc::clone(flight) as SharedSink);
         }
-        sinks.push(Arc::new(Mutex::new(self.mode_tracker.clone())));
         TelemetryHandle::new(FanoutSink::new(sinks))
     }
 
@@ -267,6 +312,29 @@ impl Shared {
     fn broadcast(inner: &mut Inner, event: Event) {
         inner.watchers.retain(|w| w.send(event.clone()).is_ok());
     }
+}
+
+/// A per-process session nonce for trace ids: wall-clock nanoseconds
+/// folded with the pid, so restarts (and concurrent daemons) mint
+/// distinct id spaces without coordination.
+fn session_nonce() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    (nanos ^ u64::from(std::process::id()).rotate_left(32)) | 1
+}
+
+/// The dominant work category (argmax of per-category work, ties to
+/// the lowest index) and critical-path span of a DAG — the histogram
+/// label and slowdown denominator fixed at admission.
+fn dominant_cat_span(dag: &JobDag) -> (usize, u64) {
+    let cat = dag
+        .work_by_category()
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &w)| (w, std::cmp::Reverse(i)))
+        .map_or(0, |(i, _)| i);
+    (cat, dag.span())
 }
 
 /// A running daemon: its address and its thread handles.
@@ -551,7 +619,7 @@ fn scheduler_loop(
         {
             let mut g = shared.inner.lock().unwrap();
             loop {
-                inject_queued(&mut live, &mut g, shared.journal.as_ref());
+                inject_queued(&mut live, &mut g, shared);
                 if live.has_work() {
                     break;
                 }
@@ -628,6 +696,7 @@ fn scheduler_loop(
                     .log_quantum(live.now(), live.busy_steps(), live.idle_steps(), &done_jobs)
                     .expect("journal commit failed; cannot acknowledge unjournaled completions");
             }
+            let complete_ns = shared.elapsed_ns();
             for (&engine_idx, &(id, completion)) in done_buf.iter().zip(&done_jobs) {
                 let release = match g.slots[id as usize] {
                     Slot::Running { release } => release,
@@ -641,6 +710,11 @@ fn scheduler_loop(
                 g.completed_log.push((id, completion));
                 g.inflight -= 1;
                 g.completed.incr();
+                g.stamps[id as usize].complete_ns = Some(complete_ns);
+                let (cat, span) = g.cat_span[id as usize];
+                shared
+                    .metrics
+                    .record_completion(cat, completion - release, span);
                 Shared::broadcast(
                     &mut g,
                     Event::JobDone {
@@ -648,8 +722,35 @@ fn scheduler_loop(
                         release,
                         completion,
                         response: completion - release,
+                        trace_id: shared.trace_id(id),
                     },
                 );
+            }
+            // SLO check, edge-triggered on the running mean response
+            // crossing `slo_factor ×` the live Theorem-3 bound. The
+            // alert annotates the flight ring only — it is a service
+            // observation, not an engine event, so deterministic
+            // replay stays byte-for-byte comparable.
+            if cfg.slo_factor > 0.0 && !done_buf.is_empty() {
+                let mean = shared.metrics.response_all.mean();
+                let threshold = cfg.slo_factor * shared.metrics.bound_theorem3.get();
+                if threshold > 0.0 && mean > threshold {
+                    if !g.slo_breached {
+                        g.slo_breached = true;
+                        shared.metrics.slo_breaches.incr();
+                        if let Some(flight) = &shared.flight {
+                            if let Ok(mut ring) = flight.lock() {
+                                ring.record(TelemetryEvent::SloAlert {
+                                    t: live.now(),
+                                    mean_response_milli: (mean * 1e3) as u64,
+                                    threshold_milli: (threshold * 1e3) as u64,
+                                });
+                            }
+                        }
+                    }
+                } else {
+                    g.slo_breached = false;
+                }
             }
             if snapshot_due {
                 if let Some(j) = &shared.journal {
@@ -677,7 +778,8 @@ fn scheduler_loop(
 /// Injection records are buffered into the journal (not yet
 /// committed): they ride the quantum's group commit, and nothing
 /// observable depends on them until that commit lands.
-fn inject_queued(live: &mut LiveSimulation, g: &mut Inner, journal: Option<&SessionJournal>) {
+fn inject_queued(live: &mut LiveSimulation, g: &mut Inner, shared: &Shared) {
+    let journal = shared.journal.as_ref();
     while let Some(id) = g.queue.pop_front() {
         let dag = match &g.slots[id as usize] {
             Slot::Queued(dag) => Arc::clone(dag),
@@ -685,6 +787,7 @@ fn inject_queued(live: &mut LiveSimulation, g: &mut Inner, journal: Option<&Sess
             _ => unreachable!("queued id must be queued or cancelled"),
         };
         let release = live.now();
+        g.stamps[id as usize].inject_ns = Some(shared.elapsed_ns());
         let spec = JobSpec {
             dag: Arc::clone(&dag),
             release,
@@ -752,6 +855,10 @@ fn rebuild_inner(
     let mut cancelled = 0u64;
     for job in jobs {
         g.dag_specs.push(image.jobs[job.id as usize].dag.clone());
+        // Wall-clock stamps do not survive a restart (the monotonic
+        // epoch is new); slowdown accounting re-derives its inputs.
+        g.stamps.push(TraceStamps::default());
+        g.cat_span.push(dominant_cat_span(&job.dag));
         match job.phase {
             JobPhase::Queued => {
                 g.slots.push(Slot::Queued(Arc::clone(&job.dag)));
@@ -877,8 +984,9 @@ fn render_scrape(shared: &Shared) -> String {
 }
 
 /// Serve one plain-HTTP scrape connection: read the request head,
-/// answer `GET /metrics` (or `/`) with the text exposition, anything
-/// else with 404, and close.
+/// answer `GET /metrics` (or `/`) with the text exposition, `HEAD`
+/// with the headers alone, any other method with 405, unknown paths
+/// with 404, and close.
 fn serve_scrape(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(reader_stream) = stream.try_clone() else {
         return;
@@ -902,15 +1010,23 @@ fn serve_scrape(stream: TcpStream, shared: &Arc<Shared>) {
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
     let mut writer = stream;
-    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/") {
-        ("200 OK", render_scrape(shared))
-    } else {
-        ("404 Not Found", "not found\n".to_string())
+    let (status, body, allow) = match (method, path == "/metrics" || path == "/") {
+        ("GET" | "HEAD", true) => ("200 OK", render_scrape(shared), false),
+        ("GET" | "HEAD", false) => ("404 Not Found", "not found\n".to_string(), false),
+        _ => (
+            "405 Method Not Allowed",
+            "method not allowed\n".to_string(),
+            true,
+        ),
     };
+    // HEAD carries the headers (including the Content-Length the GET
+    // would have) with no body.
+    let payload = if method == "HEAD" { "" } else { body.as_str() };
     let _ = write!(
         writer,
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{payload}",
         body.len(),
+        if allow { "Allow: GET, HEAD\r\n" } else { "" },
     );
     let _ = writer.flush();
 }
@@ -920,6 +1036,9 @@ fn serve_scrape(stream: TcpStream, shared: &Arc<Shared>) {
 fn admit(shared: &Shared, dags: Vec<JobDag>, watch: bool) -> (Response, Option<WatchSession>) {
     let cfg = &shared.cfg;
     let k = cfg.machine.len();
+    // ktrace: the submit stamp is taken before validation or locking —
+    // it marks when the request came off the wire.
+    let submit_ns = shared.elapsed_ns();
     for (i, dag) in dags.iter().enumerate() {
         if dag.k() != k {
             return (
@@ -986,9 +1105,16 @@ fn admit(shared: &Shared, dags: Vec<JobDag>, watch: bool) -> (Response, Option<W
             );
         }
     }
+    let admit_ns = shared.elapsed_ns();
     let mut ids = Vec::with_capacity(n);
     for (dag, spec) in dags.into_iter().zip(specs) {
         let id = g.slots.len() as u64;
+        g.cat_span.push(dominant_cat_span(&dag));
+        g.stamps.push(TraceStamps {
+            submit_ns: Some(submit_ns),
+            admit_ns: Some(admit_ns),
+            ..TraceStamps::default()
+        });
         g.slots.push(Slot::Queued(Arc::new(dag)));
         g.dag_specs.push(spec);
         g.queue.push_back(id);
@@ -1011,7 +1137,14 @@ fn admit(shared: &Shared, dags: Vec<JobDag>, watch: bool) -> (Response, Option<W
     });
     drop(g);
     shared.notify();
-    (Response::Submitted { jobs: ids }, watch_session)
+    let trace_ids = ids.iter().map(|&id| shared.trace_id(id)).collect();
+    (
+        Response::Submitted {
+            jobs: ids,
+            trace_ids,
+        },
+        watch_session,
+    )
 }
 
 /// A registered completion-event subscription for one submission.
@@ -1086,6 +1219,8 @@ fn status_reply(g: &Inner) -> StatusReply {
 
 fn stats_reply(g: &Inner, shared: &Shared) -> StatsReply {
     let latency = g.quantum_latency_us.snapshot();
+    let response = shared.metrics.response_all.snapshot();
+    let slowdown = shared.metrics.slowdown_all.snapshot();
     let health = shared
         .journal
         .as_ref()
@@ -1125,7 +1260,65 @@ fn stats_reply(g: &Inner, shared: &Shared) -> StatsReply {
         journal_snapshots: health.snapshots,
         journal_tail_records: health.tail_records,
         last_recovery_ms: shared.metrics.recovery_duration_ms.get(),
+        response_jobs: shared.metrics.response_all.count(),
+        response_mean_steps: response.mean(),
+        response_p99_steps: response.quantile(0.99),
+        slowdown_mean_milli: slowdown.mean(),
+        slowdown_p99_milli: slowdown.quantile(0.99),
+        response_mean_steps_by_cat: shared
+            .metrics
+            .response_steps
+            .iter()
+            .map(|h| h.mean())
+            .collect(),
+        slowdown_mean_milli_by_cat: shared
+            .metrics
+            .slowdown_milli
+            .iter()
+            .map(|h| h.mean())
+            .collect(),
     }
+}
+
+/// Assemble the `trace` reply for one admitted job: lifecycle state
+/// from the job table, engine-time spans from the live
+/// [`TraceAssembler`], wall stamps from the admission/injection/
+/// completion bookkeeping. `None` for ids never admitted.
+fn trace_reply(g: &Inner, shared: &Shared, job: u64) -> Option<TraceReply> {
+    let slot = g.slots.get(job as usize)?;
+    let state = match slot {
+        Slot::Queued(_) => "queued",
+        Slot::Cancelled => "cancelled",
+        Slot::Running { .. } => "running",
+        Slot::Done { .. } => "done",
+    };
+    let mut reply = TraceReply {
+        job,
+        trace_id: shared.trace_id(job),
+        state: state.to_string(),
+        ..TraceReply::default()
+    };
+    if let Some(stamps) = g.stamps.get(job as usize) {
+        reply.submit_ns = stamps.submit_ns;
+        reply.admit_ns = stamps.admit_ns;
+        reply.inject_ns = stamps.inject_ns;
+        reply.complete_ns = stamps.complete_ns;
+    }
+    // Engine-side spans exist only once the job was injected; the
+    // engine indexes jobs by injection order, not admission id.
+    if let Some(engine_idx) = g.engine_to_id.iter().position(|&id| id == job) {
+        if let Ok(assembler) = shared.traces.lock() {
+            if let Some(trace) = assembler.job(engine_idx as u32) {
+                reply.release = trace.release;
+                reply.activated = trace.activated;
+                reply.first_allot = trace.first_allot;
+                reply.completion = trace.completion;
+                reply.response = trace.response;
+                reply.segments = trace.segments.clone();
+            }
+        }
+    }
+    Some(reply)
 }
 
 /// The durability mode clients see: `off`, or `wal:<fsync policy>`.
@@ -1217,6 +1410,7 @@ fn stream_watch<W: Write>(session: WatchSession, writer: &mut W, shared: &Arc<Sh
                     release: *release,
                     completion: *completion,
                     response: *completion - *release,
+                    trace_id: shared.trace_id(id),
                 },
                 _ => Event::JobCancelled { job: id },
             };
@@ -1284,6 +1478,18 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (Response, Option<WatchSession>
         Request::Stats => {
             let g = shared.inner.lock().unwrap();
             (Response::Stats(stats_reply(&g, shared)), None)
+        }
+        Request::Trace { job } => {
+            let g = shared.inner.lock().unwrap();
+            match trace_reply(&g, shared, job) {
+                Some(reply) => (Response::Trace(reply), None),
+                None => (
+                    Response::Error {
+                        message: format!("unknown job {job}"),
+                    },
+                    None,
+                ),
+            }
         }
         Request::Metrics => (
             Response::Metrics {
@@ -1412,7 +1618,7 @@ mod tests {
     fn admission_backpressure_is_explicit() {
         let shared = bare_shared(4, 100);
         let (r, _) = dispatch(&submit_line(3), &shared);
-        assert!(matches!(r, Response::Submitted { ref jobs } if jobs == &[0, 1, 2]));
+        assert!(matches!(r, Response::Submitted { ref jobs, .. } if jobs == &[0, 1, 2]));
         // 3 queued + 2 > capacity 4 → rejected, queue untouched.
         let (r, _) = dispatch(&submit_line(2), &shared);
         match r {
@@ -1428,7 +1634,7 @@ mod tests {
         }
         // A single job still fits.
         let (r, _) = dispatch(&submit_line(1), &shared);
-        assert!(matches!(r, Response::Submitted { ref jobs } if jobs == &[3]));
+        assert!(matches!(r, Response::Submitted { ref jobs, .. } if jobs == &[3]));
         let g = shared.inner.lock().unwrap();
         assert_eq!(g.admitted.get(), 4);
         assert_eq!(g.rejections.get(), 2);
@@ -1482,6 +1688,60 @@ mod tests {
         let (r, _) = dispatch(line, &shared);
         assert!(matches!(r, Response::Error { ref message } if message.contains("invalid DAG")));
         assert_eq!(shared.inner.lock().unwrap().admitted.get(), 0);
+    }
+
+    #[test]
+    fn trace_verb_reports_lifecycle_and_stamps() {
+        let shared = bare_shared(10, 10);
+        let (r, _) = dispatch(&submit_line(2), &shared);
+        let ids = match r {
+            Response::Submitted { jobs, trace_ids } => {
+                assert_eq!(jobs, vec![0, 1]);
+                assert_eq!(trace_ids.len(), 2);
+                assert_eq!(trace_ids[0], shared.trace_id(0));
+                trace_ids
+            }
+            other => panic!("expected submitted, got {other:?}"),
+        };
+        // No scheduler thread: both jobs sit queued, stamped but
+        // without engine-time spans.
+        let (r, _) = dispatch(r#"{"cmd":"trace","job":1}"#, &shared);
+        match r {
+            Response::Trace(t) => {
+                assert_eq!(t.job, 1);
+                assert_eq!(t.trace_id, ids[1]);
+                assert_eq!(t.state, "queued");
+                assert!(t.submit_ns.is_some());
+                assert!(t.admit_ns.unwrap() >= t.submit_ns.unwrap());
+                assert_eq!(t.inject_ns, None);
+                assert_eq!(t.release, None);
+                assert!(t.segments.is_empty());
+            }
+            other => panic!("expected trace, got {other:?}"),
+        }
+        let (r, _) = dispatch(r#"{"cmd":"cancel","job":0}"#, &shared);
+        assert!(matches!(r, Response::Cancelled { .. }));
+        let (r, _) = dispatch(r#"{"cmd":"trace","job":0}"#, &shared);
+        assert!(matches!(r, Response::Trace(ref t) if t.state == "cancelled"));
+        let (r, _) = dispatch(r#"{"cmd":"trace","job":9}"#, &shared);
+        assert!(matches!(r, Response::Error { ref message } if message.contains("unknown")));
+    }
+
+    #[test]
+    fn stats_reply_carries_response_accounting() {
+        let shared = bare_shared(10, 10);
+        shared.metrics.record_completion(1, 12, 4);
+        shared.metrics.record_completion(0, 5, 5);
+        let (r, _) = dispatch(r#"{"cmd":"stats"}"#, &shared);
+        match r {
+            Response::Stats(st) => {
+                assert_eq!(st.response_jobs, 2);
+                assert!((st.response_mean_steps - 8.5).abs() < 1e-12);
+                assert_eq!(st.response_mean_steps_by_cat.len(), 2);
+                assert!(st.slowdown_mean_milli > 0.0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
     }
 
     #[test]

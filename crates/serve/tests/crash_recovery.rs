@@ -125,7 +125,7 @@ fn crash_cycle(tp_label: &str) {
             })
             .expect("scenario submit runs")
         {
-            Response::Submitted { jobs } => acked.extend(jobs),
+            Response::Submitted { jobs, .. } => acked.extend(jobs),
             other => panic!("expected admission, got {other:?}"),
         }
     }
@@ -253,7 +253,7 @@ fn drained_session_recovers_and_config_drift_is_refused() {
         })
         .expect("submit runs")
     {
-        Response::Submitted { jobs } => assert_eq!(jobs.len(), 4),
+        Response::Submitted { jobs, .. } => assert_eq!(jobs.len(), 4),
         other => panic!("expected admission, got {other:?}"),
     }
     let first = match client.drain().expect("drain runs") {

@@ -96,7 +96,7 @@ fn concurrent_clients_drain_and_replay_byte_for_byte() {
         })
         .expect("scenario submit runs")
     {
-        Response::Submitted { jobs } => jobs.len() as u64,
+        Response::Submitted { jobs, .. } => jobs.len() as u64,
         other => panic!("scenario should be admitted, got {other:?}"),
     };
     assert_eq!(scenario_jobs, 4);
@@ -169,11 +169,12 @@ fn watch_streams_completions_in_virtual_time() {
 
     let dags = some_dags(6, 9);
     let (ack, events) = client.submit_watch(dags).expect("watched submit runs");
-    let ids = match ack {
-        Response::Submitted { jobs } => jobs,
+    let (ids, trace_ids) = match ack {
+        Response::Submitted { jobs, trace_ids } => (jobs, trace_ids),
         other => panic!("expected ack, got {other:?}"),
     };
     assert_eq!(events.len(), ids.len());
+    assert_eq!(trace_ids.len(), ids.len());
     for ev in &events {
         match ev {
             kserve::Event::JobDone {
@@ -181,13 +182,33 @@ fn watch_streams_completions_in_virtual_time() {
                 release,
                 completion,
                 response,
+                trace_id,
             } => {
                 assert!(ids.contains(job));
                 assert_eq!(completion - release, *response);
                 assert!(completion > release);
+                // The streamed completion carries the same trace id
+                // the submission ack minted for this job.
+                let pos = ids.iter().position(|id| id == job).unwrap();
+                assert_eq!(trace_id, &trace_ids[pos]);
             }
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    // The trace verb sees the drained lifecycle end to end: every job
+    // done, wait + service == response, wall stamps monotone.
+    for &id in &ids {
+        let t = client.trace_reply(id).expect("trace runs");
+        assert_eq!(t.state, "done");
+        assert_eq!(t.trace_id, trace_ids[id as usize]);
+        let wait = t.first_allot.unwrap() - t.release.unwrap() - 1;
+        let service = t.completion.unwrap() + 1 - t.first_allot.unwrap();
+        assert_eq!(wait + service, t.response.unwrap());
+        assert!(!t.segments.is_empty());
+        assert!(t.submit_ns.unwrap() <= t.admit_ns.unwrap());
+        assert!(t.admit_ns.unwrap() <= t.inject_ns.unwrap());
+        assert!(t.inject_ns.unwrap() <= t.complete_ns.unwrap());
     }
 
     let drain = match client.drain().expect("drain runs") {
@@ -198,15 +219,19 @@ fn watch_streams_completions_in_virtual_time() {
     server.join();
 }
 
-/// Minimal HTTP/1.0-style GET against the scrape listener.
-fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+/// Minimal HTTP/1.0-style request against the scrape listener.
+fn http_request(addr: std::net::SocketAddr, method: &str, path: &str) -> (String, String) {
     use std::io::{Read, Write};
     let mut stream = std::net::TcpStream::connect(addr).expect("scrape connect");
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("response");
     let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
     (head.to_string(), body.to_string())
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    http_request(addr, "GET", path)
 }
 
 /// The value of an un-labelled sample line in an exposition body.
@@ -247,6 +272,25 @@ fn metrics_scrape_and_flight_dump_observe_a_live_session() {
     // Unknown paths are a 404, not a hang or a crash.
     let (head, _) = http_get(http, "/nope");
     assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    // HEAD answers with the headers the GET would carry and no body;
+    // any other method is a 405 naming what is allowed.
+    let (head, hbody) = http_request(http, "HEAD", "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(hbody.is_empty(), "HEAD must not carry a body: {hbody}");
+    let len: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("content length")
+        .trim()
+        .parse()
+        .expect("numeric length");
+    assert!(len > 0, "HEAD advertises the GET body's length");
+    let (head, _) = http_request(http, "POST", "/metrics");
+    assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+    assert!(head.contains("Allow: GET, HEAD"), "{head}");
+    let (head, _) = http_request(http, "DELETE", "/nope");
+    assert!(head.starts_with("HTTP/1.1 405"), "{head}");
 
     // Run real work to completion, then scrape again: counters are
     // monotone and the paper-semantic families are populated.

@@ -1,0 +1,119 @@
+//! ktrace property tests: for every scheduler × both engine clock
+//! policies, a live session's assembled span trees must (a) satisfy
+//! the span-tree nesting invariants against the jobs' known work
+//! (admit ≤ inject ≤ first-allotment ≤ completion, segments disjoint
+//! and summing to the job's tasks) and (b) be byte-for-byte identical
+//! to the traces assembled from the session's deterministic offline
+//! replay — the canonical-encoding contract `ktelemetry::JobTrace`
+//! documents.
+
+use kbaselines::SchedulerKind;
+use kdag::DagSpec;
+use kserve::protocol::Response;
+use kserve::server::{Server, ServerConfig};
+use kserve::Client;
+use ksim::TimePolicy;
+use ktelemetry::{assemble_traces, JobTrace, TelemetryHandle};
+use kworkloads::mixes::{batched_mix, MixConfig};
+use kworkloads::rng_for;
+
+fn some_dags(n: usize, seed: u64) -> Vec<DagSpec> {
+    let mut rng = rng_for(seed, 0x7ACE);
+    batched_mix(&mut rng, &MixConfig::new(2, n, 18))
+        .iter()
+        .map(|j| DagSpec::from_dag(&j.dag))
+        .collect()
+}
+
+/// Run one live session (8 jobs, single submission so admission order
+/// is engine order), drain it, and return the live-assembled traces,
+/// the replay-assembled traces, and each job's total task count.
+fn live_and_replayed(
+    kind: SchedulerKind,
+    policy: TimePolicy,
+) -> (Vec<JobTrace>, Vec<JobTrace>, Vec<u64>) {
+    let (tel, rec) = TelemetryHandle::recording();
+    let server = Server::start(ServerConfig {
+        machine: vec![5, 3],
+        scheduler: kind,
+        time_policy: policy,
+        seed: 13,
+        telemetry: tel,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("client connects");
+
+    let dags = some_dags(8, 21);
+    let works: Vec<u64> = dags
+        .iter()
+        .map(|d| {
+            d.build()
+                .expect("generated DAG is valid")
+                .work_by_category()
+                .iter()
+                .sum()
+        })
+        .collect();
+    let (ack, events) = client.submit_watch(dags).expect("watched submit runs");
+    assert!(matches!(ack, Response::Submitted { .. }));
+    assert_eq!(events.len(), 8);
+
+    let drain = match client.drain().expect("drain runs") {
+        Response::Drained(d) => d,
+        other => panic!("expected drained, got {other:?}"),
+    };
+    server.join();
+
+    let live = assemble_traces(&rec.lock().unwrap().take());
+
+    let (replay_tel, replay_rec) = TelemetryHandle::recording();
+    drain
+        .trace
+        .replay_instrumented(replay_tel)
+        .expect("offline replay runs");
+    let replayed = assemble_traces(&replay_rec.lock().unwrap().take());
+
+    (live, replayed, works)
+}
+
+#[test]
+fn span_trees_nest_and_match_replay_for_every_scheduler_and_clock() {
+    for kind in SchedulerKind::ALL {
+        for policy in [TimePolicy::UnitStep, TimePolicy::EventDriven] {
+            let (live, replayed, works) = live_and_replayed(kind, policy);
+            assert_eq!(
+                live.len(),
+                replayed.len(),
+                "{kind:?}/{policy:?}: live and replayed sessions saw different job sets"
+            );
+            assert_eq!(live.len(), works.len());
+            for (i, (l, r)) in live.iter().zip(&replayed).enumerate() {
+                // Nesting invariants against the job's known work.
+                l.well_formed(works[i]).unwrap_or_else(|e| {
+                    panic!("{kind:?}/{policy:?} job {i}: live trace malformed: {e}")
+                });
+                // Live == offline replay, byte for byte.
+                assert_eq!(
+                    l.canonical_json(),
+                    r.canonical_json(),
+                    "{kind:?}/{policy:?} job {i}: live and replayed traces diverge"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn clock_policies_assemble_identical_traces() {
+    // The unit-step and event-driven clocks must tell the same
+    // lifecycle story for the same session (the engine's clock-policy
+    // equivalence, observed at the span-tree level).
+    let (unit, _, _) = live_and_replayed(SchedulerKind::KRad, TimePolicy::UnitStep);
+    let (event, _, _) = live_and_replayed(SchedulerKind::KRad, TimePolicy::EventDriven);
+    assert_eq!(unit.len(), event.len());
+    for (u, e) in unit.iter().zip(&event) {
+        assert_eq!(u.canonical_json(), e.canonical_json());
+    }
+}

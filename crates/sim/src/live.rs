@@ -201,6 +201,18 @@ pub struct LiveSimulation {
     trace: Vec<StepTrace>,
     schedule: RecordedSchedule,
     tel: TelemetryHandle,
+
+    // ktrace per-job state: first-allotment flags and the currently
+    // open execution segment of each job. Only consulted when
+    // `job_events` is set, so the uninstrumented hot path pays
+    // nothing beyond the cached boolean.
+    job_events: bool,
+    first_allot_seen: Vec<bool>,
+    /// First step of the open execution segment of each job.
+    seg_from: Vec<u64>,
+    /// Tasks executed in the open segment (`> 0` iff a segment is
+    /// open).
+    seg_tasks: Vec<u64>,
 }
 
 impl LiveSimulation {
@@ -226,6 +238,7 @@ impl LiveSimulation {
         };
         let rng = StdRng::seed_from_u64(cfg.seed);
         let tel = cfg.telemetry.clone();
+        let job_events = tel.is_enabled();
         Ok(LiveSimulation {
             res,
             k,
@@ -268,6 +281,10 @@ impl LiveSimulation {
             trace: Vec::new(),
             schedule: RecordedSchedule::default(),
             tel,
+            job_events,
+            first_allot_seen: Vec::new(),
+            seg_from: Vec::new(),
+            seg_tasks: Vec::new(),
             cfg,
         })
     }
@@ -282,6 +299,9 @@ impl LiveSimulation {
         self.completions.reserve(n);
         self.frozen.reserve(n * self.k);
         self.frozen_set.reserve(n);
+        self.first_allot_seen.reserve(n);
+        self.seg_from.reserve(n);
+        self.seg_tasks.reserve(n);
     }
 
     /// Inject one job; returns its index (dense, in injection order).
@@ -306,6 +326,9 @@ impl LiveSimulation {
         self.states
             .push(ExecutionState::new(&spec.dag, self.cfg.policy));
         self.completions.push(0);
+        self.first_allot_seen.push(false);
+        self.seg_from.push(0);
+        self.seg_tasks.push(0);
         self.frozen.extend(std::iter::repeat_n(0, self.k));
         self.frozen_set.push(false);
         if self.feedback_delta.is_some() {
@@ -473,6 +496,24 @@ impl LiveSimulation {
         // Quantum boundary: consult the scheduler and freeze allotments.
         let mut decided = false;
         if t >= self.next_decision {
+            // ktrace: a decision re-freezes every row, so the open
+            // execution segments are truncated at the boundary — the
+            // per-quantum segment of each job ends at `t - 1`.
+            if self.job_events {
+                for &idx in active.iter() {
+                    if self.seg_tasks[idx] > 0 {
+                        let (from, tasks) = (self.seg_from[idx], self.seg_tasks[idx]);
+                        self.seg_tasks[idx] = 0;
+                        tel.emit(|| TelemetryEvent::JobExecSegment {
+                            job: idx as u32,
+                            from,
+                            to: t - 1,
+                            tasks,
+                        });
+                    }
+                }
+            }
+
             // A-Greedy: digest the quantum that just ended.
             if let Some(delta) = self.feedback_delta {
                 let elapsed = t.saturating_sub(self.last_decision);
@@ -576,6 +617,10 @@ impl LiveSimulation {
                 }
                 self.frozen[r.clone()].copy_from_slice(row);
                 self.frozen_set[idx] = true;
+                if self.job_events && !self.first_allot_seen[idx] && row.iter().any(|&a| a > 0) {
+                    self.first_allot_seen[idx] = true;
+                    tel.emit(|| TelemetryEvent::JobFirstAllot { t, job: idx as u32 });
+                }
                 if self.feedback_delta.is_some() {
                     self.reported[r].copy_from_slice(&desires_buf[slot * k..(slot + 1) * k]);
                 }
@@ -639,6 +684,24 @@ impl LiveSimulation {
                 rec,
             );
             step_total += n;
+            if self.job_events {
+                if n > 0 {
+                    if self.seg_tasks[idx] == 0 {
+                        self.seg_from[idx] = t;
+                    }
+                    self.seg_tasks[idx] += n;
+                } else if self.seg_tasks[idx] > 0 {
+                    // Drained mid-quantum: the segment ended last step.
+                    let (from, tasks) = (self.seg_from[idx], self.seg_tasks[idx]);
+                    self.seg_tasks[idx] = 0;
+                    tel.emit(|| TelemetryEvent::JobExecSegment {
+                        job: idx as u32,
+                        from,
+                        to: t - 1,
+                        tasks,
+                    });
+                }
+            }
             for (tot, &e) in self
                 .step_executed_totals
                 .iter_mut()
@@ -665,6 +728,16 @@ impl LiveSimulation {
             if states[idx].is_complete() {
                 self.completions[idx] = t;
                 scheduler.on_completion(JobId(idx as u32), t);
+                if self.job_events && self.seg_tasks[idx] > 0 {
+                    let (from, tasks) = (self.seg_from[idx], self.seg_tasks[idx]);
+                    self.seg_tasks[idx] = 0;
+                    tel.emit(|| TelemetryEvent::JobExecSegment {
+                        job: idx as u32,
+                        from,
+                        to: t,
+                        tasks,
+                    });
+                }
                 tel.emit(|| TelemetryEvent::JobCompleted {
                     t,
                     job: idx as u32,
@@ -978,6 +1051,24 @@ impl LiveSimulation {
                 rec,
             );
             step_total += n;
+            if self.job_events {
+                if n > 0 {
+                    if self.seg_tasks[idx] == 0 {
+                        self.seg_from[idx] = t;
+                    }
+                    self.seg_tasks[idx] += n;
+                } else if self.seg_tasks[idx] > 0 {
+                    // Drained mid-quantum: the segment ended last step.
+                    let (from, tasks) = (self.seg_from[idx], self.seg_tasks[idx]);
+                    self.seg_tasks[idx] = 0;
+                    self.tel.emit(|| TelemetryEvent::JobExecSegment {
+                        job: idx as u32,
+                        from,
+                        to: t - 1,
+                        tasks,
+                    });
+                }
+            }
             for (tot, &e) in self
                 .step_executed_totals
                 .iter_mut()
@@ -1142,6 +1233,16 @@ impl LiveSimulation {
         let t = self.t;
         self.completions[idx] = t;
         scheduler.on_completion(JobId(idx as u32), t);
+        if self.job_events && self.seg_tasks[idx] > 0 {
+            let (from, tasks) = (self.seg_from[idx], self.seg_tasks[idx]);
+            self.seg_tasks[idx] = 0;
+            self.tel.emit(|| TelemetryEvent::JobExecSegment {
+                job: idx as u32,
+                from,
+                to: t,
+                tasks,
+            });
+        }
         let release = self.jobs[idx].release;
         self.tel.emit(|| TelemetryEvent::JobCompleted {
             t,
@@ -1407,6 +1508,40 @@ mod tests {
             LiveSimulation::new(Resources::uniform(1, 1), cfg),
             Err(BuildError::ZeroQuantum)
         ));
+    }
+
+    #[test]
+    fn trace_events_are_policy_invariant_and_well_formed() {
+        use ktelemetry::assemble_traces;
+        // Staggered releases exercise idle fast-forwards, mid-quantum
+        // arrivals, and drained jobs in both clock modes.
+        let releases = [0u64, 0, 3, 7, 20];
+        let jobs: Vec<JobSpec> = releases
+            .iter()
+            .map(|&r| JobSpec::released(diamond(), r))
+            .collect();
+        let res = Resources::uniform(2, 2);
+        let mut streams = Vec::new();
+        for policy in [TimePolicy::UnitStep, TimePolicy::EventDriven] {
+            let (tel, rec) = ktelemetry::TelemetryHandle::recording();
+            let cfg = SimConfig::default()
+                .with_quantum(3)
+                .with_time_policy(policy)
+                .with_telemetry(tel);
+            simulate(&mut GreedyAll, &jobs, &res, &cfg);
+            streams.push(rec.lock().unwrap().take());
+        }
+        assert_eq!(
+            streams[0], streams[1],
+            "telemetry streams must be identical under both clock modes"
+        );
+        let traces = assemble_traces(&streams[0]);
+        assert_eq!(traces.len(), jobs.len());
+        for tr in &traces {
+            // The diamond has four tasks.
+            tr.well_formed(4)
+                .unwrap_or_else(|e| panic!("job {}: {e}", tr.job));
+        }
     }
 
     #[test]

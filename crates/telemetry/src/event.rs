@@ -91,6 +91,40 @@ pub enum TelemetryEvent {
         /// Response time `T(Ji) − r(Ji)`.
         response: u64,
     },
+    /// A job received its first nonzero allotment (end of its wait
+    /// phase; the step is a quantum decision boundary).
+    JobFirstAllot {
+        /// The decision step granting the allotment.
+        t: u64,
+        /// Job index.
+        job: u32,
+    },
+    /// One maximal run of consecutive steps in which a job executed at
+    /// least one task, truncated at quantum decision boundaries — the
+    /// execution-segment spans of a job's trace.
+    JobExecSegment {
+        /// Job index.
+        job: u32,
+        /// First step of the segment (inclusive).
+        from: u64,
+        /// Last step of the segment (inclusive).
+        to: u64,
+        /// Tasks executed across the segment.
+        tasks: u64,
+    },
+    /// The service layer observed mean response time above the
+    /// configured multiple of the running Theorem-3 bound. Emitted
+    /// edge-triggered by `kserve` (never by the engine), so replay
+    /// verification treats it as a service-only annotation.
+    SloAlert {
+        /// Virtual time at which the breach was observed.
+        t: u64,
+        /// Observed mean response time, in milli-steps.
+        mean_response_milli: u64,
+        /// The crossed threshold (`factor × theorem-3 bound`), in
+        /// milli-steps.
+        threshold_milli: u64,
+    },
     /// An idle interval (no active jobs, future releases pending) was
     /// fast-forwarded without simulating the steps in between.
     IdleSkip {
@@ -152,6 +186,43 @@ pub enum TelemetryEvent {
     },
 }
 
+/// Per-kind bits for sink interest masks (`TelemetrySink::interest`):
+/// a fanout skips locking and dispatching to a sink whose mask does
+/// not contain the event's [`TelemetryEvent::kind_bit`].
+pub mod interest {
+    /// `RunStart` events.
+    pub const RUN_START: u32 = 1 << 0;
+    /// `JobReleased` events.
+    pub const JOB_RELEASED: u32 = 1 << 1;
+    /// `StepStart` events.
+    pub const STEP_START: u32 = 1 << 2;
+    /// `StepEnd` events.
+    pub const STEP_END: u32 = 1 << 3;
+    /// `JobCompleted` events.
+    pub const JOB_COMPLETED: u32 = 1 << 4;
+    /// `JobFirstAllot` events.
+    pub const JOB_FIRST_ALLOT: u32 = 1 << 5;
+    /// `JobExecSegment` events.
+    pub const JOB_EXEC_SEGMENT: u32 = 1 << 6;
+    /// `SloAlert` events.
+    pub const SLO_ALERT: u32 = 1 << 7;
+    /// `IdleSkip` events.
+    pub const IDLE_SKIP: u32 = 1 << 8;
+    /// `Decision` events.
+    pub const DECISION: u32 = 1 << 9;
+    /// `ModeTransition` events.
+    pub const MODE_TRANSITION: u32 = 1 << 10;
+    /// `RrCycleComplete` events.
+    pub const RR_CYCLE_COMPLETE: u32 = 1 << 11;
+    /// `RunEnd` events.
+    pub const RUN_END: u32 = 1 << 12;
+    /// Every event kind (the default sink interest).
+    pub const ALL: u32 = u32::MAX;
+    /// The per-job lifecycle subset a trace assembler consumes.
+    pub const JOB_LIFECYCLE: u32 =
+        JOB_RELEASED | JOB_COMPLETED | JOB_FIRST_ALLOT | JOB_EXEC_SEGMENT;
+}
+
 impl TelemetryEvent {
     /// Stable wire name of the event kind (the JSONL `"event"` field).
     pub fn kind(&self) -> &'static str {
@@ -161,11 +232,33 @@ impl TelemetryEvent {
             TelemetryEvent::StepStart { .. } => "step_start",
             TelemetryEvent::StepEnd { .. } => "step_end",
             TelemetryEvent::JobCompleted { .. } => "job_completed",
+            TelemetryEvent::JobFirstAllot { .. } => "job_first_allot",
+            TelemetryEvent::JobExecSegment { .. } => "job_exec_segment",
+            TelemetryEvent::SloAlert { .. } => "slo_alert",
             TelemetryEvent::IdleSkip { .. } => "idle_skip",
             TelemetryEvent::Decision { .. } => "decision",
             TelemetryEvent::ModeTransition { .. } => "mode_transition",
             TelemetryEvent::RrCycleComplete { .. } => "rr_cycle_complete",
             TelemetryEvent::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// This event's bit in an interest mask (see [`interest`]).
+    pub fn kind_bit(&self) -> u32 {
+        match self {
+            TelemetryEvent::RunStart { .. } => interest::RUN_START,
+            TelemetryEvent::JobReleased { .. } => interest::JOB_RELEASED,
+            TelemetryEvent::StepStart { .. } => interest::STEP_START,
+            TelemetryEvent::StepEnd { .. } => interest::STEP_END,
+            TelemetryEvent::JobCompleted { .. } => interest::JOB_COMPLETED,
+            TelemetryEvent::JobFirstAllot { .. } => interest::JOB_FIRST_ALLOT,
+            TelemetryEvent::JobExecSegment { .. } => interest::JOB_EXEC_SEGMENT,
+            TelemetryEvent::SloAlert { .. } => interest::SLO_ALERT,
+            TelemetryEvent::IdleSkip { .. } => interest::IDLE_SKIP,
+            TelemetryEvent::Decision { .. } => interest::DECISION,
+            TelemetryEvent::ModeTransition { .. } => interest::MODE_TRANSITION,
+            TelemetryEvent::RrCycleComplete { .. } => interest::RR_CYCLE_COMPLETE,
+            TelemetryEvent::RunEnd { .. } => interest::RUN_END,
         }
     }
 }
@@ -205,6 +298,18 @@ mod tests {
                 t: 1,
                 job: 0,
                 response: 1,
+            },
+            TelemetryEvent::JobFirstAllot { t: 1, job: 0 },
+            TelemetryEvent::JobExecSegment {
+                job: 0,
+                from: 1,
+                to: 2,
+                tasks: 3,
+            },
+            TelemetryEvent::SloAlert {
+                t: 1,
+                mean_response_milli: 2500,
+                threshold_milli: 2000,
             },
             TelemetryEvent::IdleSkip { from: 1, to: 2 },
             TelemetryEvent::Decision {

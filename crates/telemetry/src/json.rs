@@ -55,6 +55,30 @@ pub fn to_json(event: &TelemetryEvent) -> String {
             field_u64(&mut s, "job", u64::from(*job));
             field_u64(&mut s, "response", *response);
         }
+        TelemetryEvent::JobFirstAllot { t, job } => {
+            field_u64(&mut s, "t", *t);
+            field_u64(&mut s, "job", u64::from(*job));
+        }
+        TelemetryEvent::JobExecSegment {
+            job,
+            from,
+            to,
+            tasks,
+        } => {
+            field_u64(&mut s, "job", u64::from(*job));
+            field_u64(&mut s, "from", *from);
+            field_u64(&mut s, "to", *to);
+            field_u64(&mut s, "tasks", *tasks);
+        }
+        TelemetryEvent::SloAlert {
+            t,
+            mean_response_milli,
+            threshold_milli,
+        } => {
+            field_u64(&mut s, "t", *t);
+            field_u64(&mut s, "mean_response_milli", *mean_response_milli);
+            field_u64(&mut s, "threshold_milli", *threshold_milli);
+        }
         TelemetryEvent::IdleSkip { from, to } => {
             field_u64(&mut s, "from", *from);
             field_u64(&mut s, "to", *to);
@@ -173,6 +197,21 @@ pub fn from_json(line: &str) -> Result<TelemetryEvent, String> {
             t: obj.u64_field("t")?,
             job: obj.u32_field("job")?,
             response: obj.u64_field("response")?,
+        },
+        "job_first_allot" => TelemetryEvent::JobFirstAllot {
+            t: obj.u64_field("t")?,
+            job: obj.u32_field("job")?,
+        },
+        "job_exec_segment" => TelemetryEvent::JobExecSegment {
+            job: obj.u32_field("job")?,
+            from: obj.u64_field("from")?,
+            to: obj.u64_field("to")?,
+            tasks: obj.u64_field("tasks")?,
+        },
+        "slo_alert" => TelemetryEvent::SloAlert {
+            t: obj.u64_field("t")?,
+            mean_response_milli: obj.u64_field("mean_response_milli")?,
+            threshold_milli: obj.u64_field("threshold_milli")?,
         },
         "idle_skip" => TelemetryEvent::IdleSkip {
             from: obj.u64_field("from")?,
@@ -474,6 +513,18 @@ mod tests {
                 t: 9,
                 job: 3,
                 response: 8,
+            },
+            TelemetryEvent::JobFirstAllot { t: 2, job: 3 },
+            TelemetryEvent::JobExecSegment {
+                job: 3,
+                from: 2,
+                to: 9,
+                tasks: 14,
+            },
+            TelemetryEvent::SloAlert {
+                t: 40,
+                mean_response_milli: 9500,
+                threshold_milli: 9000,
             },
             TelemetryEvent::IdleSkip { from: 9, to: 100 },
             TelemetryEvent::Decision {

@@ -27,6 +27,11 @@
 //!   `decide`, `deq_allot`, `rr_cycle`, `execute`) feeding the
 //!   registry and/or lock-free per-phase profile totals
 //!   ([`PhaseStat`]) for offline per-phase breakdowns;
+//! * [`JobTrace`] / [`TraceAssembler`] — ktrace, the per-job lifecycle
+//!   span model (release → activation → first allotment → execution
+//!   segments → completion) assembled deterministically from event
+//!   streams, with optional service-layer wall stamps
+//!   ([`TraceStamps`]);
 //! * [`json`] — a hand-rolled JSONL encoder/parser for the event
 //!   schema (no serde: the crate has zero dependencies).
 //!
@@ -42,8 +47,9 @@ mod metrics;
 mod registry;
 mod sink;
 mod spans;
+mod trace;
 
-pub use event::{SchedulerMode, TelemetryEvent};
+pub use event::{interest, SchedulerMode, TelemetryEvent};
 pub use flight::{flight_dump_header, FlightRecorder, FLIGHT_DUMP_SCHEMA, FLIGHT_DUMP_VERSION};
 pub use metrics::{Counter, Histogram};
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry};
@@ -51,3 +57,4 @@ pub use sink::{
     FanoutSink, JsonlSink, NoopSink, RecordingSink, SharedSink, TelemetryHandle, TelemetrySink,
 };
 pub use spans::{PhaseStat, SpanKind, SpanRecorder};
+pub use trace::{assemble_traces, ExecSegment, JobTrace, TraceAssembler, TraceStamps};

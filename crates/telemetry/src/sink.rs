@@ -23,6 +23,23 @@ pub trait TelemetrySink {
     /// Record one event.
     fn record(&mut self, event: TelemetryEvent);
 
+    /// Record a borrowed event. Sinks that only *read* events (e.g. a
+    /// trace assembler or mode tracker) override this to skip the
+    /// clone the default incurs — fanouts use it for every sink except
+    /// the one that can take ownership.
+    fn record_ref(&mut self, event: &TelemetryEvent) {
+        self.record(event.clone());
+    }
+
+    /// Which event kinds this sink consumes, as a mask of
+    /// [`crate::interest`] bits. A [`FanoutSink`] reads this once at
+    /// construction and never locks the sink for events outside the
+    /// mask, so narrow sinks cost nothing on the kinds they ignore.
+    /// Must be constant for the sink's lifetime. Default: everything.
+    fn interest(&self) -> u32 {
+        crate::interest::ALL
+    }
+
     /// Flush any buffered output (no-op for in-memory sinks).
     fn flush(&mut self) {}
 }
@@ -38,6 +55,12 @@ impl TelemetrySink for NoopSink {
     }
 
     fn record(&mut self, _event: TelemetryEvent) {}
+
+    fn record_ref(&mut self, _event: &TelemetryEvent) {}
+
+    fn interest(&self) -> u32 {
+        0
+    }
 }
 
 /// An in-memory sink collecting every event, for tests and summaries.
@@ -93,9 +116,13 @@ impl JsonlSink {
 
 impl TelemetrySink for JsonlSink {
     fn record(&mut self, event: TelemetryEvent) {
+        self.record_ref(&event);
+    }
+
+    fn record_ref(&mut self, event: &TelemetryEvent) {
         // I/O errors are not worth panicking a simulation over; the
         // line count lets callers notice a short file.
-        if writeln!(self.writer, "{}", to_json(&event)).is_ok() {
+        if writeln!(self.writer, "{}", to_json(event)).is_ok() {
             self.written.incr();
         }
     }
@@ -115,14 +142,23 @@ impl Drop for JsonlSink {
 pub type SharedSink = Arc<Mutex<dyn TelemetrySink + Send>>;
 
 /// Duplicate every event to several shared sinks (e.g. a JSONL file
-/// *and* an in-memory recording for the summary report).
+/// *and* an in-memory recording for the summary report). Each sink's
+/// [`TelemetrySink::interest`] mask is read once at construction;
+/// events outside a sink's mask never lock it.
 pub struct FanoutSink {
-    sinks: Vec<SharedSink>,
+    sinks: Vec<(SharedSink, u32)>,
 }
 
 impl FanoutSink {
     /// Fan out to `sinks` in order.
     pub fn new(sinks: Vec<SharedSink>) -> Self {
+        let sinks = sinks
+            .into_iter()
+            .map(|s| {
+                let mask = s.lock().map_or(crate::interest::ALL, |g| g.interest());
+                (s, mask)
+            })
+            .collect();
         FanoutSink { sinks }
     }
 }
@@ -139,23 +175,29 @@ impl TelemetrySink for FanoutSink {
     fn enabled(&self) -> bool {
         self.sinks
             .iter()
-            .any(|s| s.lock().map(|g| g.enabled()).unwrap_or(false))
+            .any(|(s, _)| s.lock().map(|g| g.enabled()).unwrap_or(false))
     }
 
     fn record(&mut self, event: TelemetryEvent) {
-        let last = self.sinks.len().saturating_sub(1);
-        for (i, sink) in self.sinks.iter().enumerate() {
+        let bit = event.kind_bit();
+        let Some(last) = self.sinks.iter().rposition(|&(_, mask)| mask & bit != 0) else {
+            return;
+        };
+        for (i, (sink, mask)) in self.sinks.iter().enumerate().take(last + 1) {
+            if mask & bit == 0 {
+                continue;
+            }
             if let Ok(mut g) = sink.lock() {
                 if i == last {
                     return g.record(event);
                 }
-                g.record(event.clone());
+                g.record_ref(&event);
             }
         }
     }
 
     fn flush(&mut self) {
-        for sink in &self.sinks {
+        for (sink, _) in &self.sinks {
             if let Ok(mut g) = sink.lock() {
                 g.flush();
             }
@@ -255,6 +297,16 @@ impl TelemetrySink for TelemetryHandle {
 
     fn record(&mut self, event: TelemetryEvent) {
         self.emit(move || event);
+    }
+
+    fn record_ref(&mut self, event: &TelemetryEvent) {
+        if self.enabled {
+            if let Some(sink) = &self.sink {
+                if let Ok(mut g) = sink.lock() {
+                    g.record_ref(event);
+                }
+            }
+        }
     }
 
     fn flush(&mut self) {
