@@ -67,7 +67,16 @@ USAGE:
         write a krad-bench-trace JSON artifact.
         --iters N  measured on/off pairs (median of p99s; default 15)
         --bound F  fail (exit 1) if the p99 ratio exceeds F (default 1.10)
-        --out FILE output path (default BENCH_8_trace.json)";
+        --out FILE output path (default BENCH_8_trace.json)
+
+    kperf swarm [--iters N] [--bound F] [--out FILE]
+        Measure multi-tenant overhead: run the same per-tenant job mix
+        against an in-process kswarm daemon with 1 vs 16 concurrent
+        sessions, compare per-session p99 quantum latencies, and write
+        a krad-bench-swarm JSON artifact.
+        --iters N  measured single/multi pairs (median of p99s; default 5)
+        --bound F  fail (exit 1) if the p99 ratio exceeds F (default 1.25)
+        --out FILE output path (default BENCH_9_swarm.json)";
 
 struct SuiteRun {
     name: &'static str,
@@ -680,12 +689,209 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     }
 }
 
+const SWARM_SCHEMA: &str = "krad-bench-swarm";
+const SWARM_SESSIONS: usize = 16;
+const SWARM_JOBS_PER_SESSION: usize = 48;
+const SWARM_CHUNK: usize = 8;
+
+/// Serve one fleet of `sessions` tenants against a fresh in-process
+/// kswarm daemon and return each tenant's p99 quantum latency (µs) as
+/// its own stats report it after the tenant's workload has fully
+/// completed. Every tenant runs the same pinned job mix on its own
+/// engine, so the only thing that varies with `sessions` is runtime
+/// contention: shard scheduling, the shared reactor, and the metrics
+/// registry. That is exactly the multi-tenant tax the gate bounds.
+fn swarm_p99_us(sessions: usize) -> Vec<f64> {
+    use kserve::protocol::SessionSpec;
+    use kserve::server::{Server, ServerConfig};
+    use kserve::Client;
+
+    let cfg = ServerConfig {
+        machine: vec![6, 3],
+        scheduler: kbaselines::SchedulerKind::KRad,
+        policy: SelectionPolicy::Fifo,
+        quantum: 2,
+        seed: 42,
+        queue_capacity: 4096,
+        max_inflight: 65_536,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg).expect("swarm bench server starts");
+    let addr = server.addr().to_string();
+
+    let handles: Vec<_> = (0..sessions)
+        .map(|s| {
+            let addr = addr.clone();
+            std::thread::spawn(move || -> f64 {
+                let mut client = Client::connect(&addr).expect("bench tenant connects");
+                let name = format!("perf-{s}");
+                let spec = SessionSpec {
+                    seed: Some(1_000 + s as u64),
+                    ..SessionSpec::default()
+                };
+                client.open(&name, spec).expect("bench tenant opens");
+                let mut rng = kworkloads::rng_for(9_000 + s as u64, 0x5EA7);
+                for _ in 0..(SWARM_JOBS_PER_SESSION / SWARM_CHUNK) {
+                    let dags: Vec<kdag::DagSpec> = kworkloads::mixes::batched_mix(
+                        &mut rng,
+                        &kworkloads::mixes::MixConfig::new(2, SWARM_CHUNK, 12),
+                    )
+                    .iter()
+                    .map(|j| kdag::DagSpec::from_dag(&j.dag))
+                    .collect();
+                    let (ack, _) = client
+                        .submit_watch_to(&name, dags)
+                        .expect("bench submit completes");
+                    assert!(
+                        matches!(ack, kserve::protocol::Response::Submitted { .. }),
+                        "bench tenant must not be rejected, got {ack:?}"
+                    );
+                }
+                client
+                    .stats_reply_of(&name)
+                    .expect("bench tenant stats run")
+                    .quantum_latency_p99_us
+            })
+        })
+        .collect();
+    let p99s: Vec<f64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("bench tenant thread"))
+        .collect();
+
+    let mut control = Client::connect(&addr).expect("bench control connects");
+    control.drain().expect("bench drain runs");
+    drop(control);
+    server.join();
+    p99s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_swarm_json(
+    iters: u32,
+    single: &[f64],
+    multi: &[f64],
+    med_single: f64,
+    med_multi: f64,
+    ratio: f64,
+    bound: f64,
+) -> String {
+    let arr = |xs: &[f64]| {
+        let cells: Vec<String> = xs.iter().map(|x| format!("{x:.1}")).collect();
+        format!("[{}]", cells.join(", "))
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SWARM_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"version\": {VERSION},\n"));
+    out.push_str(&format!("  \"sessions\": {SWARM_SESSIONS},\n"));
+    out.push_str(&format!(
+        "  \"jobs_per_session\": {SWARM_JOBS_PER_SESSION},\n"
+    ));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(&format!(
+        "  \"p99_quantum_us_single_session\": {},\n",
+        arr(single)
+    ));
+    out.push_str(&format!(
+        "  \"p99_quantum_us_multi_session\": {},\n",
+        arr(multi)
+    ));
+    out.push_str(&format!(
+        "  \"median_p99_us_single_session\": {med_single:.1},\n"
+    ));
+    out.push_str(&format!(
+        "  \"median_p99_us_multi_session\": {med_multi:.1},\n"
+    ));
+    out.push_str(&format!("  \"p99_ratio\": {ratio:.4},\n"));
+    out.push_str(&format!("  \"bound\": {bound:.2}\n"));
+    out.push_str("}\n");
+    out
+}
+
+fn cmd_swarm(args: &[String]) -> ExitCode {
+    let mut iters: u32 = 5;
+    let mut bound = 1.25f64;
+    let mut out_path = String::from("BENCH_9_swarm.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => iters = n,
+                _ => {
+                    eprintln!("--iters needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bound" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) if f > 0.0 => bound = f,
+                _ => {
+                    eprintln!("--bound needs a positive factor");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Same methodology as the tracing gate: an unmeasured warm-up
+    // pair, then interleaved single/multi pairs with best-of-two per
+    // side, gated on the median across iterations. Each side's sample
+    // is the *median across that fleet's sessions* of the per-session
+    // p99, so one tenant landing on a noisy core doesn't swing the
+    // whole iteration.
+    swarm_p99_us(1);
+    swarm_p99_us(SWARM_SESSIONS);
+    let mut single = Vec::with_capacity(iters as usize);
+    let mut multi = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let s = median(swarm_p99_us(1)).min(median(swarm_p99_us(1)));
+        let m = median(swarm_p99_us(SWARM_SESSIONS)).min(median(swarm_p99_us(SWARM_SESSIONS)));
+        single.push(s);
+        multi.push(m);
+    }
+    let med_single = median(single.clone());
+    let med_multi = median(multi.clone());
+    if med_single <= 0.0 {
+        eprintln!("degenerate measurement: zero single-session p99");
+        return ExitCode::FAILURE;
+    }
+    let ratio = med_multi / med_single;
+
+    println!(
+        "swarm overhead ({SWARM_SESSIONS} sessions x {SWARM_JOBS_PER_SESSION} jobs, {iters} iters): p99 {med_single:.1} us single, {med_multi:.1} us multi, ratio {ratio:.3} (bound {bound:.2})"
+    );
+    let json = render_swarm_json(iters, &single, &multi, med_single, med_multi, ratio, bound);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+    if ratio > bound {
+        eprintln!("swarm-overhead gate failed: p99 ratio {ratio:.3} exceeds bound {bound:.2}");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("swarm") => cmd_swarm(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::FAILURE
@@ -763,6 +969,25 @@ mod tests {
         assert_eq!(off.len(), on.len());
         assert!(p99_ns(off) > 0);
         assert!(p99_ns(on) > 0);
+    }
+
+    #[test]
+    fn swarm_measurement_is_well_formed() {
+        // A real (tiny) fleet: two tenants against an in-process
+        // daemon, each reporting a nonzero p99 after its jobs settle.
+        let p99s = swarm_p99_us(2);
+        assert_eq!(p99s.len(), 2);
+        assert!(p99s.iter().all(|&x| x > 0.0), "{p99s:?}");
+    }
+
+    #[test]
+    fn swarm_json_is_stable_and_parseable() {
+        let json = render_swarm_json(3, &[10.0, 12.0], &[11.0, 13.5], 11.0, 12.2, 1.1091, 1.25);
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc["schema"].as_str(), Some(SWARM_SCHEMA));
+        assert_eq!(doc["sessions"].as_u64(), Some(SWARM_SESSIONS as u64));
+        assert_eq!(doc["p99_quantum_us_multi_session"][1].as_f64(), Some(13.5));
+        assert_eq!(doc["bound"].as_f64(), Some(1.25));
     }
 
     #[test]

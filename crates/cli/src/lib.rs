@@ -37,6 +37,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "profile" => commands::profile(&args),
         "timeline" => commands::timeline(&args),
         "serve" => service::serve(&args),
+        "session" => service::session(&args),
         "submit" => service::submit(&args),
         "loadgen" => service::loadgen(&args),
         "stats" => service::stats(&args),
@@ -78,16 +79,23 @@ USAGE:
                 [--addr HOST:PORT] [--unix PATH] [--metrics-addr HOST:PORT]
                 [--flight-capacity N] [--flight-dump FILE.jsonl]
                 [--journal-dir DIR] [--fsync always|interval[:ms]|never]
-                [--snapshot-every N] [--slo-factor X]
-  krad submit   --addr HOST:PORT (FILE [--watch] | --scenario NAME [--jobs N] [--seed S]
+                [--snapshot-every N] [--slo-factor X] [--workers N]
+                [--session-rate R] [--session-burst N]
+  krad session  open|close|drain|stats NAME --addr HOST:PORT
+                [--scheduler NAME] [--policy NAME] [--quantum Q] [--seed S]
+                [--queue-capacity N] [--max-inflight N] [--rate R] [--burst N]
+                [--verify] [--trace-out FILE]
+  krad submit   --addr HOST:PORT [--session NAME]
+                (FILE [--watch] | --scenario NAME [--jobs N] [--seed S]
                 | --status | --stats | --cancel ID
                 | --drain [--verify] [--trace-out FILE])
   krad loadgen  --addr HOST:PORT [--clients N] [--jobs N] [--chunk N]
                 [--arrivals burst|poisson:<rate>|heavy-tail:<alpha>|trace]
                 [--seed S] [--k K] [--mean-size M] [--pace-ms MS] [--stats-out FILE]
-  krad stats    --addr HOST:PORT [--watch [--interval-ms MS] [--count N]]
+                [--sessions N]
+  krad stats    --addr HOST:PORT [--session NAME] [--watch [--interval-ms MS] [--count N]]
   krad metrics  --addr HOST:PORT
-  krad trace    --addr HOST:PORT JOB | --flight FILE.jsonl [--job N]
+  krad trace    --addr HOST:PORT JOB [--session NAME] | --flight FILE.jsonl [--job N]
   krad flight   FILE.jsonl [--trace TRACE.json]
   krad journal  inspect FILE.kj
   krad recover  DIR

@@ -64,6 +64,9 @@ pub fn server_config(args: &ArgMap) -> Result<ServerConfig, String> {
     }
     cfg.snapshot_every = args.num("snapshot-every", cfg.snapshot_every)?;
     cfg.slo_factor = args.num("slo-factor", cfg.slo_factor)?;
+    cfg.workers = args.num("workers", cfg.workers)?;
+    cfg.session_rate = args.num("session-rate", cfg.session_rate)?;
+    cfg.session_burst = args.num("session-burst", cfg.session_burst)?;
     Ok(cfg)
 }
 
@@ -117,6 +120,12 @@ fn render_drain(args: &ArgMap, reply: kserve::protocol::DrainReply) -> Result<St
 /// Render a stats reply as a table.
 fn render_stats(x: &StatsReply) -> String {
     let mut t = Table::new("kserve stats", &["metric", "value"]);
+    if !x.session.is_empty() {
+        t.row_owned(vec!["session".into(), x.session.clone()]);
+    }
+    if x.sessions > 0 {
+        t.row_owned(vec!["sessions live".into(), x.sessions.to_string()]);
+    }
     t.row_owned(vec!["scheduler".into(), x.scheduler.clone()]);
     t.row_owned(vec!["uptime (s)".into(), f3(x.uptime_secs)]);
     t.row_owned(vec!["admitted".into(), x.admitted.to_string()]);
@@ -201,9 +210,10 @@ fn render_stats(x: &StatsReply) -> String {
 /// `--count` frames have been shown).
 pub fn stats(args: &ArgMap) -> Result<String, String> {
     let addr = args.require("addr")?;
+    let session = args.get_or("session", "").to_string();
     if !args.flag("watch") {
         let mut client = connect(args)?;
-        let x = client.stats_reply().map_err(|e| e.to_string())?;
+        let x = client.stats_reply_of(&session).map_err(|e| e.to_string())?;
         return Ok(render_stats(&x));
     }
     let interval = Duration::from_millis(args.num("interval-ms", 1000u64)?);
@@ -212,7 +222,7 @@ pub fn stats(args: &ArgMap) -> Result<String, String> {
     let mut last = String::new();
     loop {
         let x = Client::connect(addr)
-            .and_then(|mut c| c.stats_reply())
+            .and_then(|mut c| c.stats_reply_of(&session))
             .map_err(|e| format!("cannot fetch stats from {addr}: {e}"));
         match x {
             Ok(x) => last = render_stats(&x),
@@ -268,11 +278,14 @@ pub fn trace(args: &ArgMap) -> Result<String, String> {
         };
     }
     let mut client = connect(args)?;
+    let session = args.get_or("session", "");
     let job: u64 = {
         let raw = args.one_positional()?;
         raw.parse().map_err(|_| format!("bad job id: {raw}"))?
     };
-    let reply = client.trace_reply(job).map_err(|e| e.to_string())?;
+    let reply = client
+        .trace_reply_in(session, job)
+        .map_err(|e| e.to_string())?;
     let label = format!("{job} [{}] ({})", reply.trace_id, reply.state);
     Ok(reply
         .to_job_trace()
@@ -338,12 +351,14 @@ pub fn recover(args: &ArgMap) -> Result<String, String> {
 }
 
 /// `krad submit` — one-shot client: submit a jobset file or a
-/// scenario, or query/drain a running daemon.
+/// scenario, or query/drain a running daemon. `--session NAME`
+/// addresses a named session (default: the implicit default session).
 pub fn submit(args: &ArgMap) -> Result<String, String> {
     let mut client = connect(args)?;
+    let session = args.get_or("session", "").to_string();
 
     if args.flag("status") {
-        return match client.status().map_err(|e| e.to_string())? {
+        return match client.status_of(&session).map_err(|e| e.to_string())? {
             Response::Status(st) => {
                 let done = st.jobs.iter().filter(|j| j.completion.is_some()).count();
                 Ok(format!(
@@ -360,20 +375,26 @@ pub fn submit(args: &ArgMap) -> Result<String, String> {
         };
     }
     if args.flag("stats") {
-        let x = client.stats_reply().map_err(|e| e.to_string())?;
+        let x = client.stats_reply_of(&session).map_err(|e| e.to_string())?;
         return Ok(render_stats(&x));
     }
     if let Some(id) = args.get("cancel") {
         let id: u64 = id.parse().map_err(|_| format!("bad --cancel: {id}"))?;
-        return match client.cancel(id).map_err(|e| e.to_string())? {
+        return match client.cancel_in(&session, id).map_err(|e| e.to_string())? {
             Response::Cancelled { job } => Ok(format!("cancelled job {job}")),
             Response::Error { message } => Err(message),
             other => Err(format!("unexpected reply: {other:?}")),
         };
     }
     if args.flag("drain") {
-        return match client.drain().map_err(|e| e.to_string())? {
+        let reply = if session.is_empty() {
+            client.drain()
+        } else {
+            client.drain_session(&session)
+        };
+        return match reply.map_err(|e| e.to_string())? {
             Response::Drained(reply) => render_drain(args, reply),
+            Response::Error { message } => Err(message),
             other => Err(format!("unexpected reply: {other:?}")),
         };
     }
@@ -387,7 +408,14 @@ pub fn submit(args: &ArgMap) -> Result<String, String> {
             jobs: args.num("jobs", 8usize)?,
             seed: args.num("seed", 42u64)?,
         };
-        let reply = client.submit_scenario(sc).map_err(|e| e.to_string())?;
+        let reply = client
+            .roundtrip(&kserve::Request::Submit {
+                jobs: Vec::new(),
+                scenario: Some(sc),
+                watch: false,
+                session: session.clone(),
+            })
+            .map_err(|e| e.to_string())?;
         return match reply {
             Response::Submitted { jobs, .. } => Ok(format!(
                 "submitted {} jobs from scenario '{name}' (ids {}..{})",
@@ -408,7 +436,9 @@ pub fn submit(args: &ArgMap) -> Result<String, String> {
     };
 
     if args.flag("watch") {
-        let (ack, events) = client.submit_watch(dags).map_err(|e| e.to_string())?;
+        let (ack, events) = client
+            .submit_watch_to(&session, dags)
+            .map_err(|e| e.to_string())?;
         match ack {
             Response::Submitted { jobs, .. } => {
                 let mut t = Table::new(
@@ -452,7 +482,10 @@ pub fn submit(args: &ArgMap) -> Result<String, String> {
             other => Err(format!("unexpected reply: {other:?}")),
         }
     } else {
-        match client.submit(dags).map_err(|e| e.to_string())? {
+        match client
+            .submit_to(&session, dags)
+            .map_err(|e| e.to_string())?
+        {
             Response::Submitted { jobs, .. } => {
                 Ok(format!("submitted {} jobs from '{label}'", jobs.len()))
             }
@@ -591,6 +624,93 @@ fn loadgen_stats_json(before: &StatsReply, after: &StatsReply) -> String {
     )
 }
 
+/// `krad session` — manage named sessions on a running daemon.
+///
+/// * `krad session open NAME [--scheduler S] [--policy P]
+///   [--quantum N] [--seed N] [--queue-capacity N] [--max-inflight N]
+///   [--rate R] [--burst N]` — create (or attach to) a session with
+///   its own scheduler, engine, journal, and admission quota;
+/// * `krad session close NAME [--verify]` — drain the session, report
+///   its final counters, and remove it (journal included);
+/// * `krad session drain NAME [--verify] [--trace-out FILE]` — seal
+///   the session but keep it registered;
+/// * `krad session stats NAME` — the per-session counter table.
+pub fn session(args: &ArgMap) -> Result<String, String> {
+    use kserve::protocol::SessionSpec;
+    let opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+        args.get(key)
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad --{key}: {v}")))
+            .transpose()
+    };
+    let mut client = connect(args)?;
+    match args.positional.as_slice() {
+        [action, name] if action == "open" => {
+            let spec = SessionSpec {
+                scheduler: args.get("scheduler").map(str::to_string),
+                policy: args.get("policy").map(str::to_string),
+                quantum: opt_u64("quantum")?,
+                seed: opt_u64("seed")?,
+                queue_capacity: opt_u64("queue-capacity")?,
+                max_inflight: opt_u64("max-inflight")?,
+                rate_per_sec: args
+                    .get("rate")
+                    .map(|v| v.parse::<f64>().map_err(|_| format!("bad --rate: {v}")))
+                    .transpose()?,
+                burst: opt_u64("burst")?,
+            };
+            match client.open(name, spec).map_err(|e| e.to_string())? {
+                Response::Opened {
+                    session,
+                    scheduler,
+                    time_policy,
+                    quantum,
+                    existing,
+                } => Ok(format!(
+                    "{} session '{session}' (scheduler {scheduler}, clock {time_policy}, quantum {quantum})",
+                    if existing { "attached to" } else { "opened" },
+                )),
+                Response::Error { message } => Err(message),
+                other => Err(format!("unexpected reply: {other:?}")),
+            }
+        }
+        [action, name] if action == "close" => {
+            match client.close(name).map_err(|e| e.to_string())? {
+                Response::Closed { session, report } => {
+                    let mut out = format!(
+                        "closed session '{session}': {} admitted, {} completed, {} cancelled, {} rejected",
+                        report.admitted, report.completed, report.cancelled, report.rejected
+                    );
+                    if args.flag("verify") {
+                        let canon = report.trace.verify()?;
+                        write!(
+                            out,
+                            "\nreplay verified: {} completions reproduced byte-for-byte ({} bytes)",
+                            report.trace.completions.len(),
+                            canon.len()
+                        )
+                        .unwrap();
+                    }
+                    Ok(out)
+                }
+                Response::Error { message } => Err(message),
+                other => Err(format!("unexpected reply: {other:?}")),
+            }
+        }
+        [action, name] if action == "drain" => {
+            match client.drain_session(name).map_err(|e| e.to_string())? {
+                Response::Drained(reply) => render_drain(args, reply),
+                Response::Error { message } => Err(message),
+                other => Err(format!("unexpected reply: {other:?}")),
+            }
+        }
+        [action, name] if action == "stats" => {
+            let x = client.stats_reply_of(name).map_err(|e| e.to_string())?;
+            Ok(render_stats(&x))
+        }
+        _ => Err("usage: krad session open|close|drain|stats NAME --addr HOST:PORT".into()),
+    }
+}
+
 /// `krad loadgen` — drive a running daemon with concurrent clients.
 pub fn loadgen(args: &ArgMap) -> Result<String, String> {
     let addr = args.require("addr")?;
@@ -603,6 +723,7 @@ pub fn loadgen(args: &ArgMap) -> Result<String, String> {
         k: args.num("k", 2usize)?,
         mean_size: args.num("mean-size", 30usize)?,
         pace: Duration::from_millis(args.num("pace-ms", 0u64)?),
+        sessions: args.num("sessions", 0usize)?,
     };
     if cfg.clients == 0 || cfg.jobs_per_client == 0 {
         return Err("loadgen needs --clients ≥ 1 and --jobs ≥ 1".into());

@@ -2,8 +2,13 @@
 //!
 //! One request per call; `submit_watch` additionally collects the
 //! streamed completion events until the server's `watch_end` marker.
+//!
+//! Every verb comes in two forms: the legacy method (`submit`,
+//! `stats`, …) addresses the implicit `default` session — byte-for-
+//! byte the v4 wire encoding — and a `…_to`/`…_of`/`…_in` variant
+//! addresses a named session opened with [`Client::open`].
 
-use crate::protocol::{Event, Request, Response, ScenarioRef};
+use crate::protocol::{Event, Request, Response, ScenarioRef, SessionSpec};
 use kdag::DagSpec;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -49,12 +54,34 @@ impl Client {
         Response::decode(&line).map_err(bad_data)
     }
 
+    /// Open (or attach to) a named session with the given overrides.
+    pub fn open(&mut self, session: &str, spec: SessionSpec) -> io::Result<Response> {
+        self.roundtrip(&Request::Open {
+            session: session.to_string(),
+            spec,
+        })
+    }
+
+    /// Close a named session: drain it, publish its final report, and
+    /// remove it (journal included) from the daemon.
+    pub fn close(&mut self, session: &str) -> io::Result<Response> {
+        self.roundtrip(&Request::Close {
+            session: session.to_string(),
+        })
+    }
+
     /// Submit inline DAGs; the reply is `Submitted` or `Rejected`.
     pub fn submit(&mut self, jobs: Vec<DagSpec>) -> io::Result<Response> {
+        self.submit_to("", jobs)
+    }
+
+    /// Submit inline DAGs into a named session.
+    pub fn submit_to(&mut self, session: &str, jobs: Vec<DagSpec>) -> io::Result<Response> {
         self.roundtrip(&Request::Submit {
             jobs,
             scenario: None,
             watch: false,
+            session: session.to_string(),
         })
     }
 
@@ -64,6 +91,7 @@ impl Client {
             jobs: Vec::new(),
             scenario: Some(scenario),
             watch: false,
+            session: String::new(),
         })
     }
 
@@ -71,6 +99,15 @@ impl Client {
     /// completed (or been cancelled), returning the ack plus the
     /// streamed events in arrival order.
     pub fn submit_watch(&mut self, jobs: Vec<DagSpec>) -> io::Result<(Response, Vec<Event>)> {
+        self.submit_watch_to("", jobs)
+    }
+
+    /// `submit_watch` against a named session.
+    pub fn submit_watch_to(
+        &mut self,
+        session: &str,
+        jobs: Vec<DagSpec>,
+    ) -> io::Result<(Response, Vec<Event>)> {
         writeln!(
             self.writer,
             "{}",
@@ -78,6 +115,7 @@ impl Client {
                 jobs,
                 scenario: None,
                 watch: true,
+                session: session.to_string(),
             }
             .encode()
         )?;
@@ -112,18 +150,38 @@ impl Client {
 
     /// Fetch per-job states and the engine clock.
     pub fn status(&mut self) -> io::Result<Response> {
-        self.roundtrip(&Request::Status)
+        self.status_of("")
+    }
+
+    /// `status` against a named session.
+    pub fn status_of(&mut self, session: &str) -> io::Result<Response> {
+        self.roundtrip(&Request::Status {
+            session: session.to_string(),
+        })
     }
 
     /// Fetch service counters and latency metrics.
     pub fn stats(&mut self) -> io::Result<Response> {
-        self.roundtrip(&Request::Stats)
+        self.stats_of("")
+    }
+
+    /// `stats` against a named session.
+    pub fn stats_of(&mut self, session: &str) -> io::Result<Response> {
+        self.roundtrip(&Request::Stats {
+            session: session.to_string(),
+        })
     }
 
     /// Fetch the decoded `stats` body (errors on any other reply).
     pub fn stats_reply(&mut self) -> io::Result<crate::protocol::StatsReply> {
-        match self.stats()? {
+        self.stats_reply_of("")
+    }
+
+    /// Fetch a named session's decoded `stats` body.
+    pub fn stats_reply_of(&mut self, session: &str) -> io::Result<crate::protocol::StatsReply> {
+        match self.stats_of(session)? {
             Response::Stats(reply) => Ok(reply),
+            Response::Error { message } => Err(bad_data(message)),
             other => Err(bad_data(format!("expected a stats reply, got {other:?}"))),
         }
     }
@@ -139,12 +197,29 @@ impl Client {
     /// Fetch one job's ktrace span tree (lifecycle state, engine-time
     /// spans, wall-clock stamps).
     pub fn trace(&mut self, job: u64) -> io::Result<Response> {
-        self.roundtrip(&Request::Trace { job })
+        self.trace_in("", job)
+    }
+
+    /// `trace` against a named session.
+    pub fn trace_in(&mut self, session: &str, job: u64) -> io::Result<Response> {
+        self.roundtrip(&Request::Trace {
+            job,
+            session: session.to_string(),
+        })
     }
 
     /// Fetch the decoded `trace` body (errors on any other reply).
     pub fn trace_reply(&mut self, job: u64) -> io::Result<crate::protocol::TraceReply> {
-        match self.trace(job)? {
+        self.trace_reply_in("", job)
+    }
+
+    /// Fetch a named session's decoded `trace` body.
+    pub fn trace_reply_in(
+        &mut self,
+        session: &str,
+        job: u64,
+    ) -> io::Result<crate::protocol::TraceReply> {
+        match self.trace_in(session, job)? {
             Response::Trace(reply) => Ok(reply),
             Response::Error { message } => Err(bad_data(message)),
             other => Err(bad_data(format!("expected a trace reply, got {other:?}"))),
@@ -153,12 +228,30 @@ impl Client {
 
     /// Cancel a still-queued job.
     pub fn cancel(&mut self, job: u64) -> io::Result<Response> {
-        self.roundtrip(&Request::Cancel { job })
+        self.cancel_in("", job)
     }
 
-    /// Drain the server: stop admission, finish in-flight work, and
-    /// return the final counters plus the canonical session trace.
+    /// `cancel` against a named session.
+    pub fn cancel_in(&mut self, session: &str, job: u64) -> io::Result<Response> {
+        self.roundtrip(&Request::Cancel {
+            job,
+            session: session.to_string(),
+        })
+    }
+
+    /// Drain the server: stop admission everywhere, finish in-flight
+    /// work in every session, and return the default session's final
+    /// counters plus its canonical session trace.
     pub fn drain(&mut self) -> io::Result<Response> {
-        self.roundtrip(&Request::Drain)
+        self.roundtrip(&Request::Drain {
+            session: String::new(),
+        })
+    }
+
+    /// Drain one named session (the daemon keeps running).
+    pub fn drain_session(&mut self, session: &str) -> io::Result<Response> {
+        self.roundtrip(&Request::Drain {
+            session: session.to_string(),
+        })
     }
 }

@@ -11,10 +11,18 @@
 //! times byte for byte — so the paper's bounds and checkers apply to
 //! live sessions unmodified.
 //!
+//! Since the kswarm rework the daemon is multi-tenant: a session
+//! *registry* maps names to fully isolated scheduling domains (own
+//! engine, scheduler, journal, trace assembler), a *sharded worker
+//! pool* runs their quantum loops across cores, and a poll-based
+//! *reactor* multiplexes every client connection on one thread. The
+//! implicit `default` session keeps the single-tenant wire behaviour
+//! byte for byte.
+//!
 //! * [`wire`] — a minimal canonical JSON layer (no serialization
 //!   framework in the hot path);
 //! * [`protocol`] — requests, replies, streamed completion events;
-//! * [`server`] — the threaded daemon (quantum loop + admission);
+//! * [`server`] — protocol dispatch, admission, and daemon lifecycle;
 //! * [`metrics`] — the live metrics registry (admission counters,
 //!   paper-semantic per-category gauges, Theorem 3 bound accumulators,
 //!   DEQ/RR mode-residency tracking) behind the `metrics` verb and the
@@ -31,15 +39,20 @@
 //! any session can be cross-checked against the deterministic replay.
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// The reactor's poll(2) binding is the single audited exception to the
+// crate's no-unsafe rule (hand-rolled FFI; no libc dependency).
+#![deny(unsafe_code)]
 
 pub mod client;
 pub mod journal;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
+pub(crate) mod reactor;
+pub(crate) mod registry;
 pub mod replay;
 pub mod server;
+pub(crate) mod shard;
 pub mod wire;
 
 pub use client::Client;

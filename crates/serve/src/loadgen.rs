@@ -62,6 +62,11 @@ pub struct LoadgenConfig {
     /// Wall-clock pacing unit between submissions; `ZERO` runs flat
     /// out.
     pub pace: Duration,
+    /// Concurrent sessions to drive. `0` or `1` keeps the legacy
+    /// behaviour (every client in the implicit default session);
+    /// above that, sessions `lg-0 … lg-(N-1)` are opened and client
+    /// `i` submits into session `i % N` (round robin).
+    pub sessions: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -75,6 +80,7 @@ impl Default for LoadgenConfig {
             k: 2,
             mean_size: 30,
             pace: Duration::ZERO,
+            sessions: 0,
         }
     }
 }
@@ -96,8 +102,11 @@ pub struct LoadgenReport {
     /// completed job.
     pub responses: Vec<f64>,
     /// Server-side metrics snapshots taken just before and just after
-    /// the run (absent if the `stats` fetch failed).
+    /// the run (absent if the `stats` fetch failed). Default session.
     pub server_stats: Option<(StatsReply, StatsReply)>,
+    /// Per-session response samples when the run drove more than one
+    /// session (`(session name, responses)`, session order).
+    pub per_session: Vec<(String, Vec<f64>)>,
 }
 
 impl LoadgenReport {
@@ -138,6 +147,20 @@ impl LoadgenReport {
                     f3(percentile(&self.responses, q)),
                 ]);
             }
+        }
+        for (name, responses) in &self.per_session {
+            if responses.is_empty() {
+                continue;
+            }
+            t.row_owned(vec![
+                format!("session {name} p50/p95/p99 (steps)"),
+                format!(
+                    "{} / {} / {}",
+                    f3(percentile(responses, 50.0)),
+                    f3(percentile(responses, 95.0)),
+                    f3(percentile(responses, 99.0)),
+                ),
+            ]);
         }
         if let Some((before, after)) = &self.server_stats {
             t.row_owned(vec![
@@ -190,9 +213,19 @@ struct ClientTally {
     responses: Vec<f64>,
 }
 
+/// The session client `idx` submits into (empty = implicit default).
+fn session_for(cfg: &LoadgenConfig, idx: usize) -> String {
+    if cfg.sessions > 1 {
+        format!("lg-{}", idx % cfg.sessions)
+    } else {
+        String::new()
+    }
+}
+
 /// One client thread: submit in watched chunks, closed loop.
 fn run_client(addr: &str, cfg: &LoadgenConfig, idx: usize) -> io::Result<ClientTally> {
     let mut client = Client::connect(addr)?;
+    let session = session_for(cfg, idx);
     let mut rng = rng_for(cfg.seed, 0x10AD + idx as u64);
     let jobs = client_jobs(cfg, idx);
     let mut tally = ClientTally {
@@ -211,7 +244,7 @@ fn run_client(addr: &str, cfg: &LoadgenConfig, idx: usize) -> io::Result<ClientT
             };
             thread::sleep(cfg.pace.mul_f64(gap.min(50.0)));
         }
-        let (ack, events) = client.submit_watch(chunk.to_vec())?;
+        let (ack, events) = client.submit_watch_to(&session, chunk.to_vec())?;
         match ack {
             Response::Submitted { jobs, .. } => {
                 tally.accepted += jobs.len() as u64;
@@ -237,6 +270,25 @@ fn run_client(addr: &str, cfg: &LoadgenConfig, idx: usize) -> io::Result<ClientT
 
 /// Run the load generator against a daemon at `addr`.
 pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    // Multi-session runs open their sessions up front so a client
+    // never races an implicit open against another client's submit.
+    if cfg.sessions > 1 {
+        let mut control = Client::connect(addr)?;
+        for s in 0..cfg.sessions {
+            match control.open(&format!("lg-{s}"), crate::protocol::SessionSpec::default())? {
+                Response::Opened { .. } => {}
+                Response::Error { message } => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, message))
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected open reply: {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
     // Snapshot the server's counters around the run so the report can
     // show exactly what this run contributed (admitted/rejected/
     // completed deltas survive other clients only approximately, but a
@@ -265,12 +317,24 @@ pub fn run_loadgen(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadgenReport>
         elapsed,
         responses: Vec::new(),
         server_stats: stats_before.zip(stats_after),
+        per_session: if cfg.sessions > 1 {
+            (0..cfg.sessions)
+                .map(|s| (format!("lg-{s}"), Vec::new()))
+                .collect()
+        } else {
+            Vec::new()
+        },
     };
-    for tally in tallies {
+    for (idx, tally) in tallies.into_iter().enumerate() {
         let tally = tally?;
         report.accepted += tally.accepted;
         report.rejected += tally.rejected;
         report.completed += tally.responses.len() as u64;
+        if cfg.sessions > 1 {
+            report.per_session[idx % cfg.sessions]
+                .1
+                .extend(tally.responses.iter().copied());
+        }
         report.responses.extend(tally.responses);
     }
     Ok(report)
@@ -301,12 +365,47 @@ mod tests {
             elapsed: Duration::from_millis(250),
             responses: (1..=8).map(f64::from).collect(),
             server_stats: None,
+            per_session: Vec::new(),
         };
         let text = report.render();
         assert!(text.contains("throughput"));
         assert!(text.contains("p95"));
         assert!(!text.contains("server admitted"));
         assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn report_renders_per_session_percentiles() {
+        let report = LoadgenReport {
+            submitted: 8,
+            accepted: 8,
+            rejected: 0,
+            completed: 8,
+            elapsed: Duration::from_millis(100),
+            responses: (1..=8).map(f64::from).collect(),
+            server_stats: None,
+            per_session: vec![
+                ("lg-0".to_string(), vec![1.0, 2.0, 3.0, 4.0]),
+                ("lg-1".to_string(), vec![5.0, 6.0, 7.0, 8.0]),
+                ("lg-2".to_string(), Vec::new()),
+            ],
+        };
+        let text = report.render();
+        assert!(text.contains("session lg-0 p50/p95/p99"));
+        assert!(text.contains("session lg-1 p50/p95/p99"));
+        assert!(!text.contains("session lg-2"));
+    }
+
+    #[test]
+    fn round_robin_session_assignment() {
+        let mut cfg = LoadgenConfig::default();
+        assert_eq!(session_for(&cfg, 3), "");
+        cfg.sessions = 1;
+        assert_eq!(session_for(&cfg, 0), "");
+        cfg.sessions = 3;
+        assert_eq!(session_for(&cfg, 0), "lg-0");
+        assert_eq!(session_for(&cfg, 4), "lg-1");
+        assert_eq!(session_for(&cfg, 5), "lg-2");
     }
 
     #[test]
@@ -331,6 +430,7 @@ mod tests {
             elapsed: Duration::from_millis(100),
             responses: Vec::new(),
             server_stats: Some((before, after)),
+            per_session: Vec::new(),
         };
         let text = report.render();
         assert!(text.contains("server admitted (delta)"));

@@ -110,9 +110,36 @@ pub struct ServiceMetrics {
 
 impl ServiceMetrics {
     /// Build the full instrument set for a `machine.len()`-category
-    /// daemon on a fresh registry.
+    /// daemon on a fresh registry (unlabeled — the implicit default
+    /// session).
     pub fn new(machine: &[u32]) -> Self {
-        let registry = MetricsRegistry::new();
+        Self::with_registry(&MetricsRegistry::new(), machine, None)
+    }
+
+    /// Build the instrument set on a **shared** registry. With
+    /// `session: None` every series is unlabeled (byte-compatible with
+    /// a single-tenant scrape); with `Some(name)` every series carries
+    /// a `session="name"` label, so many sessions coexist inside the
+    /// same metric families on one `/metrics` endpoint.
+    pub fn with_registry(
+        registry: &MetricsRegistry,
+        machine: &[u32],
+        session: Option<&str>,
+    ) -> Self {
+        let registry = registry.clone();
+        // Base label set shared by every series: empty for the default
+        // session, `session="name"` otherwise. Per-category series
+        // append their `category` label in front (fixed order keeps
+        // render output deterministic).
+        let base: Vec<(&str, &str)> = match session {
+            Some(name) => vec![("session", name)],
+            None => vec![],
+        };
+        let counter = |name: &str, help: &str| registry.counter_with(name, help, &base);
+        let gauge = |name: &str, help: &str| registry.gauge_with(name, help, &base);
+        let histogram = |name: &str, help: &str, bounds: Vec<u64>| {
+            registry.histogram_with(name, help, bounds, &base)
+        };
         let k = machine.len();
         let mut desire = Vec::with_capacity(k);
         let mut allotment = Vec::with_capacity(k);
@@ -122,7 +149,9 @@ impl ServiceMetrics {
         let mut slowdown_milli = Vec::with_capacity(k);
         for cat in 0..k {
             let label = cat.to_string();
-            let labels: &[(&str, &str)] = &[("category", &label)];
+            let mut labels: Vec<(&str, &str)> = vec![("category", &label)];
+            labels.extend(base.iter().copied());
+            let labels = &labels[..];
             desire.push(registry.gauge_with(
                 "krad_category_desire",
                 "Instantaneous desire sum over active jobs, per category",
@@ -157,43 +186,42 @@ impl ServiceMetrics {
             ));
         }
         ServiceMetrics {
-            admitted: registry.counter("krad_jobs_admitted_total", "Jobs accepted into the queue"),
-            rejected: registry.counter(
+            admitted: counter("krad_jobs_admitted_total", "Jobs accepted into the queue"),
+            rejected: counter(
                 "krad_jobs_rejected_total",
                 "Submissions refused with backpressure",
             ),
-            completed: registry.counter("krad_jobs_completed_total", "Jobs completed"),
-            cancelled: registry.counter("krad_jobs_cancelled_total", "Jobs cancelled while queued"),
-            quanta: registry.counter("krad_quanta_total", "Quantum-loop iterations executed"),
-            queue_depth: registry.gauge("krad_queue_depth", "Current submission-queue depth"),
-            active_jobs: registry.gauge("krad_active_jobs", "Jobs live in the engine"),
-            virtual_time: registry.gauge("krad_virtual_time_steps", "Engine virtual time"),
-            busy_steps: registry.gauge("krad_busy_steps", "Simulated busy steps"),
-            idle_steps: registry.gauge("krad_idle_steps", "Fast-forwarded idle steps"),
-            uptime_seconds: registry
-                .gauge("krad_uptime_seconds", "Seconds since the daemon started"),
-            draining: registry.gauge("krad_draining", "1 while the session is draining"),
-            queue_depth_at_admit: registry.histogram(
+            completed: counter("krad_jobs_completed_total", "Jobs completed"),
+            cancelled: counter("krad_jobs_cancelled_total", "Jobs cancelled while queued"),
+            quanta: counter("krad_quanta_total", "Quantum-loop iterations executed"),
+            queue_depth: gauge("krad_queue_depth", "Current submission-queue depth"),
+            active_jobs: gauge("krad_active_jobs", "Jobs live in the engine"),
+            virtual_time: gauge("krad_virtual_time_steps", "Engine virtual time"),
+            busy_steps: gauge("krad_busy_steps", "Simulated busy steps"),
+            idle_steps: gauge("krad_idle_steps", "Fast-forwarded idle steps"),
+            uptime_seconds: gauge("krad_uptime_seconds", "Seconds since the daemon started"),
+            draining: gauge("krad_draining", "1 while the session is draining"),
+            queue_depth_at_admit: histogram(
                 "krad_queue_depth_at_admit",
                 "Submission-queue depth sampled at each admission",
                 exp_bounds(16),
             ),
-            quantum_latency_us: registry.histogram(
+            quantum_latency_us: histogram(
                 "krad_quantum_latency_us",
                 "Wall-clock latency of one scheduling quantum in microseconds",
                 exp_bounds(20),
             ),
-            response_all: registry.histogram(
+            response_all: histogram(
                 "krad_job_response_steps_all",
                 "Response time of completed jobs in engine steps, all categories",
                 exp_bounds(20),
             ),
-            slowdown_all: registry.histogram(
+            slowdown_all: histogram(
                 "krad_job_slowdown_milli_all",
                 "Slowdown (response/span, milli-units) of completed jobs, all categories",
                 exp_bounds(24),
             ),
-            slo_breaches: registry.counter(
+            slo_breaches: counter(
                 "krad_slo_breaches_total",
                 "Times mean response crossed the configured multiple of the Theorem 3 bound",
             ),
@@ -203,44 +231,44 @@ impl ServiceMetrics {
             waste,
             response_steps,
             slowdown_milli,
-            bound_work_over_p: registry.gauge(
+            bound_work_over_p: gauge(
                 "krad_bound_work_over_p",
                 "Sum over categories of injected work T1(J,a)/Pa (Theorem 3 work term)",
             ),
-            bound_span_release: registry.gauge(
+            bound_span_release: gauge(
                 "krad_bound_span_release",
                 "Max over injected jobs of span + release (Theorem 3 span term)",
             ),
-            bound_theorem3: registry.gauge(
+            bound_theorem3: gauge(
                 "krad_bound_theorem3",
                 "Theorem 3 makespan bound: work_over_p + (1 - 1/Pmax) * span_release",
             ),
-            journal_records: registry.counter(
+            journal_records: counter(
                 "krad_journal_records_total",
                 "Records committed to the session journal",
             ),
-            journal_bytes: registry.counter(
+            journal_bytes: counter(
                 "krad_journal_bytes_total",
                 "Bytes committed to the session journal",
             ),
-            journal_fsyncs: registry.counter(
+            journal_fsyncs: counter(
                 "krad_journal_fsync_total",
                 "fsync(2) calls issued by the session journal",
             ),
-            journal_fsync_us: registry.histogram(
+            journal_fsync_us: histogram(
                 "krad_journal_fsync_us",
                 "Wall-clock latency of one journal fsync in microseconds",
                 exp_bounds(20),
             ),
-            journal_snapshots: registry.counter(
+            journal_snapshots: counter(
                 "krad_journal_snapshots_total",
                 "Session snapshots written (each truncates the WAL)",
             ),
-            journal_tail_records: registry.gauge(
+            journal_tail_records: gauge(
                 "krad_journal_tail_records",
                 "WAL records past the last snapshot (replay lag on restart)",
             ),
-            recovery_duration_ms: registry.gauge(
+            recovery_duration_ms: gauge(
                 "krad_recovery_duration_ms",
                 "Milliseconds the last journal recovery took (0 if none)",
             ),
@@ -360,20 +388,37 @@ pub struct ModeTracker {
 
 impl ModeTracker {
     /// Track `k` categories, registering the residency gauges and
-    /// transition counter on `registry`.
+    /// transition counter on `registry` (unlabeled — the implicit
+    /// default session).
     pub fn new(k: usize, registry: &MetricsRegistry) -> Self {
+        Self::with_session(k, registry, None)
+    }
+
+    /// Like [`ModeTracker::new`] but, when `session` is `Some`, every
+    /// series additionally carries a `session="name"` label so many
+    /// sessions share the families on one registry.
+    pub fn with_session(k: usize, registry: &MetricsRegistry, session: Option<&str>) -> Self {
         let now = Instant::now();
         let mut gauges = Vec::with_capacity(k);
         for cat in 0..k {
             let label = cat.to_string();
             let gauge = |mode: SchedulerMode| {
+                let mut labels: Vec<(&str, &str)> =
+                    vec![("category", &label), ("mode", mode.label())];
+                if let Some(name) = session {
+                    labels.push(("session", name));
+                }
                 registry.gauge_with(
                     "krad_mode_residency_seconds",
                     "Wall-clock seconds each category has spent in DEQ vs round-robin",
-                    &[("category", &label), ("mode", mode.label())],
+                    &labels,
                 )
             };
             gauges.push([gauge(SchedulerMode::Deq), gauge(SchedulerMode::RoundRobin)]);
+        }
+        let mut transition_labels: Vec<(&str, &str)> = Vec::new();
+        if let Some(name) = session {
+            transition_labels.push(("session", name));
         }
         ModeTracker {
             state: Arc::new(Mutex::new(ModeState {
@@ -381,9 +426,10 @@ impl ModeTracker {
                 residency: vec![[0.0; 2]; k],
             })),
             gauges: Arc::new(gauges),
-            transitions: registry.counter(
+            transitions: registry.counter_with(
                 "krad_mode_transitions_total",
                 "DEQ/RR mode switches observed",
+                &transition_labels,
             ),
         }
     }
@@ -533,6 +579,57 @@ mod tests {
             active_jobs: 1,
         });
         assert_eq!(tracker.transitions.get(), 2);
+    }
+
+    #[test]
+    fn sessions_share_one_registry_with_session_labels() {
+        let default = ServiceMetrics::new(&[2, 1]);
+        let a = ServiceMetrics::with_registry(default.registry(), &[2, 1], Some("tenant-a"));
+        let b = ServiceMetrics::with_registry(default.registry(), &[2, 1], Some("tenant-b"));
+        default.admitted.add(3);
+        a.admitted.add(5);
+        b.admitted.incr();
+        a.record_completion(0, 8, 2);
+        let text = default.registry().render();
+        // The default session stays byte-compatible with single-tenant
+        // scrapes: an unlabeled series in the shared family.
+        assert!(text.contains("krad_jobs_admitted_total 3"), "{text}");
+        assert!(
+            text.contains("krad_jobs_admitted_total{session=\"tenant-a\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("krad_jobs_admitted_total{session=\"tenant-b\"} 1"),
+            "{text}"
+        );
+        // Per-category series keep `category` first, `session` after.
+        assert!(
+            text.contains("krad_job_response_steps_bucket{category=\"0\",session=\"tenant-a\""),
+            "{text}"
+        );
+        // One family header even with three sessions registered.
+        assert_eq!(
+            text.matches("# TYPE krad_jobs_admitted_total counter")
+                .count(),
+            1
+        );
+        // Handles are isolated: tenant-b saw nothing from tenant-a.
+        assert_eq!(b.response_all.count(), 0);
+        assert_eq!(a.response_all.count(), 1);
+        // Session-labeled mode trackers coexist too.
+        let tracker = ModeTracker::with_session(2, default.registry(), Some("tenant-a"));
+        tracker.refresh();
+        let text = default.registry().render();
+        assert!(
+            text.contains(
+                "krad_mode_residency_seconds{category=\"0\",mode=\"deq\",session=\"tenant-a\"}"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("krad_mode_transitions_total{session=\"tenant-a\"} 0"),
+            "{text}"
+        );
     }
 
     #[test]

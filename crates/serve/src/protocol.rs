@@ -29,7 +29,15 @@ use ktelemetry::{ExecSegment, JobTrace, TraceStamps};
 ///   events, and the response-time/slowdown fields (`"response_*"`,
 ///   `"slowdown_*"`) on `stats`. All decode tolerantly: absent means
 ///   a pre-tracing server.
-pub const PROTOCOL_VERSION: u64 = 4;
+/// * **5** — kswarm multi-tenancy: adds the `open`/`close` verb pair
+///   (named sessions with per-session scheduler/quota overrides), an
+///   optional `"session"` field on `submit`/`status`/`stats`/
+///   `cancel`/`trace`/`drain` (absent means the implicit `default`
+///   session — every v4 line is a valid v5 line), and `"session"`/
+///   `"sessions"` on `stats` replies. A bare `drain` still drains the
+///   whole daemon and replies with the default session's report, so
+///   v4 clients observe identical bytes.
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// A reference to a server-side generated `kworkloads` scenario.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,6 +48,30 @@ pub struct ScenarioRef {
     pub jobs: usize,
     /// Generator seed.
     pub seed: u64,
+}
+
+/// Per-session configuration overrides carried by an `open` request
+/// (v5+). Every field is optional; absent fields inherit the daemon's
+/// defaults.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionSpec {
+    /// Scheduler label (e.g. `k-rad`, `equi`).
+    pub scheduler: Option<String>,
+    /// Selection-policy label (e.g. `fifo`).
+    pub policy: Option<String>,
+    /// Scheduling quantum in engine steps.
+    pub quantum: Option<u64>,
+    /// Engine/scheduler RNG seed.
+    pub seed: Option<u64>,
+    /// Submission-queue bound.
+    pub queue_capacity: Option<u64>,
+    /// Admitted-but-incomplete bound.
+    pub max_inflight: Option<u64>,
+    /// Admission rate limit in jobs per second (token bucket); absent
+    /// or 0 disables the limit.
+    pub rate_per_sec: Option<f64>,
+    /// Token-bucket burst size (jobs admitted above the steady rate).
+    pub burst: Option<u64>,
 }
 
 /// A client request (one per line).
@@ -55,27 +87,58 @@ pub enum Request {
         scenario: Option<ScenarioRef>,
         /// Stream completion events after the reply.
         watch: bool,
+        /// Target session (v5+; empty means `default`).
+        session: String,
     },
     /// Identify the server: protocol version, scheduler, clock policy.
     Hello,
     /// Per-job states and engine clock.
-    Status,
+    Status {
+        /// Target session (v5+; empty means `default`).
+        session: String,
+    },
     /// Service counters and latency metrics.
-    Stats,
+    Stats {
+        /// Target session (v5+; empty means `default`).
+        session: String,
+    },
     /// The live metrics registry in Prometheus text exposition format.
     Metrics,
     /// Cancel a still-queued job.
     Cancel {
         /// Server-assigned job id.
         job: u64,
+        /// Target session (v5+; empty means `default`).
+        session: String,
     },
     /// The assembled ktrace span tree of one job (v4+).
     Trace {
         /// Server-assigned job id.
         job: u64,
+        /// Target session (v5+; empty means `default`).
+        session: String,
     },
-    /// Stop admission, finish in-flight work, report the session trace.
-    Drain,
+    /// Create (or attach to) a named session (v5+).
+    Open {
+        /// Session name (`[A-Za-z0-9._-]`, at most 64 chars).
+        session: String,
+        /// Configuration overrides for a newly created session.
+        spec: SessionSpec,
+    },
+    /// Drain and destroy a named session (v5+). The reply carries the
+    /// session's final counters and canonical trace.
+    Close {
+        /// Session name.
+        session: String,
+    },
+    /// Stop admission, finish in-flight work, report the session
+    /// trace. With a session name this drains that session only; bare
+    /// `drain` drains every session and stops the daemon (legacy v4
+    /// semantics).
+    Drain {
+        /// Target session (v5+; empty drains the whole daemon).
+        session: String,
+    },
 }
 
 /// The lifecycle of one submitted job, as reported by `status`.
@@ -244,6 +307,12 @@ pub struct StatsReply {
     pub response_mean_steps_by_cat: Vec<f64>,
     /// Mean slowdown per dominant category, milli-units (v4+).
     pub slowdown_mean_milli_by_cat: Vec<f64>,
+    /// Name of the session these stats describe (v5+; empty from
+    /// older servers, meaning the only session there is).
+    pub session: String,
+    /// Sessions currently live in the daemon's registry (v5+; 0 from
+    /// older single-session servers).
+    pub sessions: u64,
 }
 
 /// The `trace` reply body: one job's assembled lifecycle span tree
@@ -355,6 +424,27 @@ pub enum Response {
     },
     /// `trace` body.
     Trace(TraceReply),
+    /// A named session was created or attached (v5+).
+    Opened {
+        /// Session name.
+        session: String,
+        /// Scheduler label serving it.
+        scheduler: String,
+        /// Engine clock policy label.
+        time_policy: String,
+        /// Scheduling quantum.
+        quantum: u64,
+        /// `true` when the name was already live (attach) or was
+        /// rebuilt from its journal; `false` for a fresh session.
+        existing: bool,
+    },
+    /// A named session drained and was destroyed (v5+).
+    Closed {
+        /// Session name.
+        session: String,
+        /// Final counters and canonical trace, as a drain would report.
+        report: DrainReply,
+    },
     /// Drain finished; the session is over.
     Drained(DrainReply),
     /// Malformed request or invalid argument.
@@ -450,6 +540,28 @@ pub fn decode_dag(v: &Value) -> Result<DagSpec, String> {
     })
 }
 
+/// Append a [`DrainReply`]'s canonical field run (`"admitted"` …
+/// `"trace"`, no surrounding braces) — shared by the `drained` and
+/// `closed` encodings so both stay byte-identical per field.
+fn push_drain_fields(s: &mut String, d: &DrainReply) {
+    s.push_str(&format!(
+        "\"admitted\":{},\"completed\":{},\"cancelled\":{},\"rejected\":{},\"trace\":",
+        d.admitted, d.completed, d.cancelled, d.rejected
+    ));
+    s.push_str(&d.trace.encode());
+}
+
+/// Decode a [`DrainReply`]'s field run from a parsed object.
+fn decode_drain_fields(v: &Value) -> Result<DrainReply, String> {
+    Ok(DrainReply {
+        admitted: need_u64(v, "admitted")?,
+        completed: need_u64(v, "completed")?,
+        cancelled: need_u64(v, "cancelled")?,
+        rejected: need_u64(v, "rejected")?,
+        trace: SessionTrace::decode_value(v.get("trace").ok_or("missing field 'trace'")?)?,
+    })
+}
+
 /// Tolerantly decode an optional `f64` array field (absent or
 /// malformed entries → empty / 0.0).
 fn decode_f64_arr(v: &Value, key: &str) -> Vec<f64> {
@@ -457,6 +569,25 @@ fn decode_f64_arr(v: &Value, key: &str) -> Vec<f64> {
         Some(arr) => arr.iter().map(|x| x.as_f64().unwrap_or(0.0)).collect(),
         None => Vec::new(),
     }
+}
+
+/// Append `,"session":"<name>"` when the session is not the implicit
+/// default — so v5 request lines targeting `default` are bytewise the
+/// v4 lines.
+fn push_session(s: &mut String, session: &str) {
+    if !session.is_empty() {
+        s.push_str(",\"session\":");
+        wire::push_str_lit(s, session);
+    }
+}
+
+/// Tolerantly decode the optional `"session"` field (absent → empty,
+/// meaning the implicit default session).
+fn decode_session(v: &Value) -> String {
+    v.get("session")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string()
 }
 
 impl Request {
@@ -468,6 +599,7 @@ impl Request {
                 jobs,
                 scenario,
                 watch,
+                session,
             } => {
                 s.push_str("{\"cmd\":\"submit\"");
                 if !jobs.is_empty() {
@@ -492,23 +624,69 @@ impl Request {
                 if *watch {
                     s.push_str(",\"watch\":true");
                 }
+                push_session(&mut s, session);
                 s.push('}');
             }
             Request::Hello => s.push_str("{\"cmd\":\"hello\"}"),
-            Request::Status => s.push_str("{\"cmd\":\"status\"}"),
-            Request::Stats => s.push_str("{\"cmd\":\"stats\"}"),
+            Request::Status { session } => {
+                s.push_str("{\"cmd\":\"status\"");
+                push_session(&mut s, session);
+                s.push('}');
+            }
+            Request::Stats { session } => {
+                s.push_str("{\"cmd\":\"stats\"");
+                push_session(&mut s, session);
+                s.push('}');
+            }
             Request::Metrics => s.push_str("{\"cmd\":\"metrics\"}"),
-            Request::Cancel { job } => {
+            Request::Cancel { job, session } => {
                 s.push_str("{\"cmd\":\"cancel\",\"job\":");
                 s.push_str(&job.to_string());
+                push_session(&mut s, session);
                 s.push('}');
             }
-            Request::Trace { job } => {
+            Request::Trace { job, session } => {
                 s.push_str("{\"cmd\":\"trace\",\"job\":");
                 s.push_str(&job.to_string());
+                push_session(&mut s, session);
                 s.push('}');
             }
-            Request::Drain => s.push_str("{\"cmd\":\"drain\"}"),
+            Request::Open { session, spec } => {
+                s.push_str("{\"cmd\":\"open\",\"session\":");
+                wire::push_str_lit(&mut s, session);
+                let opt_u64 = |s: &mut String, key: &str, v: Option<u64>| {
+                    if let Some(v) = v {
+                        s.push_str(&format!(",\"{key}\":{v}"));
+                    }
+                };
+                if let Some(x) = &spec.scheduler {
+                    s.push_str(",\"scheduler\":");
+                    wire::push_str_lit(&mut s, x);
+                }
+                if let Some(x) = &spec.policy {
+                    s.push_str(",\"policy\":");
+                    wire::push_str_lit(&mut s, x);
+                }
+                opt_u64(&mut s, "quantum", spec.quantum);
+                opt_u64(&mut s, "seed", spec.seed);
+                opt_u64(&mut s, "queue_capacity", spec.queue_capacity);
+                opt_u64(&mut s, "max_inflight", spec.max_inflight);
+                if let Some(r) = spec.rate_per_sec {
+                    s.push_str(&format!(",\"rate_per_sec\":{r}"));
+                }
+                opt_u64(&mut s, "burst", spec.burst);
+                s.push('}');
+            }
+            Request::Close { session } => {
+                s.push_str("{\"cmd\":\"close\",\"session\":");
+                wire::push_str_lit(&mut s, session);
+                s.push('}');
+            }
+            Request::Drain { session } => {
+                s.push_str("{\"cmd\":\"drain\"");
+                push_session(&mut s, session);
+                s.push('}');
+            }
         }
         s
     }
@@ -544,19 +722,47 @@ impl Request {
                     jobs,
                     scenario,
                     watch,
+                    session: decode_session(&v),
                 }
             }
             "hello" => Request::Hello,
-            "status" => Request::Status,
-            "stats" => Request::Stats,
+            "status" => Request::Status {
+                session: decode_session(&v),
+            },
+            "stats" => Request::Stats {
+                session: decode_session(&v),
+            },
             "metrics" => Request::Metrics,
             "cancel" => Request::Cancel {
                 job: need_u64(&v, "job")?,
+                session: decode_session(&v),
             },
             "trace" => Request::Trace {
                 job: need_u64(&v, "job")?,
+                session: decode_session(&v),
             },
-            "drain" => Request::Drain,
+            "open" => Request::Open {
+                session: need_str(&v, "session")?.to_string(),
+                spec: SessionSpec {
+                    scheduler: v
+                        .get("scheduler")
+                        .and_then(Value::as_str)
+                        .map(str::to_string),
+                    policy: v.get("policy").and_then(Value::as_str).map(str::to_string),
+                    quantum: v.get("quantum").and_then(Value::as_u64),
+                    seed: v.get("seed").and_then(Value::as_u64),
+                    queue_capacity: v.get("queue_capacity").and_then(Value::as_u64),
+                    max_inflight: v.get("max_inflight").and_then(Value::as_u64),
+                    rate_per_sec: v.get("rate_per_sec").and_then(Value::as_f64),
+                    burst: v.get("burst").and_then(Value::as_u64),
+                },
+            },
+            "close" => Request::Close {
+                session: need_str(&v, "session")?.to_string(),
+            },
+            "drain" => Request::Drain {
+                session: decode_session(&v),
+            },
             other => return Err(format!("unknown command '{other}'")),
         })
     }
@@ -698,6 +904,9 @@ impl Response {
                     "slowdown_mean_milli_by_cat",
                     &x.slowdown_mean_milli_by_cat,
                 );
+                s.push_str(",\"session\":");
+                wire::push_str_lit(&mut s, &x.session);
+                s.push_str(&format!(",\"sessions\":{}", x.sessions));
                 s.push('}');
             }
             Response::Metrics { text } => {
@@ -741,12 +950,31 @@ impl Response {
                 opt(&mut s, "complete_ns", t.complete_ns);
                 s.push('}');
             }
+            Response::Opened {
+                session,
+                scheduler,
+                time_policy,
+                quantum,
+                existing,
+            } => {
+                s.push_str("{\"reply\":\"opened\",\"session\":");
+                wire::push_str_lit(&mut s, session);
+                s.push_str(",\"scheduler\":");
+                wire::push_str_lit(&mut s, scheduler);
+                s.push_str(",\"time_policy\":");
+                wire::push_str_lit(&mut s, time_policy);
+                s.push_str(&format!(",\"quantum\":{quantum},\"existing\":{existing}}}"));
+            }
+            Response::Closed { session, report } => {
+                s.push_str("{\"reply\":\"closed\",\"session\":");
+                wire::push_str_lit(&mut s, session);
+                s.push(',');
+                push_drain_fields(&mut s, report);
+                s.push('}');
+            }
             Response::Drained(d) => {
-                s.push_str(&format!(
-                    "{{\"reply\":\"drained\",\"admitted\":{},\"completed\":{},\"cancelled\":{},\"rejected\":{},\"trace\":",
-                    d.admitted, d.completed, d.cancelled, d.rejected
-                ));
-                s.push_str(&d.trace.encode());
+                s.push_str("{\"reply\":\"drained\",");
+                push_drain_fields(&mut s, d);
                 s.push('}');
             }
             Response::Error { message } => {
@@ -926,6 +1154,8 @@ impl Response {
                     .unwrap_or(0.0),
                 response_mean_steps_by_cat: decode_f64_arr(&v, "response_mean_steps_by_cat"),
                 slowdown_mean_milli_by_cat: decode_f64_arr(&v, "slowdown_mean_milli_by_cat"),
+                session: decode_session(&v),
+                sessions: v.get("sessions").and_then(Value::as_u64).unwrap_or(0),
             }),
             "metrics" => Response::Metrics {
                 text: need_str(&v, "text")?.to_string(),
@@ -968,13 +1198,26 @@ impl Response {
                     complete_ns: opt("complete_ns"),
                 })
             }
-            "drained" => Response::Drained(DrainReply {
-                admitted: need_u64(&v, "admitted")?,
-                completed: need_u64(&v, "completed")?,
-                cancelled: need_u64(&v, "cancelled")?,
-                rejected: need_u64(&v, "rejected")?,
-                trace: SessionTrace::decode_value(v.get("trace").ok_or("missing field 'trace'")?)?,
-            }),
+            "drained" => Response::Drained(decode_drain_fields(&v)?),
+            "opened" => Response::Opened {
+                session: need_str(&v, "session")?.to_string(),
+                scheduler: v
+                    .get("scheduler")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                time_policy: v
+                    .get("time_policy")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                quantum: v.get("quantum").and_then(Value::as_u64).unwrap_or(1),
+                existing: v.get("existing").and_then(Value::as_bool).unwrap_or(false),
+            },
+            "closed" => Response::Closed {
+                session: need_str(&v, "session")?.to_string(),
+                report: decode_drain_fields(&v)?,
+            },
             "error" => Response::Error {
                 message: need_str(&v, "message")?.to_string(),
             },
@@ -1042,8 +1285,9 @@ impl Event {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kbaselines::SchedulerKind;
     use kdag::generators::fork_join;
-    use kdag::Category;
+    use kdag::{Category, SelectionPolicy};
 
     fn spec() -> DagSpec {
         DagSpec::from_dag(&fork_join(2, &[(Category(0), 3), (Category(1), 2)]))
@@ -1056,6 +1300,7 @@ mod tests {
                 jobs: vec![spec(), spec()],
                 scenario: None,
                 watch: true,
+                session: String::new(),
             },
             Request::Submit {
                 jobs: vec![],
@@ -1065,19 +1310,70 @@ mod tests {
                     seed: 3,
                 }),
                 watch: false,
+                session: "tenant-a".into(),
             },
             Request::Hello,
-            Request::Status,
-            Request::Stats,
+            Request::Status {
+                session: String::new(),
+            },
+            Request::Stats {
+                session: "tenant-a".into(),
+            },
             Request::Metrics,
-            Request::Cancel { job: 17 },
-            Request::Trace { job: 4 },
-            Request::Drain,
+            Request::Cancel {
+                job: 17,
+                session: String::new(),
+            },
+            Request::Trace {
+                job: 4,
+                session: "tenant-b".into(),
+            },
+            Request::Drain {
+                session: String::new(),
+            },
+            Request::Drain {
+                session: "tenant-a".into(),
+            },
+            Request::Open {
+                session: "tenant-a".into(),
+                spec: SessionSpec::default(),
+            },
+            Request::Open {
+                session: "tenant-b".into(),
+                spec: SessionSpec {
+                    scheduler: Some("equi".into()),
+                    policy: Some("spread".into()),
+                    quantum: Some(4),
+                    seed: Some(7),
+                    queue_capacity: Some(32),
+                    max_inflight: Some(128),
+                    rate_per_sec: Some(250.5),
+                    burst: Some(64),
+                },
+            },
+            Request::Close {
+                session: "tenant-a".into(),
+            },
         ];
         for r in reqs {
             let line = r.encode();
             assert!(!line.contains('\n'));
             assert_eq!(Request::decode(&line).unwrap(), r, "{line}");
+        }
+        // A default-session request encodes byte-identically to v4: no
+        // "session" key appears anywhere on the line.
+        let bare = Request::Stats {
+            session: String::new(),
+        }
+        .encode();
+        assert!(!bare.contains("session"), "{bare}");
+        // And v4 lines (no "session") decode into the default session.
+        match Request::decode(r#"{"cmd":"cancel","job":3}"#).unwrap() {
+            Request::Cancel { job, session } => {
+                assert_eq!(job, 3);
+                assert_eq!(session, "");
+            }
+            other => panic!("expected cancel, got {other:?}"),
         }
     }
 
@@ -1195,7 +1491,23 @@ mod tests {
                 slowdown_p99_milli: 8192.0,
                 response_mean_steps_by_cat: vec![20.0, 17.5],
                 slowdown_mean_milli_by_cat: vec![2000.0, 2500.0],
+                session: "tenant-a".into(),
+                sessions: 3,
             }),
+            Response::Opened {
+                session: "tenant-a".into(),
+                scheduler: "k-rad".into(),
+                time_policy: "event".into(),
+                quantum: 2,
+                existing: false,
+            },
+            Response::Opened {
+                session: "tenant-b".into(),
+                scheduler: "equi".into(),
+                time_policy: "unit".into(),
+                quantum: 1,
+                existing: true,
+            },
             Response::Metrics {
                 text: "# HELP krad_quanta_total x\nkrad_quanta_total 3\n".into(),
             },
@@ -1207,6 +1519,34 @@ mod tests {
         for r in resps {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn drain_and_close_replies_roundtrip() {
+        let report = DrainReply {
+            admitted: 5,
+            completed: 4,
+            cancelled: 1,
+            rejected: 2,
+            trace: SessionTrace {
+                machine: vec![4, 2],
+                scheduler: SchedulerKind::KRad,
+                policy: SelectionPolicy::Fifo,
+                quantum: 2,
+                seed: 42,
+                jobs: vec![],
+                completions: vec![],
+            },
+        };
+        let drained = Response::Drained(report.clone());
+        assert_eq!(Response::decode(&drained.encode()).unwrap(), drained);
+        let closed = Response::Closed {
+            session: "tenant-a".into(),
+            report,
+        };
+        let line = closed.encode();
+        assert!(line.contains("\"reply\":\"closed\""), "{line}");
+        assert_eq!(Response::decode(&line).unwrap(), closed);
     }
 
     #[test]
@@ -1223,6 +1563,8 @@ mod tests {
                 assert_eq!(x.response_jobs, 0, "tracing fields default empty");
                 assert_eq!(x.response_mean_steps, 0.0);
                 assert!(x.response_mean_steps_by_cat.is_empty());
+                assert_eq!(x.session, "", "v4 stats decode into the default session");
+                assert_eq!(x.sessions, 0);
             }
             other => panic!("expected stats, got {other:?}"),
         }
@@ -1242,7 +1584,8 @@ mod tests {
             durability: "off".into(),
         })
         .encode();
-        assert!(line.contains("\"version\":4"), "{line}");
+        let tag = format!("\"version\":{PROTOCOL_VERSION}");
+        assert!(line.contains(&tag), "{line}");
 
         // A v3 submitted reply (no "trace_ids") and a v3 job_done
         // event (no "trace_id") decode with empty trace ids.

@@ -1,0 +1,729 @@
+//! kswarm reactor: one `poll(2)`-driven thread multiplexing every
+//! client connection.
+//!
+//! Replaces thread-per-connection accept with a single event loop,
+//! hand-rolled on the raw `poll(2)` syscall (no async runtime, no new
+//! dependencies — the only `unsafe` in the crate is the one FFI call,
+//! quarantined in [`sys`]). Each connection carries its own read and
+//! write buffer; request lines are parsed and dispatched only while
+//! the connection is idle, watch subscriptions are pumped from their
+//! completion channels without blocking, and drain/close replies are
+//! deferred until every targeted session reports drained. A self-pipe
+//! [`Waker`] lets worker threads (completions, drain finalization) and
+//! the registry (new sessions) interrupt the poll immediately instead
+//! of riding out the timeout.
+//!
+//! The reactor also keeps the swarm's drain-ack ledger honest: a
+//! drain/close reply is *adopted* at dispatch and *settled* only when
+//! its bytes reach the socket (or the peer dies), so `Server::join`'s
+//! bounded wait aggregates across sessions — a slow-draining session
+//! cannot drop another session's final replies.
+
+use crate::protocol::{Event, Response};
+use crate::registry::Swarm;
+use crate::server::{dispatch, drain_reply_for, DrainKind, Outcome, WatchState};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::TryRecvError;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Raw `poll(2)`. The syscall's ABI types are stable on every unix the
+/// repo targets; the non-unix fallback degrades to a short sleep that
+/// reports every registered interest as ready (correct, just not
+/// event-driven — reads/writes are non-blocking either way).
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x1;
+    pub const POLLOUT: i16 = 0x4;
+    pub const POLLERR: i16 = 0x8;
+    pub const POLLHUP: i16 = 0x10;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: i32) -> i32;
+    }
+
+    /// Block until something is ready or `timeout_ms` passes; returns
+    /// the number of ready descriptors (0 on timeout, -1 on error —
+    /// the loop treats EINTR like a timeout).
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        if fds.is_empty() {
+            std::thread::sleep(std::time::Duration::from_millis(timeout_ms.max(0) as u64));
+            return 0;
+        }
+        // SAFETY: `fds` is a valid, exclusive slice of `repr(C)`
+        // pollfd structs for the duration of the call; the kernel
+        // writes only `revents` within the slice bounds.
+        unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x1;
+    pub const POLLOUT: i16 = 0x4;
+    pub const POLLERR: i16 = 0x8;
+    pub const POLLHUP: i16 = 0x10;
+
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        // Level-triggered approximation: report everything ready after
+        // a short nap; non-blocking I/O sorts out the false positives.
+        std::thread::sleep(std::time::Duration::from_millis(
+            (timeout_ms.max(0) as u64).min(5),
+        ));
+        for f in fds.iter_mut() {
+            f.revents = f.events;
+        }
+        fds.len() as i32
+    }
+}
+
+/// Poll timeout: the latency bound on anything that arrives without a
+/// waker nudge.
+const POLL_TIMEOUT_MS: i32 = 50;
+
+/// How long after stop the reactor keeps flushing pending final
+/// replies before giving up on their sockets.
+const FLUSH_DEADLINE: Duration = Duration::from_secs(5);
+
+/// A connected client stream, TCP or unix-domain, unified.
+pub(crate) enum ConnStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ConnStream {
+    fn raw_fd(&self) -> i32 {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            match self {
+                ConnStream::Tcp(s) => s.as_raw_fd(),
+                ConnStream::Unix(s) => s.as_raw_fd(),
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            -1
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ConnStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ConnStream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ConnStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ConnStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn set_blocking(&self) -> io::Result<()> {
+        match self {
+            ConnStream::Tcp(s) => s.set_nonblocking(false),
+            #[cfg(unix)]
+            ConnStream::Unix(s) => s.set_nonblocking(false),
+        }
+    }
+}
+
+/// A bound accept socket, TCP or unix-domain, unified.
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn raw_fd(&self) -> i32 {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            match self {
+                Listener::Tcp(l) => l.as_raw_fd(),
+                Listener::Unix(l) => l.as_raw_fd(),
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            -1
+        }
+    }
+
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(true),
+        }
+    }
+
+    fn accept(&self) -> io::Result<ConnStream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(true)?;
+                let _ = s.set_nodelay(true);
+                Ok(ConnStream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(true)?;
+                Ok(ConnStream::Unix(s))
+            }
+        }
+    }
+}
+
+/// The write half of the reactor's self-pipe. Worker threads call
+/// [`Waker::wake`] (via `Swarm::wake_reactor`) to interrupt the poll.
+pub(crate) struct Waker {
+    #[cfg(unix)]
+    tx: UnixStream,
+}
+
+impl Waker {
+    pub(crate) fn wake(&self) {
+        #[cfg(unix)]
+        {
+            // A full pipe already means a wake is pending; WouldBlock
+            // (and any other error) is therefore ignorable.
+            let _ = (&self.tx).write(&[1]);
+        }
+    }
+}
+
+/// Build the self-pipe: the [`Waker`] goes to the swarm, the read end
+/// into the reactor's poll set. On non-unix there is no pipe — the
+/// fallback poll's short timeout bounds wake latency instead.
+pub(crate) fn waker_pair() -> io::Result<(Waker, Option<ConnStream>)> {
+    #[cfg(unix)]
+    {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((Waker { tx }, Some(ConnStream::Unix(rx))))
+    }
+    #[cfg(not(unix))]
+    {
+        Ok((Waker {}, None))
+    }
+}
+
+/// What a connection is currently doing between request lines.
+enum Mode {
+    /// Parsing request lines as they arrive.
+    Idle,
+    /// Streaming completion events for one watched submission; request
+    /// parsing is paused (pipelined bytes stay buffered) until the
+    /// watch ends, matching the blocking protocol's semantics.
+    Watching(WatchState),
+    /// A drain/close reply is pending until every targeted session
+    /// reports drained.
+    AwaitDrain(DrainKind),
+}
+
+/// One multiplexed connection.
+struct Conn {
+    stream: ConnStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    // Bytes of `wbuf` already written to the socket.
+    wpos: usize,
+    mode: Mode,
+    // Final (drain/close) replies adopted by this connection but not
+    // yet settled against the swarm's ack ledger.
+    owed_acks: usize,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: ConnStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            mode: Mode::Idle,
+            owed_acks: 0,
+            dead: false,
+        }
+    }
+
+    fn push_line(&mut self, line: &str) {
+        self.wbuf.extend_from_slice(line.as_bytes());
+        self.wbuf.push(b'\n');
+    }
+
+    /// Write as much of `wbuf` as the socket accepts right now.
+    fn flush(&mut self) {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+    }
+
+    fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+/// The reactor thread body. Owns every client connection until the
+/// swarm stops and all pending final replies are flushed (or the
+/// flush deadline passes).
+pub(crate) fn reactor_loop(
+    swarm: &Arc<Swarm>,
+    listeners: Vec<Listener>,
+    mut wake_rx: Option<ConnStream>,
+    metrics_addr: Option<SocketAddr>,
+) {
+    for l in &listeners {
+        let _ = l.set_nonblocking();
+    }
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = [0u8; 4096];
+    let mut stop_seen: Option<Instant> = None;
+
+    loop {
+        // Assemble the poll set: waker, listeners (while accepting),
+        // then one slot per connection.
+        let stopping = swarm.stop.load(Ordering::SeqCst);
+        let mut fds: Vec<sys::PollFd> = Vec::with_capacity(1 + listeners.len() + conns.len());
+        let wake_slot = wake_rx.as_ref().map(|rx| {
+            fds.push(sys::PollFd {
+                fd: rx.raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            fds.len() - 1
+        });
+        let listener_base = fds.len();
+        if !stopping {
+            for l in &listeners {
+                fds.push(sys::PollFd {
+                    fd: l.raw_fd(),
+                    events: sys::POLLIN,
+                    revents: 0,
+                });
+            }
+        }
+        let conn_base = fds.len();
+        for c in &conns {
+            let mut events = 0i16;
+            if matches!(c.mode, Mode::Idle) {
+                events |= sys::POLLIN;
+            }
+            if c.wants_write() {
+                events |= sys::POLLOUT;
+            }
+            fds.push(sys::PollFd {
+                fd: c.stream.raw_fd(),
+                events,
+                revents: 0,
+            });
+        }
+
+        sys::poll_fds(&mut fds, POLL_TIMEOUT_MS);
+
+        // Drain the self-pipe (its content is meaningless; its
+        // readability was the signal).
+        if let (Some(slot), Some(rx)) = (wake_slot, wake_rx.as_mut()) {
+            if fds[slot].revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP) != 0 {
+                while let Ok(n) = rx.read(&mut scratch) {
+                    if n == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Accept everything pending on every listener.
+        if !stopping {
+            for (i, l) in listeners.iter().enumerate() {
+                if fds[listener_base + i].revents & sys::POLLIN == 0 {
+                    continue;
+                }
+                loop {
+                    match l.accept() {
+                        Ok(stream) => conns.push(Conn::new(stream)),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+
+        // Per-connection work. Indexed loop: `conns` only grows here
+        // via accepts above, never inside this loop.
+        for (i, c) in conns.iter_mut().enumerate() {
+            if c.dead {
+                continue;
+            }
+            let revents = fds.get(conn_base + i).map_or(0, |f| f.revents);
+            if revents & (sys::POLLERR | sys::POLLHUP) != 0 && !c.wants_write() {
+                // Peer is gone and nothing is owed to the socket; a
+                // half-closed peer still waiting on replies keeps the
+                // connection until the flush fails or completes.
+                if matches!(c.mode, Mode::Idle) && revents & sys::POLLIN == 0 {
+                    c.dead = true;
+                    continue;
+                }
+            }
+            if c.wants_write() {
+                c.flush();
+            }
+            if matches!(c.mode, Mode::Idle) && revents & (sys::POLLIN | sys::POLLHUP) != 0 {
+                read_ready(c, &mut scratch);
+            }
+            if matches!(c.mode, Mode::Idle) {
+                parse_lines(c, swarm);
+            }
+            progress_watch(c);
+            progress_drain(c, swarm);
+            if c.wants_write() {
+                c.flush();
+            }
+            // A settled connection is one whose final replies are all
+            // on the wire (or whose peer died): square the ledger.
+            if c.owed_acks > 0
+                && ((!c.wants_write() && !matches!(c.mode, Mode::AwaitDrain(_))) || c.dead)
+            {
+                swarm.settle_acks(c.owed_acks);
+                c.owed_acks = 0;
+            }
+        }
+
+        conns.retain(|c| !c.dead);
+        swarm
+            .metrics
+            .reactor_connections
+            .set_u64(conns.len() as u64);
+
+        if swarm.stop.load(Ordering::SeqCst) {
+            let deadline = *stop_seen.get_or_insert_with(Instant::now) + FLUSH_DEADLINE;
+            let pending = conns
+                .iter()
+                .any(|c| c.wants_write() || matches!(c.mode, Mode::AwaitDrain(_)));
+            if !pending || Instant::now() >= deadline {
+                // Whatever is still owed can never be delivered.
+                let owed: usize = conns.iter().map(|c| c.owed_acks).sum();
+                swarm.settle_acks(owed);
+                // Idle connections outlive the reactor: clients may
+                // still query stats/status/metrics on a connection that
+                // watched the drain, so each one gets a detached
+                // blocking tail thread until the peer hangs up.
+                for c in conns.drain(..) {
+                    if c.dead || c.wants_write() || !matches!(c.mode, Mode::Idle) {
+                        continue;
+                    }
+                    let tail_swarm = Arc::clone(swarm);
+                    let stream = c.stream;
+                    let rbuf = c.rbuf;
+                    let _ = std::thread::Builder::new()
+                        .name("kserve-tail".into())
+                        .spawn(move || serve_tail(stream, &tail_swarm, rbuf));
+                }
+                break;
+            }
+        }
+    }
+
+    swarm.metrics.reactor_connections.set_u64(0);
+    // Unblock the (blocking) metrics accept thread so the process can
+    // exit; it re-checks the stop flag per connection.
+    if let Some(addr) = metrics_addr {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn write_all(stream: &mut ConnStream, buf: &[u8]) -> io::Result<()> {
+    let mut written = 0;
+    while written < buf.len() {
+        match stream.write(&buf[written..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Serve one connection after the daemon has stopped: every session is
+/// sealed, so every request resolves immediately (drain/close replies
+/// included) with simple blocking I/O until the peer hangs up.
+fn serve_tail(mut stream: ConnStream, swarm: &Arc<Swarm>, mut rbuf: Vec<u8>) {
+    if stream.set_blocking().is_err() {
+        return;
+    }
+    let mut scratch = [0u8; 4096];
+    loop {
+        while let Some(nl) = rbuf.iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&rbuf[..nl]).into_owned();
+            rbuf.drain(..=nl);
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let mut settle = 0usize;
+            let mut lines = Vec::new();
+            match dispatch(trimmed, swarm) {
+                Outcome::Reply(response) => lines.push(response.encode()),
+                Outcome::ReplyWatch(response, watch) => {
+                    // Sealed sessions reject admission, so this arm is
+                    // effectively unreachable — but resolving from the
+                    // final job table is correct either way.
+                    lines.push(response.encode());
+                    for event in watch.resolve_stragglers() {
+                        lines.push(event.encode());
+                    }
+                    lines.push(Event::WatchEnd.encode());
+                }
+                Outcome::Drain(kind) => {
+                    settle = 1;
+                    let response = match &kind {
+                        DrainKind::Global => {
+                            let default = swarm
+                                .resolve("")
+                                .expect("default session always registered");
+                            Response::Drained(drain_reply_for(&default))
+                        }
+                        DrainKind::Session(s) => Response::Drained(drain_reply_for(s)),
+                        DrainKind::Close(s) => {
+                            let report = drain_reply_for(s);
+                            swarm.finish_close(s);
+                            Response::Closed {
+                                session: s.name.clone(),
+                                report,
+                            }
+                        }
+                    };
+                    lines.push(response.encode());
+                }
+            }
+            let mut ok = true;
+            for l in &lines {
+                let mut bytes = l.clone().into_bytes();
+                bytes.push(b'\n');
+                if write_all(&mut stream, &bytes).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            if settle > 0 {
+                swarm.settle_acks(settle);
+            }
+            if !ok {
+                return;
+            }
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => rbuf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Pull everything the socket has into the read buffer; EOF or a hard
+/// error marks the connection dead (any complete buffered lines are
+/// still parsed this iteration).
+fn read_ready(c: &mut Conn, scratch: &mut [u8]) {
+    loop {
+        match c.stream.read(scratch) {
+            Ok(0) => {
+                c.dead = true;
+                return;
+            }
+            Ok(n) => c.rbuf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                c.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Parse and dispatch every complete line in the read buffer, stopping
+/// early if a dispatch changes the connection's mode (watch or drain):
+/// later pipelined lines stay buffered until the mode returns to idle.
+fn parse_lines(c: &mut Conn, swarm: &Arc<Swarm>) {
+    let mut consumed = 0;
+    while matches!(c.mode, Mode::Idle) {
+        let Some(nl) = c.rbuf[consumed..].iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let end = consumed + nl;
+        let line = String::from_utf8_lossy(&c.rbuf[consumed..end]).into_owned();
+        consumed = end + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match dispatch(trimmed, swarm) {
+            Outcome::Reply(response) => c.push_line(&response.encode()),
+            Outcome::ReplyWatch(response, watch) => {
+                c.push_line(&response.encode());
+                c.mode = Mode::Watching(watch);
+            }
+            Outcome::Drain(kind) => {
+                // The ack was adopted into the swarm ledger by
+                // dispatch; this connection owes its settlement.
+                c.owed_acks += 1;
+                c.mode = Mode::AwaitDrain(kind);
+            }
+        }
+    }
+    c.rbuf.drain(..consumed);
+}
+
+/// Pump a watching connection: forward buffered completion events,
+/// and when the subscription ends (all jobs resolved, or the session
+/// sealed), resolve stragglers from the final job table and return to
+/// idle.
+fn progress_watch(c: &mut Conn) {
+    let Mode::Watching(watch) = &mut c.mode else {
+        return;
+    };
+    let mut finished = false;
+    while !watch.remaining.is_empty() {
+        let event = match watch.rx.try_recv() {
+            Ok(e) => e,
+            Err(TryRecvError::Empty) => break,
+            // Session sealed (drained): resolve the rest from state.
+            Err(TryRecvError::Disconnected) => {
+                finished = true;
+                break;
+            }
+        };
+        match event {
+            Event::JobDone { job, .. } => {
+                if let Some(pos) = watch.remaining.iter().position(|&id| id == job) {
+                    watch.remaining.swap_remove(pos);
+                    c.wbuf.extend_from_slice(event.encode().as_bytes());
+                    c.wbuf.push(b'\n');
+                }
+            }
+            Event::JobCancelled { job } => {
+                if let Some(pos) = watch.remaining.iter().position(|&id| id == job) {
+                    watch.remaining.swap_remove(pos);
+                    c.wbuf.extend_from_slice(event.encode().as_bytes());
+                    c.wbuf.push(b'\n');
+                }
+            }
+            Event::WatchEnd => {
+                finished = true;
+                break;
+            }
+        }
+    }
+    if !(finished || watch.remaining.is_empty()) {
+        return;
+    }
+    // Anything still unresolved (a drain raced us) is reported from
+    // the final job table.
+    let stragglers = watch.resolve_stragglers();
+    for event in stragglers {
+        c.wbuf.extend_from_slice(event.encode().as_bytes());
+        c.wbuf.push(b'\n');
+    }
+    c.wbuf
+        .extend_from_slice(Event::WatchEnd.encode().as_bytes());
+    c.wbuf.push(b'\n');
+    c.mode = Mode::Idle;
+}
+
+/// Check a pending drain/close: once every targeted session reports
+/// drained, build and queue the final reply (and for `close`, retire
+/// the session from the registry).
+fn progress_drain(c: &mut Conn, swarm: &Arc<Swarm>) {
+    let Mode::AwaitDrain(kind) = &c.mode else {
+        return;
+    };
+    let ready = match kind {
+        DrainKind::Global => swarm
+            .all_sessions()
+            .iter()
+            .all(|s| s.inner.lock().unwrap().drained),
+        DrainKind::Session(s) | DrainKind::Close(s) => s.inner.lock().unwrap().drained,
+    };
+    if !ready {
+        return;
+    }
+    let Mode::AwaitDrain(kind) = std::mem::replace(&mut c.mode, Mode::Idle) else {
+        unreachable!("mode checked above");
+    };
+    let response = match &kind {
+        DrainKind::Global => {
+            // v4 byte compatibility: the daemon-wide reply carries the
+            // default session's counters and trace.
+            let default = swarm
+                .resolve("")
+                .expect("default session always registered");
+            let reply = drain_reply_for(&default);
+            // Everything is sealed — stop the workers and begin the
+            // reactor's own flush-and-exit phase.
+            swarm.stop.store(true, Ordering::SeqCst);
+            swarm.wake_all_shards();
+            Response::Drained(reply)
+        }
+        DrainKind::Session(s) => Response::Drained(drain_reply_for(s)),
+        DrainKind::Close(s) => {
+            let report = drain_reply_for(s);
+            swarm.finish_close(s);
+            Response::Closed {
+                session: s.name.clone(),
+                report,
+            }
+        }
+    };
+    c.push_line(&response.encode());
+}

@@ -1,48 +1,49 @@
-//! The threaded scheduling daemon.
+//! The multi-tenant scheduling daemon (kswarm front-end).
 //!
-//! One *scheduler thread* owns the [`LiveSimulation`] and drives it
-//! quantum by quantum; per-connection *handler threads* speak the
-//! NDJSON protocol and interact with the scheduler only through a
-//! mutex-protected [`Inner`] (admission queue, job table, counters)
-//! and a condvar. The engine itself is never stepped under a client's
-//! request — submissions land in a bounded queue and are injected at
-//! the next quantum boundary with `release = now()`, which is what
-//! makes the recorded session trace replayable offline (see
-//! [`crate::replay`]).
+//! PR 3's single-tenant shape — one scheduler thread, thread-per-
+//! connection I/O — is replaced by three cooperating pieces: the
+//! session registry (named sessions, each a full scheduling domain),
+//! the shard worker pool (one thread per shard runs the quantum loop
+//! for its pinned sessions), and the poll-based reactor (one thread
+//! multiplexing every client connection). This module keeps the
+//! protocol surface: request dispatch, admission control, scrape
+//! rendering, and the [`Server`] lifecycle (bind, start, join).
 //!
-//! Admission control is explicit: a full queue or too many in-flight
-//! jobs produces a `rejected` reply (backpressure), never unbounded
-//! buffering. Draining stops admission, finishes every acknowledged
-//! job, publishes the canonical [`SessionTrace`], and shuts the
-//! listeners down.
+//! Admission control is explicit and now per session: a full queue,
+//! too many in-flight jobs, or an exhausted rate-limit bucket produces
+//! a `rejected` reply (backpressure), never unbounded buffering.
+//! Draining the daemon stops admission everywhere, finishes every
+//! acknowledged job in every session, publishes each canonical
+//! [`SessionTrace`](crate::replay::SessionTrace), and shuts the
+//! listeners down; closing one named session does the same for that
+//! session alone.
 
-use crate::journal::{self, SessionJournal};
-use crate::metrics::{ModeTracker, ServiceMetrics};
+use crate::journal::SessionJournal;
 use crate::protocol::{
     DrainReply, Event, HelloReply, JobState, JobStatus, Request, Response, ScenarioRef, StatsReply,
     StatusReply, TraceReply, PROTOCOL_VERSION,
 };
-use crate::replay::{SessionTrace, TraceJob};
+use crate::reactor::{self, Listener};
+use crate::registry::{self, Session, Slot, Swarm};
+use crate::shard;
 use kbaselines::SchedulerKind;
 use kdag::{DagSpec, JobDag, SelectionPolicy};
-use kjournal::{FsyncPolicy, JobImage, JobPhase, JournalStore, SessionImage};
-use ksim::{JobSpec, LiveSimulation, Resources, Scheduler, SimConfig, Time, TimePolicy};
-use ktelemetry::{
-    CounterHandle, FanoutSink, FlightRecorder, HistogramHandle, SharedSink, SpanKind, SpanRecorder,
-    TelemetryEvent, TelemetryHandle, TelemetrySink, TraceAssembler, TraceStamps,
-};
+use kjournal::FsyncPolicy;
+use ksim::TimePolicy;
+use ktelemetry::{SpanKind, SpanRecorder, TelemetryHandle, TraceStamps};
 use kworkloads::{rng_for, scenarios};
-use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// Daemon configuration.
+/// Daemon configuration. For named sessions this is the *template*:
+/// each `open` derives a per-session copy (journal directory moved
+/// under `sessions/<name>/`, overrides from the open spec applied).
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Processors per category.
@@ -78,13 +79,16 @@ pub struct ServerConfig {
     /// Flight-recorder capacity in events (0 disables the recorder).
     pub flight_capacity: usize,
     /// Where the flight recorder is dumped (JSONL) at drain — and on a
-    /// scheduler-thread panic, for post-mortem replay.
+    /// worker-thread panic, for post-mortem replay. Default session
+    /// only; named sessions never dump.
     pub flight_dump: Option<PathBuf>,
     /// Directory for the write-ahead session journal. `None` runs
     /// without durability; with a directory, every admission,
     /// cancellation, and quantum boundary is committed to the WAL
     /// *before* it is acknowledged on the wire, and a restart pointed
-    /// at the same directory rebuilds the session by verified replay.
+    /// at the same directory rebuilds every session (the default at
+    /// the root, named sessions under `sessions/<name>/`) by verified
+    /// replay.
     pub journal_dir: Option<PathBuf>,
     /// When the WAL escalates from `write(2)` to `fsync(2)` (see
     /// [`kjournal::FsyncPolicy`]). Irrelevant without `journal_dir`.
@@ -99,6 +103,16 @@ pub struct ServerConfig {
     /// drops an `slo_alert` annotation into the flight recorder;
     /// `0.0` disables the check.
     pub slo_factor: f64,
+    /// Worker threads in the shard pool; `0` uses the machine's
+    /// available parallelism.
+    pub workers: usize,
+    /// Per-session admission rate limit in jobs/second (token bucket,
+    /// checked before enqueue); `0.0` disables the limit. Named
+    /// sessions can override via the open spec's `rate_per_sec`.
+    pub session_rate: f64,
+    /// Token-bucket burst for `session_rate`; `0` derives the burst
+    /// from the rate (one second's worth, at least 1).
+    pub session_burst: u64,
 }
 
 impl Default for ServerConfig {
@@ -123,310 +137,29 @@ impl Default for ServerConfig {
             fsync: FsyncPolicy::Interval(Duration::from_millis(50)),
             snapshot_every: 256,
             slo_factor: 0.0,
+            workers: 0,
+            session_rate: 0.0,
+            session_burst: 0,
         }
     }
 }
 
-/// Lifecycle of one admitted job.
-enum Slot {
-    Queued(Arc<JobDag>),
-    Cancelled,
-    Running { release: Time },
-    Done { release: Time, completion: Time },
-}
-
-/// Shared state between handlers and the scheduler thread.
-struct Inner {
-    queue: VecDeque<u64>,
-    slots: Vec<Slot>,
-    // `DagSpec` per admitted id, kept for journal snapshots (the DAG
-    // itself is dropped from `Slot` once a job is injected).
-    dag_specs: Vec<DagSpec>,
-    engine_to_id: Vec<u64>,
-    inflight: usize,
-    draining: bool,
-    drained: bool,
-    // Drained replies built but not yet written to their sockets.
-    // `Server::join` waits for this to hit zero so the process cannot
-    // exit (closing every connection) while a reply is in flight.
-    drain_acks: usize,
-    trace: Option<SessionTrace>,
-    // Canonical session record, filled at injection / completion.
-    trace_jobs: Vec<TraceJob>,
-    completions: Vec<Time>,
-    // `(id, completion)` in completion order — the journal's view.
-    completed_log: Vec<(u64, Time)>,
-    // Mirrored engine scalars (the engine lives on the scheduler
-    // thread; these are refreshed after every quantum).
-    now: Time,
-    active: u64,
-    busy_steps: u64,
-    idle_steps: u64,
-    // Theorem 3 accumulators over injected jobs: Σ T1(J, α) per
-    // category, and max (T∞(J) + r(J)).
-    work_by_cat: Vec<u64>,
-    span_release_max: u64,
-    // ktrace wall-clock stamps per admitted id, nanoseconds since the
-    // daemon's monotonic epoch (`ServiceMetrics::started`).
-    stamps: Vec<TraceStamps>,
-    // Dominant work category and span per admitted id, fixed at
-    // admission — the slowdown denominator and histogram label.
-    cat_span: Vec<(usize, u64)>,
-    // Edge-trigger state for the SLO alert: set while the mean
-    // response sits above the threshold so one crossing fires once.
-    slo_breached: bool,
-    // Service metrics (registry-backed atomic handles; clones of the
-    // instruments in `Shared::metrics`).
-    admitted: CounterHandle,
-    rejections: CounterHandle,
-    completed: CounterHandle,
-    cancelled: CounterHandle,
-    quanta: CounterHandle,
-    queue_depth: HistogramHandle,
-    quantum_latency_us: HistogramHandle,
-    max_queue_depth: u64,
-    watchers: Vec<mpsc::Sender<Event>>,
-}
-
-struct Shared {
-    inner: Mutex<Inner>,
-    cv: Condvar,
-    stop: AtomicBool,
-    cfg: ServerConfig,
-    metrics: ServiceMetrics,
-    mode_tracker: ModeTracker,
-    flight: Option<Arc<Mutex<FlightRecorder>>>,
-    journal: Option<SessionJournal>,
-    // Live span-tree view: assembles engine trace events on the fly;
-    // the `trace` verb reads it, `admit` never touches it.
-    traces: Arc<Mutex<TraceAssembler>>,
-    // Session nonce baked into every trace id (`<nonce:x>-<job>`), so
-    // ids from different sessions never collide in downstream stores.
-    nonce: u64,
-}
-
-impl Shared {
-    /// Build the shared state, opening the journal directory when one
-    /// is configured. Returns the session the journal recovered, if
-    /// any — `Server::start` replays it into the engine before the
-    /// scheduler thread exists.
-    fn new(cfg: ServerConfig) -> io::Result<(Arc<Shared>, Option<kjournal::RecoveredSession>)> {
-        let metrics = ServiceMetrics::new(&cfg.machine);
-        let mode_tracker = ModeTracker::new(cfg.machine.len(), metrics.registry());
-        let flight = (cfg.flight_capacity > 0)
-            .then(|| Arc::new(Mutex::new(FlightRecorder::new(cfg.flight_capacity))));
-        let (journal, recovered) = match &cfg.journal_dir {
-            Some(dir) => {
-                let (store, recovered) = JournalStore::open(dir, cfg.fsync)?;
-                (
-                    Some(SessionJournal::new(store, &metrics, cfg.snapshot_every)),
-                    recovered,
-                )
-            }
-            None => (None, None),
-        };
-        let k = cfg.machine.len();
-        let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner {
-                queue: VecDeque::new(),
-                slots: Vec::new(),
-                dag_specs: Vec::new(),
-                engine_to_id: Vec::new(),
-                inflight: 0,
-                draining: false,
-                drained: false,
-                drain_acks: 0,
-                trace: None,
-                trace_jobs: Vec::new(),
-                completions: Vec::new(),
-                completed_log: Vec::new(),
-                now: 0,
-                active: 0,
-                busy_steps: 0,
-                idle_steps: 0,
-                work_by_cat: vec![0; k],
-                span_release_max: 0,
-                stamps: Vec::new(),
-                cat_span: Vec::new(),
-                slo_breached: false,
-                admitted: metrics.admitted.clone(),
-                rejections: metrics.rejected.clone(),
-                completed: metrics.completed.clone(),
-                cancelled: metrics.cancelled.clone(),
-                quanta: metrics.quanta.clone(),
-                queue_depth: metrics.queue_depth_at_admit.clone(),
-                quantum_latency_us: metrics.quantum_latency_us.clone(),
-                max_queue_depth: 0,
-                watchers: Vec::new(),
-            }),
-            cv: Condvar::new(),
-            stop: AtomicBool::new(false),
-            cfg,
-            metrics,
-            mode_tracker,
-            flight,
-            journal,
-            traces: Arc::new(Mutex::new(TraceAssembler::new())),
-            nonce: session_nonce(),
-        });
-        Ok((shared, recovered))
-    }
-
-    /// Nanoseconds since the daemon's monotonic epoch, for ktrace
-    /// wall-clock stamps.
-    fn elapsed_ns(&self) -> u64 {
-        self.metrics
-            .started()
-            .elapsed()
-            .as_nanos()
-            .min(u128::from(u64::MAX)) as u64
-    }
-
-    /// The wire-visible trace id of job `id` in this session.
-    fn trace_id(&self, id: u64) -> String {
-        format!("{:x}-{id}", self.nonce)
-    }
-
-    /// The telemetry handle the engine and scheduler record into: the
-    /// user's configured sink, the trace assembler, the mode tracker,
-    /// and the flight recorder, fanned out. The flight ring (the one
-    /// sink that keeps the event) goes last so the read-only sinks
-    /// ahead of it are fed by reference and never force a clone.
-    fn telemetry_fanout(&self) -> TelemetryHandle {
-        let mut sinks: Vec<SharedSink> = Vec::new();
-        if self.cfg.telemetry.is_enabled() {
-            sinks.push(Arc::new(Mutex::new(self.cfg.telemetry.clone())));
-        }
-        sinks.push(Arc::clone(&self.traces) as SharedSink);
-        sinks.push(Arc::new(Mutex::new(self.mode_tracker.clone())));
-        if let Some(flight) = &self.flight {
-            sinks.push(Arc::clone(flight) as SharedSink);
-        }
-        TelemetryHandle::new(FanoutSink::new(sinks))
-    }
-
-    fn notify(&self) {
-        self.cv.notify_all();
-    }
-
-    fn broadcast(inner: &mut Inner, event: Event) {
-        inner.watchers.retain(|w| w.send(event.clone()).is_ok());
-    }
-}
-
-/// A per-process session nonce for trace ids: wall-clock nanoseconds
-/// folded with the pid, so restarts (and concurrent daemons) mint
-/// distinct id spaces without coordination.
-fn session_nonce() -> u64 {
-    let nanos = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map_or(0, |d| d.as_nanos() as u64);
-    (nanos ^ u64::from(std::process::id()).rotate_left(32)) | 1
-}
-
-/// The dominant work category (argmax of per-category work, ties to
-/// the lowest index) and critical-path span of a DAG — the histogram
-/// label and slowdown denominator fixed at admission.
-fn dominant_cat_span(dag: &JobDag) -> (usize, u64) {
-    let cat = dag
-        .work_by_category()
-        .iter()
-        .enumerate()
-        .max_by_key(|&(i, &w)| (w, std::cmp::Reverse(i)))
-        .map_or(0, |(i, _)| i);
-    (cat, dag.span())
-}
-
-/// A running daemon: its address and its thread handles.
+/// A running daemon: its addresses and its thread handles.
 pub struct Server {
     addr: SocketAddr,
     metrics_addr: Option<SocketAddr>,
-    shared: Arc<Shared>,
+    swarm: Arc<Swarm>,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind the listeners, start the scheduler thread, and return.
+    /// Bind the listeners, start the worker pool and the reactor, and
+    /// return.
     ///
     /// Configuration errors (empty machine, zero quantum, unknown
     /// scenario later at submit time) surface as `InvalidInput`.
     pub fn start(cfg: ServerConfig) -> io::Result<Server> {
-        if cfg.machine.is_empty() || cfg.machine.contains(&0) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "machine needs at least one category with ≥ 1 processor",
-            ));
-        }
-        if cfg.quantum == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "quantum must be at least 1",
-            ));
-        }
-        let (shared, recovered) = Shared::new(cfg.clone())?;
-        let tel = shared.telemetry_fanout();
-        let spans = SpanRecorder::for_registry(shared.metrics.registry());
-
-        let res = Resources::new(cfg.machine.clone());
-        let sim_cfg = SimConfig::default()
-            .with_policy(cfg.policy)
-            .with_seed(cfg.seed)
-            .with_quantum(cfg.quantum)
-            .with_time_policy(cfg.time_policy)
-            .with_telemetry(tel.clone())
-            .with_spans(spans.clone());
-        let mut live = LiveSimulation::new(res, sim_cfg)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-
-        // The scheduler is built here (not in the loop) so a journal
-        // recovery replays through the *same* instance that then keeps
-        // serving — its internal state (RAD marks, RR cursors, RNG) is
-        // part of the determinism argument.
-        let mut scheduler =
-            cfg.scheduler
-                .build_observed(live.resources().k(), cfg.seed, tel, spans.clone());
-
-        match recovered {
-            Some(rec) => {
-                let t0 = Instant::now();
-                journal::validate_meta(&cfg, &rec.image.meta)?;
-                let jobs = journal::replay_session(&mut live, scheduler.as_mut(), &rec.image)?;
-                let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
-                let counts = rec.image.counts();
-                {
-                    let mut g = shared.inner.lock().unwrap();
-                    rebuild_inner(&mut g, &shared.metrics, &rec.image, &jobs, &live);
-                }
-                shared.metrics.recovery_duration_ms.set(recovery_ms);
-                // Compact immediately: a crash-restart loop must not
-                // grow the WAL without bound.
-                if let Some(j) = &shared.journal {
-                    j.snapshot(&rec.image)?;
-                }
-                eprintln!(
-                    "kserve: recovered session from journal ({} jobs: {} done, {} running, \
-                     {} queued, {} cancelled; clock {}; {} WAL records{}), replay verified \
-                     in {recovery_ms:.1} ms",
-                    rec.image.jobs.len(),
-                    counts.3,
-                    counts.1,
-                    counts.0,
-                    counts.2,
-                    rec.image.clock,
-                    rec.wal_records,
-                    if rec.dropped_bytes > 0 {
-                        format!(", {} torn bytes truncated", rec.dropped_bytes)
-                    } else {
-                        String::new()
-                    },
-                );
-            }
-            None => {
-                if let Some(j) = &shared.journal {
-                    j.log_open(&journal::session_meta(&cfg))?;
-                }
-            }
-        }
+        let swarm = Swarm::new(cfg.clone())?;
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -451,115 +184,53 @@ impl Server {
 
         let mut threads = Vec::new();
 
-        let sched_shared = Arc::clone(&shared);
-        let sched_addr = addr;
-        let sched_metrics_addr = metrics_addr;
-        let unix_path = cfg.unix_path.clone();
+        for sh in 0..swarm.shards.len() {
+            let worker_swarm = Arc::clone(&swarm);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("kswarm-worker-{sh}"))
+                    .spawn(move || shard::worker_loop(&worker_swarm, sh))?,
+            );
+        }
+
+        let (waker, wake_rx) = reactor::waker_pair()?;
+        swarm.set_waker(waker);
+        let mut listeners = vec![Listener::Tcp(listener)];
+        #[cfg(unix)]
+        if let Some(l) = unix_listener {
+            listeners.push(Listener::Unix(l));
+        }
+        let reactor_swarm = Arc::clone(&swarm);
         threads.push(
             thread::Builder::new()
-                .name("kserve-sched".into())
+                .name("kserve-reactor".into())
                 .spawn(move || {
-                    // Dump the flight recorder even if the quantum loop
-                    // panics, so the tail of the event stream survives
-                    // for post-mortem replay.
-                    let _guard = FlightDumpGuard {
-                        flight: sched_shared.flight.clone(),
-                        path: sched_shared.cfg.flight_dump.clone(),
-                    };
-                    scheduler_loop(live, &sched_shared, scheduler, spans);
-                    // Unblock the accept loops so the process can exit.
-                    sched_shared.stop.store(true, Ordering::SeqCst);
-                    let _ = TcpStream::connect(sched_addr);
-                    if let Some(maddr) = sched_metrics_addr {
-                        let _ = TcpStream::connect(maddr);
-                    }
-                    #[cfg(unix)]
-                    if let Some(path) = &unix_path {
-                        let _ = std::os::unix::net::UnixStream::connect(path);
-                    }
-                    #[cfg(not(unix))]
-                    let _ = unix_path;
+                    reactor::reactor_loop(&reactor_swarm, listeners, wake_rx, metrics_addr)
                 })?,
         );
 
         if let Some(metrics_listener) = metrics_listener {
-            let scrape_shared = Arc::clone(&shared);
+            let scrape_swarm = Arc::clone(&swarm);
             threads.push(thread::Builder::new().name("kserve-metrics".into()).spawn(
                 move || {
                     for stream in metrics_listener.incoming() {
-                        if scrape_shared.stop.load(Ordering::SeqCst) {
+                        if scrape_swarm.stop.load(Ordering::SeqCst) {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
-                        let conn_shared = Arc::clone(&scrape_shared);
+                        let conn_swarm = Arc::clone(&scrape_swarm);
                         let _ = thread::Builder::new()
                             .name("kserve-scrape".into())
-                            .spawn(move || serve_scrape(stream, &conn_shared));
+                            .spawn(move || serve_scrape(stream, &conn_swarm));
                     }
                 },
             )?);
         }
 
-        let tcp_shared = Arc::clone(&shared);
-        threads.push(
-            thread::Builder::new()
-                .name("kserve-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if tcp_shared.stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        let conn_shared = Arc::clone(&tcp_shared);
-                        let _ =
-                            thread::Builder::new()
-                                .name("kserve-conn".into())
-                                .spawn(move || {
-                                    if let Ok(writer) = stream.try_clone() {
-                                        handle_connection(
-                                            BufReader::new(stream),
-                                            writer,
-                                            &conn_shared,
-                                        );
-                                    }
-                                });
-                    }
-                })?,
-        );
-
-        #[cfg(unix)]
-        if let Some(unix_listener) = unix_listener {
-            let unix_shared = Arc::clone(&shared);
-            threads.push(
-                thread::Builder::new()
-                    .name("kserve-accept-unix".into())
-                    .spawn(move || {
-                        for stream in unix_listener.incoming() {
-                            if unix_shared.stop.load(Ordering::SeqCst) {
-                                break;
-                            }
-                            let Ok(stream) = stream else { continue };
-                            let conn_shared = Arc::clone(&unix_shared);
-                            let _ = thread::Builder::new().name("kserve-conn".into()).spawn(
-                                move || {
-                                    if let Ok(writer) = stream.try_clone() {
-                                        handle_connection(
-                                            BufReader::new(stream),
-                                            writer,
-                                            &conn_shared,
-                                        );
-                                    }
-                                },
-                            );
-                        }
-                    })?,
-            );
-        }
-
         Ok(Server {
             addr,
             metrics_addr,
-            shared,
+            swarm,
             threads,
         })
     }
@@ -580,414 +251,50 @@ impl Server {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
-        // Drained replies are written by detached connection threads;
+        // Final (drained/closed) replies are flushed by the reactor;
         // give every pending one a bounded window to reach its socket
-        // before the caller is free to exit the process (which would
-        // sever the connections mid-reply).
+        // before the caller is free to exit the process. The ledger
+        // aggregates across *all* sessions, so a slow-draining session
+        // cannot cause another session's final replies to be dropped.
         let deadline = Instant::now() + Duration::from_secs(5);
-        let mut g = self.shared.inner.lock().unwrap();
-        while g.drain_acks > 0 && Instant::now() < deadline {
+        let mut acks = self.swarm.acks.lock().unwrap();
+        while *acks > 0 && Instant::now() < deadline {
             let (back, _) = self
-                .shared
-                .cv
-                .wait_timeout(g, Duration::from_millis(50))
+                .swarm
+                .acks_cv
+                .wait_timeout(acks, Duration::from_millis(50))
                 .unwrap();
-            g = back;
+            acks = back;
         }
-        drop(g);
+        drop(acks);
         #[cfg(unix)]
-        if let Some(path) = &self.shared.cfg.unix_path {
+        if let Some(path) = &self.swarm.cfg.unix_path {
             let _ = std::fs::remove_file(path);
         }
     }
 }
 
-/// The quantum loop: inject admitted jobs, advance one quantum,
-/// publish completions; park on the condvar when there is nothing to
-/// do (wall-clock idle consumes no virtual time).
-fn scheduler_loop(
-    mut live: LiveSimulation,
-    shared: &Shared,
-    mut scheduler: Box<dyn Scheduler + Send>,
-    spans: SpanRecorder,
-) {
-    let cfg = &shared.cfg;
-    let mut done_buf: Vec<usize> = Vec::new();
-    let mut desires_buf: Vec<u64> = Vec::new();
-    loop {
-        // Admit, or park until there is work.
-        {
-            let mut g = shared.inner.lock().unwrap();
-            loop {
-                inject_queued(&mut live, &mut g, shared);
-                if live.has_work() {
-                    break;
-                }
-                if g.draining {
-                    finalize_drain(&live, &mut g, shared);
-                    shared.notify();
-                    return;
-                }
-                g = shared.cv.wait(g).unwrap();
-            }
-        }
-
-        // One quantum of engine work, unlocked. `run_until` follows
-        // the configured [`TimePolicy`]: under the event-driven clock
-        // the whole quantum is usually a handful of batched segments.
-        let start = Instant::now();
-        let quantum_span = spans.start();
-        done_buf.clear();
-        let target = live.now() + cfg.quantum.max(1);
-        if live.has_work() {
-            let report = live.run_until(target, scheduler.as_mut());
-            done_buf.extend(report.completed_jobs());
-        }
-        spans.finish(SpanKind::Quantum, quantum_span);
-        let latency_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-
-        // Refresh the scrapeable gauges (atomic handles — no lock).
-        live.desire_totals_into(&mut desires_buf);
-        shared.metrics.update_per_category(
-            &cfg.machine,
-            &desires_buf,
-            live.last_allotted(),
-            live.executed_by_category(),
-            live.allotted_by_category(),
-            live.now(),
-        );
-        shared
-            .metrics
-            .active_jobs
-            .set_u64(live.active_jobs() as u64);
-        shared.metrics.virtual_time.set_u64(live.now());
-        shared.metrics.busy_steps.set_u64(live.busy_steps());
-        shared.metrics.idle_steps.set_u64(live.idle_steps());
-        shared.metrics.refresh_uptime();
-        shared.mode_tracker.refresh();
-
-        // Publish.
-        {
-            let mut g = shared.inner.lock().unwrap();
-            g.quanta.incr();
-            g.quantum_latency_us.record(latency_us);
-            g.now = live.now();
-            g.active = live.active_jobs() as u64;
-            g.busy_steps = live.busy_steps();
-            g.idle_steps = live.idle_steps();
-            shared
-                .metrics
-                .update_bounds(&cfg.machine, &g.work_by_cat, g.span_release_max);
-            let done_jobs: Vec<(u64, Time)> = done_buf
-                .iter()
-                .map(|&engine_idx| {
-                    let completion = live
-                        .completion(engine_idx)
-                        .expect("just-completed job has a completion time");
-                    (g.engine_to_id[engine_idx], completion)
-                })
-                .collect();
-            // Commit the quantum (and any injections buffered at its
-            // start) before a single completion is broadcast: a
-            // `kill -9` after this point replays to the same state.
-            let mut snapshot_due = false;
-            if let Some(j) = &shared.journal {
-                snapshot_due = j
-                    .log_quantum(live.now(), live.busy_steps(), live.idle_steps(), &done_jobs)
-                    .expect("journal commit failed; cannot acknowledge unjournaled completions");
-            }
-            let complete_ns = shared.elapsed_ns();
-            for (&engine_idx, &(id, completion)) in done_buf.iter().zip(&done_jobs) {
-                let release = match g.slots[id as usize] {
-                    Slot::Running { release } => release,
-                    _ => unreachable!("completed job must be running"),
-                };
-                g.slots[id as usize] = Slot::Done {
-                    release,
-                    completion,
-                };
-                g.completions[engine_idx] = completion;
-                g.completed_log.push((id, completion));
-                g.inflight -= 1;
-                g.completed.incr();
-                g.stamps[id as usize].complete_ns = Some(complete_ns);
-                let (cat, span) = g.cat_span[id as usize];
-                shared
-                    .metrics
-                    .record_completion(cat, completion - release, span);
-                Shared::broadcast(
-                    &mut g,
-                    Event::JobDone {
-                        job: id,
-                        release,
-                        completion,
-                        response: completion - release,
-                        trace_id: shared.trace_id(id),
-                    },
-                );
-            }
-            // SLO check, edge-triggered on the running mean response
-            // crossing `slo_factor ×` the live Theorem-3 bound. The
-            // alert annotates the flight ring only — it is a service
-            // observation, not an engine event, so deterministic
-            // replay stays byte-for-byte comparable.
-            if cfg.slo_factor > 0.0 && !done_buf.is_empty() {
-                let mean = shared.metrics.response_all.mean();
-                let threshold = cfg.slo_factor * shared.metrics.bound_theorem3.get();
-                if threshold > 0.0 && mean > threshold {
-                    if !g.slo_breached {
-                        g.slo_breached = true;
-                        shared.metrics.slo_breaches.incr();
-                        if let Some(flight) = &shared.flight {
-                            if let Ok(mut ring) = flight.lock() {
-                                ring.record(TelemetryEvent::SloAlert {
-                                    t: live.now(),
-                                    mean_response_milli: (mean * 1e3) as u64,
-                                    threshold_milli: (threshold * 1e3) as u64,
-                                });
-                            }
-                        }
-                    }
-                } else {
-                    g.slo_breached = false;
-                }
-            }
-            if snapshot_due {
-                if let Some(j) = &shared.journal {
-                    if let Err(e) = j.snapshot(&session_image(cfg, &g)) {
-                        // The WAL is still intact — degraded, not fatal.
-                        eprintln!("kserve: journal snapshot failed: {e}");
-                    }
-                }
-            }
-            if !done_buf.is_empty() {
-                shared.notify();
-            }
-        }
-
-        if cfg.tick > Duration::ZERO {
-            let draining = shared.inner.lock().unwrap().draining;
-            if !draining {
-                thread::sleep(cfg.tick);
-            }
-        }
+/// Render one scrape: refresh the wall-clock and lock-guarded gauges
+/// for every session, then encode the shared registry in Prometheus
+/// text exposition format. Default-session series are unlabeled
+/// (byte-compatible with the single-tenant scrape); named sessions
+/// carry `session="…"` labels in the same families.
+pub(crate) fn render_scrape(swarm: &Swarm) -> String {
+    for s in swarm.all_sessions() {
+        s.metrics.refresh_uptime();
+        s.mode_tracker.refresh();
+        let g = s.inner.lock().unwrap();
+        s.metrics.queue_depth.set_u64(g.queue.len() as u64);
+        s.metrics.draining.set_u64(u64::from(g.draining));
     }
-}
-
-/// Move every queued job into the engine with `release = now()`.
-/// Injection records are buffered into the journal (not yet
-/// committed): they ride the quantum's group commit, and nothing
-/// observable depends on them until that commit lands.
-fn inject_queued(live: &mut LiveSimulation, g: &mut Inner, shared: &Shared) {
-    let journal = shared.journal.as_ref();
-    while let Some(id) = g.queue.pop_front() {
-        let dag = match &g.slots[id as usize] {
-            Slot::Queued(dag) => Arc::clone(dag),
-            Slot::Cancelled => continue,
-            _ => unreachable!("queued id must be queued or cancelled"),
-        };
-        let release = live.now();
-        g.stamps[id as usize].inject_ns = Some(shared.elapsed_ns());
-        let spec = JobSpec {
-            dag: Arc::clone(&dag),
-            release,
-        };
-        let engine_idx = live
-            .inject(spec)
-            .expect("admission validated the DAG and release = now() is never in the past");
-        debug_assert_eq!(engine_idx, g.engine_to_id.len());
-        if let Some(j) = journal {
-            j.note_injected(id, release);
-        }
-        for (cat, &w) in g.work_by_cat.iter_mut().zip(dag.work_by_category()) {
-            *cat += w;
-        }
-        g.span_release_max = g.span_release_max.max(dag.span() + release);
-        g.engine_to_id.push(id);
-        g.trace_jobs.push(TraceJob {
-            dag: g.dag_specs[id as usize].clone(),
-            release,
-        });
-        g.completions.push(0);
-        g.slots[id as usize] = Slot::Running { release };
-    }
-}
-
-/// The journal's view of the current session, built from the job
-/// table under the `Inner` lock (the mirrored scalars were refreshed
-/// by the same quantum that triggered the snapshot).
-fn session_image(cfg: &ServerConfig, g: &Inner) -> SessionImage {
-    let mut image = SessionImage::new(journal::session_meta(cfg));
-    image.clock = g.now;
-    image.busy = g.busy_steps;
-    image.idle = g.idle_steps;
-    image.completed = g.completed_log.clone();
-    image.jobs = g
-        .slots
-        .iter()
-        .enumerate()
-        .map(|(id, slot)| JobImage {
-            id: id as u64,
-            dag: g.dag_specs[id].clone(),
-            phase: match slot {
-                Slot::Queued(_) => JobPhase::Queued,
-                Slot::Cancelled => JobPhase::Cancelled,
-                Slot::Running { release } | Slot::Done { release, .. } => {
-                    JobPhase::Injected { release: *release }
-                }
-            },
-        })
-        .collect();
-    image
-}
-
-/// Seed the job table from a verified recovery: the inverse of
-/// [`session_image`], plus the engine-side vectors (`engine_to_id`,
-/// trace, Theorem 3 accumulators) that replay re-derives.
-fn rebuild_inner(
-    g: &mut Inner,
-    metrics: &ServiceMetrics,
-    image: &SessionImage,
-    jobs: &[journal::RecoveredJob],
-    live: &LiveSimulation,
-) {
-    let mut done = 0u64;
-    let mut cancelled = 0u64;
-    for job in jobs {
-        g.dag_specs.push(image.jobs[job.id as usize].dag.clone());
-        // Wall-clock stamps do not survive a restart (the monotonic
-        // epoch is new); slowdown accounting re-derives its inputs.
-        g.stamps.push(TraceStamps::default());
-        g.cat_span.push(dominant_cat_span(&job.dag));
-        match job.phase {
-            JobPhase::Queued => {
-                g.slots.push(Slot::Queued(Arc::clone(&job.dag)));
-                g.queue.push_back(job.id);
-                g.inflight += 1;
-            }
-            JobPhase::Cancelled => {
-                g.slots.push(Slot::Cancelled);
-                cancelled += 1;
-            }
-            JobPhase::Injected { release } => {
-                g.engine_to_id.push(job.id);
-                g.trace_jobs.push(TraceJob {
-                    dag: image.jobs[job.id as usize].dag.clone(),
-                    release,
-                });
-                g.completions.push(job.completion.unwrap_or(0));
-                for (cat, &w) in g.work_by_cat.iter_mut().zip(job.dag.work_by_category()) {
-                    *cat += w;
-                }
-                g.span_release_max = g.span_release_max.max(job.dag.span() + release);
-                match job.completion {
-                    Some(completion) => {
-                        g.slots.push(Slot::Done {
-                            release,
-                            completion,
-                        });
-                        done += 1;
-                    }
-                    None => {
-                        g.slots.push(Slot::Running { release });
-                        g.inflight += 1;
-                    }
-                }
-            }
-        }
-    }
-    g.completed_log = image.completed.clone();
-    g.now = live.now();
-    g.active = live.active_jobs() as u64;
-    g.busy_steps = live.busy_steps();
-    g.idle_steps = live.idle_steps();
-    g.admitted.add(jobs.len() as u64);
-    g.completed.add(done);
-    g.cancelled.add(cancelled);
-    metrics.virtual_time.set_u64(live.now());
-    metrics.busy_steps.set_u64(live.busy_steps());
-    metrics.idle_steps.set_u64(live.idle_steps());
-    metrics.active_jobs.set_u64(live.active_jobs() as u64);
-}
-
-/// Seal the session: build the canonical trace, dump the flight
-/// recorder, and mark drained.
-fn finalize_drain(live: &LiveSimulation, g: &mut Inner, shared: &Shared) {
-    let cfg = &shared.cfg;
-    g.now = live.now();
-    g.active = 0;
-    g.busy_steps = live.busy_steps();
-    g.idle_steps = live.idle_steps();
-    shared.metrics.active_jobs.set_u64(0);
-    shared.metrics.virtual_time.set_u64(live.now());
-    shared.metrics.busy_steps.set_u64(live.busy_steps());
-    shared.metrics.idle_steps.set_u64(live.idle_steps());
-    dump_flight(shared.flight.as_ref(), cfg.flight_dump.as_deref());
-    // Seal the journal: one final snapshot (fsync'd regardless of
-    // policy) so the directory holds the complete session compactly.
-    if let Some(j) = &shared.journal {
-        if let Err(e) = j.snapshot(&session_image(cfg, g)).and_then(|()| j.sync()) {
-            eprintln!("kserve: journal drain snapshot failed: {e}");
-        }
-    }
-    g.trace = Some(SessionTrace {
-        machine: cfg.machine.clone(),
-        scheduler: cfg.scheduler,
-        policy: cfg.policy,
-        quantum: cfg.quantum,
-        seed: cfg.seed,
-        jobs: std::mem::take(&mut g.trace_jobs),
-        completions: g.completions.clone(),
-    });
-    g.drained = true;
-    let mut watchers = std::mem::take(&mut g.watchers);
-    watchers.retain(|w| w.send(Event::WatchEnd).is_ok());
-}
-
-/// Write the flight recorder's contents (oldest first) to `path` as
-/// JSONL. A no-op unless both the recorder and the path are configured.
-fn dump_flight(flight: Option<&Arc<Mutex<FlightRecorder>>>, path: Option<&Path>) {
-    let (Some(flight), Some(path)) = (flight, path) else {
-        return;
-    };
-    if let Ok(recorder) = flight.lock() {
-        let _ = std::fs::write(path, recorder.to_jsonl());
-    }
-}
-
-/// Dumps the flight recorder from `Drop` when the scheduler thread
-/// panics, so the last events before the crash survive on disk.
-struct FlightDumpGuard {
-    flight: Option<Arc<Mutex<FlightRecorder>>>,
-    path: Option<PathBuf>,
-}
-
-impl Drop for FlightDumpGuard {
-    fn drop(&mut self) {
-        if thread::panicking() {
-            dump_flight(self.flight.as_ref(), self.path.as_deref());
-        }
-    }
-}
-
-/// Render one scrape: refresh the wall-clock and lock-guarded gauges,
-/// then encode the registry in Prometheus text exposition format.
-fn render_scrape(shared: &Shared) -> String {
-    shared.metrics.refresh_uptime();
-    shared.mode_tracker.refresh();
-    {
-        let g = shared.inner.lock().unwrap();
-        shared.metrics.queue_depth.set_u64(g.queue.len() as u64);
-        shared.metrics.draining.set_u64(u64::from(g.draining));
-    }
-    shared.metrics.registry().render()
+    swarm.registry.render()
 }
 
 /// Serve one plain-HTTP scrape connection: read the request head,
 /// answer `GET /metrics` (or `/`) with the text exposition, `HEAD`
 /// with the headers alone, any other method with 405, unknown paths
 /// with 404, and close.
-fn serve_scrape(stream: TcpStream, shared: &Arc<Shared>) {
+fn serve_scrape(stream: TcpStream, swarm: &Arc<Swarm>) {
     let Ok(reader_stream) = stream.try_clone() else {
         return;
     };
@@ -1011,7 +318,7 @@ fn serve_scrape(stream: TcpStream, shared: &Arc<Shared>) {
     let path = parts.next().unwrap_or("");
     let mut writer = stream;
     let (status, body, allow) = match (method, path == "/metrics" || path == "/") {
-        ("GET" | "HEAD", true) => ("200 OK", render_scrape(shared), false),
+        ("GET" | "HEAD", true) => ("200 OK", render_scrape(swarm), false),
         ("GET" | "HEAD", false) => ("404 Not Found", "not found\n".to_string(), false),
         _ => (
             "405 Method Not Allowed",
@@ -1031,85 +338,122 @@ fn serve_scrape(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = writer.flush();
 }
 
-/// Admission: validate, then accept into the bounded queue or reject
-/// with explicit backpressure.
-fn admit(shared: &Shared, dags: Vec<JobDag>, watch: bool) -> (Response, Option<WatchSession>) {
-    let cfg = &shared.cfg;
+/// A registered completion-event subscription for one submission.
+pub(crate) struct WatchState {
+    pub(crate) rx: mpsc::Receiver<Event>,
+    pub(crate) remaining: Vec<u64>,
+    session: Arc<Session>,
+}
+
+impl WatchState {
+    /// Resolve every still-unreported job from the session's final job
+    /// table (used when a drain seals the session under a live watch).
+    pub(crate) fn resolve_stragglers(&self) -> Vec<Event> {
+        let g = self.session.inner.lock().unwrap();
+        self.remaining
+            .iter()
+            .map(|&id| match &g.slots[id as usize] {
+                Slot::Done {
+                    release,
+                    completion,
+                } => Event::JobDone {
+                    job: id,
+                    release: *release,
+                    completion: *completion,
+                    response: *completion - *release,
+                    trace_id: self.session.trace_id(id),
+                },
+                _ => Event::JobCancelled { job: id },
+            })
+            .collect()
+    }
+}
+
+/// Which sessions a pending drain/close reply is waiting on.
+pub(crate) enum DrainKind {
+    /// Daemon-wide drain: every session must seal; the reply carries
+    /// the default session's report (v4 byte compatibility) and the
+    /// whole daemon stops afterwards.
+    Global,
+    /// Drain one session; the daemon keeps running and the session
+    /// stays registered (its journal survives).
+    Session(Arc<Session>),
+    /// Close one session: drain it, then remove it from the registry
+    /// and delete its journal directory.
+    Close(Arc<Session>),
+}
+
+/// What one dispatched request line produces.
+pub(crate) enum Outcome {
+    /// An immediate reply.
+    Reply(Response),
+    /// An immediate reply followed by a completion-event stream.
+    ReplyWatch(Response, WatchState),
+    /// A deferred drain/close reply (sent once the targeted sessions
+    /// report drained). The swarm's ack ledger has already adopted it.
+    Drain(DrainKind),
+}
+
+/// Admission: validate, then accept into the session's bounded queue
+/// or reject with explicit backpressure.
+fn admit(session: &Arc<Session>, swarm: &Swarm, dags: Vec<JobDag>, watch: bool) -> Outcome {
+    let cfg = &session.cfg;
     let k = cfg.machine.len();
     // ktrace: the submit stamp is taken before validation or locking —
     // it marks when the request came off the wire.
-    let submit_ns = shared.elapsed_ns();
+    let submit_ns = session.elapsed_ns();
     for (i, dag) in dags.iter().enumerate() {
         if dag.k() != k {
-            return (
-                Response::Error {
-                    message: format!(
-                        "job {i}: DAG has {} categories but machine has {k}",
-                        dag.k()
-                    ),
-                },
-                None,
-            );
+            return Outcome::Reply(Response::Error {
+                message: format!(
+                    "job {i}: DAG has {} categories but machine has {k}",
+                    dag.k()
+                ),
+            });
         }
     }
     let n = dags.len();
-    let mut g = shared.inner.lock().unwrap();
-    if g.draining {
+    let mut g = session.inner.lock().unwrap();
+    let reject = |g: &mut registry::Inner, reason: &str| {
         g.rejections.add(n as u64);
         let depth = g.queue.len() as u64;
-        return (
-            Response::Rejected {
-                reason: "draining".to_string(),
-                queue_depth: depth,
-                capacity: cfg.queue_capacity as u64,
-            },
-            None,
-        );
+        Outcome::Reply(Response::Rejected {
+            reason: reason.to_string(),
+            queue_depth: depth,
+            capacity: cfg.queue_capacity as u64,
+        })
+    };
+    if g.draining {
+        return reject(&mut g, "draining");
+    }
+    // The rate limit is checked before any capacity is consumed, so a
+    // throttled burst leaves the queue untouched.
+    if !g.quota.try_take(n as u64) {
+        return reject(&mut g, "rate limited");
     }
     if g.queue.len() + n > cfg.queue_capacity {
-        g.rejections.add(n as u64);
-        let depth = g.queue.len() as u64;
-        return (
-            Response::Rejected {
-                reason: "queue full".to_string(),
-                queue_depth: depth,
-                capacity: cfg.queue_capacity as u64,
-            },
-            None,
-        );
+        return reject(&mut g, "queue full");
     }
     if g.inflight + n > cfg.max_inflight {
-        g.rejections.add(n as u64);
-        let depth = g.queue.len() as u64;
-        return (
-            Response::Rejected {
-                reason: "too many jobs in flight".to_string(),
-                queue_depth: depth,
-                capacity: cfg.queue_capacity as u64,
-            },
-            None,
-        );
+        return reject(&mut g, "too many jobs in flight");
     }
     // Write-ahead: the admission must be durable before anything is
     // mutated or acknowledged. On a journal error nothing changed, so
     // the client sees an error and can retry safely.
     let specs: Vec<DagSpec> = dags.iter().map(DagSpec::from_dag).collect();
-    if let Some(j) = &shared.journal {
+    if let Some(j) = &session.journal {
         let base = g.slots.len() as u64;
         if let Err(e) = j.log_admitted(base, &specs) {
-            return (
-                Response::Error {
-                    message: format!("journal write failed, submission not accepted: {e}"),
-                },
-                None,
-            );
+            return Outcome::Reply(Response::Error {
+                message: format!("journal write failed, submission not accepted: {e}"),
+            });
         }
     }
-    let admit_ns = shared.elapsed_ns();
+    let admit_ns = session.elapsed_ns();
     let mut ids = Vec::with_capacity(n);
     for (dag, spec) in dags.into_iter().zip(specs) {
         let id = g.slots.len() as u64;
-        g.cat_span.push(dominant_cat_span(&dag));
+        g.cat_span.push(registry::dominant_cat_span(&dag));
         g.stamps.push(TraceStamps {
             submit_ns: Some(submit_ns),
             admit_ns: Some(admit_ns),
@@ -1127,30 +471,27 @@ fn admit(shared: &Shared, dags: Vec<JobDag>, watch: bool) -> (Response, Option<W
     g.max_queue_depth = g.max_queue_depth.max(depth);
     // Register the watcher under the same lock so no completion can
     // slip between the ack and the subscription.
-    let watch_session = watch.then(|| {
+    let watch_state = watch.then(|| {
         let (tx, rx) = mpsc::channel();
         g.watchers.push(tx);
-        WatchSession {
+        WatchState {
             rx,
             remaining: ids.clone(),
+            session: Arc::clone(session),
         }
     });
     drop(g);
-    shared.notify();
-    let trace_ids = ids.iter().map(|&id| shared.trace_id(id)).collect();
-    (
-        Response::Submitted {
-            jobs: ids,
-            trace_ids,
-        },
-        watch_session,
-    )
-}
-
-/// A registered completion-event subscription for one submission.
-struct WatchSession {
-    rx: mpsc::Receiver<Event>,
-    remaining: Vec<u64>,
+    session.notify();
+    swarm.shards[session.shard].wake();
+    let trace_ids = ids.iter().map(|&id| session.trace_id(id)).collect();
+    let response = Response::Submitted {
+        jobs: ids,
+        trace_ids,
+    };
+    match watch_state {
+        Some(w) => Outcome::ReplyWatch(response, w),
+        None => Outcome::Reply(response),
+    }
 }
 
 /// Expand a scenario reference into its DAGs (releases are assigned by
@@ -1174,7 +515,7 @@ fn expand_scenario(sc: &ScenarioRef, k: usize) -> Result<Vec<JobDag>, String> {
     Ok(jobs)
 }
 
-fn status_reply(g: &Inner) -> StatusReply {
+fn status_reply(g: &registry::Inner) -> StatusReply {
     StatusReply {
         now: g.now,
         queued: g.queue.len() as u64,
@@ -1217,18 +558,18 @@ fn status_reply(g: &Inner) -> StatusReply {
     }
 }
 
-fn stats_reply(g: &Inner, shared: &Shared) -> StatsReply {
+fn stats_reply(g: &registry::Inner, session: &Session, sessions: u64) -> StatsReply {
     let latency = g.quantum_latency_us.snapshot();
-    let response = shared.metrics.response_all.snapshot();
-    let slowdown = shared.metrics.slowdown_all.snapshot();
-    let health = shared
+    let response = session.metrics.response_all.snapshot();
+    let slowdown = session.metrics.slowdown_all.snapshot();
+    let health = session
         .journal
         .as_ref()
         .map(SessionJournal::health)
         .unwrap_or_default();
     // Span family handles are shared by label, so re-attaching to the
     // registry reads the same histograms the quantum loop records into.
-    let spans = SpanRecorder::for_registry(shared.metrics.registry());
+    let spans = SpanRecorder::for_registry(session.metrics.registry());
     StatsReply {
         admitted: g.admitted.get(),
         rejected: g.rejections.get(),
@@ -1244,47 +585,49 @@ fn stats_reply(g: &Inner, shared: &Shared) -> StatsReply {
         quantum_latency_p50_us: latency.quantile(0.50),
         quantum_latency_p95_us: latency.quantile(0.95),
         quantum_latency_p99_us: latency.quantile(0.99),
-        uptime_secs: shared.metrics.uptime_secs(),
+        uptime_secs: session.metrics.uptime_secs(),
         phase_ready_mean_us: spans.mean_micros(SpanKind::Ready),
         phase_decide_mean_us: spans.mean_micros(SpanKind::Decide),
         phase_deq_allot_mean_us: spans.mean_micros(SpanKind::DeqAllot),
         phase_rr_cycle_mean_us: spans.mean_micros(SpanKind::RrCycle),
         phase_execute_mean_us: spans.mean_micros(SpanKind::Execute),
-        scheduler: shared.cfg.scheduler.label().to_string(),
+        scheduler: session.cfg.scheduler.label().to_string(),
         version: PROTOCOL_VERSION,
-        time_policy: shared.cfg.time_policy.label().to_string(),
-        durability: durability_label(shared),
+        time_policy: session.cfg.time_policy.label().to_string(),
+        durability: durability_label(session),
         journal_records: health.records,
         journal_bytes: health.bytes,
         journal_fsyncs: health.fsyncs,
         journal_snapshots: health.snapshots,
         journal_tail_records: health.tail_records,
-        last_recovery_ms: shared.metrics.recovery_duration_ms.get(),
-        response_jobs: shared.metrics.response_all.count(),
+        last_recovery_ms: session.metrics.recovery_duration_ms.get(),
+        response_jobs: session.metrics.response_all.count(),
         response_mean_steps: response.mean(),
         response_p99_steps: response.quantile(0.99),
         slowdown_mean_milli: slowdown.mean(),
         slowdown_p99_milli: slowdown.quantile(0.99),
-        response_mean_steps_by_cat: shared
+        response_mean_steps_by_cat: session
             .metrics
             .response_steps
             .iter()
             .map(|h| h.mean())
             .collect(),
-        slowdown_mean_milli_by_cat: shared
+        slowdown_mean_milli_by_cat: session
             .metrics
             .slowdown_milli
             .iter()
             .map(|h| h.mean())
             .collect(),
+        session: session.display_name().to_string(),
+        sessions,
     }
 }
 
 /// Assemble the `trace` reply for one admitted job: lifecycle state
 /// from the job table, engine-time spans from the live
-/// [`TraceAssembler`], wall stamps from the admission/injection/
-/// completion bookkeeping. `None` for ids never admitted.
-fn trace_reply(g: &Inner, shared: &Shared, job: u64) -> Option<TraceReply> {
+/// [`ktelemetry::TraceAssembler`], wall stamps from the admission/
+/// injection/completion bookkeeping. `None` for ids never admitted.
+fn trace_reply(g: &registry::Inner, session: &Session, job: u64) -> Option<TraceReply> {
     let slot = g.slots.get(job as usize)?;
     let state = match slot {
         Slot::Queued(_) => "queued",
@@ -1294,7 +637,7 @@ fn trace_reply(g: &Inner, shared: &Shared, job: u64) -> Option<TraceReply> {
     };
     let mut reply = TraceReply {
         job,
-        trace_id: shared.trace_id(job),
+        trace_id: session.trace_id(job),
         state: state.to_string(),
         ..TraceReply::default()
     };
@@ -1307,7 +650,7 @@ fn trace_reply(g: &Inner, shared: &Shared, job: u64) -> Option<TraceReply> {
     // Engine-side spans exist only once the job was injected; the
     // engine indexes jobs by injection order, not admission id.
     if let Some(engine_idx) = g.engine_to_id.iter().position(|&id| id == job) {
-        if let Ok(assembler) = shared.traces.lock() {
+        if let Ok(assembler) = session.traces.lock() {
             if let Some(trace) = assembler.job(engine_idx as u32) {
                 reply.release = trace.release;
                 reply.activated = trace.activated;
@@ -1322,242 +665,213 @@ fn trace_reply(g: &Inner, shared: &Shared, job: u64) -> Option<TraceReply> {
 }
 
 /// The durability mode clients see: `off`, or `wal:<fsync policy>`.
-fn durability_label(shared: &Shared) -> String {
-    shared
+fn durability_label(session: &Session) -> String {
+    session
         .journal
         .as_ref()
         .map_or_else(|| "off".to_string(), SessionJournal::durability)
 }
 
-/// Serve one connection until EOF.
-fn handle_connection<R: BufRead, W: Write>(mut reader: R, mut writer: W, shared: &Arc<Shared>) {
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let (response, watch_session) = dispatch(trimmed, shared);
-        let is_drain_ack = matches!(response, Response::Drained(_));
-        let written = writeln!(writer, "{}", response.encode()).is_ok() && writer.flush().is_ok();
-        if is_drain_ack {
-            // Whether the write succeeded or the client vanished, the
-            // reply is no longer pending — unblock `Server::join`.
-            let mut g = shared.inner.lock().unwrap();
-            g.drain_acks -= 1;
-            shared.cv.notify_all();
-        }
-        if !written {
-            return;
-        }
-        if let Some(session) = watch_session {
-            if !stream_watch(session, &mut writer, shared) {
-                return;
-            }
-        }
+/// Build a sealed session's final drain report (the session must have
+/// reported `drained`).
+pub(crate) fn drain_reply_for(session: &Session) -> DrainReply {
+    let g = session.inner.lock().unwrap();
+    let trace = g.trace.clone().expect("drained session has a trace");
+    DrainReply {
+        admitted: g.admitted.get(),
+        completed: g.completed.get(),
+        cancelled: g.cancelled.get(),
+        rejected: g.rejections.get(),
+        trace,
     }
 }
 
-/// Forward completion events for one watched submission until every
-/// job is done (or cancelled); returns `false` if the client went away.
-fn stream_watch<W: Write>(session: WatchSession, writer: &mut W, shared: &Arc<Shared>) -> bool {
-    let WatchSession { rx, mut remaining } = session;
-    // Jobs may complete strictly after the ack but before this loop
-    // starts; the channel was registered under the admission lock, so
-    // every such completion is already buffered in `rx`.
-    while !remaining.is_empty() {
-        let event = match rx.recv() {
-            Ok(e) => e,
-            // Scheduler gone (drained): resolve the rest from state.
-            Err(_) => break,
-        };
-        match event {
-            Event::JobDone { job, .. } => {
-                if let Some(pos) = remaining.iter().position(|&id| id == job) {
-                    remaining.swap_remove(pos);
-                    if writeln!(writer, "{}", event.encode()).is_err() {
-                        return false;
-                    }
-                }
-            }
-            Event::JobCancelled { job } => {
-                if let Some(pos) = remaining.iter().position(|&id| id == job) {
-                    remaining.swap_remove(pos);
-                    if writeln!(writer, "{}", event.encode()).is_err() {
-                        return false;
-                    }
-                }
-            }
-            Event::WatchEnd => break,
-        }
+/// Flag one session as draining (idempotent) and wake its shard so the
+/// seal happens even if the session is idle.
+fn begin_drain(session: &Arc<Session>, swarm: &Swarm) {
+    {
+        let mut g = session.inner.lock().unwrap();
+        g.draining = true;
     }
-    // Anything still unresolved (drain raced us) is reported from the
-    // final job table.
-    if !remaining.is_empty() {
-        let g = shared.inner.lock().unwrap();
-        for id in remaining {
-            let event = match &g.slots[id as usize] {
-                Slot::Done {
-                    release,
-                    completion,
-                } => Event::JobDone {
-                    job: id,
-                    release: *release,
-                    completion: *completion,
-                    response: *completion - *release,
-                    trace_id: shared.trace_id(id),
-                },
-                _ => Event::JobCancelled { job: id },
-            };
-            if writeln!(writer, "{}", event.encode()).is_err() {
-                return false;
-            }
-        }
-    }
-    writeln!(writer, "{}", Event::WatchEnd.encode()).is_ok() && writer.flush().is_ok()
+    session.metrics.draining.set_u64(1);
+    session.notify();
+    swarm.shards[session.shard].wake();
 }
 
-/// Decode one request line and produce its reply (plus a watch
-/// subscription for `submit` with `watch: true`).
-fn dispatch(line: &str, shared: &Arc<Shared>) -> (Response, Option<WatchSession>) {
+/// Resolve a request's session name, or produce the uniform error.
+/// The `Err` side is a ready-to-send `Outcome` by design — callers
+/// `?` it straight back to the wire — so its size is fine.
+#[allow(clippy::result_large_err)]
+fn resolve_session(swarm: &Swarm, name: &str) -> Result<Arc<Session>, Outcome> {
+    swarm.resolve(name).ok_or_else(|| {
+        Outcome::Reply(Response::Error {
+            message: format!("unknown session '{name}'"),
+        })
+    })
+}
+
+/// Decode one request line and produce its outcome: an immediate
+/// reply, a reply plus a watch subscription, or a deferred drain.
+pub(crate) fn dispatch(line: &str, swarm: &Arc<Swarm>) -> Outcome {
     let request = match Request::decode(line) {
         Ok(r) => r,
-        Err(message) => return (Response::Error { message }, None),
+        Err(message) => return Outcome::Reply(Response::Error { message }),
     };
     match request {
         Request::Submit {
             jobs,
             scenario,
             watch,
+            session,
         } => {
+            let s = match resolve_session(swarm, &session) {
+                Ok(s) => s,
+                Err(out) => return out,
+            };
             let mut dags = Vec::with_capacity(jobs.len());
             for (i, spec) in jobs.iter().enumerate() {
                 match spec.build() {
                     Ok(dag) => dags.push(dag),
                     Err(e) => {
-                        return (
-                            Response::Error {
-                                message: format!("job {i} has an invalid DAG: {e}"),
-                            },
-                            None,
-                        )
+                        return Outcome::Reply(Response::Error {
+                            message: format!("job {i} has an invalid DAG: {e}"),
+                        })
                     }
                 }
             }
             if let Some(sc) = &scenario {
-                match expand_scenario(sc, shared.cfg.machine.len()) {
+                match expand_scenario(sc, s.cfg.machine.len()) {
                     Ok(mut extra) => dags.append(&mut extra),
-                    Err(message) => return (Response::Error { message }, None),
+                    Err(message) => return Outcome::Reply(Response::Error { message }),
                 }
             }
-            admit(shared, dags, watch)
+            admit(&s, swarm, dags, watch)
         }
         Request::Hello => {
-            let g = shared.inner.lock().unwrap();
-            (
-                Response::Hello(HelloReply {
-                    version: PROTOCOL_VERSION,
-                    scheduler: shared.cfg.scheduler.label().to_string(),
-                    time_policy: shared.cfg.time_policy.label().to_string(),
-                    quantum: shared.cfg.quantum,
-                    now: g.now,
-                    durability: durability_label(shared),
+            let s = swarm
+                .resolve("")
+                .expect("default session always registered");
+            let now = s.inner.lock().unwrap().now;
+            Outcome::Reply(Response::Hello(HelloReply {
+                version: PROTOCOL_VERSION,
+                scheduler: s.cfg.scheduler.label().to_string(),
+                time_policy: s.cfg.time_policy.label().to_string(),
+                quantum: s.cfg.quantum,
+                now,
+                durability: durability_label(&s),
+            }))
+        }
+        Request::Status { session } => {
+            let s = match resolve_session(swarm, &session) {
+                Ok(s) => s,
+                Err(out) => return out,
+            };
+            let g = s.inner.lock().unwrap();
+            Outcome::Reply(Response::Status(status_reply(&g)))
+        }
+        Request::Stats { session } => {
+            let s = match resolve_session(swarm, &session) {
+                Ok(s) => s,
+                Err(out) => return out,
+            };
+            let sessions = swarm.session_count();
+            let g = s.inner.lock().unwrap();
+            Outcome::Reply(Response::Stats(stats_reply(&g, &s, sessions)))
+        }
+        Request::Trace { job, session } => {
+            let s = match resolve_session(swarm, &session) {
+                Ok(s) => s,
+                Err(out) => return out,
+            };
+            let g = s.inner.lock().unwrap();
+            match trace_reply(&g, &s, job) {
+                Some(reply) => Outcome::Reply(Response::Trace(reply)),
+                None => Outcome::Reply(Response::Error {
+                    message: format!("unknown job {job}"),
                 }),
-                None,
-            )
-        }
-        Request::Status => {
-            let g = shared.inner.lock().unwrap();
-            (Response::Status(status_reply(&g)), None)
-        }
-        Request::Stats => {
-            let g = shared.inner.lock().unwrap();
-            (Response::Stats(stats_reply(&g, shared)), None)
-        }
-        Request::Trace { job } => {
-            let g = shared.inner.lock().unwrap();
-            match trace_reply(&g, shared, job) {
-                Some(reply) => (Response::Trace(reply), None),
-                None => (
-                    Response::Error {
-                        message: format!("unknown job {job}"),
-                    },
-                    None,
-                ),
             }
         }
-        Request::Metrics => (
-            Response::Metrics {
-                text: render_scrape(shared),
-            },
-            None,
-        ),
-        Request::Cancel { job } => {
-            let mut g = shared.inner.lock().unwrap();
+        Request::Metrics => Outcome::Reply(Response::Metrics {
+            text: render_scrape(swarm),
+        }),
+        Request::Cancel { job, session } => {
+            let s = match resolve_session(swarm, &session) {
+                Ok(s) => s,
+                Err(out) => return out,
+            };
+            let mut g = s.inner.lock().unwrap();
             match g.slots.get(job as usize) {
                 Some(Slot::Queued(_)) => {
                     // Write-ahead, like admission: durable before the
                     // slot flips or the ack goes out.
-                    if let Some(j) = &shared.journal {
+                    if let Some(j) = &s.journal {
                         if let Err(e) = j.log_cancelled(job) {
-                            return (
-                                Response::Error {
-                                    message: format!(
-                                        "journal write failed, job {job} not cancelled: {e}"
-                                    ),
-                                },
-                                None,
-                            );
+                            return Outcome::Reply(Response::Error {
+                                message: format!(
+                                    "journal write failed, job {job} not cancelled: {e}"
+                                ),
+                            });
                         }
                     }
                     g.slots[job as usize] = Slot::Cancelled;
                     g.queue.retain(|&id| id != job);
                     g.inflight -= 1;
                     g.cancelled.incr();
-                    Shared::broadcast(&mut g, Event::JobCancelled { job });
-                    (Response::Cancelled { job }, None)
+                    Session::broadcast(&mut g, Event::JobCancelled { job });
+                    Outcome::Reply(Response::Cancelled { job })
                 }
-                Some(_) => (
-                    Response::Error {
-                        message: format!("job {job} is not cancellable (already injected)"),
-                    },
-                    None,
-                ),
-                None => (
-                    Response::Error {
-                        message: format!("unknown job {job}"),
-                    },
-                    None,
-                ),
+                Some(_) => Outcome::Reply(Response::Error {
+                    message: format!("job {job} is not cancellable (already injected)"),
+                }),
+                None => Outcome::Reply(Response::Error {
+                    message: format!("unknown job {job}"),
+                }),
             }
         }
-        Request::Drain => {
-            let mut g = shared.inner.lock().unwrap();
-            g.draining = true;
-            // Registered before `drained` can possibly be set, so
-            // `Server::join` (which runs after the scheduler thread
-            // exits) always sees this reply as pending until it is on
-            // the wire — see the ack in `handle_connection`.
-            g.drain_acks += 1;
-            shared.metrics.draining.set_u64(1);
-            shared.cv.notify_all();
-            while !g.drained {
-                g = shared.cv.wait(g).unwrap();
+        Request::Open { session, spec } => match swarm.open(&session, &spec) {
+            Ok((s, existing)) => Outcome::Reply(Response::Opened {
+                session: s.name.clone(),
+                scheduler: s.cfg.scheduler.label().to_string(),
+                time_policy: s.cfg.time_policy.label().to_string(),
+                quantum: s.cfg.quantum,
+                existing,
+            }),
+            Err(message) => Outcome::Reply(Response::Error { message }),
+        },
+        Request::Close { session } => {
+            if session.is_empty() || session == "default" {
+                return Outcome::Reply(Response::Error {
+                    message: "cannot close the default session (use drain)".to_string(),
+                });
             }
-            let trace = g.trace.clone().expect("drained session has a trace");
-            let reply = DrainReply {
-                admitted: g.admitted.get(),
-                completed: g.completed.get(),
-                cancelled: g.cancelled.get(),
-                rejected: g.rejections.get(),
-                trace,
+            let s = match resolve_session(swarm, &session) {
+                Ok(s) => s,
+                Err(out) => return out,
             };
-            (Response::Drained(reply), None)
+            begin_drain(&s, swarm);
+            swarm.adopt_ack();
+            Outcome::Drain(DrainKind::Close(s))
+        }
+        Request::Drain { session } => {
+            if session.is_empty() {
+                // Daemon-wide: refuse new sessions, seal every live
+                // one; the deferred reply carries the default
+                // session's report and then stops the daemon.
+                swarm.global_draining.store(true, Ordering::SeqCst);
+                for s in swarm.all_sessions() {
+                    begin_drain(&s, swarm);
+                }
+                swarm.adopt_ack();
+                Outcome::Drain(DrainKind::Global)
+            } else {
+                let s = match resolve_session(swarm, &session) {
+                    Ok(s) => s,
+                    Err(out) => return out,
+                };
+                begin_drain(&s, swarm);
+                swarm.adopt_ack();
+                Outcome::Drain(DrainKind::Session(s))
+            }
         }
     }
 }
@@ -1565,6 +879,7 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> (Response, Option<WatchSession>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::SessionSpec;
 
     #[test]
     fn rejects_bad_machine() {
@@ -1589,17 +904,23 @@ mod tests {
         assert!(Server::start(cfg).is_err());
     }
 
-    // Dispatch against a bare `Shared` (no scheduler thread): jobs
-    // stay queued forever, which makes the admission, backpressure,
-    // and cancel paths fully deterministic.
-    fn bare_shared(queue_capacity: usize, max_inflight: usize) -> Arc<Shared> {
-        Shared::new(ServerConfig {
+    // Dispatch against a bare `Swarm` (no worker threads): jobs stay
+    // queued forever, which makes the admission, backpressure, and
+    // cancel paths fully deterministic.
+    fn bare_swarm(queue_capacity: usize, max_inflight: usize) -> Arc<Swarm> {
+        Swarm::new(ServerConfig {
             queue_capacity,
             max_inflight,
             ..ServerConfig::default()
         })
         .expect("no journal configured")
-        .0
+    }
+
+    fn reply(outcome: Outcome) -> Response {
+        match outcome {
+            Outcome::Reply(r) | Outcome::ReplyWatch(r, _) => r,
+            Outcome::Drain(_) => panic!("expected an immediate reply, got a deferred drain"),
+        }
     }
 
     fn submit_line(n: usize) -> String {
@@ -1610,17 +931,31 @@ mod tests {
             jobs: vec![dag; n],
             scenario: None,
             watch: false,
+            session: String::new(),
+        }
+        .encode()
+    }
+
+    fn submit_line_to(session: &str, n: usize) -> String {
+        use kdag::generators::fork_join;
+        use kdag::Category;
+        let dag = DagSpec::from_dag(&fork_join(2, &[(Category(0), 2), (Category(1), 1)]));
+        Request::Submit {
+            jobs: vec![dag; n],
+            scenario: None,
+            watch: false,
+            session: session.to_string(),
         }
         .encode()
     }
 
     #[test]
     fn admission_backpressure_is_explicit() {
-        let shared = bare_shared(4, 100);
-        let (r, _) = dispatch(&submit_line(3), &shared);
+        let swarm = bare_swarm(4, 100);
+        let r = reply(dispatch(&submit_line(3), &swarm));
         assert!(matches!(r, Response::Submitted { ref jobs, .. } if jobs == &[0, 1, 2]));
         // 3 queued + 2 > capacity 4 → rejected, queue untouched.
-        let (r, _) = dispatch(&submit_line(2), &shared);
+        let r = reply(dispatch(&submit_line(2), &swarm));
         match r {
             Response::Rejected {
                 reason,
@@ -1633,9 +968,10 @@ mod tests {
             other => panic!("expected rejection, got {other:?}"),
         }
         // A single job still fits.
-        let (r, _) = dispatch(&submit_line(1), &shared);
+        let r = reply(dispatch(&submit_line(1), &swarm));
         assert!(matches!(r, Response::Submitted { ref jobs, .. } if jobs == &[3]));
-        let g = shared.inner.lock().unwrap();
+        let s = swarm.resolve("").unwrap();
+        let g = s.inner.lock().unwrap();
         assert_eq!(g.admitted.get(), 4);
         assert_eq!(g.rejections.get(), 2);
         assert_eq!(g.max_queue_depth, 4);
@@ -1643,27 +979,27 @@ mod tests {
 
     #[test]
     fn inflight_cap_rejects() {
-        let shared = bare_shared(100, 2);
-        let (r, _) = dispatch(&submit_line(2), &shared);
+        let swarm = bare_swarm(100, 2);
+        let r = reply(dispatch(&submit_line(2), &swarm));
         assert!(matches!(r, Response::Submitted { .. }));
-        let (r, _) = dispatch(&submit_line(1), &shared);
+        let r = reply(dispatch(&submit_line(1), &swarm));
         assert!(matches!(r, Response::Rejected { ref reason, .. } if reason.contains("in flight")));
     }
 
     #[test]
     fn cancel_lifecycle() {
-        let shared = bare_shared(10, 10);
-        let (r, _) = dispatch(&submit_line(2), &shared);
+        let swarm = bare_swarm(10, 10);
+        let r = reply(dispatch(&submit_line(2), &swarm));
         assert!(matches!(r, Response::Submitted { .. }));
-        let (r, _) = dispatch(r#"{"cmd":"cancel","job":1}"#, &shared);
+        let r = reply(dispatch(r#"{"cmd":"cancel","job":1}"#, &swarm));
         assert_eq!(r, Response::Cancelled { job: 1 });
         // Cancelling twice is an error; unknown ids too.
-        let (r, _) = dispatch(r#"{"cmd":"cancel","job":1}"#, &shared);
+        let r = reply(dispatch(r#"{"cmd":"cancel","job":1}"#, &swarm));
         assert!(matches!(r, Response::Error { .. }));
-        let (r, _) = dispatch(r#"{"cmd":"cancel","job":9}"#, &shared);
+        let r = reply(dispatch(r#"{"cmd":"cancel","job":9}"#, &swarm));
         assert!(matches!(r, Response::Error { ref message } if message.contains("unknown")));
         // Status reflects the cancellation; the slot frees capacity.
-        let (r, _) = dispatch(r#"{"cmd":"status"}"#, &shared);
+        let r = reply(dispatch(r#"{"cmd":"status"}"#, &swarm));
         match r {
             Response::Status(st) => {
                 assert_eq!(st.queued, 1);
@@ -1671,41 +1007,44 @@ mod tests {
             }
             other => panic!("expected status, got {other:?}"),
         }
-        assert_eq!(shared.inner.lock().unwrap().inflight, 1);
+        let s = swarm.resolve("").unwrap();
+        assert_eq!(s.inner.lock().unwrap().inflight, 1);
     }
 
     #[test]
     fn malformed_lines_and_bad_dags_are_errors() {
-        let shared = bare_shared(10, 10);
-        let (r, _) = dispatch("not json", &shared);
+        let swarm = bare_swarm(10, 10);
+        let r = reply(dispatch("not json", &swarm));
         assert!(matches!(r, Response::Error { .. }));
         // A k-mismatched DAG is refused before admission.
         let line = r#"{"cmd":"submit","jobs":[{"k":3,"categories":[0],"edges":[]}]}"#;
-        let (r, _) = dispatch(line, &shared);
+        let r = reply(dispatch(line, &swarm));
         assert!(matches!(r, Response::Error { ref message } if message.contains("categories")));
         // A cyclic DAG fails validation.
         let line = r#"{"cmd":"submit","jobs":[{"k":2,"categories":[0,1],"edges":[[0,1],[1,0]]}]}"#;
-        let (r, _) = dispatch(line, &shared);
+        let r = reply(dispatch(line, &swarm));
         assert!(matches!(r, Response::Error { ref message } if message.contains("invalid DAG")));
-        assert_eq!(shared.inner.lock().unwrap().admitted.get(), 0);
+        let s = swarm.resolve("").unwrap();
+        assert_eq!(s.inner.lock().unwrap().admitted.get(), 0);
     }
 
     #[test]
     fn trace_verb_reports_lifecycle_and_stamps() {
-        let shared = bare_shared(10, 10);
-        let (r, _) = dispatch(&submit_line(2), &shared);
+        let swarm = bare_swarm(10, 10);
+        let s = swarm.resolve("").unwrap();
+        let r = reply(dispatch(&submit_line(2), &swarm));
         let ids = match r {
             Response::Submitted { jobs, trace_ids } => {
                 assert_eq!(jobs, vec![0, 1]);
                 assert_eq!(trace_ids.len(), 2);
-                assert_eq!(trace_ids[0], shared.trace_id(0));
+                assert_eq!(trace_ids[0], s.trace_id(0));
                 trace_ids
             }
             other => panic!("expected submitted, got {other:?}"),
         };
-        // No scheduler thread: both jobs sit queued, stamped but
-        // without engine-time spans.
-        let (r, _) = dispatch(r#"{"cmd":"trace","job":1}"#, &shared);
+        // No worker thread: both jobs sit queued, stamped but without
+        // engine-time spans.
+        let r = reply(dispatch(r#"{"cmd":"trace","job":1}"#, &swarm));
         match r {
             Response::Trace(t) => {
                 assert_eq!(t.job, 1);
@@ -1719,26 +1058,29 @@ mod tests {
             }
             other => panic!("expected trace, got {other:?}"),
         }
-        let (r, _) = dispatch(r#"{"cmd":"cancel","job":0}"#, &shared);
+        let r = reply(dispatch(r#"{"cmd":"cancel","job":0}"#, &swarm));
         assert!(matches!(r, Response::Cancelled { .. }));
-        let (r, _) = dispatch(r#"{"cmd":"trace","job":0}"#, &shared);
+        let r = reply(dispatch(r#"{"cmd":"trace","job":0}"#, &swarm));
         assert!(matches!(r, Response::Trace(ref t) if t.state == "cancelled"));
-        let (r, _) = dispatch(r#"{"cmd":"trace","job":9}"#, &shared);
+        let r = reply(dispatch(r#"{"cmd":"trace","job":9}"#, &swarm));
         assert!(matches!(r, Response::Error { ref message } if message.contains("unknown")));
     }
 
     #[test]
     fn stats_reply_carries_response_accounting() {
-        let shared = bare_shared(10, 10);
-        shared.metrics.record_completion(1, 12, 4);
-        shared.metrics.record_completion(0, 5, 5);
-        let (r, _) = dispatch(r#"{"cmd":"stats"}"#, &shared);
+        let swarm = bare_swarm(10, 10);
+        let s = swarm.resolve("").unwrap();
+        s.metrics.record_completion(1, 12, 4);
+        s.metrics.record_completion(0, 5, 5);
+        let r = reply(dispatch(r#"{"cmd":"stats"}"#, &swarm));
         match r {
             Response::Stats(st) => {
                 assert_eq!(st.response_jobs, 2);
                 assert!((st.response_mean_steps - 8.5).abs() < 1e-12);
                 assert_eq!(st.response_mean_steps_by_cat.len(), 2);
                 assert!(st.slowdown_mean_milli > 0.0);
+                assert_eq!(st.session, "default");
+                assert_eq!(st.sessions, 1);
             }
             other => panic!("expected stats, got {other:?}"),
         }
@@ -1763,5 +1105,127 @@ mod tests {
         assert!(expand_scenario(&bad, 2)
             .unwrap_err()
             .contains("unknown scenario"));
+    }
+
+    #[test]
+    fn open_routes_sessions_and_isolates_state() {
+        let swarm = bare_swarm(10, 10);
+        // Open a tenant with an overridden scheduler and quantum.
+        let line = r#"{"cmd":"open","session":"tenant-a","scheduler":"equi","quantum":3}"#;
+        let r = reply(dispatch(line, &swarm));
+        match r {
+            Response::Opened {
+                session,
+                scheduler,
+                quantum,
+                existing,
+                ..
+            } => {
+                assert_eq!(session, "tenant-a");
+                assert_eq!(scheduler, "equi");
+                assert_eq!(quantum, 3);
+                assert!(!existing);
+            }
+            other => panic!("expected opened, got {other:?}"),
+        }
+        // Re-open without a conflicting spec: idempotent attach.
+        let r = reply(dispatch(r#"{"cmd":"open","session":"tenant-a"}"#, &swarm));
+        assert!(matches!(r, Response::Opened { existing: true, .. }));
+        // Re-open with a conflicting quantum: refused.
+        let line = r#"{"cmd":"open","session":"tenant-a","quantum":9}"#;
+        let r = reply(dispatch(line, &swarm));
+        assert!(matches!(r, Response::Error { ref message } if message.contains("conflicts")));
+        // Jobs land in their own session's queue, not the default's.
+        let r = reply(dispatch(&submit_line_to("tenant-a", 2), &swarm));
+        assert!(matches!(r, Response::Submitted { ref jobs, .. } if jobs == &[0, 1]));
+        let r = reply(dispatch(r#"{"cmd":"stats","session":"tenant-a"}"#, &swarm));
+        match r {
+            Response::Stats(st) => {
+                assert_eq!(st.admitted, 2);
+                assert_eq!(st.session, "tenant-a");
+                assert_eq!(st.scheduler, "equi");
+                assert_eq!(st.sessions, 2);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        let r = reply(dispatch(r#"{"cmd":"stats"}"#, &swarm));
+        assert!(matches!(r, Response::Stats(ref st) if st.admitted == 0));
+        // Unknown sessions are uniform errors.
+        let r = reply(dispatch(&submit_line_to("nope", 1), &swarm));
+        assert!(
+            matches!(r, Response::Error { ref message } if message.contains("unknown session"))
+        );
+    }
+
+    #[test]
+    fn close_and_drain_are_deferred_outcomes() {
+        let swarm = bare_swarm(10, 10);
+        let r = reply(dispatch(r#"{"cmd":"open","session":"t"}"#, &swarm));
+        assert!(matches!(r, Response::Opened { .. }));
+        // Closing the default session is refused.
+        let r = reply(dispatch(r#"{"cmd":"close","session":"default"}"#, &swarm));
+        assert!(matches!(r, Response::Error { ref message } if message.contains("default")));
+        // Closing a named session defers until it drains.
+        match dispatch(r#"{"cmd":"close","session":"t"}"#, &swarm) {
+            Outcome::Drain(DrainKind::Close(s)) => {
+                assert_eq!(s.name, "t");
+                assert!(s.inner.lock().unwrap().draining);
+            }
+            _ => panic!("expected a deferred close"),
+        }
+        assert_eq!(*swarm.acks.lock().unwrap(), 1);
+        // Submits to a closing session are rejected as draining.
+        let r = reply(dispatch(&submit_line_to("t", 1), &swarm));
+        assert!(matches!(r, Response::Rejected { ref reason, .. } if reason == "draining"));
+        // A global drain flags every session and is also deferred.
+        match dispatch(r#"{"cmd":"drain"}"#, &swarm) {
+            Outcome::Drain(DrainKind::Global) => {}
+            _ => panic!("expected a deferred global drain"),
+        }
+        let s = swarm.resolve("default").unwrap();
+        assert!(s.inner.lock().unwrap().draining);
+        // New opens are refused while the daemon drains.
+        let r = reply(dispatch(r#"{"cmd":"open","session":"late"}"#, &swarm));
+        assert!(matches!(r, Response::Error { ref message } if message.contains("draining")));
+    }
+
+    #[test]
+    fn session_rate_limit_rejects_before_enqueue() {
+        let swarm = bare_swarm(100, 100);
+        let line = r#"{"cmd":"open","session":"throttled","rate_per_sec":0.001,"burst":2}"#;
+        let r = reply(dispatch(line, &swarm));
+        assert!(matches!(r, Response::Opened { .. }));
+        // Burst of 2 admits 2, then the bucket is dry (refill is ~0).
+        let r = reply(dispatch(&submit_line_to("throttled", 2), &swarm));
+        assert!(matches!(r, Response::Submitted { .. }));
+        let r = reply(dispatch(&submit_line_to("throttled", 1), &swarm));
+        match r {
+            Response::Rejected {
+                reason,
+                queue_depth,
+                ..
+            } => {
+                assert_eq!(reason, "rate limited");
+                // The throttled submit consumed no queue capacity.
+                assert_eq!(queue_depth, 2);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // The default session is untouched by the tenant's bucket.
+        let r = reply(dispatch(&submit_line(1), &swarm));
+        assert!(matches!(r, Response::Submitted { .. }));
+    }
+
+    #[test]
+    fn session_names_are_validated() {
+        let swarm = bare_swarm(10, 10);
+        for bad in ["..", "a/b", "", "default", &"x".repeat(65)] {
+            let spec = SessionSpec::default();
+            assert!(
+                swarm.open(bad, &spec).is_err(),
+                "name {bad:?} should be rejected"
+            );
+        }
+        assert!(swarm.open("ok-1.A_b", &SessionSpec::default()).is_ok());
     }
 }

@@ -14,7 +14,7 @@
 use kbaselines::SchedulerKind;
 use kdag::SelectionPolicy;
 use kjournal::FsyncPolicy;
-use kserve::protocol::{Response, ScenarioRef};
+use kserve::protocol::{Request, Response, ScenarioRef, SessionSpec};
 use kserve::server::{Server, ServerConfig};
 use kserve::Client;
 use ksim::TimePolicy;
@@ -223,6 +223,174 @@ fn kill9_recovery_replays_byte_for_byte_unit_clock() {
 #[test]
 fn kill9_recovery_replays_byte_for_byte_event_clock() {
     crash_cycle("event");
+}
+
+/// A named tenant and the default session crash together; the
+/// restart recovers both from `journal_dir/sessions/<name>/` plus the
+/// base journal, with zero acked-job loss and a byte-for-byte replay
+/// on each — multi-tenant durability is per session, not per daemon.
+#[test]
+fn kill9_recovery_restores_named_sessions() {
+    let dir = std::env::temp_dir().join(format!("kserve-crash-named-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal_dir = dir.join("journal");
+    let portfile = dir.join("addr.txt");
+
+    let (mut child, addr) = spawn_child(&journal_dir, &portfile, "event");
+    let mut client = Client::connect(&addr).expect("client connects to child");
+
+    // A tenant with its own scheduler, quantum, and seed: recovery
+    // must rebuild exactly this configuration from the journal meta.
+    let spec = SessionSpec {
+        scheduler: Some("equi".into()),
+        quantum: Some(3),
+        seed: Some(9),
+        ..SessionSpec::default()
+    };
+    match client.open("tenant-a", spec).expect("open runs") {
+        Response::Opened {
+            existing,
+            scheduler,
+            ..
+        } => {
+            assert!(!existing);
+            assert_eq!(scheduler, "equi");
+        }
+        other => panic!("expected opened, got {other:?}"),
+    }
+
+    let mut acked: HashSet<u64> = HashSet::new();
+    for seed in [21, 22] {
+        match client
+            .roundtrip(&Request::Submit {
+                jobs: Vec::new(),
+                scenario: Some(ScenarioRef {
+                    name: "pipeline".into(),
+                    jobs: 8,
+                    seed,
+                }),
+                watch: false,
+                session: "tenant-a".into(),
+            })
+            .expect("tenant submit runs")
+        {
+            Response::Submitted { jobs, .. } => acked.extend(jobs),
+            other => panic!("expected admission, got {other:?}"),
+        }
+    }
+    assert_eq!(acked.len(), 16);
+    // Keep the default session non-empty too: recovery must bring
+    // back every journaled tenant, not just the busiest one.
+    match client
+        .submit_scenario(ScenarioRef {
+            name: "pipeline".into(),
+            jobs: 4,
+            seed: 5,
+        })
+        .expect("default submit runs")
+    {
+        Response::Submitted { jobs, .. } => assert_eq!(jobs.len(), 4),
+        other => panic!("expected admission, got {other:?}"),
+    }
+
+    // Kill once the tenant has committed a quantum with work left.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match client.status_of("tenant-a") {
+            Ok(Response::Status(st)) => {
+                let done = st.jobs.iter().filter(|j| j.completion.is_some()).count();
+                if st.now > 0 && done < acked.len() {
+                    break;
+                }
+                assert!(
+                    done < acked.len(),
+                    "tenant finished before the kill; grow the scenario"
+                );
+            }
+            Ok(other) => panic!("expected status, got {other:?}"),
+            Err(e) => panic!("status poll failed: {e}"),
+        }
+        assert!(
+            Instant::now() < deadline,
+            "tenant never committed a quantum"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL delivered");
+    let _ = child.wait();
+    drop(client);
+
+    // Restart on the same journal tree: the named tenant comes back
+    // without any client re-opening it.
+    let server = Server::start(session_config(
+        TimePolicy::EventDriven,
+        &journal_dir,
+        Duration::ZERO,
+    ))
+    .expect("recovery restart succeeds");
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("client connects after recovery");
+
+    let stats = client.stats_reply_of("tenant-a").expect("tenant stats run");
+    assert_eq!(stats.session, "tenant-a");
+    assert_eq!(stats.scheduler, "equi");
+    assert_eq!(stats.admitted, acked.len() as u64);
+
+    // Re-opening the recovered tenant with the same spec attaches.
+    match client
+        .open(
+            "tenant-a",
+            SessionSpec {
+                scheduler: Some("equi".into()),
+                quantum: Some(3),
+                seed: Some(9),
+                ..SessionSpec::default()
+            },
+        )
+        .expect("re-open runs")
+    {
+        Response::Opened { existing, .. } => assert!(existing, "recovered tenant must attach"),
+        other => panic!("expected attach, got {other:?}"),
+    }
+
+    match client.status_of("tenant-a").expect("tenant status runs") {
+        Response::Status(st) => {
+            let known: HashSet<u64> = st.jobs.iter().map(|j| j.job).collect();
+            for id in &acked {
+                assert!(
+                    known.contains(id),
+                    "acked tenant job {id} lost in the crash"
+                );
+            }
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    // Both sessions drain to byte-for-byte replayable traces.
+    let tenant = match client.drain_session("tenant-a").expect("tenant drain runs") {
+        Response::Drained(d) => d,
+        other => panic!("expected drained, got {other:?}"),
+    };
+    assert_eq!(tenant.admitted, acked.len() as u64);
+    assert_eq!(tenant.completed, tenant.admitted);
+    assert_eq!(tenant.trace.scheduler, SchedulerKind::Equi);
+    assert_eq!(tenant.trace.quantum, 3);
+    tenant
+        .trace
+        .verify()
+        .expect("recovered tenant trace replays byte-for-byte");
+
+    let base = match client.drain().expect("global drain runs") {
+        Response::Drained(d) => d,
+        other => panic!("expected drained, got {other:?}"),
+    };
+    assert_eq!(base.admitted, 4);
+    base.trace
+        .verify()
+        .expect("recovered default trace replays byte-for-byte");
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// In-process (no kill) recovery checks: a drained session restarts

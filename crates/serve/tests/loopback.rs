@@ -375,7 +375,15 @@ fn unix_socket_speaks_the_same_protocol() {
     let mut writer = stream.try_clone().expect("clone");
     let mut reader = BufReader::new(stream);
 
-    writeln!(writer, "{}", Request::Status.encode()).expect("write");
+    writeln!(
+        writer,
+        "{}",
+        Request::Status {
+            session: String::new()
+        }
+        .encode()
+    )
+    .expect("write");
     let mut line = String::new();
     reader.read_line(&mut line).expect("read");
     match Response::decode(line.trim()).expect("decode") {
@@ -383,7 +391,15 @@ fn unix_socket_speaks_the_same_protocol() {
         other => panic!("expected status, got {other:?}"),
     }
 
-    writeln!(writer, "{}", Request::Drain.encode()).expect("write");
+    writeln!(
+        writer,
+        "{}",
+        Request::Drain {
+            session: String::new()
+        }
+        .encode()
+    )
+    .expect("write");
     line.clear();
     reader.read_line(&mut line).expect("read");
     let drain = match Response::decode(line.trim()).expect("decode") {

@@ -416,6 +416,26 @@ impl MetricsRegistry {
         out
     }
 
+    /// Remove every series whose label set carries `key="value"`,
+    /// dropping families left empty. Existing handles to the removed
+    /// series keep working but no longer render — this is how a
+    /// multi-tenant exporter retires a destroyed tenant's series
+    /// without touching its neighbours. Returns the number of series
+    /// removed.
+    pub fn remove_labeled(&self, key: &str, value: &str) -> usize {
+        let mut families = self.families.lock().expect("registry lock");
+        let mut removed = 0;
+        for family in families.iter_mut() {
+            let before = family.series.len();
+            family
+                .series
+                .retain(|s| !s.labels.iter().any(|(k, v)| k == key && v == value));
+            removed += before - family.series.len();
+        }
+        families.retain(|f| !f.series.is_empty());
+        removed
+    }
+
     /// Render every registered family in the Prometheus text
     /// exposition format (version 0.0.4), families in registration
     /// order, series in series-registration order.
@@ -517,6 +537,27 @@ fn render_histogram(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn remove_labeled_retires_one_tenant_only() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("krad_rm_total", "help", &[("session", "a")]);
+        let b = reg.counter_with("krad_rm_total", "help", &[("session", "b")]);
+        let lone = reg.gauge_with("krad_rm_gauge", "help", &[("session", "a")]);
+        a.incr();
+        b.add(2);
+        lone.set(1.0);
+        assert_eq!(reg.remove_labeled("session", "a"), 2);
+        let text = reg.render();
+        assert!(!text.contains("session=\"a\""), "{text}");
+        assert!(text.contains("krad_rm_total{session=\"b\"} 2"));
+        // The gauge family lost its only series and vanished entirely.
+        assert!(!text.contains("krad_rm_gauge"));
+        // Handles to removed series stay usable; they just don't render.
+        a.incr();
+        assert_eq!(a.get(), 2);
+        assert_eq!(reg.remove_labeled("session", "missing"), 0);
+    }
 
     #[test]
     fn counter_and_gauge_handles_share_state() {
